@@ -1,0 +1,56 @@
+//! Ablation **A1** — the compression/accuracy trade-off over the block
+//! size `b`, quantifying claim (1) of §II: block-circulant matrices (vs
+//! the fully-circulant matrices of Cheng et al. [19]) "achieve a
+//! trade-off between compression ratio and accuracy loss".
+//!
+//! Sweeps `b` on MNIST Arch. 1 and reports storage, accuracy, kernel op
+//! count and the Honor 6X C++ runtime projection per point.
+//!
+//! `cargo run -p ffdl-bench --release --bin ablation_block_size`
+
+use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
+use ffdl::paper;
+use ffdl::platform::{Implementation, PowerState, RuntimeModel, HONOR_6X};
+use rand::SeedableRng;
+
+fn main() {
+    println!("ABLATION A1: block-size sweep on MNIST Arch. 1 (1200 synthetic samples)\n");
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+    let raw = synthetic_mnist(1200, &MnistConfig::default(), &mut rng)
+        .expect("generator is infallible");
+    let ds = mnist_preprocess(&raw, 16).expect("28x28 resizes cleanly");
+    let (train, test) = ds.split_at(1000);
+    let honor = RuntimeModel::new(HONOR_6X, Implementation::Cpp, PowerState::PluggedIn);
+
+    println!(
+        "{:>6} {:>9} {:>12} {:>10} {:>12} {:>12}",
+        "block", "params", "compression", "accuracy", "kernel ops", "Honor µs"
+    );
+    for block in [1usize, 4, 8, 16, 32, 64, 128] {
+        let mut net = paper::arch1_with_block(11, block);
+        // Defining-vector gradients accumulate b-fold; scale the rate.
+        let lr = (0.16 / (block as f32).max(4.0)).min(0.02);
+        let mut train_rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let report =
+            paper::train_classifier(&mut net, &train, &test, 40, 32, Some(lr), &mut train_rng)
+                .expect("arch1 trains");
+        let frozen = paper::freeze_spectral(&net).expect("freeze valid network");
+        let mut frozen = frozen;
+        let (x, _) = test.batch(&[0]);
+        let _ = frozen.forward(&x).expect("forward");
+        println!(
+            "{:>6} {:>9} {:>11.1}x {:>9.2}% {:>12} {:>12.1}",
+            block,
+            net.param_count(),
+            net.compression_ratio(),
+            report.test_accuracy * 100.0,
+            frozen.op_cost().flops(),
+            honor.estimate_network_us(&frozen),
+        );
+    }
+    println!(
+        "\nreading: storage falls ≈ b×; accuracy holds within a few points up to the\n\
+         knee (b = 64 in the paper's Arch. 1), then degrades — the block-circulant\n\
+         generalization is exactly what buys this dial (claim (1), §II)."
+    );
+}

@@ -1,0 +1,76 @@
+//! The §I positioning claim, quantified: "our proposed framework is
+//! distinct from the prior work of using FFT for convolutional layer
+//! acceleration by LeCun et al. [11], because this prior work can only
+//! achieve convolutional layer acceleration instead of simultaneous
+//! compression."
+//!
+//! Compares, per CONV-layer configuration:
+//! - the direct dense CONV layer (im2col GEMM),
+//! - the FFT-convolution baseline (`FftConv2d`, same parameter count),
+//! - the block-circulant CONV layer (`CirculantConv2d`, FFT kernel AND
+//!   compressed parameters),
+//! reporting host runtime, stored parameters and projected Honor 6X C++
+//! runtime.
+//!
+//! `cargo run -p ffdl-bench --release --bin baseline_fft_conv`
+
+use ffdl::core::{CirculantConv2d, FftConv2d};
+use ffdl::nn::{Conv2d, Layer};
+use ffdl::platform::{time_reps, Implementation, PowerState, RuntimeModel, HONOR_6X};
+use ffdl::tensor::{ConvGeometry, Tensor};
+use rand::SeedableRng;
+
+fn main() {
+    println!("BASELINE COMPARISON (SS I): dense CONV vs FFT CONV [11] vs block-circulant CONV\n");
+    let honor = RuntimeModel::new(HONOR_6X, Implementation::Cpp, PowerState::PluggedIn);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(71);
+
+    println!(
+        "{:<28} {:>9} {:>12} {:>12} {:>12}",
+        "layer (C→P, HxW, k)", "params", "host µs", "Honor µs", "compression"
+    );
+    for (c, p, h, k, block) in [
+        (16usize, 32usize, 16usize, 3usize, 16usize),
+        (32, 64, 16, 3, 32),
+        (64, 128, 28, 3, 64), // the Arch. 3 circulant CONV setting
+        (16, 16, 52, 13, 16), // large kernel, exact pow2 transform: [11]'s regime
+    ] {
+        let geom = ConvGeometry::valid(k);
+        let x = Tensor::from_fn(&[1, c, h, h], |i| ((i * 7 + 1) % 13) as f32 * 0.1);
+
+        let mut dense = Conv2d::new(c, p, h, h, geom, &mut rng).expect("valid dims");
+        let mut fft = FftConv2d::new(c, p, h, h, k, &mut rng).expect("valid dims");
+        let mut circ =
+            CirculantConv2d::new(c, p, h, h, geom, block, &mut rng).expect("valid dims");
+
+        let circ_label = format!("circulant b={block}");
+        let configs: [(&str, &mut dyn Layer); 3] = [
+            ("dense (im2col GEMM)", &mut dense),
+            ("fft conv [11]", &mut fft),
+            (circ_label.as_str(), &mut circ),
+        ];
+        println!("-- {c}→{p}, {h}x{h}, k={k}");
+        for (name, layer) in configs {
+            let _ = layer.forward(&x).expect("valid input");
+            let t = time_reps(1, 5, || {
+                let _ = layer.forward(&x).expect("valid input");
+            });
+            let logical = layer.logical_param_count().max(1);
+            println!(
+                "{:<28} {:>9} {:>12.1} {:>12.1} {:>11.1}x",
+                name,
+                layer.param_count(),
+                t.mean_us,
+                honor.estimate_layer_us(layer),
+                logical as f64 / layer.param_count() as f64,
+            );
+        }
+    }
+    println!(
+        "\nreading: FFT convolution [11] only pays off for large kernels (k=13 row);\n\
+         at CNN-typical 3x3 kernels it loses to GEMM, and it never compresses\n\
+         (1.0x). The block-circulant layer applies its FFT along the channel/\n\
+         filter dimensions instead, so its advantage is storage (~bx) plus\n\
+         kernel-size-independent acceleration — the paper's distinction from [11]."
+    );
+}

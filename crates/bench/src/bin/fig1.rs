@@ -1,0 +1,51 @@
+//! Regenerates the claim behind **Fig. 1** — the Cooley–Tukey FFT reduces
+//! the DFT from `O(n²)` to `O(n log n)` (§III-B: "both the computation
+//! time and round-off error are essentially reduced by a factor of
+//! n/log₂n").
+//!
+//! Prints, per size: measured FFT time, measured direct-DFT time, their
+//! ratio, and the theoretical `n / log₂ n` factor.
+//!
+//! `cargo run -p ffdl-bench --release --bin fig1`
+
+use ffdl::fft::{dft, Complex64, Direction, FftPlanner};
+use ffdl::platform::time_reps;
+
+fn main() {
+    println!("FIG. 1 SCALING: Cooley-Tukey FFT vs direct DFT");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12}",
+        "n", "fft (µs)", "dft (µs)", "speedup", "n/log2(n)"
+    );
+    let mut planner = FftPlanner::<f64>::new();
+    for exp in 3..=12 {
+        let n = 1usize << exp;
+        let signal: Vec<Complex64> = (0..n)
+            .map(|k| Complex64::new((k as f64 * 0.37).sin(), (k as f64 * 0.11).cos()))
+            .collect();
+
+        let plan = planner.plan_forward(n);
+        let mut buf = signal.clone();
+        let reps = (200_000 / n).max(3);
+        let t_fft = time_reps(2, reps, || {
+            buf.copy_from_slice(&signal);
+            plan.process(&mut buf).expect("length matches plan");
+        });
+
+        // Direct DFT gets expensive fast; cap its repetitions.
+        let dft_reps = (40_000_000 / (n * n)).clamp(1, 50);
+        let t_dft = time_reps(1, dft_reps, || {
+            let _ = dft(&signal, Direction::Forward);
+        });
+
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>9.1}x {:>12.1}",
+            n,
+            t_fft.mean_us,
+            t_dft.mean_us,
+            t_dft.mean_us / t_fft.mean_us,
+            n as f64 / (n as f64).log2(),
+        );
+    }
+    println!("\nshape check: the measured speedup must grow with n, tracking n/log2(n).");
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Table I** — "Platforms under test and their
+//! specifications".
+//!
+//! `cargo run -p ffdl-bench --release --bin table1`
+
+use ffdl::platform::all_platforms;
+
+fn main() {
+    println!("TABLE I. PLATFORMS UNDER TEST AND THEIR SPECIFICATIONS.");
+    println!(
+        "{:<18} {:<16} {:<24} {:<24} {:<10} {:<12} {:>4}",
+        "Platform", "Android", "Primary CPU", "Companion CPU", "Arch", "GPU", "RAM"
+    );
+    for p in all_platforms() {
+        println!(
+            "{:<18} {:<16} {:<24} {:<24} {:<10} {:<12} {:>3}G",
+            p.name,
+            p.android,
+            p.primary.to_string(),
+            p.companion.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            p.arch.to_string(),
+            p.gpu,
+            p.ram_gb
+        );
+    }
+}

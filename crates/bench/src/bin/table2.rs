@@ -1,0 +1,64 @@
+//! Regenerates **Table II** — "Core runtime of each round of inference
+//! for resized MNIST images": Arch. 1 / Arch. 2, Java vs C++, three
+//! platforms, plus accuracy.
+//!
+//! Pipeline: synthetic MNIST → bilinear resize (16×16 / 11×11) → train the
+//! block-circulant network (SGD momentum 0.9) → freeze to spectral form →
+//! host wall-clock timing + platform cost-model projection.
+//!
+//! `cargo run -p ffdl-bench --release --bin table2`
+
+use ffdl::platform::{
+    all_platforms, measure_inference_us, Implementation, PowerState, RuntimeModel,
+};
+use ffdl_bench::{mnist_workload, reported, vs};
+
+fn main() {
+    println!("TABLE II. CORE RUNTIME OF EACH ROUND OF INFERENCE FOR RESIZED MNIST IMAGES.");
+    println!("(measured = platform cost model over exact op counts; host = real Rust kernels)\n");
+
+    for (idx, arch) in [1usize, 2].iter().enumerate() {
+        let mut w = mnist_workload(*arch, 1200, 3 + *arch as u64);
+        let host = measure_inference_us(&mut w.frozen, &w.test_inputs, 2, 5)
+            .expect("workload forward pass is valid");
+        println!(
+            "{}  accuracy {} (paper {:.2}%)   host {:.1} µs/image   stored params {}",
+            w.name,
+            format!("{:.2}%", w.report.test_accuracy * 100.0),
+            reported::TABLE2_ACCURACY[idx],
+            host.mean_us,
+            w.frozen.param_count(),
+        );
+        for implementation in [Implementation::Java, Implementation::Cpp] {
+            let paper_row = reported::TABLE2_RUNTIME
+                .iter()
+                .find(|(a, i, _)| *a == w.name && *i == implementation.to_string())
+                .map(|(_, _, r)| *r)
+                .expect("row exists for both impls");
+            print!("  {:<5}", implementation.to_string());
+            for (p_idx, platform) in all_platforms().iter().enumerate() {
+                let model =
+                    RuntimeModel::new(*platform, implementation, PowerState::PluggedIn);
+                let us = model.estimate_network_us(&w.frozen);
+                print!("  {}", vs(paper_row[p_idx], us));
+            }
+            println!();
+        }
+        // §V-B battery study: Java +14 %, C++ unchanged.
+        let nexus = all_platforms()[0];
+        let jb = RuntimeModel::new(nexus, Implementation::Java, PowerState::OnBattery)
+            .estimate_network_us(&w.frozen);
+        let jp = RuntimeModel::new(nexus, Implementation::Java, PowerState::PluggedIn)
+            .estimate_network_us(&w.frozen);
+        let cb = RuntimeModel::new(nexus, Implementation::Cpp, PowerState::OnBattery)
+            .estimate_network_us(&w.frozen);
+        let cp = RuntimeModel::new(nexus, Implementation::Cpp, PowerState::PluggedIn)
+            .estimate_network_us(&w.frozen);
+        println!(
+            "  on battery (Nexus 5): Java {:+.0}% (paper ≈ +14%), C++ {:+.0}% (paper: unchanged)\n",
+            (jb / jp - 1.0) * 100.0,
+            (cb / cp - 1.0) * 100.0
+        );
+    }
+    println!("columns: LG Nexus 5 | Odroid XU3 | Huawei Honor 6X");
+}

@@ -1,0 +1,499 @@
+//! # ffdl-cli — command-line front end
+//!
+//! A small tool over the Fig. 4 pipeline:
+//!
+//! ```text
+//! ffdl train      --arch net.arch --dataset mnist16 --out weights.ffdp
+//! ffdl infer      --arch net.arch --params weights.ffdp --inputs test.csv
+//! ffdl inspect    --arch net.arch [--params weights.ffdp]
+//! ffdl gen-inputs --dataset mnist16 --samples 100 --out test.csv
+//! ```
+//!
+//! The argument parser is hand-rolled (`--key value` flags only) to keep
+//! the dependency set to the project's approved crates.
+
+use ffdl::data::{mnist_preprocess, resize_images, standardize, synthetic_cifar, synthetic_mnist, CifarConfig, Dataset, MnistConfig};
+use ffdl::deploy::{
+    format_inputs, parse_architecture, parse_inputs, read_parameters_into, write_parameters,
+    InferenceEngine,
+};
+use ffdl::paper;
+use ffdl::platform::{
+    all_platforms, Implementation, PlatformSpec, PowerState, RuntimeModel, HONOR_6X, NEXUS_5,
+    ODROID_XU3,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+macro_rules! from_error {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError(e.to_string())
+            }
+        }
+    )+};
+}
+
+from_error!(
+    std::io::Error,
+    ffdl::deploy::DeployError,
+    ffdl::nn::NnError,
+    ffdl::data::DataError,
+    ffdl::tensor::TensorError,
+);
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Default, Clone)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] on a dangling flag or a token that is not a
+    /// flag.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --flag, got {tok:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(CliError(format!("duplicate flag --{key}")));
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Optional numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] when the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("flag --{key}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+/// Builds the requested dataset. `mnist16` / `mnist11` are the §V-B
+/// pipelines; `cifar` / `cifar16` are the CIFAR-10 stand-ins.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown names or generator failures.
+pub fn load_dataset(name: &str, samples: usize, seed: u64) -> Result<Dataset, CliError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match name {
+        "mnist16" => {
+            let raw = synthetic_mnist(samples, &MnistConfig::default(), &mut rng)?;
+            Ok(mnist_preprocess(&raw, 16)?)
+        }
+        "mnist11" => {
+            let raw = synthetic_mnist(samples, &MnistConfig::default(), &mut rng)?;
+            Ok(mnist_preprocess(&raw, 11)?)
+        }
+        "cifar" => {
+            let raw = synthetic_cifar(samples, &CifarConfig::default(), &mut rng)?;
+            Ok(standardize(&raw)?)
+        }
+        "cifar16" => {
+            let raw = synthetic_cifar(samples, &CifarConfig::default(), &mut rng)?;
+            Ok(standardize(&resize_images(&raw, 16)?)?)
+        }
+        other => Err(CliError(format!(
+            "unknown dataset {other:?} (expected mnist16 | mnist11 | cifar | cifar16)"
+        ))),
+    }
+}
+
+/// Resolves a platform name.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown names.
+pub fn platform_by_name(name: &str) -> Result<PlatformSpec, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "nexus5" | "nexus" => Ok(NEXUS_5),
+        "xu3" | "odroid" => Ok(ODROID_XU3),
+        "honor6x" | "honor" => Ok(HONOR_6X),
+        other => Err(CliError(format!(
+            "unknown platform {other:?} (expected nexus5 | xu3 | honor6x)"
+        ))),
+    }
+}
+
+/// Resolves an implementation name.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown names.
+pub fn implementation_by_name(name: &str) -> Result<Implementation, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "java" => Ok(Implementation::Java),
+        "cpp" | "c++" => Ok(Implementation::Cpp),
+        other => Err(CliError(format!(
+            "unknown implementation {other:?} (expected java | cpp)"
+        ))),
+    }
+}
+
+/// `ffdl train`: parse architecture, train on a synthetic dataset, write
+/// a parameters file.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on any flag, parse, I/O or training failure.
+pub fn cmd_train(flags: &Flags) -> Result<String, CliError> {
+    let arch_path = flags.require("arch")?;
+    let out_path = flags.require("out")?;
+    let dataset = flags.get("dataset").unwrap_or("mnist16");
+    let samples = flags.get_num("samples", 1200usize)?;
+    let epochs = flags.get_num("epochs", 40usize)?;
+    let batch = flags.get_num("batch", 32usize)?;
+    let lr = flags.get_num("lr", 0.005f32)?;
+    let seed = flags.get_num("seed", 42u64)?;
+
+    let arch_text = fs::read_to_string(arch_path)?;
+    let mut net = parse_architecture(&arch_text, seed)?.network;
+    let ds = load_dataset(dataset, samples, seed)?;
+    let (train, test) = ds.split_at(samples * 5 / 6);
+
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(1));
+    let report = paper::train_classifier(&mut net, &train, &test, epochs, batch, Some(lr), &mut rng)?;
+
+    let mut file = Vec::new();
+    write_parameters(&net, &mut file)?;
+    fs::write(out_path, &file)?;
+
+    Ok(format!(
+        "trained {} layers on {dataset} ({} train / {} test): accuracy {:.2}%, final loss {:.4}\n\
+         wrote {} bytes of parameters to {out_path}",
+        net.len(),
+        train.len(),
+        test.len(),
+        report.test_accuracy * 100.0,
+        report.final_loss,
+        file.len(),
+    ))
+}
+
+/// `ffdl infer`: rebuild the network from architecture + parameters,
+/// run the inputs file, report predictions/accuracy/runtime.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on any flag, parse, I/O or shape failure.
+pub fn cmd_infer(flags: &Flags) -> Result<String, CliError> {
+    let arch_text = fs::read_to_string(flags.require("arch")?)?;
+    let params = fs::read(flags.require("params")?)?;
+    let inputs_text = fs::read_to_string(flags.require("inputs")?)?;
+
+    let mut net = parse_architecture(&arch_text, 0)?.network;
+    read_parameters_into(&mut net, &params[..])?;
+    let inputs = parse_inputs(inputs_text.as_bytes())?;
+    if inputs.is_empty() {
+        return Err(CliError("inputs file contains no samples".into()));
+    }
+
+    let models: Vec<RuntimeModel> = match flags.get("platform") {
+        Some(p) => {
+            let platform = platform_by_name(p)?;
+            let implementation =
+                implementation_by_name(flags.get("impl").unwrap_or("cpp"))?;
+            vec![RuntimeModel::new(platform, implementation, PowerState::PluggedIn)]
+        }
+        None => Vec::new(),
+    };
+
+    let mut engine = InferenceEngine::new(net);
+    let report = engine.evaluate(&inputs.features, inputs.labels.as_deref(), &models, 1, 3)?;
+
+    let mut out = String::new();
+    writeln!(out, "{} samples", report.samples).expect("string write");
+    if let Some(acc) = report.accuracy {
+        writeln!(out, "accuracy: {:.2}%", acc * 100.0).expect("string write");
+    }
+    writeln!(out, "host core runtime: {:.1} µs/image", report.host_timing.mean_us)
+        .expect("string write");
+    for us in &report.projected_us {
+        writeln!(out, "projected embedded runtime: {us:.1} µs/image").expect("string write");
+    }
+    // Show the first few predictions.
+    let preds = engine.predict(&inputs.features)?;
+    for (i, p) in preds.iter().take(5).enumerate() {
+        writeln!(
+            out,
+            "sample {i}: class {} (p = {:.3})",
+            p.label, p.probabilities[p.label]
+        )
+        .expect("string write");
+    }
+    Ok(out)
+}
+
+/// `ffdl inspect`: print the layer table with parameter and compression
+/// accounting and per-platform projections.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on any flag, parse or I/O failure.
+pub fn cmd_inspect(flags: &Flags) -> Result<String, CliError> {
+    let arch_text = fs::read_to_string(flags.require("arch")?)?;
+    let parsed = parse_architecture(&arch_text, 0)?;
+    let mut net = parsed.network;
+    if let Some(p) = flags.get("params") {
+        let params = fs::read(p)?;
+        read_parameters_into(&mut net, &params[..])?;
+    }
+
+    // One forward pass so activation-dependent op costs are populated.
+    let shape = parsed.input_shape;
+    let x = match shape {
+        ffdl::deploy::Shape::Flat(n) => ffdl::tensor::Tensor::zeros(&[1, n]),
+        ffdl::deploy::Shape::Image(c, h, w) => ffdl::tensor::Tensor::zeros(&[1, c, h, w]),
+    };
+    let _ = net.forward(&x)?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<20} {:>10} {:>12} {:>12}",
+        "layer", "params", "logical", "flops"
+    )
+    .expect("string write");
+    for layer in net.layers() {
+        writeln!(
+            out,
+            "{:<20} {:>10} {:>12} {:>12}",
+            layer.type_tag(),
+            layer.param_count(),
+            layer.logical_param_count(),
+            layer.op_cost().flops(),
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "total: {} stored / {} logical parameters ({:.1}x compression)",
+        net.param_count(),
+        net.logical_param_count(),
+        net.compression_ratio()
+    )
+    .expect("string write");
+    for platform in all_platforms() {
+        let cpp = RuntimeModel::new(platform, Implementation::Cpp, PowerState::PluggedIn)
+            .estimate_network_us(&net);
+        let java = RuntimeModel::new(platform, Implementation::Java, PowerState::PluggedIn)
+            .estimate_network_us(&net);
+        writeln!(
+            out,
+            "{:<18} projected: C++ {cpp:>9.1} µs/image | Java {java:>9.1} µs/image",
+            platform.name
+        )
+        .expect("string write");
+    }
+    Ok(out)
+}
+
+/// `ffdl gen-inputs`: write a labelled CSV inputs file from a synthetic
+/// dataset (flattening image datasets for the text format).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on any flag or I/O failure.
+pub fn cmd_gen_inputs(flags: &Flags) -> Result<String, CliError> {
+    let out_path = flags.require("out")?;
+    let dataset = flags.get("dataset").unwrap_or("mnist16");
+    let samples = flags.get_num("samples", 100usize)?;
+    let seed = flags.get_num("seed", 7u64)?;
+
+    let ds = load_dataset(dataset, samples, seed)?;
+    let ds = ffdl::data::flatten_samples(&ds)?;
+    let (x, y) = ds.batch(&(0..ds.len()).collect::<Vec<_>>());
+    let text = format_inputs(&x, Some(&y));
+    fs::write(out_path, &text)?;
+    Ok(format!(
+        "wrote {samples} {dataset} samples ({} features each) to {out_path}",
+        ds.sample_shape()[0]
+    ))
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "ffdl — FFT-based block-circulant deep learning (Lin et al., DATE 2018)\n\
+     \n\
+     usage:\n\
+       ffdl train      --arch <file> --out <params.ffdp> [--dataset mnist16|mnist11|cifar|cifar16]\n\
+                       [--samples N] [--epochs N] [--batch N] [--lr F] [--seed N]\n\
+       ffdl infer      --arch <file> --params <file> --inputs <csv>\n\
+                       [--platform nexus5|xu3|honor6x] [--impl java|cpp]\n\
+       ffdl inspect    --arch <file> [--params <file>]\n\
+       ffdl gen-inputs --out <csv> [--dataset mnist16|...] [--samples N] [--seed N]\n"
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message on any failure.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError(usage().to_string()))?;
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "train" => cmd_train(&flags),
+        "infer" => cmd_infer(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "gen-inputs" => cmd_gen_inputs(&flags),
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(CliError(format!("unknown command {other:?}\n\n{}", usage()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> Flags {
+        let args: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Flags::parse(&args).unwrap()
+    }
+
+    #[test]
+    fn flags_parse_and_lookup() {
+        let f = flags(&[("arch", "a.txt"), ("samples", "10")]);
+        assert_eq!(f.require("arch").unwrap(), "a.txt");
+        assert_eq!(f.get_num("samples", 0usize).unwrap(), 10);
+        assert_eq!(f.get_num("epochs", 5usize).unwrap(), 5);
+        assert!(f.require("missing").is_err());
+        assert!(f.get_num::<usize>("arch", 0).is_err());
+    }
+
+    #[test]
+    fn flags_reject_malformed() {
+        assert!(Flags::parse(&["oops".into()]).is_err());
+        assert!(Flags::parse(&["--dangling".into()]).is_err());
+        assert!(Flags::parse(&["--a".into(), "1".into(), "--a".into(), "2".into()]).is_err());
+    }
+
+    #[test]
+    fn dataset_and_platform_resolution() {
+        assert_eq!(load_dataset("mnist16", 10, 0).unwrap().sample_shape(), &[256]);
+        assert_eq!(load_dataset("mnist11", 10, 0).unwrap().sample_shape(), &[121]);
+        assert_eq!(
+            load_dataset("cifar", 10, 0).unwrap().sample_shape(),
+            &[3, 32, 32]
+        );
+        assert!(load_dataset("imagenet", 10, 0).is_err());
+        assert_eq!(platform_by_name("xu3").unwrap().name, "Odroid XU3");
+        assert!(platform_by_name("iphone").is_err());
+        assert_eq!(implementation_by_name("java").unwrap(), Implementation::Java);
+        assert!(implementation_by_name("rust").is_err());
+    }
+
+    #[test]
+    fn end_to_end_train_inspect_infer() {
+        let dir = std::env::temp_dir().join(format!("ffdl-cli-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let arch = dir.join("net.arch");
+        let params = dir.join("weights.ffdp");
+        let inputs = dir.join("test.csv");
+        fs::write(&arch, "input 121\ncirculant_fc 32 block=16\nrelu\nfc 10\nsoftmax\n").unwrap();
+
+        let out = cmd_train(&flags(&[
+            ("arch", arch.to_str().unwrap()),
+            ("out", params.to_str().unwrap()),
+            ("dataset", "mnist11"),
+            ("samples", "120"),
+            ("epochs", "6"),
+            ("lr", "0.01"),
+        ]))
+        .unwrap();
+        assert!(out.contains("accuracy"), "{out}");
+        assert!(params.exists());
+
+        let out = cmd_gen_inputs(&flags(&[
+            ("out", inputs.to_str().unwrap()),
+            ("dataset", "mnist11"),
+            ("samples", "20"),
+        ]))
+        .unwrap();
+        assert!(out.contains("20"), "{out}");
+
+        let out = cmd_inspect(&flags(&[
+            ("arch", arch.to_str().unwrap()),
+            ("params", params.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(out.contains("circulant_dense"), "{out}");
+        assert!(out.contains("compression"), "{out}");
+
+        let out = cmd_infer(&flags(&[
+            ("arch", arch.to_str().unwrap()),
+            ("params", params.to_str().unwrap()),
+            ("inputs", inputs.to_str().unwrap()),
+            ("platform", "honor6x"),
+            ("impl", "cpp"),
+        ]))
+        .unwrap();
+        assert!(out.contains("accuracy"), "{out}");
+        assert!(out.contains("projected embedded runtime"), "{out}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_unknown() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["help".into()]).unwrap().contains("usage"));
+        let err = run(&["frobnicate".into()]).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+        let err = run(&["train".into()]).unwrap_err();
+        assert!(err.0.contains("--arch"));
+    }
+}

@@ -1,0 +1,676 @@
+//! Block-circulant matrices and their FFT-based linear algebra — the
+//! mathematical object at the heart of the paper (§IV).
+//!
+//! A logical `in_dim × out_dim` matrix is represented by a grid of
+//! `b × b` circulant blocks, each defined by a length-`b` vector; storage
+//! drops from `O(m·n)` to `O(m·n / b)` and every product runs through the
+//! "FFT → component-wise multiplication → IFFT" kernel in `O(n log n)`.
+//!
+//! Conventions (documented in DESIGN.md §3): a circulant block `C` defined
+//! by `w` acts as `C·x = w ⊛ x` (circular convolution). In the row-vector
+//! batch convention used by the layers (`y = x·W`), the equivalent dense
+//! matrix has `W[j·b + q][i·b + p] = w_ij[(p − q) mod b]`, where `i`
+//! indexes output blocks and `j` input blocks. Dimensions that are not
+//! multiples of `b` are zero-padded, as the paper's footnote prescribes.
+
+use crate::error::CirculantError;
+use crate::spectral::{SpectralKernel, Spectrum};
+use ffdl_tensor::{Init, Tensor};
+use rand::Rng;
+
+/// Cached per-sample input spectra from a forward pass, consumed by the
+/// backward pass (Algorithm 2 reuses `FFT(x)`).
+pub struct ForwardCache {
+    /// `input_spectra[sample][input_block]`.
+    input_spectra: Vec<Vec<Spectrum>>,
+}
+
+impl ForwardCache {
+    /// Number of cached samples.
+    pub fn batch(&self) -> usize {
+        self.input_spectra.len()
+    }
+}
+
+/// A logical `in_dim × out_dim` matrix stored as a grid of circulant
+/// blocks (row-vector convention: `y = x·W`).
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_core::BlockCirculantMatrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let m = BlockCirculantMatrix::random(8, 8, 4, &mut rng)?;
+/// assert_eq!(m.param_count(), 4 * 4); // (8/4)·(8/4) blocks × 4 values
+/// assert_eq!(m.logical_param_count(), 64);
+/// assert_eq!(m.compression_ratio(), 4.0);
+/// # Ok::<(), ffdl_core::CirculantError>(())
+/// ```
+pub struct BlockCirculantMatrix {
+    in_dim: usize,
+    out_dim: usize,
+    block: usize,
+    kb_in: usize,
+    kb_out: usize,
+    /// Defining vectors, shape `[kb_out, kb_in, block]`.
+    weights: Tensor,
+    kernel: SpectralKernel,
+}
+
+impl BlockCirculantMatrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::ZeroDimension`] when any size is zero.
+    pub fn zeros(in_dim: usize, out_dim: usize, block: usize) -> Result<Self, CirculantError> {
+        Self::validate(in_dim, out_dim, block)?;
+        let kb_in = in_dim.div_ceil(block);
+        let kb_out = out_dim.div_ceil(block);
+        Ok(Self {
+            in_dim,
+            out_dim,
+            block,
+            kb_in,
+            kb_out,
+            weights: Tensor::zeros(&[kb_out, kb_in, block]),
+            kernel: SpectralKernel::new(block),
+        })
+    }
+
+    /// Creates a matrix with Xavier-scaled random defining vectors.
+    ///
+    /// The fan used for scaling is the *logical* (padded) fan, so the
+    /// expanded dense equivalent has the variance Xavier prescribes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::ZeroDimension`] when any size is zero.
+    pub fn random<R: Rng>(
+        in_dim: usize,
+        out_dim: usize,
+        block: usize,
+        rng: &mut R,
+    ) -> Result<Self, CirculantError> {
+        let mut m = Self::zeros(in_dim, out_dim, block)?;
+        m.weights = Init::XavierUniform.sample(
+            &[m.kb_out, m.kb_in, block],
+            m.kb_in * block,
+            m.kb_out * block,
+            rng,
+        );
+        Ok(m)
+    }
+
+    /// Creates a matrix from explicit defining vectors of shape
+    /// `[out_blocks, in_blocks, block]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError`] variants on inconsistent geometry.
+    pub fn from_weights(
+        in_dim: usize,
+        out_dim: usize,
+        block: usize,
+        weights: Tensor,
+    ) -> Result<Self, CirculantError> {
+        Self::validate(in_dim, out_dim, block)?;
+        let kb_in = in_dim.div_ceil(block);
+        let kb_out = out_dim.div_ceil(block);
+        if weights.shape() != [kb_out, kb_in, block] {
+            return Err(CirculantError::GridMismatch {
+                message: format!(
+                    "weights shape {:?}, expected [{kb_out}, {kb_in}, {block}]",
+                    weights.shape()
+                ),
+            });
+        }
+        Ok(Self {
+            in_dim,
+            out_dim,
+            block,
+            kb_in,
+            kb_out,
+            weights,
+            kernel: SpectralKernel::new(block),
+        })
+    }
+
+    fn validate(in_dim: usize, out_dim: usize, block: usize) -> Result<(), CirculantError> {
+        if in_dim == 0 {
+            return Err(CirculantError::ZeroDimension("input dimension"));
+        }
+        if out_dim == 0 {
+            return Err(CirculantError::ZeroDimension("output dimension"));
+        }
+        if block == 0 {
+            return Err(CirculantError::ZeroDimension("block size"));
+        }
+        Ok(())
+    }
+
+    /// Logical input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Logical output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Block size `b`.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Number of input blocks (`⌈in/b⌉`).
+    pub fn in_blocks(&self) -> usize {
+        self.kb_in
+    }
+
+    /// Number of output blocks (`⌈out/b⌉`).
+    pub fn out_blocks(&self) -> usize {
+        self.kb_out
+    }
+
+    /// The defining vectors, shape `[out_blocks, in_blocks, block]`.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable defining vectors (the optimizer's handle).
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// The defining vector of block `(out_block, in_block)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indices are out of range.
+    pub fn block_vector(&self, out_block: usize, in_block: usize) -> &[f32] {
+        assert!(out_block < self.kb_out && in_block < self.kb_in);
+        let start = (out_block * self.kb_in + in_block) * self.block;
+        &self.weights.as_slice()[start..start + self.block]
+    }
+
+    /// Stored parameter count: `out_blocks · in_blocks · b`.
+    pub fn param_count(&self) -> usize {
+        self.kb_out * self.kb_in * self.block
+    }
+
+    /// Parameters of the equivalent dense matrix: `in_dim · out_dim`.
+    pub fn logical_param_count(&self) -> usize {
+        self.in_dim * self.out_dim
+    }
+
+    /// Storage compression `logical / stored` (≈ `b` when dimensions
+    /// divide evenly).
+    pub fn compression_ratio(&self) -> f32 {
+        self.logical_param_count() as f32 / self.param_count() as f32
+    }
+
+    /// Precomputed weight spectra, indexed `[out_block][in_block]` — the
+    /// quantity the paper stores for inference instead of `W`.
+    pub fn weight_spectra(&self) -> Vec<Vec<Spectrum>> {
+        (0..self.kb_out)
+            .map(|i| {
+                (0..self.kb_in)
+                    .map(|j| self.kernel.spectrum(self.block_vector(i, j)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Splits (and zero-pads) one padded row-sample into per-block spectra.
+    fn input_spectra_of(&self, x: &[f32]) -> Vec<Spectrum> {
+        let b = self.block;
+        let mut padded = vec![0.0f32; self.kb_in * b];
+        padded[..x.len()].copy_from_slice(x);
+        (0..self.kb_in)
+            .map(|j| self.kernel.spectrum(&padded[j * b..(j + 1) * b]))
+            .collect()
+    }
+
+    /// Batched product `Y = X·W` through the FFT kernel (Algorithm 1,
+    /// generalized to a block grid), returning the output and the cache
+    /// the backward pass reuses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::GridMismatch`] when `x` is not
+    /// `[batch, in_dim]`.
+    pub fn forward_batch(&self, x: &Tensor) -> Result<(Tensor, ForwardCache), CirculantError> {
+        if x.ndim() != 2 || x.cols() != self.in_dim {
+            return Err(CirculantError::GridMismatch {
+                message: format!(
+                    "input shape {:?}, expected [batch, {}]",
+                    x.shape(),
+                    self.in_dim
+                ),
+            });
+        }
+        let batch = x.rows();
+        let b = self.block;
+        let w_spec = self.weight_spectra();
+        let mut out = Vec::with_capacity(batch * self.out_dim);
+        let mut cache = Vec::with_capacity(batch);
+
+        for s in 0..batch {
+            let x_spec = self.input_spectra_of(x.row(s));
+            let mut y_padded = vec![0.0f32; self.kb_out * b];
+            for i in 0..self.kb_out {
+                let mut acc = self.kernel.zero_accumulator();
+                for j in 0..self.kb_in {
+                    SpectralKernel::mul_accumulate(&mut acc, &w_spec[i][j], &x_spec[j]);
+                }
+                let y_block = self.kernel.inverse(&acc);
+                y_padded[i * b..(i + 1) * b].copy_from_slice(&y_block);
+            }
+            out.extend_from_slice(&y_padded[..self.out_dim]);
+            cache.push(x_spec);
+        }
+        let out = Tensor::from_vec(out, &[batch, self.out_dim]).expect("size by construction");
+        Ok((
+            out,
+            ForwardCache {
+                input_spectra: cache,
+            },
+        ))
+    }
+
+    /// Batched backward pass (Algorithm 2, generalized): given the cache
+    /// from [`Self::forward_batch`] and the upstream gradient
+    /// `g = ∂L/∂Y` of shape `[batch, out_dim]`, returns
+    /// `(∂L/∂X of shape [batch, in_dim], ∂L/∂w of shape
+    /// [out_blocks, in_blocks, block])`, both accumulated over the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::GridMismatch`] on shape or batch
+    /// mismatches.
+    pub fn backward_batch(
+        &self,
+        cache: &ForwardCache,
+        grad_out: &Tensor,
+    ) -> Result<(Tensor, Tensor), CirculantError> {
+        if grad_out.ndim() != 2 || grad_out.cols() != self.out_dim {
+            return Err(CirculantError::GridMismatch {
+                message: format!(
+                    "gradient shape {:?}, expected [batch, {}]",
+                    grad_out.shape(),
+                    self.out_dim
+                ),
+            });
+        }
+        let batch = grad_out.rows();
+        if batch != cache.batch() {
+            return Err(CirculantError::GridMismatch {
+                message: format!(
+                    "gradient batch {batch} does not match cached batch {}",
+                    cache.batch()
+                ),
+            });
+        }
+        let b = self.block;
+        let w_spec = self.weight_spectra();
+        let mut grad_x = Vec::with_capacity(batch * self.in_dim);
+        // Accumulate weight gradients in the frequency domain and invert
+        // once at the end: IFFT is linear, so this matches summing the
+        // per-sample time-domain gradients.
+        let mut grad_w_spec: Vec<Vec<Spectrum>> = (0..self.kb_out)
+            .map(|_| (0..self.kb_in).map(|_| self.kernel.zero_accumulator()).collect())
+            .collect();
+
+        for s in 0..batch {
+            // Pad and transform the gradient blocks.
+            let mut g_padded = vec![0.0f32; self.kb_out * b];
+            g_padded[..self.out_dim].copy_from_slice(grad_out.row(s));
+            let g_spec: Vec<Spectrum> = (0..self.kb_out)
+                .map(|i| self.kernel.spectrum(&g_padded[i * b..(i + 1) * b]))
+                .collect();
+
+            let x_spec = &cache.input_spectra[s];
+            let mut gx_padded = vec![0.0f32; self.kb_in * b];
+            for j in 0..self.kb_in {
+                let mut acc = self.kernel.zero_accumulator();
+                for i in 0..self.kb_out {
+                    // ∂L/∂x_j += corr(g_i, w_ij) = IFFT(G_i ∘ conj(W_ij)).
+                    SpectralKernel::mul_conj_accumulate(&mut acc, &g_spec[i], &w_spec[i][j]);
+                    // ∂L/∂w_ij += corr(g_i, x_j) = IFFT(G_i ∘ conj(X_j)).
+                }
+                let gx_block = self.kernel.inverse(&acc);
+                gx_padded[j * b..(j + 1) * b].copy_from_slice(&gx_block);
+            }
+            for (i, gs) in g_spec.iter().enumerate() {
+                for (j, xs) in x_spec.iter().enumerate() {
+                    SpectralKernel::mul_conj_accumulate(&mut grad_w_spec[i][j], gs, xs);
+                }
+            }
+            grad_x.extend_from_slice(&gx_padded[..self.in_dim]);
+        }
+
+        let mut grad_w = Vec::with_capacity(self.param_count());
+        for row in &grad_w_spec {
+            for spec in row {
+                grad_w.extend(self.kernel.inverse(spec));
+            }
+        }
+        let grad_x =
+            Tensor::from_vec(grad_x, &[batch, self.in_dim]).expect("size by construction");
+        let grad_w = Tensor::from_vec(grad_w, &[self.kb_out, self.kb_in, self.block])
+            .expect("size by construction");
+        Ok((grad_x, grad_w))
+    }
+
+    /// Single-vector product `y = x·W` (convenience over
+    /// [`Self::forward_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::GridMismatch`] when `x.len() != in_dim`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, CirculantError> {
+        let t = Tensor::from_vec(x.to_vec(), &[1, x.len()]).map_err(|_| {
+            CirculantError::GridMismatch {
+                message: "input is empty".into(),
+            }
+        })?;
+        let (y, _) = self.forward_batch(&t)?;
+        Ok(y.into_vec())
+    }
+
+    /// Expands to the equivalent dense matrix of shape
+    /// `[in_dim, out_dim]` (row-vector convention) — the `O(n²)` object
+    /// the compression replaces; used by tests and the dense baselines.
+    pub fn to_dense(&self) -> Tensor {
+        let b = self.block;
+        let mut dense = Tensor::zeros(&[self.in_dim, self.out_dim]);
+        for i in 0..self.kb_out {
+            for j in 0..self.kb_in {
+                let w = self.block_vector(i, j);
+                for p in 0..b {
+                    let col = i * b + p;
+                    if col >= self.out_dim {
+                        continue;
+                    }
+                    for q in 0..b {
+                        let row = j * b + q;
+                        if row >= self.in_dim {
+                            continue;
+                        }
+                        *dense.at_mut(&[row, col]) = w[(p + b - q) % b];
+                    }
+                }
+            }
+        }
+        dense
+    }
+
+    /// Projects a dense `[in_dim, out_dim]` matrix onto the nearest
+    /// block-circulant matrix (least squares): each defining-vector entry
+    /// is the mean of the dense entries on its circulant diagonal,
+    /// restricted to the logical (unpadded) region.
+    ///
+    /// This enables compress-then-fine-tune workflows on pretrained dense
+    /// models, complementing the paper's train-from-scratch recipe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError`] variants on malformed inputs.
+    pub fn project_from_dense(dense: &Tensor, block: usize) -> Result<Self, CirculantError> {
+        if dense.ndim() != 2 {
+            return Err(CirculantError::GridMismatch {
+                message: format!("dense matrix must be rank 2, got {:?}", dense.shape()),
+            });
+        }
+        let (in_dim, out_dim) = (dense.rows(), dense.cols());
+        let mut m = Self::zeros(in_dim, out_dim, block)?;
+        let b = block;
+        let mut weights = Tensor::zeros(&[m.kb_out, m.kb_in, b]);
+        for i in 0..m.kb_out {
+            for j in 0..m.kb_in {
+                let mut sums = vec![0.0f32; b];
+                let mut counts = vec![0u32; b];
+                for p in 0..b {
+                    let col = i * b + p;
+                    if col >= out_dim {
+                        continue;
+                    }
+                    for q in 0..b {
+                        let row = j * b + q;
+                        if row >= in_dim {
+                            continue;
+                        }
+                        let d = (p + b - q) % b;
+                        sums[d] += dense.at(&[row, col]);
+                        counts[d] += 1;
+                    }
+                }
+                for d in 0..b {
+                    if counts[d] > 0 {
+                        *weights.at_mut(&[i, j, d]) = sums[d] / counts[d] as f32;
+                    }
+                }
+            }
+        }
+        m.weights = weights;
+        Ok(m)
+    }
+}
+
+impl std::fmt::Debug for BlockCirculantMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCirculantMatrix")
+            .field("in_dim", &self.in_dim)
+            .field("out_dim", &self.out_dim)
+            .field("block", &self.block)
+            .field("stored_params", &self.param_count())
+            .field("compression", &self.compression_ratio())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(13)
+    }
+
+    fn sample_input(batch: usize, dim: usize) -> Tensor {
+        Tensor::from_fn(&[batch, dim], |i| ((i * 7 + 3) % 19) as f32 * 0.1 - 0.9)
+    }
+
+    #[test]
+    fn matvec_matches_dense_expansion_square() {
+        for (n, b) in [(8usize, 4usize), (8, 8), (6, 3), (12, 4), (8, 1)] {
+            let m = BlockCirculantMatrix::random(n, n, b, &mut rng()).unwrap();
+            let dense = m.to_dense();
+            let x = sample_input(1, n);
+            let fast = m.matvec(x.row(0)).unwrap();
+            let slow = Tensor::from_vec(x.row(0).to_vec(), &[n])
+                .unwrap();
+            let slow = dense.transpose().unwrap().matvec(&slow).unwrap();
+            for (a, v) in fast.iter().zip(slow.as_slice()) {
+                assert!((a - v).abs() < 1e-3, "n={n} b={b}: {a} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense_rectangular_and_padded() {
+        // Includes non-divisible dims exercising zero padding (the paper's
+        // footnote) and non-power-of-two blocks (Bluestein path).
+        for (in_dim, out_dim, b) in [
+            (8usize, 4usize, 4usize),
+            (4, 8, 4),
+            (10, 6, 4),  // padding on both sides
+            (7, 5, 3),   // nothing divides
+            (121, 64, 11), // Arch-2-like odd sizes
+        ] {
+            let m = BlockCirculantMatrix::random(in_dim, out_dim, b, &mut rng()).unwrap();
+            let dense = m.to_dense();
+            let x = sample_input(1, in_dim);
+            let fast = m.matvec(x.row(0)).unwrap();
+            let xv = Tensor::from_vec(x.row(0).to_vec(), &[in_dim]).unwrap();
+            let slow = dense.transpose().unwrap().matvec(&xv).unwrap();
+            for (k, (a, v)) in fast.iter().zip(slow.as_slice()).enumerate() {
+                assert!(
+                    (a - v).abs() < 2e-3,
+                    "in={in_dim} out={out_dim} b={b} k={k}: {a} vs {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_one_is_elementwise_scaling_grid() {
+        // b = 1: every "circulant block" is a scalar — a fully dense matrix.
+        let m = BlockCirculantMatrix::random(3, 2, 1, &mut rng()).unwrap();
+        assert_eq!(m.param_count(), 6);
+        assert_eq!(m.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn param_accounting() {
+        let m = BlockCirculantMatrix::zeros(128, 128, 64).unwrap();
+        assert_eq!(m.param_count(), 2 * 2 * 64);
+        assert_eq!(m.logical_param_count(), 128 * 128);
+        assert_eq!(m.compression_ratio(), 64.0);
+        // Padded case: 121 → 2 blocks of 64.
+        let m = BlockCirculantMatrix::zeros(121, 64, 64).unwrap();
+        assert_eq!(m.in_blocks(), 2);
+        assert_eq!(m.out_blocks(), 1);
+        assert_eq!(m.param_count(), 2 * 64);
+    }
+
+    #[test]
+    fn forward_batch_shapes_and_rows_independent() {
+        let m = BlockCirculantMatrix::random(10, 6, 4, &mut rng()).unwrap();
+        let x = sample_input(3, 10);
+        let (y, cache) = m.forward_batch(&x).unwrap();
+        assert_eq!(y.shape(), &[3, 6]);
+        assert_eq!(cache.batch(), 3);
+        let single = Tensor::from_vec(x.row(1).to_vec(), &[1, 10]).unwrap();
+        let (y1, _) = m.forward_batch(&single).unwrap();
+        for (a, v) in y1.as_slice().iter().zip(y.row(1)) {
+            assert!((a - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_matches_dense_gradients() {
+        // Compare ∂L/∂x and ∂L/∂w against the expanded dense computation.
+        let (in_dim, out_dim, b) = (6usize, 4usize, 2usize);
+        let m = BlockCirculantMatrix::random(in_dim, out_dim, b, &mut rng()).unwrap();
+        let x = sample_input(2, in_dim);
+        let (y, cache) = m.forward_batch(&x).unwrap();
+        let g = y.clone(); // L = ||y||²/2 → dL/dy = y
+        let (gx, gw) = m.backward_batch(&cache, &g).unwrap();
+
+        // Dense reference: y = x·W, dX = g·Wᵀ.
+        let dense = m.to_dense();
+        let gx_ref = g.matmul(&dense.transpose().unwrap()).unwrap();
+        for (a, v) in gx.as_slice().iter().zip(gx_ref.as_slice()) {
+            assert!((a - v).abs() < 1e-3, "{a} vs {v}");
+        }
+
+        // Weight gradient by finite differences on the defining vectors.
+        let eps = 1e-2f32;
+        let loss = |m: &BlockCirculantMatrix, x: &Tensor| -> f32 {
+            let (y, _) = m.forward_batch(x).unwrap();
+            y.as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        let mut m = m;
+        for idx in 0..gw.len() {
+            let orig = m.weights().as_slice()[idx];
+            m.weights_mut().as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&m, &x);
+            m.weights_mut().as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&m, &x);
+            m.weights_mut().as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gw.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "dw[{idx}]: {num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(BlockCirculantMatrix::zeros(0, 4, 2).is_err());
+        assert!(BlockCirculantMatrix::zeros(4, 0, 2).is_err());
+        assert!(BlockCirculantMatrix::zeros(4, 4, 0).is_err());
+        assert!(
+            BlockCirculantMatrix::from_weights(4, 4, 2, Tensor::zeros(&[1, 2, 2])).is_err()
+        );
+        assert!(
+            BlockCirculantMatrix::from_weights(4, 4, 2, Tensor::zeros(&[2, 2, 2])).is_ok()
+        );
+    }
+
+    #[test]
+    fn forward_batch_validates_input() {
+        let m = BlockCirculantMatrix::zeros(4, 4, 2).unwrap();
+        assert!(m.forward_batch(&Tensor::zeros(&[2, 5])).is_err());
+        assert!(m.forward_batch(&Tensor::zeros(&[4])).is_err());
+        let (_, cache) = m.forward_batch(&Tensor::zeros(&[2, 4])).unwrap();
+        assert!(m.backward_batch(&cache, &Tensor::zeros(&[2, 5])).is_err());
+        assert!(m.backward_batch(&cache, &Tensor::zeros(&[3, 4])).is_err());
+    }
+
+    #[test]
+    fn projection_recovers_exactly_circulant_matrix() {
+        let m = BlockCirculantMatrix::random(8, 6, 2, &mut rng()).unwrap();
+        let dense = m.to_dense();
+        let projected = BlockCirculantMatrix::project_from_dense(&dense, 2).unwrap();
+        for (a, v) in projected
+            .weights()
+            .as_slice()
+            .iter()
+            .zip(m.weights().as_slice())
+        {
+            assert!((a - v).abs() < 1e-5, "{a} vs {v}");
+        }
+    }
+
+    #[test]
+    fn projection_is_least_squares_on_diagonals() {
+        // For a 2×2 single block, entries on each circulant diagonal are
+        // averaged.
+        let dense = Tensor::from_vec(vec![1.0, 2.0, 4.0, 3.0], &[2, 2]).unwrap();
+        // Layout (row=input q, col=output p): W[q][p] = w[(p−q) mod 2]
+        // d=0 diagonal: (0,0)=1 and (1,1)=3 → w[0]=2; d=1: (0,1)=2,(1,0)=4 → w[1]=3.
+        let m = BlockCirculantMatrix::project_from_dense(&dense, 2).unwrap();
+        assert_eq!(m.weights().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn projection_validates_rank() {
+        assert!(BlockCirculantMatrix::project_from_dense(&Tensor::zeros(&[4]), 2).is_err());
+    }
+
+    #[test]
+    fn spectra_shapes() {
+        let m = BlockCirculantMatrix::zeros(8, 4, 4).unwrap();
+        let spec = m.weight_spectra();
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec[0].len(), 2);
+        assert_eq!(spec[0][0].len(), 3); // 4/2 + 1
+    }
+
+    #[test]
+    fn debug_shows_compression() {
+        let m = BlockCirculantMatrix::zeros(64, 64, 16).unwrap();
+        let s = format!("{m:?}");
+        assert!(s.contains("compression"));
+    }
+}

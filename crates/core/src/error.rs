@@ -1,0 +1,70 @@
+//! Error type for the block-circulant layer crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by block-circulant constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CirculantError {
+    /// A dimension is zero where a positive size is required.
+    ZeroDimension(&'static str),
+    /// The weight grid does not match the declared geometry.
+    GridMismatch {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// A vector length does not match the block size.
+    BlockLengthMismatch {
+        /// Expected block size.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CirculantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CirculantError::ZeroDimension(what) => write!(f, "{what} must be positive"),
+            CirculantError::GridMismatch { message } => {
+                write!(f, "weight grid mismatch: {message}")
+            }
+            CirculantError::BlockLengthMismatch { expected, actual } => write!(
+                f,
+                "vector length {actual} does not match block size {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for CirculantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CirculantError::ZeroDimension("block size").to_string(),
+            "block size must be positive"
+        );
+        assert!(CirculantError::GridMismatch {
+            message: "2 vs 3".into()
+        }
+        .to_string()
+        .contains("2 vs 3"));
+        assert!(CirculantError::BlockLengthMismatch {
+            expected: 8,
+            actual: 7
+        }
+        .to_string()
+        .contains("8"));
+    }
+
+    #[test]
+    fn send_sync_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CirculantError>();
+    }
+}

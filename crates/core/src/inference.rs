@@ -1,0 +1,322 @@
+//! Inference-only spectral layer: stores `FFT(wᵢ)` instead of the weight
+//! matrix, exactly as §IV-A prescribes for deployment ("we can simply keep
+//! the FFT result FFT(wᵢ) ... instead of the whole matrix W").
+//!
+//! This is what the deployment pipeline ships to the embedded target: the
+//! forward pass skips the weight-side FFTs entirely, leaving one FFT per
+//! input block, the spectral MACs, and one IFFT per output block.
+
+use crate::circulant::BlockCirculantMatrix;
+use crate::spectral::{SpectralKernel, Spectrum};
+use ffdl_nn::{wire, Layer, NnError, OpCost};
+use ffdl_tensor::Tensor;
+
+/// Frozen block-circulant FC layer holding precomputed weight spectra.
+///
+/// Created from a trained [`CirculantDense`](crate::CirculantDense) (via
+/// its matrix) with [`SpectralDense::from_matrix`]. Training is not
+/// supported: `backward` returns an error, and the layer exposes no
+/// parameters to the optimizer.
+pub struct SpectralDense {
+    in_dim: usize,
+    out_dim: usize,
+    block: usize,
+    kb_in: usize,
+    kb_out: usize,
+    /// `spectra[out_block][in_block]`, each of length `b/2 + 1`.
+    spectra: Vec<Vec<Spectrum>>,
+    bias: Tensor,
+    kernel: SpectralKernel,
+}
+
+impl SpectralDense {
+    /// Freezes a block-circulant matrix and bias into spectral form.
+    pub fn from_matrix(matrix: &BlockCirculantMatrix, bias: Tensor) -> Self {
+        assert_eq!(
+            bias.len(),
+            matrix.out_dim(),
+            "bias length must equal the output dimension"
+        );
+        Self {
+            in_dim: matrix.in_dim(),
+            out_dim: matrix.out_dim(),
+            block: matrix.block(),
+            kb_in: matrix.in_blocks(),
+            kb_out: matrix.out_blocks(),
+            spectra: matrix.weight_spectra(),
+            bias,
+            kernel: SpectralKernel::new(matrix.block()),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Block size.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Stored spectral coefficients (complex values across all blocks).
+    pub fn stored_complex_values(&self) -> usize {
+        self.kb_in * self.kb_out * (self.block / 2 + 1)
+    }
+}
+
+impl Layer for SpectralDense {
+    fn type_tag(&self) -> &'static str {
+        "spectral_dense"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.ndim() != 2 || input.cols() != self.in_dim {
+            return Err(NnError::BadInput {
+                layer: "spectral_dense".into(),
+                message: format!(
+                    "expected [batch, {}], got {:?}",
+                    self.in_dim,
+                    input.shape()
+                ),
+            });
+        }
+        let b = self.block;
+        let batch = input.rows();
+        let mut out = Vec::with_capacity(batch * self.out_dim);
+        for s in 0..batch {
+            let mut padded = vec![0.0f32; self.kb_in * b];
+            padded[..self.in_dim].copy_from_slice(input.row(s));
+            let x_spec: Vec<Spectrum> = (0..self.kb_in)
+                .map(|j| self.kernel.spectrum(&padded[j * b..(j + 1) * b]))
+                .collect();
+            let mut y_padded = vec![0.0f32; self.kb_out * b];
+            for i in 0..self.kb_out {
+                let mut acc = self.kernel.zero_accumulator();
+                for j in 0..self.kb_in {
+                    SpectralKernel::mul_accumulate(&mut acc, &self.spectra[i][j], &x_spec[j]);
+                }
+                y_padded[i * b..(i + 1) * b].copy_from_slice(&self.kernel.inverse(&acc));
+            }
+            for (k, v) in y_padded[..self.out_dim].iter().enumerate() {
+                out.push(v + self.bias.as_slice()[k]);
+            }
+        }
+        Ok(Tensor::from_vec(out, &[batch, self.out_dim])?)
+    }
+
+    fn backward(&mut self, _grad_output: &Tensor) -> Result<Tensor, NnError> {
+        Err(NnError::BadInput {
+            layer: "spectral_dense".into(),
+            message: "inference-only layer does not support backward; train with \
+                      CirculantDense and freeze afterwards"
+                .into(),
+        })
+    }
+
+    fn param_count(&self) -> usize {
+        // Two reals per stored complex bin, plus bias.
+        2 * self.stored_complex_values() + self.out_dim
+    }
+
+    fn logical_param_count(&self) -> usize {
+        self.in_dim * self.out_dim + self.out_dim
+    }
+
+    fn op_cost(&self) -> OpCost {
+        // No weight-side FFTs: input FFTs + spectral MACs + output IFFTs.
+        let b = self.block as u64;
+        let bins = (self.block / 2 + 1) as u64;
+        let kb_in = self.kb_in as u64;
+        let kb_out = self.kb_out as u64;
+        let log_b = (64 - b.leading_zeros() as u64).max(1);
+        let fft_mults = b * log_b;
+        let mults = (kb_in + kb_out) * fft_mults + kb_in * kb_out * bins * 4;
+        OpCost {
+            mults,
+            adds: mults + self.out_dim as u64,
+            nonlin: 0,
+            param_reads: self.param_count() as u64,
+            act_traffic: (self.in_dim + self.out_dim) as u64,
+        }
+    }
+
+    fn config_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for v in [self.in_dim, self.out_dim, self.block] {
+            wire::write_u32(&mut buf, v as u32).expect("vec write is infallible");
+        }
+        buf
+    }
+
+    fn param_tensors(&self) -> Vec<&Tensor> {
+        // Serialized lazily through interleaved re/im; see spectra_tensor.
+        // The bias is the only plain tensor; spectra are encoded in
+        // `load_params`/`spectra_tensor` order as one tensor.
+        Vec::new()
+    }
+
+    fn load_params(&mut self, params: &[Tensor]) -> Result<(), NnError> {
+        if params.len() != 2 {
+            return Err(NnError::ModelFormat(
+                "spectral_dense expects [spectra, bias]".into(),
+            ));
+        }
+        let bins = self.block / 2 + 1;
+        if params[0].shape() != [self.kb_out, self.kb_in, 2 * bins]
+            || params[1].shape() != [self.out_dim]
+        {
+            return Err(NnError::ModelFormat(
+                "spectral_dense parameter shapes do not match".into(),
+            ));
+        }
+        let flat = params[0].as_slice();
+        let mut spectra = Vec::with_capacity(self.kb_out);
+        for i in 0..self.kb_out {
+            let mut row = Vec::with_capacity(self.kb_in);
+            for j in 0..self.kb_in {
+                let base = (i * self.kb_in + j) * 2 * bins;
+                let spec: Spectrum = (0..bins)
+                    .map(|k| ffdl_fft::Complex32::new(flat[base + 2 * k], flat[base + 2 * k + 1]))
+                    .collect();
+                row.push(spec);
+            }
+            spectra.push(row);
+        }
+        self.spectra = spectra;
+        self.bias = params[1].clone();
+        Ok(())
+    }
+}
+
+impl SpectralDense {
+    /// Serializes the spectra to a `[out_blocks, in_blocks, 2·bins]`
+    /// tensor (re/im interleaved) — the on-disk form of "store FFT(w)".
+    pub fn spectra_tensor(&self) -> Tensor {
+        let bins = self.block / 2 + 1;
+        let mut data = Vec::with_capacity(self.kb_out * self.kb_in * 2 * bins);
+        for row in &self.spectra {
+            for spec in row {
+                for c in spec {
+                    data.push(c.re);
+                    data.push(c.im);
+                }
+            }
+        }
+        Tensor::from_vec(data, &[self.kb_out, self.kb_in, 2 * bins])
+            .expect("size by construction")
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+}
+
+/// Reconstructs an (empty) [`SpectralDense`] from its config blob.
+///
+/// # Errors
+///
+/// Returns [`NnError::ModelFormat`]/[`NnError::Io`] on malformed config.
+pub fn spectral_dense_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>, NnError> {
+    let in_dim = wire::read_u32(&mut config)? as usize;
+    let out_dim = wire::read_u32(&mut config)? as usize;
+    let block = wire::read_u32(&mut config)? as usize;
+    let matrix = BlockCirculantMatrix::zeros(in_dim, out_dim, block)
+        .map_err(|e| NnError::ModelFormat(e.to_string()))?;
+    Ok(Box::new(SpectralDense::from_matrix(
+        &matrix,
+        Tensor::zeros(&[out_dim]),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_layer::CirculantDense;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(23)
+    }
+
+    fn input(batch: usize, dim: usize) -> Tensor {
+        Tensor::from_fn(&[batch, dim], |i| ((i * 13 + 1) % 29) as f32 * 0.05 - 0.7)
+    }
+
+    #[test]
+    fn frozen_layer_matches_training_layer() {
+        let mut trained = CirculantDense::new(12, 8, 4, &mut rng()).unwrap();
+        let mut frozen = SpectralDense::from_matrix(trained.matrix(), trained.bias().clone());
+        let x = input(3, 12);
+        let y_train = trained.forward(&x).unwrap();
+        let y_frozen = frozen.forward(&x).unwrap();
+        for (a, v) in y_train.as_slice().iter().zip(y_frozen.as_slice()) {
+            assert!((a - v).abs() < 1e-4, "{a} vs {v}");
+        }
+    }
+
+    #[test]
+    fn backward_is_rejected() {
+        let m = BlockCirculantMatrix::zeros(4, 4, 2).unwrap();
+        let mut layer = SpectralDense::from_matrix(&m, Tensor::zeros(&[4]));
+        assert!(layer.backward(&Tensor::zeros(&[1, 4])).is_err());
+        assert!(layer.parameters().is_empty());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let m = BlockCirculantMatrix::zeros(128, 128, 64).unwrap();
+        let layer = SpectralDense::from_matrix(&m, Tensor::zeros(&[128]));
+        assert_eq!(layer.stored_complex_values(), 2 * 2 * 33);
+        // Still dramatically below the dense 128·128.
+        assert!(layer.param_count() < layer.logical_param_count() / 10);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let m = BlockCirculantMatrix::random(10, 6, 4, &mut rng()).unwrap();
+        let mut layer = SpectralDense::from_matrix(&m, Tensor::from_fn(&[6], |i| i as f32 * 0.1));
+        let mut rebuilt = spectral_dense_from_config(&layer.config_bytes()).unwrap();
+        rebuilt
+            .load_params(&[layer.spectra_tensor(), layer.bias().clone()])
+            .unwrap();
+        let x = input(2, 10);
+        let y1 = layer.forward(&x).unwrap();
+        let y2 = rebuilt.forward(&x).unwrap();
+        for (a, v) in y1.as_slice().iter().zip(y2.as_slice()) {
+            assert!((a - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn load_params_validates() {
+        let m = BlockCirculantMatrix::zeros(8, 4, 4).unwrap();
+        let mut layer = SpectralDense::from_matrix(&m, Tensor::zeros(&[4]));
+        assert!(layer.load_params(&[]).is_err());
+        assert!(layer
+            .load_params(&[Tensor::zeros(&[1, 1, 1]), Tensor::zeros(&[4])])
+            .is_err());
+    }
+
+    #[test]
+    fn forward_validates_input() {
+        let m = BlockCirculantMatrix::zeros(8, 4, 4).unwrap();
+        let mut layer = SpectralDense::from_matrix(&m, Tensor::zeros(&[4]));
+        assert!(layer.forward(&Tensor::zeros(&[2, 7])).is_err());
+    }
+
+    #[test]
+    fn spectral_op_cost_cheaper_than_training_layer() {
+        let mut r = rng();
+        let trained = CirculantDense::new(512, 512, 64, &mut r).unwrap();
+        let frozen = SpectralDense::from_matrix(trained.matrix(), trained.bias().clone());
+        assert!(frozen.op_cost().mults < trained.op_cost().mults);
+    }
+}

@@ -1,0 +1,111 @@
+//! # ffdl-core — block-circulant FFT-based DNN layers
+//!
+//! The primary contribution of *"FFT-Based Deep Learning Deployment in
+//! Embedded Systems"* (Lin et al., DATE 2018), §IV: weight matrices are
+//! constrained to be **block-circulant**, so storage drops from `O(n²)`
+//! to `O(n)` and every matrix–vector product becomes the
+//! *"FFT → component-wise multiplication → IFFT"* kernel, `O(n log n)` —
+//! simultaneous compression and acceleration, for both inference
+//! (Algorithm 1) and training (Algorithm 2).
+//!
+//! - [`BlockCirculantMatrix`] — the structured-matrix algebra: FFT-based
+//!   batched products, gradients, dense expansion, and least-squares
+//!   projection of a pretrained dense matrix onto the circulant structure.
+//! - [`CirculantDense`] — the FC layer (§IV-A), a drop-in replacement for
+//!   `ffdl_nn::Dense` implementing the `Layer` trait.
+//! - [`CirculantConv2d`] — the CONV layer (§IV-B, Eqn. 6) via the Fig. 3
+//!   im2col lowering.
+//! - [`SpectralDense`] — inference-only frozen layer that stores
+//!   `FFT(wᵢ)` instead of weights, as the paper ships to devices.
+//! - [`register_circulant_layers`] — plugs the above into the
+//!   `ffdl_nn::LayerRegistry` model format.
+//!
+//! # Examples
+//!
+//! Compression accounting for the paper's MNIST Arch. 1 hidden layer:
+//!
+//! ```
+//! use ffdl_core::CirculantDense;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let layer = CirculantDense::new(256, 128, 64, &mut rng)?;
+//! // 256·128 = 32768 dense weights stored as 4·2 blocks of 64 values.
+//! assert_eq!(layer.matrix().param_count(), 512);
+//! assert_eq!(layer.matrix().compression_ratio(), 64.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circulant;
+mod conv_layer;
+mod dense_layer;
+mod error;
+mod fft_conv;
+mod inference;
+mod quant;
+mod spectral;
+
+pub use circulant::{BlockCirculantMatrix, ForwardCache};
+pub use conv_layer::{circulant_conv2d_from_config, CirculantConv2d};
+pub use dense_layer::{circulant_dense_from_config, CirculantDense};
+pub use error::CirculantError;
+pub use fft_conv::{fft_conv2d_from_config, FftConv2d};
+pub use inference::{spectral_dense_from_config, SpectralDense};
+pub use quant::{QuantBits, QuantizedSpectralDense, QuantizedSpectrum};
+pub use spectral::{SpectralKernel, Spectrum};
+
+use ffdl_nn::LayerRegistry;
+
+/// Registers the block-circulant layer types (`circulant_dense`,
+/// `circulant_conv2d`, `spectral_dense`) with a model-format registry.
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_nn::LayerRegistry;
+///
+/// let mut registry = LayerRegistry::with_builtin_layers();
+/// ffdl_core::register_circulant_layers(&mut registry);
+/// assert!(registry.builder("circulant_dense").is_some());
+/// ```
+pub fn register_circulant_layers(registry: &mut LayerRegistry) {
+    registry.register("circulant_dense", circulant_dense_from_config);
+    registry.register("circulant_conv2d", circulant_conv2d_from_config);
+    registry.register("spectral_dense", spectral_dense_from_config);
+    registry.register("fft_conv2d", fft_conv2d_from_config);
+}
+
+/// A registry with both the built-in `ffdl-nn` layers and the circulant
+/// layers registered — the one-stop loader for this project's models.
+pub fn full_registry() -> LayerRegistry {
+    let mut r = LayerRegistry::with_builtin_layers();
+    register_circulant_layers(&mut r);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_registry_has_all_tags() {
+        let r = full_registry();
+        for tag in [
+            "dense",
+            "conv2d",
+            "relu",
+            "softmax",
+            "flatten",
+            "maxpool2d",
+            "circulant_dense",
+            "circulant_conv2d",
+            "spectral_dense",
+            "fft_conv2d",
+        ] {
+            assert!(r.builder(tag).is_some(), "missing {tag}");
+        }
+    }
+}

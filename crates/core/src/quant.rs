@@ -1,0 +1,381 @@
+//! Fixed-point quantization of the spectral deployment form — composing
+//! the paper's block-circulant compression with the *weight precision
+//! reduction* line of related work it cites (§II: fixed-point
+//! implementations [14], ultra-low-precision weights [15], [16]).
+//!
+//! The stored `FFT(wᵢ)` spectra are quantized to 8- or 16-bit fixed point
+//! with one power-aware scale per circulant block; inference dequantizes
+//! into `f32` accumulators (the usual embedded deployment scheme). On top
+//! of the block-circulant `n²/b` reduction this shrinks model bytes by a
+//! further 2–4×.
+
+use crate::circulant::BlockCirculantMatrix;
+use crate::spectral::{SpectralKernel, Spectrum};
+use ffdl_fft::Complex32;
+use ffdl_nn::{Layer, NnError, OpCost};
+use ffdl_tensor::Tensor;
+
+/// Quantization width for spectral coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantBits {
+    /// 8-bit signed fixed point (4× smaller than `f32`).
+    Eight,
+    /// 16-bit signed fixed point (2× smaller than `f32`).
+    Sixteen,
+}
+
+impl QuantBits {
+    /// Largest representable magnitude.
+    fn max_level(self) -> f32 {
+        match self {
+            QuantBits::Eight => i8::MAX as f32,
+            QuantBits::Sixteen => i16::MAX as f32,
+        }
+    }
+
+    /// Bytes per real scalar.
+    pub fn bytes_per_value(self) -> usize {
+        match self {
+            QuantBits::Eight => 1,
+            QuantBits::Sixteen => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for QuantBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantBits::Eight => write!(f, "int8"),
+            QuantBits::Sixteen => write!(f, "int16"),
+        }
+    }
+}
+
+/// One quantized half-spectrum: interleaved re/im levels plus the block
+/// scale (`value = level · scale`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedSpectrum {
+    levels: Vec<i16>, // i8 values stored widened; width tracked by `bits`
+    scale: f32,
+    bits: QuantBits,
+}
+
+impl QuantizedSpectrum {
+    /// Quantizes a half spectrum with a symmetric per-block scale.
+    pub fn quantize(spec: &[Complex32], bits: QuantBits) -> Self {
+        let max_abs = spec
+            .iter()
+            .flat_map(|c| [c.re.abs(), c.im.abs()])
+            .fold(0.0f32, f32::max);
+        let scale = if max_abs > 0.0 {
+            max_abs / bits.max_level()
+        } else {
+            1.0
+        };
+        let q = |v: f32| -> i16 {
+            let lvl = (v / scale).round();
+            lvl.clamp(-bits.max_level(), bits.max_level()) as i16
+        };
+        let levels = spec.iter().flat_map(|c| [q(c.re), q(c.im)]).collect();
+        Self { levels, scale, bits }
+    }
+
+    /// Reconstructs the complex spectrum.
+    pub fn dequantize(&self) -> Spectrum {
+        self.levels
+            .chunks_exact(2)
+            .map(|p| Complex32::new(p[0] as f32 * self.scale, p[1] as f32 * self.scale))
+            .collect()
+    }
+
+    /// Number of complex bins.
+    pub fn bins(&self) -> usize {
+        self.levels.len() / 2
+    }
+
+    /// Storage in bytes: levels plus the `f32` scale.
+    pub fn storage_bytes(&self) -> usize {
+        self.levels.len() * self.bits.bytes_per_value() + 4
+    }
+
+    /// Worst-case absolute quantization error per component (half an LSB
+    /// beyond scale/2 due to clamping is impossible with symmetric
+    /// scaling).
+    pub fn max_error(&self) -> f32 {
+        self.scale * 0.5
+    }
+}
+
+/// Inference-only block-circulant FC layer with quantized spectra.
+///
+/// Behaves like [`SpectralDense`](crate::SpectralDense) but stores each
+/// block's `FFT(w)` in fixed point; the forward pass dequantizes into
+/// `f32` accumulators.
+pub struct QuantizedSpectralDense {
+    in_dim: usize,
+    out_dim: usize,
+    block: usize,
+    kb_in: usize,
+    kb_out: usize,
+    spectra: Vec<Vec<QuantizedSpectrum>>,
+    /// Dequantized working copy (built once at construction).
+    dequantized: Vec<Vec<Spectrum>>,
+    bias: Tensor,
+    bits: QuantBits,
+    kernel: SpectralKernel,
+}
+
+impl QuantizedSpectralDense {
+    /// Quantizes a trained block-circulant matrix for deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != matrix.out_dim()`.
+    pub fn from_matrix(matrix: &BlockCirculantMatrix, bias: Tensor, bits: QuantBits) -> Self {
+        assert_eq!(
+            bias.len(),
+            matrix.out_dim(),
+            "bias length must equal the output dimension"
+        );
+        let spectra: Vec<Vec<QuantizedSpectrum>> = matrix
+            .weight_spectra()
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|s| QuantizedSpectrum::quantize(&s, bits))
+                    .collect()
+            })
+            .collect();
+        let dequantized = spectra
+            .iter()
+            .map(|row| row.iter().map(QuantizedSpectrum::dequantize).collect())
+            .collect();
+        Self {
+            in_dim: matrix.in_dim(),
+            out_dim: matrix.out_dim(),
+            block: matrix.block(),
+            kb_in: matrix.in_blocks(),
+            kb_out: matrix.out_blocks(),
+            spectra,
+            dequantized,
+            bias,
+            bits,
+            kernel: SpectralKernel::new(matrix.block()),
+        }
+    }
+
+    /// Quantization width.
+    pub fn bits(&self) -> QuantBits {
+        self.bits
+    }
+
+    /// Total model bytes for this layer's weights (quantized spectra +
+    /// `f32` bias).
+    pub fn storage_bytes(&self) -> usize {
+        self.spectra
+            .iter()
+            .flatten()
+            .map(QuantizedSpectrum::storage_bytes)
+            .sum::<usize>()
+            + self.bias.len() * 4
+    }
+
+    /// Bytes an unquantized [`SpectralDense`](crate::SpectralDense) would
+    /// use for the same geometry.
+    pub fn float_storage_bytes(&self) -> usize {
+        self.kb_in * self.kb_out * (self.block / 2 + 1) * 2 * 4 + self.bias.len() * 4
+    }
+
+    /// Bytes the dense `f32` matrix would use.
+    pub fn dense_storage_bytes(&self) -> usize {
+        (self.in_dim * self.out_dim + self.out_dim) * 4
+    }
+}
+
+impl Layer for QuantizedSpectralDense {
+    fn type_tag(&self) -> &'static str {
+        "quantized_spectral_dense"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.ndim() != 2 || input.cols() != self.in_dim {
+            return Err(NnError::BadInput {
+                layer: "quantized_spectral_dense".into(),
+                message: format!(
+                    "expected [batch, {}], got {:?}",
+                    self.in_dim,
+                    input.shape()
+                ),
+            });
+        }
+        let b = self.block;
+        let batch = input.rows();
+        let mut out = Vec::with_capacity(batch * self.out_dim);
+        for s in 0..batch {
+            let mut padded = vec![0.0f32; self.kb_in * b];
+            padded[..self.in_dim].copy_from_slice(input.row(s));
+            let x_spec: Vec<Spectrum> = (0..self.kb_in)
+                .map(|j| self.kernel.spectrum(&padded[j * b..(j + 1) * b]))
+                .collect();
+            for i in 0..self.kb_out {
+                let mut acc = self.kernel.zero_accumulator();
+                for j in 0..self.kb_in {
+                    SpectralKernel::mul_accumulate(&mut acc, &self.dequantized[i][j], &x_spec[j]);
+                }
+                let block_out = self.kernel.inverse(&acc);
+                let lo = i * b;
+                for (k, v) in block_out.iter().enumerate() {
+                    let idx = lo + k;
+                    if idx < self.out_dim {
+                        out.push(v + self.bias.as_slice()[idx]);
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[batch, self.out_dim])?)
+    }
+
+    fn backward(&mut self, _grad_output: &Tensor) -> Result<Tensor, NnError> {
+        Err(NnError::BadInput {
+            layer: "quantized_spectral_dense".into(),
+            message: "inference-only layer does not support backward".into(),
+        })
+    }
+
+    fn param_count(&self) -> usize {
+        // Quantized levels count as stored values, plus scales and bias.
+        self.kb_in * self.kb_out * ((self.block / 2 + 1) * 2 + 1) + self.out_dim
+    }
+
+    fn logical_param_count(&self) -> usize {
+        self.in_dim * self.out_dim + self.out_dim
+    }
+
+    fn op_cost(&self) -> OpCost {
+        // Same arithmetic as SpectralDense plus one dequantize multiply
+        // per stored level (folded into param handling).
+        let b = self.block as u64;
+        let bins = (self.block / 2 + 1) as u64;
+        let kb_in = self.kb_in as u64;
+        let kb_out = self.kb_out as u64;
+        let log_b = (64 - b.leading_zeros() as u64).max(1);
+        let fft_mults = b * log_b;
+        let mults = (kb_in + kb_out) * fft_mults + kb_in * kb_out * bins * 4;
+        OpCost {
+            mults,
+            adds: mults + self.out_dim as u64,
+            nonlin: 0,
+            // Quantized reads are narrower; scale the count by byte ratio.
+            param_reads: (self.param_count() * self.bits.bytes_per_value() / 4).max(1) as u64,
+            act_traffic: (self.in_dim + self.out_dim) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_layer::CirculantDense;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(61)
+    }
+
+    fn input(batch: usize, dim: usize) -> Tensor {
+        Tensor::from_fn(&[batch, dim], |i| ((i * 7 + 2) % 19) as f32 * 0.1 - 0.9)
+    }
+
+    #[test]
+    fn spectrum_quantize_roundtrip_error_bounded() {
+        let spec: Spectrum = (0..33)
+            .map(|k| Complex32::new((k as f32 * 0.7).sin(), (k as f32 * 0.3).cos()))
+            .collect();
+        for bits in [QuantBits::Eight, QuantBits::Sixteen] {
+            let q = QuantizedSpectrum::quantize(&spec, bits);
+            assert_eq!(q.bins(), 33);
+            let back = q.dequantize();
+            for (a, b) in back.iter().zip(&spec) {
+                assert!(
+                    (a.re - b.re).abs() <= q.max_error() + 1e-6
+                        && (a.im - b.im).abs() <= q.max_error() + 1e-6,
+                    "{bits}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_is_tighter_than_eight_bit() {
+        let spec: Spectrum = (0..16)
+            .map(|k| Complex32::new(k as f32 * 0.21 - 1.0, (k as f32).sqrt()))
+            .collect();
+        let q8 = QuantizedSpectrum::quantize(&spec, QuantBits::Eight);
+        let q16 = QuantizedSpectrum::quantize(&spec, QuantBits::Sixteen);
+        assert!(q16.max_error() < q8.max_error());
+        assert!(q8.storage_bytes() < q16.storage_bytes());
+    }
+
+    #[test]
+    fn zero_spectrum_quantizes_cleanly() {
+        let spec = vec![Complex32::zero(); 8];
+        let q = QuantizedSpectrum::quantize(&spec, QuantBits::Eight);
+        for v in q.dequantize() {
+            assert_eq!(v, Complex32::zero());
+        }
+    }
+
+    #[test]
+    fn quantized_layer_tracks_float_layer() {
+        let mut float_layer = CirculantDense::new(24, 16, 8, &mut rng()).unwrap();
+        let x = input(3, 24);
+        let y_float = float_layer.forward(&x).unwrap();
+
+        for (bits, tol) in [(QuantBits::Sixteen, 1e-3f32), (QuantBits::Eight, 0.15)] {
+            let mut q = QuantizedSpectralDense::from_matrix(
+                float_layer.matrix(),
+                float_layer.bias().clone(),
+                bits,
+            );
+            let y_q = q.forward(&x).unwrap();
+            let scale = 1.0 + y_float.max_abs();
+            for (a, b) in y_q.as_slice().iter().zip(y_float.as_slice()) {
+                assert!((a - b).abs() < tol * scale, "{bits}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn storage_hierarchy() {
+        let m = BlockCirculantMatrix::zeros(256, 128, 64).unwrap();
+        let q8 =
+            QuantizedSpectralDense::from_matrix(&m, Tensor::zeros(&[128]), QuantBits::Eight);
+        let q16 =
+            QuantizedSpectralDense::from_matrix(&m, Tensor::zeros(&[128]), QuantBits::Sixteen);
+        assert!(q8.storage_bytes() < q16.storage_bytes());
+        assert!(q16.storage_bytes() < q16.float_storage_bytes());
+        assert!(q16.float_storage_bytes() < q16.dense_storage_bytes() / 10);
+    }
+
+    #[test]
+    fn inference_only_and_validation() {
+        let m = BlockCirculantMatrix::zeros(8, 4, 4).unwrap();
+        let mut q =
+            QuantizedSpectralDense::from_matrix(&m, Tensor::zeros(&[4]), QuantBits::Eight);
+        assert!(q.backward(&Tensor::zeros(&[1, 4])).is_err());
+        assert!(q.forward(&Tensor::zeros(&[1, 7])).is_err());
+        assert!(q.parameters().is_empty());
+        assert_eq!(q.bits(), QuantBits::Eight);
+        assert_eq!(q.type_tag(), "quantized_spectral_dense");
+    }
+
+    #[test]
+    fn op_cost_param_reads_shrink_with_bits() {
+        let m = BlockCirculantMatrix::zeros(128, 128, 64).unwrap();
+        let q8 = QuantizedSpectralDense::from_matrix(&m, Tensor::zeros(&[128]), QuantBits::Eight);
+        let q16 =
+            QuantizedSpectralDense::from_matrix(&m, Tensor::zeros(&[128]), QuantBits::Sixteen);
+        assert!(q8.op_cost().param_reads < q16.op_cost().param_reads);
+    }
+}

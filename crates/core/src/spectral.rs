@@ -1,0 +1,201 @@
+//! The spectral kernel: half-spectrum FFT plumbing shared by every
+//! block-circulant layer.
+//!
+//! All signals in the paper's layers are real, so the kernel works on the
+//! non-redundant `b/2 + 1` bins and performs the three frequency-domain
+//! primitives of Algorithms 1–2:
+//!
+//! - `acc += FFT(w) ∘ FFT(x)` — forward (circular convolution),
+//! - `acc += FFT(g) ∘ conj(FFT(·))` — both gradients (circular correlation).
+
+use ffdl_fft::{Complex32, RealFft};
+
+/// A half-spectrum vector for a fixed block size.
+pub type Spectrum = Vec<Complex32>;
+
+/// FFT engine for one block size `b`.
+///
+/// Owns the planned real-input transforms; layers create one kernel per
+/// block size and reuse it for every block and every sample, matching the
+/// paper's deployment pattern where the twiddle tables are effectively
+/// constants.
+pub struct SpectralKernel {
+    block: usize,
+    plan: RealFft<f32>,
+}
+
+impl SpectralKernel {
+    /// Builds a kernel for block size `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    pub fn new(block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        Self {
+            block,
+            plan: RealFft::new(block),
+        }
+    }
+
+    /// Block size `b`.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Number of half-spectrum bins, `b/2 + 1`.
+    pub fn bins(&self) -> usize {
+        self.plan.spectrum_len()
+    }
+
+    /// Forward transform of one real block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.block()`.
+    pub fn spectrum(&self, x: &[f32]) -> Spectrum {
+        self.plan.forward(x).expect("block length is fixed")
+    }
+
+    /// Inverse transform back to a real block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.len() != self.bins()`.
+    pub fn inverse(&self, spec: &[Complex32]) -> Vec<f32> {
+        self.plan.inverse(spec).expect("bin count is fixed")
+    }
+
+    /// `acc[k] += a[k] · b[k]` — the component-wise multiplication at the
+    /// centre of the "FFT → ∘ → IFFT" procedure (Fig. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn mul_accumulate(acc: &mut [Complex32], a: &[Complex32], b: &[Complex32]) {
+        assert_eq!(acc.len(), a.len());
+        assert_eq!(acc.len(), b.len());
+        for ((o, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+            *o += x * y;
+        }
+    }
+
+    /// `acc[k] += a[k] · conj(b[k])` — the correlation kernel of the
+    /// backward pass (Algorithm 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn mul_conj_accumulate(acc: &mut [Complex32], a: &[Complex32], b: &[Complex32]) {
+        assert_eq!(acc.len(), a.len());
+        assert_eq!(acc.len(), b.len());
+        for ((o, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+            *o += x * y.conj();
+        }
+    }
+
+    /// A zeroed accumulator of the right length.
+    pub fn zero_accumulator(&self) -> Spectrum {
+        vec![Complex32::zero(); self.bins()]
+    }
+}
+
+impl std::fmt::Debug for SpectralKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpectralKernel")
+            .field("block", &self.block)
+            .field("bins", &self.bins())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffdl_fft::{circular_convolve_direct, circular_correlate_direct};
+
+    fn signal(n: usize, seed: f32) -> Vec<f32> {
+        (0..n).map(|k| (k as f32 * seed).sin() + 0.2).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        for b in [1usize, 2, 3, 8, 11, 64, 121, 128] {
+            let k = SpectralKernel::new(b);
+            let x = signal(b, 0.7);
+            let back = k.inverse(&k.spectrum(&x));
+            for (a, v) in back.iter().zip(&x) {
+                assert!((a - v).abs() < 1e-4, "b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn convolution_via_kernel_matches_direct() {
+        for b in [4usize, 8, 16, 64] {
+            let k = SpectralKernel::new(b);
+            let w = signal(b, 1.3);
+            let x = signal(b, 0.4);
+            let mut acc = k.zero_accumulator();
+            SpectralKernel::mul_accumulate(&mut acc, &k.spectrum(&w), &k.spectrum(&x));
+            let fast = k.inverse(&acc);
+            let slow = circular_convolve_direct(&w, &x);
+            for (a, v) in fast.iter().zip(&slow) {
+                assert!((a - v).abs() < 1e-3, "b={b}: {a} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_via_kernel_matches_direct() {
+        let b = 16;
+        let k = SpectralKernel::new(b);
+        let g = signal(b, 0.9);
+        let x = signal(b, 2.1);
+        let mut acc = k.zero_accumulator();
+        SpectralKernel::mul_conj_accumulate(&mut acc, &k.spectrum(&g), &k.spectrum(&x));
+        let fast = k.inverse(&acc);
+        let slow = circular_correlate_direct(&g, &x);
+        for (a, v) in fast.iter().zip(&slow) {
+            assert!((a - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn accumulation_sums_contributions() {
+        let b = 8;
+        let k = SpectralKernel::new(b);
+        let w1 = signal(b, 0.3);
+        let w2 = signal(b, 1.7);
+        let x = signal(b, 0.8);
+        let mut acc = k.zero_accumulator();
+        SpectralKernel::mul_accumulate(&mut acc, &k.spectrum(&w1), &k.spectrum(&x));
+        SpectralKernel::mul_accumulate(&mut acc, &k.spectrum(&w2), &k.spectrum(&x));
+        let sum = k.inverse(&acc);
+        let mut expected = circular_convolve_direct(&w1, &x);
+        for (e, v) in expected.iter_mut().zip(circular_convolve_direct(&w2, &x)) {
+            *e += v;
+        }
+        for (a, v) in sum.iter().zip(&expected) {
+            assert!((a - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bins_formula() {
+        assert_eq!(SpectralKernel::new(8).bins(), 5);
+        assert_eq!(SpectralKernel::new(7).bins(), 4);
+        assert_eq!(SpectralKernel::new(1).bins(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_block_panics() {
+        let _ = SpectralKernel::new(0);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", SpectralKernel::new(8)).is_empty());
+    }
+}

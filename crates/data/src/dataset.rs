@@ -1,0 +1,345 @@
+//! The labelled [`Dataset`] container and mini-batch iteration.
+
+use crate::error::DataError;
+use ffdl_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled classification dataset: inputs of shape `[N, …]` plus one
+/// class label per sample.
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_data::Dataset;
+/// use ffdl_tensor::Tensor;
+///
+/// let inputs = Tensor::zeros(&[4, 8]);
+/// let ds = Dataset::new(inputs, vec![0, 1, 0, 1], 2)?;
+/// assert_eq!(ds.len(), 4);
+/// let (bx, by) = ds.batch(&[0, 2]);
+/// assert_eq!(bx.shape(), &[2, 8]);
+/// assert_eq!(by, vec![0, 0]);
+/// # Ok::<(), ffdl_data::DataError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    inputs: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating label count and range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] when the label count differs
+    /// from the input count or any label is `≥ num_classes`.
+    pub fn new(inputs: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, DataError> {
+        let n = if inputs.ndim() == 0 {
+            0
+        } else {
+            inputs.shape()[0]
+        };
+        if labels.len() != n {
+            return Err(DataError::Inconsistent(format!(
+                "{} labels for {n} samples",
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::Inconsistent(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Self {
+            inputs,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Per-sample shape (input shape without the leading batch dim).
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.inputs.shape()[1..]
+    }
+
+    /// All inputs, shape `[N, …]`.
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Gathers the samples at `indices` into a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let sample_len: usize = self.sample_shape().iter().product();
+        let mut data = Vec::with_capacity(indices.len() * sample_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            data.extend_from_slice(
+                &self.inputs.as_slice()[i * sample_len..(i + 1) * sample_len],
+            );
+            labels.push(self.labels[i]);
+        }
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(self.sample_shape());
+        (
+            Tensor::from_vec(data, &shape).expect("size by construction"),
+            labels,
+        )
+    }
+
+    /// Sequential mini-batches of at most `batch_size` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> Batches<'_> {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batches {
+            dataset: self,
+            order: (0..self.len()).collect(),
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Shuffled mini-batches (one epoch) using the provided RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn shuffled_batches<R: Rng>(&self, batch_size: usize, rng: &mut R) -> Batches<'_> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        Batches {
+            dataset: self,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Splits into `(first n, rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point {n} beyond dataset");
+        let head: Vec<usize> = (0..n).collect();
+        let tail: Vec<usize> = (n..self.len()).collect();
+        let (hx, hy) = self.batch(&head);
+        let (tx, ty) = self.batch(&tail);
+        (
+            Dataset::new(hx, hy, self.num_classes).expect("consistent by construction"),
+            Dataset::new(tx, ty, self.num_classes).expect("consistent by construction"),
+        )
+    }
+
+    /// Keeps only the first `n` samples (cheap way to scale experiments
+    /// down for tests).
+    pub fn truncated(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        self.split_at(n).0
+    }
+
+    /// Applies a per-sample transform, producing a new dataset (used for
+    /// the bilinear-resize preprocessing of §V-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] when the transform produces
+    /// inconsistent shapes across samples.
+    pub fn map_samples(
+        &self,
+        mut f: impl FnMut(&Tensor) -> Tensor,
+    ) -> Result<Dataset, DataError> {
+        let sample_len: usize = self.sample_shape().iter().product();
+        let mut out: Vec<f32> = Vec::new();
+        let mut out_shape: Option<Vec<usize>> = None;
+        for i in 0..self.len() {
+            let sample = Tensor::from_vec(
+                self.inputs.as_slice()[i * sample_len..(i + 1) * sample_len].to_vec(),
+                self.sample_shape(),
+            )
+            .expect("sample size matches shape");
+            let mapped = f(&sample);
+            match &out_shape {
+                None => out_shape = Some(mapped.shape().to_vec()),
+                Some(s) if s.as_slice() == mapped.shape() => {}
+                Some(s) => {
+                    return Err(DataError::Inconsistent(format!(
+                        "transform produced shape {:?} after {s:?}",
+                        mapped.shape()
+                    )))
+                }
+            }
+            out.extend_from_slice(mapped.as_slice());
+        }
+        let mut shape = vec![self.len()];
+        shape.extend(out_shape.unwrap_or_default());
+        let inputs = Tensor::from_vec(out, &shape)
+            .map_err(|e| DataError::Inconsistent(e.to_string()))?;
+        Dataset::new(inputs, self.labels.clone(), self.num_classes)
+    }
+}
+
+/// Iterator over mini-batches; see [`Dataset::batches`].
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.dataset.batch(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let inputs = Tensor::from_fn(&[6, 3], |i| i as f32);
+        Dataset::new(inputs, vec![0, 1, 2, 0, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let t = Tensor::zeros(&[3, 2]);
+        assert!(Dataset::new(t.clone(), vec![0, 1], 2).is_err());
+        assert!(Dataset::new(t.clone(), vec![0, 1, 5], 2).is_err());
+        assert!(Dataset::new(t, vec![0, 1, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn batch_gathers_rows() {
+        let ds = toy();
+        let (x, y) = ds.batch(&[1, 4]);
+        assert_eq!(x.shape(), &[2, 3]);
+        assert_eq!(x.as_slice(), &[3.0, 4.0, 5.0, 12.0, 13.0, 14.0]);
+        assert_eq!(y, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_bounds_checked() {
+        let _ = toy().batch(&[6]);
+    }
+
+    #[test]
+    fn sequential_batches_cover_everything() {
+        let ds = toy();
+        let collected: Vec<usize> = ds.batches(4).flat_map(|(_, y)| y).collect();
+        assert_eq!(collected.len(), 6);
+        let sizes: Vec<usize> = ds.batches(4).map(|(x, _)| x.shape()[0]).collect();
+        assert_eq!(sizes, vec![4, 2]);
+    }
+
+    #[test]
+    fn shuffled_batches_are_a_permutation() {
+        let ds = toy();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen: Vec<f32> = ds
+            .shuffled_batches(2, &mut rng)
+            .flat_map(|(x, _)| x.as_slice().to_vec())
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f32> = (0..18).map(|i| i as f32).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn split_and_truncate() {
+        let ds = toy();
+        let (a, b) = ds.split_at(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.labels()[0], 2);
+        assert_eq!(ds.truncated(100).len(), 6);
+        assert_eq!(ds.truncated(1).len(), 1);
+    }
+
+    #[test]
+    fn map_samples_resizes_shape() {
+        let ds = toy();
+        let doubled = ds
+            .map_samples(|s| {
+                let mut v = s.as_slice().to_vec();
+                v.extend_from_slice(s.as_slice());
+                Tensor::from_vec(v, &[6]).unwrap()
+            })
+            .unwrap();
+        assert_eq!(doubled.sample_shape(), &[6]);
+        assert_eq!(doubled.len(), 6);
+        assert_eq!(doubled.labels(), ds.labels());
+    }
+
+    #[test]
+    fn map_samples_detects_inconsistent_transform() {
+        let ds = toy();
+        let mut flip = false;
+        let res = ds.map_samples(|s| {
+            flip = !flip;
+            if flip {
+                s.clone()
+            } else {
+                Tensor::zeros(&[4])
+            }
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new(Tensor::zeros(&[0, 3]), vec![], 2).unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(ds.batches(2).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let _ = toy().batches(0);
+    }
+}

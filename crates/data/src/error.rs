@@ -1,0 +1,56 @@
+//! Error type for dataset loading and generation.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors reported by dataset constructors, loaders and transforms.
+#[derive(Debug)]
+pub enum DataError {
+    /// Inputs and labels disagree (count, class range, shape).
+    Inconsistent(String),
+    /// An IDX file is malformed.
+    IdxFormat(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Inconsistent(msg) => write!(f, "inconsistent dataset: {msg}"),
+            DataError::IdxFormat(msg) => write!(f, "malformed idx file: {msg}"),
+            DataError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(DataError::Inconsistent("x".into()).to_string().contains("x"));
+        assert!(DataError::IdxFormat("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        let e: DataError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,245 @@
+//! IDX file format (the container real MNIST ships in, per LeCun's
+//! `yann.lecun.com/exdb/mnist` spec): big-endian magic with type/rank,
+//! dimension sizes, then raw data.
+//!
+//! With a parser and writer pair, the repository can consume genuine
+//! MNIST files when present and also round-trip its synthetic datasets
+//! through the exact on-disk format the paper's pipeline would read.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use ffdl_tensor::Tensor;
+use std::io::{Read, Write};
+
+const TYPE_U8: u8 = 0x08;
+
+fn read_u32_be<R: Read>(r: &mut R) -> Result<u32, DataError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_be_bytes(buf))
+}
+
+/// Parses an IDX file of unsigned bytes into a tensor, scaling values to
+/// `[0, 1]` (the standard MNIST normalization).
+///
+/// A `&mut` reference can be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns [`DataError::IdxFormat`] on a bad magic number, unsupported
+/// element type, or absurd dimensions, and [`DataError::Io`] on truncated
+/// input.
+pub fn read_idx<R: Read>(mut reader: R) -> Result<Tensor, DataError> {
+    let magic = read_u32_be(&mut reader)?;
+    let ty = ((magic >> 8) & 0xFF) as u8;
+    let rank = (magic & 0xFF) as usize;
+    if magic >> 16 != 0 {
+        return Err(DataError::IdxFormat(format!(
+            "bad magic 0x{magic:08X}: first two bytes must be zero"
+        )));
+    }
+    if ty != TYPE_U8 {
+        return Err(DataError::IdxFormat(format!(
+            "unsupported element type 0x{ty:02X} (only unsigned byte 0x08)"
+        )));
+    }
+    if rank == 0 || rank > 4 {
+        return Err(DataError::IdxFormat(format!("unsupported rank {rank}")));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(read_u32_be(&mut reader)? as usize);
+    }
+    let n: usize = shape.iter().product();
+    if n > 1 << 30 {
+        return Err(DataError::IdxFormat(format!(
+            "element count {n} exceeds sanity bound"
+        )));
+    }
+    let mut bytes = vec![0u8; n];
+    reader.read_exact(&mut bytes)?;
+    let data: Vec<f32> = bytes.into_iter().map(|b| b as f32 / 255.0).collect();
+    Tensor::from_vec(data, &shape).map_err(|e| DataError::IdxFormat(e.to_string()))
+}
+
+/// Writes a tensor as an IDX file of unsigned bytes, mapping `[0, 1]`
+/// float intensities back to `0..=255` (values are clamped).
+///
+/// A `&mut` reference can be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`DataError::IdxFormat`] for tensors of rank 0 or > 4, and
+/// [`DataError::Io`] on write failure.
+pub fn write_idx<W: Write>(tensor: &Tensor, mut writer: W) -> Result<(), DataError> {
+    let rank = tensor.ndim();
+    if rank == 0 || rank > 4 {
+        return Err(DataError::IdxFormat(format!(
+            "idx supports rank 1–4, got {rank}"
+        )));
+    }
+    let magic: u32 = ((TYPE_U8 as u32) << 8) | rank as u32;
+    writer.write_all(&magic.to_be_bytes())?;
+    for &d in tensor.shape() {
+        writer.write_all(&(d as u32).to_be_bytes())?;
+    }
+    for &v in tensor.as_slice() {
+        let byte = (v.clamp(0.0, 1.0) * 255.0).round() as u8;
+        writer.write_all(&[byte])?;
+    }
+    Ok(())
+}
+
+/// Loads a labelled dataset from a pair of IDX buffers (images + labels),
+/// e.g. `train-images-idx3-ubyte` / `train-labels-idx1-ubyte`.
+///
+/// # Errors
+///
+/// Returns [`DataError`] variants when either file is malformed or the
+/// counts disagree.
+pub fn read_idx_dataset<R1: Read, R2: Read>(
+    images: R1,
+    labels: R2,
+    num_classes: usize,
+) -> Result<Dataset, DataError> {
+    let images = read_idx(images)?;
+    let label_tensor = read_idx(labels)?;
+    if label_tensor.ndim() != 1 {
+        return Err(DataError::IdxFormat(format!(
+            "label file must be rank 1, got {:?}",
+            label_tensor.shape()
+        )));
+    }
+    // Labels were scaled by 1/255 on read; undo to recover class indices.
+    let labels: Vec<usize> = label_tensor
+        .as_slice()
+        .iter()
+        .map(|&v| (v * 255.0).round() as usize)
+        .collect();
+    Dataset::new(images, labels, num_classes)
+}
+
+/// Writes a dataset as an IDX image/label buffer pair.
+///
+/// # Errors
+///
+/// Returns [`DataError`] variants on unsupported shapes or I/O failure.
+pub fn write_idx_dataset<W1: Write, W2: Write>(
+    dataset: &Dataset,
+    images: W1,
+    labels: W2,
+) -> Result<(), DataError> {
+    write_idx(dataset.inputs(), images)?;
+    let label_data: Vec<f32> = dataset
+        .labels()
+        .iter()
+        .map(|&l| l as f32 / 255.0)
+        .collect();
+    let label_tensor = Tensor::from_vec(label_data, &[dataset.len()])
+        .map_err(|e| DataError::IdxFormat(e.to_string()))?;
+    write_idx(&label_tensor, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth_mnist::{synthetic_mnist, MnistConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::io::Cursor;
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::from_fn(&[3, 4, 5], |i| (i % 256) as f32 / 255.0);
+        let mut buf = Vec::new();
+        write_idx(&t, &mut buf).unwrap();
+        let back = read_idx(Cursor::new(buf)).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn header_layout_matches_spec() {
+        // Rank-3 u8 file: magic 0x00000803 — exactly MNIST's image magic.
+        let t = Tensor::zeros(&[2, 3, 3]);
+        let mut buf = Vec::new();
+        write_idx(&t, &mut buf).unwrap();
+        assert_eq!(&buf[..4], &[0x00, 0x00, 0x08, 0x03]);
+        assert_eq!(&buf[4..8], &[0, 0, 0, 2]);
+        assert_eq!(buf.len(), 4 + 3 * 4 + 18);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_type() {
+        let bad = vec![0xFFu8, 0x00, 0x08, 0x01, 0, 0, 0, 0];
+        assert!(matches!(
+            read_idx(Cursor::new(bad)),
+            Err(DataError::IdxFormat(_))
+        ));
+        let bad_type = vec![0x00u8, 0x00, 0x0D, 0x01, 0, 0, 0, 0];
+        assert!(matches!(
+            read_idx(Cursor::new(bad_type)),
+            Err(DataError::IdxFormat(_))
+        ));
+        let bad_rank = vec![0x00u8, 0x00, 0x08, 0x07];
+        assert!(matches!(
+            read_idx(Cursor::new(bad_rank)),
+            Err(DataError::IdxFormat(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_data_is_io_error() {
+        let t = Tensor::zeros(&[4, 4]);
+        let mut buf = Vec::new();
+        write_idx(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_idx(Cursor::new(buf)), Err(DataError::Io(_))));
+    }
+
+    #[test]
+    fn dataset_roundtrip_preserves_labels() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ds = synthetic_mnist(12, &MnistConfig::default(), &mut rng).unwrap();
+        let mut img_buf = Vec::new();
+        let mut lbl_buf = Vec::new();
+        write_idx_dataset(&ds, &mut img_buf, &mut lbl_buf).unwrap();
+        let back = read_idx_dataset(Cursor::new(img_buf), Cursor::new(lbl_buf), 10).unwrap();
+        assert_eq!(back.len(), 12);
+        assert_eq!(back.labels(), ds.labels());
+        assert_eq!(back.sample_shape(), ds.sample_shape());
+        // 8-bit quantization bounds the pixel error.
+        for (a, b) in back
+            .inputs()
+            .as_slice()
+            .iter()
+            .zip(ds.inputs().as_slice())
+        {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn label_file_must_be_rank1() {
+        let images = {
+            let mut b = Vec::new();
+            write_idx(&Tensor::zeros(&[2, 3, 3]), &mut b).unwrap();
+            b
+        };
+        let bad_labels = {
+            let mut b = Vec::new();
+            write_idx(&Tensor::zeros(&[2, 1]), &mut b).unwrap();
+            b
+        };
+        assert!(read_idx_dataset(Cursor::new(images), Cursor::new(bad_labels), 10).is_err());
+    }
+
+    #[test]
+    fn write_rejects_rank0_and_rank5() {
+        let mut sink = Vec::new();
+        assert!(write_idx(&Tensor::zeros(&[]), &mut sink).is_err());
+        assert!(write_idx(&Tensor::zeros(&[1, 1, 1, 1, 1]), &mut sink).is_err());
+    }
+}

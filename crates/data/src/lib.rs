@@ -1,0 +1,46 @@
+//! # ffdl-data — datasets and preprocessing
+//!
+//! Data substrate for the reproduction of *"FFT-Based Deep Learning
+//! Deployment in Embedded Systems"* (Lin et al., DATE 2018):
+//!
+//! - [`Dataset`]: labelled samples with batching, shuffling, splitting and
+//!   per-sample transforms,
+//! - [`synthetic_mnist`] / [`synthetic_cifar`]: deterministic synthetic
+//!   stand-ins for the paper's MNIST and CIFAR-10 workloads (see
+//!   DESIGN.md §2 for the substitution argument),
+//! - [`read_idx`] / [`write_idx`]: the IDX container real MNIST ships in,
+//!   so genuine files are usable when present,
+//! - [`mnist_preprocess`]: the §V-B bilinear-resize pipeline producing the
+//!   256-dim (16×16) and 121-dim (11×11) input vectors of Arch. 1/2.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffdl_data::{mnist_preprocess, synthetic_mnist, MnistConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let raw = synthetic_mnist(100, &MnistConfig::default(), &mut rng)?;
+//! let arch1_inputs = mnist_preprocess(&raw, 16)?; // 256 features
+//! assert_eq!(arch1_inputs.sample_shape(), &[256]);
+//! # Ok::<(), ffdl_data::DataError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod idx;
+mod pipeline;
+mod synth_cifar;
+mod synth_mnist;
+
+pub use dataset::{Batches, Dataset};
+pub use error::DataError;
+pub use idx::{read_idx, read_idx_dataset, write_idx, write_idx_dataset};
+pub use pipeline::{
+    flatten_samples, mnist_preprocess, reshape_samples, resize_images, standardize,
+};
+pub use synth_cifar::{synthetic_cifar, CifarConfig, CIFAR_CHANNELS, CIFAR_SIDE};
+pub use synth_mnist::{synthetic_mnist, MnistConfig, MNIST_SIDE};

@@ -1,0 +1,220 @@
+//! Preprocessing pipeline of §V-B: bilinear resize of the MNIST images to
+//! the network's input resolution (16×16 for Arch. 1's 256 inputs, 11×11
+//! for Arch. 2's 121 inputs), flattening, and normalization.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use ffdl_tensor::bilinear_resize;
+#[cfg(test)]
+use ffdl_tensor::Tensor;
+
+/// Resizes every image in a dataset of `[H, W]` or `[C, H, W]` samples to
+/// `side × side` with the bilinear transformation the paper uses.
+///
+/// # Errors
+///
+/// Returns [`DataError::Inconsistent`] when samples are not image-shaped.
+pub fn resize_images(dataset: &Dataset, side: usize) -> Result<Dataset, DataError> {
+    let rank = dataset.sample_shape().len();
+    if !(rank == 2 || rank == 3) {
+        return Err(DataError::Inconsistent(format!(
+            "resize expects [H, W] or [C, H, W] samples, got {:?}",
+            dataset.sample_shape()
+        )));
+    }
+    dataset.map_samples(|img| {
+        bilinear_resize(img, side, side).expect("validated image rank and non-zero size")
+    })
+}
+
+/// Flattens every sample to a rank-1 feature vector (the FC input form).
+///
+/// # Errors
+///
+/// Returns [`DataError::Inconsistent`] if the dataset is malformed.
+pub fn flatten_samples(dataset: &Dataset) -> Result<Dataset, DataError> {
+    dataset.map_samples(|s| {
+        let n = s.len();
+        s.reshape(&[n]).expect("element count is unchanged")
+    })
+}
+
+/// Standardizes inputs to zero mean and unit variance, computed over the
+/// whole dataset (returns the dataset unchanged when the variance
+/// vanishes).
+///
+/// # Errors
+///
+/// Returns [`DataError::Inconsistent`] if the dataset is malformed.
+pub fn standardize(dataset: &Dataset) -> Result<Dataset, DataError> {
+    let data = dataset.inputs().as_slice();
+    if data.is_empty() {
+        return Ok(dataset.clone());
+    }
+    let mean = data.iter().sum::<f32>() / data.len() as f32;
+    let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / data.len() as f32;
+    if var <= f32::EPSILON {
+        return Ok(dataset.clone());
+    }
+    let std = var.sqrt();
+    dataset.map_samples(|s| s.map(|v| (v - mean) / std))
+}
+
+/// The full MNIST preprocessing of §V-B: bilinear resize to `side×side`,
+/// flatten to `side²` features, standardize.
+///
+/// `side = 16` reproduces Arch. 1's 256-neuron input layer;
+/// `side = 11` reproduces Arch. 2's 121-neuron input layer.
+///
+/// # Errors
+///
+/// Returns [`DataError`] variants on malformed datasets.
+pub fn mnist_preprocess(dataset: &Dataset, side: usize) -> Result<Dataset, DataError> {
+    standardize(&flatten_samples(&resize_images(dataset, side)?)?)
+}
+
+/// Reshapes flat `[C·H·W]` samples back to `[C, H, W]` images (for CONV
+/// input).
+///
+/// # Errors
+///
+/// Returns [`DataError::Inconsistent`] when the element count does not
+/// factor as `c·h·w`.
+pub fn reshape_samples(
+    dataset: &Dataset,
+    shape: &[usize],
+) -> Result<Dataset, DataError> {
+    let expected: usize = shape.iter().product();
+    let actual: usize = dataset.sample_shape().iter().product();
+    if expected != actual {
+        return Err(DataError::Inconsistent(format!(
+            "cannot reshape {actual}-element samples to {shape:?}"
+        )));
+    }
+    let shape = shape.to_vec();
+    dataset.map_samples(move |s| s.reshape(&shape).expect("element count checked"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth_cifar::{synthetic_cifar, CifarConfig};
+    use crate::synth_mnist::{synthetic_mnist, MnistConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mnist(n: usize) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(8);
+        synthetic_mnist(n, &MnistConfig::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn resize_to_arch1_and_arch2_inputs() {
+        let ds = mnist(5);
+        let a1 = resize_images(&ds, 16).unwrap();
+        assert_eq!(a1.sample_shape(), &[16, 16]);
+        let a2 = resize_images(&ds, 11).unwrap();
+        assert_eq!(a2.sample_shape(), &[11, 11]);
+    }
+
+    #[test]
+    fn resize_multichannel() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let ds = synthetic_cifar(3, &CifarConfig::default(), &mut rng).unwrap();
+        let r = resize_images(&ds, 16).unwrap();
+        assert_eq!(r.sample_shape(), &[3, 16, 16]);
+    }
+
+    #[test]
+    fn resize_rejects_flat_samples() {
+        let flat = flatten_samples(&mnist(2)).unwrap();
+        assert!(resize_images(&flat, 16).is_err());
+    }
+
+    #[test]
+    fn flatten_shapes() {
+        let ds = mnist(3);
+        let flat = flatten_samples(&ds).unwrap();
+        assert_eq!(flat.sample_shape(), &[784]);
+        assert_eq!(flat.labels(), ds.labels());
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let ds = flatten_samples(&mnist(10)).unwrap();
+        let std = standardize(&ds).unwrap();
+        let data = std.inputs().as_slice();
+        let mean = data.iter().sum::<f32>() / data.len() as f32;
+        let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / data.len() as f32;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-2, "var {var}");
+    }
+
+    #[test]
+    fn standardize_constant_dataset_is_noop() {
+        let ds = Dataset::new(Tensor::filled(&[3, 4], 2.0), vec![0, 0, 0], 1).unwrap();
+        let out = standardize(&ds).unwrap();
+        assert_eq!(out.inputs().as_slice(), ds.inputs().as_slice());
+    }
+
+    #[test]
+    fn full_mnist_preprocess() {
+        let ds = mnist(4);
+        let p16 = mnist_preprocess(&ds, 16).unwrap();
+        assert_eq!(p16.sample_shape(), &[256]);
+        let p11 = mnist_preprocess(&ds, 11).unwrap();
+        assert_eq!(p11.sample_shape(), &[121]);
+    }
+
+    #[test]
+    fn reshape_samples_roundtrip() {
+        let ds = mnist(2);
+        let flat = flatten_samples(&ds).unwrap();
+        let back = reshape_samples(&flat, &[1, 28, 28]).unwrap();
+        assert_eq!(back.sample_shape(), &[1, 28, 28]);
+        assert_eq!(back.inputs().as_slice(), ds.inputs().as_slice());
+        assert!(reshape_samples(&flat, &[2, 28, 28]).is_err());
+    }
+
+    #[test]
+    fn preprocessing_preserves_class_information() {
+        // A nearest-centroid classifier on the preprocessed features must
+        // beat chance by a wide margin — the resize keeps classes apart.
+        let train = mnist_preprocess(&mnist(200), 16).unwrap();
+        let test = mnist_preprocess(&mnist(50), 16).unwrap();
+        let dim = 256;
+        let mut centroids = vec![vec![0.0f32; dim]; 10];
+        let mut counts = [0usize; 10];
+        for i in 0..train.len() {
+            let label = train.labels()[i];
+            counts[label] += 1;
+            for (c, &v) in centroids[label]
+                .iter_mut()
+                .zip(&train.inputs().as_slice()[i * dim..(i + 1) * dim])
+            {
+                *c += v;
+            }
+        }
+        for (c, &n) in centroids.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= n.max(1) as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..test.len() {
+            let x = &test.inputs().as_slice()[i * dim..(i + 1) * dim];
+            let best = (0..10)
+                .min_by(|&a, &b| {
+                    let da: f32 = centroids[a].iter().zip(x).map(|(c, v)| (c - v).powi(2)).sum();
+                    let db: f32 = centroids[b].iter().zip(x).map(|(c, v)| (c - v).powi(2)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == test.labels()[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / test.len() as f32;
+        assert!(acc > 0.6, "nearest-centroid accuracy only {acc}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Synthetic CIFAR-10-like dataset: 32×32 RGB images in ten classes.
+//!
+//! Substitution note (DESIGN.md §2): real CIFAR-10 is not available
+//! offline. Each class is a procedural texture with a class-specific
+//! colour palette, sinusoidal texture frequency and orientation, plus a
+//! class-dependent geometric blob; per-sample jitter (phase, blob
+//! position, noise) keeps the task non-trivial. What the paper measures —
+//! runtime per image for Arch. 3 and the relative accuracy of the
+//! compressed model — depends on the 3×32×32 input geometry, not on the
+//! photographic content.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use ffdl_tensor::Tensor;
+use rand::Rng;
+
+/// Image side of the generated images (matches CIFAR-10).
+pub const CIFAR_SIDE: usize = 32;
+/// Colour channels.
+pub const CIFAR_CHANNELS: usize = 3;
+
+/// Per-class signature: base RGB colour, texture frequency, texture
+/// orientation (radians), blob kind (0 disc, 1 square, 2 cross).
+struct ClassSpec {
+    color: [f32; 3],
+    freq: f32,
+    angle: f32,
+    blob: u8,
+}
+
+fn class_spec(class: usize) -> ClassSpec {
+    debug_assert!(class < 10);
+    const COLORS: [[f32; 3]; 10] = [
+        [0.9, 0.2, 0.2],
+        [0.2, 0.9, 0.2],
+        [0.2, 0.3, 0.9],
+        [0.9, 0.9, 0.2],
+        [0.8, 0.3, 0.8],
+        [0.2, 0.9, 0.9],
+        [0.9, 0.6, 0.2],
+        [0.5, 0.5, 0.9],
+        [0.6, 0.9, 0.5],
+        [0.7, 0.7, 0.7],
+    ];
+    ClassSpec {
+        color: COLORS[class],
+        freq: 0.25 + 0.18 * (class % 5) as f32,
+        angle: (class as f32) * std::f32::consts::PI / 10.0,
+        blob: (class % 3) as u8,
+    }
+}
+
+/// Configuration for the synthetic CIFAR generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CifarConfig {
+    /// Additive noise standard deviation.
+    pub noise: f32,
+    /// Blob radius in pixels.
+    pub blob_radius: i32,
+}
+
+impl Default for CifarConfig {
+    fn default() -> Self {
+        Self {
+            noise: 0.12,
+            blob_radius: 6,
+        }
+    }
+}
+
+fn render_image<R: Rng>(class: usize, cfg: &CifarConfig, rng: &mut R) -> Vec<f32> {
+    let spec = class_spec(class);
+    let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    let cx = rng.gen_range(cfg.blob_radius..(CIFAR_SIDE as i32 - cfg.blob_radius));
+    let cy = rng.gen_range(cfg.blob_radius..(CIFAR_SIDE as i32 - cfg.blob_radius));
+    let (sin_a, cos_a) = spec.angle.sin_cos();
+
+    let mut img = vec![0.0f32; CIFAR_CHANNELS * CIFAR_SIDE * CIFAR_SIDE];
+    for y in 0..CIFAR_SIDE {
+        for x in 0..CIFAR_SIDE {
+            // Oriented sinusoidal texture in [0, 1].
+            let u = cos_a * x as f32 + sin_a * y as f32;
+            let tex = 0.5 + 0.5 * (spec.freq * u + phase).sin();
+
+            // Class-shaped blob mask.
+            let dx = x as i32 - cx;
+            let dy = y as i32 - cy;
+            let r = cfg.blob_radius;
+            let inside = match spec.blob {
+                0 => dx * dx + dy * dy <= r * r,
+                1 => dx.abs() <= r && dy.abs() <= r,
+                _ => dx.abs() <= 1 && dy.abs() <= r || dy.abs() <= 1 && dx.abs() <= r,
+            };
+            let blob = if inside { 0.35 } else { 0.0 };
+
+            for c in 0..CIFAR_CHANNELS {
+                let base = spec.color[c] * (0.45 + 0.45 * tex) + blob;
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                img[c * CIFAR_SIDE * CIFAR_SIDE + y * CIFAR_SIDE + x] =
+                    (base + cfg.noise * z).clamp(0.0, 1.0);
+            }
+        }
+    }
+    img
+}
+
+/// Generates a synthetic CIFAR-10-like dataset of `n` samples with
+/// balanced cyclic labels, shaped `[n, 3, 32, 32]`.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` mirrors the other dataset
+/// constructors.
+pub fn synthetic_cifar<R: Rng>(
+    n: usize,
+    cfg: &CifarConfig,
+    rng: &mut R,
+) -> Result<Dataset, DataError> {
+    let plane = CIFAR_CHANNELS * CIFAR_SIDE * CIFAR_SIDE;
+    let mut data = Vec::with_capacity(n * plane);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 10;
+        data.extend(render_image(class, cfg, rng));
+        labels.push(class);
+    }
+    let inputs = Tensor::from_vec(data, &[n, CIFAR_CHANNELS, CIFAR_SIDE, CIFAR_SIDE])
+        .expect("size by construction");
+    Dataset::new(inputs, labels, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(4242)
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let ds = synthetic_cifar(23, &CifarConfig::default(), &mut rng()).unwrap();
+        assert_eq!(ds.len(), 23);
+        assert_eq!(ds.sample_shape(), &[3, 32, 32]);
+        assert_eq!(ds.num_classes(), 10);
+        assert_eq!(ds.labels()[12], 2);
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let ds = synthetic_cifar(10, &CifarConfig::default(), &mut rng()).unwrap();
+        for &v in ds.inputs().as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn classes_have_distinct_mean_colors() {
+        let cfg = CifarConfig {
+            noise: 0.0,
+            blob_radius: 4,
+        };
+        let mut r = rng();
+        let mut means = Vec::new();
+        for class in 0..10 {
+            let img = render_image(class, &cfg, &mut r);
+            let plane = CIFAR_SIDE * CIFAR_SIDE;
+            let mean: Vec<f32> = (0..3)
+                .map(|c| img[c * plane..(c + 1) * plane].iter().sum::<f32>() / plane as f32)
+                .collect();
+            means.push(mean);
+        }
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let d: f32 = means[a]
+                    .iter()
+                    .zip(&means[b])
+                    .map(|(x, y)| (x - y).abs())
+                    .sum();
+                assert!(d > 0.02, "classes {a} and {b} mean colors too close: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = synthetic_cifar(6, &CifarConfig::default(), &mut rng()).unwrap();
+        let b = synthetic_cifar(6, &CifarConfig::default(), &mut rng()).unwrap();
+        assert_eq!(a.inputs().as_slice(), b.inputs().as_slice());
+    }
+
+    #[test]
+    fn samples_of_same_class_vary() {
+        let ds = synthetic_cifar(20, &CifarConfig::default(), &mut rng()).unwrap();
+        let (x0, _) = ds.batch(&[0]);
+        let (x10, _) = ds.batch(&[10]);
+        assert_ne!(x0.as_slice(), x10.as_slice());
+    }
+}

@@ -1,0 +1,242 @@
+//! The inference engine — Fig. 4's fourth module ("performs inference for
+//! predicting labels"): runs predictions, reports per-image core runtime
+//! (the quantity of Tables II/III) and projects it onto the modelled
+//! embedded platforms.
+
+use crate::error::DeployError;
+use ffdl_nn::{softmax_rows, Network};
+use ffdl_platform::{measure_inference_us, RuntimeModel, Timing};
+use ffdl_tensor::Tensor;
+
+/// A single prediction: the argmax class and the class probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted class index.
+    pub label: usize,
+    /// Softmax probabilities per class.
+    pub probabilities: Vec<f32>,
+}
+
+/// Result of a timed evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationReport {
+    /// Number of samples evaluated.
+    pub samples: usize,
+    /// Classification accuracy in `[0, 1]`, when labels were provided.
+    pub accuracy: Option<f32>,
+    /// Host wall-clock core runtime per image.
+    pub host_timing: Timing,
+    /// Model-projected per-image runtimes, one per supplied
+    /// [`RuntimeModel`], in the same order.
+    pub projected_us: Vec<f64>,
+}
+
+/// Inference engine wrapping a loaded network.
+pub struct InferenceEngine {
+    network: Network,
+}
+
+impl InferenceEngine {
+    /// Wraps a (typically parameter-loaded) network.
+    pub fn new(network: Network) -> Self {
+        Self { network }
+    }
+
+    /// Borrow the underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access (e.g. for continued training).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Consumes the engine, returning the network.
+    pub fn into_network(self) -> Network {
+        self.network
+    }
+
+    /// Predicts classes and probabilities for a `[batch, …]` input.
+    ///
+    /// If the network does not end in a softmax layer, probabilities are
+    /// derived by applying softmax to the final logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict(&mut self, inputs: &Tensor) -> Result<Vec<Prediction>, DeployError> {
+        let out = self.network.forward(inputs)?;
+        if out.ndim() != 2 {
+            return Err(DeployError::Nn(ffdl_nn::NnError::BadInput {
+                layer: "inference_engine".into(),
+                message: format!("expected [batch, classes] output, got {:?}", out.shape()),
+            }));
+        }
+        let ends_with_softmax = self
+            .network
+            .layers()
+            .last()
+            .map(|l| l.type_tag() == "softmax")
+            .unwrap_or(false);
+        let probs = if ends_with_softmax {
+            out
+        } else {
+            softmax_rows(&out)?
+        };
+        Ok((0..probs.rows())
+            .map(|r| {
+                let row = probs.row(r);
+                let label = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                Prediction {
+                    label,
+                    probabilities: row.to_vec(),
+                }
+            })
+            .collect())
+    }
+
+    /// Runs a full timed evaluation: accuracy (when labels are given),
+    /// host per-image core runtime, and per-platform projections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors and label-count mismatches.
+    pub fn evaluate(
+        &mut self,
+        inputs: &Tensor,
+        labels: Option<&[usize]>,
+        models: &[RuntimeModel],
+        warmup: usize,
+        reps: usize,
+    ) -> Result<EvaluationReport, DeployError> {
+        let preds = self.predict(inputs)?;
+        let accuracy = match labels {
+            Some(l) => {
+                if l.len() != preds.len() {
+                    return Err(DeployError::ParamsMismatch(format!(
+                        "{} labels for {} predictions",
+                        l.len(),
+                        preds.len()
+                    )));
+                }
+                let correct = preds.iter().zip(l).filter(|(p, &y)| p.label == y).count();
+                Some(correct as f32 / preds.len().max(1) as f32)
+            }
+            None => None,
+        };
+        let host_timing = measure_inference_us(&mut self.network, inputs, warmup, reps)?;
+        // Op costs reflect the forward pass run just above.
+        let projected_us = models
+            .iter()
+            .map(|m| m.estimate_network_us(&self.network))
+            .collect();
+        Ok(EvaluationReport {
+            samples: preds.len(),
+            accuracy,
+            host_timing,
+            projected_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::parse_architecture;
+    use ffdl_platform::{Implementation, PowerState, HONOR_6X, NEXUS_5};
+
+    const ARCH: &str = "\
+input 8
+circulant_fc 8 block=4
+relu
+fc 3
+softmax
+";
+
+    fn engine() -> InferenceEngine {
+        InferenceEngine::new(parse_architecture(ARCH, 5).unwrap().network)
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let mut e = engine();
+        let x = Tensor::from_fn(&[4, 8], |i| (i as f32 * 0.3).sin());
+        let preds = e.predict(&x).unwrap();
+        assert_eq!(preds.len(), 4);
+        for p in &preds {
+            assert!(p.label < 3);
+            let s: f32 = p.probabilities.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert_eq!(
+                p.label,
+                p.probabilities
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_applied_when_absent() {
+        let arch = "input 8\nfc 3\n";
+        let mut e = InferenceEngine::new(parse_architecture(arch, 1).unwrap().network);
+        let x = Tensor::from_fn(&[2, 8], |i| i as f32 * 0.1);
+        let preds = e.predict(&x).unwrap();
+        for p in preds {
+            let s: f32 = p.probabilities.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn evaluation_reports_accuracy_and_timings() {
+        let mut e = engine();
+        let x = Tensor::from_fn(&[6, 8], |i| ((i * 7) % 13) as f32 * 0.2);
+        let preds = e.predict(&x).unwrap();
+        let labels: Vec<usize> = preds.iter().map(|p| p.label).collect();
+        let models = [
+            RuntimeModel::new(NEXUS_5, Implementation::Cpp, PowerState::PluggedIn),
+            RuntimeModel::new(HONOR_6X, Implementation::Java, PowerState::PluggedIn),
+        ];
+        let report = e.evaluate(&x, Some(&labels), &models, 1, 3).unwrap();
+        assert_eq!(report.samples, 6);
+        assert_eq!(report.accuracy, Some(1.0)); // self-consistent labels
+        assert!(report.host_timing.mean_us > 0.0);
+        assert_eq!(report.projected_us.len(), 2);
+        assert!(report.projected_us.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn evaluation_without_labels() {
+        let mut e = engine();
+        let x = Tensor::zeros(&[2, 8]);
+        let report = e.evaluate(&x, None, &[], 0, 1).unwrap();
+        assert_eq!(report.accuracy, None);
+        assert!(report.projected_us.is_empty());
+    }
+
+    #[test]
+    fn label_count_mismatch_rejected() {
+        let mut e = engine();
+        let x = Tensor::zeros(&[2, 8]);
+        assert!(e.evaluate(&x, Some(&[0]), &[], 0, 1).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let mut e = engine();
+        assert_eq!(e.network().len(), 4);
+        let _ = e.network_mut();
+        let net = e.into_network();
+        assert_eq!(net.len(), 4);
+    }
+}

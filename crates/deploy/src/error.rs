@@ -1,0 +1,92 @@
+//! Error type for the deployment pipeline.
+
+use ffdl_nn::NnError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors reported by the architecture, parameters and inputs parsers and
+/// the inference engine.
+#[derive(Debug)]
+pub enum DeployError {
+    /// The architecture description is malformed.
+    ArchSyntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The inputs file is malformed.
+    InputSyntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The parameters file does not match the network.
+    ParamsMismatch(String),
+    /// A network/layer error.
+    Nn(NnError),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::ArchSyntax { line, message } => {
+                write!(f, "architecture file line {line}: {message}")
+            }
+            DeployError::InputSyntax { line, message } => {
+                write!(f, "inputs file line {line}: {message}")
+            }
+            DeployError::ParamsMismatch(msg) => write!(f, "parameters mismatch: {msg}"),
+            DeployError::Nn(e) => write!(f, "network error: {e}"),
+            DeployError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl Error for DeployError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeployError::Nn(e) => Some(e),
+            DeployError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for DeployError {
+    fn from(e: NnError) -> Self {
+        DeployError::Nn(e)
+    }
+}
+
+impl From<io::Error> for DeployError {
+    fn from(e: io::Error) -> Self {
+        DeployError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DeployError::ArchSyntax {
+            line: 3,
+            message: "unknown layer".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = DeployError::InputSyntax {
+            line: 1,
+            message: "bad float".into(),
+        };
+        assert!(e.to_string().contains("bad float"));
+        assert!(DeployError::ParamsMismatch("x".into()).to_string().contains("x"));
+        let e: DeployError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(e.source().is_some());
+    }
+}

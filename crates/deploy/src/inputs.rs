@@ -1,0 +1,244 @@
+//! The inputs parser — Fig. 4's third module ("loads test data that
+//! consists of input features and predefined classification labels").
+//!
+//! Text format: one sample per line, `label , f1 , f2 , …` (the label is
+//! optional when the file starts with the `#unlabelled` pragma). `#`
+//! starts a comment.
+
+use crate::error::DeployError;
+use ffdl_tensor::Tensor;
+use std::io::{BufRead, BufReader, Read};
+
+/// Parsed input samples: features `[N, D]` and optional labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedInputs {
+    /// Feature matrix `[N, D]`.
+    pub features: Tensor,
+    /// One label per sample, or `None` for unlabelled files.
+    pub labels: Option<Vec<usize>>,
+}
+
+impl ParsedInputs {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        if self.features.ndim() == 0 {
+            0
+        } else {
+            self.features.shape()[0]
+        }
+    }
+
+    /// `true` when no samples were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature width per sample.
+    pub fn dim(&self) -> usize {
+        if self.features.ndim() < 2 {
+            0
+        } else {
+            self.features.shape()[1]
+        }
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> DeployError {
+    DeployError::InputSyntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a labelled/unlabelled CSV inputs file.
+///
+/// A `&mut` reference can be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns [`DeployError::InputSyntax`] with a line number on malformed
+/// content and [`DeployError::Io`] on read failure.
+pub fn parse_inputs<R: Read>(reader: R) -> Result<ParsedInputs, DeployError> {
+    let reader = BufReader::new(reader);
+    let mut labelled: Option<bool> = None;
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut rows = 0usize;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let raw = line?;
+        let content = raw.trim();
+        if content == "#unlabelled" {
+            if rows > 0 {
+                return Err(syntax(line_no, "#unlabelled pragma must precede data"));
+            }
+            labelled = Some(false);
+            continue;
+        }
+        let content = content.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let labelled = *labelled.get_or_insert(true);
+
+        let mut fields = content.split(',').map(str::trim);
+        if labelled {
+            let label_tok = fields
+                .next()
+                .ok_or_else(|| syntax(line_no, "empty sample"))?;
+            let label: usize = label_tok
+                .parse()
+                .map_err(|_| syntax(line_no, format!("label must be an integer, got {label_tok:?}")))?;
+            labels.push(label);
+        }
+        let mut row = Vec::new();
+        for tok in fields {
+            if tok.is_empty() {
+                return Err(syntax(line_no, "empty feature field"));
+            }
+            let v: f32 = tok
+                .parse()
+                .map_err(|_| syntax(line_no, format!("feature must be a number, got {tok:?}")))?;
+            row.push(v);
+        }
+        if row.is_empty() {
+            return Err(syntax(line_no, "sample has no features"));
+        }
+        match dim {
+            None => dim = Some(row.len()),
+            Some(d) if d == row.len() => {}
+            Some(d) => {
+                return Err(syntax(
+                    line_no,
+                    format!("sample has {} features, expected {d}", row.len()),
+                ))
+            }
+        }
+        data.extend(row);
+        rows += 1;
+    }
+
+    let dim = dim.unwrap_or(0);
+    let features = Tensor::from_vec(data, &[rows, dim])
+        .map_err(|e| DeployError::ParamsMismatch(e.to_string()))?;
+    Ok(ParsedInputs {
+        features,
+        labels: match labelled {
+            Some(false) => None,
+            _ => Some(labels),
+        },
+    })
+}
+
+/// Serializes samples back to the text format (inverse of
+/// [`parse_inputs`]).
+///
+/// # Panics
+///
+/// Panics if `labels` is `Some` with a length different from the number
+/// of rows, or `features` is not rank 2.
+pub fn format_inputs(features: &Tensor, labels: Option<&[usize]>) -> String {
+    assert_eq!(features.ndim(), 2, "features must be [N, D]");
+    if let Some(l) = labels {
+        assert_eq!(l.len(), features.rows(), "one label per row required");
+    }
+    let mut out = String::new();
+    if labels.is_none() {
+        out.push_str("#unlabelled\n");
+    }
+    for r in 0..features.rows() {
+        let mut fields: Vec<String> = Vec::with_capacity(features.cols() + 1);
+        if let Some(l) = labels {
+            fields.push(l[r].to_string());
+        }
+        fields.extend(features.row(r).iter().map(|v| format!("{v}")));
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_labelled_csv() {
+        let text = "0, 1.0, 2.0\n1, -0.5, 0.25\n";
+        let p = parse_inputs(Cursor::new(text)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.labels.as_deref(), Some(&[0, 1][..]));
+        assert_eq!(p.features.as_slice(), &[1.0, 2.0, -0.5, 0.25]);
+    }
+
+    #[test]
+    fn parses_unlabelled() {
+        let text = "#unlabelled\n1.0,2.0,3.0\n4.0,5.0,6.0\n";
+        let p = parse_inputs(Cursor::new(text)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.dim(), 3);
+        assert!(p.labels.is_none());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0,1.5 # trailing comment\n";
+        let p = parse_inputs(Cursor::new(text)).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.features.as_slice(), &[1.5]);
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let text = "0,1.0\nbad,2.0\n";
+        match parse_inputs(Cursor::new(text)).unwrap_err() {
+            DeployError::InputSyntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let text = "0,1.0\n1,2.0,3.0\n";
+        assert!(parse_inputs(Cursor::new(text)).is_err());
+        assert!(parse_inputs(Cursor::new("0,oops\n")).is_err());
+        assert!(parse_inputs(Cursor::new("0\n")).is_err());
+        assert!(parse_inputs(Cursor::new("0,1.0,\n")).is_err());
+        assert!(parse_inputs(Cursor::new("0,1\n#unlabelled\n")).is_err());
+    }
+
+    #[test]
+    fn empty_file_is_empty_inputs() {
+        let p = parse_inputs(Cursor::new("")).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.dim(), 0);
+    }
+
+    #[test]
+    fn format_roundtrip_labelled() {
+        let features =
+            Tensor::from_vec(vec![1.0, -2.5, 0.125, 3.0], &[2, 2]).unwrap();
+        let labels = vec![3usize, 7];
+        let text = format_inputs(&features, Some(&labels));
+        let p = parse_inputs(Cursor::new(text)).unwrap();
+        assert_eq!(p.features, features);
+        assert_eq!(p.labels.as_deref(), Some(&labels[..]));
+    }
+
+    #[test]
+    fn format_roundtrip_unlabelled() {
+        let features = Tensor::from_vec(vec![0.5, 1.5], &[2, 1]).unwrap();
+        let text = format_inputs(&features, None);
+        assert!(text.starts_with("#unlabelled"));
+        let p = parse_inputs(Cursor::new(text)).unwrap();
+        assert_eq!(p.features, features);
+        assert!(p.labels.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn format_checks_label_count() {
+        let features = Tensor::zeros(&[2, 1]);
+        let _ = format_inputs(&features, Some(&[1]));
+    }
+}

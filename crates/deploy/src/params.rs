@@ -1,0 +1,213 @@
+//! The parameters parser — Fig. 4's second module ("reads a file that
+//! contains trained weights and biases").
+//!
+//! The parameters file is a flat sequence of tensors, applied in order to
+//! the layers of an architecture-parser-built network. This matches the
+//! paper's separation of concerns: the architecture file describes the
+//! topology, the parameters file carries only numbers.
+//!
+//! Format: magic `FFDP`, version u32, tensor count u32, then tensors in
+//! the `ffdl_nn::wire` encoding.
+
+use crate::error::DeployError;
+use ffdl_nn::{wire, Network};
+use ffdl_tensor::Tensor;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"FFDP";
+const VERSION: u32 = 1;
+
+/// Writes every parameter tensor of `network` (in layer order).
+///
+/// A `&mut` reference can be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`DeployError::Io`] on write failure.
+pub fn write_parameters<W: Write>(network: &Network, mut writer: W) -> Result<(), DeployError> {
+    let tensors: Vec<&Tensor> = network
+        .layers()
+        .iter()
+        .flat_map(|l| l.param_tensors())
+        .collect();
+    writer.write_all(MAGIC)?;
+    wire::write_u32(&mut writer, VERSION).map_err(nn_to_deploy)?;
+    wire::write_u32(&mut writer, tensors.len() as u32).map_err(nn_to_deploy)?;
+    for t in tensors {
+        wire::write_tensor(&mut writer, t).map_err(nn_to_deploy)?;
+    }
+    Ok(())
+}
+
+fn nn_to_deploy(e: ffdl_nn::NnError) -> DeployError {
+    match e {
+        ffdl_nn::NnError::Io(io) => DeployError::Io(io),
+        other => DeployError::Nn(other),
+    }
+}
+
+/// Reads a parameters file and loads the tensors into `network`'s layers
+/// in order.
+///
+/// A `&mut` reference can be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns [`DeployError::ParamsMismatch`] when the tensor count or any
+/// shape disagrees with the network, and [`DeployError::Io`] on truncated
+/// input.
+pub fn read_parameters_into<R: Read>(
+    network: &mut Network,
+    mut reader: R,
+) -> Result<(), DeployError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(DeployError::ParamsMismatch(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = wire::read_u32(&mut reader).map_err(nn_to_deploy)?;
+    if version != VERSION {
+        return Err(DeployError::ParamsMismatch(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = wire::read_u32(&mut reader).map_err(nn_to_deploy)? as usize;
+    if count > 100_000 {
+        return Err(DeployError::ParamsMismatch(format!(
+            "tensor count {count} exceeds sanity bound"
+        )));
+    }
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        tensors.push(wire::read_tensor(&mut reader).map_err(nn_to_deploy)?);
+    }
+
+    // Distribute to layers in order, each taking as many tensors as it
+    // exposes.
+    let mut cursor = 0usize;
+    for layer in network.layers_mut() {
+        let need = layer.param_tensors().len();
+        if cursor + need > tensors.len() {
+            return Err(DeployError::ParamsMismatch(format!(
+                "file has {} tensors but the network needs more (layer {} wants {need} at offset {cursor})",
+                tensors.len(),
+                layer.type_tag()
+            )));
+        }
+        layer
+            .load_params(&tensors[cursor..cursor + need])
+            .map_err(|e| DeployError::ParamsMismatch(e.to_string()))?;
+        cursor += need;
+    }
+    if cursor != tensors.len() {
+        return Err(DeployError::ParamsMismatch(format!(
+            "file has {} tensors but the network consumed only {cursor}",
+            tensors.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::parse_architecture;
+    use std::io::Cursor;
+
+    const ARCH: &str = "\
+input 16
+circulant_fc 8 block=4
+relu
+fc 4
+softmax
+";
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let mut trained = parse_architecture(ARCH, 42).unwrap().network;
+        let mut buf = Vec::new();
+        write_parameters(&trained, &mut buf).unwrap();
+
+        // Fresh network with different random init must differ, then match
+        // after loading.
+        let mut fresh = parse_architecture(ARCH, 999).unwrap().network;
+        let x = ffdl_tensor::Tensor::from_fn(&[2, 16], |i| (i as f32 * 0.31).sin());
+        let y_trained = trained.forward(&x).unwrap();
+        let y_fresh = fresh.forward(&x).unwrap();
+        assert_ne!(y_trained.as_slice(), y_fresh.as_slice());
+
+        read_parameters_into(&mut fresh, Cursor::new(buf)).unwrap();
+        let y_loaded = fresh.forward(&x).unwrap();
+        for (a, b) in y_loaded.as_slice().iter().zip(y_trained.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut net = parse_architecture(ARCH, 0).unwrap().network;
+        assert!(matches!(
+            read_parameters_into(&mut net, Cursor::new(b"XXXX".to_vec())),
+            Err(DeployError::Io(_)) | Err(DeployError::ParamsMismatch(_))
+        ));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"FFDP");
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_parameters_into(&mut net, Cursor::new(buf)),
+            Err(DeployError::ParamsMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_network() {
+        let trained = parse_architecture(ARCH, 1).unwrap().network;
+        let mut buf = Vec::new();
+        write_parameters(&trained, &mut buf).unwrap();
+
+        // Different topology: too few tensors consumed / shape mismatch.
+        let other = "input 16\nfc 8\nrelu\nfc 4\nsoftmax\n";
+        let mut net = parse_architecture(other, 0).unwrap().network;
+        assert!(matches!(
+            read_parameters_into(&mut net, Cursor::new(buf.clone())),
+            Err(DeployError::ParamsMismatch(_))
+        ));
+
+        // Network needing more tensors than the file provides.
+        let bigger = "input 16\ncirculant_fc 8 block=4\nrelu\nfc 8\nrelu\nfc 4\n";
+        let mut net = parse_architecture(bigger, 0).unwrap().network;
+        assert!(matches!(
+            read_parameters_into(&mut net, Cursor::new(buf)),
+            Err(DeployError::ParamsMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn leftover_tensors_detected() {
+        let trained = parse_architecture(ARCH, 1).unwrap().network;
+        let mut buf = Vec::new();
+        write_parameters(&trained, &mut buf).unwrap();
+        let smaller = "input 16\ncirculant_fc 8 block=4\nsoftmax\n";
+        let mut net = parse_architecture(smaller, 0).unwrap().network;
+        assert!(matches!(
+            read_parameters_into(&mut net, Cursor::new(buf)),
+            Err(DeployError::ParamsMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let trained = parse_architecture(ARCH, 1).unwrap().network;
+        let mut buf = Vec::new();
+        write_parameters(&trained, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        let mut net = parse_architecture(ARCH, 0).unwrap().network;
+        assert!(matches!(
+            read_parameters_into(&mut net, Cursor::new(buf)),
+            Err(DeployError::Io(_))
+        ));
+    }
+}

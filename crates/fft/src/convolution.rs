@@ -1,0 +1,360 @@
+//! Circular convolution and correlation — the paper's core computational
+//! identity (Eqn. 3): `C·x = IFFT( FFT(w) ∘ FFT(x) )` for a circulant `C`
+//! defined by `w`.
+//!
+//! Each operation is provided twice: a direct `O(n²)` reference and the
+//! `O(n log n)` FFT path. The [`Convolver`] caches plans for a fixed length
+//! (the usage pattern of a block-circulant layer, which convolves many
+//! vectors of the same block size).
+
+use crate::complex::{Complex, FftFloat};
+use crate::error::FftError;
+use crate::plan::{Fft, FftPlanner};
+use std::sync::Arc;
+
+/// Direct `O(n²)` circular convolution: `out[i] = Σ_j a[j]·b[(i−j) mod n]`.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+pub fn circular_convolve_direct<T: FftFloat>(a: &[T], b: &[T]) -> Vec<T> {
+    assert_eq!(a.len(), b.len(), "circular convolution requires equal lengths");
+    let n = a.len();
+    let mut out = vec![T::ZERO; n];
+    for (i, out_i) in out.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (j, &aj) in a.iter().enumerate() {
+            let idx = (i + n - j % n) % n;
+            acc += aj * b[idx];
+        }
+        *out_i = acc;
+    }
+    out
+}
+
+/// Direct `O(n²)` circular correlation: `out[i] = Σ_j a[j]·b[(j−i) mod n]`.
+///
+/// Circular correlation is the adjoint of circular convolution; it shows up
+/// in the backward pass of circulant layers (Algorithm 2).
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+pub fn circular_correlate_direct<T: FftFloat>(a: &[T], b: &[T]) -> Vec<T> {
+    assert_eq!(a.len(), b.len(), "circular correlation requires equal lengths");
+    let n = a.len();
+    let mut out = vec![T::ZERO; n];
+    for (i, out_i) in out.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (j, &aj) in a.iter().enumerate() {
+            let idx = (j + n - i % n) % n;
+            acc += aj * b[idx];
+        }
+        *out_i = acc;
+    }
+    out
+}
+
+/// Direct `O(n·m)` linear (acyclic) convolution; output length `n + m − 1`.
+///
+/// Returns an empty vector when either input is empty.
+pub fn linear_convolve_direct<T: FftFloat>(a: &[T], b: &[T]) -> Vec<T> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![T::ZERO; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] += ai * bj;
+        }
+    }
+    out
+}
+
+/// FFT-based circular convolution of two equal-length real signals.
+///
+/// This is the "FFT → component-wise multiplication → IFFT" procedure of
+/// Fig. 2. One-shot convenience; use [`Convolver`] in hot loops.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn circular_convolve<T: FftFloat>(a: &[T], b: &[T]) -> Vec<T> {
+    assert_eq!(a.len(), b.len(), "circular convolution requires equal lengths");
+    if a.is_empty() {
+        return Vec::new();
+    }
+    Convolver::new(a.len()).convolve(a, b).expect("lengths match")
+}
+
+/// FFT-based circular correlation of two equal-length real signals.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn circular_correlate<T: FftFloat>(a: &[T], b: &[T]) -> Vec<T> {
+    assert_eq!(a.len(), b.len(), "circular correlation requires equal lengths");
+    if a.is_empty() {
+        return Vec::new();
+    }
+    Convolver::new(a.len()).correlate(a, b).expect("lengths match")
+}
+
+/// FFT-based linear convolution via zero padding to the next power of two
+/// `≥ n + m − 1`; output length `n + m − 1`.
+pub fn linear_convolve<T: FftFloat>(a: &[T], b: &[T]) -> Vec<T> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let padded = out_len.next_power_of_two();
+    let mut fa = vec![Complex::zero(); padded];
+    let mut fb = vec![Complex::zero(); padded];
+    for (dst, &src) in fa.iter_mut().zip(a) {
+        *dst = Complex::from_real(src);
+    }
+    for (dst, &src) in fb.iter_mut().zip(b) {
+        *dst = Complex::from_real(src);
+    }
+    let mut planner = FftPlanner::new();
+    let fwd = planner.plan_forward(padded);
+    let inv = planner.plan_inverse(padded);
+    fwd.process(&mut fa).expect("length matches");
+    fwd.process(&mut fb).expect("length matches");
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    inv.process(&mut fa).expect("length matches");
+    fa.truncate(out_len);
+    fa.into_iter().map(|v| v.re).collect()
+}
+
+/// Plan-caching circular convolution/correlation engine for a fixed length.
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_fft::Convolver;
+///
+/// let conv = Convolver::<f64>::new(4);
+/// let w = [1.0, 0.0, 0.0, 0.0]; // identity kernel
+/// let x = [4.0, 3.0, 2.0, 1.0];
+/// assert_eq!(conv.convolve(&w, &x)?, x.to_vec());
+/// # Ok::<(), ffdl_fft::FftError>(())
+/// ```
+pub struct Convolver<T> {
+    len: usize,
+    forward: Arc<dyn Fft<T>>,
+    inverse: Arc<dyn Fft<T>>,
+}
+
+impl<T: FftFloat> Convolver<T> {
+    /// Builds a convolution engine for signals of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        let mut planner = FftPlanner::new();
+        Self {
+            len,
+            forward: planner.plan_forward(len),
+            inverse: planner.plan_inverse(len),
+        }
+    }
+
+    /// Signal length this engine operates on.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: zero-length engines cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn spectrum_of(&self, x: &[T]) -> Result<Vec<Complex<T>>, FftError> {
+        if x.len() != self.len {
+            return Err(FftError::LengthMismatch {
+                expected: self.len,
+                actual: x.len(),
+            });
+        }
+        let mut buf: Vec<Complex<T>> = x.iter().map(|&v| Complex::from_real(v)).collect();
+        self.forward.process(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Circular convolution `a ⊛ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when either input length differs
+    /// from [`Convolver::len`].
+    pub fn convolve(&self, a: &[T], b: &[T]) -> Result<Vec<T>, FftError> {
+        let fa = self.spectrum_of(a)?;
+        let fb = self.spectrum_of(b)?;
+        let mut prod: Vec<Complex<T>> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+        self.inverse.process(&mut prod)?;
+        Ok(prod.into_iter().map(|v| v.re).collect())
+    }
+
+    /// Circular correlation `out[i] = Σ_j a[j]·b[(j−i) mod n]`, computed as
+    /// `IFFT( FFT(a) ∘ conj(FFT(b)) )`.
+    ///
+    /// With this convention, `corr` is the adjoint that appears in
+    /// Algorithm 2: for `y = w ⊛ x` and upstream gradient `g`,
+    /// `∂L/∂w = corr(g, x)` and `∂L/∂x = corr(g, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when either input length differs
+    /// from [`Convolver::len`].
+    pub fn correlate(&self, a: &[T], b: &[T]) -> Result<Vec<T>, FftError> {
+        let fa = self.spectrum_of(a)?;
+        let fb = self.spectrum_of(b)?;
+        let mut prod: Vec<Complex<T>> =
+            fa.iter().zip(&fb).map(|(&x, &y)| x * y.conj()).collect();
+        self.inverse.process(&mut prod)?;
+        Ok(prod.into_iter().map(|v| v.re).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize, seed: f64) -> Vec<f64> {
+        (0..n)
+            .map(|k| (k as f64 * seed).sin() + 0.1 * k as f64)
+            .collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        for n in [1usize, 2, 3, 4, 7, 8, 15, 16, 33, 64, 121] {
+            let a = signal(n, 0.7);
+            let b = signal(n, 1.3);
+            assert_close(
+                &circular_convolve(&a, &b),
+                &circular_convolve_direct(&a, &b),
+                1e-7 * (n as f64).max(1.0),
+            );
+        }
+    }
+
+    #[test]
+    fn fft_correlation_matches_direct() {
+        for n in [1usize, 2, 5, 8, 16, 31, 64] {
+            let a = signal(n, 0.9);
+            let b = signal(n, 0.4);
+            assert_close(
+                &circular_correlate(&a, &b),
+                &circular_correlate_direct(&a, &b),
+                1e-7 * (n as f64).max(1.0),
+            );
+        }
+    }
+
+    #[test]
+    fn linear_convolution_matches_direct() {
+        let a = signal(9, 0.3);
+        let b = signal(5, 1.7);
+        assert_close(
+            &linear_convolve(&a, &b),
+            &linear_convolve_direct(&a, &b),
+            1e-8,
+        );
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = signal(16, 0.5);
+        let b = signal(16, 2.1);
+        assert_close(
+            &circular_convolve(&a, &b),
+            &circular_convolve(&b, &a),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn identity_kernel() {
+        let x = signal(8, 0.8);
+        let mut delta = vec![0.0; 8];
+        delta[0] = 1.0;
+        assert_close(&circular_convolve(&delta, &x), &x, 1e-10);
+        // corr(x, δ)[i] = Σ_j x[j]·δ[(j−i) mod n] = x[i].
+        assert_close(&circular_correlate_direct(&x, &delta), &x, 1e-12);
+    }
+
+    #[test]
+    fn shift_kernel_rotates() {
+        // Convolving with δ shifted by 1 rotates the signal by 1.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut delta1 = [0.0; 4];
+        delta1[1] = 1.0;
+        let y = circular_convolve(&delta1, &x);
+        assert_close(&y, &[4.0, 1.0, 2.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn correlation_is_convolution_adjoint() {
+        // <a ⊛ x, y> == <x, corr(y, a)> — the identity behind Algorithm 2.
+        let n = 12;
+        let a = signal(n, 0.6);
+        let x = signal(n, 1.9);
+        let y = signal(n, 0.2);
+        let conv = circular_convolve_direct(&a, &x);
+        let corr = circular_correlate_direct(&y, &a);
+        let lhs: f64 = conv.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let rhs: f64 = x.iter().zip(&corr).map(|(p, q)| p * q).sum();
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolver_rejects_wrong_length() {
+        let c = Convolver::<f64>::new(8);
+        assert!(matches!(
+            c.convolve(&[0.0; 8], &[0.0; 7]),
+            Err(FftError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            c.correlate(&[0.0; 3], &[0.0; 8]),
+            Err(FftError::LengthMismatch { .. })
+        ));
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(circular_convolve::<f64>(&[], &[]).is_empty());
+        assert!(circular_correlate::<f64>(&[], &[]).is_empty());
+        assert!(linear_convolve::<f64>(&[], &[1.0]).is_empty());
+        assert!(linear_convolve_direct::<f64>(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_one_shot_panics() {
+        let _ = circular_convolve(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn f32_convolution() {
+        let a: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f32> = vec![0.5, 0.0, -0.5, 1.0];
+        let fast = circular_convolve(&a, &b);
+        let direct = circular_convolve_direct(&a, &b);
+        for (x, y) in fast.iter().zip(&direct) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

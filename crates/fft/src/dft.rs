@@ -1,0 +1,165 @@
+//! Naive `O(n²)` discrete Fourier transform.
+//!
+//! This is the reference implementation the fast algorithms are tested
+//! against, and also the baseline for the Fig. 1 complexity benchmark
+//! (FFT `O(n log n)` vs direct DFT `O(n²)`).
+
+use crate::complex::{Complex, FftFloat};
+use crate::plan::Direction;
+
+/// Computes the DFT of `input` by direct summation.
+///
+/// Forward transform: `X[k] = Σ_j x[j]·e^{-2πi jk/n}` (unscaled).
+/// Inverse transform: `x[j] = (1/n) Σ_k X[k]·e^{+2πi jk/n}`.
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_fft::{dft, Complex, Direction};
+///
+/// let x = vec![Complex::from_real(1.0f64); 4];
+/// let spectrum = dft(&x, Direction::Forward);
+/// // A constant signal concentrates all energy in bin 0.
+/// assert!((spectrum[0].re - 4.0).abs() < 1e-12);
+/// assert!(spectrum[1].norm() < 1e-12);
+/// ```
+pub fn dft<T: FftFloat>(input: &[Complex<T>], direction: Direction) -> Vec<Complex<T>> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = match direction {
+        Direction::Forward => -T::ONE,
+        Direction::Inverse => T::ONE,
+    };
+    let two_pi = T::from_f64(2.0) * T::PI;
+    let mut out = vec![Complex::zero(); n];
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (j, &x) in input.iter().enumerate() {
+            // Reduce j*k modulo n before converting to float so the angle
+            // stays well-conditioned for large transforms.
+            let phase_idx = (j * k) % n;
+            let theta = sign * two_pi * T::from_usize(phase_idx) / T::from_usize(n);
+            acc += x * Complex::cis(theta);
+        }
+        *out_k = acc;
+    }
+    if direction == Direction::Inverse {
+        let inv_n = T::ONE / T::from_usize(n);
+        for v in &mut out {
+            *v = v.scale(inv_n);
+        }
+    }
+    out
+}
+
+/// Convenience wrapper: forward DFT of a real signal.
+pub fn dft_real<T: FftFloat>(input: &[T]) -> Vec<Complex<T>> {
+    let buf: Vec<Complex<T>> = input.iter().map(|&x| Complex::from_real(x)).collect();
+    dft(&buf, Direction::Forward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).norm() < tol,
+                "mismatch: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = dft::<f64>(&[], Direction::Forward);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        let x = vec![Complex64::new(3.0, -1.0)];
+        assert_eq!(dft(&x, Direction::Forward), x);
+        assert_eq!(dft(&x, Direction::Inverse), x);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex64::zero(); 8];
+        x[0] = Complex64::one();
+        let spec = dft(&x, Direction::Forward);
+        for v in spec {
+            assert!((v - Complex64::one()).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shifted_impulse_has_linear_phase() {
+        let mut x = vec![Complex64::zero(); 8];
+        x[1] = Complex64::one();
+        let spec = dft(&x, Direction::Forward);
+        for (k, v) in spec.iter().enumerate() {
+            let expected = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / 8.0);
+            assert!((*v - expected).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_inverse() {
+        let x: Vec<Complex64> = (0..13)
+            .map(|k| Complex64::new((k as f64).sin(), (k as f64 * 0.3).cos()))
+            .collect();
+        let spec = dft(&x, Direction::Forward);
+        let back = dft(&spec, Direction::Inverse);
+        assert_close(&back, &x, 1e-10);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex64> = (0..6).map(|k| Complex64::new(k as f64, 1.0)).collect();
+        let b: Vec<Complex64> = (0..6).map(|k| Complex64::new(-(k as f64), 0.5)).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = dft(&a, Direction::Forward);
+        let fb = dft(&b, Direction::Forward);
+        let fsum = dft(&sum, Direction::Forward);
+        let expected: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&fsum, &expected, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<Complex64> = (0..16)
+            .map(|k| Complex64::new((k as f64 * 1.7).sin(), (k as f64 * 0.9).cos()))
+            .collect();
+        let spec = dft(&x, Direction::Forward);
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / 16.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_wrapper_matches_complex() {
+        let xs = [1.0, -2.0, 3.0, 0.5, 0.0];
+        let a = dft_real(&xs);
+        let b: Vec<Complex64> = dft(
+            &xs.iter().map(|&v| Complex64::from_real(v)).collect::<Vec<_>>(),
+            Direction::Forward,
+        );
+        assert_close(&a, &b, 1e-12);
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let xs = [0.3, 1.0, -0.7, 2.0, 0.1, -1.2];
+        let spec = dft_real(&xs);
+        let n = xs.len();
+        for k in 1..n {
+            assert!((spec[k] - spec[n - k].conj()).norm() < 1e-12);
+        }
+    }
+}

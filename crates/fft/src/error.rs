@@ -1,0 +1,66 @@
+//! Error type for the FFT crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by FFT entry points that validate their inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// The buffer length does not match the transform size the plan was
+    /// built for.
+    LengthMismatch {
+        /// Size the plan expects.
+        expected: usize,
+        /// Size the caller supplied.
+        actual: usize,
+    },
+    /// A real-input transform requires an even length.
+    OddRealLength(usize),
+    /// The operation requires a non-empty input.
+    Empty,
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match transform size {expected}"
+            ),
+            FftError::OddRealLength(n) => {
+                write!(f, "real-input transform requires an even length, got {n}")
+            }
+            FftError::Empty => write!(f, "input must be non-empty"),
+        }
+    }
+}
+
+impl Error for FftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FftError::LengthMismatch {
+            expected: 8,
+            actual: 7,
+        };
+        assert_eq!(
+            e.to_string(),
+            "buffer length 7 does not match transform size 8"
+        );
+        assert_eq!(
+            FftError::OddRealLength(9).to_string(),
+            "real-input transform requires an even length, got 9"
+        );
+        assert_eq!(FftError::Empty.to_string(), "input must be non-empty");
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<FftError>();
+    }
+}

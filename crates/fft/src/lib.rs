@@ -1,0 +1,60 @@
+//! # ffdl-fft — the FFT computing kernel
+//!
+//! From-scratch Fast Fourier Transform library underpinning the
+//! block-circulant deep-learning stack of *"FFT-Based Deep Learning
+//! Deployment in Embedded Systems"* (Lin et al., DATE 2018).
+//!
+//! The paper's entire contribution rests on one identity: multiplying by a
+//! circulant matrix is a circular convolution, which the FFT evaluates in
+//! `O(n log n)` instead of `O(n²)` (Eqn. 3, Fig. 2). This crate provides
+//! that kernel:
+//!
+//! - [`Complex`] numbers generic over `f32`/`f64` ([`FftFloat`]),
+//! - the iterative radix-2 Cooley–Tukey transform ([`Radix2`], Fig. 1),
+//! - [`Bluestein`]'s chirp-z transform for arbitrary lengths,
+//! - real-input transforms ([`RealFft`]) that compute only the
+//!   non-redundant half spectrum,
+//! - circular convolution/correlation ([`Convolver`], [`circular_convolve`])
+//!   with direct `O(n²)` references for testing and benchmarking,
+//! - a plan cache ([`FftPlanner`]) so hot loops never recompute twiddles,
+//! - a naive [`dft`] as the ground-truth reference.
+//!
+//! # Examples
+//!
+//! The convolution theorem in action — the procedure of Fig. 2:
+//!
+//! ```
+//! use ffdl_fft::{circular_convolve, circular_convolve_direct};
+//!
+//! let w = [0.5f64, -0.25, 0.0, 0.75];
+//! let x = [1.0, 2.0, 3.0, 4.0];
+//! let fast = circular_convolve(&w, &x);
+//! let slow = circular_convolve_direct(&w, &x);
+//! for (a, b) in fast.iter().zip(&slow) {
+//!     assert!((a - b).abs() < 1e-9);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bluestein;
+mod complex;
+mod convolution;
+mod dft;
+mod error;
+mod fft2d;
+mod plan;
+mod real;
+
+pub use bluestein::Bluestein;
+pub use fft2d::{circular_convolve2d, Fft2d};
+pub use complex::{Complex, Complex32, Complex64, FftFloat};
+pub use convolution::{
+    circular_convolve, circular_convolve_direct, circular_correlate, circular_correlate_direct,
+    linear_convolve, linear_convolve_direct, Convolver,
+};
+pub use dft::{dft, dft_real};
+pub use error::FftError;
+pub use plan::{fft, fft_real, ifft, Direction, Fft, FftPlanner, Radix2};
+pub use real::{irfft, rfft, RealFft};

@@ -1,0 +1,323 @@
+//! Real-input FFTs.
+//!
+//! Weight vectors and activations in the paper's layers are real, so the
+//! forward transform only needs the `n/2 + 1` non-redundant spectrum bins.
+//! For even lengths this module packs the real signal into an `n/2`-point
+//! complex transform (the classic two-for-one trick), halving the work of
+//! the kernel that dominates inference time. Odd lengths fall back to the
+//! complex transform transparently.
+
+use crate::complex::{Complex, FftFloat};
+use crate::error::FftError;
+use crate::plan::{Fft, FftPlanner};
+use std::sync::Arc;
+
+/// A planned real-input FFT of fixed length `n`.
+///
+/// [`RealFft::forward`] maps `n` reals to the `n/2 + 1` (rounded down
+/// division, plus one) non-redundant complex bins; [`RealFft::inverse`]
+/// maps them back. The remaining bins of the full spectrum are the
+/// conjugate mirror `X[n−k] = conj(X[k])` and are never materialized.
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_fft::RealFft;
+///
+/// let plan = RealFft::<f64>::new(8);
+/// let x = [1.0, 2.0, 0.0, -1.0, 3.0, 0.5, -2.0, 1.5];
+/// let spectrum = plan.forward(&x)?;
+/// assert_eq!(spectrum.len(), 5); // 8/2 + 1
+/// let back = plan.inverse(&spectrum)?;
+/// for (a, b) in back.iter().zip(&x) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// # Ok::<(), ffdl_fft::FftError>(())
+/// ```
+pub struct RealFft<T> {
+    len: usize,
+    /// Even lengths: half-size complex plans plus unpack twiddles.
+    packed: Option<PackedPlans<T>>,
+    /// Odd lengths: full-size complex plans.
+    fallback: Option<FallbackPlans<T>>,
+}
+
+struct PackedPlans<T> {
+    half_forward: Arc<dyn Fft<T>>,
+    half_inverse: Arc<dyn Fft<T>>,
+    /// `e^{-2πik/n}` for `k <= n/2`.
+    twiddles: Vec<Complex<T>>,
+}
+
+struct FallbackPlans<T> {
+    forward: Arc<dyn Fft<T>>,
+    inverse: Arc<dyn Fft<T>>,
+}
+
+impl<T: FftFloat> RealFft<T> {
+    /// Builds a real-FFT plan of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "cannot build a zero-length real FFT plan");
+        let mut planner = FftPlanner::new();
+        if len % 2 == 0 && len >= 2 {
+            let half = len / 2;
+            let two_pi = T::from_f64(2.0) * T::PI;
+            let twiddles = (0..=half)
+                .map(|k| Complex::cis(-two_pi * T::from_usize(k) / T::from_usize(len)))
+                .collect();
+            Self {
+                len,
+                packed: Some(PackedPlans {
+                    half_forward: planner.plan_forward(half),
+                    half_inverse: planner.plan_inverse(half),
+                    twiddles,
+                }),
+                fallback: None,
+            }
+        } else {
+            Self {
+                len,
+                packed: None,
+                fallback: Some(FallbackPlans {
+                    forward: planner.plan_forward(len),
+                    inverse: planner.plan_inverse(len),
+                }),
+            }
+        }
+    }
+
+    /// Signal length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: zero-length plans cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of non-redundant spectrum bins: `len/2 + 1`.
+    pub fn spectrum_len(&self) -> usize {
+        self.len / 2 + 1
+    }
+
+    /// Forward transform of a real signal into its half spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when `input.len() != self.len()`.
+    pub fn forward(&self, input: &[T]) -> Result<Vec<Complex<T>>, FftError> {
+        if input.len() != self.len {
+            return Err(FftError::LengthMismatch {
+                expected: self.len,
+                actual: input.len(),
+            });
+        }
+        if let Some(p) = &self.packed {
+            let half = self.len / 2;
+            // Pack pairs of reals into one complex signal.
+            let mut z: Vec<Complex<T>> = (0..half)
+                .map(|j| Complex::new(input[2 * j], input[2 * j + 1]))
+                .collect();
+            p.half_forward.process(&mut z)?;
+
+            let mirror = |k: usize| if k == 0 { z[0] } else { z[half - k] };
+            let half_scale = T::from_f64(0.5);
+            let out = (0..=half)
+                .map(|k| {
+                    let zk = if k == half { z[0] } else { z[k] };
+                    let zm = mirror(k % half).conj();
+                    // E[k] (even samples) and O[k] (odd samples):
+                    let e = (zk + zm).scale(half_scale);
+                    let o = (zk - zm).scale(half_scale) * Complex::new(T::ZERO, -T::ONE);
+                    e + p.twiddles[k] * o
+                })
+                .collect();
+            Ok(out)
+        } else {
+            let f = self.fallback.as_ref().expect("one of the plans is set");
+            let mut buf: Vec<Complex<T>> =
+                input.iter().map(|&x| Complex::from_real(x)).collect();
+            f.forward.process(&mut buf)?;
+            buf.truncate(self.spectrum_len());
+            Ok(buf)
+        }
+    }
+
+    /// Inverse transform of a half spectrum back to a real signal.
+    ///
+    /// Imaginary residue produced by rounding is discarded. Bins beyond the
+    /// conjugate-symmetry constraint (`Im X[0]`, and `Im X[n/2]` for even
+    /// `n`) are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when
+    /// `spectrum.len() != self.spectrum_len()`.
+    pub fn inverse(&self, spectrum: &[Complex<T>]) -> Result<Vec<T>, FftError> {
+        if spectrum.len() != self.spectrum_len() {
+            return Err(FftError::LengthMismatch {
+                expected: self.spectrum_len(),
+                actual: spectrum.len(),
+            });
+        }
+        if let Some(p) = &self.packed {
+            let half = self.len / 2;
+            let half_scale = T::from_f64(0.5);
+            let mut z: Vec<Complex<T>> = (0..half)
+                .map(|k| {
+                    let xk = spectrum[k];
+                    let xm = spectrum[half - k].conj();
+                    let e = (xk + xm).scale(half_scale);
+                    // O[k] = (X[k] − conj(X[n/2−k])) / (2·w^k); 1/w^k = conj(w^k).
+                    let o = (xk - xm).scale(half_scale) * p.twiddles[k].conj();
+                    e + o * Complex::new(T::ZERO, T::ONE)
+                })
+                .collect();
+            p.half_inverse.process(&mut z)?;
+            let mut out = Vec::with_capacity(self.len);
+            for v in z {
+                out.push(v.re);
+                out.push(v.im);
+            }
+            Ok(out)
+        } else {
+            let f = self.fallback.as_ref().expect("one of the plans is set");
+            // Rebuild the full spectrum by conjugate symmetry.
+            let mut buf = vec![Complex::zero(); self.len];
+            buf[..spectrum.len()].copy_from_slice(spectrum);
+            for k in spectrum.len()..self.len {
+                buf[k] = spectrum[self.len - k].conj();
+            }
+            f.inverse.process(&mut buf)?;
+            Ok(buf.into_iter().map(|v| v.re).collect())
+        }
+    }
+}
+
+/// One-shot forward real FFT (half spectrum). See [`RealFft`].
+pub fn rfft<T: FftFloat>(input: &[T]) -> Vec<Complex<T>> {
+    if input.is_empty() {
+        return Vec::new();
+    }
+    RealFft::new(input.len())
+        .forward(input)
+        .expect("length matches plan")
+}
+
+/// One-shot inverse real FFT: reconstructs a length-`n` real signal from
+/// its half spectrum.
+///
+/// # Panics
+///
+/// Panics if `spectrum.len() != n/2 + 1` or `n == 0`.
+pub fn irfft<T: FftFloat>(spectrum: &[Complex<T>], n: usize) -> Vec<T> {
+    RealFft::new(n)
+        .inverse(spectrum)
+        .expect("spectrum length matches plan")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_real;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|k| (k as f64 * 0.613).sin() + 0.3 * (k as f64 * 1.71).cos())
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_full_dft_even() {
+        for n in [2usize, 4, 6, 8, 16, 64, 100] {
+            let x = signal(n);
+            let half = RealFft::new(n).forward(&x).unwrap();
+            let full = dft_real(&x);
+            assert_eq!(half.len(), n / 2 + 1);
+            for (k, v) in half.iter().enumerate() {
+                assert!(
+                    (*v - full[k]).norm() < 1e-9,
+                    "n={n} k={k}: {v:?} vs {:?}",
+                    full[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matches_full_dft_odd() {
+        for n in [1usize, 3, 5, 7, 9, 121] {
+            let x = signal(n);
+            let half = RealFft::new(n).forward(&x).unwrap();
+            let full = dft_real(&x);
+            assert_eq!(half.len(), n / 2 + 1);
+            for (k, v) in half.iter().enumerate() {
+                assert!((*v - full[k]).norm() < 1e-8, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_even_and_odd() {
+        for n in [2usize, 5, 8, 11, 16, 121, 128] {
+            let x = signal(n);
+            let plan = RealFft::new(n);
+            let back = plan.inverse(&plan.forward(&x).unwrap()).unwrap();
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_len_accessor() {
+        assert_eq!(RealFft::<f64>::new(8).spectrum_len(), 5);
+        assert_eq!(RealFft::<f64>::new(7).spectrum_len(), 4);
+        assert_eq!(RealFft::<f64>::new(1).spectrum_len(), 1);
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        let plan = RealFft::<f64>::new(8);
+        assert!(matches!(
+            plan.forward(&[0.0; 7]),
+            Err(FftError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            plan.inverse(&vec![Complex::zero(); 4]),
+            Err(FftError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn one_shot_wrappers() {
+        let x = signal(12);
+        let spec = rfft(&x);
+        let back = irfft(&spec, 12);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert!(rfft::<f64>(&[]).is_empty());
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let x: Vec<f32> = (0..32).map(|k| (k as f32 * 0.2).sin()).collect();
+        let plan = RealFft::<f32>::new(32);
+        let back = plan.inverse(&plan.forward(&x).unwrap()).unwrap();
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_panics() {
+        let _ = RealFft::<f64>::new(0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the FFT kernel: the algebraic identities the
+//! paper's Algorithm 1/2 rely on must hold for arbitrary inputs.
+
+use ffdl_fft::{
+    circular_convolve, circular_convolve_direct, circular_correlate, circular_correlate_direct,
+    dft, fft, ifft, irfft, linear_convolve, linear_convolve_direct, rfft, Complex, Complex64,
+    Direction, FftPlanner,
+};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // Keep magnitudes moderate so tolerance scaling stays simple.
+    prop::num::f64::NORMAL.prop_map(|x| (x % 1000.0) / 10.0)
+}
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((finite_f64(), finite_f64()), 1..=max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+fn real_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(finite_f64(), 1..=max_len)
+}
+
+fn max_norm(v: &[Complex64]) -> f64 {
+    v.iter().map(|z| z.norm()).fold(0.0, f64::max).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ifft(fft(x)) == x for any length (radix-2 and Bluestein paths).
+    #[test]
+    fn fft_roundtrip(x in complex_vec(200)) {
+        let back = ifft(&fft(&x));
+        let scale = max_norm(&x);
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((*a - *b).norm() < 1e-8 * scale * x.len() as f64);
+        }
+    }
+
+    /// The fast transform agrees with the O(n²) DFT definition.
+    #[test]
+    fn fft_matches_dft(x in complex_vec(96)) {
+        let fast = fft(&x);
+        let slow = dft(&x, Direction::Forward);
+        let scale = max_norm(&x) * x.len() as f64;
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).norm() < 1e-8 * scale);
+        }
+    }
+
+    /// FFT is linear: FFT(αx + y) == α·FFT(x) + FFT(y).
+    #[test]
+    fn fft_linearity(x in complex_vec(64), alpha in finite_f64()) {
+        // Build y of the same length from x deterministically.
+        let y: Vec<Complex64> = x.iter().map(|z| z.conj().scale(0.5)).collect();
+        let combo: Vec<Complex64> = x.iter().zip(&y).map(|(&a, &b)| a.scale(alpha) + b).collect();
+        let lhs = fft(&combo);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let scale = max_norm(&x) * (alpha.abs() + 1.0) * x.len() as f64;
+        for ((l, a), b) in lhs.iter().zip(&fx).zip(&fy) {
+            prop_assert!((*l - (a.scale(alpha) + *b)).norm() < 1e-8 * scale);
+        }
+    }
+
+    /// Parseval: energy is conserved (with the 1/n convention on inverse).
+    #[test]
+    fn parseval(x in complex_vec(128)) {
+        let n = x.len() as f64;
+        let spec = fft(&x);
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((te - fe).abs() < 1e-6 * (te.abs() + 1.0) * n);
+    }
+
+    /// Convolution theorem: FFT convolution equals the direct definition.
+    #[test]
+    fn convolution_theorem(pair in real_vec(100).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), prop::collection::vec(finite_f64(), n..=n))
+    })) {
+        let (a, b) = pair;
+        let fast = circular_convolve(&a, &b);
+        let slow = circular_convolve_direct(&a, &b);
+        let scale: f64 = a.iter().map(|v| v.abs()).fold(1.0, f64::max)
+            * b.iter().map(|v| v.abs()).fold(1.0, f64::max)
+            * a.len() as f64;
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-8 * scale);
+        }
+    }
+
+    /// Correlation via FFT equals the direct definition.
+    #[test]
+    fn correlation_matches_direct(pair in real_vec(80).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), prop::collection::vec(finite_f64(), n..=n))
+    })) {
+        let (a, b) = pair;
+        let fast = circular_correlate(&a, &b);
+        let slow = circular_correlate_direct(&a, &b);
+        let scale: f64 = a.iter().map(|v| v.abs()).fold(1.0, f64::max)
+            * b.iter().map(|v| v.abs()).fold(1.0, f64::max)
+            * a.len() as f64;
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-8 * scale);
+        }
+    }
+
+    /// Real FFT round-trips through the half spectrum.
+    #[test]
+    fn rfft_roundtrip(x in real_vec(150)) {
+        let spec = rfft(&x);
+        prop_assert_eq!(spec.len(), x.len() / 2 + 1);
+        let back = irfft(&spec, x.len());
+        let scale: f64 = x.iter().map(|v| v.abs()).fold(1.0, f64::max) * x.len() as f64;
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-9 * scale);
+        }
+    }
+
+    /// The half spectrum agrees with the full complex transform.
+    #[test]
+    fn rfft_matches_fft(x in real_vec(100)) {
+        let half = rfft(&x);
+        let full = fft(&x.iter().map(|&v| Complex::from_real(v)).collect::<Vec<_>>());
+        let scale: f64 = x.iter().map(|v| v.abs()).fold(1.0, f64::max) * x.len() as f64;
+        for (k, h) in half.iter().enumerate() {
+            prop_assert!((*h - full[k]).norm() < 1e-8 * scale);
+        }
+    }
+
+    /// Linear convolution via FFT equals direct; length is n+m−1.
+    #[test]
+    fn linear_convolution(a in real_vec(40), b in real_vec(40)) {
+        let fast = linear_convolve(&a, &b);
+        let slow = linear_convolve_direct(&a, &b);
+        prop_assert_eq!(fast.len(), a.len() + b.len() - 1);
+        let scale: f64 = a.iter().map(|v| v.abs()).fold(1.0, f64::max)
+            * b.iter().map(|v| v.abs()).fold(1.0, f64::max)
+            * (a.len() + b.len()) as f64;
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-8 * scale);
+        }
+    }
+
+    /// Time shift ↔ phase rotation: FFT(rot₁(x))[k] = FFT(x)[k]·e^{-2πik/n}.
+    #[test]
+    fn shift_theorem(x in complex_vec(64)) {
+        let n = x.len();
+        let mut rotated = x.clone();
+        rotated.rotate_right(1);
+        let fx = fft(&x);
+        let fr = fft(&rotated);
+        let scale = max_norm(&x) * n as f64;
+        for k in 0..n {
+            let phase = Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
+            prop_assert!((fr[k] - fx[k] * phase).norm() < 1e-8 * scale);
+        }
+    }
+}
+
+#[test]
+fn planner_is_reusable_across_sizes() {
+    let mut planner = FftPlanner::<f64>::new();
+    for n in [2usize, 3, 8, 12, 16, 121] {
+        let x: Vec<Complex64> = (0..n).map(|k| Complex::from_real(k as f64)).collect();
+        let mut buf = x.clone();
+        planner.plan_forward(n).process(&mut buf).unwrap();
+        planner.plan_inverse(n).process(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+    assert_eq!(planner.cached_plans(), 12);
+}

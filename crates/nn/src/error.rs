@@ -1,0 +1,101 @@
+//! Error type for the neural-network stack.
+
+use ffdl_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors reported by layers, losses, optimizers and the model format.
+#[derive(Debug)]
+pub enum NnError {
+    /// A tensor operation failed (shape/rank mismatch and friends).
+    Tensor(TensorError),
+    /// The layer received an input of an unexpected shape.
+    BadInput {
+        /// The layer reporting the problem.
+        layer: String,
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// `backward` was called before `forward` (no cached activation).
+    NoForwardCache(String),
+    /// The model file is malformed or of an unsupported version.
+    ModelFormat(String),
+    /// An unknown layer tag was encountered while loading a model.
+    UnknownLayerTag(String),
+    /// Underlying I/O failure while reading or writing a model.
+    Io(io::Error),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            NnError::BadInput { layer, message } => {
+                write!(f, "bad input to layer {layer}: {message}")
+            }
+            NnError::NoForwardCache(layer) => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::ModelFormat(msg) => write!(f, "malformed model file: {msg}"),
+            NnError::UnknownLayerTag(tag) => write!(f, "unknown layer tag {tag:?}"),
+            NnError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<io::Error> for NnError {
+    fn from(e: io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: NnError = TensorError::InvalidGeometry("x".into()).into();
+        assert!(e.to_string().contains("tensor operation"));
+        assert!(e.source().is_some());
+
+        let e = NnError::BadInput {
+            layer: "dense".into(),
+            message: "expected 2 dims".into(),
+        };
+        assert!(e.to_string().contains("dense"));
+
+        let e = NnError::NoForwardCache("relu".into());
+        assert!(e.to_string().contains("relu"));
+
+        let e = NnError::UnknownLayerTag("mystery".into());
+        assert!(e.to_string().contains("mystery"));
+
+        let e: NnError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(e.to_string().contains("i/o"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NnError>();
+    }
+}

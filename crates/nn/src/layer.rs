@@ -1,0 +1,201 @@
+//! The [`Layer`] abstraction shared by the dense baselines of this crate
+//! and the block-circulant FFT layers of `ffdl-core`.
+
+use crate::error::NnError;
+use ffdl_tensor::Tensor;
+
+/// A mutable view of one trainable parameter and its gradient.
+///
+/// Returned by [`Layer::parameters`]; the optimizer walks these pairs in a
+/// stable order, so per-parameter state (momentum velocity) can be indexed
+/// positionally.
+pub struct ParamRef<'a> {
+    /// Human-readable parameter name (diagnostics).
+    pub name: &'static str,
+    /// The parameter tensor.
+    pub value: &'a mut Tensor,
+    /// The gradient accumulated by the most recent backward pass.
+    pub grad: &'a mut Tensor,
+}
+
+/// Arithmetic/memory cost of one *single-sample* forward pass through a
+/// layer — the quantity the embedded platform model (Table I–III) converts
+/// into µs/image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCost {
+    /// Real multiplications.
+    pub mults: u64,
+    /// Real additions/subtractions.
+    pub adds: u64,
+    /// Nonlinearity evaluations (ReLU/softmax terms).
+    pub nonlin: u64,
+    /// Parameter values streamed from memory (model storage traffic).
+    pub param_reads: u64,
+    /// Activation values read + written.
+    pub act_traffic: u64,
+}
+
+impl OpCost {
+    /// Component-wise sum of two costs.
+    pub fn combine(self, other: OpCost) -> OpCost {
+        OpCost {
+            mults: self.mults + other.mults,
+            adds: self.adds + other.adds,
+            nonlin: self.nonlin + other.nonlin,
+            param_reads: self.param_reads + other.param_reads,
+            act_traffic: self.act_traffic + other.act_traffic,
+        }
+    }
+
+    /// Total floating-point operations (mults + adds + nonlinearities).
+    pub fn flops(self) -> u64 {
+        self.mults + self.adds + self.nonlin
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters and cache whatever activations the backward
+/// pass needs; `backward` must be preceded by `forward` on the same input
+/// batch. Inputs and outputs are batched: the first dimension is the batch
+/// size.
+pub trait Layer: Send {
+    /// Stable identifier used by the model format and architecture parser
+    /// (e.g. `"dense"`, `"relu"`, `"circulant_dense"`).
+    fn type_tag(&self) -> &'static str;
+
+    /// Computes the layer output for a batch, caching what backward needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when the input shape is incompatible.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Propagates the loss gradient, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when called before `forward`,
+    /// or [`NnError::BadInput`] on a gradient of the wrong shape.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Trainable parameters with their gradients, in a stable order.
+    fn parameters(&mut self) -> Vec<ParamRef<'_>> {
+        Vec::new()
+    }
+
+    /// Number of *stored* parameter values.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Number of parameters an uncompressed (dense) layer of the same
+    /// logical shape would store. For dense layers this equals
+    /// [`Layer::param_count`]; block-circulant layers report the full
+    /// `m·n` so compression ratios can be derived.
+    fn logical_param_count(&self) -> usize {
+        self.param_count()
+    }
+
+    /// Single-sample forward cost for the platform model.
+    fn op_cost(&self) -> OpCost {
+        OpCost::default()
+    }
+
+    /// Layer-specific configuration blob for the model format.
+    fn config_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Read-only parameter tensors, in the same order as
+    /// [`Layer::parameters`] (used by the model writer).
+    fn param_tensors(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Replaces the layer's parameters (used by the model loader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ModelFormat`] when the count or shapes do not
+    /// match this layer's parameters.
+    fn load_params(&mut self, params: &[Tensor]) -> Result<(), NnError> {
+        if !params.is_empty() {
+            return Err(NnError::ModelFormat(format!(
+                "layer {} takes no parameters, got {}",
+                self.type_tag(),
+                params.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validates that an incoming batch tensor has the expected trailing
+/// feature dimensions, producing a consistent error message.
+pub(crate) fn check_features(
+    layer: &str,
+    input: &Tensor,
+    expected_rank: usize,
+    expected_tail: &[usize],
+) -> Result<(), NnError> {
+    if input.ndim() != expected_rank {
+        return Err(NnError::BadInput {
+            layer: layer.to_string(),
+            message: format!(
+                "expected rank-{expected_rank} batch input, got shape {:?}",
+                input.shape()
+            ),
+        });
+    }
+    let tail = &input.shape()[1..];
+    if tail != expected_tail {
+        return Err(NnError::BadInput {
+            layer: layer.to_string(),
+            message: format!(
+                "expected per-sample shape {expected_tail:?}, got {:?}",
+                tail
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_cost_combines_and_sums() {
+        let a = OpCost {
+            mults: 1,
+            adds: 2,
+            nonlin: 3,
+            param_reads: 4,
+            act_traffic: 5,
+        };
+        let b = OpCost {
+            mults: 10,
+            adds: 20,
+            nonlin: 30,
+            param_reads: 40,
+            act_traffic: 50,
+        };
+        let c = a.combine(b);
+        assert_eq!(c.mults, 11);
+        assert_eq!(c.act_traffic, 55);
+        assert_eq!(c.flops(), 11 + 22 + 33);
+        assert_eq!(OpCost::default().flops(), 0);
+    }
+
+    #[test]
+    fn check_features_messages() {
+        let t = Tensor::zeros(&[4, 3]);
+        assert!(check_features("dense", &t, 2, &[3]).is_ok());
+        let err = check_features("dense", &t, 3, &[3, 1]).unwrap_err();
+        assert!(err.to_string().contains("rank-3"));
+        let err = check_features("dense", &t, 2, &[5]).unwrap_err();
+        assert!(err.to_string().contains("[5]"));
+    }
+}

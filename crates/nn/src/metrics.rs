@@ -1,0 +1,229 @@
+//! Evaluation metrics: confusion matrix and derived per-class statistics.
+
+use crate::error::NnError;
+
+/// A `classes × classes` confusion matrix: `counts[actual][predicted]`.
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_nn::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// cm.record(0, 0);
+/// cm.record(0, 1); // one class-0 sample predicted as class 1
+/// cm.record(1, 1);
+/// assert_eq!(cm.total(), 3);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Builds a matrix from parallel prediction/label slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on length mismatch or out-of-range
+    /// classes.
+    pub fn from_predictions(
+        predictions: &[usize],
+        labels: &[usize],
+        classes: usize,
+    ) -> Result<Self, NnError> {
+        if predictions.len() != labels.len() {
+            return Err(NnError::BadInput {
+                layer: "confusion_matrix".into(),
+                message: format!(
+                    "{} predictions for {} labels",
+                    predictions.len(),
+                    labels.len()
+                ),
+            });
+        }
+        let mut cm = Self::new(classes);
+        for (&p, &l) in predictions.iter().zip(labels) {
+            if p >= classes || l >= classes {
+                return Err(NnError::BadInput {
+                    layer: "confusion_matrix".into(),
+                    message: format!("class index out of range: pred {p}, label {l}"),
+                });
+            }
+            cm.record(l, p);
+        }
+        Ok(cm)
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.classes && predicted < self.classes);
+        self.counts[actual * self.classes + predicted] += 1;
+    }
+
+    /// Count at `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of one class: `TP / (TP + FP)`; `None` when the class
+    /// was never predicted.
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let predicted: u64 = (0..self.classes).map(|a| self.count(a, class)).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall of one class: `TP / (TP + FN)`; `None` when the class never
+    /// occurred.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let actual: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / actual as f64)
+        }
+    }
+
+    /// Macro-averaged F1 over classes that occurred.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.classes {
+            if let (Some(p), Some(r)) = (self.precision(c), self.recall(c)) {
+                if p + r > 0.0 {
+                    sum += 2.0 * p * r / (p + r);
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actual\\pred")?;
+        for p in 0..self.classes {
+            write!(f, " {p:>6}")?;
+        }
+        writeln!(f)?;
+        for a in 0..self.classes {
+            write!(f, "{a:>11}")?;
+            for p in 0..self.classes {
+                write!(f, " {:>6}", self.count(a, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // actual 0: 3 correct, 1 as class 1; actual 1: 2 correct.
+        ConfusionMatrix::from_predictions(&[0, 0, 0, 1, 1, 1], &[0, 0, 0, 0, 1, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let cm = sample();
+        assert_eq!(cm.count(0, 0), 3);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.total(), 6);
+        assert!((cm.accuracy() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let cm = sample();
+        // class 0: TP 3, FP 0 → precision 1; FN 1 → recall 3/4.
+        assert!((cm.precision(0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 0.75).abs() < 1e-12);
+        // class 1: TP 2, FP 1 → precision 2/3; FN 0 → recall 1.
+        assert!((cm.precision(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1).unwrap() - 1.0).abs() < 1e-12);
+        let f1_0 = 2.0 * 0.75 / 1.75;
+        let f1_1 = 2.0 * (2.0 / 3.0) / (2.0 / 3.0 + 1.0);
+        assert!((cm.macro_f1() - (f1_0 + f1_1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_classes_are_none() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        assert!(cm.precision(2).is_none());
+        assert!(cm.recall(2).is_none());
+        assert_eq!(ConfusionMatrix::new(2).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ConfusionMatrix::from_predictions(&[0], &[0, 1], 2).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[5], &[0], 2).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[0], &[5], 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "class")]
+    fn zero_classes_panics() {
+        let _ = ConfusionMatrix::new(0);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let s = format!("{}", sample());
+        assert!(s.contains("actual"));
+        assert!(s.lines().count() >= 3);
+    }
+}

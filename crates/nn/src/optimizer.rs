@@ -1,0 +1,212 @@
+//! Stochastic gradient descent with momentum — the optimizer the paper
+//! trains with ("both the original and compressed models are trained with
+//! learning rate 0.001 and momentum 0.9", §V-C).
+
+use crate::layer::ParamRef;
+use ffdl_tensor::Tensor;
+
+/// SGD with classical (heavy-ball) momentum:
+/// `v ← µ·v − η·g`, `w ← w + v`.
+///
+/// Velocity buffers are allocated lazily on the first step and matched to
+/// parameters positionally, so the same optimizer instance must always be
+/// stepped with the same parameter list (the [`Network`](crate::Network)
+/// guarantees this).
+#[derive(Debug)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD (no momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not finite and positive.
+    pub fn new(learning_rate: f32) -> Self {
+        Self::with_momentum(learning_rate, 0.0)
+    }
+
+    /// Creates SGD with momentum. The paper's setting is
+    /// `Sgd::with_momentum(0.001, 0.9)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not finite/positive or `momentum` is
+    /// outside `[0, 1)`.
+    pub fn with_momentum(learning_rate: f32, momentum: f32) -> Self {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive, got {learning_rate}"
+        );
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1), got {momentum}"
+        );
+        Self {
+            learning_rate,
+            momentum,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Replaces the learning rate (for decay schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.learning_rate = lr;
+    }
+
+    /// Momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// Applies one update step to the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list's shapes change between steps (a
+    /// programming error in the caller).
+    pub fn step(&mut self, params: &mut [ParamRef<'_>]) {
+        if self.velocities.len() < params.len() {
+            for p in params[self.velocities.len()..].iter() {
+                self.velocities.push(Tensor::zeros(p.value.shape()));
+            }
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocities) {
+            assert_eq!(
+                v.shape(),
+                p.value.shape(),
+                "parameter {} changed shape between optimizer steps",
+                p.name
+            );
+            if self.momentum == 0.0 {
+                p.value
+                    .axpy(-self.learning_rate, p.grad)
+                    .expect("grad shape matches param shape");
+            } else {
+                let mu = self.momentum;
+                let lr = self.learning_rate;
+                for ((vi, &gi), wi) in v
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(p.grad.as_slice())
+                    .zip(p.value.as_mut_slice())
+                {
+                    *vi = mu * *vi - lr * gi;
+                    *wi += *vi;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut w = Tensor::from_slice(&[1.0, 2.0]);
+        let mut g = Tensor::from_slice(&[10.0, -10.0]);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [ParamRef {
+            name: "w",
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        assert_eq!(w.as_slice(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut w = Tensor::from_slice(&[0.0]);
+        let mut g = Tensor::from_slice(&[1.0]);
+        let mut opt = Sgd::with_momentum(0.1, 0.5);
+        // Step 1: v = −0.1, w = −0.1.
+        opt.step(&mut [ParamRef {
+            name: "w",
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        assert!((w.as_slice()[0] + 0.1).abs() < 1e-7);
+        // Step 2: v = 0.5·(−0.1) − 0.1 = −0.15, w = −0.25.
+        opt.step(&mut [ParamRef {
+            name: "w",
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        assert!((w.as_slice()[0] + 0.25).abs() < 1e-7);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        // Minimize f(w) = w²/2 (gradient w): must converge to 0.
+        let mut w = Tensor::from_slice(&[5.0]);
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        for _ in 0..200 {
+            let mut g = w.clone();
+            opt.step(&mut [ParamRef {
+                name: "w",
+                value: &mut w,
+                grad: &mut g,
+            }]);
+        }
+        assert!(w.as_slice()[0].abs() < 1e-3, "w = {}", w.as_slice()[0]);
+    }
+
+    #[test]
+    fn multiple_params_tracked_independently() {
+        let mut w1 = Tensor::from_slice(&[1.0]);
+        let mut w2 = Tensor::from_slice(&[1.0, 1.0]);
+        let mut g1 = Tensor::from_slice(&[1.0]);
+        let mut g2 = Tensor::from_slice(&[0.0, 2.0]);
+        let mut opt = Sgd::with_momentum(0.5, 0.9);
+        opt.step(&mut [
+            ParamRef {
+                name: "w1",
+                value: &mut w1,
+                grad: &mut g1,
+            },
+            ParamRef {
+                name: "w2",
+                value: &mut w2,
+                grad: &mut g2,
+            },
+        ]);
+        assert!((w1.as_slice()[0] - 0.5).abs() < 1e-7);
+        assert_eq!(w2.as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn accessors_and_decay() {
+        let mut opt = Sgd::with_momentum(0.01, 0.9);
+        assert_eq!(opt.learning_rate(), 0.01);
+        assert_eq!(opt.momentum(), 0.9);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn rejects_momentum_one() {
+        let _ = Sgd::with_momentum(0.1, 1.0);
+    }
+}

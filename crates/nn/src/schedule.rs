@@ -1,0 +1,132 @@
+//! Learning-rate schedules for the SGD optimizer.
+
+use crate::optimizer::Sgd;
+
+/// A learning-rate schedule: maps an epoch index to a rate.
+pub trait LrSchedule {
+    /// Learning rate for (0-based) `epoch`.
+    fn rate(&self, epoch: usize) -> f32;
+
+    /// Applies this schedule's rate for `epoch` to an optimizer.
+    fn apply(&self, optimizer: &mut Sgd, epoch: usize)
+    where
+        Self: Sized,
+    {
+        optimizer.set_learning_rate(self.rate(epoch));
+    }
+}
+
+/// Constant rate (the paper's setting: 0.001 throughout).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn rate(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Step decay: multiply by `gamma` every `step_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Initial rate.
+    pub initial: f32,
+    /// Multiplicative factor per step.
+    pub gamma: f32,
+    /// Epochs between steps.
+    pub step_epochs: usize,
+}
+
+impl StepDecay {
+    /// Creates a step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `initial > 0`, `0 < gamma <= 1`, `step_epochs > 0`.
+    pub fn new(initial: f32, gamma: f32, step_epochs: usize) -> Self {
+        assert!(initial > 0.0, "initial rate must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        assert!(step_epochs > 0, "step interval must be positive");
+        Self {
+            initial,
+            gamma,
+            step_epochs,
+        }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn rate(&self, epoch: usize) -> f32 {
+        self.initial * self.gamma.powi((epoch / self.step_epochs) as i32)
+    }
+}
+
+/// Linear warmup to `peak` over `warmup_epochs`, then constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearWarmup {
+    /// Rate reached after warmup.
+    pub peak: f32,
+    /// Warmup length in epochs.
+    pub warmup_epochs: usize,
+}
+
+impl LrSchedule for LinearWarmup {
+    fn rate(&self, epoch: usize) -> f32 {
+        if self.warmup_epochs == 0 || epoch >= self.warmup_epochs {
+            self.peak
+        } else {
+            // Start above zero so epoch 0 still makes progress.
+            self.peak * (epoch + 1) as f32 / self.warmup_epochs as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.001);
+        assert_eq!(s.rate(0), 0.001);
+        assert_eq!(s.rate(100), 0.001);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = StepDecay::new(0.1, 0.5, 10);
+        assert_eq!(s.rate(0), 0.1);
+        assert_eq!(s.rate(9), 0.1);
+        assert!((s.rate(10) - 0.05).abs() < 1e-9);
+        assert!((s.rate(25) - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_ramps() {
+        let s = LinearWarmup {
+            peak: 0.01,
+            warmup_epochs: 4,
+        };
+        assert!((s.rate(0) - 0.0025).abs() < 1e-9);
+        assert!((s.rate(3) - 0.01).abs() < 1e-9);
+        assert_eq!(s.rate(10), 0.01);
+        let s0 = LinearWarmup {
+            peak: 0.01,
+            warmup_epochs: 0,
+        };
+        assert_eq!(s0.rate(0), 0.01);
+    }
+
+    #[test]
+    fn applies_to_optimizer() {
+        let mut opt = Sgd::with_momentum(1.0, 0.9);
+        StepDecay::new(0.1, 0.1, 1).apply(&mut opt, 2);
+        assert!((opt.learning_rate() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn step_decay_validates() {
+        let _ = StepDecay::new(0.1, 1.5, 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! Binary model format and the layer registry.
+//!
+//! This is the "file that contains trained weights and biases" of the
+//! paper's Fig. 4 pipeline. The format is self-describing:
+//!
+//! ```text
+//! magic  "FFDL"            4 bytes
+//! version u32              currently 1
+//! n_layers u32
+//! per layer:
+//!   tag      length-prefixed UTF-8 (e.g. "dense", "circulant_dense")
+//!   config   length-prefixed blob  (layer-specific geometry)
+//!   n_params u32
+//!   params   tensors (rank, dims…, f32 data)
+//! ```
+//!
+//! Loading needs a [`LayerRegistry`] mapping tags to constructors, so
+//! downstream crates (notably `ffdl-core`'s block-circulant layers) can
+//! register their own layer types without this crate knowing about them.
+
+use crate::activation::{Relu, Sigmoid, Tanh};
+use crate::avgpool::avgpool2d_from_config;
+use crate::conv::conv2d_from_config;
+use crate::dense::dense_from_config;
+use crate::error::NnError;
+use crate::flatten::flatten_from_config;
+use crate::layer::Layer;
+use crate::network::Network;
+use crate::pool::maxpool2d_from_config;
+use crate::softmax::softmax_from_config;
+use crate::wire;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"FFDL";
+const VERSION: u32 = 1;
+
+/// Constructor signature stored in the registry: builds an un-parameterized
+/// layer from its config blob (parameters are loaded separately).
+pub type LayerBuilder = fn(&[u8]) -> Result<Box<dyn Layer>, NnError>;
+
+/// Maps layer type tags to constructors for model loading.
+pub struct LayerRegistry {
+    builders: HashMap<String, LayerBuilder>,
+}
+
+impl LayerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            builders: HashMap::new(),
+        }
+    }
+
+    /// A registry pre-populated with every layer type this crate defines
+    /// (`dense`, `conv2d`, `relu`, `sigmoid`, `tanh`, `maxpool2d`,
+    /// `avgpool2d`, `flatten`, `softmax`).
+    pub fn with_builtin_layers() -> Self {
+        let mut r = Self::new();
+        r.register("dense", dense_from_config);
+        r.register("conv2d", conv2d_from_config);
+        r.register("maxpool2d", maxpool2d_from_config);
+        r.register("avgpool2d", avgpool2d_from_config);
+        r.register("flatten", flatten_from_config);
+        r.register("softmax", softmax_from_config);
+        r.register("relu", |_| Ok(Box::new(Relu::new())));
+        r.register("sigmoid", |_| Ok(Box::new(Sigmoid::new())));
+        r.register("tanh", |_| Ok(Box::new(Tanh::new())));
+        r
+    }
+
+    /// Registers (or replaces) a builder for a tag.
+    pub fn register(&mut self, tag: &str, builder: LayerBuilder) {
+        self.builders.insert(tag.to_string(), builder);
+    }
+
+    /// Looks up a builder.
+    pub fn builder(&self, tag: &str) -> Option<LayerBuilder> {
+        self.builders.get(tag).copied()
+    }
+
+    /// Number of registered tags.
+    pub fn len(&self) -> usize {
+        self.builders.len()
+    }
+
+    /// `true` when no tags are registered.
+    pub fn is_empty(&self) -> bool {
+        self.builders.is_empty()
+    }
+}
+
+impl Default for LayerRegistry {
+    fn default() -> Self {
+        Self::with_builtin_layers()
+    }
+}
+
+/// Writes a network (architecture + parameters) to `writer`.
+///
+/// A `&mut` reference can be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on write failure.
+pub fn save_network<W: Write>(network: &Network, mut writer: W) -> Result<(), NnError> {
+    writer.write_all(MAGIC)?;
+    wire::write_u32(&mut writer, VERSION)?;
+    wire::write_u32(&mut writer, network.len() as u32)?;
+    for layer in network.layers() {
+        wire::write_string(&mut writer, layer.type_tag())?;
+        let config = layer.config_bytes();
+        wire::write_u32(&mut writer, config.len() as u32)?;
+        writer.write_all(&config)?;
+        let params = layer.param_tensors();
+        wire::write_u32(&mut writer, params.len() as u32)?;
+        for p in params {
+            wire::write_tensor(&mut writer, p)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a network written by [`save_network`], resolving layer types
+/// through `registry`.
+///
+/// A `&mut` reference can be passed for `reader`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ModelFormat`] on a bad magic/version/structure,
+/// [`NnError::UnknownLayerTag`] for unregistered layers, and
+/// [`NnError::Io`] on truncated input.
+pub fn load_network<R: Read>(mut reader: R, registry: &LayerRegistry) -> Result<Network, NnError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(NnError::ModelFormat(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = wire::read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(NnError::ModelFormat(format!(
+            "unsupported version {version}, expected {VERSION}"
+        )));
+    }
+    let n_layers = wire::read_u32(&mut reader)? as usize;
+    if n_layers > 10_000 {
+        return Err(NnError::ModelFormat(format!(
+            "layer count {n_layers} exceeds sanity bound"
+        )));
+    }
+    let mut network = Network::new();
+    for _ in 0..n_layers {
+        let tag = wire::read_string(&mut reader)?;
+        let config_len = wire::read_u32(&mut reader)? as usize;
+        if config_len > 1 << 20 {
+            return Err(NnError::ModelFormat(format!(
+                "config blob of {config_len} bytes exceeds sanity bound"
+            )));
+        }
+        let mut config = vec![0u8; config_len];
+        reader.read_exact(&mut config)?;
+        let n_params = wire::read_u32(&mut reader)? as usize;
+        if n_params > 64 {
+            return Err(NnError::ModelFormat(format!(
+                "parameter count {n_params} exceeds sanity bound"
+            )));
+        }
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            params.push(wire::read_tensor(&mut reader)?);
+        }
+        let builder = registry
+            .builder(&tag)
+            .ok_or_else(|| NnError::UnknownLayerTag(tag.clone()))?;
+        let mut layer = builder(&config)?;
+        layer.load_params(&params)?;
+        network.push_boxed(layer);
+    }
+    Ok(network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::conv::Conv2d;
+    use crate::dense::Dense;
+    use crate::flatten::Flatten;
+    use crate::pool::MaxPool2d;
+    use crate::softmax::Softmax;
+    use ffdl_tensor::{ConvGeometry, Tensor};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::io::Cursor;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    fn roundtrip(net: &Network) -> Network {
+        let mut buf = Vec::new();
+        save_network(net, &mut buf).unwrap();
+        load_network(Cursor::new(buf), &LayerRegistry::with_builtin_layers()).unwrap()
+    }
+
+    #[test]
+    fn dense_network_roundtrip_preserves_outputs() {
+        let mut rng = rng();
+        let mut net = Network::new();
+        net.push(Dense::new(6, 10, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(10, 3, &mut rng));
+        net.push(Softmax::new());
+
+        let mut loaded = roundtrip(&net);
+        let x = Tensor::from_fn(&[2, 6], |i| (i as f32 * 0.37).sin());
+        let y1 = net.forward(&x).unwrap();
+        let y2 = loaded.forward(&x).unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice());
+        assert_eq!(loaded.param_count(), net.param_count());
+    }
+
+    #[test]
+    fn conv_network_roundtrip() {
+        let mut rng = rng();
+        let mut net = Network::new();
+        net.push(Conv2d::new(1, 4, 8, 8, ConvGeometry::valid(3), &mut rng).unwrap());
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2));
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 3 * 3, 2, &mut rng));
+
+        let mut loaded = roundtrip(&net);
+        let x = Tensor::from_fn(&[1, 1, 8, 8], |i| (i % 7) as f32 * 0.1);
+        let y1 = net.forward(&x).unwrap();
+        let y2 = loaded.forward(&x).unwrap();
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        let err = load_network(Cursor::new(buf), &LayerRegistry::default()).unwrap_err();
+        assert!(matches!(err, NnError::ModelFormat(_)));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        wire::write_u32(&mut buf, 999).unwrap();
+        wire::write_u32(&mut buf, 0).unwrap();
+        assert!(matches!(
+            load_network(Cursor::new(buf), &LayerRegistry::default()),
+            Err(NnError::ModelFormat(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_reported() {
+        let mut net = Network::new();
+        net.push(Relu::new());
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let empty = LayerRegistry::new();
+        assert!(matches!(
+            load_network(Cursor::new(buf), &empty),
+            Err(NnError::UnknownLayerTag(tag)) if tag == "relu"
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let mut net = Network::new();
+        net.push(Dense::new(4, 4, &mut rng()));
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(
+            load_network(Cursor::new(buf), &LayerRegistry::default()),
+            Err(NnError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn registry_basics() {
+        let r = LayerRegistry::with_builtin_layers();
+        assert!(r.builder("dense").is_some());
+        assert!(r.builder("nope").is_none());
+        assert_eq!(r.len(), 9);
+        assert!(!r.is_empty());
+        assert!(LayerRegistry::new().is_empty());
+    }
+
+    #[test]
+    fn empty_network_roundtrip() {
+        let net = Network::new();
+        let loaded = roundtrip(&net);
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Little-endian wire helpers for the binary model format.
+//!
+//! The paper's deployment pipeline (Fig. 4) reads "a file that contains
+//! trained weights and biases"; this module defines the primitive
+//! encoding shared by the model writer, the parameters parser and layer
+//! config blobs.
+
+use crate::error::NnError;
+use ffdl_tensor::Tensor;
+use std::io::{Read, Write};
+
+/// Writes a `u32` in little-endian order.
+pub fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<(), NnError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads a little-endian `u32`.
+pub fn read_u32<R: Read>(r: &mut R) -> Result<u32, NnError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes an `f32` in little-endian order.
+pub fn write_f32<W: Write>(w: &mut W, v: f32) -> Result<(), NnError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads a little-endian `f32`.
+pub fn read_f32<R: Read>(r: &mut R) -> Result<f32, NnError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_string<W: Write>(w: &mut W, s: &str) -> Result<(), NnError> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Reads a length-prefixed UTF-8 string (capped at 1 MiB to bound memory
+/// on corrupt files).
+pub fn read_string<R: Read>(r: &mut R) -> Result<String, NnError> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(NnError::ModelFormat(format!(
+            "string length {len} exceeds sanity bound"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| NnError::ModelFormat("string is not UTF-8".into()))
+}
+
+/// Writes a tensor as `ndim, dims…, f32 data`.
+pub fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> Result<(), NnError> {
+    write_u32(w, t.ndim() as u32)?;
+    for &d in t.shape() {
+        write_u32(w, d as u32)?;
+    }
+    for &v in t.as_slice() {
+        write_f32(w, v)?;
+    }
+    Ok(())
+}
+
+/// Reads a tensor written by [`write_tensor`] (element count capped at
+/// 2²⁸ to bound memory on corrupt files).
+pub fn read_tensor<R: Read>(r: &mut R) -> Result<Tensor, NnError> {
+    let ndim = read_u32(r)? as usize;
+    if ndim > 8 {
+        return Err(NnError::ModelFormat(format!(
+            "tensor rank {ndim} exceeds sanity bound"
+        )));
+    }
+    let mut shape = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        shape.push(read_u32(r)? as usize);
+    }
+    let n: usize = shape.iter().product();
+    if n > 1 << 28 {
+        return Err(NnError::ModelFormat(format!(
+            "tensor with {n} elements exceeds sanity bound"
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(read_f32(r)?);
+    }
+    Tensor::from_vec(data, &shape).map_err(|e| NnError::ModelFormat(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        assert_eq!(read_u32(&mut Cursor::new(buf)).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut buf = Vec::new();
+        write_f32(&mut buf, -1.25e-3).unwrap();
+        assert_eq!(read_f32(&mut Cursor::new(buf)).unwrap(), -1.25e-3);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut buf = Vec::new();
+        write_string(&mut buf, "block-circulant ◉").unwrap();
+        assert_eq!(
+            read_string(&mut Cursor::new(buf)).unwrap(),
+            "block-circulant ◉"
+        );
+    }
+
+    #[test]
+    fn string_rejects_giant_length() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, u32::MAX).unwrap();
+        assert!(matches!(
+            read_string(&mut Cursor::new(buf)),
+            Err(NnError::ModelFormat(_))
+        ));
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| i as f32 * 0.5);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let back = read_tensor(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn tensor_rejects_absurd_rank() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 99).unwrap();
+        assert!(matches!(
+            read_tensor(&mut Cursor::new(buf)),
+            Err(NnError::ModelFormat(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_io_error() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 2).unwrap(); // claims rank 2 then stops
+        assert!(matches!(
+            read_tensor(&mut Cursor::new(buf)),
+            Err(NnError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+//! # ffdl-platform — embedded platform model
+//!
+//! Stand-in for the three Android devices of Table I in *"FFT-Based Deep
+//! Learning Deployment in Embedded Systems"* (Lin et al., DATE 2018).
+//!
+//! - [`PlatformSpec`] and the constants [`NEXUS_5`], [`ODROID_XU3`],
+//!   [`HONOR_6X`]: the rows of Table I.
+//! - [`RuntimeModel`]: converts exact per-layer op counts (from
+//!   `ffdl_nn::OpCost`) into µs/image per (platform, [`Implementation`],
+//!   [`PowerState`]) — the quantity Tables II/III report. Calibration
+//!   notes live in [`model`-level docs](throughput_for).
+//! - [`measure_inference_us`]: real wall-clock measurement of the Rust
+//!   kernels on the host, reported alongside every model estimate.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffdl_platform::{all_platforms, Implementation, PowerState, RuntimeModel};
+//! use ffdl_nn::OpCost;
+//!
+//! let cost = OpCost { mults: 7000, adds: 7000, nonlin: 250, param_reads: 800, act_traffic: 400 };
+//! for platform in all_platforms() {
+//!     let cpp = RuntimeModel::new(platform, Implementation::Cpp, PowerState::PluggedIn);
+//!     let java = RuntimeModel::new(platform, Implementation::Java, PowerState::PluggedIn);
+//!     assert!(java.estimate_cost_us(cost, false) > cpp.estimate_cost_us(cost, false));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod measure;
+mod model;
+mod spec;
+
+pub use measure::{measure_inference_us, time_reps, Timing};
+pub use model::{
+    throughput_for, Implementation, PowerState, RuntimeModel, ThroughputParams,
+    JAVA_BATTERY_PENALTY,
+};
+pub use spec::{all_platforms, CpuArch, CpuCluster, PlatformSpec, HONOR_6X, NEXUS_5, ODROID_XU3};

@@ -1,0 +1,387 @@
+//! The runtime cost model: converts per-layer op counts into µs/image for
+//! a (platform, implementation, power-state) triple.
+//!
+//! Substitution note (DESIGN.md §2): the paper measures wall-clock time on
+//! three physical Android devices. Those devices are not available, so
+//! Tables II/III are regenerated through this model: per-layer arithmetic
+//! op counts (exact, from the real Rust layers) × per-platform throughput
+//! parameters. Two throughput classes are distinguished — *streaming*
+//! kernels (dense GEMM/conv inner loops, which stream contiguously and
+//! vectorize well) and *scalar* kernels (FFT butterflies and spectral
+//! MACs, which are latency- and permutation-bound) — because a single
+//! rate cannot match both the MNIST (FFT-dominated) and CIFAR
+//! (GEMM-dominated) measurements. The per-platform constants are
+//! calibrated once against the paper's C++ rows and documented below; the
+//! Java factor and battery penalty come straight from §V-B.
+
+use crate::spec::{PlatformSpec, HONOR_6X, NEXUS_5, ODROID_XU3};
+use ffdl_nn::{Layer, Network, OpCost};
+
+/// Which of the paper's two software implementations is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Implementation {
+    /// OpenCV Java API (convenient, slower: bounded heap + JNI
+    /// conversions, §V-B).
+    Java,
+    /// OpenCV C++ API through the Android NDK.
+    Cpp,
+}
+
+impl std::fmt::Display for Implementation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Implementation::Java => write!(f, "Java"),
+            Implementation::Cpp => write!(f, "C++"),
+        }
+    }
+}
+
+/// Power state of the device during measurement (§V-B studies both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerState {
+    /// Plugged in — the standard evaluation setup.
+    PluggedIn,
+    /// Running on battery: the governor throttles the Java runtime by
+    /// ≈14 %; the C++ implementation is unaffected (§V-B).
+    OnBattery,
+}
+
+/// Calibrated throughput parameters for one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputParams {
+    /// Streaming-kernel ops per µs (C++): dense GEMM / direct conv loops.
+    pub streaming_ops_per_us: f64,
+    /// Scalar-kernel ops per µs (C++): FFT butterflies, spectral MACs.
+    pub scalar_ops_per_us: f64,
+    /// Fixed per-layer invocation overhead in µs (C++): OpenCV call
+    /// dispatch, buffer setup, cache warm-up. Table II shows runtime
+    /// changes by only 2–9 % between Arch. 1 and the half-sized Arch. 2,
+    /// so at MNIST scale this term dominates per-image time.
+    pub layer_overhead_us: f64,
+    /// Java-over-C++ runtime multiplier (Tables II/III show 2.3–2.6×),
+    /// applied to both the overhead and the compute terms.
+    pub java_factor: f64,
+}
+
+/// Per-platform calibration, fit once against the paper's C++
+/// measurements (Table II fixes the per-layer overhead and the scalar
+/// rate; Table III fixes the streaming rate) and kept fixed for every
+/// experiment.
+pub fn throughput_for(platform: &PlatformSpec) -> ThroughputParams {
+    // Rates scale with the primary cluster's single-core clock and a
+    // per-microarchitecture IPC factor; the constants below reproduce the
+    // ordering and ratios of Tables II/III.
+    match platform.name {
+        // Streaming rates model OpenCV's multi-threaded NEON GEMM
+        // (~14-15 Gops/s on 4 big cores, ~40 % of peak); scalar rates
+        // model the batched FFT/spectral kernels at half that. Overheads
+        // absorb the near-constant Table II runtimes across Arch. 1/2
+        // (per-call dispatch dominates at MNIST scale); the rates are
+        // pinned by the Table III CIFAR totals, where compute dominates.
+        n if n == NEXUS_5.name => ThroughputParams {
+            streaming_ops_per_us: 13000.0,
+            scalar_ops_per_us: 6500.0,
+            layer_overhead_us: 22.92,
+            java_factor: 2.57,
+        },
+        n if n == ODROID_XU3.name => ThroughputParams {
+            streaming_ops_per_us: 14092.0,
+            scalar_ops_per_us: 7046.0,
+            layer_overhead_us: 19.96,
+            java_factor: 2.41,
+        },
+        n if n == HONOR_6X.name => ThroughputParams {
+            streaming_ops_per_us: 15180.0,
+            scalar_ops_per_us: 7590.0,
+            layer_overhead_us: 16.50,
+            java_factor: 2.50,
+        },
+        // Unknown platform: derive a rough rate from the clock so the
+        // model degrades gracefully.
+        _ => ThroughputParams {
+            streaming_ops_per_us: 3400.0 * platform.primary.freq_ghz,
+            scalar_ops_per_us: 380.0 * platform.primary.freq_ghz,
+            layer_overhead_us: 40.0 / platform.primary.freq_ghz,
+            java_factor: 2.5,
+        },
+    }
+}
+
+/// Battery throttling applied to the Java runtime (§V-B: "the runtime
+/// will increase by about 14 % in the Java implementation, but remains
+/// unchanged in the C++ implementation").
+pub const JAVA_BATTERY_PENALTY: f64 = 0.14;
+
+/// Layer tags whose arithmetic is *streaming* (contiguous GEMM-like inner
+/// loops); every other tag is costed at the scalar rate.
+fn is_streaming_tag(tag: &str) -> bool {
+    matches!(tag, "dense" | "conv2d")
+}
+
+/// Runtime estimator for one (platform, implementation, power) setting.
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_platform::{Implementation, PowerState, RuntimeModel, NEXUS_5};
+/// use ffdl_nn::OpCost;
+///
+/// let model = RuntimeModel::new(NEXUS_5, Implementation::Cpp, PowerState::PluggedIn);
+/// let cost = OpCost { mults: 7000, adds: 7000, nonlin: 300, param_reads: 900, act_traffic: 500 };
+/// let us = model.estimate_cost_us(cost, false);
+/// assert!(us > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeModel {
+    platform: PlatformSpec,
+    implementation: Implementation,
+    power: PowerState,
+    params: ThroughputParams,
+}
+
+impl RuntimeModel {
+    /// Creates a model with the platform's calibrated parameters.
+    pub fn new(
+        platform: PlatformSpec,
+        implementation: Implementation,
+        power: PowerState,
+    ) -> Self {
+        Self {
+            platform,
+            implementation,
+            power,
+            params: throughput_for(&platform),
+        }
+    }
+
+    /// Creates a model with explicit throughput parameters (for
+    /// sensitivity studies).
+    pub fn with_params(
+        platform: PlatformSpec,
+        implementation: Implementation,
+        power: PowerState,
+        params: ThroughputParams,
+    ) -> Self {
+        Self {
+            platform,
+            implementation,
+            power,
+            params,
+        }
+    }
+
+    /// The modelled platform.
+    pub fn platform(&self) -> &PlatformSpec {
+        &self.platform
+    }
+
+    /// The modelled implementation language.
+    pub fn implementation(&self) -> Implementation {
+        self.implementation
+    }
+
+    /// The modelled power state.
+    pub fn power(&self) -> PowerState {
+        self.power
+    }
+
+    fn language_factor(&self) -> f64 {
+        let base = match self.implementation {
+            Implementation::Cpp => 1.0,
+            Implementation::Java => self.params.java_factor,
+        };
+        match (self.implementation, self.power) {
+            (Implementation::Java, PowerState::OnBattery) => base * (1.0 + JAVA_BATTERY_PENALTY),
+            _ => base,
+        }
+    }
+
+    /// Estimated *compute* time in µs for a single-sample cost, classed
+    /// as streaming or scalar. Does **not** include the per-layer
+    /// invocation overhead — use [`Self::estimate_layer_us`] /
+    /// [`Self::estimate_network_us`] for end-to-end figures.
+    pub fn estimate_cost_us(&self, cost: OpCost, streaming: bool) -> f64 {
+        let ops = cost.flops() as f64;
+        let rate = if streaming {
+            self.params.streaming_ops_per_us
+        } else {
+            self.params.scalar_ops_per_us
+        };
+        // Parameter traffic rides on the same rate (the working sets here
+        // fit in L2; the paper's devices are not bandwidth-bound at these
+        // model sizes).
+        let mem = cost.param_reads as f64 * 0.25 / rate;
+        (ops / rate + mem) * self.language_factor()
+    }
+
+    /// Fixed per-layer invocation overhead in µs, language-adjusted.
+    pub fn layer_overhead_us(&self) -> f64 {
+        self.params.layer_overhead_us * self.language_factor()
+    }
+
+    /// Estimated per-image inference time of a network, in µs:
+    /// per-layer invocation overhead plus compute, with per-layer
+    /// streaming classification.
+    ///
+    /// Layer costs reflect the most recent forward pass for
+    /// activation-dependent layers — run one forward before estimating.
+    pub fn estimate_network_us(&self, network: &Network) -> f64 {
+        network
+            .layers()
+            .iter()
+            .map(|layer| self.estimate_layer_us(layer.as_ref()))
+            .sum()
+    }
+
+    /// Estimated time for a single boxed layer, in µs (overhead +
+    /// compute).
+    pub fn estimate_layer_us(&self, layer: &dyn Layer) -> f64 {
+        self.layer_overhead_us()
+            + self.estimate_cost_us(layer.op_cost(), is_streaming_tag(layer.type_tag()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::all_platforms;
+
+    fn sample_cost() -> OpCost {
+        OpCost {
+            mults: 10_000,
+            adds: 10_000,
+            nonlin: 500,
+            param_reads: 2_000,
+            act_traffic: 1_000,
+        }
+    }
+
+    #[test]
+    fn cpp_is_faster_than_java_everywhere() {
+        for p in all_platforms() {
+            let cpp = RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn);
+            let java = RuntimeModel::new(p, Implementation::Java, PowerState::PluggedIn);
+            let tc = cpp.estimate_cost_us(sample_cost(), false);
+            let tj = java.estimate_cost_us(sample_cost(), false);
+            let ratio = tj / tc;
+            assert!(
+                (2.3..=2.7).contains(&ratio),
+                "{}: Java/C++ ratio {ratio}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn platform_ordering_matches_table2() {
+        // Table II: Honor 6X fastest, then XU3, then Nexus 5
+        // (per-layer overhead + compute).
+        let t: Vec<f64> = all_platforms()
+            .iter()
+            .map(|&p| {
+                let m = RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn);
+                m.layer_overhead_us() + m.estimate_cost_us(sample_cost(), false)
+            })
+            .collect();
+        assert!(t[0] > t[1], "Nexus must be slower than XU3");
+        assert!(t[1] > t[2], "XU3 must be slower than Honor 6X");
+    }
+
+    #[test]
+    fn battery_penalizes_java_only() {
+        let p = NEXUS_5;
+        let java_plugged =
+            RuntimeModel::new(p, Implementation::Java, PowerState::PluggedIn);
+        let java_battery =
+            RuntimeModel::new(p, Implementation::Java, PowerState::OnBattery);
+        let cpp_plugged = RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn);
+        let cpp_battery = RuntimeModel::new(p, Implementation::Cpp, PowerState::OnBattery);
+
+        let c = sample_cost();
+        let ratio_java = java_battery.estimate_cost_us(c, false)
+            / java_plugged.estimate_cost_us(c, false);
+        assert!((ratio_java - 1.14).abs() < 1e-6, "java battery {ratio_java}");
+        let ratio_cpp =
+            cpp_battery.estimate_cost_us(c, false) / cpp_plugged.estimate_cost_us(c, false);
+        assert!((ratio_cpp - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_rate_is_higher() {
+        let m = RuntimeModel::new(ODROID_XU3, Implementation::Cpp, PowerState::PluggedIn);
+        let c = sample_cost();
+        assert!(m.estimate_cost_us(c, true) < m.estimate_cost_us(c, false));
+    }
+
+    #[test]
+    fn estimate_scales_linearly_with_ops() {
+        let m = RuntimeModel::new(HONOR_6X, Implementation::Cpp, PowerState::PluggedIn);
+        let c1 = sample_cost();
+        let c2 = OpCost {
+            mults: 2 * c1.mults,
+            adds: 2 * c1.adds,
+            nonlin: 2 * c1.nonlin,
+            param_reads: 2 * c1.param_reads,
+            act_traffic: 2 * c1.act_traffic,
+        };
+        let t1 = m.estimate_cost_us(c1, false);
+        let t2 = m.estimate_cost_us(c2, false);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_estimate_sums_layers() {
+        use ffdl_core::CirculantDense;
+        use ffdl_nn::Relu;
+        use ffdl_tensor::Tensor;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut net = Network::new();
+        net.push(CirculantDense::new(256, 128, 64, &mut rng).unwrap());
+        net.push(Relu::new());
+        net.push(CirculantDense::new(128, 128, 64, &mut rng).unwrap());
+        let _ = net.forward(&Tensor::zeros(&[1, 256])).unwrap();
+
+        let m = RuntimeModel::new(NEXUS_5, Implementation::Cpp, PowerState::PluggedIn);
+        let total = m.estimate_network_us(&net);
+        let by_layer: f64 = net
+            .layers()
+            .iter()
+            .map(|l| m.estimate_layer_us(l.as_ref()))
+            .sum();
+        assert!((total - by_layer).abs() < 1e-9);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn unknown_platform_gets_clock_scaled_defaults() {
+        use crate::spec::{CpuArch, CpuCluster};
+        let custom = PlatformSpec {
+            name: "Custom Board",
+            android: "8",
+            primary: CpuCluster {
+                cores: 2,
+                freq_ghz: 1.0,
+                name: "Cortex-A7",
+            },
+            companion: None,
+            arch: CpuArch::ArmV7A,
+            gpu: "none",
+            ram_gb: 1,
+        };
+        let p = throughput_for(&custom);
+        assert!(p.scalar_ops_per_us > 0.0);
+        assert!(p.streaming_ops_per_us > p.scalar_ops_per_us);
+        assert!(p.layer_overhead_us > 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = RuntimeModel::new(NEXUS_5, Implementation::Java, PowerState::OnBattery);
+        assert_eq!(m.platform().name, "LG Nexus 5");
+        assert_eq!(m.implementation(), Implementation::Java);
+        assert_eq!(m.power(), PowerState::OnBattery);
+        assert_eq!(format!("{}", Implementation::Cpp), "C++");
+        assert_eq!(format!("{}", Implementation::Java), "Java");
+    }
+}

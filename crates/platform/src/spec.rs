@@ -1,0 +1,179 @@
+//! Platform specifications — Table I of the paper.
+
+use std::fmt;
+
+/// ARM instruction-set architecture of a test platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuArch {
+    /// 32-bit ARMv7-A.
+    ArmV7A,
+    /// 64-bit ARMv8-A.
+    ArmV8A,
+}
+
+impl fmt::Display for CpuArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuArch::ArmV7A => write!(f, "ARMv7-A"),
+            CpuArch::ArmV8A => write!(f, "ARMv8-A"),
+        }
+    }
+}
+
+/// A CPU cluster: core count and clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCluster {
+    /// Number of cores.
+    pub cores: u32,
+    /// Clock in GHz.
+    pub freq_ghz: f64,
+    /// Microarchitecture name.
+    pub name: &'static str,
+}
+
+impl fmt::Display for CpuCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} × {:.1} GHz {}", self.cores, self.freq_ghz, self.name)
+    }
+}
+
+/// One row of Table I: a platform under test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Android major version.
+    pub android: &'static str,
+    /// Primary CPU cluster.
+    pub primary: CpuCluster,
+    /// Companion (little) cluster, if any.
+    pub companion: Option<CpuCluster>,
+    /// Instruction-set architecture.
+    pub arch: CpuArch,
+    /// GPU name.
+    pub gpu: &'static str,
+    /// RAM in GB.
+    pub ram_gb: u32,
+}
+
+/// LG Nexus 5 (Table I, row 1).
+pub const NEXUS_5: PlatformSpec = PlatformSpec {
+    name: "LG Nexus 5",
+    android: "6 (Marshmallow)",
+    primary: CpuCluster {
+        cores: 4,
+        freq_ghz: 2.3,
+        name: "Krait 400",
+    },
+    companion: None,
+    arch: CpuArch::ArmV7A,
+    gpu: "Adreno 330",
+    ram_gb: 2,
+};
+
+/// Odroid XU3 (Table I, row 2).
+pub const ODROID_XU3: PlatformSpec = PlatformSpec {
+    name: "Odroid XU3",
+    android: "7 (Nougat)",
+    primary: CpuCluster {
+        cores: 4,
+        freq_ghz: 2.1,
+        name: "Cortex-A15",
+    },
+    companion: Some(CpuCluster {
+        cores: 4,
+        freq_ghz: 1.5,
+        name: "Cortex-A7",
+    }),
+    arch: CpuArch::ArmV7A,
+    gpu: "Mali T628",
+    ram_gb: 2,
+};
+
+/// Huawei Honor 6X (Table I, row 3).
+pub const HONOR_6X: PlatformSpec = PlatformSpec {
+    name: "Huawei Honor 6X",
+    android: "7 (Nougat)",
+    primary: CpuCluster {
+        cores: 4,
+        freq_ghz: 2.1,
+        name: "Cortex-A53",
+    },
+    companion: Some(CpuCluster {
+        cores: 4,
+        freq_ghz: 1.7,
+        name: "Cortex-A53",
+    }),
+    arch: CpuArch::ArmV8A,
+    gpu: "Mali T830",
+    ram_gb: 3,
+};
+
+/// All Table I platforms, in paper order.
+pub fn all_platforms() -> [PlatformSpec; 3] {
+    [NEXUS_5, ODROID_XU3, HONOR_6X]
+}
+
+impl PlatformSpec {
+    /// Total core count across clusters.
+    pub fn total_cores(&self) -> u32 {
+        self.primary.cores + self.companion.map_or(0, |c| c.cores)
+    }
+}
+
+impl fmt::Display for PlatformSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (Android {}, {}, {}, {} GB RAM, {})",
+            self.name, self.android, self.primary, self.arch, self.ram_gb, self.gpu
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        assert_eq!(NEXUS_5.primary.cores, 4);
+        assert!((NEXUS_5.primary.freq_ghz - 2.3).abs() < 1e-9);
+        assert_eq!(NEXUS_5.companion, None);
+        assert_eq!(NEXUS_5.arch, CpuArch::ArmV7A);
+        assert_eq!(NEXUS_5.ram_gb, 2);
+
+        assert_eq!(ODROID_XU3.companion.unwrap().cores, 4);
+        assert!((ODROID_XU3.companion.unwrap().freq_ghz - 1.5).abs() < 1e-9);
+        assert_eq!(ODROID_XU3.gpu, "Mali T628");
+
+        assert_eq!(HONOR_6X.arch, CpuArch::ArmV8A);
+        assert_eq!(HONOR_6X.ram_gb, 3);
+        assert!((HONOR_6X.companion.unwrap().freq_ghz - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_cores() {
+        assert_eq!(NEXUS_5.total_cores(), 4);
+        assert_eq!(ODROID_XU3.total_cores(), 8);
+        assert_eq!(HONOR_6X.total_cores(), 8);
+    }
+
+    #[test]
+    fn display_includes_key_specs() {
+        let s = format!("{NEXUS_5}");
+        assert!(s.contains("Nexus 5"));
+        assert!(s.contains("Krait"));
+        assert!(s.contains("ARMv7-A"));
+        assert!(!format!("{}", CpuArch::ArmV8A).is_empty());
+    }
+
+    #[test]
+    fn all_platforms_in_paper_order() {
+        let names: Vec<&str> = all_platforms().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["LG Nexus 5", "Odroid XU3", "Huawei Honor 6X"]
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Element count does not match the product of the requested shape.
+    ShapeDataMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Number of elements supplied.
+        elements: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+        /// Operation being attempted.
+        op: &'static str,
+    },
+    /// The operation requires a specific rank (number of dimensions).
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+        /// Operation being attempted.
+        op: &'static str,
+    },
+    /// A geometric parameter is invalid (e.g. kernel larger than input).
+    InvalidGeometry(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, elements } => write!(
+                f,
+                "shape {shape:?} requires {} elements, got {elements}",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "incompatible shapes for {op}: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op} requires rank {expected}, got rank {actual}"),
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::ShapeDataMismatch {
+            shape: vec![2, 3],
+            elements: 5,
+        };
+        assert_eq!(e.to_string(), "shape [2, 3] requires 6 elements, got 5");
+
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![4, 5],
+            op: "matmul",
+        };
+        assert!(e.to_string().contains("matmul"));
+
+        let e = TensorError::RankMismatch {
+            expected: 2,
+            actual: 3,
+            op: "transpose",
+        };
+        assert!(e.to_string().contains("rank 2"));
+
+        let e = TensorError::InvalidGeometry("kernel 5 exceeds input 3".into());
+        assert!(e.to_string().contains("kernel 5"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+}

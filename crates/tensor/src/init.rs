@@ -1,0 +1,132 @@
+//! Random weight initializers.
+//!
+//! The paper trains its networks with standard SGD; sensible initial
+//! scaling (Glorot/He) is what lets both the dense baselines and the
+//! block-circulant layers converge at the paper's learning rate of 0.001.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Weight initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Uniform on `[-a, a]`.
+    Uniform(f32),
+    /// Gaussian with mean 0 and the given standard deviation.
+    Normal(f32),
+    /// Glorot/Xavier uniform: `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `σ = sqrt(2 / fan_in)` — suited to ReLU stacks.
+    HeNormal,
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a tensor of the given shape.
+    ///
+    /// `fan_in`/`fan_out` feed the scaled schemes; callers pass the
+    /// layer's logical fan regardless of the parameter tensor's shape
+    /// (block-circulant layers have fewer parameters than their logical
+    /// matrix, but should be scaled by the *logical* fan so activations
+    /// keep unit variance).
+    pub fn sample<R: Rng>(self, shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = match self {
+            Init::Zeros => vec![0.0; n],
+            Init::Uniform(a) => (0..n).map(|_| rng.gen_range(-a..=a)).collect(),
+            Init::Normal(sigma) => (0..n).map(|_| sigma * sample_standard_normal(rng)).collect(),
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in.max(1) + fan_out.max(1)) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+            Init::HeNormal => {
+                let sigma = (2.0 / fan_in.max(1) as f32).sqrt();
+                (0..n).map(|_| sigma * sample_standard_normal(rng)).collect()
+            }
+        };
+        Tensor::from_vec(data, shape).expect("size computed from shape")
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform (keeps the
+/// dependency surface to plain `rand`).
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zeros_are_zero() {
+        let t = Init::Zeros.sample(&[4, 4], 4, 4, &mut rng());
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = Init::Uniform(0.5).sample(&[1000], 1, 1, &mut rng());
+        assert!(t.as_slice().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+        // Not degenerate:
+        assert!(t.max_abs() > 0.1);
+    }
+
+    #[test]
+    fn normal_has_requested_scale() {
+        let t = Init::Normal(2.0).sample(&[20000], 1, 1, &mut rng());
+        let mean = t.mean();
+        let var: f32 =
+            t.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_scale_depends_on_fans() {
+        let t = Init::XavierUniform.sample(&[5000], 100, 200, &mut rng());
+        let bound = (6.0f32 / 300.0).sqrt();
+        assert!(t.max_abs() <= bound + 1e-6);
+        assert!(t.max_abs() > bound * 0.8, "should come close to the bound");
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let t = Init::HeNormal.sample(&[20000], 50, 1, &mut rng());
+        let std = {
+            let m = t.mean();
+            (t.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / t.len() as f32).sqrt()
+        };
+        let expected = (2.0f32 / 50.0).sqrt();
+        assert!((std - expected).abs() < expected * 0.1, "{std} vs {expected}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = Init::XavierUniform.sample(&[64], 8, 8, &mut rng());
+        let b = Init::XavierUniform.sample(&[64], 8, 8, &mut rng());
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn zero_fan_does_not_divide_by_zero() {
+        let t = Init::HeNormal.sample(&[8], 0, 0, &mut rng());
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+        let t = Init::XavierUniform.sample(&[8], 0, 0, &mut rng());
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,346 @@
+//! Linear-algebra and arithmetic operations on [`Tensor`].
+//!
+//! The dense [`Tensor::matmul`] here is the `O(n²)`/`O(n³)` baseline the
+//! paper's FFT kernel is measured against; it is deliberately a
+//! straightforward cache-friendly (ikj-order) triple loop, the same
+//! structure an OpenCV `gemm` call would reduce to on the paper's ARM
+//! targets without NEON-specific tuning.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, k: f32) -> Self {
+        self.map(|v| v * k)
+    }
+
+    /// Adds `other` scaled by `k` in place: `self += k·other`.
+    ///
+    /// This is the update primitive of SGD (`w -= lr·g` is `axpy(-lr, g)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, k: f32, other: &Self) -> Result<(), TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+                op: "axpy",
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += k * b;
+        }
+        Ok(())
+    }
+
+    /// Dense matrix product of two rank-2 tensors: `(m×k)·(k×n) → m×n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are
+    /// rank 2, and [`TensorError::ShapeMismatch`] if the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
+        require_rank(self, 2, "matmul")?;
+        require_rank(other, 2, "matmul")?;
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+                op: "matmul",
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: the inner loop streams rows of `b` and `out`.
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product of a rank-2 tensor with a rank-1 tensor:
+    /// `(m×n)·(n) → m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+    /// on malformed operands.
+    pub fn matvec(&self, x: &Self) -> Result<Self, TensorError> {
+        require_rank(self, 2, "matvec")?;
+        require_rank(x, 1, "matvec")?;
+        let (m, n) = (self.rows(), self.cols());
+        if x.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().to_vec(),
+                right: x.shape().to_vec(),
+                op: "matvec",
+            });
+        }
+        let a = self.as_slice();
+        let v = x.as_slice();
+        let out: Vec<f32> = (0..m)
+            .map(|i| {
+                a[i * n..(i + 1) * n]
+                    .iter()
+                    .zip(v)
+                    .map(|(&p, &q)| p * q)
+                    .sum()
+            })
+            .collect();
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is rank 2.
+    pub fn transpose(&self) -> Result<Self, TensorError> {
+        require_rank(self, 2, "transpose")?;
+        let (m, n) = (self.rows(), self.cols());
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Dot product of two rank-1 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn dot(&self, other: &Self) -> Result<f32, TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+                op: "dot",
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Outer product of two rank-1 tensors: `(m)·(n) → m×n`.
+    pub fn outer(&self, other: &Self) -> Self {
+        let (m, n) = (self.len(), other.len());
+        let mut out = vec![0.0f32; m * n];
+        for (i, &a) in self.as_slice().iter().enumerate() {
+            for (j, &b) in other.as_slice().iter().enumerate() {
+                out[i * n + j] = a * b;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("size is m*n by construction")
+    }
+
+    /// Sums a rank-2 tensor over its rows, producing a length-`cols`
+    /// rank-1 tensor (the bias-gradient reduction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is rank 2.
+    pub fn sum_rows(&self) -> Result<Self, TensorError> {
+        require_rank(self, 2, "sum_rows")?;
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[n])
+    }
+}
+
+fn require_rank(t: &Tensor, rank: usize, op: &'static str) -> Result<(), TensorError> {
+    if t.ndim() != rank {
+        return Err(TensorError::RankMismatch {
+            expected: rank,
+            actual: t.ndim(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(data: &[f32], r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[r, c]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 5.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 7.0]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-2.0, -3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[3.0, 10.0]);
+        assert_eq!(a.scale(-1.0).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 2.0]);
+        let g = Tensor::from_slice(&[10.0, 20.0]);
+        a.axpy(-0.1, &g).unwrap();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+        assert!(a.axpy(1.0, &Tensor::from_slice(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = t2(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap(), a);
+        assert_eq!(Tensor::eye(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = t2(&[1.0; 6], 2, 3);
+        let b = t2(&[1.0; 6], 2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        let v = Tensor::from_slice(&[1.0; 3]);
+        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let x = Tensor::from_slice(&[1.0, 0.0, -1.0]);
+        let y = a.matvec(&x).unwrap();
+        assert_eq!(y.as_slice(), &[-2.0, -2.0]);
+        let col = x.reshape(&[3, 1]).unwrap();
+        let y2 = a.matmul(&col).unwrap();
+        assert_eq!(y.as_slice(), y2.as_slice());
+    }
+
+    #[test]
+    fn matvec_validates() {
+        let a = t2(&[1.0; 6], 2, 3);
+        assert!(a.matvec(&Tensor::from_slice(&[1.0; 4])).is_err());
+        assert!(Tensor::from_slice(&[1.0; 3])
+            .matvec(&Tensor::from_slice(&[1.0; 3]))
+            .is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let at = a.transpose().unwrap();
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.at(&[0, 1]), 4.0);
+        assert_eq!(at.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn transpose_law_for_products() {
+        // (AB)ᵀ == BᵀAᵀ
+        let a = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = t2(&[5.0, 6.0, 7.0, 8.0], 2, 2);
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b
+            .transpose()
+            .unwrap()
+            .matmul(&a.transpose().unwrap())
+            .unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        let o = a.outer(&b);
+        assert_eq!(o.shape(), &[3, 3]);
+        assert_eq!(o.at(&[2, 0]), 12.0);
+        assert!(a.dot(&Tensor::from_slice(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn sum_rows_reduces() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let s = a.sum_rows().unwrap();
+        assert_eq!(s.as_slice(), &[5.0, 7.0, 9.0]);
+        assert!(Tensor::from_slice(&[1.0]).sum_rows().is_err());
+    }
+
+    #[test]
+    fn matmul_associativity_numeric() {
+        let a = t2(&[0.5, -1.0, 2.0, 0.25], 2, 2);
+        let b = t2(&[1.0, 1.0, -1.0, 0.5], 2, 2);
+        let c = t2(&[2.0, 0.0, 1.0, -3.0], 2, 2);
+        let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The CIFAR-10 workload (§V-C): trains the reduced Arch. 3 on the
+//! synthetic CIFAR stand-in, then projects the *full* published Arch. 3
+//! onto the Table III platforms — the two legs of the Table III
+//! experiment, plus per-class diagnostics via the confusion matrix.
+//!
+//! Run with: `cargo run --release --example cifar_workload`
+
+use ffdl::data::{resize_images, standardize, synthetic_cifar, CifarConfig};
+use ffdl::nn::ConfusionMatrix;
+use ffdl::paper;
+use ffdl::platform::{
+    measure_inference_us, Implementation, PowerState, RuntimeModel, HONOR_6X, ODROID_XU3,
+};
+use ffdl::tensor::Tensor;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== CIFAR-10 workload (Arch. 3, §V-C) ==\n");
+
+    // ---- Accuracy leg: reduced Arch. 3 on synthetic CIFAR. -------------
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(55);
+    let raw = synthetic_cifar(800, &CifarConfig::default(), &mut rng)?;
+    let ds = standardize(&resize_images(&raw, 16)?)?;
+    let (train, test) = ds.split_at(640);
+
+    let mut small = paper::arch3_reduced(55);
+    println!(
+        "reduced Arch. 3: {} stored params ({:.0}x compression)",
+        small.param_count(),
+        small.compression_ratio()
+    );
+    // The paper's exact optimizer settings: lr 0.001, momentum 0.9.
+    let report = paper::train_classifier(&mut small, &train, &test, 8, 32, None, &mut rng)?;
+    println!(
+        "accuracy {:.1}% after {} epochs (paper reports 80.2% on real CIFAR-10)\n",
+        report.test_accuracy * 100.0,
+        report.epochs
+    );
+
+    // Per-class diagnostics.
+    let (tx, ty) = test.batch(&(0..test.len()).collect::<Vec<_>>());
+    let preds = small.predict(&tx)?;
+    let cm = ConfusionMatrix::from_predictions(&preds, &ty, 10)?;
+    println!("confusion matrix (rows = actual, cols = predicted):");
+    print!("{cm}");
+    println!("macro-F1: {:.3}\n", cm.macro_f1());
+
+    // ---- Runtime leg: the full published Arch. 3, frozen. --------------
+    let full = paper::arch3(55);
+    println!(
+        "full Arch. 3: {} stored / {} logical params ({:.0}x compression)",
+        full.param_count(),
+        full.logical_param_count(),
+        full.logical_param_count() as f64 / full.param_count() as f64
+    );
+    let mut frozen = paper::freeze_spectral(&full)?;
+    let x = Tensor::from_fn(&[1, 3, 32, 32], |i| ((i * 13 + 5) % 97) as f32 / 97.0);
+    let host = measure_inference_us(&mut frozen, &x, 1, 3)?;
+    println!("host core runtime: {:.0} µs/image\n", host.mean_us);
+
+    println!("projected core runtime (µs/image; paper Table III in parentheses):");
+    let paper_values = [[21032.0, 19785.0], [8912.0, 8244.0]];
+    for (row, implementation) in [Implementation::Java, Implementation::Cpp]
+        .into_iter()
+        .enumerate()
+    {
+        print!("  {:<5}", implementation.to_string());
+        for (i, platform) in [ODROID_XU3, HONOR_6X].iter().enumerate() {
+            let us = RuntimeModel::new(*platform, implementation, PowerState::PluggedIn)
+                .estimate_network_us(&frozen);
+            print!("  {:>10.0} ({:>8.0})", us, paper_values[row][i]);
+        }
+        println!();
+    }
+    println!("  columns: Odroid XU3 | Huawei Honor 6X");
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! End-to-end walk through the paper's Fig. 4 deployment pipeline:
+//!
+//! 1. train Arch. 2 on the host ("offline-trained in data centers", §I),
+//! 2. write the architecture file and the parameters file,
+//! 3. on the "device": parse architecture → load parameters → parse
+//!    inputs → run the inference engine,
+//! 4. verify the deployed predictions match the training-side model and
+//!    report per-image runtime on the modelled platforms.
+//!
+//! Run with: `cargo run --release --example deploy_pipeline`
+
+use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
+use ffdl::deploy::{
+    format_inputs, parse_architecture, parse_inputs, read_parameters_into, write_parameters,
+    InferenceEngine,
+};
+use ffdl::paper;
+use ffdl::platform::{all_platforms, Implementation, PowerState, RuntimeModel};
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== Fig. 4 deployment pipeline ==\n");
+
+    // --- Training side -------------------------------------------------
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+    let raw = synthetic_mnist(1000, &MnistConfig::default(), &mut rng)?;
+    let ds = mnist_preprocess(&raw, 11)?; // Arch. 2 inputs: 11×11 = 121
+    let (train, test) = ds.split_at(800);
+
+    let mut trained = paper::arch2(21);
+    let report = paper::train_classifier(&mut trained, &train, &test, 40, 32, Some(0.005), &mut rng)?;
+    println!(
+        "trained Arch. 2: accuracy {:.2}%, {} stored params",
+        report.test_accuracy * 100.0,
+        trained.param_count()
+    );
+
+    // Artifacts the device receives: architecture text + parameters blob
+    // + inputs file.
+    let arch_file = paper::ARCH2_TEXT.to_string();
+    let mut params_file = Vec::new();
+    write_parameters(&trained, &mut params_file)?;
+    let (test_x, test_y) = test.batch(&(0..100).collect::<Vec<_>>());
+    let inputs_file = format_inputs(&test_x, Some(&test_y));
+    println!(
+        "artifacts: architecture {} bytes, parameters {} bytes, inputs {} bytes",
+        arch_file.len(),
+        params_file.len(),
+        inputs_file.len()
+    );
+
+    // --- Device side (Fig. 4 modules) -----------------------------------
+    // Module 1: architecture parser.
+    let parsed = parse_architecture(&arch_file, 0)?;
+    let mut network = parsed.network;
+    // Module 2: parameters parser.
+    read_parameters_into(&mut network, &params_file[..])?;
+    // Module 3: inputs parser.
+    let inputs = parse_inputs(inputs_file.as_bytes())?;
+    // Module 4: inference engine.
+    let mut engine = InferenceEngine::new(network);
+    let models: Vec<RuntimeModel> = all_platforms()
+        .iter()
+        .flat_map(|&p| {
+            [
+                RuntimeModel::new(p, Implementation::Java, PowerState::PluggedIn),
+                RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn),
+            ]
+        })
+        .collect();
+    let labels = inputs.labels.as_deref();
+    let eval = engine.evaluate(&inputs.features, labels, &models, 2, 5)?;
+
+    println!(
+        "\ndeployed accuracy: {:.2}% over {} samples (host {:.1} µs/image)",
+        eval.accuracy.unwrap_or(0.0) * 100.0,
+        eval.samples,
+        eval.host_timing.mean_us
+    );
+    println!("projected core runtime (µs/image):");
+    for (i, platform) in all_platforms().iter().enumerate() {
+        println!(
+            "  {:<18} Java {:>8.1}   C++ {:>8.1}",
+            platform.name,
+            eval.projected_us[2 * i],
+            eval.projected_us[2 * i + 1]
+        );
+    }
+
+    // Consistency check: deployed model must reproduce the trainer's
+    // predictions bit-for-bit.
+    let device_preds = engine.predict(&test_x)?;
+    let host_preds = trained.predict(&test_x)?;
+    let agree = device_preds
+        .iter()
+        .zip(&host_preds)
+        .filter(|(d, h)| d.label == **h)
+        .count();
+    println!(
+        "\nconsistency: deployed predictions match the trainer on {agree}/{} samples",
+        host_preds.len()
+    );
+    assert_eq!(agree, host_preds.len(), "deployment must be lossless");
+    Ok(())
+}

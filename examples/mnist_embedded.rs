@@ -1,0 +1,77 @@
+//! MNIST on embedded platforms: trains the paper's Arch. 1 and Arch. 2,
+//! freezes them to the spectral inference form ("store FFT(w) instead of
+//! W", §IV-A), and reports per-image core runtime on all three Table I
+//! platforms in both Java and C++ — the experiment behind Table II.
+//!
+//! Run with: `cargo run --release --example mnist_embedded`
+
+use ffdl::data::{mnist_preprocess, synthetic_mnist, Dataset, MnistConfig};
+use ffdl::nn::Network;
+use ffdl::paper;
+use ffdl::platform::{
+    all_platforms, measure_inference_us, Implementation, PowerState, RuntimeModel,
+};
+use rand::SeedableRng;
+use std::error::Error;
+
+fn run_arch(
+    name: &str,
+    mut net: Network,
+    side: usize,
+    train: &Dataset,
+    test: &Dataset,
+    epochs: usize,
+    lr: f32,
+) -> Result<(), Box<dyn Error>> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let report = paper::train_classifier(&mut net, train, test, epochs, 32, Some(lr), &mut rng)?;
+    println!(
+        "\n{name} ({side}×{side} inputs): accuracy {:.2}%  | stored params {} ({}x compression)",
+        report.test_accuracy * 100.0,
+        net.param_count(),
+        (net.logical_param_count() / net.param_count().max(1))
+    );
+
+    // Freeze to the deployment (spectral) form and time it.
+    let mut frozen = paper::freeze_spectral(&net)?;
+    let (tx, _) = test.batch(&(0..test.len().min(200)).collect::<Vec<_>>());
+    let host = measure_inference_us(&mut frozen, &tx, 2, 5)?;
+    println!("  host core runtime: {:.1} µs/image", host.mean_us);
+
+    println!("  projected embedded core runtime (µs/image):");
+    println!("    {:<18} {:>8} {:>8}", "platform", "Java", "C++");
+    for platform in all_platforms() {
+        let java = RuntimeModel::new(platform, Implementation::Java, PowerState::PluggedIn)
+            .estimate_network_us(&frozen);
+        let cpp = RuntimeModel::new(platform, Implementation::Cpp, PowerState::PluggedIn)
+            .estimate_network_us(&frozen);
+        println!("    {:<18} {:>8.1} {:>8.1}", platform.name, java, cpp);
+    }
+    // Battery study (§V-B): Java slows ~14 %, C++ unchanged.
+    let nexus = all_platforms()[0];
+    let java_batt = RuntimeModel::new(nexus, Implementation::Java, PowerState::OnBattery)
+        .estimate_network_us(&frozen);
+    let java_plug = RuntimeModel::new(nexus, Implementation::Java, PowerState::PluggedIn)
+        .estimate_network_us(&frozen);
+    println!(
+        "  on battery (Nexus 5, Java): {:.1} µs (+{:.0}%)",
+        java_batt,
+        (java_batt / java_plug - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== MNIST deployment study (Table II workloads) ==");
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    let raw = synthetic_mnist(1200, &MnistConfig::default(), &mut rng)?;
+
+    let ds16 = mnist_preprocess(&raw, 16)?;
+    let (train16, test16) = ds16.split_at(1000);
+    run_arch("Arch. 1", paper::arch1(3), 16, &train16, &test16, 40, 0.005)?;
+
+    let ds11 = mnist_preprocess(&raw, 11)?;
+    let (train11, test11) = ds11.split_at(1000);
+    run_arch("Arch. 2", paper::arch2(3), 11, &train11, &test11, 40, 0.005)?;
+    Ok(())
+}

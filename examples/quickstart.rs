@@ -1,0 +1,60 @@
+//! Quickstart: build the paper's MNIST Arch. 1, train it on the synthetic
+//! MNIST workload, and compare its storage and speed against the dense
+//! baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
+use ffdl::paper;
+use ffdl::platform::{measure_inference_us, Implementation, PowerState, RuntimeModel, NEXUS_5};
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== ffdl quickstart: block-circulant MNIST Arch. 1 ==\n");
+
+    // 1. Data: synthetic MNIST, resized 28×28 → 16×16 (§V-B) and
+    //    flattened to the 256 inputs of Arch. 1.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let raw = synthetic_mnist(1200, &MnistConfig::default(), &mut rng)?;
+    let ds = mnist_preprocess(&raw, 16)?;
+    let (train, test) = ds.split_at(1000);
+    println!(
+        "dataset: {} train / {} test samples of {:?} features",
+        train.len(),
+        test.len(),
+        train.sample_shape()
+    );
+
+    // 2. Networks: block-circulant Arch. 1 vs its dense twin.
+    let mut circulant = paper::arch1(7);
+    let mut dense = paper::arch1_dense(7);
+    println!(
+        "\nstorage: circulant {} params vs dense {} params ({}x compression)",
+        circulant.param_count(),
+        dense.param_count(),
+        dense.param_count() / circulant.param_count()
+    );
+
+    // 3. Train both with the paper's SGD-momentum recipe.
+    let rep_c = paper::train_classifier(&mut circulant, &train, &test, 40, 32, Some(0.005), &mut rng)?;
+    let rep_d = paper::train_classifier(&mut dense, &train, &test, 20, 32, Some(0.02), &mut rng)?;
+    println!("\naccuracy: circulant {:.2}% | dense {:.2}%", rep_c.test_accuracy * 100.0, rep_d.test_accuracy * 100.0);
+
+    // 4. Per-image inference time: host wall-clock + Nexus 5 projection.
+    let (tx, _) = test.batch(&(0..test.len()).collect::<Vec<_>>());
+    let t_c = measure_inference_us(&mut circulant, &tx, 2, 5)?;
+    let t_d = measure_inference_us(&mut dense, &tx, 2, 5)?;
+    println!(
+        "\nhost inference: circulant {:.1} µs/image | dense {:.1} µs/image",
+        t_c.mean_us, t_d.mean_us
+    );
+
+    let model = RuntimeModel::new(NEXUS_5, Implementation::Cpp, PowerState::PluggedIn);
+    println!(
+        "Nexus 5 (C++) projection: circulant {:.0} µs/image | dense {:.0} µs/image",
+        model.estimate_network_us(&circulant),
+        model.estimate_network_us(&dense),
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # ffdl — FFT-based deep learning for embedded systems
+//!
+//! Umbrella crate for the reproduction of **"FFT-Based Deep Learning
+//! Deployment in Embedded Systems"** (Lin, Liu, Nazemi, Li, Ding, Wang,
+//! Pedram — DATE 2018, arXiv:1712.04910).
+//!
+//! The paper constrains DNN weight matrices to be **block-circulant**, so
+//! that storage falls from `O(n²)` to `O(n)` and every matrix–vector
+//! product becomes the *"FFT → component-wise multiplication → IFFT"*
+//! kernel in `O(n log n)` — simultaneous model compression *and*
+//! acceleration, for training and inference alike — and deploys the
+//! result on ARM-based Android platforms.
+//!
+//! ## Crate map
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`fft`] | `ffdl-fft` | the FFT computing kernel (§III-B, Fig. 1) |
+//! | [`tensor`] | `ffdl-tensor` | dense tensors, im2col (Fig. 3), bilinear resize |
+//! | [`nn`] | `ffdl-nn` | dense baselines, SGD training, model format |
+//! | [`core`] | `ffdl-core` | **the paper's contribution**: block-circulant layers (§IV) |
+//! | [`data`] | `ffdl-data` | MNIST/CIFAR workloads and preprocessing (§V-B/C) |
+//! | [`platform`] | `ffdl-platform` | Table I platforms and the runtime cost model |
+//! | [`deploy`] | `ffdl-deploy` | the Fig. 4 deployment pipeline |
+//! | [`paper`] | this crate | ready-made Arch. 1/2/3 networks and training recipes |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ffdl::paper;
+//! use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
+//! use ffdl::nn::{Sgd, SoftmaxCrossEntropy};
+//! use rand::SeedableRng;
+//!
+//! // Build the paper's MNIST Arch. 1 (256-128-128-10, block-circulant).
+//! let mut net = paper::arch1(42);
+//! assert!(net.compression_ratio() > 10.0);
+//!
+//! // Train briefly on the synthetic MNIST workload.
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let raw = synthetic_mnist(60, &MnistConfig::default(), &mut rng)?;
+//! let ds = mnist_preprocess(&raw, 16)?;
+//! let mut opt = Sgd::with_momentum(0.01, 0.9);
+//! let loss = SoftmaxCrossEntropy::new();
+//! for (x, y) in ds.batches(20) {
+//!     net.train_batch(&x, &y, &loss, &mut opt)?;
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ffdl_core as core;
+pub use ffdl_data as data;
+pub use ffdl_deploy as deploy;
+pub use ffdl_fft as fft;
+pub use ffdl_nn as nn;
+pub use ffdl_platform as platform;
+pub use ffdl_tensor as tensor;
+
+pub mod paper;

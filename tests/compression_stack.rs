@@ -1,0 +1,162 @@
+//! Integration: the compression stack across crates — spectral freezing,
+//! fixed-point quantization, the FFT-conv baseline, and their interaction
+//! with training and the platform model.
+
+use ffdl::core::{
+    BlockCirculantMatrix, CirculantDense, FftConv2d, QuantBits, QuantizedSpectralDense,
+};
+use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
+use ffdl::nn::{Layer, Network};
+use ffdl::paper;
+use ffdl::platform::{Implementation, PowerState, RuntimeModel, HONOR_6X};
+use ffdl::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn trained_arch1() -> (Network, ffdl::data::Dataset) {
+    let mut rng = SmallRng::seed_from_u64(41);
+    let raw = synthetic_mnist(360, &MnistConfig::default(), &mut rng).unwrap();
+    let ds = mnist_preprocess(&raw, 16).unwrap();
+    let (train, test) = ds.split_at(300);
+    let mut net = paper::arch1(41);
+    let _ =
+        paper::train_classifier(&mut net, &train, &test, 10, 30, Some(0.005), &mut rng).unwrap();
+    (net, test)
+}
+
+/// Extracts (matrix, bias) pairs of the circulant layers of a network.
+fn circulant_layers(net: &Network) -> Vec<(BlockCirculantMatrix, Tensor)> {
+    net.layers()
+        .iter()
+        .filter(|l| l.type_tag() == "circulant_dense")
+        .map(|l| {
+            let config = l.config_bytes();
+            let mut c = config.as_slice();
+            let in_dim = ffdl::nn::wire::read_u32(&mut c).unwrap() as usize;
+            let out_dim = ffdl::nn::wire::read_u32(&mut c).unwrap() as usize;
+            let block = ffdl::nn::wire::read_u32(&mut c).unwrap() as usize;
+            let params: Vec<Tensor> = l.param_tensors().into_iter().cloned().collect();
+            (
+                BlockCirculantMatrix::from_weights(in_dim, out_dim, block, params[0].clone())
+                    .unwrap(),
+                params[1].clone(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn int16_quantization_preserves_trained_accuracy() {
+    let (mut net, test) = trained_arch1();
+    let (tx, ty) = test.batch(&(0..test.len()).collect::<Vec<_>>());
+    let float_acc = net.accuracy(&tx, &ty).unwrap();
+
+    // Rebuild the network with every circulant layer quantized to int16.
+    let mut quantized = Network::new();
+    let mut circ = circulant_layers(&net).into_iter();
+    for layer in net.layers() {
+        if layer.type_tag() == "circulant_dense" {
+            let (m, bias) = circ.next().unwrap();
+            quantized.push(QuantizedSpectralDense::from_matrix(&m, bias, QuantBits::Sixteen));
+        } else {
+            let registry = ffdl::core::full_registry();
+            let mut rebuilt = registry.builder(layer.type_tag()).unwrap()(&layer.config_bytes())
+                .unwrap();
+            rebuilt
+                .load_params(&layer.param_tensors().into_iter().cloned().collect::<Vec<_>>())
+                .unwrap();
+            quantized.push_boxed(rebuilt);
+        }
+    }
+
+    let q_acc = quantized.accuracy(&tx, &ty).unwrap();
+    assert!(
+        (q_acc - float_acc).abs() < 0.05,
+        "quantized {q_acc} vs float {float_acc}"
+    );
+}
+
+#[test]
+fn quantized_layer_storage_strictly_decreases() {
+    let (net, _) = trained_arch1();
+    for (m, bias) in circulant_layers(&net) {
+        let q8 = QuantizedSpectralDense::from_matrix(&m, bias.clone(), QuantBits::Eight);
+        let q16 = QuantizedSpectralDense::from_matrix(&m, bias, QuantBits::Sixteen);
+        assert!(q8.storage_bytes() < q16.storage_bytes());
+        assert!(q16.storage_bytes() < q16.float_storage_bytes());
+        assert!(q16.float_storage_bytes() < q16.dense_storage_bytes());
+    }
+}
+
+#[test]
+fn fft_conv_baseline_agrees_with_dense_conv_in_a_network() {
+    // Swap a dense Conv2d for FftConv2d with shared parameters inside a
+    // small network: outputs must agree to float tolerance.
+    use ffdl::nn::{Conv2d, Flatten, Relu};
+    use ffdl::tensor::ConvGeometry;
+    let mut rng = SmallRng::seed_from_u64(43);
+    let (c, p, h) = (2usize, 4usize, 8usize);
+
+    let mut dense_conv = Conv2d::new(c, p, h, h, ConvGeometry::valid(3), &mut rng).unwrap();
+    let mut fft_conv = FftConv2d::new(c, p, h, h, 3, &mut rng).unwrap();
+    let params: Vec<Tensor> = dense_conv.param_tensors().into_iter().cloned().collect();
+    fft_conv.load_params(&params).unwrap();
+
+    let mut net_a = Network::new();
+    net_a.push(dense_conv);
+    net_a.push(Relu::new());
+    net_a.push(Flatten::new());
+
+    let mut net_b = Network::new();
+    net_b.push(fft_conv);
+    net_b.push(Relu::new());
+    net_b.push(Flatten::new());
+
+    let x = Tensor::from_fn(&[2, c, h, h], |i| ((i * 11 + 3) % 23) as f32 * 0.07 - 0.7);
+    let ya = net_a.forward(&x).unwrap();
+    let yb = net_b.forward(&x).unwrap();
+    for (a, b) in ya.as_slice().iter().zip(yb.as_slice()) {
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn platform_model_ranks_the_three_conv_strategies() {
+    // At CNN-typical 3×3 kernels: circulant < dense < fft-conv runtime.
+    use ffdl::nn::Conv2d;
+    use ffdl::tensor::ConvGeometry;
+    let mut rng = SmallRng::seed_from_u64(44);
+    let (c, p, h) = (16usize, 32usize, 16usize);
+    let m = RuntimeModel::new(HONOR_6X, Implementation::Cpp, PowerState::PluggedIn);
+    let x = Tensor::zeros(&[1, c, h, h]);
+
+    let mut dense = Conv2d::new(c, p, h, h, ConvGeometry::valid(3), &mut rng).unwrap();
+    let mut fft = FftConv2d::new(c, p, h, h, 3, &mut rng).unwrap();
+    let mut circ =
+        ffdl::core::CirculantConv2d::new(c, p, h, h, ConvGeometry::valid(3), 16, &mut rng)
+            .unwrap();
+    let _ = dense.forward(&x).unwrap();
+    let _ = fft.forward(&x).unwrap();
+    let _ = circ.forward(&x).unwrap();
+
+    let t_dense = m.estimate_layer_us(&dense);
+    let t_fft = m.estimate_layer_us(&fft);
+    let t_circ = m.estimate_layer_us(&circ);
+    assert!(t_circ < t_dense, "circulant {t_circ} vs dense {t_dense}");
+    assert!(t_dense < t_fft, "dense {t_dense} vs fft {t_fft}");
+}
+
+#[test]
+fn spectral_and_quantized_layers_share_op_structure() {
+    let mut rng = SmallRng::seed_from_u64(45);
+    let layer = CirculantDense::new(128, 64, 32, &mut rng).unwrap();
+    let frozen = ffdl::core::SpectralDense::from_matrix(layer.matrix(), layer.bias().clone());
+    let quant = QuantizedSpectralDense::from_matrix(
+        layer.matrix(),
+        layer.bias().clone(),
+        QuantBits::Sixteen,
+    );
+    // Same arithmetic; quantized reads fewer parameter bytes.
+    assert_eq!(frozen.op_cost().mults, quant.op_cost().mults);
+    assert!(quant.op_cost().param_reads < frozen.op_cost().param_reads);
+}

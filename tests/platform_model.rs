@@ -1,0 +1,172 @@
+//! Integration: the embedded cost model must reproduce the *shape* of the
+//! paper's Tables II/III — who wins, by roughly what factor, and where
+//! the trends point. These assertions are the machine-checked version of
+//! EXPERIMENTS.md.
+
+use ffdl::paper;
+use ffdl::platform::{
+    all_platforms, Implementation, PowerState, RuntimeModel, HONOR_6X, NEXUS_5, ODROID_XU3,
+};
+use ffdl::tensor::Tensor;
+
+/// Frozen Arch. 1 with populated per-layer costs.
+fn frozen_arch1() -> ffdl::nn::Network {
+    let net = paper::arch1(1);
+    let mut frozen = paper::freeze_spectral(&net).unwrap();
+    let _ = frozen.forward(&Tensor::zeros(&[1, 256])).unwrap();
+    frozen
+}
+
+fn frozen_arch2() -> ffdl::nn::Network {
+    let net = paper::arch2(1);
+    let mut frozen = paper::freeze_spectral(&net).unwrap();
+    let _ = frozen.forward(&Tensor::zeros(&[1, 121])).unwrap();
+    frozen
+}
+
+#[test]
+fn table2_shape_java_vs_cpp_ratio() {
+    // Paper: C++ is ~2.3–2.6× faster than Java on every platform.
+    let net = frozen_arch1();
+    for p in all_platforms() {
+        let java = RuntimeModel::new(p, Implementation::Java, PowerState::PluggedIn)
+            .estimate_network_us(&net);
+        let cpp = RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn)
+            .estimate_network_us(&net);
+        let ratio = java / cpp;
+        assert!(
+            (2.2..=2.8).contains(&ratio),
+            "{}: Java/C++ ratio {ratio}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn table2_shape_platform_ordering() {
+    // Paper: Honor 6X < XU3 < Nexus 5 µs/image in every column.
+    let net = frozen_arch1();
+    for implementation in [Implementation::Java, Implementation::Cpp] {
+        let t: Vec<f64> = [NEXUS_5, ODROID_XU3, HONOR_6X]
+            .iter()
+            .map(|&p| {
+                RuntimeModel::new(p, implementation, PowerState::PluggedIn)
+                    .estimate_network_us(&net)
+            })
+            .collect();
+        assert!(t[0] > t[1] && t[1] > t[2], "{implementation}: {t:?}");
+    }
+}
+
+#[test]
+fn table2_shape_arch1_vs_arch2_small_gap() {
+    // Paper: going from Arch. 2 to Arch. 1 changes runtime by only
+    // ~2–9 % — invocation overhead dominates at MNIST scale.
+    let a1 = frozen_arch1();
+    let a2 = frozen_arch2();
+    for p in all_platforms() {
+        let m = RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn);
+        let r = m.estimate_network_us(&a1) / m.estimate_network_us(&a2);
+        assert!(
+            (1.0..=1.15).contains(&r),
+            "{}: Arch1/Arch2 ratio {r}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn table2_absolute_values_within_tolerance() {
+    // Calibration check: the C++ Arch. 1 column must land within 5 % of
+    // the paper's numbers (140.0 / 122.0 / 101.0 µs).
+    let net = frozen_arch1();
+    let expected = [140.0, 122.0, 101.0];
+    for (p, e) in all_platforms().iter().zip(expected) {
+        let us = RuntimeModel::new(*p, Implementation::Cpp, PowerState::PluggedIn)
+            .estimate_network_us(&net);
+        assert!(
+            (us / e - 1.0).abs() < 0.05,
+            "{}: {us} vs paper {e}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn battery_affects_java_only() {
+    let net = frozen_arch1();
+    for p in all_platforms() {
+        let jp = RuntimeModel::new(p, Implementation::Java, PowerState::PluggedIn)
+            .estimate_network_us(&net);
+        let jb = RuntimeModel::new(p, Implementation::Java, PowerState::OnBattery)
+            .estimate_network_us(&net);
+        assert!((jb / jp - 1.14).abs() < 1e-6, "java battery penalty");
+        let cp = RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn)
+            .estimate_network_us(&net);
+        let cb = RuntimeModel::new(p, Implementation::Cpp, PowerState::OnBattery)
+            .estimate_network_us(&net);
+        assert!((cb - cp).abs() < 1e-9, "c++ unaffected on battery");
+    }
+}
+
+#[test]
+fn table3_shape_cifar_is_two_orders_slower_than_mnist() {
+    // Paper: ~8–21 ms vs ~100–360 µs per image.
+    let mnist = frozen_arch1();
+    let mut cifar = paper::freeze_spectral(&paper::arch3(2)).unwrap();
+    let _ = cifar
+        .forward(&Tensor::zeros(&[1, 3, 32, 32]))
+        .unwrap();
+    for p in [ODROID_XU3, HONOR_6X] {
+        let m = RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn);
+        let ratio = m.estimate_network_us(&cifar) / m.estimate_network_us(&mnist);
+        assert!(
+            (40.0..=150.0).contains(&ratio),
+            "{}: CIFAR/MNIST ratio {ratio}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn fig5_shape_vs_truenorth() {
+    // Paper §V-D: ~10× faster than TrueNorth on MNIST (1000 µs), ~10×
+    // slower on CIFAR (800 µs), on the best device (Honor 6X, C++).
+    let m = RuntimeModel::new(HONOR_6X, Implementation::Cpp, PowerState::PluggedIn);
+    let mnist_us = m.estimate_network_us(&frozen_arch1());
+    let speedup = 1000.0 / mnist_us;
+    assert!((5.0..=20.0).contains(&speedup), "MNIST speedup {speedup}");
+
+    let mut cifar = paper::freeze_spectral(&paper::arch3(2)).unwrap();
+    let _ = cifar.forward(&Tensor::zeros(&[1, 3, 32, 32])).unwrap();
+    let slowdown = m.estimate_network_us(&cifar) / 800.0;
+    assert!((5.0..=20.0).contains(&slowdown), "CIFAR slowdown {slowdown}");
+}
+
+#[test]
+fn spectral_freezing_reduces_projected_runtime() {
+    // Storing FFT(w) must never be slower than re-transforming weights.
+    let net = paper::arch1(1);
+    let mut trained = net;
+    let _ = trained.forward(&Tensor::zeros(&[1, 256])).unwrap();
+    let frozen = frozen_arch1();
+    for p in all_platforms() {
+        let m = RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn);
+        assert!(m.estimate_network_us(&frozen) <= m.estimate_network_us(&trained));
+    }
+}
+
+#[test]
+fn compression_reduces_runtime_monotonically_at_mnist_scale() {
+    // Bigger blocks → fewer ops → lower projection (Honor 6X, C++).
+    let m = RuntimeModel::new(HONOR_6X, Implementation::Cpp, PowerState::PluggedIn);
+    let mut last = f64::INFINITY;
+    for block in [1usize, 8, 64] {
+        let net = paper::arch1_with_block(1, block);
+        let mut frozen = paper::freeze_spectral(&net).unwrap();
+        let _ = frozen.forward(&Tensor::zeros(&[1, 256])).unwrap();
+        let us = m.estimate_network_us(&frozen);
+        assert!(us < last, "block {block}: {us} not < {last}");
+        last = us;
+    }
+}
