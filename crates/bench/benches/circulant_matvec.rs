@@ -1,19 +1,16 @@
-//! Criterion bench behind Fig. 2: the "FFT → ∘ → IFFT" circulant
-//! mat-vec against the dense `O(n²)` product, across sizes and block
-//! sizes.
+//! Bench behind Fig. 2: the "FFT → ∘ → IFFT" circulant mat-vec against
+//! the dense `O(n²)` product, across sizes and block sizes. Runs on the
+//! in-house harness and writes `BENCH_circulant_matvec.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ffdl::core::BlockCirculantMatrix;
 use ffdl::tensor::Tensor;
-use rand::SeedableRng;
-use std::hint::black_box;
+use ffdl_bench::harness::{black_box, BenchSet};
+use ffdl_rng::SeedableRng;
 
-fn bench_single_block(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2_circulant_vs_dense");
-    group.sample_size(12);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+fn main() {
+    let mut set = BenchSet::new("circulant_matvec");
+
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(17);
     for exp in [7u32, 9, 11] {
         let n = 1usize << exp;
         let m = BlockCirculantMatrix::random(n, n, n, &mut rng).expect("valid dims");
@@ -21,33 +18,24 @@ fn bench_single_block(c: &mut Criterion) {
         let x: Vec<f32> = (0..n).map(|k| (k as f32 * 0.13).sin()).collect();
         let xt = Tensor::from_slice(&x);
 
-        group.bench_with_input(BenchmarkId::new("fft_kernel", n), &n, |b, _| {
-            b.iter(|| black_box(m.matvec(black_box(&x)).expect("length matches")));
+        set.bench_with_size(&format!("fft_kernel/{n}"), n as u64, || {
+            black_box(m.matvec(black_box(&x)).expect("length matches"));
         });
-        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
-            b.iter(|| black_box(dense_t.matvec(black_box(&xt)).expect("shapes match")));
+        set.bench_with_size(&format!("dense/{n}"), n as u64, || {
+            black_box(dense_t.matvec(black_box(&xt)).expect("shapes match"));
         });
     }
-    group.finish();
-}
 
-fn bench_block_sizes(c: &mut Criterion) {
     // Fixed 1024×1024 logical matrix, varying block size: the A1 dial.
-    let mut group = c.benchmark_group("fig2_block_size_dial");
-    group.sample_size(12);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(23);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(23);
     let n = 1024usize;
     let x: Vec<f32> = (0..n).map(|k| (k as f32 * 0.29).cos()).collect();
     for block in [16usize, 64, 256, 1024] {
         let m = BlockCirculantMatrix::random(n, n, block, &mut rng).expect("valid dims");
-        group.bench_with_input(BenchmarkId::new("matvec", block), &block, |b, _| {
-            b.iter(|| black_box(m.matvec(black_box(&x)).expect("length matches")));
+        set.bench_with_size(&format!("block_dial/{block}"), block as u64, || {
+            black_box(m.matvec(black_box(&x)).expect("length matches"));
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_single_block, bench_block_sizes);
-criterion_main!(benches);
+    set.finish().expect("write BENCH_circulant_matvec.json");
+}

@@ -1,19 +1,17 @@
-//! Criterion bench behind Fig. 3 / §IV-B: direct convolution vs the
-//! im2col lowering vs the block-circulant CONV layer.
+//! Bench behind Fig. 3 / §IV-B: direct convolution vs the im2col
+//! lowering vs the block-circulant CONV layer. Runs on the in-house
+//! harness and writes `BENCH_conv_reformulation.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ffdl::core::{CirculantConv2d, FftConv2d};
 use ffdl::nn::{Conv2d, Layer};
 use ffdl::tensor::{conv2d_direct, filters_to_matrix, im2col, ConvGeometry, Tensor};
-use rand::SeedableRng;
-use std::hint::black_box;
+use ffdl_bench::harness::{black_box, BenchSet};
+use ffdl_rng::SeedableRng;
 
-fn bench_conv_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_conv_reformulation");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
+fn main() {
+    let mut set = BenchSet::new("conv_reformulation");
+
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(31);
     let geom = ConvGeometry::valid(3);
     let (ch, h, w, p) = (16usize, 16usize, 16usize, 32usize);
     let image = Tensor::from_fn(&[ch, h, w], |i| ((i * 7 + 1) % 13) as f32 * 0.1);
@@ -21,36 +19,32 @@ fn bench_conv_paths(c: &mut Criterion) {
     let filters = Tensor::from_fn(&[p, ch, 3, 3], |i| ((i * 5) % 9) as f32 * 0.05 - 0.2);
     let fmat = filters_to_matrix(&filters).expect("rank 4 filters");
 
-    group.bench_function("direct_definition", |b| {
-        b.iter(|| black_box(conv2d_direct(black_box(&image), &filters, geom).expect("valid")));
+    set.bench("direct_definition", || {
+        black_box(conv2d_direct(black_box(&image), &filters, geom).expect("valid"));
     });
-    group.bench_function("im2col_matmul", |b| {
-        b.iter(|| {
-            let cols = im2col(black_box(&image), geom).expect("valid");
-            black_box(cols.matmul(&fmat).expect("shapes match"))
-        });
+    set.bench("im2col_matmul", || {
+        let cols = im2col(black_box(&image), geom).expect("valid");
+        black_box(cols.matmul(&fmat).expect("shapes match"));
     });
 
     let mut dense_layer = Conv2d::new(ch, p, h, w, geom, &mut rng).expect("valid dims");
-    group.bench_function("dense_conv_layer", |b| {
-        b.iter(|| black_box(dense_layer.forward(black_box(&batch)).expect("valid")));
+    set.bench("dense_conv_layer", || {
+        black_box(dense_layer.forward(black_box(&batch)).expect("valid"));
     });
 
     for block in [16usize, 48] {
         let mut circ =
             CirculantConv2d::new(ch, p, h, w, geom, block, &mut rng).expect("valid dims");
-        group.bench_function(format!("circulant_conv_layer_b{block}"), |b| {
-            b.iter(|| black_box(circ.forward(black_box(&batch)).expect("valid")));
+        set.bench_with_size(&format!("circulant_conv_layer_b{block}"), block as u64, || {
+            black_box(circ.forward(black_box(&batch)).expect("valid"));
         });
     }
 
     // The §I baseline: LeCun-style 2-D FFT convolution (accelerates only).
     let mut fft_layer = FftConv2d::new(ch, p, h, w, 3, &mut rng).expect("valid dims");
-    group.bench_function("fft_conv_baseline", |b| {
-        b.iter(|| black_box(fft_layer.forward(black_box(&batch)).expect("valid")));
+    set.bench("fft_conv_baseline", || {
+        black_box(fft_layer.forward(black_box(&batch)).expect("valid"));
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_conv_paths);
-criterion_main!(benches);
+    set.finish().expect("write BENCH_conv_reformulation.json");
+}

@@ -1,9 +1,9 @@
-//! Criterion bench behind Fig. 1: FFT vs naive DFT across sizes, plus the
-//! Bluestein path for non-power-of-two lengths.
+//! Bench behind Fig. 1: FFT vs naive DFT across sizes, plus the
+//! Bluestein path for non-power-of-two lengths. Runs on the in-house
+//! harness and writes `BENCH_fft_scaling.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ffdl::fft::{dft, Complex64, Direction, FftPlanner};
-use std::hint::black_box;
+use ffdl_bench::harness::{black_box, BenchSet};
 
 fn signal(n: usize) -> Vec<Complex64> {
     (0..n)
@@ -11,51 +11,35 @@ fn signal(n: usize) -> Vec<Complex64> {
         .collect()
 }
 
-fn bench_fft_vs_dft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_fft_vs_dft");
-    group.sample_size(12);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let mut set = BenchSet::new("fft_scaling");
     let mut planner = FftPlanner::<f64>::new();
+
     for exp in [4u32, 6, 8, 10] {
         let n = 1usize << exp;
         let x = signal(n);
         let plan = planner.plan_forward(n);
-        group.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| {
-            let mut buf = x.clone();
-            b.iter(|| {
-                buf.copy_from_slice(&x);
-                plan.process(black_box(&mut buf)).expect("length matches");
-            });
+        let mut buf = x.clone();
+        set.bench_with_size(&format!("fft/{n}"), n as u64, || {
+            buf.copy_from_slice(&x);
+            plan.process(black_box(&mut buf)).expect("length matches");
         });
         if n <= 256 {
-            group.bench_with_input(BenchmarkId::new("dft", n), &n, |b, _| {
-                b.iter(|| black_box(dft(black_box(&x), Direction::Forward)));
+            set.bench_with_size(&format!("dft/{n}"), n as u64, || {
+                black_box(dft(black_box(&x), Direction::Forward));
             });
         }
     }
-    group.finish();
-}
 
-fn bench_bluestein(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_bluestein_odd_sizes");
-    group.sample_size(12);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    let mut planner = FftPlanner::<f64>::new();
     for n in [121usize, 127, 500] {
         let x = signal(n);
         let plan = planner.plan_forward(n);
-        group.bench_with_input(BenchmarkId::new("bluestein", n), &n, |b, _| {
-            let mut buf = x.clone();
-            b.iter(|| {
-                buf.copy_from_slice(&x);
-                plan.process(black_box(&mut buf)).expect("length matches");
-            });
+        let mut buf = x.clone();
+        set.bench_with_size(&format!("bluestein/{n}"), n as u64, || {
+            buf.copy_from_slice(&x);
+            plan.process(black_box(&mut buf)).expect("length matches");
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_fft_vs_dft, bench_bluestein);
-criterion_main!(benches);
+    set.finish().expect("write BENCH_fft_scaling.json");
+}

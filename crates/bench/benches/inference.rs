@@ -1,62 +1,52 @@
-//! Criterion bench behind Tables II/III: per-image inference of the
-//! paper's architectures — training form, frozen spectral form, and the
-//! dense baselines.
+//! Bench behind Tables II/III: per-image inference of the paper's
+//! architectures — training form, frozen spectral form, and the dense
+//! baselines. Runs on the in-house harness and writes
+//! `BENCH_inference.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ffdl::paper;
 use ffdl::tensor::Tensor;
-use std::hint::black_box;
+use ffdl_bench::harness::{black_box, BenchSet};
 
-fn bench_mnist_architectures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_mnist_inference");
-    group.sample_size(12);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let mut set = BenchSet::new("inference");
 
+    // Table II — MNIST architectures.
     let x1 = Tensor::from_fn(&[1, 256], |i| ((i * 7) % 23) as f32 * 0.04);
     let x2 = Tensor::from_fn(&[1, 121], |i| ((i * 7) % 23) as f32 * 0.04);
 
     let mut a1 = paper::arch1(3);
     let mut a1_frozen = paper::freeze_spectral(&a1).expect("valid network");
     let mut a1_dense = paper::arch1_dense(3);
-    group.bench_function("arch1_circulant", |b| {
-        b.iter(|| black_box(a1.forward(black_box(&x1)).expect("valid")));
+    set.bench_with_size("arch1_circulant", 256, || {
+        black_box(a1.forward(black_box(&x1)).expect("valid"));
     });
-    group.bench_function("arch1_spectral_frozen", |b| {
-        b.iter(|| black_box(a1_frozen.forward(black_box(&x1)).expect("valid")));
+    set.bench_with_size("arch1_spectral_frozen", 256, || {
+        black_box(a1_frozen.forward(black_box(&x1)).expect("valid"));
     });
-    group.bench_function("arch1_dense_baseline", |b| {
-        b.iter(|| black_box(a1_dense.forward(black_box(&x1)).expect("valid")));
+    set.bench_with_size("arch1_dense_baseline", 256, || {
+        black_box(a1_dense.forward(black_box(&x1)).expect("valid"));
     });
 
     let mut a2 = paper::arch2(3);
     let mut a2_frozen = paper::freeze_spectral(&a2).expect("valid network");
-    group.bench_function("arch2_circulant", |b| {
-        b.iter(|| black_box(a2.forward(black_box(&x2)).expect("valid")));
+    set.bench_with_size("arch2_circulant", 121, || {
+        black_box(a2.forward(black_box(&x2)).expect("valid"));
     });
-    group.bench_function("arch2_spectral_frozen", |b| {
-        b.iter(|| black_box(a2_frozen.forward(black_box(&x2)).expect("valid")));
+    set.bench_with_size("arch2_spectral_frozen", 121, || {
+        black_box(a2_frozen.forward(black_box(&x2)).expect("valid"));
     });
-    group.finish();
-}
 
-fn bench_cifar_architecture(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_cifar_inference");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(4));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    // Table III — CIFAR-10 architecture.
     let x = Tensor::from_fn(&[1, 3, 32, 32], |i| ((i * 13) % 97) as f32 / 97.0);
     let mut a3 = paper::arch3(7);
-    group.bench_function("arch3_full", |b| {
-        b.iter(|| black_box(a3.forward(black_box(&x)).expect("valid")));
+    set.bench_with_size("arch3_full", 32, || {
+        black_box(a3.forward(black_box(&x)).expect("valid"));
     });
     let xr = Tensor::from_fn(&[1, 3, 16, 16], |i| ((i * 13) % 97) as f32 / 97.0);
     let mut a3r = paper::arch3_reduced(7);
-    group.bench_function("arch3_reduced", |b| {
-        b.iter(|| black_box(a3r.forward(black_box(&xr)).expect("valid")));
+    set.bench_with_size("arch3_reduced", 16, || {
+        black_box(a3r.forward(black_box(&xr)).expect("valid"));
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_mnist_architectures, bench_cifar_architecture);
-criterion_main!(benches);
+    set.finish().expect("write BENCH_inference.json");
+}

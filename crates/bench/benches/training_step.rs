@@ -1,44 +1,36 @@
-//! Criterion bench behind ablation A2: Algorithm 2's `O(n log n)` training
-//! step against the dense `O(n²)` backpropagation, per layer size.
+//! Bench behind ablation A2: Algorithm 2's `O(n log n)` training step
+//! against the dense `O(n²)` backpropagation, per layer size. Runs on
+//! the in-house harness and writes `BENCH_training_step.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ffdl::core::CirculantDense;
 use ffdl::nn::{Dense, Layer};
 use ffdl::tensor::Tensor;
-use rand::SeedableRng;
-use std::hint::black_box;
+use ffdl_bench::harness::{black_box, BenchSet};
+use ffdl_rng::SeedableRng;
 
-fn bench_training_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("a2_training_step");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(41);
+fn main() {
+    let mut set = BenchSet::new("training_step");
+
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(41);
     for exp in [8u32, 10] {
         let n = 1usize << exp;
         let block = (n / 4).max(64);
         let x = Tensor::from_fn(&[8, n], |i| ((i * 3 + 1) % 11) as f32 * 0.05);
 
         let mut circ = CirculantDense::new(n, n, block, &mut rng).expect("valid dims");
-        group.bench_with_input(BenchmarkId::new("circulant_fwd_bwd", n), &n, |b, _| {
-            b.iter(|| {
-                let y = circ.forward(black_box(&x)).expect("valid");
-                black_box(circ.backward(&y).expect("cached"))
-            });
+        set.bench_with_size(&format!("circulant_fwd_bwd/{n}"), n as u64, || {
+            let y = circ.forward(black_box(&x)).expect("valid");
+            black_box(circ.backward(&y).expect("cached"));
         });
 
-        // The dense baseline at 4096² (16.7M weights) is painful but
-        // bounded; it is the entire point of the comparison.
+        // The dense baseline is painful but bounded; it is the entire
+        // point of the comparison.
         let mut dense = Dense::new(n, n, &mut rng);
-        group.bench_with_input(BenchmarkId::new("dense_fwd_bwd", n), &n, |b, _| {
-            b.iter(|| {
-                let y = dense.forward(black_box(&x)).expect("valid");
-                black_box(dense.backward(&y).expect("cached"))
-            });
+        set.bench_with_size(&format!("dense_fwd_bwd/{n}"), n as u64, || {
+            let y = dense.forward(black_box(&x)).expect("valid");
+            black_box(dense.backward(&y).expect("cached"));
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_training_step);
-criterion_main!(benches);
+    set.finish().expect("write BENCH_training_step.json");
+}

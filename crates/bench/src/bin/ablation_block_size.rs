@@ -1,6 +1,6 @@
 //! Ablation **A1** — the compression/accuracy trade-off over the block
 //! size `b`, quantifying claim (1) of §II: block-circulant matrices (vs
-//! the fully-circulant matrices of Cheng et al. [19]) "achieve a
+//! the fully-circulant matrices of Cheng et al. \[19\]) "achieve a
 //! trade-off between compression ratio and accuracy loss".
 //!
 //! Sweeps `b` on MNIST Arch. 1 and reports storage, accuracy, kernel op
@@ -11,11 +11,11 @@
 use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
 use ffdl::paper;
 use ffdl::platform::{Implementation, PowerState, RuntimeModel, HONOR_6X};
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 
 fn main() {
     println!("ABLATION A1: block-size sweep on MNIST Arch. 1 (1200 synthetic samples)\n");
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(11);
     let raw = synthetic_mnist(1200, &MnistConfig::default(), &mut rng)
         .expect("generator is infallible");
     let ds = mnist_preprocess(&raw, 16).expect("28x28 resizes cleanly");
@@ -30,7 +30,7 @@ fn main() {
         let mut net = paper::arch1_with_block(11, block);
         // Defining-vector gradients accumulate b-fold; scale the rate.
         let lr = (0.16 / (block as f32).max(4.0)).min(0.02);
-        let mut train_rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut train_rng = ffdl_rng::rngs::SmallRng::seed_from_u64(5);
         let report =
             paper::train_classifier(&mut net, &train, &test, 40, 32, Some(lr), &mut train_rng)
                 .expect("arch1 trains");

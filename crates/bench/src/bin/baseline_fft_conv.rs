@@ -1,6 +1,6 @@
 //! The §I positioning claim, quantified: "our proposed framework is
 //! distinct from the prior work of using FFT for convolutional layer
-//! acceleration by LeCun et al. [11], because this prior work can only
+//! acceleration by LeCun et al. \[11\], because this prior work can only
 //! achieve convolutional layer acceleration instead of simultaneous
 //! compression."
 //!
@@ -18,12 +18,12 @@ use ffdl::core::{CirculantConv2d, FftConv2d};
 use ffdl::nn::{Conv2d, Layer};
 use ffdl::platform::{time_reps, Implementation, PowerState, RuntimeModel, HONOR_6X};
 use ffdl::tensor::{ConvGeometry, Tensor};
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 
 fn main() {
     println!("BASELINE COMPARISON (SS I): dense CONV vs FFT CONV [11] vs block-circulant CONV\n");
     let honor = RuntimeModel::new(HONOR_6X, Implementation::Cpp, PowerState::PluggedIn);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(71);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(71);
 
     println!(
         "{:<28} {:>9} {:>12} {:>12} {:>12}",

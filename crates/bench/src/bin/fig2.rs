@@ -9,7 +9,7 @@
 use ffdl::core::BlockCirculantMatrix;
 use ffdl::platform::time_reps;
 use ffdl::tensor::Tensor;
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 
 fn main() {
     println!("FIG. 2 KERNEL: circulant mat-vec via FFT vs dense O(n^2) mat-vec");
@@ -17,7 +17,7 @@ fn main() {
         "{:>6} {:>12} {:>12} {:>9} {:>12} {:>12}",
         "n", "fft (µs)", "dense (µs)", "speedup", "params fft", "params dense"
     );
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(17);
     let mut crossover: Option<usize> = None;
     for exp in 5..=12 {
         let n = 1usize << exp;

@@ -1,6 +1,6 @@
 //! Regenerates **Fig. 5** — "Performance vs. accuracy results comparison
 //! on the MNIST and CIFAR-10 benchmarks": our method's points against the
-//! IBM TrueNorth reference points the paper quotes ([31], [32]).
+//! IBM TrueNorth reference points the paper quotes (\[31\], \[32\]).
 //!
 //! Prints the scatter series and an ASCII rendition, then checks the two
 //! shape claims of §V-D: ~10× *faster* than TrueNorth on MNIST, ~10×

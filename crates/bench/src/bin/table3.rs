@@ -22,7 +22,7 @@ use ffdl::platform::{
 };
 use ffdl::tensor::Tensor;
 use ffdl_bench::{cifar_dataset, reported, vs};
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 
 fn main() {
     println!("TABLE III. CORE RUNTIME OF EACH ROUND OF INFERENCE FOR CIFAR-10 IMAGES.\n");
@@ -63,7 +63,7 @@ fn main() {
     let ds = standardize(&ds).expect("dataset is well-formed");
     let (train, test) = ds.split_at(640);
     let mut small = paper::arch3_reduced(7);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(1);
     // The paper's learning rate (0.001, momentum 0.9, SS V-C).
     let report = paper::train_classifier(&mut small, &train, &test, 8, 32, Some(0.001), &mut rng)
         .expect("reduced arch3 trains");

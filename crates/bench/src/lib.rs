@@ -1,9 +1,14 @@
 //! # ffdl-bench — experiment harness
 //!
-//! Shared plumbing for the binaries and Criterion benches that regenerate
-//! every table and figure of *"FFT-Based Deep Learning Deployment in
+//! Shared plumbing for the binaries and benches that regenerate every
+//! table and figure of *"FFT-Based Deep Learning Deployment in
 //! Embedded Systems"* (Lin et al., DATE 2018). See DESIGN.md §4 for the
 //! experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+//!
+//! Benches run on the in-house [`harness`] (no Criterion): each
+//! `cargo bench -p ffdl-bench --bench <name>` run prints a median/p95
+//! table and writes `BENCH_<name>.json` at the workspace root, seeding
+//! the cross-PR perf trajectory.
 //!
 //! Regenerators (run with `cargo run -p ffdl-bench --release --bin <name>`):
 //!
@@ -17,24 +22,26 @@
 //! | `fig5`   | Fig. 5 — accuracy vs performance scatter vs IBM TrueNorth |
 //! | `ablation_block_size` | A1 — compression/accuracy trade-off over b |
 
+pub mod harness;
+
 use ffdl::data::{
     mnist_preprocess, synthetic_cifar, synthetic_mnist, CifarConfig, Dataset, MnistConfig,
 };
 use ffdl::nn::Network;
 use ffdl::paper::{self, TrainReport};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ffdl_rng::rngs::SmallRng;
+use ffdl_rng::SeedableRng;
 
 /// IBM TrueNorth reference points quoted by the paper (§V-D): MNIST from
-/// [32], CIFAR-10 from [31].
+/// \[32\], CIFAR-10 from \[31\].
 pub mod truenorth {
-    /// MNIST accuracy (%), per [32].
+    /// MNIST accuracy (%), per \[32\].
     pub const MNIST_ACCURACY: f64 = 95.0;
-    /// MNIST runtime (µs/image), per [32].
+    /// MNIST runtime (µs/image), per \[32\].
     pub const MNIST_US_PER_IMAGE: f64 = 1000.0;
-    /// CIFAR-10 accuracy (%), per [31].
+    /// CIFAR-10 accuracy (%), per \[31\].
     pub const CIFAR_ACCURACY: f64 = 83.41;
-    /// CIFAR-10 runtime (µs/image), per [31].
+    /// CIFAR-10 runtime (µs/image), per \[31\].
     pub const CIFAR_US_PER_IMAGE: f64 = 800.0;
 }
 

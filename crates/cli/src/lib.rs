@@ -22,8 +22,8 @@ use ffdl::platform::{
     all_platforms, Implementation, PlatformSpec, PowerState, RuntimeModel, HONOR_6X, NEXUS_5,
     ODROID_XU3,
 };
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ffdl_rng::rngs::SmallRng;
+use ffdl_rng::SeedableRng;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;

@@ -16,7 +16,7 @@
 use crate::error::CirculantError;
 use crate::spectral::{SpectralKernel, Spectrum};
 use ffdl_tensor::{Init, Tensor};
-use rand::Rng;
+use ffdl_rng::Rng;
 
 /// Cached per-sample input spectra from a forward pass, consumed by the
 /// backward pass (Algorithm 2 reuses `FFT(x)`).
@@ -39,9 +39,9 @@ impl ForwardCache {
 ///
 /// ```
 /// use ffdl_core::BlockCirculantMatrix;
-/// use rand::SeedableRng;
+/// use ffdl_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(0);
 /// let m = BlockCirculantMatrix::random(8, 8, 4, &mut rng)?;
 /// assert_eq!(m.param_count(), 4 * 4); // (8/4)·(8/4) blocks × 4 values
 /// assert_eq!(m.logical_param_count(), 64);
@@ -476,8 +476,8 @@ impl std::fmt::Debug for BlockCirculantMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(13)

@@ -7,7 +7,7 @@
 use crate::circulant::{BlockCirculantMatrix, ForwardCache};
 use ffdl_nn::{wire, Layer, NnError, OpCost, ParamRef};
 use ffdl_tensor::{col2im, im2col, ConvGeometry, Tensor};
-use rand::Rng;
+use ffdl_rng::Rng;
 
 /// Convolutional layer whose lowered filter matrix is block-circulant:
 /// input `[batch, C, H, W]` → output `[batch, P, H_out, W_out]`.
@@ -307,7 +307,7 @@ pub fn circulant_conv2d_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>,
         stride: s,
         pad: p,
     };
-    let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+    let mut rng = ffdl_rng::rngs::mock::StepRng::new(1, 1);
     let layer = CirculantConv2d::new(cin, cout, h, w, geom, block, &mut rng)?;
     Ok(Box::new(layer))
 }
@@ -316,8 +316,8 @@ pub fn circulant_conv2d_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>,
 mod tests {
     use super::*;
     use ffdl_tensor::{conv2d_direct, matrix_to_filters};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(31)

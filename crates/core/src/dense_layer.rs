@@ -5,7 +5,7 @@ use crate::circulant::{BlockCirculantMatrix, ForwardCache};
 use crate::error::CirculantError;
 use ffdl_nn::{wire, Layer, NnError, OpCost, ParamRef};
 use ffdl_tensor::Tensor;
-use rand::Rng;
+use ffdl_rng::Rng;
 
 impl From<CirculantError> for NnError {
     fn from(e: CirculantError) -> Self {
@@ -23,7 +23,7 @@ impl From<CirculantError> for NnError {
 /// Storage is `O(m·n/b)` and per-sample compute is `O((m+n)·log b · n/b)`
 /// instead of the dense layer's `O(m·n)` — the simultaneous compression
 /// and acceleration that distinguishes the paper from FFT-only CONV
-/// acceleration (LeCun et al. [11]).
+/// acceleration (LeCun et al. \[11\]).
 ///
 /// # Examples
 ///
@@ -31,9 +31,9 @@ impl From<CirculantError> for NnError {
 /// use ffdl_core::CirculantDense;
 /// use ffdl_nn::Layer;
 /// use ffdl_tensor::Tensor;
-/// use rand::SeedableRng;
+/// use ffdl_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(0);
 /// // The paper's MNIST Arch. 1 hidden layer: 256 → 128, block 64.
 /// let mut layer = CirculantDense::new(256, 128, 64, &mut rng)?;
 /// assert_eq!(layer.param_count(), 4 * 2 * 64 + 128); // weights + bias
@@ -247,8 +247,8 @@ pub fn circulant_dense_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>, 
 mod tests {
     use super::*;
     use ffdl_nn::Dense;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(17)

@@ -14,7 +14,7 @@
 use ffdl_fft::{Complex32, Fft2d};
 use ffdl_nn::{wire, Layer, NnError, OpCost, ParamRef};
 use ffdl_tensor::{Init, Tensor};
-use rand::Rng;
+use ffdl_rng::Rng;
 
 /// Dense convolutional layer computed via the 2-D FFT (valid
 /// correlation, stride 1, no padding — the setting of Eqn. 5 and of the
@@ -412,7 +412,7 @@ pub fn fft_conv2d_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>, NnErr
         *v = wire::read_u32(&mut config)? as usize;
     }
     let [cin, cout, h, w, k] = vals;
-    let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+    let mut rng = ffdl_rng::rngs::mock::StepRng::new(1, 1);
     Ok(Box::new(FftConv2d::new(cin, cout, h, w, k, &mut rng)?))
 }
 
@@ -420,8 +420,8 @@ pub fn fft_conv2d_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>, NnErr
 mod tests {
     use super::*;
     use ffdl_tensor::{conv2d_direct, ConvGeometry};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(51)

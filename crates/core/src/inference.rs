@@ -239,8 +239,8 @@ pub fn spectral_dense_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>, N
 mod tests {
     use super::*;
     use crate::dense_layer::CirculantDense;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(23)

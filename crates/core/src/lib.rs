@@ -26,9 +26,9 @@
 //!
 //! ```
 //! use ffdl_core::CirculantDense;
-//! use rand::SeedableRng;
+//! use ffdl_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(0);
 //! let layer = CirculantDense::new(256, 128, 64, &mut rng)?;
 //! // 256·128 = 32768 dense weights stored as 4·2 blocks of 64 values.
 //! assert_eq!(layer.matrix().param_count(), 512);

@@ -276,8 +276,8 @@ impl Layer for QuantizedSpectralDense {
 mod tests {
     use super::*;
     use crate::dense_layer::CirculantDense;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(61)

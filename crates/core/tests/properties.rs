@@ -1,23 +1,31 @@
 //! Property-based tests: the block-circulant layer must be *exactly* a
 //! dense layer with the expanded circulant matrix, for arbitrary
 //! geometry — forward, input gradients and batch handling.
+//!
+//! Runs on the in-house `ffdl_rng::prop` harness (seeded cases,
+//! replayable failures).
 
 use ffdl_core::{BlockCirculantMatrix, CirculantDense};
 use ffdl_nn::{Dense, Layer};
+use ffdl_rng::prop::check;
+use ffdl_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng, SmallRng};
 use ffdl_tensor::Tensor;
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-fn geometry() -> impl Strategy<Value = (usize, usize, usize, usize)> {
-    // (in_dim, out_dim, block, batch) — includes padding cases.
-    (1usize..=24, 1usize..=24, 1usize..=12, 1usize..=4)
+/// (in_dim, out_dim, block, batch, seed) — includes padding cases.
+fn geometry(rng: &mut SmallRng) -> (usize, usize, usize, usize, u64) {
+    (
+        rng.gen_range(1usize..=24),
+        rng.gen_range(1usize..=24),
+        rng.gen_range(1usize..=12),
+        rng.gen_range(1usize..=4),
+        rng.gen_range(0u64..1000),
+    )
 }
 
 fn input_tensor(batch: usize, dim: usize, seed: u64) -> Tensor {
     let mut v = seed;
     Tensor::from_fn(&[batch, dim], |_| {
-        // xorshift for determinism without pulling rand into the strategy
+        // xorshift for determinism independent of the harness stream
         v ^= v << 13;
         v ^= v >> 7;
         v ^= v << 17;
@@ -25,73 +33,102 @@ fn input_tensor(batch: usize, dim: usize, seed: u64) -> Tensor {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// FFT-path matvec equals the dense expansion for any geometry.
+#[test]
+fn matvec_equals_dense_expansion() {
+    check(
+        "matvec_equals_dense_expansion",
+        40,
+        geometry,
+        |&(in_dim, out_dim, block, _b, seed)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = BlockCirculantMatrix::random(in_dim, out_dim, block, &mut rng).unwrap();
+            let x = input_tensor(1, in_dim, seed.wrapping_add(1));
+            let fast = m.matvec(x.row(0)).unwrap();
+            let dense = m.to_dense();
+            let xv = Tensor::from_vec(x.row(0).to_vec(), &[in_dim]).unwrap();
+            let slow = dense.transpose().unwrap().matvec(&xv).unwrap();
+            let scale = 1.0 + slow.max_abs();
+            for (a, v) in fast.iter().zip(slow.as_slice()) {
+                prop_assert!((a - v).abs() < 1e-3 * scale, "{a} vs {v}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// FFT-path matvec equals the dense expansion for any geometry.
-    #[test]
-    fn matvec_equals_dense_expansion((in_dim, out_dim, block, _b) in geometry(), seed in 0u64..1000) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let m = BlockCirculantMatrix::random(in_dim, out_dim, block, &mut rng).unwrap();
-        let x = input_tensor(1, in_dim, seed.wrapping_add(1));
-        let fast = m.matvec(x.row(0)).unwrap();
-        let dense = m.to_dense();
-        let xv = Tensor::from_vec(x.row(0).to_vec(), &[in_dim]).unwrap();
-        let slow = dense.transpose().unwrap().matvec(&xv).unwrap();
-        let scale = 1.0 + slow.max_abs();
-        for (a, v) in fast.iter().zip(slow.as_slice()) {
-            prop_assert!((a - v).abs() < 1e-3 * scale, "{a} vs {v}");
-        }
-    }
+/// Layer forward/backward equals a Dense layer with the expanded
+/// matrix, batched.
+#[test]
+fn layer_equals_dense_layer() {
+    check(
+        "layer_equals_dense_layer",
+        40,
+        geometry,
+        |&(in_dim, out_dim, block, batch, seed)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut circ = CirculantDense::new(in_dim, out_dim, block, &mut rng).unwrap();
+            let mut dense =
+                Dense::with_params(circ.matrix().to_dense(), circ.bias().clone()).unwrap();
 
-    /// Layer forward/backward equals a Dense layer with the expanded
-    /// matrix, batched.
-    #[test]
-    fn layer_equals_dense_layer((in_dim, out_dim, block, batch) in geometry(), seed in 0u64..1000) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut circ = CirculantDense::new(in_dim, out_dim, block, &mut rng).unwrap();
-        let mut dense = Dense::with_params(circ.matrix().to_dense(), circ.bias().clone()).unwrap();
+            let x = input_tensor(batch, in_dim, seed.wrapping_add(7));
+            let y_c = circ.forward(&x).unwrap();
+            let y_d = dense.forward(&x).unwrap();
+            let scale = 1.0 + y_d.max_abs();
+            for (a, v) in y_c.as_slice().iter().zip(y_d.as_slice()) {
+                prop_assert!((a - v).abs() < 2e-3 * scale, "forward {a} vs {v}");
+            }
 
-        let x = input_tensor(batch, in_dim, seed.wrapping_add(7));
-        let y_c = circ.forward(&x).unwrap();
-        let y_d = dense.forward(&x).unwrap();
-        let scale = 1.0 + y_d.max_abs();
-        for (a, v) in y_c.as_slice().iter().zip(y_d.as_slice()) {
-            prop_assert!((a - v).abs() < 2e-3 * scale, "forward {a} vs {v}");
-        }
+            let g = input_tensor(batch, out_dim, seed.wrapping_add(13));
+            let gx_c = circ.backward(&g).unwrap();
+            let gx_d = dense.backward(&g).unwrap();
+            let scale = 1.0 + gx_d.max_abs();
+            for (a, v) in gx_c.as_slice().iter().zip(gx_d.as_slice()) {
+                prop_assert!((a - v).abs() < 2e-3 * scale, "grad {a} vs {v}");
+            }
+            Ok(())
+        },
+    );
+}
 
-        let g = input_tensor(batch, out_dim, seed.wrapping_add(13));
-        let gx_c = circ.backward(&g).unwrap();
-        let gx_d = dense.backward(&g).unwrap();
-        let scale = 1.0 + gx_d.max_abs();
-        for (a, v) in gx_c.as_slice().iter().zip(gx_d.as_slice()) {
-            prop_assert!((a - v).abs() < 2e-3 * scale, "grad {a} vs {v}");
-        }
-    }
+/// Storage never exceeds the dense count and matches the padded-grid
+/// formula exactly.
+#[test]
+fn compression_formula() {
+    check(
+        "compression_formula",
+        40,
+        geometry,
+        |&(in_dim, out_dim, block, _b, _seed)| {
+            let m = BlockCirculantMatrix::zeros(in_dim, out_dim, block).unwrap();
+            let kb_in = in_dim.div_ceil(block);
+            let kb_out = out_dim.div_ceil(block);
+            prop_assert_eq!(m.param_count(), kb_in * kb_out * block);
+            // Padded storage can only exceed dense when padding dominates:
+            // bounded by the padded logical size.
+            prop_assert!(m.param_count() <= kb_in * block * kb_out * block);
+            Ok(())
+        },
+    );
+}
 
-    /// Storage never exceeds the dense count and matches the padded-grid
-    /// formula exactly.
-    #[test]
-    fn compression_formula((in_dim, out_dim, block, _b) in geometry()) {
-        let m = BlockCirculantMatrix::zeros(in_dim, out_dim, block).unwrap();
-        let kb_in = in_dim.div_ceil(block);
-        let kb_out = out_dim.div_ceil(block);
-        prop_assert_eq!(m.param_count(), kb_in * kb_out * block);
-        // Padded storage can only exceed dense when padding dominates:
-        // bounded by the padded logical size.
-        prop_assert!(m.param_count() <= kb_in * block * kb_out * block);
-    }
-
-    /// Dense → project → expand is idempotent (projection is a projection).
-    #[test]
-    fn projection_is_idempotent((in_dim, out_dim, block, _b) in geometry(), seed in 0u64..1000) {
-        let dense = input_tensor(in_dim, out_dim, seed.wrapping_add(3));
-        let once = BlockCirculantMatrix::project_from_dense(&dense, block).unwrap();
-        let twice = BlockCirculantMatrix::project_from_dense(&once.to_dense(), block).unwrap();
-        for (a, v) in once.weights().as_slice().iter().zip(twice.weights().as_slice()) {
-            prop_assert!((a - v).abs() < 1e-4, "{a} vs {v}");
-        }
-    }
+/// Dense → project → expand is idempotent (projection is a projection).
+#[test]
+fn projection_is_idempotent() {
+    check(
+        "projection_is_idempotent",
+        40,
+        geometry,
+        |&(in_dim, out_dim, block, _b, seed)| {
+            let dense = input_tensor(in_dim, out_dim, seed.wrapping_add(3));
+            let once = BlockCirculantMatrix::project_from_dense(&dense, block).unwrap();
+            let twice = BlockCirculantMatrix::project_from_dense(&once.to_dense(), block).unwrap();
+            for (a, v) in once.weights().as_slice().iter().zip(twice.weights().as_slice()) {
+                prop_assert!((a - v).abs() < 1e-4, "{a} vs {v}");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Chain-rule consistency: the circulant weight gradient is exactly the

@@ -2,8 +2,8 @@
 
 use crate::error::DataError;
 use ffdl_tensor::Tensor;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ffdl_rng::seq::SliceRandom;
+use ffdl_rng::Rng;
 
 /// A labelled classification dataset: inputs of shape `[N, …]` plus one
 /// class label per sample.
@@ -236,8 +236,8 @@ impl Iterator for Batches<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn toy() -> Dataset {
         let inputs = Tensor::from_fn(&[6, 3], |i| i as f32);

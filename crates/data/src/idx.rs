@@ -144,8 +144,8 @@ pub fn write_idx_dataset<W1: Write, W2: Write>(
 mod tests {
     use super::*;
     use crate::synth_mnist::{synthetic_mnist, MnistConfig};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
     use std::io::Cursor;
 
     #[test]

@@ -17,9 +17,9 @@
 //!
 //! ```
 //! use ffdl_data::{mnist_preprocess, synthetic_mnist, MnistConfig};
-//! use rand::SeedableRng;
+//! use ffdl_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(0);
 //! let raw = synthetic_mnist(100, &MnistConfig::default(), &mut rng)?;
 //! let arch1_inputs = mnist_preprocess(&raw, 16)?; // 256 features
 //! assert_eq!(arch1_inputs.sample_shape(), &[256]);

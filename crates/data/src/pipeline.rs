@@ -100,8 +100,8 @@ mod tests {
     use super::*;
     use crate::synth_cifar::{synthetic_cifar, CifarConfig};
     use crate::synth_mnist::{synthetic_mnist, MnistConfig};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn mnist(n: usize) -> Dataset {
         let mut rng = SmallRng::seed_from_u64(8);

@@ -12,7 +12,7 @@
 use crate::dataset::Dataset;
 use crate::error::DataError;
 use ffdl_tensor::Tensor;
-use rand::Rng;
+use ffdl_rng::Rng;
 
 /// Image side of the generated images (matches CIFAR-10).
 pub const CIFAR_SIDE: usize = 32;
@@ -134,8 +134,8 @@ pub fn synthetic_cifar<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(4242)

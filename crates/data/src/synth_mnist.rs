@@ -12,7 +12,7 @@
 use crate::dataset::Dataset;
 use crate::error::DataError;
 use ffdl_tensor::Tensor;
-use rand::Rng;
+use ffdl_rng::Rng;
 
 /// Image side of the generated digits (matches MNIST).
 pub const MNIST_SIDE: usize = 28;
@@ -40,7 +40,7 @@ pub struct MnistConfig {
     pub max_shift: i32,
     /// Stroke half-thickness in pixels (base 1, jittered ±1).
     pub thickness: i32,
-    /// Standard deviation of the additive noise (in [0,1] intensity units).
+    /// Standard deviation of the additive noise (in \[0,1\] intensity units).
     pub noise: f32,
 }
 
@@ -62,8 +62,8 @@ fn render_digit<R: Rng>(digit: usize, cfg: &MnistConfig, rng: &mut R) -> Vec<f32
     let (x0, y0, gw, gh) = (8i32, 4i32, 12i32, 20i32);
     let dx = rng.gen_range(-cfg.max_shift..=cfg.max_shift);
     let dy = rng.gen_range(-cfg.max_shift..=cfg.max_shift);
-    let t = (cfg.thickness + rng.gen_range(-1..=1)).max(1);
-    let amp = 0.75 + rng.gen_range(0.0..0.25);
+    let t = (cfg.thickness + rng.gen_range(-1i32..=1)).max(1);
+    let amp = 0.75 + rng.gen_range(0.0f32..0.25);
 
     // Segment endpoints in glyph coordinates: (x1, y1, x2, y2).
     let mid = y0 + gh / 2;
@@ -134,8 +134,8 @@ pub fn synthetic_mnist<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(2024)
@@ -191,10 +191,11 @@ mod tests {
             thickness: 1,
             noise: 0.0,
         };
-        let mut r = rng();
-        let eight = render_digit(8, &cfg, &mut r);
+        // A fresh same-seed rng per glyph gives every digit identical
+        // thickness/amplitude jitter, so the subset property is exact.
+        let eight = render_digit(8, &cfg, &mut rng());
         for d in 0..10 {
-            let img = render_digit(d, &cfg, &mut r);
+            let img = render_digit(d, &cfg, &mut rng());
             for (i, (&v, &e)) in img.iter().zip(&eight).enumerate() {
                 if v > 0.0 {
                     assert!(e > 0.0, "digit {d} pixel {i} lit outside 8's glyph");

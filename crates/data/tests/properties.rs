@@ -1,19 +1,21 @@
 //! Property-based tests for the data substrate: IDX round trips,
 //! batching invariants, and preprocessing shape laws.
+//!
+//! Runs on the in-house `ffdl_rng::prop` harness (seeded cases,
+//! replayable failures).
 
 use ffdl_data::{
     flatten_samples, read_idx, read_idx_dataset, resize_images, standardize, synthetic_mnist,
     write_idx, write_idx_dataset, Dataset, MnistConfig,
 };
+use ffdl_rng::prop::{bytes, check, vec_of};
+use ffdl_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng, SmallRng};
 use ffdl_tensor::Tensor;
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::io::Cursor;
 
-fn unit_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+fn unit_tensor(shape: &[usize], seed: u64) -> Tensor {
     let mut v = seed.wrapping_add(0x2545F4914F6CDD1D);
-    Tensor::from_fn(&shape, |_| {
+    Tensor::from_fn(shape, |_| {
         v ^= v << 13;
         v ^= v >> 7;
         v ^= v << 17;
@@ -21,93 +23,161 @@ fn unit_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// IDX round-trips any rank-1..=4 tensor of unit-range values within
+/// 8-bit quantization error.
+#[test]
+fn idx_roundtrip() {
+    check(
+        "idx_roundtrip",
+        32,
+        |rng| {
+            let shape = vec_of(rng, 1..=4, |r| r.gen_range(1usize..=6));
+            let seed = rng.gen_range(0u64..500);
+            (shape, seed)
+        },
+        |(shape, seed)| {
+            let t = unit_tensor(shape, *seed);
+            let mut buf = Vec::new();
+            write_idx(&t, &mut buf).unwrap();
+            let back = read_idx(Cursor::new(buf)).unwrap();
+            prop_assert_eq!(back.shape(), t.shape());
+            for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
+                prop_assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6, "{a} vs {b}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// IDX round-trips any rank-1..=4 tensor of unit-range values within
-    /// 8-bit quantization error.
-    #[test]
-    fn idx_roundtrip(shape in prop::collection::vec(1usize..=6, 1..=4), seed in 0u64..500) {
-        let t = unit_tensor(shape, seed);
-        let mut buf = Vec::new();
-        write_idx(&t, &mut buf).unwrap();
-        let back = read_idx(Cursor::new(buf)).unwrap();
-        prop_assert_eq!(back.shape(), t.shape());
-        for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
-            prop_assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
-        }
-    }
+/// The IDX reader never panics on arbitrary bytes.
+#[test]
+fn idx_reader_never_panics() {
+    check(
+        "idx_reader_never_panics",
+        32,
+        |rng| bytes(rng, 128),
+        |bytes| {
+            let _ = read_idx(Cursor::new(bytes.clone()));
+            Ok(())
+        },
+    );
+}
 
-    /// The IDX reader never panics on arbitrary bytes.
-    #[test]
-    fn idx_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
-        let _ = read_idx(Cursor::new(bytes));
-    }
+/// Dataset round-trip through the IDX pair preserves labels exactly.
+#[test]
+fn idx_dataset_roundtrip() {
+    check(
+        "idx_dataset_roundtrip",
+        32,
+        |rng| (rng.gen_range(1usize..=20), rng.gen_range(0u64..200)),
+        |&(n, seed)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ds = synthetic_mnist(n, &MnistConfig::default(), &mut rng).unwrap();
+            let mut img = Vec::new();
+            let mut lbl = Vec::new();
+            write_idx_dataset(&ds, &mut img, &mut lbl).unwrap();
+            let back = read_idx_dataset(Cursor::new(img), Cursor::new(lbl), 10).unwrap();
+            prop_assert_eq!(back.labels(), ds.labels());
+            prop_assert_eq!(back.sample_shape(), ds.sample_shape());
+            Ok(())
+        },
+    );
+}
 
-    /// Dataset round-trip through the IDX pair preserves labels exactly.
-    #[test]
-    fn idx_dataset_roundtrip(n in 1usize..=20, seed in 0u64..200) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let ds = synthetic_mnist(n, &MnistConfig::default(), &mut rng).unwrap();
-        let mut img = Vec::new();
-        let mut lbl = Vec::new();
-        write_idx_dataset(&ds, &mut img, &mut lbl).unwrap();
-        let back = read_idx_dataset(Cursor::new(img), Cursor::new(lbl), 10).unwrap();
-        prop_assert_eq!(back.labels(), ds.labels());
-        prop_assert_eq!(back.sample_shape(), ds.sample_shape());
-    }
+/// Sequential batching partitions the dataset: every sample appears
+/// exactly once, in order, regardless of batch size.
+#[test]
+fn batches_partition() {
+    check(
+        "batches_partition",
+        32,
+        |rng| (rng.gen_range(1usize..=30), rng.gen_range(1usize..=10)),
+        |&(n, batch)| {
+            let inputs = Tensor::from_fn(&[n, 2], |i| i as f32);
+            let ds = Dataset::new(inputs, (0..n).map(|i| i % 3).collect(), 3).unwrap();
+            let mut seen = Vec::new();
+            for (x, y) in ds.batches(batch) {
+                prop_assert_eq!(x.shape()[0], y.len());
+                prop_assert!(y.len() <= batch, "batch of {} > {batch}", y.len());
+                seen.extend(x.as_slice().iter().copied());
+            }
+            let expected: Vec<f32> = (0..2 * n).map(|i| i as f32).collect();
+            prop_assert_eq!(seen, expected);
+            Ok(())
+        },
+    );
+}
 
-    /// Sequential batching partitions the dataset: every sample appears
-    /// exactly once, in order, regardless of batch size.
-    #[test]
-    fn batches_partition(n in 1usize..=30, batch in 1usize..=10) {
-        let inputs = Tensor::from_fn(&[n, 2], |i| i as f32);
-        let ds = Dataset::new(inputs, (0..n).map(|i| i % 3).collect(), 3).unwrap();
-        let mut seen = Vec::new();
-        for (x, y) in ds.batches(batch) {
-            prop_assert_eq!(x.shape()[0], y.len());
-            prop_assert!(y.len() <= batch);
-            seen.extend(x.as_slice().iter().copied());
-        }
-        let expected: Vec<f32> = (0..2 * n).map(|i| i as f32).collect();
-        prop_assert_eq!(seen, expected);
-    }
+/// Shuffled batching is a permutation: same multiset of labels.
+#[test]
+fn shuffled_batches_permute() {
+    check(
+        "shuffled_batches_permute",
+        32,
+        |rng| {
+            (
+                rng.gen_range(1usize..=30),
+                rng.gen_range(1usize..=8),
+                rng.gen_range(0u64..100),
+            )
+        },
+        |&(n, batch, seed)| {
+            let inputs = Tensor::from_fn(&[n, 1], |i| i as f32);
+            let ds = Dataset::new(inputs, (0..n).map(|i| i % 4).collect(), 4).unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut labels: Vec<usize> = ds
+                .shuffled_batches(batch, &mut rng)
+                .flat_map(|(_, y)| y)
+                .collect();
+            labels.sort_unstable();
+            let mut expected: Vec<usize> = ds.labels().to_vec();
+            expected.sort_unstable();
+            prop_assert_eq!(labels, expected);
+            Ok(())
+        },
+    );
+}
 
-    /// Shuffled batching is a permutation: same multiset of labels.
-    #[test]
-    fn shuffled_batches_permute(n in 1usize..=30, batch in 1usize..=8, seed in 0u64..100) {
-        let inputs = Tensor::from_fn(&[n, 1], |i| i as f32);
-        let ds = Dataset::new(inputs, (0..n).map(|i| i % 4).collect(), 4).unwrap();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut labels: Vec<usize> = ds
-            .shuffled_batches(batch, &mut rng)
-            .flat_map(|(_, y)| y)
-            .collect();
-        labels.sort_unstable();
-        let mut expected: Vec<usize> = ds.labels().to_vec();
-        expected.sort_unstable();
-        prop_assert_eq!(labels, expected);
-    }
+/// Resize then flatten yields side² features and preserves labels.
+#[test]
+fn preprocess_shapes() {
+    check(
+        "preprocess_shapes",
+        32,
+        |rng| {
+            (
+                rng.gen_range(1usize..=6),
+                rng.gen_range(2usize..=20),
+                rng.gen_range(0u64..100),
+            )
+        },
+        |&(n, side, seed)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ds = synthetic_mnist(n, &MnistConfig::default(), &mut rng).unwrap();
+            let out = flatten_samples(&resize_images(&ds, side).unwrap()).unwrap();
+            prop_assert_eq!(out.sample_shape(), &[side * side]);
+            prop_assert_eq!(out.labels(), ds.labels());
+            Ok(())
+        },
+    );
+}
 
-    /// Resize then flatten yields side² features and preserves labels.
-    #[test]
-    fn preprocess_shapes(n in 1usize..=6, side in 2usize..=20, seed in 0u64..100) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let ds = synthetic_mnist(n, &MnistConfig::default(), &mut rng).unwrap();
-        let out = flatten_samples(&resize_images(&ds, side).unwrap()).unwrap();
-        prop_assert_eq!(out.sample_shape(), &[side * side]);
-        prop_assert_eq!(out.labels(), ds.labels());
-    }
-
-    /// Standardization is idempotent up to float error.
-    #[test]
-    fn standardize_idempotent(n in 2usize..=10, seed in 0u64..100) {
-        let inputs = unit_tensor(vec![n, 5], seed);
-        let ds = Dataset::new(inputs, vec![0; n], 1).unwrap();
-        let once = standardize(&ds).unwrap();
-        let twice = standardize(&once).unwrap();
-        for (a, b) in once.inputs().as_slice().iter().zip(twice.inputs().as_slice()) {
-            prop_assert!((a - b).abs() < 1e-3);
-        }
-    }
+/// Standardization is idempotent up to float error.
+#[test]
+fn standardize_idempotent() {
+    check(
+        "standardize_idempotent",
+        32,
+        |rng| (rng.gen_range(2usize..=10), rng.gen_range(0u64..100)),
+        |&(n, seed)| {
+            let inputs = unit_tensor(&[n, 5], seed);
+            let ds = Dataset::new(inputs, vec![0; n], 1).unwrap();
+            let once = standardize(&ds).unwrap();
+            let twice = standardize(&once).unwrap();
+            for (a, b) in once.inputs().as_slice().iter().zip(twice.inputs().as_slice()) {
+                prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+            Ok(())
+        },
+    );
 }

@@ -26,8 +26,8 @@ use crate::error::DeployError;
 use ffdl_core::{CirculantConv2d, CirculantDense, FftConv2d};
 use ffdl_nn::{AvgPool2d, Conv2d, Dense, Flatten, MaxPool2d, Network, Relu, Sigmoid, Softmax, Tanh};
 use ffdl_tensor::ConvGeometry;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ffdl_rng::rngs::SmallRng;
+use ffdl_rng::SeedableRng;
 use std::collections::HashMap;
 
 /// Activation shape flowing through the parser.

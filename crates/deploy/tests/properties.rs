@@ -1,118 +1,180 @@
 //! Property-based tests for the deployment pipeline: generated
 //! architectures always build consistent networks, the inputs format
 //! round-trips arbitrary data, and the parsers never panic on junk.
+//!
+//! Runs on the in-house `ffdl_rng::prop` harness (seeded cases,
+//! replayable failures).
 
 use ffdl_deploy::{
     format_inputs, parse_architecture, parse_inputs, read_parameters_into, write_parameters,
     Shape,
 };
+use ffdl_rng::prop::{ascii_text, bytes, check, vec_of};
+use ffdl_rng::{prop_assert, prop_assert_eq, Rng, SmallRng};
 use ffdl_tensor::Tensor;
-use proptest::prelude::*;
 
-/// Strategy: a random valid FC architecture description.
-fn fc_arch() -> impl Strategy<Value = (String, usize, usize)> {
-    (
-        1usize..=64,                                    // input dim
-        prop::collection::vec((1usize..=32, 0usize..=16, 0u8..=3), 1..=4), // (width, block: 0 = dense, act)
-        1usize..=10,                                    // output classes
-    )
-        .prop_map(|(input, layers, classes)| {
-            let mut text = format!("input {input}\n");
-            for (w, b, act) in &layers {
-                if *b == 0 {
-                    text.push_str(&format!("fc {w}\n"));
-                } else {
-                    text.push_str(&format!("circulant_fc {w} block={b}\n"));
-                }
-                match act {
-                    0 => text.push_str("relu\n"),
-                    1 => text.push_str("sigmoid\n"),
-                    2 => text.push_str("tanh\n"),
-                    _ => {}
-                }
-            }
-            text.push_str(&format!("fc {classes}\nsoftmax\n"));
-            (text, input, classes)
-        })
+/// Generator: a random valid FC architecture description, returning the
+/// text plus its declared input dim and output classes.
+fn fc_arch(rng: &mut SmallRng) -> (String, usize, usize) {
+    let input = rng.gen_range(1usize..=64);
+    let layers = vec_of(rng, 1..=4, |r| {
+        (
+            r.gen_range(1usize..=32),
+            r.gen_range(0usize..=16), // block: 0 = dense
+            r.gen_range(0u8..=3),
+        )
+    });
+    let classes = rng.gen_range(1usize..=10);
+    let mut text = format!("input {input}\n");
+    for (w, b, act) in &layers {
+        if *b == 0 {
+            text.push_str(&format!("fc {w}\n"));
+        } else {
+            text.push_str(&format!("circulant_fc {w} block={b}\n"));
+        }
+        match act {
+            0 => text.push_str("relu\n"),
+            1 => text.push_str("sigmoid\n"),
+            2 => text.push_str("tanh\n"),
+            _ => {}
+        }
+    }
+    text.push_str(&format!("fc {classes}\nsoftmax\n"));
+    (text, input, classes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Every generated architecture parses, forwards at the declared
+/// shapes, and produces probability rows.
+#[test]
+fn generated_architectures_build_and_run() {
+    check(
+        "generated_architectures_build_and_run",
+        32,
+        |rng| {
+            let (text, input, classes) = fc_arch(rng);
+            (text, input, classes, rng.gen_range(0u64..100))
+        },
+        |(text, input, classes, seed)| {
+            let parsed = parse_architecture(text, *seed).unwrap();
+            prop_assert_eq!(parsed.input_shape, Shape::Flat(*input));
+            prop_assert_eq!(parsed.output_shape, Shape::Flat(*classes));
+            let mut net = parsed.network;
+            let x = Tensor::from_fn(&[2, *input], |i| ((i * 13 + 1) % 7) as f32 * 0.1);
+            let y = net.forward(&x).unwrap();
+            prop_assert_eq!(y.shape(), &[2, *classes]);
+            for r in 0..2 {
+                let s: f32 = y.row(r).iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-4, "row sum {s}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every generated architecture parses, forwards at the declared
-    /// shapes, and produces probability rows.
-    #[test]
-    fn generated_architectures_build_and_run((text, input, classes) in fc_arch(), seed in 0u64..100) {
-        let parsed = parse_architecture(&text, seed).unwrap();
-        prop_assert_eq!(parsed.input_shape, Shape::Flat(input));
-        prop_assert_eq!(parsed.output_shape, Shape::Flat(classes));
-        let mut net = parsed.network;
-        let x = Tensor::from_fn(&[2, input], |i| ((i * 13 + 1) % 7) as f32 * 0.1);
-        let y = net.forward(&x).unwrap();
-        prop_assert_eq!(y.shape(), &[2, classes]);
-        for r in 0..2 {
-            let s: f32 = y.row(r).iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-4, "row sum {s}");
-        }
-    }
+/// Parameters written for a generated architecture load back into a
+/// fresh copy and reproduce outputs bit-exactly.
+#[test]
+fn parameters_roundtrip_generated_architectures() {
+    check(
+        "parameters_roundtrip_generated_architectures",
+        32,
+        |rng| {
+            let (text, input, _classes) = fc_arch(rng);
+            (text, input, rng.gen_range(0u64..100))
+        },
+        |(text, input, seed)| {
+            let mut a = parse_architecture(text, *seed).unwrap().network;
+            let mut blob = Vec::new();
+            write_parameters(&a, &mut blob).unwrap();
+            let mut b = parse_architecture(text, seed.wrapping_add(9999)).unwrap().network;
+            read_parameters_into(&mut b, &blob[..]).unwrap();
+            let x = Tensor::from_fn(&[1, *input], |i| (i as f32 * 0.17).sin());
+            let ya = a.forward(&x).unwrap();
+            let yb = b.forward(&x).unwrap();
+            prop_assert_eq!(ya.as_slice(), yb.as_slice());
+            Ok(())
+        },
+    );
+}
 
-    /// Parameters written for a generated architecture load back into a
-    /// fresh copy and reproduce outputs bit-exactly.
-    #[test]
-    fn parameters_roundtrip_generated_architectures((text, input, _c) in fc_arch(), seed in 0u64..100) {
-        let mut a = parse_architecture(&text, seed).unwrap().network;
-        let mut blob = Vec::new();
-        write_parameters(&a, &mut blob).unwrap();
-        let mut b = parse_architecture(&text, seed.wrapping_add(9999)).unwrap().network;
-        read_parameters_into(&mut b, &blob[..]).unwrap();
-        let x = Tensor::from_fn(&[1, input], |i| (i as f32 * 0.17).sin());
-        let ya = a.forward(&x).unwrap();
-        let yb = b.forward(&x).unwrap();
-        prop_assert_eq!(ya.as_slice(), yb.as_slice());
-    }
+/// The inputs text format round-trips arbitrary finite features and
+/// labels.
+#[test]
+fn inputs_roundtrip() {
+    check(
+        "inputs_roundtrip",
+        32,
+        |rng| {
+            // All rows share one feature dimension by construction.
+            let dim = rng.gen_range(1usize..=8);
+            vec_of(rng, 1..=6, |r| {
+                (
+                    r.gen_range(0usize..10),
+                    (0..dim)
+                        .map(|_| r.gen_range(-1000i32..1000))
+                        .collect::<Vec<_>>(),
+                )
+            })
+        },
+        |rows| {
+            let dim = rows[0].1.len();
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for (l, f) in rows {
+                labels.push(*l);
+                data.extend(f.iter().map(|&v| v as f32 / 8.0));
+            }
+            let features = Tensor::from_vec(data, &[rows.len(), dim]).unwrap();
+            let text = format_inputs(&features, Some(&labels));
+            let parsed = parse_inputs(text.as_bytes()).unwrap();
+            prop_assert_eq!(parsed.labels.as_deref(), Some(&labels[..]));
+            for (a, b) in parsed.features.as_slice().iter().zip(features.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The inputs text format round-trips arbitrary finite features and
-    /// labels.
-    #[test]
-    fn inputs_roundtrip(
-        rows in prop::collection::vec(
-            (0usize..10, prop::collection::vec(-1000i32..1000, 1..=8)),
-            1..=6
-        )
-    ) {
-        let dim = rows[0].1.len();
-        prop_assume!(rows.iter().all(|(_, f)| f.len() == dim));
-        let mut data = Vec::new();
-        let mut labels = Vec::new();
-        for (l, f) in &rows {
-            labels.push(*l);
-            data.extend(f.iter().map(|&v| v as f32 / 8.0));
-        }
-        let features = Tensor::from_vec(data, &[rows.len(), dim]).unwrap();
-        let text = format_inputs(&features, Some(&labels));
-        let parsed = parse_inputs(text.as_bytes()).unwrap();
-        prop_assert_eq!(parsed.labels.as_deref(), Some(&labels[..]));
-        for (a, b) in parsed.features.as_slice().iter().zip(features.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-5);
-        }
-    }
+/// The architecture parser never panics on arbitrary text.
+#[test]
+fn arch_parser_never_panics() {
+    check(
+        "arch_parser_never_panics",
+        32,
+        |rng| ascii_text(rng, 200),
+        |text| {
+            let _ = parse_architecture(text, 0);
+            Ok(())
+        },
+    );
+}
 
-    /// The architecture parser never panics on arbitrary text.
-    #[test]
-    fn arch_parser_never_panics(text in "[ -~\n]{0,200}") {
-        let _ = parse_architecture(&text, 0);
-    }
+/// The inputs parser never panics on arbitrary text.
+#[test]
+fn inputs_parser_never_panics() {
+    check(
+        "inputs_parser_never_panics",
+        32,
+        |rng| ascii_text(rng, 200),
+        |text| {
+            let _ = parse_inputs(text.as_bytes());
+            Ok(())
+        },
+    );
+}
 
-    /// The inputs parser never panics on arbitrary text.
-    #[test]
-    fn inputs_parser_never_panics(text in "[ -~\n]{0,200}") {
-        let _ = parse_inputs(text.as_bytes());
-    }
-
-    /// The parameters parser never panics on arbitrary bytes.
-    #[test]
-    fn params_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let mut net = parse_architecture("input 4\nfc 2\n", 0).unwrap().network;
-        let _ = read_parameters_into(&mut net, &bytes[..]);
-    }
+/// The parameters parser never panics on arbitrary bytes.
+#[test]
+fn params_parser_never_panics() {
+    check(
+        "params_parser_never_panics",
+        32,
+        |rng| bytes(rng, 256),
+        |bytes| {
+            let mut net = parse_architecture("input 4\nfc 2\n", 0).unwrap().network;
+            let _ = read_parameters_into(&mut net, &bytes[..]);
+            Ok(())
+        },
+    );
 }

@@ -6,7 +6,7 @@ use crate::error::NnError;
 use crate::layer::{check_features, Layer, OpCost, ParamRef};
 use crate::wire;
 use ffdl_tensor::{col2im, filters_to_matrix, im2col, matrix_to_filters, ConvGeometry, Init, Tensor};
-use rand::Rng;
+use ffdl_rng::Rng;
 
 /// A 2-D convolutional layer: input `[batch, C, H, W]` →
 /// output `[batch, P, H_out, W_out]`.
@@ -271,7 +271,7 @@ pub fn conv2d_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>, NnError> 
         pad: p,
     };
     // Deterministic zero-seeded construction; params are loaded afterwards.
-    let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+    let mut rng = ffdl_rng::rngs::mock::StepRng::new(1, 1);
     let layer = Conv2d::new(cin, cout, h, w, geom, &mut rng)?;
     Ok(Box::new(layer))
 }
@@ -280,8 +280,8 @@ pub fn conv2d_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>, NnError> 
 mod tests {
     use super::*;
     use ffdl_tensor::conv2d_direct;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(11)

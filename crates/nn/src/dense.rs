@@ -6,7 +6,7 @@ use crate::error::NnError;
 use crate::layer::{check_features, Layer, OpCost, ParamRef};
 use crate::wire;
 use ffdl_tensor::{Init, Tensor};
-use rand::Rng;
+use ffdl_rng::Rng;
 
 /// A fully-connected affine layer: input `[batch, in_dim]` →
 /// output `[batch, out_dim]`, computing `y = x·W + b` with
@@ -17,9 +17,9 @@ use rand::Rng;
 /// ```
 /// use ffdl_nn::{Dense, Layer};
 /// use ffdl_tensor::Tensor;
-/// use rand::SeedableRng;
+/// use ffdl_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(1);
 /// let mut layer = Dense::new(4, 2, &mut rng);
 /// let x = Tensor::zeros(&[3, 4]);
 /// let y = layer.forward(&x)?;
@@ -213,8 +213,8 @@ pub fn dense_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>, NnError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(7)

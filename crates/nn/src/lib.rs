@@ -27,9 +27,9 @@
 //!     SoftmaxCrossEntropy,
 //! };
 //! use ffdl_tensor::Tensor;
-//! use rand::SeedableRng;
+//! use ffdl_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(0);
 //! let mut net = Network::new();
 //! net.push(Dense::new(2, 8, &mut rng));
 //! net.push(Relu::new());

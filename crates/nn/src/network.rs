@@ -14,9 +14,9 @@ use ffdl_tensor::Tensor;
 /// ```
 /// use ffdl_nn::{Dense, Network, Relu, Sgd, SoftmaxCrossEntropy};
 /// use ffdl_tensor::Tensor;
-/// use rand::SeedableRng;
+/// use ffdl_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(0);
 /// let mut net = Network::new();
 /// net.push(Dense::new(4, 8, &mut rng));
 /// net.push(Relu::new());
@@ -236,8 +236,8 @@ mod tests {
     use super::*;
     use crate::activation::Relu;
     use crate::dense::Dense;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn xor_net(seed: u64) -> Network {
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -192,8 +192,8 @@ mod tests {
     use crate::pool::MaxPool2d;
     use crate::softmax::Softmax;
     use ffdl_tensor::{ConvGeometry, Tensor};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
     use std::io::Cursor;
 
     fn rng() -> SmallRng {

@@ -1,15 +1,17 @@
 //! Property-based tests for the NN stack: gradient correctness over
 //! random geometry, serialization round trips over random networks, and
 //! loader robustness against corrupt bytes.
+//!
+//! Runs on the in-house `ffdl_rng::prop` harness (seeded cases,
+//! replayable failures).
 
 use ffdl_nn::{
     load_network, save_network, Dense, Layer, LayerRegistry, MaxPool2d, Network, Relu, Sgd,
     Sigmoid, Softmax, SoftmaxCrossEntropy, Tanh,
 };
+use ffdl_rng::prop::{check, vec_of};
+use ffdl_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng, SmallRng};
 use ffdl_tensor::Tensor;
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn tensor(shape: Vec<usize>, seed: u64) -> Tensor {
     let mut v = seed.wrapping_add(0x9E3779B97F4A7C15);
@@ -21,137 +23,207 @@ fn tensor(shape: Vec<usize>, seed: u64) -> Tensor {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Dense forward is affine: f(x + y) − f(y) == f(x) − f(0) row-wise.
-    #[test]
-    fn dense_is_affine((din, dout, batch) in (1usize..=12, 1usize..=12, 1usize..=4), seed in 0u64..500) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut layer = Dense::new(din, dout, &mut rng);
-        let x = tensor(vec![batch, din], seed);
-        let y = tensor(vec![batch, din], seed.wrapping_add(1));
-        let zero = Tensor::zeros(&[batch, din]);
-        let f = |l: &mut Dense, t: &Tensor| l.forward(t).unwrap();
-        let lhs = f(&mut layer, &x.add(&y).unwrap());
-        let rhs = f(&mut layer, &x)
-            .add(&f(&mut layer, &y))
-            .unwrap()
-            .sub(&f(&mut layer, &zero))
-            .unwrap();
-        let scale = 1.0 + rhs.max_abs();
-        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-3 * scale);
-        }
-    }
-
-    /// Dense backward computes the exact adjoint: <f_lin(x), g> == <x, backward(g)>
-    /// for the linear part (bias cancels via f(x) − f(0)).
-    #[test]
-    fn dense_backward_is_adjoint((din, dout, batch) in (1usize..=10, 1usize..=10, 1usize..=4), seed in 0u64..500) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut layer = Dense::new(din, dout, &mut rng);
-        let x = tensor(vec![batch, din], seed);
-        let g = tensor(vec![batch, dout], seed.wrapping_add(2));
-        let zero = Tensor::zeros(&[batch, din]);
-        let y = layer.forward(&x).unwrap();
-        let y0 = layer.forward(&zero).unwrap();
-        let lin = y.sub(&y0).unwrap();
-        // Re-forward on x so the cache matches, then take the gradient.
-        let _ = layer.forward(&x).unwrap();
-        let gx = layer.backward(&g).unwrap();
-        let lhs: f32 = lin.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| a * b).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
-    }
-
-    /// One SGD step on the cross-entropy loss cannot increase the loss on
-    /// the same batch when the rate is small (descent direction).
-    #[test]
-    fn sgd_step_descends((din, classes) in (2usize..=10, 2usize..=6), seed in 0u64..200) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut net = Network::new();
-        net.push(Dense::new(din, classes, &mut rng));
-        let x = tensor(vec![4, din], seed);
-        let labels: Vec<usize> = (0..4).map(|i| i % classes).collect();
-        let loss = SoftmaxCrossEntropy::new();
-        let logits = net.forward(&x).unwrap();
-        let (before, _) = loss.compute(&logits, &labels).unwrap();
-        let mut opt = Sgd::new(1e-3);
-        let _ = net.train_batch(&x, &labels, &loss, &mut opt).unwrap();
-        let logits = net.forward(&x).unwrap();
-        let (after, _) = loss.compute(&logits, &labels).unwrap();
-        prop_assert!(after <= before + 1e-5, "{before} -> {after}");
-    }
-
-    /// Random dense/activation stacks round-trip the model format
-    /// bit-exactly.
-    #[test]
-    fn serialization_roundtrip_random_network(
-        widths in prop::collection::vec(1usize..=12, 1..=4),
-        acts in prop::collection::vec(0u8..3, 4),
-        input_dim in 1usize..=8,
-        seed in 0u64..500,
-    ) {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut net = Network::new();
-        let mut dim = input_dim;
-        for (w, a) in widths.iter().zip(&acts) {
-            net.push(Dense::new(dim, *w, &mut rng));
-            match a {
-                0 => net.push(Relu::new()),
-                1 => net.push(Sigmoid::new()),
-                _ => net.push(Tanh::new()),
+/// Dense forward is affine: f(x + y) − f(y) == f(x) − f(0) row-wise.
+#[test]
+fn dense_is_affine() {
+    check(
+        "dense_is_affine",
+        32,
+        |rng| {
+            (
+                rng.gen_range(1usize..=12),
+                rng.gen_range(1usize..=12),
+                rng.gen_range(1usize..=4),
+                rng.gen_range(0u64..500),
+            )
+        },
+        |&(din, _dout, batch, seed)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut layer = Dense::new(din, _dout, &mut rng);
+            let x = tensor(vec![batch, din], seed);
+            let y = tensor(vec![batch, din], seed.wrapping_add(1));
+            let zero = Tensor::zeros(&[batch, din]);
+            let f = |l: &mut Dense, t: &Tensor| l.forward(t).unwrap();
+            let lhs = f(&mut layer, &x.add(&y).unwrap());
+            let rhs = f(&mut layer, &x)
+                .add(&f(&mut layer, &y))
+                .unwrap()
+                .sub(&f(&mut layer, &zero))
+                .unwrap();
+            let scale = 1.0 + rhs.max_abs();
+            for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-3 * scale, "{a} vs {b}");
             }
-            dim = *w;
-        }
-        net.push(Softmax::new());
+            Ok(())
+        },
+    );
+}
 
-        let mut buf = Vec::new();
-        save_network(&net, &mut buf).unwrap();
-        let mut loaded = load_network(&buf[..], &LayerRegistry::with_builtin_layers()).unwrap();
-        let x = tensor(vec![2, input_dim], seed.wrapping_add(3));
-        let mut net = net;
-        let y1 = net.forward(&x).unwrap();
-        let y2 = loaded.forward(&x).unwrap();
-        prop_assert_eq!(y1.as_slice(), y2.as_slice());
-    }
+/// Dense backward computes the exact adjoint: <f_lin(x), g> == <x, backward(g)>
+/// for the linear part (bias cancels via f(x) − f(0)).
+#[test]
+fn dense_backward_is_adjoint() {
+    check(
+        "dense_backward_is_adjoint",
+        32,
+        |rng| {
+            (
+                rng.gen_range(1usize..=10),
+                rng.gen_range(1usize..=10),
+                rng.gen_range(1usize..=4),
+                rng.gen_range(0u64..500),
+            )
+        },
+        |&(din, dout, batch, seed)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut layer = Dense::new(din, dout, &mut rng);
+            let x = tensor(vec![batch, din], seed);
+            let g = tensor(vec![batch, dout], seed.wrapping_add(2));
+            let zero = Tensor::zeros(&[batch, din]);
+            let y = layer.forward(&x).unwrap();
+            let y0 = layer.forward(&zero).unwrap();
+            let lin = y.sub(&y0).unwrap();
+            // Re-forward on x so the cache matches, then take the gradient.
+            let _ = layer.forward(&x).unwrap();
+            let gx = layer.backward(&g).unwrap();
+            let lhs: f32 = lin.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+            Ok(())
+        },
+    );
+}
 
-    /// The model loader never panics on corrupt bytes: every mutation of
-    /// a valid file either loads or returns an error.
-    #[test]
-    fn loader_survives_corruption(
-        flip_at in 0usize..400,
-        flip_val in 1u8..=255,
-    ) {
-        let mut rng = SmallRng::seed_from_u64(1);
-        let mut net = Network::new();
-        net.push(Dense::new(4, 6, &mut rng));
-        net.push(Relu::new());
-        net.push(Dense::new(6, 3, &mut rng));
-        let mut buf = Vec::new();
-        save_network(&net, &mut buf).unwrap();
-        let idx = flip_at % buf.len();
-        buf[idx] ^= flip_val;
-        // Must not panic; Ok is fine (e.g. payload-only corruption).
-        let _ = load_network(&buf[..], &LayerRegistry::with_builtin_layers());
-    }
+/// One SGD step on the cross-entropy loss cannot increase the loss on
+/// the same batch when the rate is small (descent direction).
+#[test]
+fn sgd_step_descends() {
+    check(
+        "sgd_step_descends",
+        32,
+        |rng| {
+            (
+                rng.gen_range(2usize..=10),
+                rng.gen_range(2usize..=6),
+                rng.gen_range(0u64..200),
+            )
+        },
+        |&(din, classes, seed)| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut net = Network::new();
+            net.push(Dense::new(din, classes, &mut rng));
+            let x = tensor(vec![4, din], seed);
+            let labels: Vec<usize> = (0..4).map(|i| i % classes).collect();
+            let loss = SoftmaxCrossEntropy::new();
+            let logits = net.forward(&x).unwrap();
+            let (before, _) = loss.compute(&logits, &labels).unwrap();
+            let mut opt = Sgd::new(1e-3);
+            let _ = net.train_batch(&x, &labels, &loss, &mut opt).unwrap();
+            let logits = net.forward(&x).unwrap();
+            let (after, _) = loss.compute(&logits, &labels).unwrap();
+            prop_assert!(after <= before + 1e-5, "{before} -> {after}");
+            Ok(())
+        },
+    );
+}
 
-    /// MaxPool never increases the max and never drops below the window
-    /// max (i.e. it selects an existing element).
-    #[test]
-    fn maxpool_selects_existing_values((h, w) in (2usize..=8, 2usize..=8), seed in 0u64..200) {
-        let mut pool = MaxPool2d::new(2);
-        prop_assume!(h >= 2 && w >= 2);
-        let x = tensor(vec![1, 1, h, w], seed);
-        let y = pool.forward(&x).unwrap();
-        let in_set: Vec<f32> = x.as_slice().to_vec();
-        for &v in y.as_slice() {
-            prop_assert!(in_set.iter().any(|&u| (u - v).abs() < 1e-7));
-            let max = in_set.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            prop_assert!(v <= max + 1e-7);
-        }
-    }
+/// Random dense/activation stacks round-trip the model format
+/// bit-exactly.
+#[test]
+fn serialization_roundtrip_random_network() {
+    check(
+        "serialization_roundtrip_random_network",
+        32,
+        |rng| {
+            let widths = vec_of(rng, 1..=4, |r| r.gen_range(1usize..=12));
+            let acts: Vec<u8> = (0..4).map(|_| rng.gen_range(0u8..3)).collect();
+            let input_dim = rng.gen_range(1usize..=8);
+            let seed = rng.gen_range(0u64..500);
+            (widths, acts, input_dim, seed)
+        },
+        |(widths, acts, input_dim, seed)| {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            let mut net = Network::new();
+            let mut dim = *input_dim;
+            for (w, a) in widths.iter().zip(acts) {
+                net.push(Dense::new(dim, *w, &mut rng));
+                match a {
+                    0 => net.push(Relu::new()),
+                    1 => net.push(Sigmoid::new()),
+                    _ => net.push(Tanh::new()),
+                }
+                dim = *w;
+            }
+            net.push(Softmax::new());
+
+            let mut buf = Vec::new();
+            save_network(&net, &mut buf).unwrap();
+            let mut loaded = load_network(&buf[..], &LayerRegistry::with_builtin_layers()).unwrap();
+            let x = tensor(vec![2, *input_dim], seed.wrapping_add(3));
+            let mut net = net;
+            let y1 = net.forward(&x).unwrap();
+            let y2 = loaded.forward(&x).unwrap();
+            prop_assert_eq!(y1.as_slice(), y2.as_slice());
+            Ok(())
+        },
+    );
+}
+
+/// The model loader never panics on corrupt bytes: every mutation of
+/// a valid file either loads or returns an error.
+#[test]
+fn loader_survives_corruption() {
+    check(
+        "loader_survives_corruption",
+        32,
+        |rng| (rng.gen_range(0usize..400), rng.gen_range(1u8..=255)),
+        |&(flip_at, flip_val)| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut net = Network::new();
+            net.push(Dense::new(4, 6, &mut rng));
+            net.push(Relu::new());
+            net.push(Dense::new(6, 3, &mut rng));
+            let mut buf = Vec::new();
+            save_network(&net, &mut buf).unwrap();
+            let idx = flip_at % buf.len();
+            buf[idx] ^= flip_val;
+            // Must not panic; Ok is fine (e.g. payload-only corruption).
+            let _ = load_network(&buf[..], &LayerRegistry::with_builtin_layers());
+            Ok(())
+        },
+    );
+}
+
+/// MaxPool never increases the max and never drops below the window
+/// max (i.e. it selects an existing element).
+#[test]
+fn maxpool_selects_existing_values() {
+    check(
+        "maxpool_selects_existing_values",
+        32,
+        |rng| {
+            (
+                rng.gen_range(2usize..=8),
+                rng.gen_range(2usize..=8),
+                rng.gen_range(0u64..200),
+            )
+        },
+        |&(h, w, seed)| {
+            let mut pool = MaxPool2d::new(2);
+            let x = tensor(vec![1, 1, h, w], seed);
+            let y = pool.forward(&x).unwrap();
+            let in_set: Vec<f32> = x.as_slice().to_vec();
+            for &v in y.as_slice() {
+                prop_assert!(
+                    in_set.iter().any(|&u| (u - v).abs() < 1e-7),
+                    "{v} not an input value"
+                );
+                let max = in_set.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(v <= max + 1e-7, "{v} > max {max}");
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -85,7 +85,7 @@ pub fn measure_inference_us(
 mod tests {
     use super::*;
     use ffdl_nn::Dense;
-    use rand::SeedableRng;
+    use ffdl_rng::SeedableRng;
 
     #[test]
     fn time_reps_reports_positive_times() {
@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn measure_inference_divides_by_batch() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(2);
         let mut net = Network::new();
         net.push(Dense::new(16, 16, &mut rng));
         let x = Tensor::zeros(&[8, 16]);
@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn measure_inference_propagates_errors() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(2);
         let mut net = Network::new();
         net.push(Dense::new(16, 16, &mut rng));
         let bad = Tensor::zeros(&[2, 5]);

@@ -334,8 +334,8 @@ mod tests {
         use ffdl_core::CirculantDense;
         use ffdl_nn::Relu;
         use ffdl_tensor::Tensor;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        use ffdl_rng::SeedableRng;
+        let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(1);
         let mut net = Network::new();
         net.push(CirculantDense::new(256, 128, 64, &mut rng).unwrap());
         net.push(Relu::new());

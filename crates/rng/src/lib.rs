@@ -1,0 +1,610 @@
+//! # ffdl-rng — hermetic pseudo-random numbers for the ffdl workspace
+//!
+//! The paper's deployment story is a self-contained inference engine
+//! with no framework runtime; this crate is the matching build story.
+//! It replaces the external `rand` crate with a small, fully
+//! deterministic PRNG stack so the whole workspace builds and tests
+//! offline with zero registry dependencies.
+//!
+//! Provides:
+//!
+//! - [`SplitMix64`]: the 64-bit seeding/stream-splitting generator
+//!   (Steele et al., 2014). Used to expand a single `u64` seed into the
+//!   larger xoshiro state, and as a cheap standalone generator.
+//! - [`Xoshiro256pp`] (aliased as [`SmallRng`]): xoshiro256++ 1.0
+//!   (Blackman & Vigna, 2019) — the workhorse generator behind weight
+//!   initialization, synthetic datasets and shuffling.
+//! - [`StepRng`]: a transparent arithmetic-sequence mock for tests that
+//!   need fully predictable raw output.
+//! - [`Rng`]: the sampling surface the codebase uses (`gen_range` over
+//!   integer and float ranges, unit floats, booleans).
+//! - [`SeedableRng`]: `seed_from_u64` — the *only* seeding convention in
+//!   the workspace; every random artifact is reproducible from a `u64`.
+//! - [`SliceRandom`]: Fisher–Yates [`SliceRandom::shuffle`] for
+//!   mini-batch ordering.
+//! - [`standard_normal`]: Box–Muller N(0, 1) samples for the Gaussian
+//!   initializers.
+//! - [`prop`]: a deterministic property-testing harness (seeded case
+//!   generation, replayable failures) replacing `proptest`.
+//!
+//! The module layout mirrors `rand`'s public paths ([`rngs`], [`seq`])
+//! so migrating code is a mechanical `rand::` → `ffdl_rng::` rewrite.
+//!
+//! # Example
+//!
+//! ```
+//! use ffdl_rng::{Rng, SeedableRng, SliceRandom, SmallRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let x: f32 = rng.gen_range(-1.0f32..=1.0);
+//! assert!((-1.0..=1.0).contains(&x));
+//!
+//! let mut order: Vec<usize> = (0..10).collect();
+//! order.shuffle(&mut rng);
+//! // Same seed ⇒ same permutation, on every platform.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prop;
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// Seeding
+// ---------------------------------------------------------------------------
+
+/// Constructs a generator deterministically from a `u64` seed.
+///
+/// This is the only seeding convention in the workspace: every random
+/// artifact (initial weights, synthetic datasets, shuffles, property
+/// cases) is derived from a single `u64` through this trait, which makes
+/// any run replayable from the seed alone.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed. Identical seeds yield
+    /// identical streams on every platform.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+// ---------------------------------------------------------------------------
+// The Rng sampling surface
+// ---------------------------------------------------------------------------
+
+/// A source of pseudo-random numbers plus the sampling helpers the
+/// workspace uses.
+///
+/// Only [`Rng::next_u64`] is required; everything else is derived from
+/// the high bits of the 64-bit output (which are the strongest bits of
+/// both generators in this crate).
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns 32 random bits (the high half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform sample from a range, e.g. `rng.gen_range(0..10)` or
+    /// `rng.gen_range(-0.5f32..=0.5)`.
+    ///
+    /// Integer ranges are exact (modulo-bias-free rejection sampling);
+    /// float ranges sample `lo + (hi − lo)·u` with `u ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        B: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` for `span ≥ 1`, free of modulo bias
+/// (rejects the partial cycle at the top of the 64-bit range).
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    // 2^64 mod span == (2^64 − span) mod span == span.wrapping_neg() % span.
+    let rem = span.wrapping_neg() % span;
+    let max_valid = u64::MAX - rem; // accept zone size (max_valid+1) is a multiple of span
+    loop {
+        let v = rng.next_u64();
+        if v <= max_valid {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let off = uniform_below(rng, span) as $u;
+                (self.start as $u).wrapping_add(off) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == <$u>::MAX as u64 {
+                    // Full-width range: every bit pattern is valid.
+                    return (lo as $u).wrapping_add(rng.next_u64() as $u) as $t;
+                }
+                let off = uniform_below(rng, span + 1) as $u;
+                (lo as $u).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty, $unit:ident);* $(;)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // Re-roll the (measure-zero) rounding collisions with the
+                // open upper bound so the result is always < end.
+                loop {
+                    let v = self.start + (self.end - self.start) * rng.$unit();
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let v = lo + (hi - lo) * rng.$unit();
+                if v > hi { hi } else { v }
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, next_f32; f64, next_f64);
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 (Steele, Lea & Flood, 2014): a tiny 64-bit generator with
+/// a single `u64` of state.
+///
+/// Equidistributed over one full 2⁶⁴ period; its main role here is
+/// expanding a `u64` seed into the xoshiro256++ state (the seeding
+/// scheme recommended by the xoshiro authors) and deriving independent
+/// per-case seeds in the [`prop`] harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator with the given initial state.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One-shot SplitMix64 mix of a `u64` — handy for deriving decorrelated
+/// stream seeds from structured values (indices, name hashes).
+pub fn splitmix64_mix(seed: u64) -> u64 {
+    SplitMix64::new(seed).next_u64()
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019): 256 bits of state,
+/// period 2²⁵⁶ − 1, excellent statistical quality in all 64 output bits.
+///
+/// This is the workspace's general-purpose generator; use it through
+/// the [`SmallRng`] alias. Seeded via SplitMix64 per the authors'
+/// recommendation, so `seed_from_u64(s)` never produces the forbidden
+/// all-zero state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The workspace's default generator: xoshiro256++, seeded from a `u64`.
+///
+/// The name matches the role `ffdl_rng::rngs::SmallRng` played before the
+/// hermetic migration; unlike that alias, the algorithm here is pinned
+/// and will never change silently between builds.
+pub type SmallRng = Xoshiro256pp;
+
+/// A mock generator yielding the arithmetic sequence
+/// `initial, initial + step, initial + 2·step, …` (wrapping).
+///
+/// For tests that need fully transparent raw output. Note the derived
+/// float helpers read the *high* bits of the counter, so for small
+/// counter values `next_f32` is ~0 and `gen_range(lo..hi)` pins to
+/// `lo` — deterministic and predictable, which is the point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRng {
+    v: u64,
+    step: u64,
+}
+
+impl StepRng {
+    /// Creates a counter starting at `initial`, advancing by `step`.
+    pub fn new(initial: u64, step: u64) -> Self {
+        Self { v: initial, step }
+    }
+}
+
+impl Rng for StepRng {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.v;
+        self.v = self.v.wrapping_add(self.step);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distributions beyond uniform
+// ---------------------------------------------------------------------------
+
+/// One standard-normal (N(0, 1)) sample via the Box–Muller transform.
+///
+/// Used by the Gaussian weight initializers (`Init::Normal`,
+/// `Init::HeNormal`). Non-finite draws (a measure-zero rounding corner)
+/// are re-rolled.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    loop {
+        // u1 bounded away from 0 so ln(u1) is finite.
+        let u1 = f32::EPSILON + (1.0 - f32::EPSILON) * rng.next_f32();
+        let u2 = rng.next_f32();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequence helpers
+// ---------------------------------------------------------------------------
+
+/// Random slice operations (shuffling, choosing).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly chosen element, or `None` if empty.
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rand-compatible module aliases
+// ---------------------------------------------------------------------------
+
+/// Generator types, under the same paths `rand` used
+/// (`rngs::SmallRng`, `rngs::mock::StepRng`).
+pub mod rngs {
+    pub use crate::{SmallRng, SplitMix64, Xoshiro256pp};
+
+    /// Mock generators for tests.
+    pub mod mock {
+        pub use crate::StepRng;
+    }
+}
+
+/// Sequence-related traits, under the path `rand` used
+/// (`seq::SliceRandom`).
+pub mod seq {
+    pub use crate::SliceRandom;
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values for xoshiro256++ seeded with SplitMix64(0),
+    /// cross-checked against the authors' C implementation.
+    #[test]
+    fn xoshiro_matches_reference_stream() {
+        // SplitMix64 from seed 0 must produce the known expansion.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+
+        // The first xoshiro256++ outputs are then fixed forever; pin
+        // them so the algorithm can never drift silently (every seeded
+        // artifact in the workspace depends on this stream).
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(123);
+        let mut b = SmallRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let y = rng.next_f64();
+            assert!((0.0..1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn gen_range_int_bounds_and_coverage() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&v));
+        }
+        // Inclusive endpoints are reachable.
+        let mut hit_hi = false;
+        let mut hit_lo = false;
+        for _ in 0..500 {
+            match rng.gen_range(0u8..=1) {
+                0 => hit_lo = true,
+                _ => hit_hi = true,
+            }
+        }
+        assert!(hit_lo && hit_hi);
+    }
+
+    #[test]
+    fn gen_range_full_width_does_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let _ = rng.gen_range(u64::MIN..=u64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        let v = rng.gen_range(i32::MIN..=i32::MAX);
+        let _ = v; // in range by type
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(-0.5f32..=0.5);
+            assert!((-0.5..=0.5).contains(&v), "{v}");
+            let w: f64 = rng.gen_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn gen_range_int_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let mut counts = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        let expect = n / 8;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect as f64).abs() / expect as f64;
+            assert!(dev < 0.05, "bucket {i}: {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let n = 50_000;
+        let xs: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f32 = xs.iter().sum::<f32>() / n as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+
+        // Replayable: same seed, same permutation.
+        let mut rng2 = SmallRng::seed_from_u64(21);
+        let mut v2: Vec<usize> = (0..50).collect();
+        v2.shuffle(&mut rng2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_lengths() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut empty: [u8; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [42u8];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn step_rng_counts() {
+        let mut rng = StepRng::new(1, 1);
+        assert_eq!(rng.next_u64(), 1);
+        assert_eq!(rng.next_u64(), 2);
+        assert_eq!(rng.next_u64(), 3);
+    }
+
+    #[test]
+    fn rng_works_through_mut_references() {
+        fn sample<R: Rng>(mut rng: R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let direct = SmallRng::seed_from_u64(3).next_u64();
+        assert_eq!(sample(&mut rng), direct);
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+    }
+}

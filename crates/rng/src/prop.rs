@@ -1,0 +1,300 @@
+//! Deterministic property-testing harness.
+//!
+//! A small replacement for `proptest` built on the workspace RNG: each
+//! property runs against `cases` inputs drawn from a seeded generator
+//! function, and a failing case reports everything needed to replay it
+//! (the case seed, the generated input, and the assertion message).
+//!
+//! Design decisions, relative to `proptest`:
+//!
+//! - **No shrinking.** Cases are replayable by seed instead: the
+//!   failure report prints the exact case seed, and
+//!   `FFDL_PROP_REPLAY=<seed>` re-runs just that case under a debugger.
+//!   Generators here produce small inputs by construction, so minimal
+//!   counterexamples matter much less than in a shrinking-first design.
+//! - **Deterministic by default.** The base seed is fixed, so CI and
+//!   local runs exercise the same cases; set `FFDL_PROP_SEED` to move
+//!   the whole suite to a fresh region of the input space, and
+//!   `FFDL_PROP_CASES` to scale iteration counts up or down.
+//! - **Generators are plain functions** `Fn(&mut SmallRng) -> T` —
+//!   composition is ordinary Rust, no strategy combinator language.
+//!
+//! # Example
+//!
+//! ```
+//! use ffdl_rng::prop::{check, vec_of};
+//! use ffdl_rng::{prop_assert, Rng};
+//!
+//! check("reverse_is_involutive", 64, |rng| {
+//!     vec_of(rng, 0..=20, |r| r.gen_range(-100i32..=100))
+//! }, |v| {
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     prop_assert!(w == *v, "double reverse changed the vector");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::{splitmix64_mix, Rng, SeedableRng, SmallRng};
+use std::fmt::Debug;
+use std::ops::RangeInclusive;
+
+/// Default base seed for the whole property suite (override with
+/// `FFDL_PROP_SEED`).
+pub const DEFAULT_BASE_SEED: u64 = 0xFFD1_5EED_0000_2018;
+
+/// The result type properties return: `Ok(())` on pass, `Err(message)`
+/// on failure. The [`crate::prop_assert!`] family produces these.
+pub type PropResult = Result<(), String>;
+
+fn base_seed() -> u64 {
+    match std::env::var("FFDL_PROP_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("FFDL_PROP_SEED must be a u64, got {s:?}")),
+        Err(_) => DEFAULT_BASE_SEED,
+    }
+}
+
+fn scaled_cases(cases: u32) -> u32 {
+    match std::env::var("FFDL_PROP_CASES") {
+        Ok(s) => {
+            let pct: u32 = s
+                .parse()
+                .unwrap_or_else(|_| panic!("FFDL_PROP_CASES must be a percentage, got {s:?}"));
+            ((cases as u64 * pct as u64) / 100).max(1) as u32
+        }
+        Err(_) => cases,
+    }
+}
+
+/// FNV-1a over the property name, so each property gets its own
+/// decorrelated case stream even under a shared base seed.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `property` against `cases` inputs drawn from `generate`.
+///
+/// Each case uses an independent [`SmallRng`] whose seed is derived from
+/// the base seed, the property name, and the case index; a failure
+/// panics with the case seed, the `Debug` rendering of the input and
+/// the assertion message. Re-run a single failing case with
+/// `FFDL_PROP_REPLAY=<case seed>`.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when the property returns
+/// `Err` for any generated case.
+pub fn check<T, G, P>(name: &str, cases: u32, generate: G, property: P)
+where
+    T: Debug,
+    G: Fn(&mut SmallRng) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    if let Ok(s) = std::env::var("FFDL_PROP_REPLAY") {
+        let case_seed: u64 = s
+            .parse()
+            .unwrap_or_else(|_| panic!("FFDL_PROP_REPLAY must be a u64, got {s:?}"));
+        run_case(name, 0, 1, case_seed, &generate, &property);
+        return;
+    }
+    let base = base_seed() ^ name_hash(name);
+    let cases = scaled_cases(cases);
+    for i in 0..cases {
+        let case_seed = splitmix64_mix(base.wrapping_add(i as u64));
+        run_case(name, i, cases, case_seed, &generate, &property);
+    }
+}
+
+fn run_case<T, G, P>(name: &str, i: u32, cases: u32, case_seed: u64, generate: &G, property: &P)
+where
+    T: Debug,
+    G: Fn(&mut SmallRng) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    let mut rng = SmallRng::seed_from_u64(case_seed);
+    let input = generate(&mut rng);
+    if let Err(msg) = property(&input) {
+        panic!(
+            "property '{name}' failed at case {i}/{cases}\n  \
+             replay: FFDL_PROP_REPLAY={case_seed}\n  \
+             input: {input:?}\n  \
+             assertion: {msg}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generator helpers
+// ---------------------------------------------------------------------------
+
+/// A vector with length drawn from `len`, elements drawn by `element`.
+pub fn vec_of<T, R: Rng, F: FnMut(&mut R) -> T>(
+    rng: &mut R,
+    len: RangeInclusive<usize>,
+    mut element: F,
+) -> Vec<T> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| element(rng)).collect()
+}
+
+/// Arbitrary bytes, up to `max_len` of them.
+pub fn bytes<R: Rng>(rng: &mut R, max_len: usize) -> Vec<u8> {
+    vec_of(rng, 0..=max_len, |r| r.gen_range(0u8..=255))
+}
+
+/// Arbitrary printable-ASCII-plus-newline text (the `[ -~\n]{0,max}`
+/// class used by the parser-robustness properties), up to `max_len`
+/// characters.
+pub fn ascii_text<R: Rng>(rng: &mut R, max_len: usize) -> String {
+    let n = rng.gen_range(0..=max_len);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.1) {
+                '\n'
+            } else {
+                rng.gen_range(0x20u8..=0x7E) as char
+            }
+        })
+        .collect()
+}
+
+/// A finite `f64` of moderate magnitude (|x| ≲ 100), the standard
+/// numeric-property input: large enough to exercise scaling, small
+/// enough that tolerance bookkeeping stays simple.
+pub fn moderate_f64<R: Rng>(rng: &mut R) -> f64 {
+    rng.gen_range(-100.0f64..100.0)
+}
+
+/// A finite `f32` on a coarse 0.1 grid in `[-10, 10]` — mirrors the
+/// old integer-derived strategies, keeping sums exactly representable
+/// enough for tight tolerances.
+pub fn small_f32<R: Rng>(rng: &mut R) -> f32 {
+    rng.gen_range(-100i32..=100) as f32 / 10.0
+}
+
+/// Asserts a condition inside a property, returning `Err` (not
+/// panicking) so the harness can attach the case seed and input to the
+/// failure report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {a:?}\n  right: {b:?}",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {a:?}",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        check(
+            "counts_cases",
+            17,
+            |rng| rng.gen_range(0u32..100),
+            |_| {
+                count.set(count.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay: FFDL_PROP_REPLAY=")]
+    fn failing_property_reports_replay_seed() {
+        check(
+            "always_fails",
+            8,
+            |rng| rng.gen_range(0u32..10),
+            |v| {
+                prop_assert!(*v > 100, "{v} is not > 100");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        fn collect() -> Vec<u64> {
+            let out = std::cell::RefCell::new(Vec::new());
+            check(
+                "determinism_probe",
+                5,
+                |rng| rng.next_u64(),
+                |v| {
+                    out.borrow_mut().push(*v);
+                    Ok(())
+                },
+            );
+            out.into_inner()
+        }
+        let a = collect();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, collect());
+    }
+
+    #[test]
+    fn generator_helpers_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = vec_of(&mut rng, 2..=5, |r| r.gen_range(0..10));
+            assert!((2..=5).contains(&v.len()));
+            let b = bytes(&mut rng, 16);
+            assert!(b.len() <= 16);
+            let s = ascii_text(&mut rng, 40);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            let x = moderate_f64(&mut rng);
+            assert!(x.is_finite() && x.abs() < 100.0);
+            let y = small_f32(&mut rng);
+            assert!((-10.0..=10.0).contains(&y));
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! block-circulant layers converge at the paper's learning rate of 0.001.
 
 use crate::tensor::Tensor;
-use rand::Rng;
+use ffdl_rng::Rng;
 
 /// Weight initialization schemes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,8 +65,8 @@ fn sample_standard_normal<R: Rng>(rng: &mut R) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(42)

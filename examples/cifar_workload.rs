@@ -12,14 +12,14 @@ use ffdl::platform::{
     measure_inference_us, Implementation, PowerState, RuntimeModel, HONOR_6X, ODROID_XU3,
 };
 use ffdl::tensor::Tensor;
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     println!("== CIFAR-10 workload (Arch. 3, §V-C) ==\n");
 
     // ---- Accuracy leg: reduced Arch. 3 on synthetic CIFAR. -------------
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(55);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(55);
     let raw = synthetic_cifar(800, &CifarConfig::default(), &mut rng)?;
     let ds = standardize(&resize_images(&raw, 16)?)?;
     let (train, test) = ds.split_at(640);

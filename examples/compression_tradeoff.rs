@@ -11,12 +11,12 @@
 
 use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
 use ffdl::paper;
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     println!("== Block-size sweep on MNIST Arch. 1 (ablation A1) ==\n");
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(11);
     let raw = synthetic_mnist(1200, &MnistConfig::default(), &mut rng)?;
     let ds = mnist_preprocess(&raw, 16)?;
     let (train, test) = ds.split_at(1000);
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         // Larger blocks amplify the defining-vector gradients (each value
         // appears b times in the expanded matrix), so scale the rate down.
         let lr = (0.16 / (block as f32).max(4.0)).min(0.02);
-        let mut train_rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut train_rng = ffdl_rng::rngs::SmallRng::seed_from_u64(5);
         let report =
             paper::train_classifier(&mut net, &train, &test, 40, 32, Some(lr), &mut train_rng)?;
         // One forward to populate activation-dependent op costs.

@@ -16,14 +16,14 @@ use ffdl::deploy::{
 };
 use ffdl::paper;
 use ffdl::platform::{all_platforms, Implementation, PowerState, RuntimeModel};
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     println!("== Fig. 4 deployment pipeline ==\n");
 
     // --- Training side -------------------------------------------------
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(21);
     let raw = synthetic_mnist(1000, &MnistConfig::default(), &mut rng)?;
     let ds = mnist_preprocess(&raw, 11)?; // Arch. 2 inputs: 11×11 = 121
     let (train, test) = ds.split_at(800);

@@ -11,7 +11,7 @@ use ffdl::paper;
 use ffdl::platform::{
     all_platforms, measure_inference_us, Implementation, PowerState, RuntimeModel,
 };
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 use std::error::Error;
 
 fn run_arch(
@@ -23,7 +23,7 @@ fn run_arch(
     epochs: usize,
     lr: f32,
 ) -> Result<(), Box<dyn Error>> {
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(1);
     let report = paper::train_classifier(&mut net, train, test, epochs, 32, Some(lr), &mut rng)?;
     println!(
         "\n{name} ({side}×{side} inputs): accuracy {:.2}%  | stored params {} ({}x compression)",
@@ -63,7 +63,7 @@ fn run_arch(
 
 fn main() -> Result<(), Box<dyn Error>> {
     println!("== MNIST deployment study (Table II workloads) ==");
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(3);
     let raw = synthetic_mnist(1200, &MnistConfig::default(), &mut rng)?;
 
     let ds16 = mnist_preprocess(&raw, 16)?;

@@ -9,7 +9,7 @@ use ffdl::core::{BlockCirculantMatrix, QuantBits, QuantizedSpectralDense};
 use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
 use ffdl::nn::{Network, Softmax};
 use ffdl::paper;
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 use std::error::Error;
 
 /// Rebuilds Arch. 1 with its circulant FC layers quantized to `bits`.
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("== Compression stack: block-circulant × fixed-point quantization ==\n");
 
     // Train Arch. 1 on the synthetic MNIST workload.
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(33);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(33);
     let raw = synthetic_mnist(1200, &MnistConfig::default(), &mut rng)?;
     let ds = mnist_preprocess(&raw, 16)?;
     let (train, test) = ds.split_at(1000);

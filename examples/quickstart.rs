@@ -7,7 +7,7 @@
 use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
 use ffdl::paper;
 use ffdl::platform::{measure_inference_us, Implementation, PowerState, RuntimeModel, NEXUS_5};
-use rand::SeedableRng;
+use ffdl_rng::SeedableRng;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 1. Data: synthetic MNIST, resized 28×28 → 16×16 (§V-B) and
     //    flattened to the 256 inputs of Arch. 1.
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(7);
     let raw = synthetic_mnist(1200, &MnistConfig::default(), &mut rng)?;
     let ds = mnist_preprocess(&raw, 16)?;
     let (train, test) = ds.split_at(1000);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the ffdl workspace, plus doc build.
+#
+# The workspace is hermetic (no external crates), so everything here
+# runs offline from a clean checkout. Tier-1 (ROADMAP.md) is the
+# release build and the quiet test run; we extend to the full
+# workspace and `cargo doc` so API regressions and doc-link rot are
+# caught in the same pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --offline --workspace
+
+echo "== tier-1: tests =="
+cargo test -q --offline --workspace
+
+echo "== docs =="
+cargo doc --no-deps --offline --workspace
+
+echo "verify: OK"

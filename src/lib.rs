@@ -30,14 +30,14 @@
 //! use ffdl::paper;
 //! use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
 //! use ffdl::nn::{Sgd, SoftmaxCrossEntropy};
-//! use rand::SeedableRng;
+//! use ffdl_rng::SeedableRng;
 //!
 //! // Build the paper's MNIST Arch. 1 (256-128-128-10, block-circulant).
 //! let mut net = paper::arch1(42);
 //! assert!(net.compression_ratio() > 10.0);
 //!
 //! // Train briefly on the synthetic MNIST workload.
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(0);
 //! let raw = synthetic_mnist(60, &MnistConfig::default(), &mut rng)?;
 //! let ds = mnist_preprocess(&raw, 16)?;
 //! let mut opt = Sgd::with_momentum(0.01, 0.9);

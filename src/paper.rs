@@ -23,8 +23,8 @@ use ffdl_nn::{
     Conv2d, Dense, Flatten, Network, NnError, Relu, Sgd, Softmax, SoftmaxCrossEntropy,
 };
 use ffdl_tensor::ConvGeometry;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ffdl_rng::rngs::SmallRng;
+use ffdl_rng::{Rng, SeedableRng};
 
 /// Block size used by the Arch. 1 FC layers.
 pub const ARCH1_BLOCK: usize = 64;

@@ -10,8 +10,8 @@ use ffdl::nn::{Layer, Network};
 use ffdl::paper;
 use ffdl::platform::{Implementation, PowerState, RuntimeModel, HONOR_6X};
 use ffdl::tensor::Tensor;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ffdl_rng::rngs::SmallRng;
+use ffdl_rng::SeedableRng;
 
 fn trained_arch1() -> (Network, ffdl::data::Dataset) {
     let mut rng = SmallRng::seed_from_u64(41);

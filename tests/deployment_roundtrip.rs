@@ -11,8 +11,8 @@ use ffdl::deploy::{
 };
 use ffdl::nn::{load_network, save_network};
 use ffdl::paper;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ffdl_rng::rngs::SmallRng;
+use ffdl_rng::SeedableRng;
 
 fn trained_arch2() -> (ffdl::nn::Network, ffdl::data::Dataset) {
     let mut rng = SmallRng::seed_from_u64(31);

@@ -5,8 +5,8 @@
 
 use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
 use ffdl::paper;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use ffdl_rng::rngs::SmallRng;
+use ffdl_rng::SeedableRng;
 
 fn mnist(side: usize, n: usize, seed: u64) -> (ffdl::data::Dataset, ffdl::data::Dataset) {
     let mut rng = SmallRng::seed_from_u64(seed);
