@@ -1,0 +1,88 @@
+//! Serving-throughput bench: closed-loop load against the `ffdl-serve`
+//! runtime on the paper's Arch. 1 circulant network, sweeping worker
+//! count and batch ceiling. Writes `BENCH_serve.json` at the workspace
+//! root (unit: requests/sec — *not* the ns-per-call unit of the other
+//! bench files).
+//!
+//! The interesting comparison is `w1_b1` (no batching: every request is
+//! its own forward pass) against the batched configurations: Arch. 1's
+//! circulant layers recompute their weight spectra every forward call,
+//! so a coalesced batch pays that FFT cost once per batch instead of
+//! once per request.
+
+use ffdl::paper;
+use ffdl::tensor::Tensor;
+use ffdl_serve::{run_closed_loop, ServeConfig, ServeReport};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const REQUESTS: usize = 1024;
+
+fn samples() -> Vec<Tensor> {
+    (0..REQUESTS)
+        .map(|s| Tensor::from_fn(&[256], |i| (((s * 256 + i) * 7) % 23) as f32 * 0.04))
+        .collect()
+}
+
+fn out_dir() -> PathBuf {
+    match std::env::var("FFDL_BENCH_OUT_DIR") {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from(".")),
+    }
+}
+
+fn run(label: &str, workers: usize, max_batch: usize, samples: &[Tensor]) -> ServeReport {
+    let config = ServeConfig {
+        workers,
+        max_batch,
+        max_wait: Duration::from_micros(500),
+        queue_depth: 256,
+    };
+    let network = paper::arch1(3);
+    let report = run_closed_loop(&network, &config, samples).expect("serve run");
+    assert_eq!(report.requests, samples.len(), "requests dropped in {label}");
+    eprintln!(
+        "serve/{label:<8} {:>10.0} req/s   p50 {:>8.1} µs   p99 {:>8.1} µs   mean batch {:>5.2}",
+        report.throughput_rps, report.p50_us, report.p99_us, report.mean_batch,
+    );
+    report
+}
+
+fn main() {
+    let samples = samples();
+    // Warm-up pass so the first measured config doesn't also pay
+    // first-touch costs (page faults, lazy init).
+    let _ = run("warmup", 1, 16, &samples[..128.min(samples.len())]);
+
+    let configs: &[(&str, usize, usize)] = &[
+        ("w1_b1", 1, 1),
+        ("w1_b16", 1, 16),
+        ("w2_b16", 2, 16),
+        ("w4_b16", 4, 16),
+    ];
+    let reports: Vec<(String, ServeReport)> = configs
+        .iter()
+        .map(|&(label, workers, batch)| (label.to_string(), run(label, workers, batch, &samples)))
+        .collect();
+
+    let baseline = reports[0].1.throughput_rps;
+    let best_batched = reports[1..]
+        .iter()
+        .map(|(_, r)| r.throughput_rps)
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "serve/speedup  batched-vs-unbatched {:.2}x (baseline {baseline:.0} req/s)",
+        best_batched / baseline.max(1.0),
+    );
+
+    let rows: Vec<(String, &ServeReport)> = reports
+        .iter()
+        .map(|(label, r)| (label.clone(), r))
+        .collect();
+    let path = out_dir().join("BENCH_serve.json");
+    std::fs::write(&path, ffdl_serve::bench_json(&rows)).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", path.display());
+}

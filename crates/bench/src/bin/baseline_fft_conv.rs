@@ -5,10 +5,12 @@
 //! compression."
 //!
 //! Compares, per CONV-layer configuration:
+//!
 //! - the direct dense CONV layer (im2col GEMM),
 //! - the FFT-convolution baseline (`FftConv2d`, same parameter count),
 //! - the block-circulant CONV layer (`CirculantConv2d`, FFT kernel AND
 //!   compressed parameters),
+//!
 //! reporting host runtime, stored parameters and projected Honor 6X C++
 //! runtime.
 //!

@@ -21,10 +21,10 @@ fn main() {
         let mut w = mnist_workload(*arch, 1200, 3 + *arch as u64);
         let host = measure_inference_us(&mut w.frozen, &w.test_inputs, 2, 5)
             .expect("workload forward pass is valid");
+        let accuracy = format!("{:.2}%", w.report.test_accuracy * 100.0);
         println!(
-            "{}  accuracy {} (paper {:.2}%)   host {:.1} µs/image   stored params {}",
+            "{}  accuracy {accuracy} (paper {:.2}%)   host {:.1} µs/image   stored params {}",
             w.name,
-            format!("{:.2}%", w.report.test_accuracy * 100.0),
             reported::TABLE2_ACCURACY[idx],
             host.mean_us,
             w.frozen.param_count(),

@@ -194,7 +194,14 @@ impl BenchSet {
 }
 
 /// Linear-interpolated percentile over an ascending-sorted slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+///
+/// Shared by the bench rows above (median/p95) and by the serving
+/// runtime's latency statistics (p50/p95/p99 in `ffdl-serve`).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty());
     if sorted.len() == 1 {
         return sorted[0];

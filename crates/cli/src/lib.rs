@@ -114,6 +114,34 @@ impl Flags {
                 .map_err(|_| CliError(format!("flag --{key}: cannot parse {v:?}"))),
         }
     }
+
+    /// Rejects any flag outside `allowed`, naming the offending flag and
+    /// listing what the command accepts (so a typo like `--epoch` is
+    /// reported as such instead of being silently ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] naming the first unknown flag.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), CliError> {
+        let mut unknown: Vec<&str> = self
+            .values
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        if let Some(first) = unknown.first() {
+            let expected = allowed
+                .iter()
+                .map(|a| format!("--{a}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            return Err(CliError(format!(
+                "unknown flag --{first} (expected one of: {expected})"
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Builds the requested dataset. `mnist16` / `mnist11` are the §V-B
@@ -185,6 +213,9 @@ pub fn implementation_by_name(name: &str) -> Result<Implementation, CliError> {
 ///
 /// Returns [`CliError`] on any flag, parse, I/O or training failure.
 pub fn cmd_train(flags: &Flags) -> Result<String, CliError> {
+    flags.expect_only(&[
+        "arch", "out", "dataset", "samples", "epochs", "batch", "lr", "seed",
+    ])?;
     let arch_path = flags.require("arch")?;
     let out_path = flags.require("out")?;
     let dataset = flags.get("dataset").unwrap_or("mnist16");
@@ -225,6 +256,7 @@ pub fn cmd_train(flags: &Flags) -> Result<String, CliError> {
 ///
 /// Returns [`CliError`] on any flag, parse, I/O or shape failure.
 pub fn cmd_infer(flags: &Flags) -> Result<String, CliError> {
+    flags.expect_only(&["arch", "params", "inputs", "platform", "impl"])?;
     let arch_text = fs::read_to_string(flags.require("arch")?)?;
     let params = fs::read(flags.require("params")?)?;
     let inputs_text = fs::read_to_string(flags.require("inputs")?)?;
@@ -279,6 +311,7 @@ pub fn cmd_infer(flags: &Flags) -> Result<String, CliError> {
 ///
 /// Returns [`CliError`] on any flag, parse or I/O failure.
 pub fn cmd_inspect(flags: &Flags) -> Result<String, CliError> {
+    flags.expect_only(&["arch", "params"])?;
     let arch_text = fs::read_to_string(flags.require("arch")?)?;
     let parsed = parse_architecture(&arch_text, 0)?;
     let mut net = parsed.network;
@@ -343,6 +376,7 @@ pub fn cmd_inspect(flags: &Flags) -> Result<String, CliError> {
 ///
 /// Returns [`CliError`] on any flag or I/O failure.
 pub fn cmd_gen_inputs(flags: &Flags) -> Result<String, CliError> {
+    flags.expect_only(&["out", "dataset", "samples", "seed"])?;
     let out_path = flags.require("out")?;
     let dataset = flags.get("dataset").unwrap_or("mnist16");
     let samples = flags.get_num("samples", 100usize)?;
@@ -359,6 +393,95 @@ pub fn cmd_gen_inputs(flags: &Flags) -> Result<String, CliError> {
     ))
 }
 
+/// `ffdl serve-bench`: closed-loop load generator against the
+/// `ffdl-serve` runtime — the paper's architecture for the dataset, a
+/// bounded queue, `--workers` threads with dynamic batching up to
+/// `--batch`, and a throughput/latency stats table.
+///
+/// The "prediction digest" line is a checksum over all predicted labels
+/// in request order; it is identical for any `--workers` count under the
+/// same seed (served predictions are bit-identical to single-sample
+/// inference), while the timing rows below it naturally vary run to run.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags or any serve failure.
+pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
+    flags.expect_only(&[
+        "workers",
+        "batch",
+        "requests",
+        "dataset",
+        "wait-us",
+        "queue-depth",
+        "seed",
+    ])?;
+    let workers = flags.get_num("workers", 1usize)?;
+    let max_batch = flags.get_num("batch", 16usize)?;
+    let requests = flags.get_num("requests", 256usize)?;
+    let dataset = flags.get("dataset").unwrap_or("mnist16");
+    let wait_us = flags.get_num("wait-us", 2000u64)?;
+    let queue_depth = flags.get_num("queue-depth", 256usize)?;
+    let seed = flags.get_num("seed", 42u64)?;
+    if requests == 0 {
+        return Err(CliError("flag --requests must be >= 1".into()));
+    }
+
+    // The paper's block-circulant architecture for the dataset; raw
+    // circulant layers benefit most from batching (weight spectra are
+    // recomputed per forward call, so a batch pays them once).
+    let network = match dataset {
+        "mnist16" => paper::arch1(seed),
+        "mnist11" => paper::arch2(seed),
+        other => {
+            return Err(CliError(format!(
+                "unknown serve dataset {other:?} (expected mnist16 | mnist11)"
+            )))
+        }
+    };
+
+    // A small pool of distinct samples, cycled to form the request stream.
+    let unique = requests.min(64);
+    let ds = ffdl::data::flatten_samples(&load_dataset(dataset, unique, seed)?)?;
+    let (x, _) = ds.batch(&(0..ds.len()).collect::<Vec<_>>());
+    let width = x.shape()[1];
+    let samples: Vec<ffdl::tensor::Tensor> = (0..requests)
+        .map(|i| {
+            let row = x.row(i % unique);
+            ffdl::tensor::Tensor::from_vec(row.to_vec(), &[width])
+        })
+        .collect::<Result<_, _>>()?;
+
+    let config = ffdl_serve::ServeConfig {
+        workers,
+        max_batch,
+        max_wait: std::time::Duration::from_micros(wait_us),
+        queue_depth,
+    };
+    let report = ffdl_serve::run_closed_loop(&network, &config, &samples)
+        .map_err(|e| CliError(e.to_string()))?;
+
+    // Order-sensitive checksum over predicted labels: equal across
+    // worker counts iff the served results are deterministic.
+    let digest = report
+        .responses
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, r| {
+            (h ^ r.prediction.label as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "serve-bench: {dataset} / {} / {requests} requests, {workers} workers, batch<={max_batch}, window {wait_us} µs, depth {queue_depth}",
+        if dataset == "mnist11" { "arch2" } else { "arch1" },
+    )
+    .expect("string write");
+    writeln!(out, "prediction digest: {digest:016x}").expect("string write");
+    out.push_str(&report.table());
+    Ok(out)
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "ffdl — FFT-based block-circulant deep learning (Lin et al., DATE 2018)\n\
@@ -369,7 +492,9 @@ pub fn usage() -> &'static str {
        ffdl infer      --arch <file> --params <file> --inputs <csv>\n\
                        [--platform nexus5|xu3|honor6x] [--impl java|cpp]\n\
        ffdl inspect    --arch <file> [--params <file>]\n\
-       ffdl gen-inputs --out <csv> [--dataset mnist16|...] [--samples N] [--seed N]\n"
+       ffdl gen-inputs --out <csv> [--dataset mnist16|...] [--samples N] [--seed N]\n\
+       ffdl serve-bench [--workers N] [--batch N] [--requests N] [--dataset mnist16|mnist11]\n\
+                       [--wait-us N] [--queue-depth N] [--seed N]\n"
 }
 
 /// Dispatches a full argument vector (without the program name).
@@ -387,6 +512,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "infer" => cmd_infer(&flags),
         "inspect" => cmd_inspect(&flags),
         "gen-inputs" => cmd_gen_inputs(&flags),
+        "serve-bench" => cmd_serve_bench(&flags),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{}", usage()))),
     }
@@ -485,6 +611,45 @@ mod tests {
         assert!(out.contains("projected embedded runtime"), "{out}");
 
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_flags_are_named() {
+        let f = flags(&[("arch", "a.txt"), ("epoch", "3")]);
+        let err = f.expect_only(&["arch", "epochs"]).unwrap_err();
+        assert!(err.0.contains("--epoch"), "{err}");
+        assert!(err.0.contains("--epochs"), "{err}");
+        // Wired into commands: a typo'd flag fails fast with its name.
+        let err = cmd_inspect(&flags(&[("arch", "a.txt"), ("prams", "w")])).unwrap_err();
+        assert!(err.0.contains("unknown flag --prams"), "{err}");
+        assert!(f.expect_only(&["arch", "epoch"]).is_ok());
+    }
+
+    #[test]
+    fn serve_bench_runs_and_is_deterministic_across_workers() {
+        let digest_line = |workers: &str| {
+            let out = cmd_serve_bench(&flags(&[
+                ("workers", workers),
+                ("batch", "8"),
+                ("requests", "48"),
+                ("dataset", "mnist11"),
+                ("seed", "5"),
+            ]))
+            .unwrap();
+            assert!(out.contains("serve stats"), "{out}");
+            assert!(out.contains("throughput"), "{out}");
+            assert!(out.contains("p99"), "{out}");
+            out.lines()
+                .find(|l| l.starts_with("prediction digest"))
+                .expect("digest line")
+                .to_string()
+        };
+        assert_eq!(digest_line("1"), digest_line("3"));
+
+        let err = cmd_serve_bench(&flags(&[("dataset", "cifar")])).unwrap_err();
+        assert!(err.0.contains("unknown serve dataset"), "{err}");
+        let err = cmd_serve_bench(&flags(&[("requests", "0")])).unwrap_err();
+        assert!(err.0.contains("--requests"), "{err}");
     }
 
     #[test]

@@ -202,12 +202,10 @@ impl Layer for FftConv2d {
                 })
                 .collect();
 
-            for p in 0..self.out_channels {
+            for (p, filter_spec_p) in filter_spec.iter().enumerate() {
                 let mut acc = vec![Complex32::zero(); fr * fc];
-                for c in 0..self.in_channels {
-                    for ((o, &x), &f) in
-                        acc.iter_mut().zip(&x_spec[c]).zip(&filter_spec[p][c])
-                    {
+                for (x_c, f_c) in x_spec.iter().zip(filter_spec_p) {
+                    for ((o, &x), &f) in acc.iter_mut().zip(x_c).zip(f_c) {
                         *o += x * f;
                     }
                 }
@@ -283,10 +281,8 @@ impl Layer for FftConv2d {
             // dL/dx_c = Σ_p IFFT( G_p ∘ conj(Ĝflip_{p,c}) ).
             for c in 0..self.in_channels {
                 let mut acc = vec![Complex32::zero(); fr * fc];
-                for p in 0..self.out_channels {
-                    for ((o, &g), &f) in
-                        acc.iter_mut().zip(&g_spec[p]).zip(&filter_spec[p][c])
-                    {
+                for (g_p, filter_spec_p) in g_spec.iter().zip(&filter_spec) {
+                    for ((o, &g), &f) in acc.iter_mut().zip(g_p).zip(&filter_spec_p[c]) {
                         *o += g * f.conj();
                     }
                 }
@@ -300,12 +296,10 @@ impl Layer for FftConv2d {
 
             // dL/dflip_{p,c} = IFFT( G_p ∘ conj(X_c) ), cropped to r×r at
             // the origin, then unflipped back to filter orientation.
-            for p in 0..self.out_channels {
-                for c in 0..self.in_channels {
+            for (p, g_p) in g_spec.iter().enumerate() {
+                for (c, x_c) in x_spec.iter().enumerate() {
                     let mut prod = vec![Complex32::zero(); fr * fc];
-                    for ((o, &g), &x) in
-                        prod.iter_mut().zip(&g_spec[p]).zip(&x_spec[c])
-                    {
+                    for ((o, &g), &x) in prod.iter_mut().zip(g_p).zip(x_c) {
                         *o = g * x.conj();
                     }
                     self.plan.inverse(&mut prod).expect("plan size matches");

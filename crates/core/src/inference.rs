@@ -98,8 +98,8 @@ impl Layer for SpectralDense {
             let mut y_padded = vec![0.0f32; self.kb_out * b];
             for i in 0..self.kb_out {
                 let mut acc = self.kernel.zero_accumulator();
-                for j in 0..self.kb_in {
-                    SpectralKernel::mul_accumulate(&mut acc, &self.spectra[i][j], &x_spec[j]);
+                for (w_spec, x_j) in self.spectra[i].iter().zip(&x_spec) {
+                    SpectralKernel::mul_accumulate(&mut acc, w_spec, x_j);
                 }
                 y_padded[i * b..(i + 1) * b].copy_from_slice(&self.kernel.inverse(&acc));
             }

@@ -219,8 +219,8 @@ impl Layer for QuantizedSpectralDense {
                 .collect();
             for i in 0..self.kb_out {
                 let mut acc = self.kernel.zero_accumulator();
-                for j in 0..self.kb_in {
-                    SpectralKernel::mul_accumulate(&mut acc, &self.dequantized[i][j], &x_spec[j]);
+                for (w_spec, x_j) in self.dequantized[i].iter().zip(&x_spec) {
+                    SpectralKernel::mul_accumulate(&mut acc, w_spec, x_j);
                 }
                 let block_out = self.kernel.inverse(&acc);
                 let lo = i * b;

@@ -57,21 +57,22 @@ impl InferenceEngine {
         self.network
     }
 
-    /// Predicts classes and probabilities for a `[batch, …]` input.
-    ///
-    /// If the network does not end in a softmax layer, probabilities are
-    /// derived by applying softmax to the final logits.
-    ///
-    /// # Errors
-    ///
-    /// Propagates forward-pass errors.
-    pub fn predict(&mut self, inputs: &Tensor) -> Result<Vec<Prediction>, DeployError> {
-        let out = self.network.forward(inputs)?;
+    fn bad_input(message: String) -> DeployError {
+        DeployError::Nn(ffdl_nn::NnError::BadInput {
+            layer: "inference_engine".into(),
+            message,
+        })
+    }
+
+    /// Converts `[batch, classes]` network output into per-sample
+    /// predictions, applying softmax when the network does not end in a
+    /// softmax layer.
+    fn predictions_from_output(&self, out: Tensor) -> Result<Vec<Prediction>, DeployError> {
         if out.ndim() != 2 {
-            return Err(DeployError::Nn(ffdl_nn::NnError::BadInput {
-                layer: "inference_engine".into(),
-                message: format!("expected [batch, classes] output, got {:?}", out.shape()),
-            }));
+            return Err(Self::bad_input(format!(
+                "expected [batch, classes] output, got {:?}",
+                out.shape()
+            )));
         }
         let ends_with_softmax = self
             .network
@@ -99,6 +100,45 @@ impl InferenceEngine {
                 }
             })
             .collect())
+    }
+
+    /// Predicts classes and probabilities for a `[batch, …]` input.
+    ///
+    /// If the network does not end in a softmax layer, probabilities are
+    /// derived by applying softmax to the final logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DeployError`] for an empty batch and propagates
+    /// forward-pass errors (e.g. mismatched input width).
+    pub fn predict(&mut self, inputs: &Tensor) -> Result<Vec<Prediction>, DeployError> {
+        if inputs.ndim() == 0 || inputs.shape()[0] == 0 {
+            return Err(Self::bad_input(format!(
+                "empty input batch (shape {:?})",
+                inputs.shape()
+            )));
+        }
+        let out = self.network.forward(inputs)?;
+        self.predictions_from_output(out)
+    }
+
+    /// Predicts classes for a coalesced batch of per-sample tensors: the
+    /// samples are stacked and run through **one** forward pass
+    /// ([`Network::forward_batch`]), so the per-call costs of the FFT
+    /// layers are amortized across the whole batch. Entry `r` of the
+    /// result corresponds to `samples[r]` and is bit-identical to
+    /// [`InferenceEngine::predict`] on that sample alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DeployError`] for an empty sample list or
+    /// mismatched sample shapes; propagates forward-pass errors.
+    pub fn predict_batch(&mut self, samples: &[&Tensor]) -> Result<Vec<Prediction>, DeployError> {
+        if samples.is_empty() {
+            return Err(Self::bad_input("empty input batch (no samples)".into()));
+        }
+        let out = self.network.forward_batch(samples)?;
+        self.predictions_from_output(out)
     }
 
     /// Runs a full timed evaluation: accuracy (when labels are given),
@@ -229,6 +269,30 @@ softmax
         let mut e = engine();
         let x = Tensor::zeros(&[2, 8]);
         assert!(e.evaluate(&x, Some(&[0]), &[], 0, 1).is_err());
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_rows() {
+        let mut e = engine();
+        let samples: Vec<Tensor> = (0..5)
+            .map(|s| Tensor::from_fn(&[8], |i| ((s * 8 + i) as f32 * 0.17).sin()))
+            .collect();
+        let refs: Vec<&Tensor> = samples.iter().collect();
+        let batched = e.predict_batch(&refs).unwrap();
+        for (s, expect) in samples.iter().zip(&batched) {
+            let single = e.predict(&s.reshape(&[1, 8]).unwrap()).unwrap();
+            assert_eq!(&single[0], expect);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_typed_error() {
+        let mut e = engine();
+        assert!(matches!(
+            e.predict(&Tensor::zeros(&[0, 8])),
+            Err(DeployError::Nn(_))
+        ));
+        assert!(matches!(e.predict_batch(&[]), Err(DeployError::Nn(_))));
     }
 
     #[test]

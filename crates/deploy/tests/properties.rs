@@ -7,7 +7,7 @@
 
 use ffdl_deploy::{
     format_inputs, parse_architecture, parse_inputs, read_parameters_into, write_parameters,
-    Shape,
+    DeployError, InferenceEngine, Shape,
 };
 use ffdl_rng::prop::{ascii_text, bytes, check, vec_of};
 use ffdl_rng::{prop_assert, prop_assert_eq, Rng, SmallRng};
@@ -131,6 +131,57 @@ fn inputs_roundtrip() {
             for (a, b) in parsed.features.as_slice().iter().zip(features.as_slice()) {
                 prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
             }
+            Ok(())
+        },
+    );
+}
+
+/// Malformed inference requests against generated architectures are
+/// typed [`DeployError`]s, never panics: a mismatched input width, an
+/// empty input batch (both the `[0, d]` tensor and the empty sample
+/// list), and a truncated (missing-tail) parameters blob.
+#[test]
+fn bad_requests_are_typed_errors() {
+    check(
+        "bad_requests_are_typed_errors",
+        32,
+        |rng| {
+            let (text, input, _classes) = fc_arch(rng);
+            let wrong = {
+                let mut w = rng.gen_range(1usize..=96);
+                if w == input {
+                    w = input + 1;
+                }
+                w
+            };
+            (text, input, wrong, rng.gen_range(0u64..100))
+        },
+        |(text, input, wrong, seed)| {
+            let net = parse_architecture(text, *seed).unwrap().network;
+
+            // Mismatched input width.
+            let mut engine = InferenceEngine::new(net);
+            let bad = Tensor::from_fn(&[2, *wrong], |i| i as f32 * 0.01);
+            prop_assert!(matches!(
+                engine.predict(&bad),
+                Err(DeployError::Nn(_))
+            ));
+
+            // Empty batch, both entry points.
+            prop_assert!(matches!(
+                engine.predict(&Tensor::zeros(&[0, *input])),
+                Err(DeployError::Nn(_))
+            ));
+            prop_assert!(matches!(engine.predict_batch(&[]), Err(DeployError::Nn(_))));
+
+            // Missing parameters: a truncated blob is rejected, and the
+            // network still serves well-formed requests afterwards.
+            let mut blob = Vec::new();
+            write_parameters(engine.network(), &mut blob).unwrap();
+            let cut = blob.len() / 2;
+            prop_assert!(read_parameters_into(engine.network_mut(), &blob[..cut]).is_err());
+            let ok = Tensor::from_fn(&[1, *input], |i| (i as f32 * 0.1).cos());
+            prop_assert!(engine.predict(&ok).is_ok());
             Ok(())
         },
     );

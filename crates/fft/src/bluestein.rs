@@ -110,7 +110,7 @@ impl<T: FftFloat> Fft<T> for Bluestein<T> {
 
         self.inner_forward.process(&mut a)?;
         for (v, &k) in a.iter_mut().zip(&self.kernel_spectrum) {
-            *v = *v * k;
+            *v *= k;
         }
         self.inner_inverse.process(&mut a)?;
 

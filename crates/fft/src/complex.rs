@@ -251,6 +251,8 @@ impl<T: FftFloat> MulAssign for Complex<T> {
 
 impl<T: FftFloat> Div for Complex<T> {
     type Output = Self;
+    // z / w is defined as z · w⁻¹; the multiply is intentional.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }

@@ -122,7 +122,7 @@ pub fn linear_convolve<T: FftFloat>(a: &[T], b: &[T]) -> Vec<T> {
     fwd.process(&mut fa).expect("length matches");
     fwd.process(&mut fb).expect("length matches");
     for (x, y) in fa.iter_mut().zip(&fb) {
-        *x = *x * *y;
+        *x *= *y;
     }
     inv.process(&mut fa).expect("length matches");
     fa.truncate(out_len);

@@ -63,7 +63,7 @@ impl<T: FftFloat> RealFft<T> {
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "cannot build a zero-length real FFT plan");
         let mut planner = FftPlanner::new();
-        if len % 2 == 0 && len >= 2 {
+        if len.is_multiple_of(2) && len >= 2 {
             let half = len / 2;
             let two_pi = T::from_f64(2.0) * T::PI;
             let twiddles = (0..=half)

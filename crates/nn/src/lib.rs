@@ -78,5 +78,5 @@ pub use network::Network;
 pub use optimizer::Sgd;
 pub use pool::{maxpool2d_from_config, MaxPool2d};
 pub use schedule::{ConstantLr, LinearWarmup, LrSchedule, StepDecay};
-pub use serialize::{load_network, save_network, LayerBuilder, LayerRegistry};
+pub use serialize::{clone_network, load_network, save_network, LayerBuilder, LayerRegistry};
 pub use softmax::{softmax_from_config, softmax_rows, Softmax};

@@ -96,6 +96,30 @@ impl Network {
         Ok(x)
     }
 
+    /// Runs one forward pass over a coalesced batch of per-sample
+    /// tensors: the samples are stacked into a single `[n, d…]` tensor
+    /// and pushed through the layer stack **once**, so per-call costs
+    /// (weight-spectrum FFTs in circulant layers, per-layer dispatch,
+    /// activation allocation) are paid per batch instead of per sample.
+    /// This is the kernel-level half of the serving runtime's dynamic
+    /// batcher.
+    ///
+    /// Row `r` of the output corresponds to `samples[r]`, bit-identically
+    /// to running [`Network::forward`] on that sample alone (all layers
+    /// process batch rows independently).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when `samples` is empty or the
+    /// sample shapes disagree; propagates layer errors.
+    pub fn forward_batch(&mut self, samples: &[&Tensor]) -> Result<Tensor, NnError> {
+        let stacked = Tensor::stack(samples).map_err(|e| NnError::BadInput {
+            layer: "network".into(),
+            message: format!("forward_batch: {e}"),
+        })?;
+        self.forward(&stacked)
+    }
+
     /// Runs the full backward pass, returning the gradient with respect to
     /// the network input.
     ///

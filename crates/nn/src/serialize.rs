@@ -182,6 +182,25 @@ pub fn load_network<R: Read>(mut reader: R, registry: &LayerRegistry) -> Result<
     Ok(network)
 }
 
+/// Deep-copies a network by round-tripping it through the wire format:
+/// every layer is serialized (tag + config + parameters) and rebuilt
+/// through `registry`. The clone owns fresh parameter tensors and empty
+/// forward caches, so it can run on another thread independently — this
+/// is how the serving runtime gives each worker its own copy of the
+/// model.
+///
+/// # Errors
+///
+/// Returns [`NnError::UnknownLayerTag`] when a layer type is not in
+/// `registry`, and propagates format errors (which indicate a bug in a
+/// layer's `config_bytes`/`load_params` pair rather than a user input
+/// condition).
+pub fn clone_network(network: &Network, registry: &LayerRegistry) -> Result<Network, NnError> {
+    let mut buf = Vec::new();
+    save_network(network, &mut buf)?;
+    load_network(&buf[..], registry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +303,32 @@ mod tests {
         assert!(matches!(
             load_network(Cursor::new(buf), &LayerRegistry::default()),
             Err(NnError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn clone_network_is_independent_and_identical() {
+        let mut rng = rng();
+        let mut net = Network::new();
+        net.push(Dense::new(5, 7, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(7, 3, &mut rng));
+
+        let mut cloned = clone_network(&net, &LayerRegistry::with_builtin_layers()).unwrap();
+        let x = Tensor::from_fn(&[3, 5], |i| (i as f32 * 0.21).cos());
+        let y1 = net.forward(&x).unwrap();
+        let y2 = cloned.forward(&x).unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice());
+
+        // Mutating the clone's parameters must not touch the original.
+        for p in cloned.parameters() {
+            p.value.map_inplace(|v| v + 1.0);
+        }
+        let y3 = net.forward(&x).unwrap();
+        assert_eq!(y1.as_slice(), y3.as_slice());
+        assert!(matches!(
+            clone_network(&net, &LayerRegistry::new()),
+            Err(NnError::UnknownLayerTag(_))
         ));
     }
 

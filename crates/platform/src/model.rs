@@ -239,6 +239,66 @@ impl RuntimeModel {
         self.layer_overhead_us()
             + self.estimate_cost_us(layer.op_cost(), is_streaming_tag(layer.type_tag()))
     }
+
+    /// Estimated time for one **batched** forward pass of `batch`
+    /// samples, in µs: the per-layer invocation overhead is paid once
+    /// per batch while the compute term scales with the batch size.
+    /// This models the serving runtime's dynamic batcher — coalescing
+    /// requests amortizes exactly the per-call costs the overhead term
+    /// captures (dispatch, buffer setup, and for circulant layers the
+    /// weight-spectrum FFTs).
+    ///
+    /// Layer costs reflect the most recent forward pass — run one
+    /// forward before estimating.
+    pub fn estimate_network_batch_us(&self, network: &Network, batch: usize) -> f64 {
+        network
+            .layers()
+            .iter()
+            .map(|layer| {
+                self.layer_overhead_us()
+                    + batch as f64
+                        * self.estimate_cost_us(
+                            layer.op_cost(),
+                            is_streaming_tag(layer.type_tag()),
+                        )
+            })
+            .sum()
+    }
+
+    /// Projected serving throughput in requests/second for a worker pool
+    /// of `workers` threads each running batches of `batch` samples on
+    /// the modelled platform's big.LITTLE clusters.
+    ///
+    /// Workers are placed on the primary (big) cluster first; once it is
+    /// full, extra workers spill onto the companion (little) cluster and
+    /// contribute at the clusters' clock ratio (the throughput params are
+    /// calibrated for the primary cluster). Workers beyond the total core
+    /// count add nothing — they time-share cores that are already busy.
+    pub fn projected_batch_throughput_rps(
+        &self,
+        network: &Network,
+        batch: usize,
+        workers: usize,
+    ) -> f64 {
+        if batch == 0 || workers == 0 {
+            return 0.0;
+        }
+        let batch_us = self.estimate_network_batch_us(network, batch);
+        if batch_us <= 0.0 {
+            return 0.0;
+        }
+        let per_core_rps = batch as f64 / batch_us * 1e6;
+        let big = self.platform.primary.cores as usize;
+        let on_big = workers.min(big);
+        let mut effective = on_big as f64;
+        if workers > big {
+            if let Some(little) = self.platform.companion {
+                let spill = (workers - big).min(little.cores as usize) as f64;
+                effective += spill * little.freq_ghz / self.platform.primary.freq_ghz;
+            }
+        }
+        per_core_rps * effective
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +411,65 @@ mod tests {
             .sum();
         assert!((total - by_layer).abs() < 1e-9);
         assert!(total > 0.0);
+    }
+
+    fn small_circulant_net() -> Network {
+        use ffdl_core::CirculantDense;
+        use ffdl_nn::Relu;
+        use ffdl_tensor::Tensor;
+        use ffdl_rng::SeedableRng;
+        let mut rng = ffdl_rng::rngs::SmallRng::seed_from_u64(5);
+        let mut net = Network::new();
+        net.push(CirculantDense::new(64, 32, 16, &mut rng).unwrap());
+        net.push(Relu::new());
+        let _ = net.forward(&Tensor::zeros(&[1, 64])).unwrap();
+        net
+    }
+
+    #[test]
+    fn batch_estimate_amortizes_overhead() {
+        let net = small_circulant_net();
+        let m = RuntimeModel::new(NEXUS_5, Implementation::Cpp, PowerState::PluggedIn);
+        let single = m.estimate_network_batch_us(&net, 1);
+        assert!((single - m.estimate_network_us(&net)).abs() < 1e-9);
+        let b16 = m.estimate_network_batch_us(&net, 16);
+        // Batched per-sample time must drop (overhead amortized) but the
+        // total must still grow with the batch.
+        assert!(b16 / 16.0 < single, "per-sample {} vs {}", b16 / 16.0, single);
+        assert!(b16 > single);
+    }
+
+    #[test]
+    fn batched_throughput_scales_over_clusters() {
+        let net = small_circulant_net();
+        for p in all_platforms() {
+            let m = RuntimeModel::new(p, Implementation::Cpp, PowerState::PluggedIn);
+            let one = m.projected_batch_throughput_rps(&net, 8, 1);
+            let big = m.projected_batch_throughput_rps(&net, 8, p.primary.cores as usize);
+            let all = m.projected_batch_throughput_rps(&net, 8, p.total_cores() as usize);
+            let beyond = m.projected_batch_throughput_rps(&net, 8, 64);
+            assert!(one > 0.0);
+            assert!((big / one - p.primary.cores as f64).abs() < 1e-6);
+            if p.companion.is_some() {
+                // Little cores help, but at less than big-core rate.
+                assert!(all > big);
+                assert!(all < big * 2.0);
+            } else {
+                assert!((all - big).abs() < 1e-9);
+            }
+            // Oversubscription adds nothing.
+            assert!((beyond - all).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batched_throughput_degenerate_inputs() {
+        let net = small_circulant_net();
+        let m = RuntimeModel::new(HONOR_6X, Implementation::Cpp, PowerState::PluggedIn);
+        assert_eq!(m.projected_batch_throughput_rps(&net, 0, 4), 0.0);
+        assert_eq!(m.projected_batch_throughput_rps(&net, 8, 0), 0.0);
+        let empty = Network::new();
+        assert_eq!(m.projected_batch_throughput_rps(&empty, 8, 4), 0.0);
     }
 
     #[test]

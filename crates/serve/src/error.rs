@@ -1,0 +1,80 @@
+//! Error type for the serving runtime.
+
+use ffdl_deploy::DeployError;
+use ffdl_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the serving runtime.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded queue is at
+    /// its configured depth. Clients should back off and retry — this is
+    /// the backpressure signal, not a fault.
+    QueueFull,
+    /// The server has been shut down and accepts no further requests.
+    Closed,
+    /// The configuration is unusable (zero workers, zero batch, …).
+    InvalidConfig(String),
+    /// Cloning the model for a worker failed (a layer type is missing
+    /// from the registry, or a layer's wire round-trip is broken).
+    Clone(NnError),
+    /// A worker's inference failed (e.g. a request tensor of the wrong
+    /// shape reached the network).
+    Inference(DeployError),
+    /// A worker thread panicked; the payload is its panic message.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue is full (backpressure)"),
+            ServeError::Closed => write!(f, "server is shut down"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Clone(e) => write!(f, "failed to clone model for worker: {e}"),
+            ServeError::Inference(e) => write!(f, "worker inference failed: {e}"),
+            ServeError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Clone(e) => Some(e),
+            ServeError::Inference(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Clone(e)
+    }
+}
+
+impl From<DeployError> for ServeError {
+    fn from(e: DeployError) -> Self {
+        ServeError::Inference(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServeError::QueueFull.to_string().contains("backpressure"));
+        assert!(ServeError::Closed.to_string().contains("shut down"));
+        assert!(ServeError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(ServeError::WorkerPanic("boom".into()).to_string().contains("boom"));
+        let e: ServeError = NnError::UnknownLayerTag("t".into()).into();
+        assert!(e.source().is_some());
+        let e: ServeError = ServeError::Inference(DeployError::ParamsMismatch("p".into()));
+        assert!(e.source().is_some());
+        assert!(ServeError::QueueFull.source().is_none());
+    }
+}

@@ -1,0 +1,59 @@
+//! # ffdl-serve — batched multi-worker inference serving
+//!
+//! The paper deploys block-circulant networks on embedded devices where
+//! inference requests arrive continuously (camera frames, audio windows).
+//! This crate is the serving runtime for that setting, built only on
+//! `std`:
+//!
+//! * a **bounded MPMC request queue** with reject-based admission control
+//!   — when the queue is at its configured depth, submits fail with
+//!   [`ServeError::QueueFull`] instead of growing an unbounded backlog,
+//! * a **`std::thread` worker pool** where each worker owns a private
+//!   clone of the network (no shared mutable model state, no hot-path
+//!   lock on the weights),
+//! * a **dynamic batcher** — a worker waits for the first request, then
+//!   holds the batch open until it reaches `max_batch` or a `max_wait`
+//!   deadline passes, and runs one coalesced forward pass
+//!   ([`ffdl_deploy::InferenceEngine::predict_batch`]). Batching is where
+//!   the throughput comes from: circulant layers recompute their weight
+//!   spectra per forward call, so a batch of `n` rows pays that FFT cost
+//!   once instead of `n` times,
+//! * a **stats collector** ([`ServeReport`]) producing throughput and
+//!   p50/p95/p99 latency from the same percentile machinery as the bench
+//!   harness.
+//!
+//! Served predictions are bit-identical to single-sample
+//! [`ffdl_deploy::InferenceEngine::predict`] calls, and the report's
+//! responses are ordered by request id — so results are deterministic
+//! across worker counts and batch compositions.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffdl_deploy::parse_architecture;
+//! use ffdl_serve::{run_closed_loop, ServeConfig};
+//! use ffdl_tensor::Tensor;
+//!
+//! let net = parse_architecture("input 8\ncirculant_fc 8 block=4\nrelu\nfc 2\nsoftmax\n", 7)?
+//!     .network;
+//! let samples: Vec<Tensor> = (0..10)
+//!     .map(|s| Tensor::from_fn(&[8], |i| ((s * 8 + i) as f32 * 0.1).sin()))
+//!     .collect();
+//! let config = ServeConfig { workers: 2, max_batch: 4, ..Default::default() };
+//! let report = run_closed_loop(&net, &config, &samples)?;
+//! assert_eq!(report.requests, 10);
+//! assert!(report.throughput_rps > 0.0);
+//! # Ok::<(), ffdl_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod pool;
+mod queue;
+mod stats;
+
+pub use error::ServeError;
+pub use pool::{run_closed_loop, ServeConfig, ServeResponse, Server};
+pub use stats::{bench_json, ServeReport};

@@ -1,0 +1,392 @@
+//! Worker pool and server front-end.
+//!
+//! [`Server::start`] spawns `workers` OS threads, each owning an
+//! [`InferenceEngine`] around its *own clone* of the network (wire-format
+//! round-trip via [`ffdl_nn::clone_network`]) — workers never share
+//! mutable model state, so there is no lock on the hot path. Each worker
+//! loops on [`BoundedQueue::pop_batch`], runs one coalesced
+//! [`InferenceEngine::predict_batch`] forward pass per batch, and records
+//! a [`ServeResponse`] per request. Closing the queue is the shutdown
+//! signal: workers drain what is left and exit.
+
+use crate::error::ServeError;
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::ServeReport;
+use ffdl_core::full_registry;
+use ffdl_deploy::{InferenceEngine, Prediction};
+use ffdl_nn::{clone_network, Network};
+use ffdl_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Configuration for a serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (each owns a clone of the network).
+    pub workers: usize,
+    /// Largest batch a worker coalesces into one forward pass.
+    pub max_batch: usize,
+    /// How long a worker holds an underfull batch open waiting for more
+    /// requests (the dynamic-batching window).
+    pub max_wait: Duration,
+    /// Bounded queue depth; submits beyond this are rejected with
+    /// [`ServeError::QueueFull`].
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            max_batch: 16,
+            max_wait: Duration::from_millis(1),
+            queue_depth: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_depth must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A request waiting in the queue.
+struct QueuedRequest {
+    id: u64,
+    features: Tensor,
+    enqueued: Instant,
+}
+
+/// One served request: the prediction plus how it was served.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// Caller-assigned request id.
+    pub id: u64,
+    /// The model's prediction for this request.
+    pub prediction: Prediction,
+    /// Admission-to-prediction latency, µs (includes queueing and the
+    /// batching window, not just kernel time).
+    pub latency_us: f64,
+    /// Index of the worker that served the request.
+    pub worker: usize,
+    /// Size of the coalesced batch this request rode in.
+    pub batch_size: usize,
+}
+
+/// A running serving instance: bounded queue + worker pool.
+pub struct Server {
+    queue: Arc<BoundedQueue<QueuedRequest>>,
+    results: Arc<Mutex<Vec<ServeResponse>>>,
+    handles: Vec<JoinHandle<Result<(), ServeError>>>,
+    rejections: AtomicU64,
+    workers: usize,
+    started: Instant,
+}
+
+impl Server {
+    /// Clones the network once per worker and starts the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a zero worker/batch/depth count,
+    /// [`ServeError::Clone`] if the network fails its wire round-trip.
+    pub fn start(network: &Network, config: &ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let registry = full_registry();
+        // Clone up front so a bad model is reported before any thread
+        // spawns.
+        let mut engines = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            engines.push(InferenceEngine::new(clone_network(network, &registry)?));
+        }
+
+        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let max_batch = config.max_batch;
+        let max_wait = config.max_wait;
+        let handles = engines
+            .into_iter()
+            .enumerate()
+            .map(|(worker, mut engine)| {
+                let queue = Arc::clone(&queue);
+                let results = Arc::clone(&results);
+                thread::spawn(move || -> Result<(), ServeError> {
+                    loop {
+                        let batch = queue.pop_batch(max_batch, max_wait);
+                        if batch.is_empty() {
+                            return Ok(()); // closed and drained
+                        }
+                        let refs: Vec<&Tensor> =
+                            batch.iter().map(|r: &QueuedRequest| &r.features).collect();
+                        let predictions = engine.predict_batch(&refs)?;
+                        let done = Instant::now();
+                        let batch_size = batch.len();
+                        let mut sink = results.lock().expect("results lock poisoned");
+                        for (request, prediction) in batch.iter().zip(predictions) {
+                            sink.push(ServeResponse {
+                                id: request.id,
+                                prediction,
+                                latency_us: done
+                                    .duration_since(request.enqueued)
+                                    .as_secs_f64()
+                                    * 1e6,
+                                worker,
+                                batch_size,
+                            });
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Self {
+            queue,
+            results,
+            handles,
+            rejections: AtomicU64::new(0),
+            workers: config.workers,
+            started: Instant::now(),
+        })
+    }
+
+    /// Submits a request. Non-blocking: a full queue is reported as
+    /// [`ServeError::QueueFull`] (backpressure — retry after a pause).
+    pub fn try_submit(&self, id: u64, features: Tensor) -> Result<(), ServeError> {
+        let request = QueuedRequest {
+            id,
+            features,
+            enqueued: Instant::now(),
+        };
+        match self.queue.try_push(request) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full) => {
+                self.rejections.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::QueueFull)
+            }
+            Err(PushError::Closed) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Current queue depth (diagnostics).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Closes the queue, drains all pending requests, joins the workers
+    /// and returns the run's statistics.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first worker failure: [`ServeError::Inference`] if a
+    /// forward pass failed, [`ServeError::WorkerPanic`] if a worker
+    /// thread panicked.
+    pub fn finish(self) -> Result<ServeReport, ServeError> {
+        self.queue.close();
+        let mut first_error = None;
+        for handle in self.handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".into());
+                    first_error.get_or_insert(ServeError::WorkerPanic(msg));
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let wall = self.started.elapsed();
+        let responses = Arc::try_unwrap(self.results)
+            .map(|m| m.into_inner().expect("results lock poisoned"))
+            .unwrap_or_else(|arc| arc.lock().expect("results lock poisoned").clone());
+        Ok(ServeReport::new(
+            responses,
+            self.workers,
+            wall,
+            self.rejections.load(Ordering::Relaxed),
+        ))
+    }
+}
+
+/// Closed-loop load generator: submits every sample (retrying on
+/// backpressure), then shuts the server down and returns its report.
+///
+/// Request `i` gets id `i`, so the report's responses line up with the
+/// input slice index-for-index.
+///
+/// # Errors
+///
+/// Propagates [`Server::start`] and worker failures; a
+/// [`ServeError::QueueFull`] is absorbed by retrying and shows up only in
+/// the report's rejection count.
+pub fn run_closed_loop(
+    network: &Network,
+    config: &ServeConfig,
+    samples: &[Tensor],
+) -> Result<ServeReport, ServeError> {
+    let server = Server::start(network, config)?;
+    for (i, sample) in samples.iter().enumerate() {
+        loop {
+            match server.try_submit(i as u64, sample.clone()) {
+                Ok(()) => break,
+                Err(ServeError::QueueFull) => thread::yield_now(),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    server.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffdl_deploy::parse_architecture;
+    use ffdl_rng::{Rng, SeedableRng, SmallRng};
+
+    const ARCH: &str = "\
+input 16
+circulant_fc 16 block=4
+relu
+fc 4
+softmax
+";
+
+    fn test_network() -> Network {
+        parse_architecture(ARCH, 11).unwrap().network
+    }
+
+    fn test_samples(n: usize) -> Vec<Tensor> {
+        let mut rng = SmallRng::seed_from_u64(77);
+        (0..n)
+            .map(|_| Tensor::from_fn(&[16], |_| rng.next_f32() * 2.0 - 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let net = test_network();
+        for bad in [
+            ServeConfig {
+                workers: 0,
+                ..Default::default()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..Default::default()
+            },
+            ServeConfig {
+                queue_depth: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                Server::start(&net, &bad),
+                Err(ServeError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn serves_all_requests_and_matches_direct_inference() {
+        let net = test_network();
+        let samples = test_samples(24);
+        let config = ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            ..Default::default()
+        };
+        let report = run_closed_loop(&net, &config, &samples).unwrap();
+        assert_eq!(report.requests, samples.len());
+        // Sorted by id == input order.
+        for (i, resp) in report.responses.iter().enumerate() {
+            assert_eq!(resp.id, i as u64);
+            assert!(resp.latency_us >= 0.0);
+            assert!(resp.batch_size >= 1);
+        }
+        // Served predictions match a plain single-sample engine.
+        let mut direct = InferenceEngine::new(test_network());
+        for (sample, resp) in samples.iter().zip(&report.responses) {
+            let expect = direct
+                .predict(&sample.reshape(&[1, 16]).unwrap())
+                .unwrap()
+                .remove(0);
+            assert_eq!(expect, resp.prediction);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let net = test_network();
+        let samples = test_samples(32);
+        let one = run_closed_loop(
+            &net,
+            &ServeConfig {
+                workers: 1,
+                max_batch: 8,
+                ..Default::default()
+            },
+            &samples,
+        )
+        .unwrap();
+        let four = run_closed_loop(
+            &net,
+            &ServeConfig {
+                workers: 4,
+                max_batch: 8,
+                ..Default::default()
+            },
+            &samples,
+        )
+        .unwrap();
+        assert_eq!(one.requests, four.requests);
+        for (a, b) in one.responses.iter().zip(&four.responses) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.prediction, b.prediction); // bit-identical
+        }
+    }
+
+    #[test]
+    fn tight_queue_applies_backpressure_without_losing_requests() {
+        let net = test_network();
+        let samples = test_samples(40);
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            queue_depth: 2,
+            ..Default::default()
+        };
+        let report = run_closed_loop(&net, &config, &samples).unwrap();
+        assert_eq!(report.requests, 40);
+        assert!(report.max_batch <= 4);
+    }
+
+    #[test]
+    fn worker_inference_failure_is_surfaced() {
+        let net = test_network();
+        let server = Server::start(&net, &ServeConfig::default()).unwrap();
+        // Wrong input width: the worker's forward pass fails.
+        server.try_submit(0, Tensor::zeros(&[3])).unwrap();
+        assert!(matches!(server.finish(), Err(ServeError::Inference(_))));
+    }
+}

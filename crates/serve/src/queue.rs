@@ -1,0 +1,188 @@
+//! The bounded MPMC request queue at the front of the serving runtime.
+//!
+//! Admission control is reject-based: when the queue holds
+//! `capacity` items, [`BoundedQueue::try_push`] fails with a
+//! "queue full" signal instead of blocking the producer — the paper's
+//! target platforms are latency-bound embedded devices, where an
+//! unbounded backlog only converts overload into timeout storms.
+//! Consumers pop *batches*: the first item is waited for indefinitely,
+//! then the batch is topped up until it reaches `max_batch` or a
+//! `max_wait` deadline expires (the dynamic-batching window).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity (backpressure).
+    Full,
+    /// The queue has been closed.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with batch pops.
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking push with admission control.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: no further pushes are accepted; consumers drain
+    /// the remaining items and then receive empty batches.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth (diagnostics).
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Pops a dynamic batch: blocks until at least one item is available
+    /// (or the queue is closed and drained — then returns an empty vec,
+    /// the consumer's shutdown signal), then keeps gathering until the
+    /// batch holds `max_batch` items or `max_wait` has elapsed since the
+    /// first item was seen.
+    pub(crate) fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if !inner.items.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        }
+        // Batching window: top the batch up until full, the deadline
+        // passes, or the queue is closed (drain immediately on shutdown).
+        let deadline = Instant::now() + max_wait;
+        while inner.items.len() < max_batch && !inner.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("queue lock poisoned");
+            inner = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = inner.items.len().min(max_batch);
+        let batch: Vec<T> = inner.items.drain(..take).collect();
+        let leftovers = !inner.items.is_empty();
+        drop(inner);
+        if leftovers {
+            // More work remains — wake another consumer so batches keep
+            // flowing while this one runs inference.
+            self.not_empty.notify_one();
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.try_push(9), Err(PushError::Full));
+        assert_eq!(q.len(), 4);
+        let batch = q.pop_batch(3, Duration::from_millis(1));
+        assert_eq!(batch, vec![0, 1, 2]);
+        let batch = q.pop_batch(3, Duration::from_millis(1));
+        assert_eq!(batch, vec![3]);
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_drains() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed));
+        assert_eq!(q.pop_batch(8, Duration::from_millis(1)), vec![1]);
+        assert!(q.pop_batch(8, Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn batching_window_fills_across_threads() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..8 {
+                    q.try_push(i).unwrap();
+                    thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
+        // A generous window collects everything the producer sends.
+        let mut got = Vec::new();
+        while got.len() < 8 {
+            got.extend(q.pop_batch(8, Duration::from_millis(200)));
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_wait_takes_what_is_there() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let batch = q.pop_batch(8, Duration::ZERO);
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _: BoundedQueue<u32> = BoundedQueue::new(0);
+    }
+}

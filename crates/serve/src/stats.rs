@@ -1,0 +1,230 @@
+//! Serving statistics: throughput and latency percentiles.
+//!
+//! Latency is measured per request from admission (`try_submit`) to the
+//! moment its prediction is recorded by a worker, so the numbers include
+//! queueing delay and the batching window — the figures a capacity
+//! planner actually needs, not just kernel time. Percentiles come from
+//! the same machinery as the bench harness
+//! ([`ffdl_bench::harness::percentile`]), so `BENCH_serve.json` is
+//! directly comparable with the other `BENCH_*.json` files.
+
+use crate::pool::ServeResponse;
+use ffdl_bench::harness::percentile;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Aggregated statistics for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests completed.
+    pub requests: usize,
+    /// Worker threads that served them.
+    pub workers: usize,
+    /// Wall-clock duration of the run, in seconds.
+    pub wall_s: f64,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Median request latency (admission → prediction), µs.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: f64,
+    /// Mean request latency, µs.
+    pub mean_us: f64,
+    /// Worst observed request latency, µs.
+    pub max_us: f64,
+    /// Mean executed batch size (1.0 = no coalescing happened).
+    pub mean_batch: f64,
+    /// Largest executed batch.
+    pub max_batch: usize,
+    /// Times a submit was rejected with `QueueFull` before succeeding
+    /// (closed-loop clients retry; open-loop clients would shed load).
+    pub queue_full_rejections: u64,
+    /// Responses sorted by request id — deterministic regardless of
+    /// worker count or completion order.
+    pub responses: Vec<ServeResponse>,
+}
+
+impl ServeReport {
+    /// Builds a report from worker responses and the run's wall time.
+    ///
+    /// Responses are re-sorted by request id so the report (and any
+    /// output derived from it) is independent of completion order.
+    pub(crate) fn new(
+        mut responses: Vec<ServeResponse>,
+        workers: usize,
+        wall: Duration,
+        queue_full_rejections: u64,
+    ) -> Self {
+        responses.sort_by_key(|r| r.id);
+        let n = responses.len();
+        let wall_s = wall.as_secs_f64();
+        let mut lat: Vec<f64> = responses.iter().map(|r| r.latency_us).collect();
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p95, p99, mean, max) = if lat.is_empty() {
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        } else {
+            (
+                percentile(&lat, 50.0),
+                percentile(&lat, 95.0),
+                percentile(&lat, 99.0),
+                lat.iter().sum::<f64>() / n as f64,
+                lat[n - 1],
+            )
+        };
+        let mean_batch = if n == 0 {
+            0.0
+        } else {
+            responses.iter().map(|r| r.batch_size as f64).sum::<f64>() / n as f64
+        };
+        let max_batch = responses.iter().map(|r| r.batch_size).max().unwrap_or(0);
+        Self {
+            requests: n,
+            workers,
+            wall_s,
+            throughput_rps: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
+            p50_us: p50,
+            p95_us: p95,
+            p99_us: p99,
+            mean_us: mean,
+            max_us: max,
+            mean_batch,
+            max_batch,
+            queue_full_rejections,
+            responses,
+        }
+    }
+
+    /// Renders the human-readable stats table printed by `serve-bench`.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "serve stats").expect("string write");
+        writeln!(out, "  {:<22} {:>12}", "requests", self.requests).expect("string write");
+        writeln!(out, "  {:<22} {:>12}", "workers", self.workers).expect("string write");
+        writeln!(out, "  {:<22} {:>12.3}", "wall time (s)", self.wall_s).expect("string write");
+        writeln!(
+            out,
+            "  {:<22} {:>12.1}",
+            "throughput (req/s)", self.throughput_rps
+        )
+        .expect("string write");
+        writeln!(out, "  {:<22} {:>12.1}", "latency p50 (µs)", self.p50_us)
+            .expect("string write");
+        writeln!(out, "  {:<22} {:>12.1}", "latency p95 (µs)", self.p95_us)
+            .expect("string write");
+        writeln!(out, "  {:<22} {:>12.1}", "latency p99 (µs)", self.p99_us)
+            .expect("string write");
+        writeln!(out, "  {:<22} {:>12.1}", "latency mean (µs)", self.mean_us)
+            .expect("string write");
+        writeln!(out, "  {:<22} {:>12.2}", "mean batch", self.mean_batch)
+            .expect("string write");
+        writeln!(out, "  {:<22} {:>12}", "max batch", self.max_batch).expect("string write");
+        writeln!(
+            out,
+            "  {:<22} {:>12}",
+            "queue-full rejections", self.queue_full_rejections
+        )
+        .expect("string write");
+        out
+    }
+
+    /// One JSON result row (used by the `serve_throughput` bench to
+    /// assemble `BENCH_serve.json`). `label` names the configuration,
+    /// e.g. `"w4_b16"`.
+    pub fn json_row(&self, label: &str) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"workers\": {}, \"requests\": {}, \
+             \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"mean_batch\": {:.2}, \
+             \"max_batch\": {}, \"queue_full_rejections\": {}}}",
+            label.replace('\\', "\\\\").replace('"', "\\\""),
+            self.workers,
+            self.requests,
+            self.throughput_rps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.mean_us,
+            self.mean_batch,
+            self.max_batch,
+            self.queue_full_rejections,
+        )
+    }
+}
+
+/// Assembles a `BENCH_serve.json`-style document from labelled reports.
+pub fn bench_json(rows: &[(String, &ServeReport)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"serve\",\n  \"unit\": \"requests_per_sec\",\n  \"results\": [\n");
+    for (i, (label, report)) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&report.json_row(label));
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffdl_deploy::Prediction;
+
+    fn resp(id: u64, latency_us: f64, batch: usize) -> ServeResponse {
+        ServeResponse {
+            id,
+            prediction: Prediction {
+                label: (id % 3) as usize,
+                probabilities: vec![0.2, 0.3, 0.5],
+            },
+            latency_us,
+            worker: 0,
+            batch_size: batch,
+        }
+    }
+
+    #[test]
+    fn report_sorts_and_aggregates() {
+        let responses = vec![resp(2, 30.0, 4), resp(0, 10.0, 4), resp(1, 20.0, 2)];
+        let r = ServeReport::new(responses, 2, Duration::from_millis(10), 5);
+        assert_eq!(r.requests, 3);
+        assert_eq!(r.responses[0].id, 0);
+        assert_eq!(r.responses[2].id, 2);
+        assert!((r.p50_us - 20.0).abs() < 1e-9);
+        assert!((r.mean_us - 20.0).abs() < 1e-9);
+        assert!((r.max_us - 30.0).abs() < 1e-9);
+        assert!((r.mean_batch - 10.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.max_batch, 4);
+        assert_eq!(r.queue_full_rejections, 5);
+        assert!((r.throughput_rps - 300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_report_is_all_zeros() {
+        let r = ServeReport::new(Vec::new(), 1, Duration::from_secs(1), 0);
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.p99_us, 0.0);
+        assert_eq!(r.mean_batch, 0.0);
+        assert_eq!(r.max_batch, 0);
+    }
+
+    #[test]
+    fn table_mentions_all_stats() {
+        let r = ServeReport::new(vec![resp(0, 5.0, 1)], 1, Duration::from_millis(1), 0);
+        let t = r.table();
+        for needle in ["throughput", "p50", "p95", "p99", "mean batch", "rejections"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn json_rows_assemble() {
+        let r = ServeReport::new(vec![resp(0, 5.0, 1)], 1, Duration::from_millis(1), 0);
+        let doc = bench_json(&[("w1_b1".into(), &r), ("w4_b16".into(), &r)]);
+        assert!(doc.contains("\"bench\": \"serve\""));
+        assert!(doc.contains("\"label\": \"w1_b1\""));
+        assert!(doc.contains("\"label\": \"w4_b16\""));
+        assert!(doc.contains("\"throughput_rps\""));
+    }
+}

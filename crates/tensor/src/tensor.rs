@@ -94,6 +94,39 @@ impl Tensor {
         }
     }
 
+    /// Stacks per-sample tensors along a new leading batch axis: `n`
+    /// samples of shape `[d…]` become one `[n, d…]` tensor. This is the
+    /// coalescing primitive of the batched inference path — request
+    /// tensors are stacked once and run through a single forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `samples` is empty or
+    /// any sample's shape differs from the first.
+    pub fn stack(samples: &[&Tensor]) -> Result<Self, TensorError> {
+        let first = samples.first().ok_or(TensorError::ShapeMismatch {
+            left: vec![0],
+            right: vec![0],
+            op: "stack of zero samples",
+        })?;
+        let sample_shape = first.shape().to_vec();
+        let mut data = Vec::with_capacity(samples.len() * first.len());
+        for s in samples {
+            if s.shape() != sample_shape.as_slice() {
+                return Err(TensorError::ShapeMismatch {
+                    left: sample_shape,
+                    right: s.shape().to_vec(),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(s.as_slice());
+        }
+        let mut shape = Vec::with_capacity(sample_shape.len() + 1);
+        shape.push(samples.len());
+        shape.extend_from_slice(&sample_shape);
+        Ok(Self { data, shape })
+    }
+
     /// The tensor's shape.
     pub fn shape(&self) -> &[usize] {
         &self.shape
@@ -465,5 +498,32 @@ mod tests {
         let t = Tensor::zeros(&[0, 5]);
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn stack_flat_samples() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        let s = Tensor::stack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn stack_image_samples() {
+        let a = Tensor::zeros(&[3, 4, 4]);
+        let b = Tensor::ones(&[3, 4, 4]);
+        let s = Tensor::stack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), &[2, 3, 4, 4]);
+        assert_eq!(s.as_slice()[..48], Tensor::zeros(&[48]).as_slice()[..]);
+        assert!(s.as_slice()[48..].iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn stack_rejects_empty_and_mismatched() {
+        assert!(Tensor::stack(&[]).is_err());
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(Tensor::stack(&[&a, &b]).is_err());
     }
 }

@@ -15,6 +15,17 @@ cargo build --release --offline --workspace
 echo "== tier-1: tests =="
 cargo test -q --offline --workspace
 
+echo "== lint: clippy (warnings are errors) =="
+cargo clippy --offline --workspace -- -D warnings
+
+echo "== serve smoke test =="
+serve_out="$(cargo run --release --offline -q -p ffdl-cli -- serve-bench --workers 2 --requests 64)"
+echo "${serve_out}"
+echo "${serve_out}" | grep -q "serve stats" || {
+    echo "serve smoke test: stats table missing" >&2
+    exit 1
+}
+
 echo "== docs =="
 cargo doc --no-deps --offline --workspace
 

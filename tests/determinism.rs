@@ -8,6 +8,7 @@
 use ffdl::data::{mnist_preprocess, synthetic_mnist, MnistConfig};
 use ffdl::nn::Network;
 use ffdl::paper;
+use ffdl::tensor::Tensor;
 use ffdl_rng::rngs::SmallRng;
 use ffdl_rng::SeedableRng;
 
@@ -41,6 +42,75 @@ fn different_seeds_give_different_weights() {
     // Guards against a degenerate RNG (e.g. a constant stream) that
     // would make the bit-identity test above pass vacuously.
     assert_ne!(param_bits(&paper::arch1(1)), param_bits(&paper::arch1(2)));
+}
+
+/// The batched forward path is a pure coalescing optimization: for every
+/// representative layer stack — raw circulant, spectral-frozen
+/// circulant, dense, and the conv front-end — `forward_batch` over a set
+/// of samples must be *bit-identical* to forwarding each sample alone.
+#[test]
+fn forward_batch_is_bit_identical_to_per_row_forward() {
+    let cases: Vec<(&str, Network, Vec<usize>)> = vec![
+        ("circulant", paper::arch1(5), vec![256]),
+        (
+            "spectral_frozen",
+            paper::freeze_spectral(&paper::arch1(5)).unwrap(),
+            vec![256],
+        ),
+        ("dense", paper::arch2_dense(5), vec![121]),
+        ("conv", paper::arch3_reduced(5), vec![3, 16, 16]),
+    ];
+    for (name, mut net, shape) in cases {
+        let samples: Vec<Tensor> = (0..5)
+            .map(|s| Tensor::from_fn(&shape, |i| (((s * 1009 + i) * 31) % 97) as f32 / 97.0))
+            .collect();
+        let refs: Vec<&Tensor> = samples.iter().collect();
+        let batched = net.forward_batch(&refs).unwrap();
+        for (r, sample) in samples.iter().enumerate() {
+            let mut single_shape = vec![1];
+            single_shape.extend_from_slice(&shape);
+            let single = net
+                .forward(&sample.reshape(&single_shape).unwrap())
+                .unwrap();
+            let batched_bits: Vec<u32> =
+                batched.row(r).iter().map(|v| v.to_bits()).collect();
+            let single_bits: Vec<u32> =
+                single.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batched_bits, single_bits, "{name}: row {r} diverges");
+        }
+    }
+}
+
+/// The serving runtime keeps that determinism end to end: under a fixed
+/// seed, a 1-worker and a 4-worker server return bit-identical
+/// predictions in identical (request-id) order.
+#[test]
+fn serve_results_identical_across_worker_counts() {
+    use ffdl_serve::{run_closed_loop, ServeConfig};
+
+    let samples: Vec<Tensor> = (0..48)
+        .map(|s| Tensor::from_fn(&[256], |i| (((s * 256 + i) * 7) % 23) as f32 * 0.04))
+        .collect();
+    let run = |workers: usize| {
+        let net = paper::arch1(9);
+        let config = ServeConfig {
+            workers,
+            max_batch: 8,
+            ..Default::default()
+        };
+        run_closed_loop(&net, &config, &samples).unwrap()
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.requests, samples.len());
+    assert_eq!(four.requests, samples.len());
+    for (a, b) in one.responses.iter().zip(&four.responses) {
+        assert_eq!(a.id, b.id, "response order diverges");
+        assert_eq!(a.prediction.label, b.prediction.label);
+        let pa: Vec<u32> = a.prediction.probabilities.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u32> = b.prediction.probabilities.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pa, pb, "request {}: probabilities diverge", a.id);
+    }
 }
 
 #[test]
