@@ -1,0 +1,84 @@
+//! Overhead of the `ffdl-telemetry` subsystem, disabled and enabled.
+//!
+//! The contract that lets telemetry hooks live inside the FFT plan
+//! cache, the per-layer forward pass and the serving hot loop is that a
+//! *disabled* hook costs one relaxed atomic bool load plus a predictable
+//! branch — indistinguishable from a no-op. This bench pins that down:
+//! the `disabled/*` rows must sit within a few nanoseconds of
+//! `baseline/nop`, while the `enabled/*` rows show what a recording hook
+//! actually costs. Writes `BENCH_telemetry.json` at the workspace root.
+
+use ffdl::telemetry;
+use ffdl_bench::harness::{black_box, BenchSet};
+
+fn main() {
+    let mut set = BenchSet::new("telemetry");
+    let registry = telemetry::global();
+    let counter = registry.counter("ffdl.bench.counter");
+    let histogram = registry.histogram("ffdl.bench.histogram_ns");
+
+    // Pure-arithmetic floor: what a loop iteration costs with no
+    // telemetry call at all.
+    let mut acc = 0u64;
+    set.bench("baseline/nop", || {
+        acc = acc.wrapping_add(black_box(1));
+    });
+
+    // ---- Disabled: the cost every production call site pays ----------
+    telemetry::set_enabled(false);
+
+    set.bench("disabled/count_helper", || {
+        telemetry::count(black_box("ffdl.bench.counter"), 1);
+    });
+    set.bench("disabled/span_helper", || {
+        let span = telemetry::span(black_box("ffdl.bench.span_ns"));
+        black_box(span.is_recording());
+    });
+    set.bench("disabled/guarded_counter_inc", || {
+        if telemetry::enabled() {
+            counter.inc();
+        }
+    });
+    set.bench("disabled/guarded_histogram_record", || {
+        if telemetry::enabled() {
+            histogram.record(black_box(42));
+        }
+    });
+
+    // ---- Enabled: what recording actually costs ----------------------
+    telemetry::set_enabled(true);
+
+    set.bench("enabled/counter_inc", || {
+        counter.inc();
+    });
+    set.bench("enabled/histogram_record", || {
+        histogram.record(black_box(42));
+    });
+    // Two Instant::now() calls dominate the span path.
+    let span_hist = registry.histogram("ffdl.bench.span_ns");
+    set.bench("enabled/span_record", || {
+        let span = telemetry::SpanTimer::start(std::sync::Arc::clone(&span_hist));
+        black_box(span.is_recording());
+    });
+    // The global helper also pays the registry name lookup.
+    set.bench("enabled/count_helper", || {
+        telemetry::count(black_box("ffdl.bench.counter"), 1);
+    });
+
+    telemetry::set_enabled(false);
+
+    // The headline claim: a disabled hook is within noise of the no-op
+    // floor (< 5 ns/op absolute; the rows above make the margin visible).
+    for m in set.measurements() {
+        if m.label.starts_with("disabled/") {
+            assert!(
+                m.median_ns < 5.0,
+                "{} median {:.2} ns exceeds the 5 ns disabled-path budget",
+                m.label,
+                m.median_ns
+            );
+        }
+    }
+
+    set.finish().expect("write BENCH_telemetry.json");
+}

@@ -115,6 +115,23 @@ impl Flags {
         }
     }
 
+    /// Optional boolean flag (`--metrics on`); an absent flag is `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] unless the value is one of
+    /// `on | off | true | false | 1 | 0 | yes | no`.
+    pub fn get_bool(&self, key: &str) -> Result<bool, CliError> {
+        match self.values.get(key).map(String::as_str) {
+            None => Ok(false),
+            Some("on" | "true" | "1" | "yes") => Ok(true),
+            Some("off" | "false" | "0" | "no") => Ok(false),
+            Some(v) => Err(CliError(format!(
+                "flag --{key}: expected on|off, got {v:?}"
+            ))),
+        }
+    }
+
     /// Rejects any flag outside `allowed`, naming the offending flag and
     /// listing what the command accepts (so a typo like `--epoch` is
     /// reported as such instead of being silently ignored).
@@ -256,7 +273,11 @@ pub fn cmd_train(flags: &Flags) -> Result<String, CliError> {
 ///
 /// Returns [`CliError`] on any flag, parse, I/O or shape failure.
 pub fn cmd_infer(flags: &Flags) -> Result<String, CliError> {
-    flags.expect_only(&["arch", "params", "inputs", "platform", "impl"])?;
+    flags.expect_only(&["arch", "params", "inputs", "platform", "impl", "metrics"])?;
+    let metrics = flags.get_bool("metrics")?;
+    if metrics {
+        ffdl::telemetry::set_enabled(true);
+    }
     let arch_text = fs::read_to_string(flags.require("arch")?)?;
     let params = fs::read(flags.require("params")?)?;
     let inputs_text = fs::read_to_string(flags.require("inputs")?)?;
@@ -300,6 +321,11 @@ pub fn cmd_infer(flags: &Flags) -> Result<String, CliError> {
             p.label, p.probabilities[p.label]
         )
         .expect("string write");
+    }
+    if metrics {
+        ffdl::telemetry::set_enabled(false);
+        writeln!(out).expect("string write");
+        out.push_str(&ffdl::telemetry::global().snapshot().to_text());
     }
     Ok(out)
 }
@@ -415,7 +441,9 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         "wait-us",
         "queue-depth",
         "seed",
+        "metrics",
     ])?;
+    let metrics = flags.get_bool("metrics")?;
     let workers = flags.get_num("workers", 1usize)?;
     let max_batch = flags.get_num("batch", 16usize)?;
     let requests = flags.get_num("requests", 256usize)?;
@@ -425,6 +453,12 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     let seed = flags.get_num("seed", 42u64)?;
     if requests == 0 {
         return Err(CliError("flag --requests must be >= 1".into()));
+    }
+
+    // Enable before the network is built so FFT plan-cache misses from
+    // kernel construction are counted too.
+    if metrics {
+        ffdl::telemetry::set_enabled(true);
     }
 
     // The paper's block-circulant architecture for the dataset; raw
@@ -460,6 +494,9 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     };
     let report = ffdl_serve::run_closed_loop(&network, &config, &samples)
         .map_err(|e| CliError(e.to_string()))?;
+    if metrics {
+        ffdl::telemetry::set_enabled(false);
+    }
 
     // Order-sensitive checksum over predicted labels: equal across
     // worker counts iff the served results are deterministic.
@@ -473,12 +510,23 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     let mut out = String::new();
     writeln!(
         out,
-        "serve-bench: {dataset} / {} / {requests} requests, {workers} workers, batch<={max_batch}, window {wait_us} µs, depth {queue_depth}",
+        "serve-bench: {dataset} / {} / {requests} requests, {workers} workers, batch<={max_batch}, window {wait_us} µs, depth {queue_depth}, {} rejections",
         if dataset == "mnist11" { "arch2" } else { "arch1" },
+        report.queue_full_rejections,
     )
     .expect("string write");
     writeln!(out, "prediction digest: {digest:016x}").expect("string write");
     out.push_str(&report.table());
+    if metrics {
+        // Library-wide metrics (FFT plan cache, per-layer spans, engine
+        // counters) live on the global registry; the serve runtime's
+        // per-worker metrics arrive merged in the report. Show them as
+        // one table.
+        let mut snapshot = ffdl::telemetry::global().snapshot();
+        snapshot.merge(&report.telemetry);
+        writeln!(out).expect("string write");
+        out.push_str(&snapshot.to_text());
+    }
     Ok(out)
 }
 
@@ -490,11 +538,15 @@ pub fn usage() -> &'static str {
        ffdl train      --arch <file> --out <params.ffdp> [--dataset mnist16|mnist11|cifar|cifar16]\n\
                        [--samples N] [--epochs N] [--batch N] [--lr F] [--seed N]\n\
        ffdl infer      --arch <file> --params <file> --inputs <csv>\n\
-                       [--platform nexus5|xu3|honor6x] [--impl java|cpp]\n\
+                       [--platform nexus5|xu3|honor6x] [--impl java|cpp] [--metrics on]\n\
        ffdl inspect    --arch <file> [--params <file>]\n\
        ffdl gen-inputs --out <csv> [--dataset mnist16|...] [--samples N] [--seed N]\n\
        ffdl serve-bench [--workers N] [--batch N] [--requests N] [--dataset mnist16|mnist11]\n\
-                       [--wait-us N] [--queue-depth N] [--seed N]\n"
+                       [--wait-us N] [--queue-depth N] [--seed N] [--metrics on]\n\
+     \n\
+     --metrics on enables the ffdl-telemetry registry for the run and\n\
+     appends a metrics table (counters, gauges, latency histograms) to\n\
+     the command's output.\n"
 }
 
 /// Dispatches a full argument vector (without the program name).
@@ -650,6 +702,85 @@ mod tests {
         assert!(err.0.contains("unknown serve dataset"), "{err}");
         let err = cmd_serve_bench(&flags(&[("requests", "0")])).unwrap_err();
         assert!(err.0.contains("--requests"), "{err}");
+    }
+
+    #[test]
+    fn bool_flags_parse_strictly() {
+        assert!(!flags(&[]).get_bool("metrics").unwrap());
+        assert!(flags(&[("metrics", "on")]).get_bool("metrics").unwrap());
+        assert!(flags(&[("metrics", "1")]).get_bool("metrics").unwrap());
+        assert!(!flags(&[("metrics", "off")]).get_bool("metrics").unwrap());
+        assert!(flags(&[("metrics", "maybe")]).get_bool("metrics").is_err());
+    }
+
+    #[test]
+    fn metrics_flag_appends_telemetry_tables() {
+        // serve-bench --metrics: the merged table carries serving,
+        // FFT-plan-cache and per-layer metrics.
+        let out = cmd_serve_bench(&flags(&[
+            ("workers", "2"),
+            ("batch", "8"),
+            ("requests", "48"),
+            ("dataset", "mnist11"),
+            ("seed", "5"),
+            ("metrics", "on"),
+        ]))
+        .unwrap();
+        for needle in [
+            "telemetry (",
+            "ffdl.serve.requests",
+            "ffdl.serve.batch_size",
+            "ffdl.serve.rejections",
+            "ffdl.serve.queue_wait_ns",
+            "ffdl.fft.plan_cache.miss",
+            "ffdl.nn.forward_ns",
+            "ffdl.deploy.predict_ns",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+        assert!(out.contains("rejections"), "{out}");
+
+        // Without the flag: no metrics table.
+        let quiet = cmd_serve_bench(&flags(&[
+            ("requests", "8"),
+            ("dataset", "mnist11"),
+            ("seed", "5"),
+        ]))
+        .unwrap();
+        assert!(!quiet.contains("telemetry ("), "{quiet}");
+
+        // infer --metrics: the global registry table is appended.
+        let dir = std::env::temp_dir().join(format!("ffdl-cli-metrics-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let arch = dir.join("net.arch");
+        let params = dir.join("weights.ffdp");
+        let inputs = dir.join("test.csv");
+        fs::write(&arch, "input 121\ncirculant_fc 16 block=8\nrelu\nfc 10\nsoftmax\n").unwrap();
+        cmd_train(&flags(&[
+            ("arch", arch.to_str().unwrap()),
+            ("out", params.to_str().unwrap()),
+            ("dataset", "mnist11"),
+            ("samples", "60"),
+            ("epochs", "1"),
+        ]))
+        .unwrap();
+        cmd_gen_inputs(&flags(&[
+            ("out", inputs.to_str().unwrap()),
+            ("dataset", "mnist11"),
+            ("samples", "8"),
+        ]))
+        .unwrap();
+        let out = cmd_infer(&flags(&[
+            ("arch", arch.to_str().unwrap()),
+            ("params", params.to_str().unwrap()),
+            ("inputs", inputs.to_str().unwrap()),
+            ("metrics", "on"),
+        ]))
+        .unwrap();
+        for needle in ["telemetry (", "ffdl.deploy.predict_ns", "ffdl.deploy.predictions"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

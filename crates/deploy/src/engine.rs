@@ -118,8 +118,12 @@ impl InferenceEngine {
                 inputs.shape()
             )));
         }
+        let span = ffdl_telemetry::span("ffdl.deploy.predict_ns");
         let out = self.network.forward(inputs)?;
-        self.predictions_from_output(out)
+        let preds = self.predictions_from_output(out)?;
+        drop(span);
+        ffdl_telemetry::count("ffdl.deploy.predictions", preds.len() as u64);
+        Ok(preds)
     }
 
     /// Predicts classes for a coalesced batch of per-sample tensors: the
@@ -137,8 +141,12 @@ impl InferenceEngine {
         if samples.is_empty() {
             return Err(Self::bad_input("empty input batch (no samples)".into()));
         }
+        let span = ffdl_telemetry::span("ffdl.deploy.predict_ns");
         let out = self.network.forward_batch(samples)?;
-        self.predictions_from_output(out)
+        let preds = self.predictions_from_output(out)?;
+        drop(span);
+        ffdl_telemetry::count("ffdl.deploy.predictions", preds.len() as u64);
+        Ok(preds)
     }
 
     /// Runs a full timed evaluation: accuracy (when labels are given),
@@ -293,6 +301,32 @@ softmax
             Err(DeployError::Nn(_))
         ));
         assert!(matches!(e.predict_batch(&[]), Err(DeployError::Nn(_))));
+    }
+
+    #[test]
+    fn predict_emits_telemetry_when_enabled() {
+        let mut e = engine();
+        let predictions = || {
+            ffdl_telemetry::global()
+                .snapshot()
+                .counter("ffdl.deploy.predictions")
+                .unwrap_or(0)
+        };
+        let spans = || {
+            ffdl_telemetry::global()
+                .snapshot()
+                .histogram("ffdl.deploy.predict_ns")
+                .map(|h| h.count())
+                .unwrap_or(0)
+        };
+        let (p0, s0) = (predictions(), spans());
+        ffdl_telemetry::set_enabled(true);
+        let x = Tensor::from_fn(&[4, 8], |i| (i as f32 * 0.3).sin());
+        let _ = e.predict(&x).unwrap();
+        ffdl_telemetry::set_enabled(false);
+        // Monotone global counters: concurrent tests can only add.
+        assert!(predictions() >= p0 + 4);
+        assert!(spans() > s0);
     }
 
     #[test]

@@ -3,10 +3,25 @@
 //! that caches twiddle tables per transform size.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::complex::{Complex, FftFloat};
 use crate::error::FftError;
+use ffdl_telemetry::Counter;
+
+/// Process-wide plan-cache counters (`ffdl.fft.plan_cache.hit` /
+/// `.miss`), registered in the global telemetry registry on first use
+/// and cached so the hot path never takes the registry lock.
+fn plan_cache_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
+    static COUNTERS: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = ffdl_telemetry::global();
+        (
+            registry.counter("ffdl.fft.plan_cache.hit"),
+            registry.counter("ffdl.fft.plan_cache.miss"),
+        )
+    })
+}
 
 /// Transform direction.
 ///
@@ -218,7 +233,13 @@ impl<T: FftFloat> FftPlanner<T> {
     pub fn plan(&mut self, len: usize, direction: Direction) -> Arc<dyn Fft<T>> {
         assert!(len > 0, "cannot plan a zero-length FFT");
         if let Some(plan) = self.cache.get(&(len, direction)) {
+            if ffdl_telemetry::enabled() {
+                plan_cache_counters().0.inc();
+            }
             return Arc::clone(plan);
+        }
+        if ffdl_telemetry::enabled() {
+            plan_cache_counters().1.inc();
         }
         let plan: Arc<dyn Fft<T>> = if len.is_power_of_two() {
             Arc::new(Radix2::new(len, direction))
@@ -385,6 +406,37 @@ mod tests {
         assert_eq!(planner.cached_plans(), 1);
         let _ = planner.plan(16, Direction::Inverse);
         assert_eq!(planner.cached_plans(), 2);
+    }
+
+    #[test]
+    fn repeated_same_size_plans_reuse_twiddles_and_count_as_hits() {
+        let hits = || {
+            ffdl_telemetry::global()
+                .snapshot()
+                .counter("ffdl.fft.plan_cache.hit")
+                .unwrap_or(0)
+        };
+        let misses = || {
+            ffdl_telemetry::global()
+                .snapshot()
+                .counter("ffdl.fft.plan_cache.miss")
+                .unwrap_or(0)
+        };
+        let (h0, m0) = (hits(), misses());
+        ffdl_telemetry::set_enabled(true);
+        let mut planner = FftPlanner::<f64>::new();
+        let first = planner.plan(32, Direction::Forward); // builds twiddles
+        let second = planner.plan(32, Direction::Forward); // cache hit
+        let third = planner.plan_forward(32); // cache hit via shorthand
+        ffdl_telemetry::set_enabled(false);
+        // Same Arc ⇒ the twiddle table was built once and reused.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!(Arc::ptr_eq(&first, &third));
+        assert_eq!(planner.cached_plans(), 1);
+        // Counters are global and monotone, so concurrent tests can only
+        // add: ≥, not ==.
+        assert!(hits() >= h0 + 2, "hits {} -> {}", h0, hits());
+        assert!(misses() > m0, "misses {} -> {}", m0, misses());
     }
 
     #[test]

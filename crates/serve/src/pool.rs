@@ -15,11 +15,17 @@ use crate::stats::ServeReport;
 use ffdl_core::full_registry;
 use ffdl_deploy::{InferenceEngine, Prediction};
 use ffdl_nn::{clone_network, Network};
+use ffdl_telemetry::{Registry, RegistrySnapshot, SpanTimer};
 use ffdl_tensor::Tensor;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Saturating nanoseconds of a [`Duration`] for histogram recording.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Configuration for a serving run.
 #[derive(Debug, Clone)]
@@ -88,13 +94,25 @@ pub struct ServeResponse {
 }
 
 /// A running serving instance: bounded queue + worker pool.
+///
+/// Telemetry: the server owns one [`Registry`] for admission-side
+/// metrics (`ffdl.serve.rejections`, the `ffdl.serve.queue_depth`
+/// gauge), and every worker thread owns a private registry for hot-path
+/// metrics (batch size, queue wait, inference time) — workers never
+/// share a metric cache line, and the per-thread registries are merged
+/// into one [`RegistrySnapshot`] at [`Server::finish`]. All recording
+/// is gated on [`ffdl_telemetry::enabled`], so a server with telemetry
+/// off pays one relaxed bool load per operation.
 pub struct Server {
     queue: Arc<BoundedQueue<QueuedRequest>>,
     results: Arc<Mutex<Vec<ServeResponse>>>,
-    handles: Vec<JoinHandle<Result<(), ServeError>>>,
+    handles: Vec<JoinHandle<Result<RegistrySnapshot, ServeError>>>,
     rejections: AtomicU64,
     workers: usize,
     started: Instant,
+    registry: Registry,
+    rejections_counter: Arc<ffdl_telemetry::Counter>,
+    depth_gauge: Arc<ffdl_telemetry::Gauge>,
 }
 
 impl Server {
@@ -114,7 +132,7 @@ impl Server {
             engines.push(InferenceEngine::new(clone_network(network, &registry)?));
         }
 
-        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let queue = Arc::new(BoundedQueue::<QueuedRequest>::new(config.queue_depth));
         let results = Arc::new(Mutex::new(Vec::new()));
         let max_batch = config.max_batch;
         let max_wait = config.max_wait;
@@ -124,15 +142,41 @@ impl Server {
             .map(|(worker, mut engine)| {
                 let queue = Arc::clone(&queue);
                 let results = Arc::clone(&results);
-                thread::spawn(move || -> Result<(), ServeError> {
+                thread::spawn(move || -> Result<RegistrySnapshot, ServeError> {
+                    // Per-thread registry: handles are registered once
+                    // here, recorded lock-free in the loop, and merged
+                    // into the report at finish() — no cross-worker
+                    // metric contention on the hot path.
+                    let telemetry = Registry::new();
+                    let batches = telemetry.counter("ffdl.serve.batches");
+                    let requests = telemetry.counter("ffdl.serve.requests");
+                    let batch_size_hist = telemetry.histogram("ffdl.serve.batch_size");
+                    let queue_wait_hist = telemetry.histogram("ffdl.serve.queue_wait_ns");
+                    let infer_hist = telemetry.histogram("ffdl.serve.infer_ns");
+                    let depth_hist = telemetry.histogram("ffdl.serve.queue_depth_at_pop");
                     loop {
                         let batch = queue.pop_batch(max_batch, max_wait);
                         if batch.is_empty() {
-                            return Ok(()); // closed and drained
+                            return Ok(telemetry.snapshot()); // closed and drained
+                        }
+                        let telemetry_on = ffdl_telemetry::enabled();
+                        if telemetry_on {
+                            let received = Instant::now();
+                            batches.inc();
+                            requests.add(batch.len() as u64);
+                            batch_size_hist.record(batch.len() as u64);
+                            depth_hist.record(queue.len() as u64);
+                            for request in &batch {
+                                queue_wait_hist.record(duration_ns(
+                                    received.duration_since(request.enqueued),
+                                ));
+                            }
                         }
                         let refs: Vec<&Tensor> =
                             batch.iter().map(|r: &QueuedRequest| &r.features).collect();
+                        let span = SpanTimer::start_if(telemetry_on, &infer_hist);
                         let predictions = engine.predict_batch(&refs)?;
+                        drop(span);
                         let done = Instant::now();
                         let batch_size = batch.len();
                         let mut sink = results.lock().expect("results lock poisoned");
@@ -153,6 +197,12 @@ impl Server {
             })
             .collect();
 
+        // Admission-side metrics live on the server's own registry and
+        // are registered eagerly so the names appear in every snapshot,
+        // even at zero.
+        let registry = Registry::new();
+        let rejections_counter = registry.counter("ffdl.serve.rejections");
+        let depth_gauge = registry.gauge("ffdl.serve.queue_depth");
         Ok(Self {
             queue,
             results,
@@ -160,6 +210,9 @@ impl Server {
             rejections: AtomicU64::new(0),
             workers: config.workers,
             started: Instant::now(),
+            registry,
+            rejections_counter,
+            depth_gauge,
         })
     }
 
@@ -172,9 +225,17 @@ impl Server {
             enqueued: Instant::now(),
         };
         match self.queue.try_push(request) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if ffdl_telemetry::enabled() {
+                    self.depth_gauge.set(self.queue.len() as i64);
+                }
+                Ok(())
+            }
             Err(PushError::Full) => {
                 self.rejections.fetch_add(1, Ordering::Relaxed);
+                if ffdl_telemetry::enabled() {
+                    self.rejections_counter.inc();
+                }
                 Err(ServeError::QueueFull)
             }
             Err(PushError::Closed) => Err(ServeError::Closed),
@@ -197,9 +258,13 @@ impl Server {
     pub fn finish(self) -> Result<ServeReport, ServeError> {
         self.queue.close();
         let mut first_error = None;
+        // Merge the admission-side registry with every worker's
+        // per-thread registry — the only point where telemetry from
+        // different threads meets.
+        let mut telemetry = self.registry.snapshot();
         for handle in self.handles {
             match handle.join() {
-                Ok(Ok(())) => {}
+                Ok(Ok(worker_snapshot)) => telemetry.merge(&worker_snapshot),
                 Ok(Err(e)) => {
                     first_error.get_or_insert(e);
                 }
@@ -225,6 +290,7 @@ impl Server {
             self.workers,
             wall,
             self.rejections.load(Ordering::Relaxed),
+            telemetry,
         ))
     }
 }
@@ -379,6 +445,38 @@ softmax
         let report = run_closed_loop(&net, &config, &samples).unwrap();
         assert_eq!(report.requests, 40);
         assert!(report.max_batch <= 4);
+    }
+
+    #[test]
+    fn telemetry_snapshot_is_merged_into_the_report() {
+        let net = test_network();
+        let samples = test_samples(24);
+        let config = ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            ..Default::default()
+        };
+        // Disabled (the default): the snapshot carries the registered
+        // admission metrics at zero and no worker activity.
+        let quiet = run_closed_loop(&net, &config, &samples).unwrap();
+        assert_eq!(quiet.telemetry.counter("ffdl.serve.rejections"), Some(0));
+
+        ffdl_telemetry::set_enabled(true);
+        let report = run_closed_loop(&net, &config, &samples).unwrap();
+        ffdl_telemetry::set_enabled(false);
+        let t = &report.telemetry;
+        // Every request passed through exactly one worker batch.
+        assert_eq!(t.counter("ffdl.serve.requests"), Some(24));
+        let batch_sizes = t.histogram("ffdl.serve.batch_size").unwrap();
+        assert_eq!(
+            batch_sizes.count(),
+            t.counter("ffdl.serve.batches").unwrap()
+        );
+        assert_eq!(t.histogram("ffdl.serve.queue_wait_ns").unwrap().count(), 24);
+        assert!(t.histogram("ffdl.serve.infer_ns").unwrap().count() >= 1);
+        assert!(t.counter("ffdl.serve.rejections").is_some());
+        assert!(t.gauge("ffdl.serve.queue_depth").is_some());
+        assert!(t.to_text().contains("ffdl.serve.batch_size"));
     }
 
     #[test]

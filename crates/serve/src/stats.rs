@@ -10,6 +10,7 @@
 
 use crate::pool::ServeResponse;
 use ffdl_bench::harness::percentile;
+use ffdl_telemetry::RegistrySnapshot;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -44,6 +45,10 @@ pub struct ServeReport {
     /// Responses sorted by request id — deterministic regardless of
     /// worker count or completion order.
     pub responses: Vec<ServeResponse>,
+    /// Merged telemetry from the server's admission registry and every
+    /// worker's per-thread registry (`ffdl.serve.*`). All counts are
+    /// zero unless `ffdl_telemetry::enabled()` was on during the run.
+    pub telemetry: RegistrySnapshot,
 }
 
 impl ServeReport {
@@ -56,6 +61,7 @@ impl ServeReport {
         workers: usize,
         wall: Duration,
         queue_full_rejections: u64,
+        telemetry: RegistrySnapshot,
     ) -> Self {
         responses.sort_by_key(|r| r.id);
         let n = responses.len();
@@ -93,6 +99,7 @@ impl ServeReport {
             max_batch,
             queue_full_rejections,
             responses,
+            telemetry,
         }
     }
 
@@ -153,6 +160,15 @@ impl ServeReport {
     }
 }
 
+/// Displays the same table as [`ServeReport::table`], so reports drop
+/// straight into `format!`/`println!` (and the rejection count is
+/// visible anywhere a report is printed).
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.table())
+    }
+}
+
 /// Assembles a `BENCH_serve.json`-style document from labelled reports.
 pub fn bench_json(rows: &[(String, &ServeReport)]) -> String {
     let mut out = String::new();
@@ -187,7 +203,7 @@ mod tests {
     #[test]
     fn report_sorts_and_aggregates() {
         let responses = vec![resp(2, 30.0, 4), resp(0, 10.0, 4), resp(1, 20.0, 2)];
-        let r = ServeReport::new(responses, 2, Duration::from_millis(10), 5);
+        let r = ServeReport::new(responses, 2, Duration::from_millis(10), 5, RegistrySnapshot::default());
         assert_eq!(r.requests, 3);
         assert_eq!(r.responses[0].id, 0);
         assert_eq!(r.responses[2].id, 2);
@@ -202,7 +218,7 @@ mod tests {
 
     #[test]
     fn empty_report_is_all_zeros() {
-        let r = ServeReport::new(Vec::new(), 1, Duration::from_secs(1), 0);
+        let r = ServeReport::new(Vec::new(), 1, Duration::from_secs(1), 0, RegistrySnapshot::default());
         assert_eq!(r.requests, 0);
         assert_eq!(r.p99_us, 0.0);
         assert_eq!(r.mean_batch, 0.0);
@@ -211,7 +227,7 @@ mod tests {
 
     #[test]
     fn table_mentions_all_stats() {
-        let r = ServeReport::new(vec![resp(0, 5.0, 1)], 1, Duration::from_millis(1), 0);
+        let r = ServeReport::new(vec![resp(0, 5.0, 1)], 1, Duration::from_millis(1), 0, RegistrySnapshot::default());
         let t = r.table();
         for needle in ["throughput", "p50", "p95", "p99", "mean batch", "rejections"] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
@@ -219,8 +235,24 @@ mod tests {
     }
 
     #[test]
+    fn display_matches_table_and_surfaces_rejections() {
+        let r = ServeReport::new(
+            vec![resp(0, 5.0, 1)],
+            1,
+            Duration::from_millis(1),
+            37,
+            RegistrySnapshot::default(),
+        );
+        let shown = format!("{r}");
+        assert_eq!(shown, r.table());
+        assert!(shown.contains("queue-full rejections"), "{shown}");
+        assert!(shown.contains("37"), "{shown}");
+        assert!(r.telemetry.is_empty());
+    }
+
+    #[test]
     fn json_rows_assemble() {
-        let r = ServeReport::new(vec![resp(0, 5.0, 1)], 1, Duration::from_millis(1), 0);
+        let r = ServeReport::new(vec![resp(0, 5.0, 1)], 1, Duration::from_millis(1), 0, RegistrySnapshot::default());
         let doc = bench_json(&[("w1_b1".into(), &r), ("w4_b16".into(), &r)]);
         assert!(doc.contains("\"bench\": \"serve\""));
         assert!(doc.contains("\"label\": \"w1_b1\""));

@@ -1,0 +1,129 @@
+//! Scalar instruments: the monotone [`Counter`] and the last-value
+//! [`Gauge`].
+//!
+//! Both are single atomics with `Relaxed` ordering — telemetry needs
+//! losslessness (every increment lands exactly once, guaranteed by the
+//! atomic RMW) but no cross-metric ordering, so the cheapest ordering is
+//! the right one.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter (requests served, cache
+/// hits, rejections).
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_telemetry::Counter;
+///
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping — a practical impossibility for event counts).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value instrument for levels that go up *and* down (queue
+/// depth, in-flight requests).
+///
+/// Merging registry snapshots takes the **maximum** of gauge values —
+/// for the level-style quantities gauges are used for, the high-water
+/// mark across workers is the meaningful aggregate (summing
+/// instantaneous levels sampled at different times is not).
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_telemetry::Gauge;
+///
+/// let g = Gauge::new();
+/// g.set(7);
+/// g.add(2);
+/// g.sub(4);
+/// assert_eq!(g.get(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        g.add(10);
+        g.sub(2);
+        assert_eq!(g.get(), 5);
+    }
+}

@@ -1,0 +1,407 @@
+//! The [`Registry`]: a named collection of instruments, and its
+//! immutable, mergeable, exportable [`RegistrySnapshot`].
+//!
+//! Naming convention: `ffdl.<crate>.<metric>` (e.g.
+//! `ffdl.fft.plan_cache.hit`, `ffdl.serve.batch_size`), with `_ns`
+//! suffixes for nanosecond histograms. Registration takes a write lock
+//! once per metric name; recording happens through the returned `Arc`
+//! handles and never touches the registry again.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metric::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, RwLock};
+
+/// A handle to a registered instrument.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotone event counter.
+    Counter(Arc<Counter>),
+    /// Last-value gauge.
+    Gauge(Arc<Gauge>),
+    /// Log₂ histogram.
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of instruments.
+///
+/// Lookups are get-or-register: the first call for a name creates the
+/// instrument, later calls return the same `Arc`. Asking for an
+/// existing name as a different instrument kind panics — that is a
+/// naming bug, not a runtime condition.
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_telemetry::Registry;
+///
+/// let r = Registry::new();
+/// r.counter("ffdl.doc.hits").add(3);
+/// r.gauge("ffdl.doc.depth").set(7);
+/// r.histogram("ffdl.doc.ns").record(1500);
+/// let snap = r.snapshot();
+/// assert_eq!(snap.counter("ffdl.doc.hits"), Some(3));
+/// assert_eq!(snap.gauge("ffdl.doc.depth"), Some(7));
+/// assert_eq!(snap.histogram("ffdl.doc.ns").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_register<T, F, G>(&self, name: &str, extract: F, create: G) -> Arc<T>
+    where
+        F: Fn(&Metric) -> Option<Arc<T>>,
+        G: FnOnce() -> Metric,
+    {
+        if let Some(existing) = self.metrics.read().expect("registry poisoned").get(name) {
+            return extract(existing).unwrap_or_else(|| {
+                panic!(
+                    "metric {name:?} already registered as a {}",
+                    existing.kind()
+                )
+            });
+        }
+        let mut map = self.metrics.write().expect("registry poisoned");
+        let entry = map.entry(name.to_string()).or_insert_with(create);
+        extract(entry)
+            .unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", entry.kind()))
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_register(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || Metric::Counter(Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_register(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || Metric::Gauge(Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_register(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || Metric::Histogram(Arc::new(Histogram::new())),
+        )
+    }
+
+    /// The registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics
+            .read()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// An immutable copy of every registered metric's current state.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.metrics.read().expect("registry poisoned");
+        RegistrySnapshot {
+            metrics: map
+                .iter()
+                .map(|(name, metric)| {
+                    let snap = match metric {
+                        Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                        Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                        Metric::Histogram(h) => {
+                            MetricSnapshot::Histogram(Box::new(h.snapshot()))
+                        }
+                    };
+                    (name.clone(), snap)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One metric's state inside a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Full histogram state (boxed: a histogram snapshot is ~0.5 KiB,
+    /// far larger than the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// An immutable snapshot of a registry: mergeable (per-worker
+/// registries → one report) and exportable as text or JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    metrics: BTreeMap<String, MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when no metrics were captured.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The snapshot of one metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics.get(name)
+    }
+
+    /// Counter value by name (`None` if absent or a different kind).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name)? {
+            MetricSnapshot::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name (`None` if absent or a different kind).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.metrics.get(name)? {
+            MetricSnapshot::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot by name (`None` if absent or a different kind).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name)? {
+            MetricSnapshot::Histogram(h) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Folds another snapshot into this one: counters add, histograms
+    /// add bucket-wise, gauges keep the maximum (the high-water mark —
+    /// see [`crate::Gauge`]). A name colliding across kinds keeps the
+    /// existing entry.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, theirs) in &other.metrics {
+            match (self.metrics.get_mut(name), theirs) {
+                (None, _) => {
+                    self.metrics.insert(name.clone(), theirs.clone());
+                }
+                (Some(MetricSnapshot::Counter(a)), MetricSnapshot::Counter(b)) => {
+                    *a = a.wrapping_add(*b);
+                }
+                (Some(MetricSnapshot::Gauge(a)), MetricSnapshot::Gauge(b)) => {
+                    *a = (*a).max(*b);
+                }
+                (Some(MetricSnapshot::Histogram(a)), MetricSnapshot::Histogram(b)) => {
+                    a.merge(b);
+                }
+                (Some(_), _) => {} // kind collision: keep ours
+            }
+        }
+    }
+
+    /// Human-readable table, one metric per line (the `--metrics`
+    /// output).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "telemetry ({} metrics)", self.metrics.len()).expect("string write");
+        for (name, snap) in &self.metrics {
+            match snap {
+                MetricSnapshot::Counter(v) => {
+                    writeln!(out, "  {name:<44} counter   {v:>12}").expect("string write");
+                }
+                MetricSnapshot::Gauge(v) => {
+                    writeln!(out, "  {name:<44} gauge     {v:>12}").expect("string write");
+                }
+                MetricSnapshot::Histogram(h) => {
+                    writeln!(
+                        out,
+                        "  {name:<44} histogram count={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max<={:.0}",
+                        h.count(),
+                        h.mean(),
+                        h.percentile(50.0),
+                        h.percentile(95.0),
+                        h.percentile(99.0),
+                        h.max_estimate(),
+                    )
+                    .expect("string write");
+                }
+            }
+        }
+        out
+    }
+
+    /// Stable JSON export (metrics sorted by name; histograms as
+    /// count/sum/mean plus interpolated p50/p95/p99).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"telemetry\": [\n");
+        for (i, (name, snap)) in self.metrics.iter().enumerate() {
+            let row = match snap {
+                MetricSnapshot::Counter(v) => format!(
+                    "{{\"name\": \"{}\", \"type\": \"counter\", \"value\": {v}}}",
+                    escape(name)
+                ),
+                MetricSnapshot::Gauge(v) => format!(
+                    "{{\"name\": \"{}\", \"type\": \"gauge\", \"value\": {v}}}",
+                    escape(name)
+                ),
+                MetricSnapshot::Histogram(h) => format!(
+                    "{{\"name\": \"{}\", \"type\": \"histogram\", \"count\": {}, \
+                     \"sum\": {}, \"mean\": {:.1}, \"p50\": {:.1}, \"p95\": {:.1}, \
+                     \"p99\": {:.1}}}",
+                    escape(name),
+                    h.count(),
+                    h.sum(),
+                    h.mean(),
+                    h.percentile(50.0),
+                    h.percentile(95.0),
+                    h.percentile(99.0),
+                ),
+            };
+            out.push_str("    ");
+            out.push_str(&row);
+            out.push_str(if i + 1 == self.metrics.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("c");
+        let b = r.counter("c");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.names(), vec!["c".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let r = Registry::new();
+        r.counter("a.count").add(2);
+        r.gauge("b.depth").set(-4);
+        r.histogram("c.ns").record(100);
+        let s = r.snapshot();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.counter("a.count"), Some(2));
+        assert_eq!(s.gauge("b.depth"), Some(-4));
+        assert_eq!(s.histogram("c.ns").unwrap().count(), 1);
+        assert_eq!(s.counter("b.depth"), None); // kind-checked accessors
+        assert!(s.get("missing").is_none());
+    }
+
+    #[test]
+    fn merge_combines_by_kind() {
+        let r1 = Registry::new();
+        r1.counter("hits").add(3);
+        r1.gauge("depth").set(5);
+        r1.histogram("ns").record(8);
+        let r2 = Registry::new();
+        r2.counter("hits").add(4);
+        r2.gauge("depth").set(2);
+        r2.histogram("ns").record(8);
+        r2.counter("only_in_two").inc();
+
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counter("hits"), Some(7));
+        assert_eq!(merged.gauge("depth"), Some(5)); // max, not sum
+        assert_eq!(merged.histogram("ns").unwrap().count(), 2);
+        assert_eq!(merged.counter("only_in_two"), Some(1));
+    }
+
+    #[test]
+    fn text_and_json_exports() {
+        let r = Registry::new();
+        r.counter("z.count").inc();
+        r.gauge("a.depth").set(9);
+        r.histogram("m.ns").record(1000);
+        let s = r.snapshot();
+        let text = s.to_text();
+        assert!(text.contains("telemetry (3 metrics)"), "{text}");
+        assert!(text.contains("z.count"), "{text}");
+        assert!(text.contains("gauge"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        let json = s.to_json();
+        assert!(json.contains("\"type\": \"counter\""), "{json}");
+        assert!(json.contains("\"type\": \"gauge\""), "{json}");
+        assert!(json.contains("\"p95\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // BTreeMap ordering: "a.depth" exported before "z.count".
+        assert!(json.find("a.depth").unwrap() < json.find("z.count").unwrap());
+    }
+
+    #[test]
+    fn empty_snapshot_exports() {
+        let s = RegistrySnapshot::default();
+        assert!(s.is_empty());
+        assert!(s.to_text().contains("0 metrics"));
+        assert!(s.to_json().ends_with("]\n}\n"));
+    }
+}

@@ -1,0 +1,124 @@
+//! RAII span timing: a [`SpanTimer`] measures the wall time between its
+//! creation and its drop, and records the elapsed nanoseconds into a
+//! [`Histogram`].
+
+use crate::histogram::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Times a scope and records elapsed nanoseconds into a histogram on
+/// drop.
+///
+/// The disabled form ([`SpanTimer::disabled`], or
+/// [`crate::span`] with telemetry off) holds no histogram and never
+/// reads the clock — constructing and dropping it is a couple of moves.
+///
+/// # Examples
+///
+/// ```
+/// use ffdl_telemetry::{Histogram, SpanTimer};
+/// use std::sync::Arc;
+///
+/// let hist = Arc::new(Histogram::new());
+/// {
+///     let _span = SpanTimer::start(Arc::clone(&hist));
+///     // ... timed work ...
+/// } // recorded here
+/// let explicit = SpanTimer::start(Arc::clone(&hist)).stop();
+/// assert!(explicit.is_some());
+/// assert_eq!(hist.snapshot().count(), 2);
+/// ```
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+#[derive(Debug)]
+pub struct SpanTimer {
+    started: Option<(Instant, Arc<Histogram>)>,
+}
+
+impl SpanTimer {
+    /// Starts timing; the elapsed nanoseconds land in `hist` when the
+    /// span is dropped (or [`stop`](SpanTimer::stop)ped).
+    pub fn start(hist: Arc<Histogram>) -> Self {
+        Self {
+            started: Some((Instant::now(), hist)),
+        }
+    }
+
+    /// A no-op span: records nothing, never touches the clock.
+    pub fn disabled() -> Self {
+        Self { started: None }
+    }
+
+    /// Starts a real span when `on`, a no-op span otherwise.
+    pub fn start_if(on: bool, hist: &Arc<Histogram>) -> Self {
+        if on {
+            Self::start(Arc::clone(hist))
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// `true` when this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Ends the span now, returning the recorded nanoseconds (`None`
+    /// for a disabled span).
+    pub fn stop(mut self) -> Option<u64> {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Option<u64> {
+        let (start, hist) = self.started.take()?;
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        hist.record(ns);
+        Some(ns)
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_once_on_drop() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let span = SpanTimer::start(Arc::clone(&hist));
+            assert!(span.is_recording());
+        }
+        assert_eq!(hist.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn stop_records_and_suppresses_drop() {
+        let hist = Arc::new(Histogram::new());
+        let ns = SpanTimer::start(Arc::clone(&hist)).stop();
+        assert!(ns.is_some());
+        assert_eq!(hist.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let span = SpanTimer::start_if(false, &hist);
+            assert!(!span.is_recording());
+        }
+        assert_eq!(SpanTimer::disabled().stop(), None);
+        assert_eq!(hist.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn start_if_true_records() {
+        let hist = Arc::new(Histogram::new());
+        drop(SpanTimer::start_if(true, &hist));
+        assert_eq!(hist.snapshot().count(), 1);
+    }
+}

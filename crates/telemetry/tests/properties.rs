@@ -1,0 +1,178 @@
+//! Concurrency and property tests for `ffdl-telemetry`.
+//!
+//! The in-crate unit tests cover the single-threaded contracts; this
+//! suite checks the claims the rest of the workspace leans on: recording
+//! from many threads loses nothing (exact totals, not approximations),
+//! bucket boundaries behave at the extremes, and snapshot percentiles
+//! are monotone in the quantile — the invariant the serving stats and
+//! the bench harness both assume.
+
+use ffdl_rng::prop::{check, vec_of};
+use ffdl_rng::{prop_assert, Rng};
+use ffdl_telemetry::{bucket_bounds, bucket_index, Histogram, Registry, BUCKETS};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                let counter = registry.counter("ffdl.test.hits");
+                for i in 0..PER_THREAD {
+                    // Mix inc() and add() so both paths race.
+                    if i % 4 == 0 {
+                        counter.add(1);
+                    } else {
+                        counter.inc();
+                    }
+                }
+                registry.counter("ffdl.test.hits").add(t);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let expected = THREADS * PER_THREAD + (0..THREADS).sum::<u64>();
+    assert_eq!(
+        registry.snapshot().counter("ffdl.test.hits"),
+        Some(expected)
+    );
+}
+
+#[test]
+fn concurrent_histogram_records_are_lossless() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10_000;
+    let hist = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                let mut local_sum = 0u64;
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across many buckets, distinct
+                    // per thread.
+                    let v = ((t * PER_THREAD + i) as u64).wrapping_mul(0x9E37_79B9) >> (i % 24);
+                    hist.record(v);
+                    local_sum = local_sum.wrapping_add(v);
+                }
+                local_sum
+            })
+        })
+        .collect();
+    let mut expected_sum = 0u64;
+    for h in handles {
+        expected_sum = expected_sum.wrapping_add(h.join().expect("worker panicked"));
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.sum(), expected_sum);
+}
+
+#[test]
+fn per_thread_registries_merge_to_exact_totals() {
+    // The ffdl-serve pattern: each worker owns a registry, the server
+    // merges the snapshots. The merged totals must be exact sums.
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 5_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            thread::spawn(move || {
+                let registry = Registry::new();
+                let counter = registry.counter("ffdl.test.requests");
+                let hist = registry.histogram("ffdl.test.latency_ns");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record(t * 1_000 + i % 97);
+                }
+                registry.snapshot()
+            })
+        })
+        .collect();
+    let mut merged = Registry::new().snapshot();
+    for h in handles {
+        merged.merge(&h.join().expect("worker panicked"));
+    }
+    assert_eq!(
+        merged.counter("ffdl.test.requests"),
+        Some(THREADS * PER_THREAD)
+    );
+    let hist = merged.histogram("ffdl.test.latency_ns").expect("merged");
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+}
+
+#[test]
+fn bucket_boundaries_at_the_extremes() {
+    // Zero gets its own bucket.
+    assert_eq!(bucket_index(0), 0);
+    let (lo, hi) = bucket_bounds(0);
+    assert_eq!((lo, hi), (0.0, 0.0));
+    // One is the first non-zero bucket.
+    assert_eq!(bucket_index(1), 1);
+    // Every power of two starts a new bucket; the value one below
+    // belongs to the previous bucket.
+    for shift in 1..64 {
+        let v = 1u64 << shift;
+        assert_eq!(bucket_index(v), shift as usize + 1, "2^{shift}");
+        assert_eq!(bucket_index(v - 1), shift as usize, "2^{shift}-1");
+    }
+    // u64::MAX lands in the last bucket, and recording it is safe.
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    let h = Histogram::new();
+    h.record(0);
+    h.record(1);
+    h.record(u64::MAX);
+    let s = h.snapshot();
+    assert_eq!(s.count(), 3);
+    assert_eq!(s.buckets()[0], 1);
+    assert_eq!(s.buckets()[1], 1);
+    assert_eq!(s.buckets()[BUCKETS - 1], 1);
+    // Percentiles stay ordered even with MAX in play.
+    assert!(s.percentile(1.0) <= s.percentile(99.0));
+}
+
+#[test]
+fn snapshot_percentiles_are_monotone_in_the_quantile() {
+    check(
+        "telemetry_percentile_monotone",
+        96,
+        |rng| {
+            // A histogram fed a random batch of values spanning the
+            // whole dynamic range, plus a random quantile ladder.
+            let values = vec_of(rng, 1..=200, |r| {
+                let magnitude = r.gen_range(0u32..63);
+                r.gen_range(0u64..=(1u64 << magnitude))
+            });
+            let quantiles = vec_of(rng, 2..=12, |r| r.gen_range(0.0f64..=100.0));
+            (values, quantiles)
+        },
+        |(values, quantiles)| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            let mut sorted = quantiles.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            for pair in sorted.windows(2) {
+                let (lo_q, hi_q) = (pair[0], pair[1]);
+                let (lo, hi) = (s.percentile(lo_q), s.percentile(hi_q));
+                prop_assert!(
+                    lo <= hi,
+                    "p{lo_q:.2} = {lo} > p{hi_q:.2} = {hi} over {} values",
+                    values.len()
+                );
+            }
+            // Percentiles never escape the recorded range estimate.
+            prop_assert!(s.percentile(0.0) >= 0.0);
+            prop_assert!(s.percentile(100.0) <= s.max_estimate());
+            Ok(())
+        },
+    );
+}

@@ -26,6 +26,36 @@ echo "${serve_out}" | grep -q "serve stats" || {
     exit 1
 }
 
+echo "== telemetry smoke test (--metrics on) =="
+metrics_out="$(cargo run --release --offline -q -p ffdl-cli -- serve-bench --workers 2 --requests 64 --metrics on)"
+for metric in \
+    "ffdl.serve.requests" \
+    "ffdl.serve.batch_size" \
+    "ffdl.serve.queue_wait_ns" \
+    "ffdl.serve.rejections" \
+    "ffdl.fft.plan_cache.miss" \
+    "ffdl.nn.forward_ns" \
+    "ffdl.deploy.predict_ns"; do
+    echo "${metrics_out}" | grep -q "${metric}" || {
+        echo "telemetry smoke test: metric ${metric} missing from --metrics output" >&2
+        exit 1
+    }
+done
+
+echo "== bench guard: batching win in BENCH_serve.json =="
+# The dynamic-batching claim (DESIGN.md §7): the committed w4_b16 row
+# must hold at least 1.5x the w1_b1 (unbatched single-worker) rate.
+awk '
+    /"label": "w1_b1"/  { if (match($0, /"throughput_rps": [0-9.]+/)) base    = substr($0, RSTART + 18, RLENGTH - 18) }
+    /"label": "w4_b16"/ { if (match($0, /"throughput_rps": [0-9.]+/)) batched = substr($0, RSTART + 18, RLENGTH - 18) }
+    END {
+        if (base == "" || batched == "") { print "bench guard: w1_b1/w4_b16 rows missing from BENCH_serve.json" > "/dev/stderr"; exit 1 }
+        ratio = batched / base
+        printf "w4_b16 / w1_b1 throughput ratio: %.2fx\n", ratio
+        if (ratio < 1.5) { print "bench guard: batching win below 1.5x" > "/dev/stderr"; exit 1 }
+    }
+' BENCH_serve.json
+
 echo "== docs =="
 cargo doc --no-deps --offline --workspace
 

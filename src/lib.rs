@@ -22,6 +22,7 @@
 //! | [`data`] | `ffdl-data` | MNIST/CIFAR workloads and preprocessing (§V-B/C) |
 //! | [`platform`] | `ffdl-platform` | Table I platforms and the runtime cost model |
 //! | [`deploy`] | `ffdl-deploy` | the Fig. 4 deployment pipeline |
+//! | [`telemetry`] | `ffdl-telemetry` | metrics & span tracing (counters, log₂ histograms, registries) |
 //! | [`paper`] | this crate | ready-made Arch. 1/2/3 networks and training recipes |
 //!
 //! ## Quickstart
@@ -57,6 +58,7 @@ pub use ffdl_deploy as deploy;
 pub use ffdl_fft as fft;
 pub use ffdl_nn as nn;
 pub use ffdl_platform as platform;
+pub use ffdl_telemetry as telemetry;
 pub use ffdl_tensor as tensor;
 
 pub mod paper;
