@@ -1,0 +1,123 @@
+//! Model-lifecycle latency bench: what the registry and the live
+//! hot-swap path cost. Writes `BENCH_registry.json` (unit: ns per call).
+//!
+//! Rows:
+//!
+//! * `publish` — serialize + checksum + atomic tmp/rename publish of the
+//!   paper's Arch. 2 network into a [`ModelStore`].
+//! * `load_verified` — read the active generation back with both
+//!   integrity checks (manifest size/digest + wire-format trailer).
+//! * `swap_model` — [`Server::swap_model`] against a running pool: one
+//!   validation round-trip, slot store, generation bump. This is the
+//!   admission-side cost of a swap; workers re-clone asynchronously.
+//! * `serve_64req_no_swap` / `serve_64req_swap_every_16` — a full
+//!   closed-loop run of 64 requests, without and with registry-mediated
+//!   swaps every 16 requests. The gap between the two rows is the
+//!   end-to-end overhead hot-swapping imposes on a busy pool.
+
+use ffdl::paper;
+use ffdl::tensor::Tensor;
+use ffdl_bench::harness::{black_box, BenchSet};
+use ffdl_registry::ModelStore;
+use ffdl_serve::{ServeConfig, ServeError, Server};
+use std::time::Duration;
+
+const REQUESTS: usize = 64;
+const SWAP_EVERY: usize = 16;
+
+fn samples() -> Vec<Tensor> {
+    (0..REQUESTS)
+        .map(|s| Tensor::from_fn(&[121], |i| (((s * 121 + i) * 7) % 23) as f32 * 0.04))
+        .collect()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 8,
+        max_wait: Duration::from_micros(200),
+        queue_depth: 256,
+    }
+}
+
+/// One closed-loop run; `swap_every = 0` disables swapping.
+fn closed_loop(
+    store: &ModelStore,
+    samples: &[Tensor],
+    swap_every: usize,
+) -> Result<(), ServeError> {
+    let layers = ffdl::core::full_registry();
+    let server = Server::start(&paper::arch2(1), &config())?;
+    let mut swaps = 0u64;
+    for (i, sample) in samples.iter().enumerate() {
+        if swap_every > 0 && i > 0 && i % swap_every == 0 {
+            // Alternate between two pre-published generations so the
+            // store does not grow while the bench loops.
+            let generation = Some(1 + (swaps % 2));
+            let (next, _) = store.load("ab", generation, &layers).expect("registry load");
+            server.swap_model(&next)?;
+            swaps += 1;
+        }
+        loop {
+            match server.try_submit(i as u64, sample.clone()) {
+                Ok(()) => break,
+                Err(ServeError::QueueFull) => std::thread::yield_now(),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    let report = server.finish()?;
+    assert_eq!(report.requests, samples.len(), "requests dropped");
+    black_box(report.model_generation);
+    Ok(())
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("ffdl-bench-registry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = ModelStore::open(&root).expect("open store");
+    let layers = ffdl::core::full_registry();
+    let net_a = paper::arch2(1);
+    let net_b = paper::arch2(2);
+    // Fixed generations for the load and closed-loop rows.
+    store.publish("ab", &net_a, "arch2").expect("publish a");
+    store.publish("ab", &net_b, "arch2").expect("publish b");
+
+    let mut set = BenchSet::new("registry");
+
+    // The manifest is re-rendered per publish, so an unbounded history
+    // would skew later samples; reset the model every 64 generations.
+    let mut published = 0u64;
+    set.bench("publish", || {
+        if published % 64 == 0 {
+            let _ = std::fs::remove_dir_all(root.join("pub"));
+        }
+        store.publish("pub", &net_a, "arch2").expect("publish");
+        published += 1;
+    });
+
+    set.bench("load_verified", || {
+        let (net, version) = store.load("ab", None, &layers).expect("load");
+        black_box((net.len(), version.generation));
+    });
+
+    let server = Server::start(&net_a, &config()).expect("start pool");
+    let mut flip = false;
+    set.bench("swap_model", || {
+        flip = !flip;
+        let next = if flip { &net_b } else { &net_a };
+        black_box(server.swap_model(next).expect("swap"));
+    });
+    drop(server.finish().expect("idle pool finishes"));
+
+    let samples = samples();
+    set.bench("serve_64req_no_swap", || {
+        closed_loop(&store, &samples, 0).expect("serve run");
+    });
+    set.bench("serve_64req_swap_every_16", || {
+        closed_loop(&store, &samples, SWAP_EVERY).expect("serve run");
+    });
+
+    set.finish().expect("write BENCH_registry.json");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -22,6 +22,7 @@ use ffdl::platform::{
     all_platforms, Implementation, PlatformSpec, PowerState, RuntimeModel, HONOR_6X, NEXUS_5,
     ODROID_XU3,
 };
+use ffdl_registry::ModelStore;
 use ffdl_rng::rngs::SmallRng;
 use ffdl_rng::SeedableRng;
 use std::collections::HashMap;
@@ -56,6 +57,8 @@ from_error!(
     ffdl::nn::NnError,
     ffdl::data::DataError,
     ffdl::tensor::TensorError,
+    ffdl_registry::RegistryError,
+    ffdl_serve::ServeError,
 );
 
 /// Parsed `--key value` flags.
@@ -428,6 +431,10 @@ pub fn cmd_gen_inputs(flags: &Flags) -> Result<String, CliError> {
 /// in request order; it is identical for any `--workers` count under the
 /// same seed (served predictions are bit-identical to single-sample
 /// inference), while the timing rows below it naturally vary run to run.
+/// `--swap-every N` publishes a fresh network into a throwaway
+/// [`ModelStore`] every N requests and hot-swaps the running pool onto
+/// it, so which model serves a given request — and therefore the digest
+/// — depends on timing in that mode.
 ///
 /// # Errors
 ///
@@ -442,6 +449,7 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         "queue-depth",
         "seed",
         "metrics",
+        "swap-every",
     ])?;
     let metrics = flags.get_bool("metrics")?;
     let workers = flags.get_num("workers", 1usize)?;
@@ -451,6 +459,7 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     let wait_us = flags.get_num("wait-us", 2000u64)?;
     let queue_depth = flags.get_num("queue-depth", 256usize)?;
     let seed = flags.get_num("seed", 42u64)?;
+    let swap_every = flags.get_num("swap-every", 0usize)?;
     if requests == 0 {
         return Err(CliError("flag --requests must be >= 1".into()));
     }
@@ -464,15 +473,16 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     // The paper's block-circulant architecture for the dataset; raw
     // circulant layers benefit most from batching (weight spectra are
     // recomputed per forward call, so a batch pays them once).
-    let network = match dataset {
-        "mnist16" => paper::arch1(seed),
-        "mnist11" => paper::arch2(seed),
+    let (arch_label, build): (&str, fn(u64) -> ffdl::nn::Network) = match dataset {
+        "mnist16" => ("arch1", paper::arch1),
+        "mnist11" => ("arch2", paper::arch2),
         other => {
             return Err(CliError(format!(
                 "unknown serve dataset {other:?} (expected mnist16 | mnist11)"
             )))
         }
     };
+    let network = build(seed);
 
     // A small pool of distinct samples, cycled to form the request stream.
     let unique = requests.min(64);
@@ -492,8 +502,48 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         max_wait: std::time::Duration::from_micros(wait_us),
         queue_depth,
     };
-    let report = ffdl_serve::run_closed_loop(&network, &config, &samples)
-        .map_err(|e| CliError(e.to_string()))?;
+    // With --swap-every N the bench exercises the full model lifecycle:
+    // every N requests a fresh network (alternating seed) is published
+    // into a throwaway registry, loaded back (checksum-verified), and
+    // hot-swapped into the running pool — admission never pauses.
+    let mut swap_note = None;
+    let report = if swap_every == 0 {
+        ffdl_serve::run_closed_loop(&network, &config, &samples)?
+    } else {
+        let store_dir = std::env::temp_dir().join(format!(
+            "ffdl-serve-bench-store-{}-{}",
+            std::process::id(),
+            seed,
+        ));
+        let _ = fs::remove_dir_all(&store_dir);
+        let store = ModelStore::open(&store_dir)?;
+        store.publish("bench", &network, arch_label)?;
+        let layers = ffdl::core::full_registry();
+        let server = ffdl_serve::Server::start(&network, &config)?;
+        let mut swaps = 0u64;
+        for (i, sample) in samples.iter().enumerate() {
+            if i > 0 && i % swap_every == 0 {
+                store.publish("bench", &build(seed ^ (swaps + 1)), arch_label)?;
+                let (next, _) = store.load("bench", None, &layers)?;
+                server.swap_model(&next)?;
+                swaps += 1;
+            }
+            loop {
+                match server.try_submit(i as u64, sample.clone()) {
+                    Ok(()) => break,
+                    Err(ffdl_serve::ServeError::QueueFull) => std::thread::yield_now(),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        let report = server.finish()?;
+        fs::remove_dir_all(&store_dir).ok();
+        swap_note = Some(format!(
+            "hot-swap: {swaps} registry-mediated swaps, final generation {}",
+            report.model_generation,
+        ));
+        report
+    };
     if metrics {
         ffdl::telemetry::set_enabled(false);
     }
@@ -516,6 +566,9 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     )
     .expect("string write");
     writeln!(out, "prediction digest: {digest:016x}").expect("string write");
+    if let Some(note) = swap_note {
+        writeln!(out, "{note}").expect("string write");
+    }
     out.push_str(&report.table());
     if metrics {
         // Library-wide metrics (FFT plan cache, per-layer spans, engine
@@ -528,6 +581,159 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         out.push_str(&snapshot.to_text());
     }
     Ok(out)
+}
+
+/// Renders one model's manifest as the table printed by `model list`.
+fn model_table(name: &str, versions: &[ffdl_registry::ModelVersion]) -> String {
+    let active = versions.last().map_or(0, |v| v.generation);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "model {name} ({} generations, active {active})",
+        versions.len()
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "  {:>4} {:<12} {:>10} {:<16} provenance",
+        "gen", "arch", "bytes", "fnv1a"
+    )
+    .expect("string write");
+    for v in versions {
+        let provenance = match v.rollback_of {
+            Some(g) => format!("rollback of {g}"),
+            None => "-".to_string(),
+        };
+        writeln!(
+            out,
+            "  {:>4} {:<12} {:>10} {:016x} {}",
+            v.generation, v.arch, v.bytes, v.checksum, provenance
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// `ffdl model publish`: build a network from an architecture file (and
+/// optionally a trained parameters file), then publish it as the next
+/// generation in a [`ModelStore`].
+fn cmd_model_publish(flags: &Flags) -> Result<String, CliError> {
+    flags.expect_only(&["store", "name", "arch", "params", "seed", "label"])?;
+    let store = ModelStore::open(flags.require("store")?)?;
+    let name = flags.require("name")?;
+    let arch_path = flags.require("arch")?;
+    let seed = flags.get_num("seed", 42u64)?;
+
+    let arch_text = fs::read_to_string(arch_path)?;
+    let mut net = parse_architecture(&arch_text, seed)?.network;
+    if let Some(p) = flags.get("params") {
+        let params = fs::read(p)?;
+        read_parameters_into(&mut net, &params[..])?;
+    }
+    // The manifest's arch label shares the model-name character set;
+    // default to the architecture file's stem, sanitized.
+    let label = match flags.get("label") {
+        Some(l) => l.to_string(),
+        None => {
+            let stem = std::path::Path::new(arch_path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("custom");
+            let clean: String = stem
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                        c
+                    } else {
+                        '-'
+                    }
+                })
+                .collect();
+            if clean.is_empty() { "custom".into() } else { clean }
+        }
+    };
+    let v = store.publish(name, &net, &label)?;
+    Ok(format!(
+        "published {name} generation {}: arch {}, {} bytes, fnv1a {:016x}\nstore: {}",
+        v.generation,
+        v.arch,
+        v.bytes,
+        v.checksum,
+        store.root().display(),
+    ))
+}
+
+/// `ffdl model list`: one model's generation table, or a summary of
+/// every model in the store.
+fn cmd_model_list(flags: &Flags) -> Result<String, CliError> {
+    flags.expect_only(&["store", "name"])?;
+    let store = ModelStore::open(flags.require("store")?)?;
+    if let Some(name) = flags.get("name") {
+        return Ok(model_table(name, &store.list(name)?));
+    }
+    let names = store.models()?;
+    if names.is_empty() {
+        return Ok(format!("no models in {}", store.root().display()));
+    }
+    let mut out = String::new();
+    for name in names {
+        let versions = store.list(&name)?;
+        let active = versions.last().map_or(0, |v| v.generation);
+        let arch = versions.last().map_or("-", |v| v.arch.as_str());
+        writeln!(
+            out,
+            "{name}: {} generations, active {active} (arch {arch})",
+            versions.len()
+        )
+        .expect("string write");
+    }
+    Ok(out)
+}
+
+/// `ffdl model rollback`: republish an earlier generation's bytes as the
+/// new active generation (`--to N` picks the target; the default is the
+/// generation before the active one).
+fn cmd_model_rollback(flags: &Flags) -> Result<String, CliError> {
+    flags.expect_only(&["store", "name", "to"])?;
+    let store = ModelStore::open(flags.require("store")?)?;
+    let name = flags.require("name")?;
+    let to = match flags.get("to") {
+        None => None,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| {
+            CliError(format!("flag --to: cannot parse {v:?}"))
+        })?),
+    };
+    let v = store.rollback(name, to)?;
+    let target = v.rollback_of.expect("rollback always records its target");
+    Ok(format!(
+        "rolled {name} back to generation {target}'s bytes: new active generation {} (fnv1a {:016x})",
+        v.generation, v.checksum,
+    ))
+}
+
+/// `ffdl model <publish|list|rollback>`: the versioned model store.
+///
+/// Unlike the flat commands this one takes an action word before its
+/// flags, so it receives the raw argument tail.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for a missing/unknown action or any store
+/// failure.
+pub fn cmd_model(args: &[String]) -> Result<String, CliError> {
+    const ACTIONS: &str = "publish, list, rollback";
+    let (action, rest) = args.split_first().ok_or_else(|| {
+        CliError(format!("model: missing action (expected one of: {ACTIONS})"))
+    })?;
+    let flags = Flags::parse(rest)?;
+    match action.as_str() {
+        "publish" => cmd_model_publish(&flags),
+        "list" => cmd_model_list(&flags),
+        "rollback" => cmd_model_rollback(&flags),
+        other => Err(CliError(format!(
+            "unknown model action {other:?} (expected one of: {ACTIONS})"
+        ))),
+    }
 }
 
 /// Usage text.
@@ -543,10 +749,19 @@ pub fn usage() -> &'static str {
        ffdl gen-inputs --out <csv> [--dataset mnist16|...] [--samples N] [--seed N]\n\
        ffdl serve-bench [--workers N] [--batch N] [--requests N] [--dataset mnist16|mnist11]\n\
                        [--wait-us N] [--queue-depth N] [--seed N] [--metrics on]\n\
+                       [--swap-every N]\n\
+       ffdl model publish  --store <dir> --name <model> --arch <file>\n\
+                       [--params <file>] [--seed N] [--label <arch-label>]\n\
+       ffdl model list     --store <dir> [--name <model>]\n\
+       ffdl model rollback --store <dir> --name <model> [--to GEN]\n\
      \n\
      --metrics on enables the ffdl-telemetry registry for the run and\n\
      appends a metrics table (counters, gauges, latency histograms) to\n\
-     the command's output.\n"
+     the command's output.\n\
+     \n\
+     model publish/list/rollback manage a versioned, checksummed model\n\
+     store (ffdl-registry); serve-bench --swap-every N hot-swaps the\n\
+     running pool onto a freshly published generation every N requests.\n"
 }
 
 /// Dispatches a full argument vector (without the program name).
@@ -558,6 +773,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let (cmd, rest) = args
         .split_first()
         .ok_or_else(|| CliError(usage().to_string()))?;
+    // `model` takes an action word before its flags; every other command
+    // is flags-only.
+    if cmd == "model" {
+        return cmd_model(rest);
+    }
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
         "train" => cmd_train(&flags),
@@ -566,7 +786,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "gen-inputs" => cmd_gen_inputs(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
-        other => Err(CliError(format!("unknown command {other:?}\n\n{}", usage()))),
+        // Mirror Flags::expect_only: name the offender, list what exists.
+        other => Err(CliError(format!(
+            "unknown command {other:?} (expected one of: train, infer, inspect, \
+             gen-inputs, serve-bench, model, help)\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -789,7 +1014,109 @@ mod tests {
         assert!(run(&["help".into()]).unwrap().contains("usage"));
         let err = run(&["frobnicate".into()]).unwrap_err();
         assert!(err.0.contains("unknown command"));
+        // The error names every available subcommand, like expect_only
+        // does for flags.
+        for name in ["train", "infer", "inspect", "gen-inputs", "serve-bench", "model", "help"] {
+            assert!(err.0.contains(name), "missing {name} in:\n{err}");
+        }
         let err = run(&["train".into()]).unwrap_err();
         assert!(err.0.contains("--arch"));
+    }
+
+    #[test]
+    fn model_lifecycle_publish_list_rollback() {
+        let dir = std::env::temp_dir().join(format!("ffdl-cli-model-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let arch = dir.join("net.arch");
+        let store = dir.join("store");
+        let store_s = store.to_str().unwrap();
+        fs::write(&arch, "input 8\ncirculant_fc 8 block=4\nrelu\nfc 3\nsoftmax\n").unwrap();
+
+        // publish twice (different seeds), through the top-level dispatcher
+        let out = run(&[
+            "model".into(), "publish".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+            "--arch".into(), arch.to_str().unwrap().into(),
+            "--seed".into(), "1".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("generation 1"), "{out}");
+        assert!(out.contains("arch net"), "{out}"); // label defaults to the file stem
+        let out = run(&[
+            "model".into(), "publish".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+            "--arch".into(), arch.to_str().unwrap().into(),
+            "--seed".into(), "2".into(),
+            "--label".into(), "toy".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("generation 2"), "{out}");
+
+        // list: per-model table and store summary
+        let out = run(&[
+            "model".into(), "list".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("2 generations, active 2"), "{out}");
+        assert!(out.contains("fnv1a"), "{out}");
+        let out = run(&["model".into(), "list".into(), "--store".into(), store_s.into()])
+            .unwrap();
+        assert!(out.contains("demo: 2 generations"), "{out}");
+
+        // rollback: generation 1's bytes become generation 3
+        let out = run(&[
+            "model".into(), "rollback".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("generation 1's bytes"), "{out}");
+        assert!(out.contains("new active generation 3"), "{out}");
+        let out = run(&[
+            "model".into(), "list".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("rollback of 1"), "{out}");
+
+        // failure modes keep their names
+        let err = run(&["model".into()]).unwrap_err();
+        assert!(err.0.contains("missing action"), "{err}");
+        let err = run(&["model".into(), "destroy".into()]).unwrap_err();
+        assert!(err.0.contains("unknown model action"), "{err}");
+        assert!(err.0.contains("publish, list, rollback"), "{err}");
+        let err = run(&[
+            "model".into(), "list".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "ghost".into(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("ghost"), "{err}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_swap_every_reports_generations() {
+        let out = cmd_serve_bench(&flags(&[
+            ("workers", "2"),
+            ("batch", "4"),
+            ("requests", "48"),
+            ("dataset", "mnist11"),
+            ("seed", "11"),
+            ("swap-every", "16"),
+        ]))
+        .unwrap();
+        // 48 requests / swap every 16 → swaps at i = 16 and 32.
+        assert!(out.contains("hot-swap: 2 registry-mediated swaps"), "{out}");
+        assert!(out.contains("final generation 3"), "{out}");
+        assert!(out.contains("model generation"), "{out}");
+        assert!(out.contains("serve stats"), "{out}");
     }
 }

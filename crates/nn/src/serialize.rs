@@ -5,14 +5,22 @@
 //!
 //! ```text
 //! magic  "FFDL"            4 bytes
-//! version u32              currently 1
+//! version u32              currently 2
 //! n_layers u32
 //! per layer:
 //!   tag      length-prefixed UTF-8 (e.g. "dense", "circulant_dense")
 //!   config   length-prefixed blob  (layer-specific geometry)
 //!   n_params u32
 //!   params   tensors (rank, dims…, f32 data)
+//! trailer  u64 little-endian FNV-1a digest of every preceding byte
 //! ```
+//!
+//! The trailer (format version 2) makes corruption a *typed* error:
+//! [`load_network`] hashes the stream as it parses and compares against
+//! the stored digest, so a bit-flipped weight file fails with
+//! [`NnError::ModelFormat`] naming the expected and actual digests
+//! instead of silently loading garbage weights. This is the integrity
+//! guarantee the model registry (`ffdl-registry`) builds on.
 //!
 //! Loading needs a [`LayerRegistry`] mapping tags to constructors, so
 //! downstream crates (notably `ffdl-core`'s block-circulant layers) can
@@ -33,7 +41,7 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"FFDL";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Constructor signature stored in the registry: builds an un-parameterized
 /// layer from its config blob (parameters are loaded separately).
@@ -100,10 +108,15 @@ impl Default for LayerRegistry {
 ///
 /// A `&mut` reference can be passed for `writer`.
 ///
+/// The payload is streamed through an FNV-1a hasher and an 8-byte
+/// little-endian digest trailer is appended, so [`load_network`] can
+/// detect corruption without a second pass.
+///
 /// # Errors
 ///
 /// Returns [`NnError::Io`] on write failure.
-pub fn save_network<W: Write>(network: &Network, mut writer: W) -> Result<(), NnError> {
+pub fn save_network<W: Write>(network: &Network, writer: W) -> Result<(), NnError> {
+    let mut writer = wire::Fnv1aWriter::new(writer);
     writer.write_all(MAGIC)?;
     wire::write_u32(&mut writer, VERSION)?;
     wire::write_u32(&mut writer, network.len() as u32)?;
@@ -118,6 +131,8 @@ pub fn save_network<W: Write>(network: &Network, mut writer: W) -> Result<(), Nn
             wire::write_tensor(&mut writer, p)?;
         }
     }
+    let digest = writer.digest();
+    writer.into_inner().write_all(&digest.to_le_bytes())?;
     Ok(())
 }
 
@@ -128,10 +143,12 @@ pub fn save_network<W: Write>(network: &Network, mut writer: W) -> Result<(), Nn
 ///
 /// # Errors
 ///
-/// Returns [`NnError::ModelFormat`] on a bad magic/version/structure,
-/// [`NnError::UnknownLayerTag`] for unregistered layers, and
+/// Returns [`NnError::ModelFormat`] on a bad magic/version/structure or
+/// a checksum-trailer mismatch (naming the expected and actual FNV-1a
+/// digests), [`NnError::UnknownLayerTag`] for unregistered layers, and
 /// [`NnError::Io`] on truncated input.
-pub fn load_network<R: Read>(mut reader: R, registry: &LayerRegistry) -> Result<Network, NnError> {
+pub fn load_network<R: Read>(reader: R, registry: &LayerRegistry) -> Result<Network, NnError> {
+    let mut reader = wire::Fnv1aReader::new(reader);
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -178,6 +195,15 @@ pub fn load_network<R: Read>(mut reader: R, registry: &LayerRegistry) -> Result<
         let mut layer = builder(&config)?;
         layer.load_params(&params)?;
         network.push_boxed(layer);
+    }
+    let actual = reader.digest();
+    let mut trailer = [0u8; 8];
+    reader.into_inner().read_exact(&mut trailer)?;
+    let expected = u64::from_le_bytes(trailer);
+    if expected != actual {
+        return Err(NnError::ModelFormat(format!(
+            "checksum mismatch: trailer expects fnv1a {expected:016x}, payload hashes to {actual:016x}"
+        )));
     }
     Ok(network)
 }
@@ -300,6 +326,54 @@ mod tests {
         let mut buf = Vec::new();
         save_network(&net, &mut buf).unwrap();
         buf.truncate(buf.len() - 10);
+        assert!(matches!(
+            load_network(Cursor::new(buf), &LayerRegistry::default()),
+            Err(NnError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn bit_flip_corruption_is_a_named_checksum_mismatch() {
+        let mut net = Network::new();
+        net.push(Dense::new(4, 4, &mut rng()));
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+
+        // Flip one bit in the middle of the weight payload (past the
+        // header, before the trailer) — the classic silent-garbage case.
+        let victim = buf.len() / 2;
+        buf[victim] ^= 0x10;
+        let err =
+            load_network(Cursor::new(&buf), &LayerRegistry::with_builtin_layers()).unwrap_err();
+        match err {
+            NnError::ModelFormat(msg) => {
+                assert!(msg.contains("checksum mismatch"), "{msg}");
+                // Both digests are named so operators can compare files.
+                assert!(msg.contains("fnv1a"), "{msg}");
+            }
+            other => panic!("expected ModelFormat, got {other:?}"),
+        }
+
+        // Flipping a trailer bit is caught the same way.
+        buf[victim] ^= 0x10; // restore payload
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert!(matches!(
+            load_network(Cursor::new(&buf), &LayerRegistry::with_builtin_layers()),
+            Err(NnError::ModelFormat(_))
+        ));
+
+        // And the pristine file still loads.
+        buf[last] ^= 0x01;
+        assert!(load_network(Cursor::new(&buf), &LayerRegistry::with_builtin_layers()).is_ok());
+    }
+
+    #[test]
+    fn missing_trailer_is_io_error() {
+        let net = Network::new();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        buf.truncate(buf.len() - 8); // drop the whole trailer
         assert!(matches!(
             load_network(Cursor::new(buf), &LayerRegistry::default()),
             Err(NnError::Io(_))

@@ -9,6 +9,105 @@ use crate::error::NnError;
 use ffdl_tensor::Tensor;
 use std::io::{Read, Write};
 
+/// FNV-1a 64-bit offset basis.
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit digest of `bytes` — the workspace's in-house integrity
+/// checksum (zero dependencies, byte-order independent, and cheap enough
+/// to run on every model load).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV1A_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV1A_PRIME);
+    }
+    h
+}
+
+/// A [`Write`] adapter that folds every byte it forwards into a running
+/// FNV-1a digest. `save_network` streams the model through one of these
+/// so the checksum trailer never needs a second pass over the payload.
+pub struct Fnv1aWriter<W> {
+    inner: W,
+    digest: u64,
+}
+
+impl<W: Write> Fnv1aWriter<W> {
+    /// Wraps `inner` with a fresh digest.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            digest: FNV1A_OFFSET,
+        }
+    }
+
+    /// The digest over everything written so far.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Unwraps, returning the underlying writer (digest bytes written to
+    /// it afterwards are *not* hashed — that is the point: the trailer
+    /// covers the payload, not itself).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for Fnv1aWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        for &b in &buf[..n] {
+            self.digest = (self.digest ^ b as u64).wrapping_mul(FNV1A_PRIME);
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The [`Read`] counterpart of [`Fnv1aWriter`]: hashes every byte it
+/// hands out, so `load_network` can verify the trailer after parsing
+/// without buffering the whole file.
+pub struct Fnv1aReader<R> {
+    inner: R,
+    digest: u64,
+}
+
+impl<R: Read> Fnv1aReader<R> {
+    /// Wraps `inner` with a fresh digest.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            digest: FNV1A_OFFSET,
+        }
+    }
+
+    /// The digest over everything read so far.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Unwraps, returning the underlying reader (trailer bytes read from
+    /// it afterwards are not hashed).
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for Fnv1aReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.digest = (self.digest ^ b as u64).wrapping_mul(FNV1A_PRIME);
+        }
+        Ok(n)
+    }
+}
+
 /// Writes a `u32` in little-endian order.
 pub fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<(), NnError> {
     w.write_all(&v.to_le_bytes())?;
@@ -150,6 +249,30 @@ mod tests {
             read_tensor(&mut Cursor::new(buf)),
             Err(NnError::ModelFormat(_))
         ));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hashing_writer_and_reader_agree_with_oneshot() {
+        let payload = b"block-circulant weights".to_vec();
+        let mut w = Fnv1aWriter::new(Vec::new());
+        w.write_all(&payload).unwrap();
+        assert_eq!(w.digest(), fnv1a(&payload));
+        let buf = w.into_inner();
+        assert_eq!(buf, payload);
+
+        let mut r = Fnv1aReader::new(Cursor::new(buf));
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        assert_eq!(r.digest(), fnv1a(&payload));
+        assert_eq!(back, payload);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Error type for the model registry.
+
+use ffdl_nn::NnError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors reported by the versioned model store.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The model payload failed to serialize or deserialize (including
+    /// the wire format's own checksum trailer).
+    Model(NnError),
+    /// A model or architecture name contains characters the store
+    /// rejects (the manifest is whitespace-separated text, and names
+    /// become directory components).
+    InvalidName(String),
+    /// No model with this name has ever been published.
+    UnknownModel(String),
+    /// The model exists but has no such generation.
+    UnknownGeneration {
+        /// Model name.
+        name: String,
+        /// The generation that was requested.
+        generation: u64,
+    },
+    /// The stored model file does not match its manifest entry — the
+    /// typed "you are about to load garbage weights" error.
+    Corrupt {
+        /// Model name.
+        name: String,
+        /// Generation whose file is damaged.
+        generation: u64,
+        /// FNV-1a digest recorded in the manifest at publish time.
+        expected: u64,
+        /// FNV-1a digest of the bytes actually on disk.
+        actual: u64,
+    },
+    /// The manifest file itself is malformed.
+    Manifest(String),
+    /// Rollback was requested but there is no earlier generation to
+    /// roll back to.
+    NothingToRollBack(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry i/o failure: {e}"),
+            RegistryError::Model(e) => write!(f, "model payload error: {e}"),
+            RegistryError::InvalidName(n) => write!(
+                f,
+                "invalid registry name {n:?} (allowed: A-Z a-z 0-9 . _ -)"
+            ),
+            RegistryError::UnknownModel(n) => write!(f, "no model named {n:?} in the store"),
+            RegistryError::UnknownGeneration { name, generation } => {
+                write!(f, "model {name:?} has no generation {generation}")
+            }
+            RegistryError::Corrupt {
+                name,
+                generation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "model {name:?} generation {generation} is corrupt: manifest expects fnv1a \
+                 {expected:016x}, file hashes to {actual:016x}"
+            ),
+            RegistryError::Manifest(msg) => write!(f, "malformed manifest: {msg}"),
+            RegistryError::NothingToRollBack(name) => {
+                write!(f, "model {name:?} has no earlier generation to roll back to")
+            }
+        }
+    }
+}
+
+impl Error for RegistryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            RegistryError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+impl From<NnError> for RegistryError {
+    fn from(e: NnError) -> Self {
+        RegistryError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RegistryError::InvalidName("a b".into())
+            .to_string()
+            .contains("a b"));
+        assert!(RegistryError::UnknownModel("m".into()).to_string().contains("m"));
+        let e = RegistryError::UnknownGeneration {
+            name: "m".into(),
+            generation: 7,
+        };
+        assert!(e.to_string().contains('7'));
+        let e = RegistryError::Corrupt {
+            name: "m".into(),
+            generation: 2,
+            expected: 0xabcd,
+            actual: 0x1234,
+        };
+        let s = e.to_string();
+        assert!(s.contains("000000000000abcd"), "{s}");
+        assert!(s.contains("0000000000001234"), "{s}");
+        assert!(RegistryError::Manifest("x".into()).to_string().contains('x'));
+        assert!(RegistryError::NothingToRollBack("m".into())
+            .to_string()
+            .contains("roll back"));
+        let e: RegistryError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+        let e: RegistryError = NnError::ModelFormat("bad".into()).into();
+        assert!(e.source().is_some());
+        assert!(RegistryError::UnknownModel("m".into()).source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<RegistryError>();
+    }
+}

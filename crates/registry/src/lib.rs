@@ -1,0 +1,64 @@
+//! # ffdl-registry — versioned model store with integrity checking
+//!
+//! The paper's deployment pipeline (Fig. 4) ends at "read a file that
+//! contains trained weights and biases" — one static artifact. A
+//! production pool serving continuous traffic needs the next step: a
+//! place where trained models are **published as numbered generations**,
+//! **integrity-checked on every load**, and **replaced or rolled back
+//! while the serve pool keeps taking requests** (the live-swap half
+//! lives in `ffdl_serve::Server::swap_model`).
+//!
+//! Built only on `std`, like the rest of the workspace:
+//!
+//! * [`ModelStore`] — a directory of models, each a manifest plus one
+//!   `gen-NNNNNN.ffdm` payload per generation (the `ffdl-nn` wire
+//!   format, which carries its own FNV-1a checksum trailer).
+//! * **Monotonic generations** — publishes and rollbacks both allocate
+//!   the next number; a rollback is a *new* generation carrying an old
+//!   generation's bytes, so anything watching "did the generation
+//!   change?" (a serve pool, a poller) needs no special rollback path.
+//! * **Atomic publishes** — payload and manifest land via tmp + rename;
+//!   a crashed publish leaves the previous generation active.
+//! * **Typed corruption errors** — every load checks the manifest's
+//!   byte size and FNV-1a digest (and the wire format re-checks its own
+//!   trailer), so a damaged file is [`RegistryError::Corrupt`] naming
+//!   both digests, never silently-garbage weights.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffdl_nn::{Dense, LayerRegistry, Network};
+//! use ffdl_registry::ModelStore;
+//! use ffdl_rng::{rngs::SmallRng, SeedableRng};
+//!
+//! let dir = std::env::temp_dir().join(format!("ffdl-registry-doc-{}", std::process::id()));
+//! let store = ModelStore::open(&dir)?;
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut net = Network::new();
+//! net.push(Dense::new(4, 2, &mut rng));
+//!
+//! let v1 = store.publish("doc-model", &net, "toy")?;
+//! assert_eq!(v1.generation, 1);
+//! let v2 = store.publish("doc-model", &net, "toy")?;
+//! assert_eq!(v2.generation, 2);
+//!
+//! let (_network, active) = store.load("doc-model", None, &LayerRegistry::with_builtin_layers())?;
+//! assert_eq!(active.generation, 2);
+//!
+//! let rolled = store.rollback("doc-model", None)?; // back to generation 1's bytes
+//! assert_eq!((rolled.generation, rolled.rollback_of), (3, Some(1)));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), ffdl_registry::RegistryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod manifest;
+mod store;
+
+pub use error::RegistryError;
+pub use manifest::{ModelVersion, MANIFEST_HEADER};
+pub use store::ModelStore;

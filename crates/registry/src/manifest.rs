@@ -1,0 +1,192 @@
+//! The per-model manifest: one line per published generation.
+//!
+//! Plain text so a stuck deployment can be debugged with `cat`:
+//!
+//! ```text
+//! ffdl-registry v1
+//! 1 arch1 54632 85944171f73967e8 -
+//! 2 arch1 54632 0b2d5c7e11aa9034 -
+//! 3 arch1 54632 85944171f73967e8 rollback=1
+//! ```
+//!
+//! Columns: generation, architecture label, payload byte size, FNV-1a
+//! digest of the model file, and provenance (`-` for a fresh publish,
+//! `rollback=N` when the generation republishes N's bytes). The file is
+//! rewritten in full on every publish and lands via tmp + rename, the
+//! same atomicity discipline as the model files themselves.
+
+use crate::error::RegistryError;
+
+/// Header line identifying the manifest format.
+pub const MANIFEST_HEADER: &str = "ffdl-registry v1";
+
+/// One published generation of a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelVersion {
+    /// Monotonic generation number (1-based; never reused, even after
+    /// rollback — rollback publishes a *new* generation).
+    pub generation: u64,
+    /// Architecture label recorded at publish time (e.g. `arch1`).
+    pub arch: String,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// FNV-1a digest of the model file, verified on every load.
+    pub checksum: u64,
+    /// `Some(n)` when this generation was produced by rolling back to
+    /// generation `n`.
+    pub rollback_of: Option<u64>,
+}
+
+impl ModelVersion {
+    fn to_line(&self) -> String {
+        let src = match self.rollback_of {
+            Some(g) => format!("rollback={g}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "{} {} {} {:016x} {}",
+            self.generation, self.arch, self.bytes, self.checksum, src
+        )
+    }
+
+    fn from_line(line: &str) -> Result<Self, RegistryError> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(RegistryError::Manifest(format!(
+                "expected 5 fields, got {}: {line:?}",
+                fields.len()
+            )));
+        }
+        let generation: u64 = fields[0]
+            .parse()
+            .map_err(|_| RegistryError::Manifest(format!("bad generation in {line:?}")))?;
+        let bytes: u64 = fields[2]
+            .parse()
+            .map_err(|_| RegistryError::Manifest(format!("bad byte size in {line:?}")))?;
+        let checksum = u64::from_str_radix(fields[3], 16)
+            .map_err(|_| RegistryError::Manifest(format!("bad checksum in {line:?}")))?;
+        let rollback_of = match fields[4] {
+            "-" => None,
+            src => Some(
+                src.strip_prefix("rollback=")
+                    .and_then(|g| g.parse().ok())
+                    .ok_or_else(|| {
+                        RegistryError::Manifest(format!("bad provenance in {line:?}"))
+                    })?,
+            ),
+        };
+        Ok(Self {
+            generation,
+            arch: fields[1].to_string(),
+            bytes,
+            checksum,
+            rollback_of,
+        })
+    }
+}
+
+/// Renders a full manifest document (header + one line per version).
+pub(crate) fn render(versions: &[ModelVersion]) -> String {
+    let mut out = String::with_capacity(32 + versions.len() * 64);
+    out.push_str(MANIFEST_HEADER);
+    out.push('\n');
+    for v in versions {
+        out.push_str(&v.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a manifest document, enforcing the header and strictly
+/// increasing generation numbers.
+pub(crate) fn parse(text: &str) -> Result<Vec<ModelVersion>, RegistryError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == MANIFEST_HEADER => {}
+        other => {
+            return Err(RegistryError::Manifest(format!(
+                "bad header {other:?}, expected {MANIFEST_HEADER:?}"
+            )))
+        }
+    }
+    let mut versions = Vec::new();
+    let mut last_gen = 0u64;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = ModelVersion::from_line(line)?;
+        if v.generation <= last_gen {
+            return Err(RegistryError::Manifest(format!(
+                "generation {} is not greater than its predecessor {last_gen}",
+                v.generation
+            )));
+        }
+        last_gen = v.generation;
+        versions.push(v);
+    }
+    Ok(versions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(generation: u64, rollback_of: Option<u64>) -> ModelVersion {
+        ModelVersion {
+            generation,
+            arch: "arch1".into(),
+            bytes: 1234,
+            checksum: 0xdead_beef_cafe_f00d,
+            rollback_of,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let versions = vec![v(1, None), v(2, None), v(3, Some(1))];
+        let text = render(&versions);
+        assert!(text.starts_with(MANIFEST_HEADER));
+        assert_eq!(parse(&text).unwrap(), versions);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse("nonsense v9\n"),
+            Err(RegistryError::Manifest(_))
+        ));
+        assert!(matches!(parse(""), Err(RegistryError::Manifest(_))));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "1 arch1 12",                      // too few fields
+            "x arch1 12 00ff -",               // bad generation
+            "1 arch1 twelve 00ff -",           // bad size
+            "1 arch1 12 zz -",                 // bad checksum
+            "1 arch1 12 00ff rollback=maybe",  // bad provenance
+        ] {
+            let text = format!("{MANIFEST_HEADER}\n{bad}\n");
+            assert!(
+                matches!(parse(&text), Err(RegistryError::Manifest(_))),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_monotonic_generations() {
+        let text = render(&[v(2, None), v(2, None)]);
+        assert!(matches!(parse(&text), Err(RegistryError::Manifest(_))));
+        let text = render(&[v(3, None), v(1, None)]);
+        assert!(matches!(parse(&text), Err(RegistryError::Manifest(_))));
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let text = format!("{MANIFEST_HEADER}\n\n1 arch1 10 00ff -\n\n");
+        assert_eq!(parse(&text).unwrap().len(), 1);
+    }
+}

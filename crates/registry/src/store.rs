@@ -1,0 +1,496 @@
+//! The filesystem-backed model store.
+//!
+//! Layout (everything under one root directory):
+//!
+//! ```text
+//! <root>/
+//!   <model-name>/
+//!     MANIFEST            one line per generation (see `manifest`)
+//!     gen-000001.ffdm     ffdl-nn wire format v2 (self-checksummed)
+//!     gen-000002.ffdm
+//! ```
+//!
+//! Publishes are atomic: the payload is written to a dot-prefixed temp
+//! file and `rename`d into place, then the manifest is rewritten the
+//! same way — a reader never observes a half-written model or a
+//! manifest entry whose file is missing (the file lands first). The
+//! store assumes cooperating writers within one process; it is the
+//! storage half of the model lifecycle, with live traffic handled by
+//! `ffdl_serve::Server::swap_model`.
+
+use crate::error::RegistryError;
+use crate::manifest::{self, ModelVersion};
+use ffdl_nn::wire::fnv1a;
+use ffdl_nn::{load_network, save_network, LayerRegistry, Network};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A versioned, checksummed model store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    root: PathBuf,
+}
+
+/// `true` when every character is safe for directory components and the
+/// whitespace-separated manifest.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name != "."
+        && name != ".."
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+fn generation_file(generation: u64) -> String {
+    format!("gen-{generation:06}.ffdm")
+}
+
+impl ModelStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] when the root cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn model_dir(&self, name: &str) -> Result<PathBuf, RegistryError> {
+        if !valid_name(name) {
+            return Err(RegistryError::InvalidName(name.to_string()));
+        }
+        Ok(self.root.join(name))
+    }
+
+    fn read_manifest(&self, name: &str) -> Result<Vec<ModelVersion>, RegistryError> {
+        let path = self.model_dir(name)?.join("MANIFEST");
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(RegistryError::UnknownModel(name.to_string()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        manifest::parse(&text)
+    }
+
+    /// Writes `bytes` as the next generation of `name` — the atomic
+    /// tmp + rename core shared by [`publish`](Self::publish) and
+    /// [`rollback`](Self::rollback).
+    fn publish_raw(
+        &self,
+        name: &str,
+        bytes: &[u8],
+        arch: &str,
+        rollback_of: Option<u64>,
+    ) -> Result<ModelVersion, RegistryError> {
+        if !valid_name(arch) {
+            return Err(RegistryError::InvalidName(arch.to_string()));
+        }
+        let dir = self.model_dir(name)?;
+        fs::create_dir_all(&dir)?;
+        let mut versions = match self.read_manifest(name) {
+            Ok(v) => v,
+            Err(RegistryError::UnknownModel(_)) => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let generation = versions.last().map_or(1, |v| v.generation + 1);
+        let version = ModelVersion {
+            generation,
+            arch: arch.to_string(),
+            bytes: bytes.len() as u64,
+            checksum: fnv1a(bytes),
+            rollback_of,
+        };
+
+        // Payload first: tmp + rename, so the manifest never references
+        // a file that is not fully on disk.
+        let tmp = dir.join(format!(".tmp-{}", generation_file(generation)));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, dir.join(generation_file(generation)))?;
+
+        versions.push(version.clone());
+        let tmp = dir.join(".tmp-MANIFEST");
+        fs::write(&tmp, manifest::render(&versions))?;
+        fs::rename(&tmp, dir.join("MANIFEST"))?;
+        Ok(version)
+    }
+
+    /// Publishes `network` as the next generation of `name`, returning
+    /// its manifest entry. `arch` is a free-form label (e.g. `"arch1"`)
+    /// recorded for `list` output; it shares the name character set.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::InvalidName`] for unusable names,
+    /// [`RegistryError::Model`] if serialization fails, and
+    /// [`RegistryError::Io`] on filesystem failure.
+    pub fn publish(
+        &self,
+        name: &str,
+        network: &Network,
+        arch: &str,
+    ) -> Result<ModelVersion, RegistryError> {
+        let _span = ffdl_telemetry::span("ffdl.registry.publish_ns");
+        let mut bytes = Vec::new();
+        save_network(network, &mut bytes)?;
+        self.publish_raw(name, &bytes, arch, None)
+    }
+
+    /// All published generations of `name`, oldest first. The last entry
+    /// is the active one (the generation [`load`](Self::load) picks by
+    /// default).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] when nothing was ever published
+    /// under `name`.
+    pub fn list(&self, name: &str) -> Result<Vec<ModelVersion>, RegistryError> {
+        self.read_manifest(name)
+    }
+
+    /// The active (most recently published) generation of `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for unpublished names;
+    /// [`RegistryError::Manifest`] if the manifest is empty.
+    pub fn latest(&self, name: &str) -> Result<ModelVersion, RegistryError> {
+        self.read_manifest(name)?
+            .pop()
+            .ok_or_else(|| RegistryError::Manifest(format!("manifest for {name:?} lists no generations")))
+    }
+
+    /// Model names with at least one published generation, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] when the root cannot be read.
+    pub fn models(&self) -> Result<Vec<String>, RegistryError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.path().join("MANIFEST").is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Reads the raw payload of a generation (`None` = active), verifying
+    /// it against the manifest's byte size and FNV-1a digest.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] / [`RegistryError::UnknownGeneration`]
+    /// for bad coordinates, and [`RegistryError::Corrupt`] — naming the
+    /// expected and actual digests — when the file does not match its
+    /// manifest entry.
+    pub fn load_bytes(
+        &self,
+        name: &str,
+        generation: Option<u64>,
+    ) -> Result<(Vec<u8>, ModelVersion), RegistryError> {
+        let versions = self.read_manifest(name)?;
+        let version = match generation {
+            None => versions.last().cloned().ok_or_else(|| {
+                RegistryError::Manifest(format!("manifest for {name:?} lists no generations"))
+            })?,
+            Some(g) => versions
+                .into_iter()
+                .find(|v| v.generation == g)
+                .ok_or_else(|| RegistryError::UnknownGeneration {
+                    name: name.to_string(),
+                    generation: g,
+                })?,
+        };
+        let path = self
+            .model_dir(name)?
+            .join(generation_file(version.generation));
+        let bytes = fs::read(&path)?;
+        let actual = fnv1a(&bytes);
+        if bytes.len() as u64 != version.bytes || actual != version.checksum {
+            return Err(RegistryError::Corrupt {
+                name: name.to_string(),
+                generation: version.generation,
+                expected: version.checksum,
+                actual,
+            });
+        }
+        Ok((bytes, version))
+    }
+
+    /// Loads a generation (`None` = active) as a [`Network`], resolving
+    /// layer types through `layers`. Every load verifies the manifest
+    /// checksum *and* the wire format's own trailer, so a damaged file is
+    /// a typed error, never garbage weights.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`load_bytes`](Self::load_bytes) reports, plus
+    /// [`RegistryError::Model`] when deserialization fails.
+    pub fn load(
+        &self,
+        name: &str,
+        generation: Option<u64>,
+        layers: &LayerRegistry,
+    ) -> Result<(Network, ModelVersion), RegistryError> {
+        let _span = ffdl_telemetry::span("ffdl.registry.load_ns");
+        let (bytes, version) = self.load_bytes(name, generation)?;
+        let network = load_network(&bytes[..], layers)?;
+        Ok((network, version))
+    }
+
+    /// Republishes an earlier generation's bytes as a *new* generation
+    /// (`to = None` rolls back to the generation before the active one).
+    /// Generations stay monotonic, so serve pools watching the counter
+    /// pick the rollback up exactly like a fresh publish.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NothingToRollBack`] when no earlier generation
+    /// exists, [`RegistryError::UnknownGeneration`] for an explicit `to`
+    /// that was never published, plus the usual load/publish failures.
+    pub fn rollback(&self, name: &str, to: Option<u64>) -> Result<ModelVersion, RegistryError> {
+        let versions = self.read_manifest(name)?;
+        let target = match to {
+            Some(g) => versions
+                .iter()
+                .find(|v| v.generation == g)
+                .cloned()
+                .ok_or_else(|| RegistryError::UnknownGeneration {
+                    name: name.to_string(),
+                    generation: g,
+                })?,
+            None => {
+                if versions.len() < 2 {
+                    return Err(RegistryError::NothingToRollBack(name.to_string()));
+                }
+                versions[versions.len() - 2].clone()
+            }
+        };
+        let (bytes, _) = self.load_bytes(name, Some(target.generation))?;
+        self.publish_raw(name, &bytes, &target.arch, Some(target.generation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffdl_nn::{Dense, Relu};
+    use ffdl_rng::rngs::SmallRng;
+    use ffdl_rng::SeedableRng;
+    use ffdl_tensor::Tensor;
+
+    fn network(seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = Network::new();
+        net.push(Dense::new(6, 8, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(8, 3, &mut rng));
+        net
+    }
+
+    fn temp_store(tag: &str) -> ModelStore {
+        let dir = std::env::temp_dir().join(format!(
+            "ffdl-registry-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        ModelStore::open(dir).unwrap()
+    }
+
+    fn cleanup(store: &ModelStore) {
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn publish_load_roundtrip_preserves_outputs() {
+        let store = temp_store("roundtrip");
+        let mut original = network(1);
+        let v = store.publish("demo", &original, "toy").unwrap();
+        assert_eq!(v.generation, 1);
+        assert!(v.bytes > 0);
+        assert_eq!(v.rollback_of, None);
+
+        let (mut loaded, lv) =
+            store.load("demo", None, &LayerRegistry::with_builtin_layers()).unwrap();
+        assert_eq!(lv, v);
+        let x = Tensor::from_fn(&[2, 6], |i| (i as f32 * 0.3).sin());
+        assert_eq!(
+            original.forward(&x).unwrap().as_slice(),
+            loaded.forward(&x).unwrap().as_slice()
+        );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn generations_are_monotonic_and_listable() {
+        let store = temp_store("list");
+        for seed in 0..3 {
+            store.publish("m", &network(seed), "toy").unwrap();
+        }
+        let versions = store.list("m").unwrap();
+        assert_eq!(
+            versions.iter().map(|v| v.generation).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(store.latest("m").unwrap().generation, 3);
+        assert_eq!(store.models().unwrap(), vec!["m".to_string()]);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn load_specific_generation() {
+        let store = temp_store("specific");
+        let mut a = network(10);
+        let mut b = network(20);
+        store.publish("m", &a, "toy").unwrap();
+        store.publish("m", &b, "toy").unwrap();
+        let layers = LayerRegistry::with_builtin_layers();
+        let x = Tensor::from_fn(&[1, 6], |i| i as f32 * 0.1);
+
+        let (mut g1, _) = store.load("m", Some(1), &layers).unwrap();
+        let (mut g2, _) = store.load("m", Some(2), &layers).unwrap();
+        assert_eq!(
+            g1.forward(&x).unwrap().as_slice(),
+            a.forward(&x).unwrap().as_slice()
+        );
+        assert_eq!(
+            g2.forward(&x).unwrap().as_slice(),
+            b.forward(&x).unwrap().as_slice()
+        );
+        assert!(matches!(
+            store.load("m", Some(9), &layers),
+            Err(RegistryError::UnknownGeneration { generation: 9, .. })
+        ));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn rollback_republishes_old_bytes_as_new_generation() {
+        let store = temp_store("rollback");
+        let mut a = network(10);
+        store.publish("m", &a, "toy").unwrap();
+        store.publish("m", &network(20), "toy").unwrap();
+
+        let v = store.rollback("m", None).unwrap();
+        assert_eq!(v.generation, 3);
+        assert_eq!(v.rollback_of, Some(1));
+        // Generation 3 carries generation 1's exact bytes.
+        let (b3, _) = store.load_bytes("m", Some(3)).unwrap();
+        let (b1, _) = store.load_bytes("m", Some(1)).unwrap();
+        assert_eq!(b3, b1);
+        // And behaves like model A.
+        let (mut g3, _) = store
+            .load("m", None, &LayerRegistry::with_builtin_layers())
+            .unwrap();
+        let x = Tensor::from_fn(&[1, 6], |i| (i as f32 * 0.7).cos());
+        assert_eq!(
+            g3.forward(&x).unwrap().as_slice(),
+            a.forward(&x).unwrap().as_slice()
+        );
+
+        // Explicit-target rollback, and the failure modes.
+        let v = store.rollback("m", Some(2)).unwrap();
+        assert_eq!(v.generation, 4);
+        assert_eq!(v.rollback_of, Some(2));
+        assert!(matches!(
+            store.rollback("m", Some(99)),
+            Err(RegistryError::UnknownGeneration { .. })
+        ));
+        cleanup(&store);
+
+        let store = temp_store("rollback-single");
+        store.publish("solo", &network(1), "toy").unwrap();
+        assert!(matches!(
+            store.rollback("solo", None),
+            Err(RegistryError::NothingToRollBack(_))
+        ));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_naming_digests() {
+        let store = temp_store("corrupt");
+        let v = store.publish("m", &network(5), "toy").unwrap();
+        let path = store.root().join("m").join(format!("gen-{:06}.ffdm", v.generation));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40; // single bit flip
+        fs::write(&path, &bytes).unwrap();
+
+        let err = store
+            .load("m", None, &LayerRegistry::with_builtin_layers())
+            .unwrap_err();
+        match err {
+            RegistryError::Corrupt {
+                generation,
+                expected,
+                actual,
+                ..
+            } => {
+                assert_eq!(generation, 1);
+                assert_eq!(expected, v.checksum);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // Truncation (size mismatch) is caught the same way.
+        fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(matches!(
+            store.load_bytes("m", None),
+            Err(RegistryError::Corrupt { .. })
+        ));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn unknown_names_and_bad_names_are_rejected() {
+        let store = temp_store("names");
+        assert!(matches!(
+            store.list("ghost"),
+            Err(RegistryError::UnknownModel(_))
+        ));
+        for bad in ["", ".", "..", "a b", "a/b", "a\tb"] {
+            assert!(
+                matches!(
+                    store.publish(bad, &Network::new(), "toy"),
+                    Err(RegistryError::InvalidName(_))
+                ),
+                "{bad:?}"
+            );
+        }
+        assert!(matches!(
+            store.publish("ok", &Network::new(), "two words"),
+            Err(RegistryError::InvalidName(_))
+        ));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn no_temp_files_survive_a_publish() {
+        let store = temp_store("tmpfiles");
+        store.publish("m", &network(1), "toy").unwrap();
+        store.rollback("m", Some(1)).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(store.root().join("m"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.starts_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        cleanup(&store);
+    }
+}

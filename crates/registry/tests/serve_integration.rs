@@ -1,0 +1,130 @@
+//! End-to-end model lifecycle: publish → serve → publish v2 → hot-swap →
+//! rollback → hot-swap, with every model byte travelling through the
+//! registry (and therefore through both integrity checks).
+
+use ffdl_core::full_registry;
+use ffdl_deploy::{parse_architecture, InferenceEngine};
+use ffdl_registry::{ModelStore, RegistryError};
+use ffdl_serve::{ServeConfig, Server};
+use ffdl_tensor::Tensor;
+use std::time::Duration;
+
+const ARCH: &str = "\
+input 16
+circulant_fc 16 block=4
+relu
+fc 4
+softmax
+";
+
+fn network(seed: u64) -> ffdl_nn::Network {
+    parse_architecture(ARCH, seed).expect("arch parses").network
+}
+
+fn samples(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|s| Tensor::from_fn(&[16], |i| (((s * 16 + i) * 11) % 29) as f32 * 0.03))
+        .collect()
+}
+
+/// Offline single-sample predictions — the bit-exact reference for
+/// whatever generation served a request.
+fn offline(net: ffdl_nn::Network, samples: &[Tensor]) -> Vec<ffdl_deploy::Prediction> {
+    let mut engine = InferenceEngine::new(net);
+    samples
+        .iter()
+        .map(|s| {
+            engine
+                .predict(&s.reshape(&[1, 16]).expect("reshape"))
+                .expect("offline predict")
+                .remove(0)
+        })
+        .collect()
+}
+
+#[test]
+fn registry_feeds_live_hot_swap_and_rollback() {
+    let dir = std::env::temp_dir().join(format!(
+        "ffdl-registry-serve-integration-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::open(&dir).expect("open store");
+    let layers = full_registry();
+
+    // Publish v1 and serve from the *loaded* copy, so the pool's model
+    // passed the manifest digest and the wire trailer on the way in.
+    store.publish("prod", &network(100), "toy").expect("publish v1");
+    let (model_a, v1) = store.load("prod", None, &layers).expect("load v1");
+    assert_eq!(v1.generation, 1);
+
+    let inputs = samples(48);
+    let expected_a = offline(network(100), &inputs);
+    let expected_b = offline(network(200), &inputs);
+
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        max_wait: Duration::from_micros(100),
+        queue_depth: 256,
+    };
+    let server = Server::start(&model_a, &config).expect("start pool");
+    for (i, s) in inputs.iter().take(16).enumerate() {
+        server.try_submit(i as u64, s.clone()).expect("submit");
+    }
+
+    // Publish v2 and swap the running pool onto it.
+    store.publish("prod", &network(200), "toy").expect("publish v2");
+    let (model_b, v2) = store.load("prod", None, &layers).expect("load v2");
+    assert_eq!(v2.generation, 2);
+    assert_ne!(v1.checksum, v2.checksum, "distinct models, distinct digests");
+    assert_eq!(server.swap_model(&model_b).expect("swap to v2"), 2);
+
+    for (i, s) in inputs.iter().enumerate().skip(16).take(16) {
+        server.try_submit(i as u64, s.clone()).expect("submit");
+    }
+
+    // Roll back: generation 1's bytes come back as generation 3, and the
+    // pool picks the rollback up exactly like a fresh publish.
+    let rolled = store.rollback("prod", None).expect("rollback");
+    assert_eq!((rolled.generation, rolled.rollback_of), (3, Some(1)));
+    assert_eq!(rolled.checksum, v1.checksum, "rollback carries v1's bytes");
+    let (model_r, vr) = store.load("prod", None, &layers).expect("load rollback");
+    assert_eq!(vr.generation, 3);
+    assert_eq!(server.swap_model(&model_r).expect("swap to rollback"), 3);
+
+    for (i, s) in inputs.iter().enumerate().skip(32) {
+        server.try_submit(i as u64, s.clone()).expect("submit");
+    }
+    let report = server.finish().expect("finish");
+
+    // Nothing dropped across two swaps, and every response is bit-exact
+    // for the generation that served it. Generations 1 and 3 are the
+    // same bytes — both predict like model A.
+    assert_eq!(report.requests, inputs.len());
+    assert_eq!(report.queue_full_rejections, 0);
+    assert_eq!(report.worker_restarts, 0);
+    assert_eq!(report.model_generation, 3);
+    for resp in &report.responses {
+        let i = resp.id as usize;
+        match resp.generation {
+            1 | 3 => assert_eq!(resp.prediction, expected_a[i], "id {i} (model A)"),
+            2 => assert_eq!(resp.prediction, expected_b[i], "id {i} (model B)"),
+            g => panic!("impossible generation {g}"),
+        }
+    }
+
+    // A corrupted payload can never reach the pool: flip one bit in the
+    // active generation's file and the load fails with a typed error.
+    let path = dir.join("prod").join("gen-000003.ffdm");
+    let mut bytes = std::fs::read(&path).expect("read payload");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("write corrupted payload");
+    assert!(matches!(
+        store.load("prod", None, &layers),
+        Err(RegistryError::Corrupt { generation: 3, .. })
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,15 +8,37 @@
 //! [`InferenceEngine::predict_batch`] forward pass per batch, and records
 //! a [`ServeResponse`] per request. Closing the queue is the shutdown
 //! signal: workers drain what is left and exit.
+//!
+//! # Live model hot-swap
+//!
+//! The pool serves **versioned** models: the server holds the current
+//! model in a shared slot next to a monotonic generation counter, and
+//! [`Server::swap_model`] replaces the slot and bumps the counter
+//! without pausing admission. Workers check the counter **between
+//! batches** (one `Acquire` load on the hot path) and, on a bump,
+//! re-clone the new network via [`ffdl_nn::clone_network`] — in-flight
+//! batches finish on the old model, the queue is never drained, and no
+//! request is dropped or rejected because of a swap. Every
+//! [`ServeResponse`] carries the generation that actually served it, so
+//! callers can attribute each prediction to a model version.
+//!
+//! # Worker supervision
+//!
+//! Batch execution runs under `catch_unwind`: a panicking forward pass
+//! (a poisoned model version, a bug in a custom layer) cannot kill the
+//! pool. The worker counts the restart (`ffdl.serve.worker_restarts`),
+//! rebuilds its engine from the current model slot, and keeps serving;
+//! only the panicking batch is lost.
 
 use crate::error::ServeError;
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::ServeReport;
 use ffdl_core::full_registry;
 use ffdl_deploy::{InferenceEngine, Prediction};
-use ffdl_nn::{clone_network, Network};
+use ffdl_nn::{clone_network, LayerRegistry, Network};
 use ffdl_telemetry::{Registry, RegistrySnapshot, SpanTimer};
 use ffdl_tensor::Tensor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -91,49 +113,92 @@ pub struct ServeResponse {
     pub worker: usize,
     /// Size of the coalesced batch this request rode in.
     pub batch_size: usize,
+    /// Model generation that served the request (starts at 1; bumped by
+    /// every [`Server::swap_model`]).
+    pub generation: u64,
+}
+
+/// The shared model state workers re-clone from after a swap.
+struct ModelSlot {
+    /// Serialization source for worker clones; replaced on swap.
+    network: Mutex<Network>,
+    /// Monotonic model generation; workers compare against their local
+    /// copy between batches.
+    generation: AtomicU64,
 }
 
 /// A running serving instance: bounded queue + worker pool.
 ///
 /// Telemetry: the server owns one [`Registry`] for admission-side
 /// metrics (`ffdl.serve.rejections`, the `ffdl.serve.queue_depth`
-/// gauge), and every worker thread owns a private registry for hot-path
-/// metrics (batch size, queue wait, inference time) — workers never
-/// share a metric cache line, and the per-thread registries are merged
-/// into one [`RegistrySnapshot`] at [`Server::finish`]. All recording
-/// is gated on [`ffdl_telemetry::enabled`], so a server with telemetry
-/// off pays one relaxed bool load per operation.
+/// gauge, the `ffdl.serve.model_generation` gauge and the
+/// `ffdl.registry.swap_ns` swap-latency histogram), and every worker
+/// thread owns a private registry for hot-path metrics (batch size,
+/// queue wait, inference time, worker restarts) — workers never share a
+/// metric cache line, and the per-thread registries are merged into one
+/// [`RegistrySnapshot`] at [`Server::finish`]. All recording is gated on
+/// [`ffdl_telemetry::enabled`], so a server with telemetry off pays one
+/// relaxed bool load per operation.
 pub struct Server {
     queue: Arc<BoundedQueue<QueuedRequest>>,
     results: Arc<Mutex<Vec<ServeResponse>>>,
     handles: Vec<JoinHandle<Result<RegistrySnapshot, ServeError>>>,
     rejections: AtomicU64,
+    restarts: Arc<AtomicU64>,
+    model: Arc<ModelSlot>,
+    layers: Arc<LayerRegistry>,
     workers: usize,
     started: Instant,
     registry: Registry,
     rejections_counter: Arc<ffdl_telemetry::Counter>,
     depth_gauge: Arc<ffdl_telemetry::Gauge>,
+    generation_gauge: Arc<ffdl_telemetry::Gauge>,
+    swap_hist: Arc<ffdl_telemetry::Histogram>,
 }
 
 impl Server {
-    /// Clones the network once per worker and starts the pool.
+    /// Clones the network once per worker and starts the pool, resolving
+    /// layer types through [`ffdl_core::full_registry`] (every built-in
+    /// and block-circulant layer).
     ///
     /// # Errors
     ///
     /// [`ServeError::InvalidConfig`] for a zero worker/batch/depth count,
     /// [`ServeError::Clone`] if the network fails its wire round-trip.
     pub fn start(network: &Network, config: &ServeConfig) -> Result<Self, ServeError> {
+        Self::start_with_registry(network, config, full_registry())
+    }
+
+    /// Like [`Server::start`], but resolves layer types through a caller
+    /// supplied [`LayerRegistry`] — for pools serving networks with
+    /// custom layer types the core registry does not know about. The
+    /// registry is also used by every later [`swap_model`](Self::swap_model)
+    /// re-clone.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::start`].
+    pub fn start_with_registry(
+        network: &Network,
+        config: &ServeConfig,
+        layers: LayerRegistry,
+    ) -> Result<Self, ServeError> {
         config.validate()?;
-        let registry = full_registry();
+        let layers = Arc::new(layers);
         // Clone up front so a bad model is reported before any thread
-        // spawns.
+        // spawns: one clone per worker plus one for the shared slot.
         let mut engines = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
-            engines.push(InferenceEngine::new(clone_network(network, &registry)?));
+            engines.push(InferenceEngine::new(clone_network(network, &layers)?));
         }
+        let model = Arc::new(ModelSlot {
+            network: Mutex::new(clone_network(network, &layers)?),
+            generation: AtomicU64::new(1),
+        });
 
         let queue = Arc::new(BoundedQueue::<QueuedRequest>::new(config.queue_depth));
         let results = Arc::new(Mutex::new(Vec::new()));
+        let restarts = Arc::new(AtomicU64::new(0));
         let max_batch = config.max_batch;
         let max_wait = config.max_wait;
         let handles = engines
@@ -142,6 +207,9 @@ impl Server {
             .map(|(worker, mut engine)| {
                 let queue = Arc::clone(&queue);
                 let results = Arc::clone(&results);
+                let model = Arc::clone(&model);
+                let layers = Arc::clone(&layers);
+                let restarts = Arc::clone(&restarts);
                 thread::spawn(move || -> Result<RegistrySnapshot, ServeError> {
                     // Per-thread registry: handles are registered once
                     // here, recorded lock-free in the loop, and merged
@@ -150,11 +218,30 @@ impl Server {
                     let telemetry = Registry::new();
                     let batches = telemetry.counter("ffdl.serve.batches");
                     let requests = telemetry.counter("ffdl.serve.requests");
+                    let restarts_counter = telemetry.counter("ffdl.serve.worker_restarts");
                     let batch_size_hist = telemetry.histogram("ffdl.serve.batch_size");
                     let queue_wait_hist = telemetry.histogram("ffdl.serve.queue_wait_ns");
                     let infer_hist = telemetry.histogram("ffdl.serve.infer_ns");
                     let depth_hist = telemetry.histogram("ffdl.serve.queue_depth_at_pop");
+                    // The engines handed to workers were cloned at
+                    // generation 1; starting from a fresh counter load
+                    // instead would mislabel responses if a swap lands
+                    // before this thread first runs.
+                    let mut local_gen = 1u64;
                     loop {
+                        // Hot-swap check, between batches only: one
+                        // Acquire load when nothing changed; on a bump,
+                        // re-clone the slot's network so this worker
+                        // adopts the new generation. The queue keeps
+                        // filling while we clone — nothing is drained.
+                        let current = model.generation.load(Ordering::Acquire);
+                        if current != local_gen {
+                            let source = model.network.lock().expect("model slot poisoned");
+                            let fresh = clone_network(&source, &layers)?;
+                            drop(source);
+                            engine = InferenceEngine::new(fresh);
+                            local_gen = current;
+                        }
                         let batch = queue.pop_batch(max_batch, max_wait);
                         if batch.is_empty() {
                             return Ok(telemetry.snapshot()); // closed and drained
@@ -175,8 +262,29 @@ impl Server {
                         let refs: Vec<&Tensor> =
                             batch.iter().map(|r: &QueuedRequest| &r.features).collect();
                         let span = SpanTimer::start_if(telemetry_on, &infer_hist);
-                        let predictions = engine.predict_batch(&refs)?;
+                        // Supervision: a panic inside the forward pass
+                        // (poisoned weights, a buggy custom layer) must
+                        // not take the worker — and with it the pool —
+                        // down. The engine may be left in an arbitrary
+                        // state after a panic, so it is rebuilt from the
+                        // model slot before the next batch.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| engine.predict_batch(&refs)));
                         drop(span);
+                        let predictions = match outcome {
+                            Ok(Ok(predictions)) => predictions,
+                            Ok(Err(e)) => return Err(e.into()),
+                            Err(_panic) => {
+                                restarts.fetch_add(1, Ordering::Relaxed);
+                                restarts_counter.inc();
+                                let source =
+                                    model.network.lock().expect("model slot poisoned");
+                                let fresh = clone_network(&source, &layers)?;
+                                drop(source);
+                                engine = InferenceEngine::new(fresh);
+                                local_gen = model.generation.load(Ordering::Acquire);
+                                continue; // the panicking batch is lost
+                            }
+                        };
                         let done = Instant::now();
                         let batch_size = batch.len();
                         let mut sink = results.lock().expect("results lock poisoned");
@@ -190,6 +298,7 @@ impl Server {
                                     * 1e6,
                                 worker,
                                 batch_size,
+                                generation: local_gen,
                             });
                         }
                     }
@@ -203,16 +312,24 @@ impl Server {
         let registry = Registry::new();
         let rejections_counter = registry.counter("ffdl.serve.rejections");
         let depth_gauge = registry.gauge("ffdl.serve.queue_depth");
+        let generation_gauge = registry.gauge("ffdl.serve.model_generation");
+        let swap_hist = registry.histogram("ffdl.registry.swap_ns");
+        generation_gauge.set(1);
         Ok(Self {
             queue,
             results,
             handles,
             rejections: AtomicU64::new(0),
+            restarts,
+            model,
+            layers,
             workers: config.workers,
             started: Instant::now(),
             registry,
             rejections_counter,
             depth_gauge,
+            generation_gauge,
+            swap_hist,
         })
     }
 
@@ -242,6 +359,51 @@ impl Server {
         }
     }
 
+    /// Publishes a new model into the running pool and returns the new
+    /// generation number. Admission keeps running throughout: the new
+    /// network is validated (one wire round-trip) and placed in the
+    /// shared slot, then the generation counter is bumped. Each worker
+    /// notices the bump between batches and re-clones; batches already
+    /// in flight finish on the model that started them, and their
+    /// responses carry that older generation.
+    ///
+    /// A failed validation leaves the pool on the current model — a
+    /// model that cannot round-trip never reaches a worker.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Clone`] when the replacement network fails its wire
+    /// round-trip (unknown layer tag, broken config/params pair).
+    pub fn swap_model(&self, network: &Network) -> Result<u64, ServeError> {
+        let swap_started = Instant::now();
+        // Validate before touching shared state: the slot must never
+        // hold a network workers cannot clone.
+        let validated = clone_network(network, &self.layers)?;
+        {
+            let mut slot = self.model.network.lock().expect("model slot poisoned");
+            *slot = validated;
+        }
+        // Release pairs with the workers' Acquire loads: a worker that
+        // sees the new generation also sees the new slot contents.
+        let generation = self.model.generation.fetch_add(1, Ordering::Release) + 1;
+        if ffdl_telemetry::enabled() {
+            self.generation_gauge.set(generation as i64);
+            self.swap_hist.record(duration_ns(swap_started.elapsed()));
+        }
+        Ok(generation)
+    }
+
+    /// The generation currently being adopted by workers (the one
+    /// [`swap_model`](Self::swap_model) last published; starts at 1).
+    pub fn model_generation(&self) -> u64 {
+        self.model.generation.load(Ordering::Acquire)
+    }
+
+    /// Times a worker recovered from a panicking batch so far.
+    pub fn worker_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
     /// Current queue depth (diagnostics).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
@@ -254,7 +416,7 @@ impl Server {
     ///
     /// Surfaces the first worker failure: [`ServeError::Inference`] if a
     /// forward pass failed, [`ServeError::WorkerPanic`] if a worker
-    /// thread panicked.
+    /// thread panicked outside the supervised batch execution.
     pub fn finish(self) -> Result<ServeReport, ServeError> {
         self.queue.close();
         let mut first_error = None;
@@ -290,6 +452,8 @@ impl Server {
             self.workers,
             wall,
             self.rejections.load(Ordering::Relaxed),
+            self.restarts.load(Ordering::Relaxed),
+            self.model.generation.load(Ordering::Acquire),
             telemetry,
         ))
     }
@@ -342,10 +506,28 @@ softmax
         parse_architecture(ARCH, 11).unwrap().network
     }
 
+    fn test_network_b() -> Network {
+        parse_architecture(ARCH, 4242).unwrap().network
+    }
+
     fn test_samples(n: usize) -> Vec<Tensor> {
         let mut rng = SmallRng::seed_from_u64(77);
         (0..n)
             .map(|_| Tensor::from_fn(&[16], |_| rng.next_f32() * 2.0 - 1.0))
+            .collect()
+    }
+
+    /// Offline single-sample predictions for comparing served results.
+    fn offline_predictions(net: Network, samples: &[Tensor]) -> Vec<Prediction> {
+        let mut direct = InferenceEngine::new(net);
+        samples
+            .iter()
+            .map(|s| {
+                direct
+                    .predict(&s.reshape(&[1, 16]).unwrap())
+                    .unwrap()
+                    .remove(0)
+            })
             .collect()
     }
 
@@ -389,15 +571,14 @@ softmax
             assert_eq!(resp.id, i as u64);
             assert!(resp.latency_us >= 0.0);
             assert!(resp.batch_size >= 1);
+            assert_eq!(resp.generation, 1); // no swap happened
         }
+        assert_eq!(report.model_generation, 1);
+        assert_eq!(report.worker_restarts, 0);
         // Served predictions match a plain single-sample engine.
-        let mut direct = InferenceEngine::new(test_network());
-        for (sample, resp) in samples.iter().zip(&report.responses) {
-            let expect = direct
-                .predict(&sample.reshape(&[1, 16]).unwrap())
-                .unwrap()
-                .remove(0);
-            assert_eq!(expect, resp.prediction);
+        let expected = offline_predictions(test_network(), &samples);
+        for (expect, resp) in expected.iter().zip(&report.responses) {
+            assert_eq!(*expect, resp.prediction);
         }
     }
 
@@ -447,6 +628,204 @@ softmax
         assert!(report.max_batch <= 4);
     }
 
+    /// The acceptance test for live hot-swap: a running pool is swapped
+    /// from model A to model B mid-stream. Every response must be
+    /// bit-identical to the *offline* prediction of the model generation
+    /// it reports, no request may be dropped or rejected, and the pool
+    /// must actually adopt the new generation.
+    #[test]
+    fn hot_swap_is_live_lossless_and_bit_identical_per_generation() {
+        let samples = test_samples(96);
+        let (phase_a, phase_b) = samples.split_at(32);
+        let expected_a = offline_predictions(test_network(), &samples);
+        let expected_b = offline_predictions(test_network_b(), &samples);
+
+        let config = ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            queue_depth: 256, // deep enough that nothing is rejected
+        };
+        let server = Server::start(&test_network(), &config).unwrap();
+        for (i, s) in phase_a.iter().enumerate() {
+            server.try_submit(i as u64, s.clone()).unwrap();
+        }
+        // Wait for model A to record at least one response (anything
+        // recorded before the swap is necessarily generation 1), so the
+        // per-generation assertions below exercise both models.
+        while server.results.lock().expect("results").is_empty() {
+            thread::yield_now();
+        }
+        // Swap while the pool is busy — admission is never paused.
+        let generation = server.swap_model(&test_network_b()).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(server.model_generation(), 2);
+        for (i, s) in phase_b.iter().enumerate() {
+            let id = (phase_a.len() + i) as u64;
+            server.try_submit(id, s.clone()).unwrap();
+        }
+        let report = server.finish().unwrap();
+
+        // Zero loss, zero rejections across the swap.
+        assert_eq!(report.requests, samples.len());
+        assert_eq!(report.queue_full_rejections, 0);
+        assert_eq!(report.worker_restarts, 0);
+        assert_eq!(report.model_generation, 2);
+
+        // Each response matches the offline predictions of the model
+        // generation that served it, bit for bit.
+        let mut served_by = [0usize; 2];
+        for resp in &report.responses {
+            let i = resp.id as usize;
+            match resp.generation {
+                1 => {
+                    assert_eq!(resp.prediction, expected_a[i], "id {i} (gen 1)");
+                    served_by[0] += 1;
+                }
+                2 => {
+                    assert_eq!(resp.prediction, expected_b[i], "id {i} (gen 2)");
+                    served_by[1] += 1;
+                }
+                g => panic!("impossible generation {g}"),
+            }
+        }
+        // Phase-A requests were all admitted before the swap bumped the
+        // counter; batches in flight finish on the old model, so some
+        // must have been served by generation 1, and the drain of
+        // phase B guarantees generation 2 served the tail.
+        assert!(served_by[0] >= 1, "no request served by model A");
+        assert!(served_by[1] >= 1, "pool never adopted model B");
+        // Requests submitted before the swap returned are never served
+        // by the new generation's *predecessor* — i.e. the generation
+        // only moves forward.
+        for pair in report.responses.windows(2) {
+            assert!(
+                pair[0].generation <= pair[1].generation
+                    || pair[0].worker != pair[1].worker,
+                "a single worker's generation went backwards"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_swaps_keep_monotonic_generations() {
+        let server = Server::start(&test_network(), &ServeConfig::default()).unwrap();
+        for expect in 2..=5 {
+            let next = if expect % 2 == 0 {
+                test_network_b()
+            } else {
+                test_network()
+            };
+            assert_eq!(server.swap_model(&next).unwrap(), expect);
+        }
+        let report = server.finish().unwrap();
+        assert_eq!(report.model_generation, 5);
+    }
+
+    #[test]
+    fn swap_rejects_unclonable_network_and_keeps_serving() {
+        let net = test_network();
+        let server = Server::start(&net, &ServeConfig::default()).unwrap();
+        // A network with a layer the registry cannot rebuild: the swap
+        // must fail validation and leave generation 1 active.
+        struct Alien;
+        impl ffdl_nn::Layer for Alien {
+            fn type_tag(&self) -> &'static str {
+                "alien"
+            }
+            fn forward(&mut self, input: &Tensor) -> Result<Tensor, ffdl_nn::NnError> {
+                Ok(input.clone())
+            }
+            fn backward(&mut self, grad: &Tensor) -> Result<Tensor, ffdl_nn::NnError> {
+                Ok(grad.clone())
+            }
+        }
+        let mut bad = Network::new();
+        bad.push(Alien);
+        assert!(matches!(
+            server.swap_model(&bad),
+            Err(ServeError::Clone(_))
+        ));
+        assert_eq!(server.model_generation(), 1);
+
+        // The pool still serves on the original model.
+        let samples = test_samples(8);
+        for (i, s) in samples.iter().enumerate() {
+            server.try_submit(i as u64, s.clone()).unwrap();
+        }
+        let report = server.finish().unwrap();
+        assert_eq!(report.requests, 8);
+        assert_eq!(report.model_generation, 1);
+    }
+
+    /// Worker supervision: a model whose forward pass panics must not
+    /// kill the pool — the worker counts a restart, rebuilds its engine
+    /// from the slot, and keeps serving subsequent requests.
+    #[test]
+    fn panicking_batch_restarts_worker_without_killing_pool() {
+        use std::sync::atomic::AtomicBool;
+
+        // A layer that panics once (on its first forward), then behaves
+        // as identity. `fuse` is shared across wire-format clones via a
+        // process-global so the panic survives `clone_network`.
+        static FUSE_LIT: AtomicBool = AtomicBool::new(false);
+        struct Grenade;
+        impl ffdl_nn::Layer for Grenade {
+            fn type_tag(&self) -> &'static str {
+                "test_grenade"
+            }
+            fn forward(&mut self, input: &Tensor) -> Result<Tensor, ffdl_nn::NnError> {
+                if !FUSE_LIT.swap(true, Ordering::SeqCst) {
+                    panic!("poisoned model version");
+                }
+                Ok(input.clone())
+            }
+            fn backward(&mut self, grad: &Tensor) -> Result<Tensor, ffdl_nn::NnError> {
+                Ok(grad.clone())
+            }
+        }
+        fn grenade_from_config(_: &[u8]) -> Result<Box<dyn ffdl_nn::Layer>, ffdl_nn::NnError> {
+            Ok(Box::new(Grenade))
+        }
+
+        let mut layers = full_registry();
+        layers.register("test_grenade", grenade_from_config);
+        let mut net = parse_architecture(ARCH, 11).unwrap().network;
+        net.push(Grenade); // identity after the softmax, except the first call
+
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_micros(100),
+            ..Default::default()
+        };
+        let server = Server::start_with_registry(&net, &config, layers).unwrap();
+        let samples = test_samples(12);
+        for (i, s) in samples.iter().enumerate() {
+            loop {
+                match server.try_submit(i as u64, s.clone()) {
+                    Ok(()) => break,
+                    Err(ServeError::QueueFull) => thread::yield_now(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        let report = server.finish().unwrap();
+        // Exactly one batch blew up; its requests are lost, everything
+        // else was served after the in-thread restart.
+        assert_eq!(report.worker_restarts, 1);
+        assert!(
+            report.requests >= samples.len() - config.max_batch && report.requests < samples.len(),
+            "served {} of {}",
+            report.requests,
+            samples.len()
+        );
+        assert_eq!(
+            report.telemetry.counter("ffdl.serve.worker_restarts"),
+            Some(1)
+        );
+    }
+
     #[test]
     fn telemetry_snapshot_is_merged_into_the_report() {
         let net = test_network();
@@ -462,7 +841,18 @@ softmax
         assert_eq!(quiet.telemetry.counter("ffdl.serve.rejections"), Some(0));
 
         ffdl_telemetry::set_enabled(true);
-        let report = run_closed_loop(&net, &config, &samples).unwrap();
+        let server = Server::start(&net, &config).unwrap();
+        for (i, s) in samples.iter().enumerate() {
+            loop {
+                match server.try_submit(i as u64, s.clone()) {
+                    Ok(()) => break,
+                    Err(ServeError::QueueFull) => thread::yield_now(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        server.swap_model(&test_network_b()).unwrap();
+        let report = server.finish().unwrap();
         ffdl_telemetry::set_enabled(false);
         let t = &report.telemetry;
         // Every request passed through exactly one worker batch.
@@ -476,6 +866,11 @@ softmax
         assert!(t.histogram("ffdl.serve.infer_ns").unwrap().count() >= 1);
         assert!(t.counter("ffdl.serve.rejections").is_some());
         assert!(t.gauge("ffdl.serve.queue_depth").is_some());
+        // Hot-swap metrics: generation gauge moved to 2, one swap timed,
+        // restart counter present at zero.
+        assert_eq!(t.gauge("ffdl.serve.model_generation"), Some(2));
+        assert_eq!(t.histogram("ffdl.registry.swap_ns").unwrap().count(), 1);
+        assert_eq!(t.counter("ffdl.serve.worker_restarts"), Some(0));
         assert!(t.to_text().contains("ffdl.serve.batch_size"));
     }
 

@@ -185,4 +185,99 @@ mod tests {
     fn zero_capacity_panics() {
         let _: BoundedQueue<u32> = BoundedQueue::new(0);
     }
+
+    #[test]
+    fn capacity_one_queue_alternates_full_and_empty() {
+        // The degenerate-but-legal config: every push fills the queue,
+        // every pop empties it, and admission control still works.
+        let q = BoundedQueue::new(1);
+        for i in 0..16 {
+            q.try_push(i).unwrap();
+            assert_eq!(q.try_push(99), Err(PushError::Full), "iteration {i}");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop_batch(8, Duration::ZERO), vec![i]);
+            assert_eq!(q.len(), 0);
+        }
+        q.close();
+        assert_eq!(q.try_push(0), Err(PushError::Closed));
+        assert!(q.pop_batch(8, Duration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers_and_rejects_racing_producers() {
+        // Consumers parked in pop_batch must wake with an empty batch
+        // when the queue closes; producers racing the close must see
+        // Closed (never a hang, never a silent drop).
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop_batch(8, Duration::from_secs(30)))
+            })
+            .collect();
+        let producers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || loop {
+                    match q.try_push(7) {
+                        Err(PushError::Closed) => return,
+                        Ok(()) | Err(PushError::Full) => thread::yield_now(),
+                    }
+                })
+            })
+            .collect();
+        // Let the threads reach their loops, then close.
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        for p in producers {
+            p.join().unwrap(); // terminates only by observing Closed
+        }
+        // Every consumer returns; whatever the producers enqueued before
+        // the close is drained, then only empty batches remain.
+        for c in consumers {
+            let _batch = c.join().unwrap();
+        }
+        assert!(q.pop_batch(8, Duration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn queue_full_accounting_is_exact_under_concurrent_producers() {
+        // With no consumer, a capacity-C queue accepts exactly C pushes
+        // no matter how many producers race: successes + rejections must
+        // equal attempts, with successes == C.
+        const CAPACITY: usize = 8;
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 50;
+        let q = Arc::new(BoundedQueue::<usize>::new(CAPACITY));
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let (mut ok, mut full) = (0usize, 0usize);
+                    for i in 0..PER_PRODUCER {
+                        match q.try_push(p * PER_PRODUCER + i) {
+                            Ok(()) => ok += 1,
+                            Err(PushError::Full) => full += 1,
+                            Err(PushError::Closed) => unreachable!("never closed"),
+                        }
+                    }
+                    (ok, full)
+                })
+            })
+            .collect();
+        let (mut ok, mut full) = (0, 0);
+        for h in handles {
+            let (o, f) = h.join().unwrap();
+            ok += o;
+            full += f;
+        }
+        assert_eq!(ok, CAPACITY, "exactly capacity pushes may succeed");
+        assert_eq!(ok + full, PRODUCERS * PER_PRODUCER, "no attempt unaccounted");
+        assert_eq!(q.len(), CAPACITY);
+        // The accepted items are all distinct submissions.
+        let drained = q.pop_batch(CAPACITY * 2, Duration::ZERO);
+        assert_eq!(drained.len(), CAPACITY);
+        let unique: std::collections::HashSet<_> = drained.iter().collect();
+        assert_eq!(unique.len(), CAPACITY);
+    }
 }

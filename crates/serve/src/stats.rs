@@ -42,6 +42,12 @@ pub struct ServeReport {
     /// Times a submit was rejected with `QueueFull` before succeeding
     /// (closed-loop clients retry; open-loop clients would shed load).
     pub queue_full_rejections: u64,
+    /// Times a worker recovered from a panicking batch (supervision:
+    /// the worker rebuilt its engine and kept serving).
+    pub worker_restarts: u64,
+    /// The model generation active when the server shut down (1 if no
+    /// hot-swap happened during the run).
+    pub model_generation: u64,
     /// Responses sorted by request id — deterministic regardless of
     /// worker count or completion order.
     pub responses: Vec<ServeResponse>,
@@ -61,6 +67,8 @@ impl ServeReport {
         workers: usize,
         wall: Duration,
         queue_full_rejections: u64,
+        worker_restarts: u64,
+        model_generation: u64,
         telemetry: RegistrySnapshot,
     ) -> Self {
         responses.sort_by_key(|r| r.id);
@@ -98,6 +106,8 @@ impl ServeReport {
             mean_batch,
             max_batch,
             queue_full_rejections,
+            worker_restarts,
+            model_generation,
             responses,
             telemetry,
         }
@@ -133,6 +143,18 @@ impl ServeReport {
             "queue-full rejections", self.queue_full_rejections
         )
         .expect("string write");
+        writeln!(
+            out,
+            "  {:<22} {:>12}",
+            "worker restarts", self.worker_restarts
+        )
+        .expect("string write");
+        writeln!(
+            out,
+            "  {:<22} {:>12}",
+            "model generation", self.model_generation
+        )
+        .expect("string write");
         out
     }
 
@@ -144,7 +166,8 @@ impl ServeReport {
             "{{\"label\": \"{}\", \"workers\": {}, \"requests\": {}, \
              \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
              \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"mean_batch\": {:.2}, \
-             \"max_batch\": {}, \"queue_full_rejections\": {}}}",
+             \"max_batch\": {}, \"queue_full_rejections\": {}, \
+             \"worker_restarts\": {}, \"model_generation\": {}}}",
             label.replace('\\', "\\\\").replace('"', "\\\""),
             self.workers,
             self.requests,
@@ -156,6 +179,8 @@ impl ServeReport {
             self.mean_batch,
             self.max_batch,
             self.queue_full_rejections,
+            self.worker_restarts,
+            self.model_generation,
         )
     }
 }
@@ -197,13 +222,26 @@ mod tests {
             latency_us,
             worker: 0,
             batch_size: batch,
+            generation: 1,
         }
+    }
+
+    fn report(responses: Vec<ServeResponse>, wall: Duration, rejections: u64) -> ServeReport {
+        ServeReport::new(responses, 1, wall, rejections, 0, 1, RegistrySnapshot::default())
     }
 
     #[test]
     fn report_sorts_and_aggregates() {
         let responses = vec![resp(2, 30.0, 4), resp(0, 10.0, 4), resp(1, 20.0, 2)];
-        let r = ServeReport::new(responses, 2, Duration::from_millis(10), 5, RegistrySnapshot::default());
+        let r = ServeReport::new(
+            responses,
+            2,
+            Duration::from_millis(10),
+            5,
+            1,
+            3,
+            RegistrySnapshot::default(),
+        );
         assert_eq!(r.requests, 3);
         assert_eq!(r.responses[0].id, 0);
         assert_eq!(r.responses[2].id, 2);
@@ -213,36 +251,42 @@ mod tests {
         assert!((r.mean_batch - 10.0 / 3.0).abs() < 1e-9);
         assert_eq!(r.max_batch, 4);
         assert_eq!(r.queue_full_rejections, 5);
+        assert_eq!(r.worker_restarts, 1);
+        assert_eq!(r.model_generation, 3);
         assert!((r.throughput_rps - 300.0).abs() < 1.0);
     }
 
     #[test]
     fn empty_report_is_all_zeros() {
-        let r = ServeReport::new(Vec::new(), 1, Duration::from_secs(1), 0, RegistrySnapshot::default());
+        let r = report(Vec::new(), Duration::from_secs(1), 0);
         assert_eq!(r.requests, 0);
         assert_eq!(r.p99_us, 0.0);
         assert_eq!(r.mean_batch, 0.0);
         assert_eq!(r.max_batch, 0);
+        assert_eq!(r.worker_restarts, 0);
     }
 
     #[test]
     fn table_mentions_all_stats() {
-        let r = ServeReport::new(vec![resp(0, 5.0, 1)], 1, Duration::from_millis(1), 0, RegistrySnapshot::default());
+        let r = report(vec![resp(0, 5.0, 1)], Duration::from_millis(1), 0);
         let t = r.table();
-        for needle in ["throughput", "p50", "p95", "p99", "mean batch", "rejections"] {
+        for needle in [
+            "throughput",
+            "p50",
+            "p95",
+            "p99",
+            "mean batch",
+            "rejections",
+            "worker restarts",
+            "model generation",
+        ] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
         }
     }
 
     #[test]
     fn display_matches_table_and_surfaces_rejections() {
-        let r = ServeReport::new(
-            vec![resp(0, 5.0, 1)],
-            1,
-            Duration::from_millis(1),
-            37,
-            RegistrySnapshot::default(),
-        );
+        let r = report(vec![resp(0, 5.0, 1)], Duration::from_millis(1), 37);
         let shown = format!("{r}");
         assert_eq!(shown, r.table());
         assert!(shown.contains("queue-full rejections"), "{shown}");
@@ -252,11 +296,13 @@ mod tests {
 
     #[test]
     fn json_rows_assemble() {
-        let r = ServeReport::new(vec![resp(0, 5.0, 1)], 1, Duration::from_millis(1), 0, RegistrySnapshot::default());
+        let r = report(vec![resp(0, 5.0, 1)], Duration::from_millis(1), 0);
         let doc = bench_json(&[("w1_b1".into(), &r), ("w4_b16".into(), &r)]);
         assert!(doc.contains("\"bench\": \"serve\""));
         assert!(doc.contains("\"label\": \"w1_b1\""));
         assert!(doc.contains("\"label\": \"w4_b16\""));
         assert!(doc.contains("\"throughput_rps\""));
+        assert!(doc.contains("\"worker_restarts\""));
+        assert!(doc.contains("\"model_generation\""));
     }
 }

@@ -42,6 +42,36 @@ for metric in \
     }
 done
 
+echo "== registry smoke test (publish v1 -> serve -> publish v2 -> swap -> rollback) =="
+store="$(mktemp -d)"
+arch_file="${store}/net.arch"
+printf 'input 16\ncirculant_fc 16 block=4\nrelu\nfc 4\nsoftmax\n' > "${arch_file}"
+ffdl=(cargo run --release --offline -q -p ffdl-cli --)
+out="$("${ffdl[@]}" model publish --store "${store}" --name prod --arch "${arch_file}" --seed 1)"
+echo "${out}" | grep -q "generation 1" \
+    || { echo "registry smoke test: first publish did not land as generation 1" >&2; exit 1; }
+out="$("${ffdl[@]}" model publish --store "${store}" --name prod --arch "${arch_file}" --seed 2)"
+echo "${out}" | grep -q "generation 2" \
+    || { echo "registry smoke test: second publish did not bump the generation" >&2; exit 1; }
+out="$("${ffdl[@]}" model rollback --store "${store}" --name prod)"
+echo "${out}" | grep -q "new active generation 3" \
+    || { echo "registry smoke test: rollback did not allocate generation 3" >&2; exit 1; }
+out="$("${ffdl[@]}" model list --store "${store}" --name prod)"
+echo "${out}" | grep -q "rollback of 1" \
+    || { echo "registry smoke test: rollback provenance missing from list" >&2; exit 1; }
+# Live hot-swap through the same pool the serve smoke test uses: two
+# registry-mediated swaps mid-run must leave the pool on generation 3.
+swap_out="$("${ffdl[@]}" serve-bench --workers 2 --requests 64 --swap-every 24)"
+echo "${swap_out}" | grep -q "hot-swap: 2 registry-mediated swaps" || {
+    echo "registry smoke test: serve-bench --swap-every did not report its swaps" >&2
+    exit 1
+}
+echo "${swap_out}" | grep -q "final generation 3" || {
+    echo "registry smoke test: pool did not reach generation 3" >&2
+    exit 1
+}
+rm -rf "${store}"
+
 echo "== bench guard: batching win in BENCH_serve.json =="
 # The dynamic-batching claim (DESIGN.md §7): the committed w4_b16 row
 # must hold at least 1.5x the w1_b1 (unbatched single-worker) rate.
