@@ -40,6 +40,7 @@ fn run(label: &str, workers: usize, max_batch: usize, samples: &[Tensor]) -> Ser
         max_batch,
         max_wait: Duration::from_micros(500),
         queue_depth: 256,
+        ..Default::default()
     };
     let network = paper::arch1(3);
     let report = run_closed_loop(&network, &config, samples).expect("serve run");

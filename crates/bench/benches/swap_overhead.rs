@@ -14,6 +14,11 @@
 //!   closed-loop run of 64 requests, without and with registry-mediated
 //!   swaps every 16 requests. The gap between the two rows is the
 //!   end-to-end overhead hot-swapping imposes on a busy pool.
+//! * `serve_64req_deadline` — the no-swap run with a (generous)
+//!   per-request deadline configured, so every admission stamps
+//!   `Instant::now() + deadline` and every dequeue checks it. The gap
+//!   to `serve_64req_no_swap` is the pure deadline-bookkeeping cost;
+//!   `verify.sh` guards it at < 5%.
 
 use ffdl::paper;
 use ffdl::tensor::Tensor;
@@ -37,6 +42,16 @@ fn config() -> ServeConfig {
         max_batch: 8,
         max_wait: Duration::from_micros(200),
         queue_depth: 256,
+        ..Default::default()
+    }
+}
+
+/// `config()` plus a deadline no request will ever miss: the row
+/// measures the stamping/checking overhead, not actual shedding.
+fn deadline_config() -> ServeConfig {
+    ServeConfig {
+        deadline: Some(Duration::from_secs(30)),
+        ..config()
     }
 }
 
@@ -45,12 +60,13 @@ fn closed_loop(
     store: &ModelStore,
     samples: &[Tensor],
     swap_every: usize,
+    config: &ServeConfig,
 ) -> Result<(), ServeError> {
     let layers = ffdl::core::full_registry();
-    let server = Server::start(&paper::arch2(1), &config())?;
+    let server = Server::start(&paper::arch2(1), config)?;
     let mut swaps = 0u64;
     for (i, sample) in samples.iter().enumerate() {
-        if swap_every > 0 && i > 0 && i % swap_every == 0 {
+        if swap_every > 0 && i > 0 && i.is_multiple_of(swap_every) {
             // Alternate between two pre-published generations so the
             // store does not grow while the bench loops.
             let generation = Some(1 + (swaps % 2));
@@ -89,7 +105,7 @@ fn main() {
     // would skew later samples; reset the model every 64 generations.
     let mut published = 0u64;
     set.bench("publish", || {
-        if published % 64 == 0 {
+        if published.is_multiple_of(64) {
             let _ = std::fs::remove_dir_all(root.join("pub"));
         }
         store.publish("pub", &net_a, "arch2").expect("publish");
@@ -111,11 +127,16 @@ fn main() {
     drop(server.finish().expect("idle pool finishes"));
 
     let samples = samples();
+    let plain = config();
+    let with_deadline = deadline_config();
     set.bench("serve_64req_no_swap", || {
-        closed_loop(&store, &samples, 0).expect("serve run");
+        closed_loop(&store, &samples, 0, &plain).expect("serve run");
     });
     set.bench("serve_64req_swap_every_16", || {
-        closed_loop(&store, &samples, SWAP_EVERY).expect("serve run");
+        closed_loop(&store, &samples, SWAP_EVERY, &plain).expect("serve run");
+    });
+    set.bench("serve_64req_deadline", || {
+        closed_loop(&store, &samples, 0, &with_deadline).expect("serve run");
     });
 
     set.finish().expect("write BENCH_registry.json");

@@ -436,6 +436,13 @@ pub fn cmd_gen_inputs(flags: &Flags) -> Result<String, CliError> {
 /// it, so which model serves a given request — and therefore the digest
 /// — depends on timing in that mode.
 ///
+/// `--deadline-ms N` gives every request a queue deadline (expired
+/// requests are shed as typed failures and counted in the summary), and
+/// `--chaos SEED` arms the deterministic `ffdl-fault` campaign for the
+/// run — requests lost to an injected panic or NaN activation become
+/// typed failures, so the digest only covers the requests that were
+/// actually answered.
+///
 /// # Errors
 ///
 /// Returns [`CliError`] on bad flags or any serve failure.
@@ -450,6 +457,8 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         "seed",
         "metrics",
         "swap-every",
+        "chaos",
+        "deadline-ms",
     ])?;
     let metrics = flags.get_bool("metrics")?;
     let workers = flags.get_num("workers", 1usize)?;
@@ -460,6 +469,9 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     let queue_depth = flags.get_num("queue-depth", 256usize)?;
     let seed = flags.get_num("seed", 42u64)?;
     let swap_every = flags.get_num("swap-every", 0usize)?;
+    let chaos = flags.get("chaos").is_some();
+    let chaos_seed = flags.get_num("chaos", 0u64)?;
+    let deadline_ms = flags.get_num("deadline-ms", 0u64)?;
     if requests == 0 {
         return Err(CliError("flag --requests must be >= 1".into()));
     }
@@ -501,12 +513,28 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         max_batch,
         max_wait: std::time::Duration::from_micros(wait_us),
         queue_depth,
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        // Under chaos the injected NaN activations must surface as typed
+        // failures (threshold 0: screen, but never quarantine — the
+        // bench serves one trusted model, so rollback has no target).
+        health: ffdl_serve::HealthConfig {
+            check_finite: chaos,
+            unhealthy_threshold: 0,
+        },
     };
+    // --chaos SEED arms a deterministic fault campaign for the whole
+    // run: one worker panic, one latency spike, one NaN activation and
+    // one bit flip (the flip only fires if a registry load happens, i.e.
+    // with --swap-every). Same seed, same faults.
+    if chaos {
+        ffdl::fault::arm(ffdl::fault::FaultPlan::chaos(chaos_seed, 1));
+    }
     // With --swap-every N the bench exercises the full model lifecycle:
     // every N requests a fresh network (alternating seed) is published
     // into a throwaway registry, loaded back (checksum-verified), and
     // hot-swapped into the running pool — admission never pauses.
     let mut swap_note = None;
+    let mut corrupt_swaps = 0u64;
     let report = if swap_every == 0 {
         ffdl_serve::run_closed_loop(&network, &config, &samples)?
     } else {
@@ -518,15 +546,21 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         let _ = fs::remove_dir_all(&store_dir);
         let store = ModelStore::open(&store_dir)?;
         store.publish("bench", &network, arch_label)?;
-        let layers = ffdl::core::full_registry();
         let server = ffdl_serve::Server::start(&network, &config)?;
         let mut swaps = 0u64;
         for (i, sample) in samples.iter().enumerate() {
-            if i > 0 && i % swap_every == 0 {
+            if i > 0 && i.is_multiple_of(swap_every) {
                 store.publish("bench", &build(seed ^ (swaps + 1)), arch_label)?;
-                let (next, _) = store.load("bench", None, &layers)?;
-                server.swap_model(&next)?;
-                swaps += 1;
+                match server.swap_from_store(&store, "bench", None) {
+                    Ok(_) => swaps += 1,
+                    // An injected bit flip lands here as a typed Corrupt
+                    // error: the swap is skipped (the pool keeps serving
+                    // the current generation), never crashed on.
+                    Err(ffdl_serve::ServeError::Registry(_)) if chaos => {
+                        corrupt_swaps += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             loop {
                 match server.try_submit(i as u64, sample.clone()) {
@@ -544,6 +578,7 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         ));
         report
     };
+    let fault_summary = chaos.then(ffdl::fault::disarm);
     if metrics {
         ffdl::telemetry::set_enabled(false);
     }
@@ -566,6 +601,20 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     )
     .expect("string write");
     writeln!(out, "prediction digest: {digest:016x}").expect("string write");
+    writeln!(
+        out,
+        "robustness: {} shed, {} expired, {} worker restarts, {} quarantines, {} auto-rollbacks",
+        report.shed, report.expired, report.worker_restarts, report.quarantines, report.auto_rollbacks,
+    )
+    .expect("string write");
+    if let Some(summary) = fault_summary {
+        writeln!(
+            out,
+            "chaos: seed {chaos_seed}, injected {} panics, {} latency spikes, {} NaN activations, {} bit flips ({corrupt_swaps} corrupt swap loads tolerated)",
+            summary.panics, summary.latency_spikes, summary.nan_activations, summary.bit_flips,
+        )
+        .expect("string write");
+    }
     if let Some(note) = swap_note {
         writeln!(out, "{note}").expect("string write");
     }
@@ -749,7 +798,7 @@ pub fn usage() -> &'static str {
        ffdl gen-inputs --out <csv> [--dataset mnist16|...] [--samples N] [--seed N]\n\
        ffdl serve-bench [--workers N] [--batch N] [--requests N] [--dataset mnist16|mnist11]\n\
                        [--wait-us N] [--queue-depth N] [--seed N] [--metrics on]\n\
-                       [--swap-every N]\n\
+                       [--swap-every N] [--chaos SEED] [--deadline-ms N]\n\
        ffdl model publish  --store <dir> --name <model> --arch <file>\n\
                        [--params <file>] [--seed N] [--label <arch-label>]\n\
        ffdl model list     --store <dir> [--name <model>]\n\
@@ -761,7 +810,14 @@ pub fn usage() -> &'static str {
      \n\
      model publish/list/rollback manage a versioned, checksummed model\n\
      store (ffdl-registry); serve-bench --swap-every N hot-swaps the\n\
-     running pool onto a freshly published generation every N requests.\n"
+     running pool onto a freshly published generation every N requests.\n\
+     \n\
+     serve-bench --deadline-ms N sheds requests that wait in the queue\n\
+     past their deadline (typed failures, counted in the summary).\n\
+     --chaos SEED arms the deterministic fault injector (ffdl-fault)\n\
+     for the run: one worker panic, one latency spike, one NaN\n\
+     activation and one bit flip on registry reads — same seed, same\n\
+     faults, and the summary reports what fired.\n"
 }
 
 /// Dispatches a full argument vector (without the program name).

@@ -1,0 +1,63 @@
+//! `serve-bench --chaos / --deadline-ms` end-to-end, in its own process:
+//! the fault injector is global, so this must not share a test binary
+//! with the deterministic serve-bench tests — and it is ONE `#[test]`
+//! so an armed campaign can't leak into a sibling run.
+
+use ffdl_cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn chaos_and_deadline_flags_report_faults_and_survive() {
+    // Deadline only, injector disarmed: a generous deadline must not
+    // shed anything, and the robustness summary line says so.
+    let out = run(&args(&[
+        "serve-bench",
+        "--workers",
+        "1",
+        "--requests",
+        "32",
+        "--dataset",
+        "mnist11",
+        "--deadline-ms",
+        "30000",
+    ]))
+    .expect("deadline bench completes");
+    assert!(out.contains("robustness: 0 shed, 0 expired"), "{out}");
+
+    // Full campaign: panic, latency spike, NaN activation, and a bit
+    // flip on a swap load. The run must finish with a stats table —
+    // every fault became a typed failure or a tolerated skip.
+    let out = run(&args(&[
+        "serve-bench",
+        "--workers",
+        "2",
+        "--batch",
+        "8",
+        "--requests",
+        "64",
+        "--dataset",
+        "mnist11",
+        "--seed",
+        "9",
+        "--swap-every",
+        "16",
+        "--chaos",
+        "7",
+        "--deadline-ms",
+        "2000",
+    ]))
+    .expect("chaos bench completes");
+    assert!(
+        out.contains(
+            "chaos: seed 7, injected 1 panics, 1 latency spikes, 1 NaN activations, 1 bit flips"
+        ),
+        "{out}"
+    );
+    assert!(out.contains("1 corrupt swap loads tolerated"), "{out}");
+    assert!(out.contains("1 worker restarts"), "{out}");
+    assert!(out.contains("prediction digest"), "{out}");
+    assert!(out.contains("serve stats"), "{out}");
+}

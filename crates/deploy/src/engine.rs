@@ -3,7 +3,7 @@
 //! (the quantity of Tables II/III) and projects it onto the modelled
 //! embedded platforms.
 
-use crate::error::DeployError;
+use crate::error::{DeployError, NonFiniteStage};
 use ffdl_nn::{softmax_rows, Network};
 use ffdl_platform::{measure_inference_us, RuntimeModel, Timing};
 use ffdl_tensor::Tensor;
@@ -34,12 +34,31 @@ pub struct EvaluationReport {
 /// Inference engine wrapping a loaded network.
 pub struct InferenceEngine {
     network: Network,
+    check_logits: bool,
 }
 
 impl InferenceEngine {
     /// Wraps a (typically parameter-loaded) network.
     pub fn new(network: Network) -> Self {
-        Self { network }
+        Self {
+            network,
+            check_logits: false,
+        }
+    }
+
+    /// Enables or disables the opt-in logits finiteness check: when on,
+    /// `predict*` scans the network's raw output and returns
+    /// [`DeployError::NonFinite`] with [`NonFiniteStage::Logits`] if any
+    /// NaN/Inf is found — the signal the serving layer uses to declare a
+    /// model generation unhealthy. Inputs are always checked regardless
+    /// of this flag (a bad request must not masquerade as a bad model).
+    pub fn set_finite_check(&mut self, enabled: bool) {
+        self.check_logits = enabled;
+    }
+
+    /// Whether the opt-in logits finiteness check is enabled.
+    pub fn finite_check(&self) -> bool {
+        self.check_logits
     }
 
     /// Borrow the underlying network.
@@ -62,6 +81,35 @@ impl InferenceEngine {
             layer: "inference_engine".into(),
             message,
         })
+    }
+
+    /// Rejects non-finite values before they enter the FFT kernels
+    /// (where a single NaN contaminates every output of the block) —
+    /// `offset` shifts reported indices for batched multi-sample scans.
+    fn check_finite(
+        values: &[f32],
+        stage: NonFiniteStage,
+        offset: usize,
+    ) -> Result<(), DeployError> {
+        match values.iter().position(|v| !v.is_finite()) {
+            Some(index) => Err(DeployError::NonFinite {
+                stage,
+                index: offset + index,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Post-forward hook: deterministic NaN injection (when a fault
+    /// campaign is armed) followed by the opt-in logits health scan.
+    fn screen_logits(&self, out: &mut Tensor) -> Result<(), DeployError> {
+        if ffdl_fault::enabled() {
+            ffdl_fault::poison(out.as_mut_slice());
+        }
+        if self.check_logits {
+            Self::check_finite(out.as_slice(), NonFiniteStage::Logits, 0)?;
+        }
+        Ok(())
     }
 
     /// Converts `[batch, classes]` network output into per-sample
@@ -109,8 +157,10 @@ impl InferenceEngine {
     ///
     /// # Errors
     ///
-    /// Returns a typed [`DeployError`] for an empty batch and propagates
-    /// forward-pass errors (e.g. mismatched input width).
+    /// Returns a typed [`DeployError`] for an empty batch, rejects
+    /// non-finite inputs with [`DeployError::NonFinite`] before they
+    /// reach the FFT kernels, and propagates forward-pass errors (e.g.
+    /// mismatched input width).
     pub fn predict(&mut self, inputs: &Tensor) -> Result<Vec<Prediction>, DeployError> {
         if inputs.ndim() == 0 || inputs.shape()[0] == 0 {
             return Err(Self::bad_input(format!(
@@ -118,8 +168,10 @@ impl InferenceEngine {
                 inputs.shape()
             )));
         }
+        Self::check_finite(inputs.as_slice(), NonFiniteStage::Input, 0)?;
         let span = ffdl_telemetry::span("ffdl.deploy.predict_ns");
-        let out = self.network.forward(inputs)?;
+        let mut out = self.network.forward(inputs)?;
+        self.screen_logits(&mut out)?;
         let preds = self.predictions_from_output(out)?;
         drop(span);
         ffdl_telemetry::count("ffdl.deploy.predictions", preds.len() as u64);
@@ -135,14 +187,22 @@ impl InferenceEngine {
     ///
     /// # Errors
     ///
-    /// Returns a typed [`DeployError`] for an empty sample list or
-    /// mismatched sample shapes; propagates forward-pass errors.
+    /// Returns a typed [`DeployError`] for an empty sample list,
+    /// non-finite sample values (index is flat across the concatenated
+    /// samples), or mismatched sample shapes; propagates forward-pass
+    /// errors.
     pub fn predict_batch(&mut self, samples: &[&Tensor]) -> Result<Vec<Prediction>, DeployError> {
         if samples.is_empty() {
             return Err(Self::bad_input("empty input batch (no samples)".into()));
         }
+        let mut offset = 0;
+        for sample in samples {
+            Self::check_finite(sample.as_slice(), NonFiniteStage::Input, offset)?;
+            offset += sample.len();
+        }
         let span = ffdl_telemetry::span("ffdl.deploy.predict_ns");
-        let out = self.network.forward_batch(samples)?;
+        let mut out = self.network.forward_batch(samples)?;
+        self.screen_logits(&mut out)?;
         let preds = self.predictions_from_output(out)?;
         drop(span);
         ffdl_telemetry::count("ffdl.deploy.predictions", preds.len() as u64);
@@ -327,6 +387,91 @@ softmax
         // Monotone global counters: concurrent tests can only add.
         assert!(predictions() >= p0 + 4);
         assert!(spans() > s0);
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected_before_forward() {
+        let mut e = engine();
+        let mut x = Tensor::zeros(&[2, 8]);
+        x.as_mut_slice()[11] = f32::NAN;
+        match e.predict(&x) {
+            Err(DeployError::NonFinite { stage, index }) => {
+                assert_eq!(stage, crate::NonFiniteStage::Input);
+                assert_eq!(index, 11);
+            }
+            other => panic!("expected NonFinite input error, got {other:?}"),
+        }
+        let mut inf = Tensor::zeros(&[1, 8]);
+        inf.as_mut_slice()[3] = f32::INFINITY;
+        assert!(matches!(
+            e.predict(&inf),
+            Err(DeployError::NonFinite {
+                stage: crate::NonFiniteStage::Input,
+                index: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn non_finite_batch_sample_reports_flat_index() {
+        let mut e = engine();
+        let good = Tensor::zeros(&[8]);
+        let mut bad = Tensor::zeros(&[8]);
+        bad.as_mut_slice()[2] = f32::NAN;
+        // Second sample poisoned: flat index is 8 (first sample) + 2.
+        match e.predict_batch(&[&good, &bad]) {
+            Err(DeployError::NonFinite { stage, index }) => {
+                assert_eq!(stage, crate::NonFiniteStage::Input);
+                assert_eq!(index, 10);
+            }
+            other => panic!("expected NonFinite input error, got {other:?}"),
+        }
+    }
+
+    /// A network whose parameters are all NaN: every forward pass
+    /// produces non-finite logits.
+    fn unhealthy_engine() -> InferenceEngine {
+        let mut net = parse_architecture("input 8\nfc 3\n", 7).unwrap().network;
+        for layer in net.layers_mut() {
+            let nan_params: Vec<Tensor> = layer
+                .param_tensors()
+                .iter()
+                .map(|t| Tensor::from_fn(t.shape(), |_| f32::NAN))
+                .collect();
+            layer.load_params(&nan_params).unwrap();
+        }
+        InferenceEngine::new(net)
+    }
+
+    #[test]
+    fn logits_check_is_opt_in() {
+        let x = Tensor::zeros(&[2, 8]);
+        // Off by default: NaN logits flow through (legacy behaviour).
+        let mut e = unhealthy_engine();
+        assert!(!e.finite_check());
+        assert!(e.predict(&x).is_ok());
+        // Opted in: typed Logits error.
+        e.set_finite_check(true);
+        assert!(e.finite_check());
+        assert!(matches!(
+            e.predict(&x),
+            Err(DeployError::NonFinite {
+                stage: crate::NonFiniteStage::Logits,
+                ..
+            })
+        ));
+        let s = Tensor::zeros(&[8]);
+        assert!(matches!(
+            e.predict_batch(&[&s]),
+            Err(DeployError::NonFinite {
+                stage: crate::NonFiniteStage::Logits,
+                ..
+            })
+        ));
+        // A healthy model passes the same check.
+        let mut healthy = engine();
+        healthy.set_finite_check(true);
+        assert!(healthy.predict(&x).is_ok());
     }
 
     #[test]

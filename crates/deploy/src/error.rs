@@ -5,6 +5,26 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
+/// Where in the inference pipeline a non-finite value was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonFiniteStage {
+    /// The caller-provided input batch contained NaN/Inf — a bad
+    /// request, not a model problem.
+    Input,
+    /// The network's output logits contained NaN/Inf — the model (or
+    /// its parameters) is numerically unhealthy.
+    Logits,
+}
+
+impl fmt::Display for NonFiniteStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonFiniteStage::Input => write!(f, "inputs"),
+            NonFiniteStage::Logits => write!(f, "logits"),
+        }
+    }
+}
+
 /// Errors reported by the architecture, parameters and inputs parsers and
 /// the inference engine.
 #[derive(Debug)]
@@ -29,6 +49,13 @@ pub enum DeployError {
     Nn(NnError),
     /// Underlying I/O failure.
     Io(io::Error),
+    /// A NaN or infinity was detected on the inference path.
+    NonFinite {
+        /// Whether the inputs or the logits were non-finite.
+        stage: NonFiniteStage,
+        /// Flat element index of the first offending value.
+        index: usize,
+    },
 }
 
 impl fmt::Display for DeployError {
@@ -43,6 +70,9 @@ impl fmt::Display for DeployError {
             DeployError::ParamsMismatch(msg) => write!(f, "parameters mismatch: {msg}"),
             DeployError::Nn(e) => write!(f, "network error: {e}"),
             DeployError::Io(e) => write!(f, "i/o failure: {e}"),
+            DeployError::NonFinite { stage, index } => {
+                write!(f, "non-finite value (NaN/Inf) in {stage} at flat index {index}")
+            }
         }
     }
 }
@@ -86,7 +116,19 @@ mod tests {
         };
         assert!(e.to_string().contains("bad float"));
         assert!(DeployError::ParamsMismatch("x".into()).to_string().contains("x"));
-        let e: DeployError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: DeployError = io::Error::other("boom").into();
         assert!(e.source().is_some());
+        let e = DeployError::NonFinite {
+            stage: NonFiniteStage::Logits,
+            index: 9,
+        };
+        assert!(e.to_string().contains("logits"));
+        assert!(e.to_string().contains("9"));
+        assert!(DeployError::NonFinite {
+            stage: NonFiniteStage::Input,
+            index: 0,
+        }
+        .to_string()
+        .contains("inputs"));
     }
 }

@@ -1,0 +1,456 @@
+//! # ffdl-fault — deterministic fault injection for the serving stack
+//!
+//! The paper targets embedded deployments where a stuck or
+//! silently-wrong forward pass is unacceptable — which means the
+//! *failure* paths (worker death, latency spikes, corrupted model
+//! bytes, non-finite activations) need to be exercised as
+//! deterministically as the happy path. This crate is the injection
+//! harness: a process-global, seed-replayable fault plan that library
+//! crates consult at well-known injection points.
+//!
+//! Design rules, mirroring `ffdl-telemetry`:
+//!
+//! * **Zero cost when disarmed.** Every injection point guards on
+//!   [`enabled`] — one `Relaxed` atomic bool load and a predictable
+//!   branch. Production binaries that never call [`arm`] pay nothing
+//!   else.
+//! * **Deterministic under a fixed seed.** Armed, decisions come from a
+//!   single `ffdl-rng` stream seeded by [`FaultPlan::seed`]. Each fault
+//!   kind carries a *budget*: with `rate = 1.0` the first `budget`
+//!   opportunities fire, so the total number of injected faults is
+//!   exact regardless of thread interleaving — chaos tests assert on
+//!   those totals.
+//! * **The injector never touches domain types.** Callers hand in raw
+//!   slices ([`corrupt`], [`poison`]) or act on the returned decision
+//!   ([`maybe_panic`], [`latency_spike`]), so this crate depends only
+//!   on `ffdl-rng`.
+//!
+//! Injection points wired through the workspace:
+//!
+//! | kind                      | site                                     | observable failure                      |
+//! |---------------------------|------------------------------------------|-----------------------------------------|
+//! | [`FaultKind::WorkerPanic`]   | `ffdl-serve` worker batch execution     | supervised restart, batch surfaced as typed failures |
+//! | [`FaultKind::LatencySpike`]  | `ffdl-serve` worker, before inference   | deadline expiry / tail latency          |
+//! | [`FaultKind::NanActivation`] | `ffdl-deploy` engine logits             | `DeployError::NonFinite` → serve health quarantine |
+//! | [`FaultKind::BitFlip`]       | `ffdl-registry` payload read            | `RegistryError::Corrupt` naming digests |
+//!
+//! # Examples
+//!
+//! ```
+//! use ffdl_fault::{arm, disarm, fire, FaultKind, FaultPlan};
+//!
+//! assert!(!ffdl_fault::enabled());
+//! arm(FaultPlan { seed: 7, nan_budget: 2, rate: 1.0, ..Default::default() });
+//! assert!(fire(FaultKind::NanActivation));
+//! assert!(fire(FaultKind::NanActivation));
+//! assert!(!fire(FaultKind::NanActivation)); // budget exhausted
+//! let summary = disarm();
+//! assert_eq!(summary.nan_activations, 2);
+//! assert_eq!(summary.panics, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ffdl_rng::{Rng, SeedableRng, SmallRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The fault families the workspace knows how to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside a serve worker's supervised batch execution.
+    WorkerPanic,
+    /// An artificial delay on the serving hot path (tail-latency /
+    /// deadline-expiry pressure).
+    LatencySpike,
+    /// A NaN written into the inference engine's logits (models a
+    /// radiation/bit-error-corrupted activation).
+    NanActivation,
+    /// A flipped bit in model bytes read back from the registry.
+    BitFlip,
+}
+
+const KINDS: usize = 4;
+
+fn slot(kind: FaultKind) -> usize {
+    match kind {
+        FaultKind::WorkerPanic => 0,
+        FaultKind::LatencySpike => 1,
+        FaultKind::NanActivation => 2,
+        FaultKind::BitFlip => 3,
+    }
+}
+
+/// A seeded fault campaign: per-kind budgets plus a firing rate.
+///
+/// A kind with budget 0 never fires. With [`rate`](Self::rate) `= 1.0`
+/// (the default) the first `budget` opportunities of each kind fire —
+/// the injected-fault totals are then exact and scheduling-independent,
+/// which is what fixed-seed chaos tests assert on. Rates below 1.0
+/// spread the same budget stochastically across the run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the decision stream (`ffdl-rng` xoshiro256++).
+    pub seed: u64,
+    /// Maximum injected worker panics.
+    pub panic_budget: u32,
+    /// Maximum injected latency spikes.
+    pub latency_budget: u32,
+    /// Duration of one injected latency spike.
+    pub latency_spike: Duration,
+    /// Maximum injected NaN activations.
+    pub nan_budget: u32,
+    /// Maximum injected model-byte bit flips.
+    pub bitflip_budget: u32,
+    /// Per-opportunity firing probability in `[0, 1]`.
+    pub rate: f32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            panic_budget: 0,
+            latency_budget: 0,
+            latency_spike: Duration::from_millis(1),
+            nan_budget: 0,
+            bitflip_budget: 0,
+            rate: 1.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The standard chaos campaign used by `serve-bench --chaos` and the
+    /// verify-script smoke test: one worker panic, one latency spike,
+    /// `nan` NaN activations and one bit flip, all firing at their first
+    /// opportunity.
+    pub fn chaos(seed: u64, nan: u32) -> Self {
+        Self {
+            seed,
+            panic_budget: 1,
+            latency_budget: 1,
+            latency_spike: Duration::from_millis(2),
+            nan_budget: nan,
+            bitflip_budget: 1,
+            rate: 1.0,
+        }
+    }
+}
+
+/// How many faults of each kind a campaign actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Injected worker panics.
+    pub panics: u64,
+    /// Injected latency spikes.
+    pub latency_spikes: u64,
+    /// Injected NaN activations.
+    pub nan_activations: u64,
+    /// Injected bit flips.
+    pub bit_flips: u64,
+}
+
+impl FaultSummary {
+    /// Total injected faults across all kinds.
+    pub fn total(&self) -> u64 {
+        self.panics + self.latency_spikes + self.nan_activations + self.bit_flips
+    }
+}
+
+impl std::fmt::Display for FaultSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} panics, {} latency spikes, {} nan activations, {} bit flips",
+            self.panics, self.latency_spikes, self.nan_activations, self.bit_flips
+        )
+    }
+}
+
+struct Injector {
+    rng: SmallRng,
+    remaining: [u32; KINDS],
+    fired: [u64; KINDS],
+    rate: f32,
+    spike: Duration,
+}
+
+/// Fast-path gate, mirroring `ffdl_telemetry::enabled`.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<Injector>> = Mutex::new(None);
+
+fn state() -> std::sync::MutexGuard<'static, Option<Injector>> {
+    // Injected panics never hold this lock (decisions are made and the
+    // guard dropped before panicking), but a caller's unrelated panic
+    // while armed must not wedge the process — recover the inner value.
+    STATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Whether a fault campaign is armed. One `Relaxed` bool load — the
+/// only cost injection points pay in production.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arms a fault campaign, replacing any previous one.
+pub fn arm(plan: FaultPlan) {
+    let mut guard = state();
+    *guard = Some(Injector {
+        rng: SmallRng::seed_from_u64(plan.seed),
+        remaining: [
+            plan.panic_budget,
+            plan.latency_budget,
+            plan.nan_budget,
+            plan.bitflip_budget,
+        ],
+        fired: [0; KINDS],
+        rate: plan.rate.clamp(0.0, 1.0),
+        spike: plan.latency_spike,
+    });
+    drop(guard);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms the campaign and returns what it injected. Safe to call when
+/// nothing is armed (returns an all-zero summary).
+pub fn disarm() -> FaultSummary {
+    ARMED.store(false, Ordering::Relaxed);
+    let mut guard = state();
+    match guard.take() {
+        Some(inj) => FaultSummary {
+            panics: inj.fired[0],
+            latency_spikes: inj.fired[1],
+            nan_activations: inj.fired[2],
+            bit_flips: inj.fired[3],
+        },
+        None => FaultSummary::default(),
+    }
+}
+
+/// The campaign's injected-fault counts so far (all zeros when
+/// disarmed).
+pub fn summary() -> FaultSummary {
+    let guard = state();
+    match guard.as_ref() {
+        Some(inj) => FaultSummary {
+            panics: inj.fired[0],
+            latency_spikes: inj.fired[1],
+            nan_activations: inj.fired[2],
+            bit_flips: inj.fired[3],
+        },
+        None => FaultSummary::default(),
+    }
+}
+
+/// One injection opportunity: draws a seeded decision for `kind`,
+/// honouring its remaining budget. Always `false` when disarmed.
+pub fn fire(kind: FaultKind) -> bool {
+    if !enabled() {
+        return false;
+    }
+    let mut guard = state();
+    let Some(inj) = guard.as_mut() else {
+        return false;
+    };
+    let k = slot(kind);
+    if inj.remaining[k] == 0 {
+        return false;
+    }
+    // Draw even at rate 1.0 so the decision stream stays aligned with
+    // the seed regardless of which budgets are exhausted first.
+    let roll = inj.rng.next_f32();
+    if roll >= inj.rate {
+        return false;
+    }
+    inj.remaining[k] -= 1;
+    inj.fired[k] += 1;
+    true
+}
+
+/// Panics (deterministically, per the armed plan) at a named injection
+/// site. Intended to run *inside* supervised execution — in the ffdl
+/// serving stack, inside the worker's `catch_unwind`.
+pub fn maybe_panic(site: &str) {
+    if fire(FaultKind::WorkerPanic) {
+        // The state lock is released before unwinding (fire() returned).
+        panic!("ffdl-fault: injected panic at {site}");
+    }
+}
+
+/// Returns the configured spike duration when a latency fault fires;
+/// the caller sleeps (keeping scheduling in the caller's hands).
+pub fn latency_spike() -> Option<Duration> {
+    if !enabled() {
+        return None;
+    }
+    let spike = {
+        let guard = state();
+        guard.as_ref().map(|inj| inj.spike)
+    };
+    if fire(FaultKind::LatencySpike) {
+        spike
+    } else {
+        None
+    }
+}
+
+/// Flips one seeded bit of `bytes` when a bit-flip fault fires. Returns
+/// `true` if a flip happened. Empty slices are never corrupted (the
+/// opportunity is consumed regardless, keeping the stream aligned).
+pub fn corrupt(bytes: &mut [u8]) -> bool {
+    if !fire(FaultKind::BitFlip) || bytes.is_empty() {
+        return false;
+    }
+    let (index, bit) = {
+        let mut guard = state();
+        match guard.as_mut() {
+            Some(inj) => (
+                inj.rng.gen_range(0..bytes.len()),
+                inj.rng.gen_range(0..8u32),
+            ),
+            None => return false,
+        }
+    };
+    bytes[index] ^= 1 << bit;
+    true
+}
+
+/// Overwrites one seeded element of `values` with NaN when a
+/// NaN-activation fault fires. Returns `true` if a value was poisoned.
+pub fn poison(values: &mut [f32]) -> bool {
+    if !fire(FaultKind::NanActivation) || values.is_empty() {
+        return false;
+    }
+    let index = {
+        let mut guard = state();
+        match guard.as_mut() {
+            Some(inj) => inj.rng.gen_range(0..values.len()),
+            None => return false,
+        }
+    };
+    values[index] = f32::NAN;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The injector is process-global state; tests that arm it must not
+    /// interleave.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disarmed_is_inert() {
+        let _gate = serial();
+        disarm();
+        assert!(!enabled());
+        assert!(!fire(FaultKind::WorkerPanic));
+        assert!(latency_spike().is_none());
+        let mut bytes = [7u8; 16];
+        assert!(!corrupt(&mut bytes));
+        assert_eq!(bytes, [7u8; 16]);
+        let mut values = [1.0f32; 4];
+        assert!(!poison(&mut values));
+        assert!(values.iter().all(|v| *v == 1.0));
+        maybe_panic("never"); // must not panic
+        assert_eq!(disarm(), FaultSummary::default());
+    }
+
+    #[test]
+    fn budgets_are_exact_at_rate_one() {
+        let _gate = serial();
+        arm(FaultPlan {
+            seed: 42,
+            panic_budget: 2,
+            latency_budget: 1,
+            nan_budget: 3,
+            bitflip_budget: 1,
+            rate: 1.0,
+            ..Default::default()
+        });
+        let mut fired = FaultSummary::default();
+        for _ in 0..32 {
+            if fire(FaultKind::WorkerPanic) {
+                fired.panics += 1;
+            }
+            if latency_spike().is_some() {
+                fired.latency_spikes += 1;
+            }
+            let mut logits = [0.5f32; 8];
+            if poison(&mut logits) {
+                fired.nan_activations += 1;
+                assert_eq!(logits.iter().filter(|v| v.is_nan()).count(), 1);
+            }
+            let mut bytes = [0xAAu8; 32];
+            if corrupt(&mut bytes) {
+                fired.bit_flips += 1;
+                let flipped: u32 = bytes.iter().map(|b| (b ^ 0xAA).count_ones()).sum();
+                assert_eq!(flipped, 1, "exactly one bit flipped");
+            }
+        }
+        assert_eq!(summary(), fired);
+        let report = disarm();
+        assert_eq!(report.panics, 2);
+        assert_eq!(report.latency_spikes, 1);
+        assert_eq!(report.nan_activations, 3);
+        assert_eq!(report.bit_flips, 1);
+        assert_eq!(report.total(), 7);
+        assert!(report.to_string().contains("3 nan activations"));
+    }
+
+    #[test]
+    fn injected_panic_is_catchable_and_names_its_site() {
+        let _gate = serial();
+        arm(FaultPlan {
+            seed: 1,
+            panic_budget: 1,
+            rate: 1.0,
+            ..Default::default()
+        });
+        let err = std::panic::catch_unwind(|| maybe_panic("test.site")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("test.site"), "{msg}");
+        // Budget spent: the next opportunity does not fire, and the
+        // poisoned-lock recovery path keeps the injector usable.
+        maybe_panic("test.site");
+        assert_eq!(disarm().panics, 1);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let _gate = serial();
+        let run = || {
+            arm(FaultPlan {
+                seed: 99,
+                nan_budget: 4,
+                rate: 0.3,
+                ..Default::default()
+            });
+            let decisions: Vec<bool> = (0..64).map(|_| fire(FaultKind::NanActivation)).collect();
+            disarm();
+            decisions
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chaos_plan_defaults() {
+        let plan = FaultPlan::chaos(5, 4);
+        assert_eq!(plan.seed, 5);
+        assert_eq!(plan.panic_budget, 1);
+        assert_eq!(plan.nan_budget, 4);
+        assert_eq!(plan.bitflip_budget, 1);
+        assert_eq!(plan.rate, 1.0);
+    }
+}

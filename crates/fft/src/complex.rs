@@ -342,7 +342,7 @@ mod tests {
     #[test]
     fn cis_is_on_unit_circle() {
         for k in 0..16 {
-            let theta = k as f64 * 0.39269908;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             let z = Complex64::cis(theta);
             assert!((z.norm() - 1.0).abs() < 1e-12);
         }

@@ -256,7 +256,7 @@ mod tests {
         }
         // Shift kernel: δ at (1, 1) rotates the image by one in each axis.
         let mut shift = vec![0.0; 16];
-        shift[1 * cols + 1] = 1.0;
+        shift[cols + 1] = 1.0;
         let y = circular_convolve2d(&shift, &x, rows, cols);
         for r in 0..rows {
             for c in 0..cols {

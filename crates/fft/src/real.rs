@@ -289,7 +289,7 @@ mod tests {
             Err(FftError::LengthMismatch { .. })
         ));
         assert!(matches!(
-            plan.inverse(&vec![Complex::zero(); 4]),
+            plan.inverse(&[Complex::zero(); 4]),
             Err(FftError::LengthMismatch { .. })
         ));
     }

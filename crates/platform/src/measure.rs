@@ -98,7 +98,7 @@ mod tests {
         assert!(t.mean_us >= t.min_us);
         assert!(t.min_us >= 0.0);
         assert_eq!(t.reps, 5);
-        assert!(acc > 0 || acc == 0); // keep the side effect alive
+        std::hint::black_box(acc); // keep the side effect alive
         assert!(!format!("{t}").is_empty());
     }
 

@@ -218,7 +218,14 @@ impl ModelStore {
         let path = self
             .model_dir(name)?
             .join(generation_file(version.generation));
-        let bytes = fs::read(&path)?;
+        let mut bytes = fs::read(&path)?;
+        // Fault-injection point: a bit flipped here models silent media
+        // corruption between publish and load — the checksum below turns
+        // it into a typed `Corrupt` error. Inert unless a chaos campaign
+        // is armed.
+        if ffdl_fault::enabled() {
+            ffdl_fault::corrupt(&mut bytes);
+        }
         let actual = fnv1a(&bytes);
         if bytes.len() as u64 != version.bytes || actual != version.checksum {
             return Err(RegistryError::Corrupt {

@@ -1,0 +1,180 @@
+//! Manifest robustness: a registry whose on-disk state has been damaged
+//! — truncated manifest, garbage lines, duplicate generations, or a
+//! manifest that disagrees with its payload — must answer every query
+//! with a *typed* [`RegistryError`], never a panic and never silently
+//! wrong model bytes.
+
+use ffdl_core::full_registry;
+use ffdl_deploy::parse_architecture;
+use ffdl_nn::Network;
+use ffdl_registry::{ModelStore, RegistryError};
+use std::fs;
+use std::path::PathBuf;
+
+fn network(seed: u64) -> Network {
+    parse_architecture("input 6\nfc 8\nrelu\nfc 3\nsoftmax\n", seed)
+        .expect("arch parses")
+        .network
+}
+
+/// A fresh store with one published generation of "prod", plus the path
+/// to its manifest file.
+fn damaged_fixture(tag: &str) -> (ModelStore, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "ffdl-registry-robustness-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    let store = ModelStore::open(&dir).expect("open store");
+    store
+        .publish("prod", &network(7), "toy")
+        .expect("publish generation 1");
+    let manifest = dir.join("prod").join("MANIFEST");
+    assert!(manifest.is_file(), "fixture manifest missing");
+    (store, manifest)
+}
+
+fn cleanup(store: &ModelStore) {
+    let _ = fs::remove_dir_all(store.root());
+}
+
+/// Every public query path must degrade to a typed error on a damaged
+/// manifest — none may panic or return fabricated versions.
+fn assert_all_queries_fail_typed(store: &ModelStore, context: &str) {
+    let layers = full_registry();
+    assert!(
+        matches!(store.list("prod"), Err(RegistryError::Manifest(_))),
+        "{context}: list"
+    );
+    assert!(
+        matches!(store.latest("prod"), Err(RegistryError::Manifest(_))),
+        "{context}: latest"
+    );
+    assert!(
+        matches!(
+            store.load("prod", None, &layers),
+            Err(RegistryError::Manifest(_))
+        ),
+        "{context}: load"
+    );
+    assert!(
+        matches!(
+            store.rollback("prod", None),
+            Err(RegistryError::Manifest(_))
+        ),
+        "{context}: rollback"
+    );
+}
+
+#[test]
+fn truncated_manifest_is_a_typed_error() {
+    let (store, manifest) = damaged_fixture("truncated");
+    // Cut the file mid-line, as a crash during a non-atomic write (or a
+    // torn copy) would: the surviving prefix ends inside the record.
+    let text = fs::read_to_string(&manifest).unwrap();
+    let cut = text.len() - text.len() / 3;
+    fs::write(&manifest, &text[..cut]).unwrap();
+    assert_all_queries_fail_typed(&store, "truncated");
+
+    // Degenerate truncation: empty file (header gone too).
+    fs::write(&manifest, "").unwrap();
+    assert_all_queries_fail_typed(&store, "emptied");
+    cleanup(&store);
+}
+
+#[test]
+fn garbage_lines_are_a_typed_error() {
+    let (store, manifest) = damaged_fixture("garbage");
+    let text = fs::read_to_string(&manifest).unwrap();
+    for garbage in [
+        "this is not a manifest record",
+        "1 arch1 notanumber 00ff -",
+        "two arch1 12 00ff -",
+        "1 arch1 12 zzzz -",
+        "1 arch1 12 00ff rollback=soon",
+    ] {
+        fs::write(&manifest, format!("{text}{garbage}\n")).unwrap();
+        assert_all_queries_fail_typed(&store, garbage);
+    }
+    cleanup(&store);
+}
+
+#[test]
+fn duplicate_generations_are_a_typed_error() {
+    let (store, manifest) = damaged_fixture("duplicate");
+    let text = fs::read_to_string(&manifest).unwrap();
+    // Repeat the generation-1 record verbatim: the parser must reject
+    // the non-increasing generation, not pick one of the duplicates.
+    let record = text
+        .lines()
+        .nth(1)
+        .expect("fixture has one record")
+        .to_string();
+    fs::write(&manifest, format!("{text}{record}\n")).unwrap();
+    assert_all_queries_fail_typed(&store, "duplicate generation");
+    cleanup(&store);
+}
+
+#[test]
+fn manifest_payload_disagreement_is_a_typed_corrupt_error() {
+    let (store, manifest) = damaged_fixture("disagreement");
+    let layers = full_registry();
+
+    // Flip one payload byte behind the manifest's back: size still
+    // matches, digest does not.
+    let payload = store.root().join("prod").join("gen-000001.ffdm");
+    let mut bytes = fs::read(&payload).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&payload, &bytes).unwrap();
+    match store.load_bytes("prod", None) {
+        Err(RegistryError::Corrupt {
+            name,
+            generation,
+            expected,
+            actual,
+        }) => {
+            assert_eq!(name, "prod");
+            assert_eq!(generation, 1);
+            assert_ne!(expected, actual, "digests must disagree");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    assert!(matches!(
+        store.load("prod", None, &layers),
+        Err(RegistryError::Corrupt { .. })
+    ));
+    // Rollback republishes bytes through load_bytes, so it refuses to
+    // propagate the corruption.
+    assert!(matches!(
+        store.rollback("prod", Some(1)),
+        Err(RegistryError::Corrupt { .. })
+    ));
+
+    // The mirror case: payload intact, manifest lying about the size.
+    fs::write(&payload, {
+        bytes[mid] ^= 0x01; // restore the original payload
+        &bytes
+    })
+    .unwrap();
+    let text = fs::read_to_string(&manifest).unwrap();
+    let lied = text.replacen(&format!(" {} ", bytes.len()), " 1 ", 1);
+    assert_ne!(text, lied, "size field must have been rewritten");
+    fs::write(&manifest, lied).unwrap();
+    assert!(matches!(
+        store.load_bytes("prod", None),
+        Err(RegistryError::Corrupt { .. })
+    ));
+    cleanup(&store);
+}
+
+#[test]
+fn missing_payload_file_is_a_typed_error() {
+    let (store, _manifest) = damaged_fixture("missing-payload");
+    fs::remove_file(store.root().join("prod").join("gen-000001.ffdm")).unwrap();
+    assert!(matches!(
+        store.load_bytes("prod", None),
+        Err(RegistryError::Io(_))
+    ));
+    cleanup(&store);
+}

@@ -67,6 +67,7 @@ fn registry_feeds_live_hot_swap_and_rollback() {
         max_batch: 4,
         max_wait: Duration::from_micros(100),
         queue_depth: 256,
+        ..Default::default()
     };
     let server = Server::start(&model_a, &config).expect("start pool");
     for (i, s) in inputs.iter().take(16).enumerate() {

@@ -24,6 +24,22 @@ pub enum ServeError {
     Inference(DeployError),
     /// A worker thread panicked; the payload is its panic message.
     WorkerPanic(String),
+    /// The request's deadline passed before it could be served — either
+    /// admission timed out (shed) or the request expired in the queue
+    /// and was dropped at dequeue. Never a silent drop: expiry is always
+    /// surfaced as this typed error.
+    DeadlineExceeded,
+    /// The serving model produced non-finite logits; the payload is the
+    /// generation that misbehaved. When a health threshold is configured
+    /// the pool quarantines that generation and rolls back.
+    UnhealthyModel {
+        /// The model generation that produced non-finite output.
+        generation: u64,
+    },
+    /// A registry operation on behalf of the server failed (loading a
+    /// generation for [`swap_from_store`](crate::Server::swap_from_store),
+    /// or republishing during auto-rollback).
+    Registry(ffdl_registry::RegistryError),
 }
 
 impl fmt::Display for ServeError {
@@ -35,6 +51,14 @@ impl fmt::Display for ServeError {
             ServeError::Clone(e) => write!(f, "failed to clone model for worker: {e}"),
             ServeError::Inference(e) => write!(f, "worker inference failed: {e}"),
             ServeError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before it could be served")
+            }
+            ServeError::UnhealthyModel { generation } => write!(
+                f,
+                "model generation {generation} produced non-finite logits (unhealthy)"
+            ),
+            ServeError::Registry(e) => write!(f, "registry operation failed: {e}"),
         }
     }
 }
@@ -44,8 +68,15 @@ impl Error for ServeError {
         match self {
             ServeError::Clone(e) => Some(e),
             ServeError::Inference(e) => Some(e),
+            ServeError::Registry(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ffdl_registry::RegistryError> for ServeError {
+    fn from(e: ffdl_registry::RegistryError) -> Self {
+        ServeError::Registry(e)
     }
 }
 
@@ -76,5 +107,13 @@ mod tests {
         let e: ServeError = ServeError::Inference(DeployError::ParamsMismatch("p".into()));
         assert!(e.source().is_some());
         assert!(ServeError::QueueFull.source().is_none());
+        assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
+        let e = ServeError::UnhealthyModel { generation: 7 };
+        assert!(e.to_string().contains("generation 7"));
+        assert!(e.to_string().contains("non-finite"));
+        let e: ServeError =
+            ffdl_registry::RegistryError::UnknownModel("m".into()).into();
+        assert!(e.to_string().contains("registry"));
+        assert!(e.source().is_some());
     }
 }

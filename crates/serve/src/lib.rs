@@ -20,7 +20,19 @@
 //!   once instead of `n` times,
 //! * a **stats collector** ([`ServeReport`]) producing throughput and
 //!   p50/p95/p99 latency from the same percentile machinery as the bench
-//!   harness.
+//!   harness,
+//! * a **fault-tolerance layer**: optional per-request deadlines
+//!   ([`ServeConfig::deadline`] — expired requests are shed at dequeue
+//!   as typed [`ServeError::DeadlineExceeded`] failures, and
+//!   [`Server::submit`] converts overload into a bounded wait), a
+//!   numerical-health supervisor ([`HealthConfig`] — NaN/Inf logits
+//!   fail typed, and past a threshold the guilty generation is
+//!   quarantined and auto-rolled-back to the last healthy one through
+//!   `ffdl-registry`), and deterministic fault-injection hooks
+//!   (`ffdl-fault`) at the worker batch, latency, and model-byte
+//!   boundaries. Every admitted request ends in
+//!   [`ServeReport::responses`] or [`ServeReport::failures`] — nothing
+//!   is dropped silently.
 //!
 //! Served predictions are bit-identical to single-sample
 //! [`ffdl_deploy::InferenceEngine::predict`] calls, and the report's
@@ -55,5 +67,7 @@ mod queue;
 mod stats;
 
 pub use error::ServeError;
-pub use pool::{run_closed_loop, ServeConfig, ServeResponse, Server};
+pub use pool::{
+    run_closed_loop, FailureKind, HealthConfig, ServeConfig, ServeFailure, ServeResponse, Server,
+};
 pub use stats::{bench_json, ServeReport};

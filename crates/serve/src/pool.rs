@@ -27,15 +27,41 @@
 //! Batch execution runs under `catch_unwind`: a panicking forward pass
 //! (a poisoned model version, a bug in a custom layer) cannot kill the
 //! pool. The worker counts the restart (`ffdl.serve.worker_restarts`),
-//! rebuilds its engine from the current model slot, and keeps serving;
-//! only the panicking batch is lost.
+//! records every request of the lost batch as a typed
+//! [`ServeFailure`], rebuilds its engine from the current model slot,
+//! and keeps serving.
+//!
+//! # Deadlines
+//!
+//! With [`ServeConfig::deadline`] set, every admitted request carries an
+//! absolute deadline. Workers shed expired requests **at dequeue** —
+//! each one becomes a typed [`FailureKind::DeadlineExceeded`] failure
+//! (`ffdl.serve.expired`), never a silent drop — and
+//! [`Server::submit`] converts a full queue into a bounded wait that
+//! gives up at the same deadline (`ffdl.serve.shed`) instead of failing
+//! fast with [`ServeError::QueueFull`].
+//!
+//! # Numerical health and auto-rollback
+//!
+//! With [`HealthConfig::check_finite`] on, every worker engine scans its
+//! logits; a NaN/Inf batch fails typed ([`FailureKind::UnhealthyModel`],
+//! carrying the generation). When
+//! [`HealthConfig::unhealthy_threshold`] such request failures
+//! accumulate against the *current* generation, the pool quarantines
+//! that generation and rolls back to the last healthy one — through
+//! [`ffdl-registry`](ffdl_registry) (republishing the old bytes as a
+//! new, checksummed generation) when the server was swapped via
+//! [`Server::swap_from_store`], or from a retained in-memory clone
+//! otherwise. The hot-swap machinery runs in reverse: workers adopt the
+//! rollback between batches like any other swap.
 
 use crate::error::ServeError;
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::ServeReport;
+use crate::stats::{RunCounts, ServeReport};
 use ffdl_core::full_registry;
-use ffdl_deploy::{InferenceEngine, Prediction};
+use ffdl_deploy::{DeployError, InferenceEngine, NonFiniteStage, Prediction};
 use ffdl_nn::{clone_network, LayerRegistry, Network};
+use ffdl_registry::ModelStore;
 use ffdl_telemetry::{Registry, RegistrySnapshot, SpanTimer};
 use ffdl_tensor::Tensor;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -43,6 +69,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Model generations retained for rollback (the active one included).
+const HISTORY_DEPTH: usize = 8;
 
 /// Saturating nanoseconds of a [`Duration`] for histogram recording.
 fn duration_ns(d: Duration) -> u64 {
@@ -62,6 +91,13 @@ pub struct ServeConfig {
     /// Bounded queue depth; submits beyond this are rejected with
     /// [`ServeError::QueueFull`].
     pub queue_depth: usize,
+    /// Per-request deadline, measured from admission. `None` (the
+    /// default) disables deadline handling entirely. When set, expired
+    /// requests are shed at dequeue as typed failures, and
+    /// [`Server::submit`] waits up to this long for queue space.
+    pub deadline: Option<Duration>,
+    /// Numerical-health policy (finiteness checking and auto-rollback).
+    pub health: HealthConfig,
 }
 
 impl Default for ServeConfig {
@@ -71,8 +107,25 @@ impl Default for ServeConfig {
             max_batch: 16,
             max_wait: Duration::from_millis(1),
             queue_depth: 256,
+            deadline: None,
+            health: HealthConfig::default(),
         }
     }
+}
+
+/// Numerical-health policy for a serving run.
+#[derive(Debug, Clone, Default)]
+pub struct HealthConfig {
+    /// Enable the engine's logits finiteness scan in every worker
+    /// ([`InferenceEngine::set_finite_check`]): NaN/Inf logits fail the
+    /// batch with typed [`FailureKind::UnhealthyModel`] failures instead
+    /// of serving garbage predictions.
+    pub check_finite: bool,
+    /// Number of unhealthy request failures on the **current**
+    /// generation that trips quarantine + auto-rollback. `0` (the
+    /// default) disables rollback — unhealthy batches still fail typed
+    /// when `check_finite` is on, but the generation is never replaced.
+    pub unhealthy_threshold: u32,
 }
 
 impl ServeConfig {
@@ -88,6 +141,11 @@ impl ServeConfig {
                 "queue_depth must be >= 1".into(),
             ));
         }
+        if self.health.unhealthy_threshold > 0 && !self.health.check_finite {
+            return Err(ServeError::InvalidConfig(
+                "unhealthy_threshold requires health.check_finite".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -97,6 +155,50 @@ struct QueuedRequest {
     id: u64,
     features: Tensor,
     enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
+/// Why a request failed (the report-side mirror of the typed
+/// [`ServeError`] the client receives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The request's deadline passed while it waited in the queue; it
+    /// was shed at dequeue.
+    DeadlineExceeded,
+    /// The serving model produced non-finite logits for the request's
+    /// batch.
+    UnhealthyModel,
+    /// The request's batch was lost to a panicking forward pass (the
+    /// worker restarted).
+    WorkerPanic,
+}
+
+/// One failed request. Every admitted request ends up either in
+/// [`ServeReport::responses`](crate::ServeReport) or here — nothing is
+/// dropped silently.
+#[derive(Debug, Clone)]
+pub struct ServeFailure {
+    /// Caller-assigned request id.
+    pub id: u64,
+    /// Why the request failed.
+    pub kind: FailureKind,
+    /// Model generation active when the failure was recorded.
+    pub generation: u64,
+}
+
+impl ServeFailure {
+    /// The typed [`ServeError`] a client would receive for this failure.
+    pub fn error(&self) -> ServeError {
+        match self.kind {
+            FailureKind::DeadlineExceeded => ServeError::DeadlineExceeded,
+            FailureKind::UnhealthyModel => ServeError::UnhealthyModel {
+                generation: self.generation,
+            },
+            FailureKind::WorkerPanic => {
+                ServeError::WorkerPanic("batch lost to a panicking forward pass".into())
+            }
+        }
+    }
 }
 
 /// One served request: the prediction plus how it was served.
@@ -118,6 +220,39 @@ pub struct ServeResponse {
     pub generation: u64,
 }
 
+/// One retained model generation: enough to attribute failures and to
+/// roll back without the registry.
+struct GenRecord {
+    /// Server-side generation number (what responses/failures carry).
+    server_gen: u64,
+    /// The registry generation this model was loaded from, when it came
+    /// through [`Server::swap_from_store`].
+    registry_gen: Option<u64>,
+    /// Retained copy for registry-less rollback (bounded by
+    /// [`HISTORY_DEPTH`]).
+    network: Network,
+    /// Declared numerically unhealthy; never a rollback target.
+    quarantined: bool,
+}
+
+/// Health-supervision state, guarded by one mutex off the hot path
+/// (workers touch it only when a batch fails its finiteness check).
+struct Supervision {
+    /// Retained generations, ascending; the last entry is active.
+    history: Vec<GenRecord>,
+    /// The store/name the server was last swapped from — the durable
+    /// rollback path.
+    binding: Option<(ModelStore, String)>,
+    /// Generation the current error streak counts against.
+    error_gen: u64,
+    /// Unhealthy request failures recorded against `error_gen`.
+    error_count: u32,
+    /// Generations quarantined so far.
+    quarantines: u64,
+    /// Automatic rollbacks performed so far.
+    auto_rollbacks: u64,
+}
+
 /// The shared model state workers re-clone from after a swap.
 struct ModelSlot {
     /// Serialization source for worker clones; replaced on swap.
@@ -125,6 +260,131 @@ struct ModelSlot {
     /// Monotonic model generation; workers compare against their local
     /// copy between batches.
     generation: AtomicU64,
+    /// Rollback history and unhealthy-error accounting.
+    supervision: Mutex<Supervision>,
+}
+
+impl ModelSlot {
+    /// Installs `retained` as the next generation: `for_slot` (a clone
+    /// of the same network) replaces the shared slot, the generation
+    /// counter is bumped (`Release`, pairing with the workers' `Acquire`
+    /// loads), and a history record is pushed. The caller holds the
+    /// supervision lock, so swaps and rollbacks serialize.
+    fn install(
+        &self,
+        sup: &mut Supervision,
+        retained: Network,
+        for_slot: Network,
+        registry_gen: Option<u64>,
+    ) -> u64 {
+        {
+            let mut slot = self.network.lock().expect("model slot poisoned");
+            *slot = for_slot;
+        }
+        let generation = self.generation.fetch_add(1, Ordering::Release) + 1;
+        sup.history.push(GenRecord {
+            server_gen: generation,
+            registry_gen,
+            network: retained,
+            quarantined: false,
+        });
+        if sup.history.len() > HISTORY_DEPTH {
+            sup.history.remove(0);
+        }
+        generation
+    }
+}
+
+/// What a worker's unhealthy-batch report triggered.
+struct HealthAction {
+    quarantined: bool,
+    rolled_back: bool,
+}
+
+/// Worker-side health accounting: counts non-finite-logits request
+/// failures per generation and, at the threshold, quarantines the
+/// generation and rolls the pool back to the last healthy one.
+///
+/// The registry path is preferred — [`ModelStore::rollback`]
+/// republishes the healthy generation's bytes as a new checksummed
+/// registry generation, so recovery is durable and bit-identical to the
+/// original publish. When the server has no store binding (plain
+/// [`Server::swap_model`]) or the registry path fails (e.g. the store
+/// itself is corrupted), the retained in-memory clone is used instead.
+fn handle_unhealthy(
+    model: &ModelSlot,
+    layers: &LayerRegistry,
+    generation: u64,
+    failed: u32,
+    threshold: u32,
+) -> Result<HealthAction, ServeError> {
+    let nothing = HealthAction {
+        quarantined: false,
+        rolled_back: false,
+    };
+    if threshold == 0 {
+        return Ok(nothing);
+    }
+    let mut sup = model.supervision.lock().expect("supervision lock poisoned");
+    if sup.error_gen != generation {
+        sup.error_gen = generation;
+        sup.error_count = 0;
+    }
+    sup.error_count = sup.error_count.saturating_add(failed);
+    if sup.error_count < threshold {
+        return Ok(nothing);
+    }
+    // Trip only while the erroring generation is still current: stale
+    // failures from an already-replaced generation (in-flight batches
+    // finish on the old model) must not punish its successor.
+    if model.generation.load(Ordering::Acquire) != generation {
+        return Ok(nothing);
+    }
+    let Some(record) = sup.history.iter_mut().find(|r| r.server_gen == generation) else {
+        return Ok(nothing);
+    };
+    if record.quarantined {
+        return Ok(nothing); // another worker already tripped it
+    }
+    record.quarantined = true;
+    sup.quarantines += 1;
+    sup.error_count = 0;
+    let Some(target) = sup.history.iter().rposition(|r| !r.quarantined) else {
+        // No healthy generation left: keep serving (every unhealthy
+        // batch keeps failing typed) rather than go dark.
+        return Ok(HealthAction {
+            quarantined: true,
+            rolled_back: false,
+        });
+    };
+    let registry_target = sup.history[target].registry_gen;
+    let binding = sup.binding.clone();
+    let mut new_registry_gen = registry_target;
+    let network = match (binding, registry_target) {
+        (Some((store, name)), Some(reg_gen)) => store
+            .rollback(&name, Some(reg_gen))
+            .and_then(|v| store.load(&name, Some(v.generation), layers))
+            .map(|(network, version)| {
+                new_registry_gen = Some(version.generation);
+                network
+            })
+            .ok(),
+        _ => None,
+    };
+    let network = match network {
+        Some(n) => n,
+        // Registry path unavailable or failed: the retained clone is
+        // the recovery source (still the exact network that served the
+        // healthy generation).
+        None => clone_network(&sup.history[target].network, layers)?,
+    };
+    let for_slot = clone_network(&network, layers)?;
+    model.install(&mut sup, network, for_slot, new_registry_gen);
+    sup.auto_rollbacks += 1;
+    Ok(HealthAction {
+        quarantined: true,
+        rolled_back: true,
+    })
 }
 
 /// A running serving instance: bounded queue + worker pool.
@@ -142,15 +402,19 @@ struct ModelSlot {
 pub struct Server {
     queue: Arc<BoundedQueue<QueuedRequest>>,
     results: Arc<Mutex<Vec<ServeResponse>>>,
+    failures: Arc<Mutex<Vec<ServeFailure>>>,
     handles: Vec<JoinHandle<Result<RegistrySnapshot, ServeError>>>,
     rejections: AtomicU64,
+    shed: AtomicU64,
     restarts: Arc<AtomicU64>,
     model: Arc<ModelSlot>,
     layers: Arc<LayerRegistry>,
     workers: usize,
+    deadline: Option<Duration>,
     started: Instant,
     registry: Registry,
     rejections_counter: Arc<ffdl_telemetry::Counter>,
+    shed_counter: Arc<ffdl_telemetry::Counter>,
     depth_gauge: Arc<ffdl_telemetry::Gauge>,
     generation_gauge: Arc<ffdl_telemetry::Gauge>,
     swap_hist: Arc<ffdl_telemetry::Histogram>,
@@ -185,19 +449,38 @@ impl Server {
     ) -> Result<Self, ServeError> {
         config.validate()?;
         let layers = Arc::new(layers);
+        let check_finite = config.health.check_finite;
+        let unhealthy_threshold = config.health.unhealthy_threshold;
         // Clone up front so a bad model is reported before any thread
-        // spawns: one clone per worker plus one for the shared slot.
+        // spawns: one clone per worker, one for the shared slot, one
+        // retained for rollback history.
         let mut engines = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
-            engines.push(InferenceEngine::new(clone_network(network, &layers)?));
+            let mut engine = InferenceEngine::new(clone_network(network, &layers)?);
+            engine.set_finite_check(check_finite);
+            engines.push(engine);
         }
         let model = Arc::new(ModelSlot {
             network: Mutex::new(clone_network(network, &layers)?),
             generation: AtomicU64::new(1),
+            supervision: Mutex::new(Supervision {
+                history: vec![GenRecord {
+                    server_gen: 1,
+                    registry_gen: None,
+                    network: clone_network(network, &layers)?,
+                    quarantined: false,
+                }],
+                binding: None,
+                error_gen: 1,
+                error_count: 0,
+                quarantines: 0,
+                auto_rollbacks: 0,
+            }),
         });
 
         let queue = Arc::new(BoundedQueue::<QueuedRequest>::new(config.queue_depth));
         let results = Arc::new(Mutex::new(Vec::new()));
+        let failures = Arc::new(Mutex::new(Vec::new()));
         let restarts = Arc::new(AtomicU64::new(0));
         let max_batch = config.max_batch;
         let max_wait = config.max_wait;
@@ -207,6 +490,7 @@ impl Server {
             .map(|(worker, mut engine)| {
                 let queue = Arc::clone(&queue);
                 let results = Arc::clone(&results);
+                let failures = Arc::clone(&failures);
                 let model = Arc::clone(&model);
                 let layers = Arc::clone(&layers);
                 let restarts = Arc::clone(&restarts);
@@ -219,6 +503,10 @@ impl Server {
                     let batches = telemetry.counter("ffdl.serve.batches");
                     let requests = telemetry.counter("ffdl.serve.requests");
                     let restarts_counter = telemetry.counter("ffdl.serve.worker_restarts");
+                    let expired_counter = telemetry.counter("ffdl.serve.expired");
+                    let unhealthy_counter = telemetry.counter("ffdl.serve.unhealthy_batches");
+                    let quarantine_counter = telemetry.counter("ffdl.serve.quarantines");
+                    let rollback_counter = telemetry.counter("ffdl.serve.auto_rollbacks");
                     let batch_size_hist = telemetry.histogram("ffdl.serve.batch_size");
                     let queue_wait_hist = telemetry.histogram("ffdl.serve.queue_wait_ns");
                     let infer_hist = telemetry.histogram("ffdl.serve.infer_ns");
@@ -240,6 +528,7 @@ impl Server {
                             let fresh = clone_network(&source, &layers)?;
                             drop(source);
                             engine = InferenceEngine::new(fresh);
+                            engine.set_finite_check(check_finite);
                             local_gen = current;
                         }
                         let batch = queue.pop_batch(max_batch, max_wait);
@@ -247,6 +536,29 @@ impl Server {
                             return Ok(telemetry.snapshot()); // closed and drained
                         }
                         let telemetry_on = ffdl_telemetry::enabled();
+                        // Deadline shedding at dequeue: an expired
+                        // request already missed its deadline — serving
+                        // it would waste a batch slot on an answer
+                        // nobody is waiting for. Each shed request is a
+                        // typed failure, never a silent drop.
+                        let now = Instant::now();
+                        let (batch, expired): (Vec<_>, Vec<_>) = batch
+                            .into_iter()
+                            .partition(|r: &QueuedRequest| r.deadline.is_none_or(|d| now < d));
+                        if !expired.is_empty() {
+                            if telemetry_on {
+                                expired_counter.add(expired.len() as u64);
+                            }
+                            let mut sink = failures.lock().expect("failures lock poisoned");
+                            sink.extend(expired.iter().map(|r| ServeFailure {
+                                id: r.id,
+                                kind: FailureKind::DeadlineExceeded,
+                                generation: local_gen,
+                            }));
+                        }
+                        if batch.is_empty() {
+                            continue;
+                        }
                         if telemetry_on {
                             let received = Instant::now();
                             batches.inc();
@@ -267,22 +579,78 @@ impl Server {
                         // not take the worker — and with it the pool —
                         // down. The engine may be left in an arbitrary
                         // state after a panic, so it is rebuilt from the
-                        // model slot before the next batch.
-                        let outcome = catch_unwind(AssertUnwindSafe(|| engine.predict_batch(&refs)));
+                        // model slot before the next batch. The fault
+                        // hooks are inert one-branch checks unless a
+                        // chaos campaign is armed.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(spike) = ffdl_fault::latency_spike() {
+                                thread::sleep(spike);
+                            }
+                            ffdl_fault::maybe_panic("serve.worker.batch");
+                            engine.predict_batch(&refs)
+                        }));
                         drop(span);
                         let predictions = match outcome {
                             Ok(Ok(predictions)) => predictions,
+                            Ok(Err(DeployError::NonFinite {
+                                stage: NonFiniteStage::Logits,
+                                ..
+                            })) => {
+                                // The model — not the requests — is bad:
+                                // the whole batch fails typed, carrying
+                                // the guilty generation, and the health
+                                // supervisor decides whether to
+                                // quarantine and roll back.
+                                if telemetry_on {
+                                    unhealthy_counter.inc();
+                                }
+                                {
+                                    let mut sink =
+                                        failures.lock().expect("failures lock poisoned");
+                                    sink.extend(batch.iter().map(|r| ServeFailure {
+                                        id: r.id,
+                                        kind: FailureKind::UnhealthyModel,
+                                        generation: local_gen,
+                                    }));
+                                }
+                                let action = handle_unhealthy(
+                                    &model,
+                                    &layers,
+                                    local_gen,
+                                    batch.len() as u32,
+                                    unhealthy_threshold,
+                                )?;
+                                if telemetry_on {
+                                    if action.quarantined {
+                                        quarantine_counter.inc();
+                                    }
+                                    if action.rolled_back {
+                                        rollback_counter.inc();
+                                    }
+                                }
+                                continue; // re-clone check picks up a rollback
+                            }
                             Ok(Err(e)) => return Err(e.into()),
                             Err(_panic) => {
                                 restarts.fetch_add(1, Ordering::Relaxed);
                                 restarts_counter.inc();
+                                {
+                                    let mut sink =
+                                        failures.lock().expect("failures lock poisoned");
+                                    sink.extend(batch.iter().map(|r| ServeFailure {
+                                        id: r.id,
+                                        kind: FailureKind::WorkerPanic,
+                                        generation: local_gen,
+                                    }));
+                                }
                                 let source =
                                     model.network.lock().expect("model slot poisoned");
                                 let fresh = clone_network(&source, &layers)?;
                                 drop(source);
                                 engine = InferenceEngine::new(fresh);
+                                engine.set_finite_check(check_finite);
                                 local_gen = model.generation.load(Ordering::Acquire);
-                                continue; // the panicking batch is lost
+                                continue; // the panicking batch is lost (but accounted)
                             }
                         };
                         let done = Instant::now();
@@ -311,6 +679,7 @@ impl Server {
         // even at zero.
         let registry = Registry::new();
         let rejections_counter = registry.counter("ffdl.serve.rejections");
+        let shed_counter = registry.counter("ffdl.serve.shed");
         let depth_gauge = registry.gauge("ffdl.serve.queue_depth");
         let generation_gauge = registry.gauge("ffdl.serve.model_generation");
         let swap_hist = registry.histogram("ffdl.registry.swap_ns");
@@ -318,15 +687,19 @@ impl Server {
         Ok(Self {
             queue,
             results,
+            failures,
             handles,
             rejections: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             restarts,
             model,
             layers,
             workers: config.workers,
+            deadline: config.deadline,
             started: Instant::now(),
             registry,
             rejections_counter,
+            shed_counter,
             depth_gauge,
             generation_gauge,
             swap_hist,
@@ -335,11 +708,16 @@ impl Server {
 
     /// Submits a request. Non-blocking: a full queue is reported as
     /// [`ServeError::QueueFull`] (backpressure — retry after a pause).
+    /// When [`ServeConfig::deadline`] is set, the admitted request
+    /// carries `now + deadline` and is shed at dequeue if it expires in
+    /// the queue.
     pub fn try_submit(&self, id: u64, features: Tensor) -> Result<(), ServeError> {
+        let now = Instant::now();
         let request = QueuedRequest {
             id,
             features,
-            enqueued: Instant::now(),
+            enqueued: now,
+            deadline: self.deadline.map(|d| now + d),
         };
         match self.queue.try_push(request) {
             Ok(()) => {
@@ -354,6 +732,43 @@ impl Server {
                     self.rejections_counter.inc();
                 }
                 Err(ServeError::QueueFull)
+            }
+            Err(PushError::Closed) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Submits with bounded-wait admission: when the queue is full, the
+    /// call waits for space until the request's deadline instead of
+    /// failing fast, converting overload into a measured delay. Giving
+    /// up at the deadline is a *shed* — reported as typed
+    /// [`ServeError::DeadlineExceeded`] and counted in
+    /// `ffdl.serve.shed`. Without a configured deadline this is
+    /// identical to [`try_submit`](Self::try_submit).
+    pub fn submit(&self, id: u64, features: Tensor) -> Result<(), ServeError> {
+        let Some(deadline) = self.deadline else {
+            return self.try_submit(id, features);
+        };
+        let now = Instant::now();
+        let absolute = now + deadline;
+        let request = QueuedRequest {
+            id,
+            features,
+            enqueued: now,
+            deadline: Some(absolute),
+        };
+        match self.queue.push_deadline(request, absolute) {
+            Ok(()) => {
+                if ffdl_telemetry::enabled() {
+                    self.depth_gauge.set(self.queue.len() as i64);
+                }
+                Ok(())
+            }
+            Err(PushError::Full) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                if ffdl_telemetry::enabled() {
+                    self.shed_counter.inc();
+                }
+                Err(ServeError::DeadlineExceeded)
             }
             Err(PushError::Closed) => Err(ServeError::Closed),
         }
@@ -377,15 +792,50 @@ impl Server {
     pub fn swap_model(&self, network: &Network) -> Result<u64, ServeError> {
         let swap_started = Instant::now();
         // Validate before touching shared state: the slot must never
-        // hold a network workers cannot clone.
-        let validated = clone_network(network, &self.layers)?;
-        {
-            let mut slot = self.model.network.lock().expect("model slot poisoned");
-            *slot = validated;
+        // hold a network workers cannot clone. Two clones: one for the
+        // slot, one retained for rollback.
+        let retained = clone_network(network, &self.layers)?;
+        let for_slot = clone_network(&retained, &self.layers)?;
+        let mut sup = self.model.supervision.lock().expect("supervision lock poisoned");
+        let generation = self.model.install(&mut sup, retained, for_slot, None);
+        drop(sup);
+        if ffdl_telemetry::enabled() {
+            self.generation_gauge.set(generation as i64);
+            self.swap_hist.record(duration_ns(swap_started.elapsed()));
         }
-        // Release pairs with the workers' Acquire loads: a worker that
-        // sees the new generation also sees the new slot contents.
-        let generation = self.model.generation.fetch_add(1, Ordering::Release) + 1;
+        Ok(generation)
+    }
+
+    /// Like [`swap_model`](Self::swap_model), but sources the model from
+    /// an [`ffdl-registry`](ffdl_registry) [`ModelStore`] — loading
+    /// `registry_generation` of `name` (`None` = active) with full
+    /// checksum verification — and *binds* the server to that store:
+    /// an auto-rollback triggered later can then republish the healthy
+    /// generation's bytes through the registry, making the recovery
+    /// durable and bit-identical to the original publish. Returns the
+    /// new **server** generation (which [`ServeResponse::generation`]
+    /// reports; it is independent of the registry's numbering).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Registry`] for unknown names/generations or a
+    /// corrupt payload; [`ServeError::Clone`] if the loaded network
+    /// fails its wire round-trip.
+    pub fn swap_from_store(
+        &self,
+        store: &ModelStore,
+        name: &str,
+        registry_generation: Option<u64>,
+    ) -> Result<u64, ServeError> {
+        let swap_started = Instant::now();
+        let (retained, version) = store.load(name, registry_generation, &self.layers)?;
+        let for_slot = clone_network(&retained, &self.layers)?;
+        let mut sup = self.model.supervision.lock().expect("supervision lock poisoned");
+        sup.binding = Some((store.clone(), name.to_string()));
+        let generation = self
+            .model
+            .install(&mut sup, retained, for_slot, Some(version.generation));
+        drop(sup);
         if ffdl_telemetry::enabled() {
             self.generation_gauge.set(generation as i64);
             self.swap_hist.record(duration_ns(swap_started.elapsed()));
@@ -402,6 +852,25 @@ impl Server {
     /// Times a worker recovered from a panicking batch so far.
     pub fn worker_restarts(&self) -> u64 {
         self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Server generations quarantined by the health supervisor so far.
+    pub fn quarantined_generations(&self) -> Vec<u64> {
+        let sup = self.model.supervision.lock().expect("supervision lock poisoned");
+        sup.history
+            .iter()
+            .filter(|r| r.quarantined)
+            .map(|r| r.server_gen)
+            .collect()
+    }
+
+    /// Automatic rollbacks performed by the health supervisor so far.
+    pub fn auto_rollbacks(&self) -> u64 {
+        self.model
+            .supervision
+            .lock()
+            .expect("supervision lock poisoned")
+            .auto_rollbacks
     }
 
     /// Current queue depth (diagnostics).
@@ -447,13 +916,32 @@ impl Server {
         let responses = Arc::try_unwrap(self.results)
             .map(|m| m.into_inner().expect("results lock poisoned"))
             .unwrap_or_else(|arc| arc.lock().expect("results lock poisoned").clone());
+        let failures = Arc::try_unwrap(self.failures)
+            .map(|m| m.into_inner().expect("failures lock poisoned"))
+            .unwrap_or_else(|arc| arc.lock().expect("failures lock poisoned").clone());
+        let expired = failures
+            .iter()
+            .filter(|f| f.kind == FailureKind::DeadlineExceeded)
+            .count() as u64;
+        let (quarantines, auto_rollbacks) = {
+            let sup = self.model.supervision.lock().expect("supervision lock poisoned");
+            (sup.quarantines, sup.auto_rollbacks)
+        };
+        let counts = RunCounts {
+            queue_full_rejections: self.rejections.load(Ordering::Relaxed),
+            worker_restarts: self.restarts.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired,
+            quarantines,
+            auto_rollbacks,
+            model_generation: self.model.generation.load(Ordering::Acquire),
+        };
         Ok(ServeReport::new(
             responses,
+            failures,
             self.workers,
             wall,
-            self.rejections.load(Ordering::Relaxed),
-            self.restarts.load(Ordering::Relaxed),
-            self.model.generation.load(Ordering::Acquire),
+            counts,
             telemetry,
         ))
     }
@@ -469,7 +957,10 @@ impl Server {
 ///
 /// Propagates [`Server::start`] and worker failures; a
 /// [`ServeError::QueueFull`] is absorbed by retrying and shows up only in
-/// the report's rejection count.
+/// the report's rejection count. With [`ServeConfig::deadline`] set,
+/// admission uses the bounded-wait [`Server::submit`] path and a shed
+/// request is skipped (counted in the report), mirroring a client that
+/// gives up at its deadline.
 pub fn run_closed_loop(
     network: &Network,
     config: &ServeConfig,
@@ -478,9 +969,10 @@ pub fn run_closed_loop(
     let server = Server::start(network, config)?;
     for (i, sample) in samples.iter().enumerate() {
         loop {
-            match server.try_submit(i as u64, sample.clone()) {
+            match server.submit(i as u64, sample.clone()) {
                 Ok(()) => break,
                 Err(ServeError::QueueFull) => thread::yield_now(),
+                Err(ServeError::DeadlineExceeded) => break, // shed; in the report
                 Err(e) => return Err(e),
             }
         }
@@ -645,6 +1137,7 @@ softmax
             max_batch: 4,
             max_wait: Duration::from_micros(200),
             queue_depth: 256, // deep enough that nothing is rejected
+            ..Default::default()
         };
         let server = Server::start(&test_network(), &config).unwrap();
         for (i, s) in phase_a.iter().enumerate() {
@@ -872,6 +1365,226 @@ softmax
         assert_eq!(t.histogram("ffdl.registry.swap_ns").unwrap().count(), 1);
         assert_eq!(t.counter("ffdl.serve.worker_restarts"), Some(0));
         assert!(t.to_text().contains("ffdl.serve.batch_size"));
+    }
+
+    /// Identity layer whose forward pass takes ~40 ms — long enough that
+    /// queued requests with a ~10 ms deadline reliably expire behind it.
+    struct Tortoise;
+    impl ffdl_nn::Layer for Tortoise {
+        fn type_tag(&self) -> &'static str {
+            "test_tortoise"
+        }
+        fn forward(&mut self, input: &Tensor) -> Result<Tensor, ffdl_nn::NnError> {
+            thread::sleep(Duration::from_millis(40));
+            Ok(input.clone())
+        }
+        fn backward(&mut self, grad: &Tensor) -> Result<Tensor, ffdl_nn::NnError> {
+            Ok(grad.clone())
+        }
+    }
+    fn tortoise_from_config(_: &[u8]) -> Result<Box<dyn ffdl_nn::Layer>, ffdl_nn::NnError> {
+        Ok(Box::new(Tortoise))
+    }
+
+    #[test]
+    fn expired_requests_are_shed_at_dequeue_as_typed_failures() {
+        let mut layers = full_registry();
+        layers.register("test_tortoise", tortoise_from_config);
+        let mut net = parse_architecture(ARCH, 11).unwrap().network;
+        net.push(Tortoise);
+
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            deadline: Some(Duration::from_millis(10)),
+            ..Default::default()
+        };
+        let server = Server::start_with_registry(&net, &config, layers).unwrap();
+        let samples = test_samples(4);
+        for (i, s) in samples.iter().enumerate() {
+            server.try_submit(i as u64, s.clone()).unwrap();
+        }
+        let report = server.finish().unwrap();
+        // The first request is dequeued almost immediately (before its
+        // deadline) and served slowly; the rest wait >= 40 ms in the
+        // queue and expire. None disappear silently.
+        assert_eq!(report.requests + report.failures.len(), samples.len());
+        assert!(report.expired >= 1, "no request expired");
+        assert_eq!(report.expired as usize, report.failures.len());
+        for failure in &report.failures {
+            assert_eq!(failure.kind, FailureKind::DeadlineExceeded);
+            assert!(matches!(failure.error(), ServeError::DeadlineExceeded));
+        }
+        // Response ids and failure ids partition the submitted ids.
+        let mut ids: Vec<u64> = report
+            .responses
+            .iter()
+            .map(|r| r.id)
+            .chain(report.failures.iter().map(|f| f.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..samples.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_wait_submit_sheds_at_deadline_when_queue_stays_full() {
+        let mut layers = full_registry();
+        layers.register("test_tortoise", tortoise_from_config);
+        let mut net = parse_architecture(ARCH, 11).unwrap().network;
+        net.push(Tortoise);
+
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_depth: 1,
+            deadline: Some(Duration::from_millis(15)),
+            ..Default::default()
+        };
+        let server = Server::start_with_registry(&net, &config, layers).unwrap();
+        let samples = test_samples(3);
+        // First request: admitted, popped quickly, served slowly.
+        server.submit(0, samples[0].clone()).unwrap();
+        // Second: admitted once the worker pops the first (fills the
+        // depth-1 queue); it will expire behind the 40 ms forward pass.
+        loop {
+            match server.submit(1, samples[1].clone()) {
+                Ok(()) => break,
+                Err(ServeError::DeadlineExceeded) => {} // keep trying
+                Err(e) => panic!("{e}"),
+            }
+        }
+        // Third: the queue stays full for the worker's whole 40 ms
+        // forward pass, so the bounded wait gives up at its deadline.
+        let started = Instant::now();
+        match server.submit(2, samples[2].clone()) {
+            Err(ServeError::DeadlineExceeded) => {}
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert!(started.elapsed() >= Duration::from_millis(15));
+        let report = server.finish().unwrap();
+        assert!(report.shed >= 1, "no shed recorded");
+        assert_eq!(
+            report.requests + report.failures.len(),
+            2,
+            "both admitted requests must be accounted"
+        );
+    }
+
+    /// A layer that replaces its input with NaN — a numerically broken
+    /// model whose every batch trips the finiteness check.
+    struct NanLayer;
+    impl ffdl_nn::Layer for NanLayer {
+        fn type_tag(&self) -> &'static str {
+            "test_nan_layer"
+        }
+        fn forward(&mut self, input: &Tensor) -> Result<Tensor, ffdl_nn::NnError> {
+            Ok(Tensor::from_fn(input.shape(), |_| f32::NAN))
+        }
+        fn backward(&mut self, grad: &Tensor) -> Result<Tensor, ffdl_nn::NnError> {
+            Ok(grad.clone())
+        }
+    }
+    fn nan_layer_from_config(_: &[u8]) -> Result<Box<dyn ffdl_nn::Layer>, ffdl_nn::NnError> {
+        Ok(Box::new(NanLayer))
+    }
+
+    /// The health-supervision acceptance test without a registry: a swap
+    /// lands a model that emits NaN logits; after the threshold the pool
+    /// quarantines that generation and rolls back to the retained
+    /// healthy model, and the tail of the stream is served bit-identical
+    /// to the original.
+    #[test]
+    fn unhealthy_generation_is_quarantined_and_rolled_back() {
+        let mut layers = full_registry();
+        layers.register("test_nan_layer", nan_layer_from_config);
+        let mut bad = parse_architecture(ARCH, 11).unwrap().network;
+        bad.push(NanLayer);
+
+        let samples = test_samples(48);
+        let expected = offline_predictions(test_network(), &samples);
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_micros(100),
+            health: HealthConfig {
+                check_finite: true,
+                unhealthy_threshold: 4,
+            },
+            ..Default::default()
+        };
+        let server = Server::start_with_registry(&test_network(), &config, layers).unwrap();
+        let (phase_a, phase_b) = samples.split_at(16);
+        for (i, s) in phase_a.iter().enumerate() {
+            loop {
+                match server.try_submit(i as u64, s.clone()) {
+                    Ok(()) => break,
+                    Err(ServeError::QueueFull) => thread::yield_now(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        // Let the healthy model serve at least one response, then land
+        // the broken model.
+        while server.results.lock().expect("results").is_empty() {
+            thread::yield_now();
+        }
+        assert_eq!(server.swap_model(&bad).unwrap(), 2);
+        for (i, s) in phase_b.iter().enumerate() {
+            let id = (phase_a.len() + i) as u64;
+            loop {
+                match server.try_submit(id, s.clone()) {
+                    Ok(()) => break,
+                    Err(ServeError::QueueFull) => thread::yield_now(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        let report = server.finish().unwrap();
+
+        // The broken generation was quarantined and rolled back: the
+        // pool ends on generation 3 (the republished healthy model).
+        assert_eq!(report.quarantines, 1);
+        assert_eq!(report.auto_rollbacks, 1);
+        assert_eq!(report.model_generation, 3);
+        // Zero lost responses: every id is a response or a typed failure.
+        assert_eq!(report.requests + report.failures.len(), samples.len());
+        assert!(!report.failures.is_empty(), "gen 2 must have failed batches");
+        for failure in &report.failures {
+            assert_eq!(failure.kind, FailureKind::UnhealthyModel);
+            assert_eq!(failure.generation, 2);
+            assert!(matches!(
+                failure.error(),
+                ServeError::UnhealthyModel { generation: 2 }
+            ));
+        }
+        // Responses came only from healthy generations, bit-identical
+        // to the offline healthy model.
+        for resp in &report.responses {
+            assert!(resp.generation == 1 || resp.generation == 3, "generation {}", resp.generation);
+            assert_eq!(resp.prediction, expected[resp.id as usize], "id {}", resp.id);
+        }
+        assert!(
+            report.responses.iter().any(|r| r.generation == 3),
+            "rollback generation never served"
+        );
+    }
+
+    #[test]
+    fn threshold_without_finite_check_is_invalid_config() {
+        let net = test_network();
+        let config = ServeConfig {
+            health: HealthConfig {
+                check_finite: false,
+                unhealthy_threshold: 3,
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            Server::start(&net, &config),
+            Err(ServeError::InvalidConfig(_))
+        ));
     }
 
     #[test]

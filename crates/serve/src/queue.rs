@@ -32,6 +32,7 @@ pub(crate) struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     capacity: usize,
     not_empty: Condvar,
+    not_full: Condvar,
 }
 
 impl<T> BoundedQueue<T> {
@@ -44,6 +45,7 @@ impl<T> BoundedQueue<T> {
             }),
             capacity,
             not_empty: Condvar::new(),
+            not_full: Condvar::new(),
         }
     }
 
@@ -62,11 +64,42 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Blocking push with a deadline: waits for queue space until
+    /// `deadline`, then gives up with [`PushError::Full`]. This is the
+    /// bounded-wait admission path — overload converts into a measured
+    /// delay up to the caller's own deadline instead of an immediate
+    /// rejection.
+    pub(crate) fn push_deadline(&self, item: T, deadline: Instant) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::Full);
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(inner, deadline - now)
+                .expect("queue lock poisoned");
+            inner = guard;
+        }
+    }
+
     /// Closes the queue: no further pushes are accepted; consumers drain
-    /// the remaining items and then receive empty batches.
+    /// the remaining items and then receive empty batches, and producers
+    /// parked in [`push_deadline`](Self::push_deadline) wake to `Closed`.
     pub(crate) fn close(&self) {
         self.inner.lock().expect("queue lock poisoned").closed = true;
         self.not_empty.notify_all();
+        self.not_full.notify_all();
     }
 
     /// Current depth (diagnostics).
@@ -115,6 +148,11 @@ impl<T> BoundedQueue<T> {
             // More work remains — wake another consumer so batches keep
             // flowing while this one runs inference.
             self.not_empty.notify_one();
+        }
+        if take > 0 {
+            // Space freed — wake producers parked on the bounded-wait
+            // admission path.
+            self.not_full.notify_all();
         }
         batch
     }
@@ -178,6 +216,49 @@ mod tests {
         q.try_push(2).unwrap();
         let batch = q.pop_batch(8, Duration::ZERO);
         assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    fn push_deadline_waits_for_space_then_gives_up() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0).unwrap();
+        // Full queue, deadline already passed: immediate Full.
+        assert_eq!(
+            q.push_deadline(1, Instant::now()),
+            Err(PushError::Full)
+        );
+        // A consumer frees space while the producer waits.
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(5));
+                q.pop_batch(1, Duration::ZERO)
+            })
+        };
+        q.push_deadline(2, Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(consumer.join().unwrap(), vec![0]);
+        assert_eq!(q.len(), 1);
+        // Nobody frees space: the wait expires with Full.
+        let started = Instant::now();
+        assert_eq!(
+            q.push_deadline(3, Instant::now() + Duration::from_millis(10)),
+            Err(PushError::Full)
+        );
+        assert!(started.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn close_wakes_parked_push_deadline() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push_deadline(1, Instant::now() + Duration::from_secs(30)))
+        };
+        thread::sleep(Duration::from_millis(5));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(PushError::Closed));
     }
 
     #[test]

@@ -8,11 +8,23 @@
 //! ([`ffdl_bench::harness::percentile`]), so `BENCH_serve.json` is
 //! directly comparable with the other `BENCH_*.json` files.
 
-use crate::pool::ServeResponse;
+use crate::pool::{ServeFailure, ServeResponse};
 use ffdl_bench::harness::percentile;
 use ffdl_telemetry::RegistrySnapshot;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+/// The run's scalar counters, bundled for [`ServeReport::new`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RunCounts {
+    pub queue_full_rejections: u64,
+    pub worker_restarts: u64,
+    pub shed: u64,
+    pub expired: u64,
+    pub quarantines: u64,
+    pub auto_rollbacks: u64,
+    pub model_generation: u64,
+}
 
 /// Aggregated statistics for one serving run.
 #[derive(Debug, Clone)]
@@ -45,12 +57,26 @@ pub struct ServeReport {
     /// Times a worker recovered from a panicking batch (supervision:
     /// the worker rebuilt its engine and kept serving).
     pub worker_restarts: u64,
+    /// Requests shed at admission: the bounded-wait `submit` path gave
+    /// up at the request's deadline while the queue stayed full.
+    pub shed: u64,
+    /// Admitted requests that expired in the queue and were dropped at
+    /// dequeue as typed [`FailureKind::DeadlineExceeded`](crate::FailureKind)
+    /// failures.
+    pub expired: u64,
+    /// Model generations quarantined by the health supervisor.
+    pub quarantines: u64,
+    /// Automatic rollbacks to a healthy generation.
+    pub auto_rollbacks: u64,
     /// The model generation active when the server shut down (1 if no
     /// hot-swap happened during the run).
     pub model_generation: u64,
     /// Responses sorted by request id — deterministic regardless of
     /// worker count or completion order.
     pub responses: Vec<ServeResponse>,
+    /// Failed requests sorted by id, each with its typed reason. Every
+    /// admitted request appears in `responses` or here.
+    pub failures: Vec<ServeFailure>,
     /// Merged telemetry from the server's admission registry and every
     /// worker's per-thread registry (`ffdl.serve.*`). All counts are
     /// zero unless `ffdl_telemetry::enabled()` was on during the run.
@@ -64,14 +90,14 @@ impl ServeReport {
     /// output derived from it) is independent of completion order.
     pub(crate) fn new(
         mut responses: Vec<ServeResponse>,
+        mut failures: Vec<ServeFailure>,
         workers: usize,
         wall: Duration,
-        queue_full_rejections: u64,
-        worker_restarts: u64,
-        model_generation: u64,
+        counts: RunCounts,
         telemetry: RegistrySnapshot,
     ) -> Self {
         responses.sort_by_key(|r| r.id);
+        failures.sort_by_key(|f| f.id);
         let n = responses.len();
         let wall_s = wall.as_secs_f64();
         let mut lat: Vec<f64> = responses.iter().map(|r| r.latency_us).collect();
@@ -105,10 +131,15 @@ impl ServeReport {
             max_us: max,
             mean_batch,
             max_batch,
-            queue_full_rejections,
-            worker_restarts,
-            model_generation,
+            queue_full_rejections: counts.queue_full_rejections,
+            worker_restarts: counts.worker_restarts,
+            shed: counts.shed,
+            expired: counts.expired,
+            quarantines: counts.quarantines,
+            auto_rollbacks: counts.auto_rollbacks,
+            model_generation: counts.model_generation,
             responses,
+            failures,
             telemetry,
         }
     }
@@ -149,6 +180,24 @@ impl ServeReport {
             "worker restarts", self.worker_restarts
         )
         .expect("string write");
+        writeln!(out, "  {:<22} {:>12}", "shed (admission)", self.shed)
+            .expect("string write");
+        writeln!(out, "  {:<22} {:>12}", "expired (dequeue)", self.expired)
+            .expect("string write");
+        writeln!(out, "  {:<22} {:>12}", "quarantines", self.quarantines)
+            .expect("string write");
+        writeln!(
+            out,
+            "  {:<22} {:>12}",
+            "auto-rollbacks", self.auto_rollbacks
+        )
+        .expect("string write");
+        writeln!(
+            out,
+            "  {:<22} {:>12}",
+            "failed requests", self.failures.len()
+        )
+        .expect("string write");
         writeln!(
             out,
             "  {:<22} {:>12}",
@@ -167,7 +216,9 @@ impl ServeReport {
              \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
              \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"mean_batch\": {:.2}, \
              \"max_batch\": {}, \"queue_full_rejections\": {}, \
-             \"worker_restarts\": {}, \"model_generation\": {}}}",
+             \"worker_restarts\": {}, \"shed\": {}, \"expired\": {}, \
+             \"quarantines\": {}, \"auto_rollbacks\": {}, \
+             \"model_generation\": {}}}",
             label.replace('\\', "\\\\").replace('"', "\\\""),
             self.workers,
             self.requests,
@@ -180,6 +231,10 @@ impl ServeReport {
             self.max_batch,
             self.queue_full_rejections,
             self.worker_restarts,
+            self.shed,
+            self.expired,
+            self.quarantines,
+            self.auto_rollbacks,
             self.model_generation,
         )
     }
@@ -227,19 +282,44 @@ mod tests {
     }
 
     fn report(responses: Vec<ServeResponse>, wall: Duration, rejections: u64) -> ServeReport {
-        ServeReport::new(responses, 1, wall, rejections, 0, 1, RegistrySnapshot::default())
+        let counts = RunCounts {
+            queue_full_rejections: rejections,
+            model_generation: 1,
+            ..Default::default()
+        };
+        ServeReport::new(responses, Vec::new(), 1, wall, counts, RegistrySnapshot::default())
     }
 
     #[test]
     fn report_sorts_and_aggregates() {
         let responses = vec![resp(2, 30.0, 4), resp(0, 10.0, 4), resp(1, 20.0, 2)];
+        let counts = RunCounts {
+            queue_full_rejections: 5,
+            worker_restarts: 1,
+            shed: 2,
+            expired: 4,
+            quarantines: 1,
+            auto_rollbacks: 1,
+            model_generation: 3,
+        };
+        let failures = vec![
+            crate::ServeFailure {
+                id: 9,
+                kind: crate::FailureKind::DeadlineExceeded,
+                generation: 2,
+            },
+            crate::ServeFailure {
+                id: 5,
+                kind: crate::FailureKind::UnhealthyModel,
+                generation: 2,
+            },
+        ];
         let r = ServeReport::new(
             responses,
+            failures,
             2,
             Duration::from_millis(10),
-            5,
-            1,
-            3,
+            counts,
             RegistrySnapshot::default(),
         );
         assert_eq!(r.requests, 3);
@@ -252,8 +332,23 @@ mod tests {
         assert_eq!(r.max_batch, 4);
         assert_eq!(r.queue_full_rejections, 5);
         assert_eq!(r.worker_restarts, 1);
+        assert_eq!(r.shed, 2);
+        assert_eq!(r.expired, 4);
+        assert_eq!(r.quarantines, 1);
+        assert_eq!(r.auto_rollbacks, 1);
         assert_eq!(r.model_generation, 3);
         assert!((r.throughput_rps - 300.0).abs() < 1.0);
+        // Failures sorted by id, with typed errors derivable.
+        assert_eq!(r.failures[0].id, 5);
+        assert_eq!(r.failures[1].id, 9);
+        assert!(matches!(
+            r.failures[0].error(),
+            crate::ServeError::UnhealthyModel { generation: 2 }
+        ));
+        assert!(matches!(
+            r.failures[1].error(),
+            crate::ServeError::DeadlineExceeded
+        ));
     }
 
     #[test]
@@ -278,6 +373,11 @@ mod tests {
             "mean batch",
             "rejections",
             "worker restarts",
+            "shed (admission)",
+            "expired (dequeue)",
+            "quarantines",
+            "auto-rollbacks",
+            "failed requests",
             "model generation",
         ] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
@@ -303,6 +403,10 @@ mod tests {
         assert!(doc.contains("\"label\": \"w4_b16\""));
         assert!(doc.contains("\"throughput_rps\""));
         assert!(doc.contains("\"worker_restarts\""));
+        assert!(doc.contains("\"shed\""));
+        assert!(doc.contains("\"expired\""));
+        assert!(doc.contains("\"quarantines\""));
+        assert!(doc.contains("\"auto_rollbacks\""));
         assert!(doc.contains("\"model_generation\""));
     }
 }

@@ -72,6 +72,47 @@ echo "${swap_out}" | grep -q "final generation 3" || {
 }
 rm -rf "${store}"
 
+echo "== chaos smoke test (--chaos: deterministic fault injection) =="
+# One seeded campaign over a swapping run: a worker panic (restart), a
+# latency spike, a NaN activation (typed failure) and a bit flip on a
+# registry load (typed Corrupt, swap skipped). The run must finish and
+# report every injected fault. Same seed, same faults.
+chaos_out="$(cargo run --release --offline -q -p ffdl-cli -- \
+    serve-bench --workers 2 --requests 64 --swap-every 16 --chaos 7 --deadline-ms 2000 2>/dev/null)"
+echo "${chaos_out}" | grep -q "chaos: seed 7, injected 1 panics, 1 latency spikes, 1 NaN activations, 1 bit flips" || {
+    echo "chaos smoke test: fault summary missing or campaign not fully consumed" >&2
+    exit 1
+}
+echo "${chaos_out}" | grep -q "1 corrupt swap loads tolerated" || {
+    echo "chaos smoke test: injected bit flip was not caught as a typed Corrupt swap" >&2
+    exit 1
+}
+echo "${chaos_out}" | grep -q "1 worker restarts" || {
+    echo "chaos smoke test: injected panic did not surface as a worker restart" >&2
+    exit 1
+}
+echo "${chaos_out}" | grep -q "serve stats" || {
+    echo "chaos smoke test: run did not survive to its stats table" >&2
+    exit 1
+}
+
+echo "== bench guard: deadline bookkeeping in BENCH_registry.json =="
+# Deadline-aware serving (DESIGN.md §11): with a deadline configured,
+# every admission stamps an Instant and every dequeue compares it. The
+# committed serve_64req_deadline row must stay within 5% of the no-swap
+# row. Compared at min_ns — the noise floor — because the medians of
+# these ~0.5 ms closed-loop rows jitter more than the effect measured.
+awk '
+    /"label": "serve_64req_no_swap"/  { if (match($0, /"min_ns": [0-9.]+/)) base     = substr($0, RSTART + 10, RLENGTH - 10) }
+    /"label": "serve_64req_deadline"/ { if (match($0, /"min_ns": [0-9.]+/)) deadline = substr($0, RSTART + 10, RLENGTH - 10) }
+    END {
+        if (base == "" || deadline == "") { print "bench guard: serve_64req_no_swap/serve_64req_deadline rows missing from BENCH_registry.json" > "/dev/stderr"; exit 1 }
+        ratio = deadline / base
+        printf "serve_64req_deadline / serve_64req_no_swap min ratio: %.3fx\n", ratio
+        if (ratio > 1.05) { print "bench guard: deadline bookkeeping above 5%" > "/dev/stderr"; exit 1 }
+    }
+' BENCH_registry.json
+
 echo "== bench guard: batching win in BENCH_serve.json =="
 # The dynamic-batching claim (DESIGN.md §7): the committed w4_b16 row
 # must hold at least 1.5x the w1_b1 (unbatched single-worker) rate.

@@ -55,6 +55,7 @@
 pub use ffdl_core as core;
 pub use ffdl_data as data;
 pub use ffdl_deploy as deploy;
+pub use ffdl_fault as fault;
 pub use ffdl_fft as fft;
 pub use ffdl_nn as nn;
 pub use ffdl_platform as platform;

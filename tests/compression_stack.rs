@@ -97,7 +97,7 @@ fn fft_conv_baseline_agrees_with_dense_conv_in_a_network() {
     let mut rng = SmallRng::seed_from_u64(43);
     let (c, p, h) = (2usize, 4usize, 8usize);
 
-    let mut dense_conv = Conv2d::new(c, p, h, h, ConvGeometry::valid(3), &mut rng).unwrap();
+    let dense_conv = Conv2d::new(c, p, h, h, ConvGeometry::valid(3), &mut rng).unwrap();
     let mut fft_conv = FftConv2d::new(c, p, h, h, 3, &mut rng).unwrap();
     let params: Vec<Tensor> = dense_conv.param_tensors().into_iter().cloned().collect();
     fft_conv.load_params(&params).unwrap();

@@ -95,7 +95,8 @@ fn frozen_spectral_network_roundtrips_through_model_format() {
 
 #[test]
 fn architecture_texts_and_builders_agree_for_all_archs() {
-    let cases: [(&str, fn(u64) -> ffdl::nn::Network); 2] = [
+    type Builder = fn(u64) -> ffdl::nn::Network;
+    let cases: [(&str, Builder); 2] = [
         (paper::ARCH1_TEXT, paper::arch1),
         (paper::ARCH2_TEXT, paper::arch2),
     ];
