@@ -15,8 +15,10 @@
 
 use crate::error::CirculantError;
 use crate::spectral::{SpectralKernel, Spectrum};
+use ffdl_fft::Complex32;
 use ffdl_tensor::{Init, Tensor};
 use ffdl_rng::Rng;
+use std::sync::{Arc, OnceLock};
 
 /// Cached per-sample input spectra from a forward pass, consumed by the
 /// backward pass (Algorithm 2 reuses `FFT(x)`).
@@ -48,6 +50,7 @@ impl ForwardCache {
 /// assert_eq!(m.compression_ratio(), 4.0);
 /// # Ok::<(), ffdl_core::CirculantError>(())
 /// ```
+#[derive(Clone)]
 pub struct BlockCirculantMatrix {
     in_dim: usize,
     out_dim: usize,
@@ -57,6 +60,37 @@ pub struct BlockCirculantMatrix {
     /// Defining vectors, shape `[kb_out, kb_in, block]`.
     weights: Tensor,
     kernel: SpectralKernel,
+    /// Lazily computed weight spectra, shared across clones (an Arc
+    /// pointer bump) and invalidated whenever the weights are touched
+    /// through [`BlockCirculantMatrix::weights_mut`].
+    spectra_cache: OnceLock<Arc<Vec<Vec<Spectrum>>>>,
+}
+
+/// Reusable buffers for [`BlockCirculantMatrix::forward_batch_infer`] (and
+/// [`SpectralDense`](crate::SpectralDense)'s inference path): one FFT
+/// packing intermediate, per-input-block spectra, the spectral
+/// accumulator, one inverse-transform output block, and the zero-padded
+/// input row. After warmup, steady-state inference reuses all of them
+/// without touching the heap.
+#[derive(Default)]
+pub struct CirculantScratch {
+    /// Packing intermediate for the real FFT.
+    pub(crate) fft: Vec<Complex32>,
+    /// Per-input-block spectra of the current sample.
+    pub(crate) x_spec: Vec<Spectrum>,
+    /// Frequency-domain accumulator for one output block.
+    pub(crate) acc: Spectrum,
+    /// Time-domain output block.
+    pub(crate) y_block: Vec<f32>,
+    /// Zero-padded input row (`in_blocks · block` long).
+    pub(crate) padded: Vec<f32>,
+}
+
+impl CirculantScratch {
+    /// Creates an empty scratch set; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl BlockCirculantMatrix {
@@ -77,6 +111,7 @@ impl BlockCirculantMatrix {
             kb_out,
             weights: Tensor::zeros(&[kb_out, kb_in, block]),
             kernel: SpectralKernel::new(block),
+            spectra_cache: OnceLock::new(),
         })
     }
 
@@ -135,6 +170,7 @@ impl BlockCirculantMatrix {
             kb_out,
             weights,
             kernel: SpectralKernel::new(block),
+            spectra_cache: OnceLock::new(),
         })
     }
 
@@ -182,7 +218,13 @@ impl BlockCirculantMatrix {
     }
 
     /// Mutable defining vectors (the optimizer's handle).
+    ///
+    /// Taking this handle invalidates the cached weight spectra: the next
+    /// product recomputes them. Clones holding the previous `Arc` keep
+    /// using the old spectra — weights are immutable from their
+    /// perspective.
     pub fn weights_mut(&mut self) -> &mut Tensor {
+        self.spectra_cache = OnceLock::new();
         &mut self.weights
     }
 
@@ -225,6 +267,16 @@ impl BlockCirculantMatrix {
             .collect()
     }
 
+    /// Cached, reference-counted weight spectra. Computed on first use
+    /// and shared by every clone until [`Self::weights_mut`] invalidates
+    /// it, so steady-state products never re-transform the weights.
+    pub fn shared_weight_spectra(&self) -> Arc<Vec<Vec<Spectrum>>> {
+        Arc::clone(
+            self.spectra_cache
+                .get_or_init(|| Arc::new(self.weight_spectra())),
+        )
+    }
+
     /// Splits (and zero-pads) one padded row-sample into per-block spectra.
     fn input_spectra_of(&self, x: &[f32]) -> Vec<Spectrum> {
         let b = self.block;
@@ -255,7 +307,7 @@ impl BlockCirculantMatrix {
         }
         let batch = x.rows();
         let b = self.block;
-        let w_spec = self.weight_spectra();
+        let w_spec = self.shared_weight_spectra();
         let mut out = Vec::with_capacity(batch * self.out_dim);
         let mut cache = Vec::with_capacity(batch);
 
@@ -280,6 +332,80 @@ impl BlockCirculantMatrix {
                 input_spectra: cache,
             },
         ))
+    }
+
+    /// Inference-only batched product `Y = X·W` writing into `out`: no
+    /// backward cache is built, the cached weight spectra are reused, and
+    /// every intermediate lives in `scratch`. After a warmup call,
+    /// steady-state invocations perform zero heap allocations for
+    /// power-of-two blocks (Bluestein block sizes still allocate inside
+    /// the planned transform).
+    ///
+    /// Bit-identical to [`Self::forward_batch`]: the arithmetic and its
+    /// order are unchanged, only the buffer ownership differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::GridMismatch`] when `x` is not
+    /// `[batch, in_dim]`; `out` is reshaped only on success paths.
+    pub fn forward_batch_infer(
+        &self,
+        x: &Tensor,
+        scratch: &mut CirculantScratch,
+        out: &mut Tensor,
+    ) -> Result<(), CirculantError> {
+        if x.ndim() != 2 || x.cols() != self.in_dim {
+            return Err(CirculantError::GridMismatch {
+                message: format!(
+                    "input shape {:?}, expected [batch, {}]",
+                    x.shape(),
+                    self.in_dim
+                ),
+            });
+        }
+        let batch = x.rows();
+        let b = self.block;
+        let bins = self.kernel.bins();
+        let w_spec = self.shared_weight_spectra();
+        out.reuse_as(&[batch, self.out_dim]);
+
+        // The padded tail beyond `in_dim` is written once and never
+        // dirtied: only the first `in_dim` entries change per sample.
+        scratch.padded.clear();
+        scratch.padded.resize(self.kb_in * b, 0.0);
+        scratch.x_spec.resize(self.kb_in, Spectrum::new());
+
+        let dst = out.as_mut_slice();
+        for s in 0..batch {
+            scratch.padded[..self.in_dim].copy_from_slice(x.row(s));
+            for j in 0..self.kb_in {
+                self.kernel.spectrum_into(
+                    &scratch.padded[j * b..(j + 1) * b],
+                    &mut scratch.fft,
+                    &mut scratch.x_spec[j],
+                );
+            }
+            for i in 0..self.kb_out {
+                scratch.acc.clear();
+                scratch.acc.resize(bins, Complex32::zero());
+                for j in 0..self.kb_in {
+                    SpectralKernel::mul_accumulate(
+                        &mut scratch.acc,
+                        &w_spec[i][j],
+                        &scratch.x_spec[j],
+                    );
+                }
+                self.kernel
+                    .inverse_into(&scratch.acc, &mut scratch.fft, &mut scratch.y_block);
+                let start = i * b;
+                let end = ((i + 1) * b).min(self.out_dim);
+                if start < end {
+                    dst[s * self.out_dim + start..s * self.out_dim + end]
+                        .copy_from_slice(&scratch.y_block[..end - start]);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Batched backward pass (Algorithm 2, generalized): given the cache
@@ -316,7 +442,7 @@ impl BlockCirculantMatrix {
             });
         }
         let b = self.block;
-        let w_spec = self.weight_spectra();
+        let w_spec = self.shared_weight_spectra();
         let mut grad_x = Vec::with_capacity(batch * self.in_dim);
         // Accumulate weight gradients in the frequency domain and invert
         // once at the end: IFFT is linear, so this matches summing the
@@ -602,6 +728,54 @@ mod tests {
                 "dw[{idx}]: {num} vs {ana}"
             );
         }
+    }
+
+    #[test]
+    fn forward_batch_infer_matches_forward_batch() {
+        for (in_dim, out_dim, b) in [(10usize, 6usize, 4usize), (8, 8, 4), (7, 5, 3)] {
+            let m = BlockCirculantMatrix::random(in_dim, out_dim, b, &mut rng()).unwrap();
+            let x = sample_input(3, in_dim);
+            let (expected, _) = m.forward_batch(&x).unwrap();
+            let mut scratch = CirculantScratch::new();
+            let mut out = Tensor::zeros(&[0]);
+            m.forward_batch_infer(&x, &mut scratch, &mut out).unwrap();
+            assert_eq!(out.shape(), expected.shape());
+            assert_eq!(out.as_slice(), expected.as_slice(), "bit-identical");
+            // Warm second call, same result.
+            m.forward_batch_infer(&x, &mut scratch, &mut out).unwrap();
+            assert_eq!(out.as_slice(), expected.as_slice());
+            // Shape validation.
+            assert!(m
+                .forward_batch_infer(&Tensor::zeros(&[2, in_dim + 1]), &mut scratch, &mut out)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn spectra_cache_invalidated_by_weights_mut() {
+        let mut m = BlockCirculantMatrix::random(8, 8, 4, &mut rng()).unwrap();
+        let x = sample_input(1, 8);
+        let (y0, _) = m.forward_batch(&x).unwrap();
+        let first = m.shared_weight_spectra();
+        assert!(Arc::ptr_eq(&first, &m.shared_weight_spectra()));
+        m.weights_mut().as_mut_slice()[0] += 1.0;
+        let second = m.shared_weight_spectra();
+        assert!(!Arc::ptr_eq(&first, &second), "cache must be invalidated");
+        let (y1, _) = m.forward_batch(&x).unwrap();
+        assert_ne!(y0.as_slice(), y1.as_slice());
+    }
+
+    #[test]
+    fn clone_shares_weight_buffer_and_spectra() {
+        let m = BlockCirculantMatrix::random(8, 8, 4, &mut rng()).unwrap();
+        let spectra = m.shared_weight_spectra();
+        let c = m.clone();
+        assert!(m.weights().shares_buffer(c.weights()));
+        assert!(Arc::ptr_eq(&spectra, &c.shared_weight_spectra()));
+        let x = sample_input(2, 8);
+        let (ya, _) = m.forward_batch(&x).unwrap();
+        let (yb, _) = c.forward_batch(&x).unwrap();
+        assert_eq!(ya.as_slice(), yb.as_slice());
     }
 
     #[test]

@@ -289,6 +289,22 @@ impl Layer for CirculantConv2d {
         self.bias = params[1].clone();
         Ok(())
     }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            geom: self.geom,
+            in_h: self.in_h,
+            in_w: self.in_w,
+            matrix: self.matrix.clone(),
+            bias: self.bias.clone(),
+            weight_grad: self.weight_grad.clone(),
+            bias_grad: self.bias_grad.clone(),
+            caches: Vec::new(),
+            last_batch: 0,
+        }))
+    }
 }
 
 /// Reconstructs a [`CirculantConv2d`] from its config blob (model loader).

@@ -1,9 +1,9 @@
 //! The block-circulant fully-connected layer — Algorithm 1 (inference)
 //! and Algorithm 2 (training) of the paper, §IV-A.
 
-use crate::circulant::{BlockCirculantMatrix, ForwardCache};
+use crate::circulant::{BlockCirculantMatrix, CirculantScratch, ForwardCache};
 use crate::error::CirculantError;
-use ffdl_nn::{wire, Layer, NnError, OpCost, ParamRef};
+use ffdl_nn::{wire, Layer, NnError, OpCost, ParamRef, Scratch};
 use ffdl_tensor::Tensor;
 use ffdl_rng::Rng;
 
@@ -48,6 +48,10 @@ pub struct CirculantDense {
     weight_grad: Tensor,
     bias_grad: Tensor,
     cache: Option<ForwardCache>,
+    /// Complex-valued FFT scratch for the inference path. Per-layer (not
+    /// in the shared [`Scratch`] pool, which holds real tensors only) and
+    /// never cloned: each worker's layer clone warms its own.
+    infer_scratch: CirculantScratch,
 }
 
 impl CirculantDense {
@@ -86,6 +90,7 @@ impl CirculantDense {
             weight_grad: wg,
             bias_grad: bg,
             cache: None,
+            infer_scratch: CirculantScratch::new(),
         }
     }
 
@@ -134,6 +139,44 @@ impl Layer for CirculantDense {
         }
         self.cache = Some(cache);
         Ok(y)
+    }
+
+    fn forward_infer(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, NnError> {
+        if input.ndim() != 2 {
+            return Err(NnError::BadInput {
+                layer: "circulant_dense".into(),
+                message: format!(
+                    "expected [batch, {}], got {:?}",
+                    self.matrix.in_dim(),
+                    input.shape()
+                ),
+            });
+        }
+        let mut y = scratch.take(&[input.rows(), self.matrix.out_dim()]);
+        if let Err(e) = self
+            .matrix
+            .forward_batch_infer(input, &mut self.infer_scratch, &mut y)
+        {
+            scratch.recycle(y);
+            return Err(e.into());
+        }
+        for r in 0..y.rows() {
+            for (o, &b) in y.row_mut(r).iter_mut().zip(self.bias.as_slice()) {
+                *o += b;
+            }
+        }
+        Ok(y)
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            matrix: self.matrix.clone(),
+            bias: self.bias.clone(),
+            weight_grad: self.weight_grad.clone(),
+            bias_grad: self.bias_grad.clone(),
+            cache: None,
+            infer_scratch: CirculantScratch::new(),
+        }))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

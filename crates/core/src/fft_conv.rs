@@ -393,6 +393,22 @@ impl Layer for FftConv2d {
         self.bias = params[1].clone();
         Ok(())
     }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            in_h: self.in_h,
+            in_w: self.in_w,
+            filters: self.filters.clone(),
+            bias: self.bias.clone(),
+            filters_grad: self.filters_grad.clone(),
+            bias_grad: self.bias_grad.clone(),
+            plan: self.plan.clone(),
+            cached_x_spectra: Vec::new(),
+        }))
+    }
 }
 
 /// Reconstructs an [`FftConv2d`] from its config blob (model loader).

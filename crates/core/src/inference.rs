@@ -6,10 +6,12 @@
 //! forward pass skips the weight-side FFTs entirely, leaving one FFT per
 //! input block, the spectral MACs, and one IFFT per output block.
 
-use crate::circulant::BlockCirculantMatrix;
+use crate::circulant::{BlockCirculantMatrix, CirculantScratch};
 use crate::spectral::{SpectralKernel, Spectrum};
-use ffdl_nn::{wire, Layer, NnError, OpCost};
+use ffdl_fft::Complex32;
+use ffdl_nn::{wire, Layer, NnError, OpCost, Scratch};
 use ffdl_tensor::Tensor;
+use std::sync::Arc;
 
 /// Frozen block-circulant FC layer holding precomputed weight spectra.
 ///
@@ -24,9 +26,12 @@ pub struct SpectralDense {
     kb_in: usize,
     kb_out: usize,
     /// `spectra[out_block][in_block]`, each of length `b/2 + 1`.
-    spectra: Vec<Vec<Spectrum>>,
+    /// Reference-counted: worker clones share one table.
+    spectra: Arc<Vec<Vec<Spectrum>>>,
     bias: Tensor,
     kernel: SpectralKernel,
+    /// Per-layer FFT scratch for the inference path (never cloned).
+    infer_scratch: CirculantScratch,
 }
 
 impl SpectralDense {
@@ -43,9 +48,10 @@ impl SpectralDense {
             block: matrix.block(),
             kb_in: matrix.in_blocks(),
             kb_out: matrix.out_blocks(),
-            spectra: matrix.weight_spectra(),
+            spectra: matrix.shared_weight_spectra(),
             bias,
             kernel: SpectralKernel::new(matrix.block()),
+            infer_scratch: CirculantScratch::new(),
         }
     }
 
@@ -108,6 +114,66 @@ impl Layer for SpectralDense {
             }
         }
         Ok(Tensor::from_vec(out, &[batch, self.out_dim])?)
+    }
+
+    fn forward_infer(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, NnError> {
+        if input.ndim() != 2 || input.cols() != self.in_dim {
+            return Err(NnError::BadInput {
+                layer: "spectral_dense".into(),
+                message: format!(
+                    "expected [batch, {}], got {:?}",
+                    self.in_dim,
+                    input.shape()
+                ),
+            });
+        }
+        let b = self.block;
+        let bins = self.kernel.bins();
+        let batch = input.rows();
+        let mut out = scratch.take(&[batch, self.out_dim]);
+        let sc = &mut self.infer_scratch;
+        sc.padded.clear();
+        sc.padded.resize(self.kb_in * b, 0.0);
+        sc.x_spec.resize(self.kb_in, Spectrum::new());
+        let dst = out.as_mut_slice();
+        for s in 0..batch {
+            sc.padded[..self.in_dim].copy_from_slice(input.row(s));
+            for j in 0..self.kb_in {
+                self.kernel
+                    .spectrum_into(&sc.padded[j * b..(j + 1) * b], &mut sc.fft, &mut sc.x_spec[j]);
+            }
+            for i in 0..self.kb_out {
+                sc.acc.clear();
+                sc.acc.resize(bins, Complex32::zero());
+                for (w_spec, x_j) in self.spectra[i].iter().zip(&sc.x_spec) {
+                    SpectralKernel::mul_accumulate(&mut sc.acc, w_spec, x_j);
+                }
+                self.kernel.inverse_into(&sc.acc, &mut sc.fft, &mut sc.y_block);
+                let start = i * b;
+                let end = ((i + 1) * b).min(self.out_dim);
+                if start < end {
+                    for (k, v) in sc.y_block[..end - start].iter().enumerate() {
+                        dst[s * self.out_dim + start + k] =
+                            v + self.bias.as_slice()[start + k];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+            block: self.block,
+            kb_in: self.kb_in,
+            kb_out: self.kb_out,
+            spectra: Arc::clone(&self.spectra),
+            bias: self.bias.clone(),
+            kernel: self.kernel.clone(),
+            infer_scratch: CirculantScratch::new(),
+        }))
     }
 
     fn backward(&mut self, _grad_output: &Tensor) -> Result<Tensor, NnError> {
@@ -188,7 +254,7 @@ impl Layer for SpectralDense {
             }
             spectra.push(row);
         }
-        self.spectra = spectra;
+        self.spectra = Arc::new(spectra);
         self.bias = params[1].clone();
         Ok(())
     }
@@ -200,7 +266,7 @@ impl SpectralDense {
     pub fn spectra_tensor(&self) -> Tensor {
         let bins = self.block / 2 + 1;
         let mut data = Vec::with_capacity(self.kb_out * self.kb_in * 2 * bins);
-        for row in &self.spectra {
+        for row in self.spectra.iter() {
             for spec in row {
                 for c in spec {
                     data.push(c.re);

@@ -48,7 +48,7 @@ mod inference;
 mod quant;
 mod spectral;
 
-pub use circulant::{BlockCirculantMatrix, ForwardCache};
+pub use circulant::{BlockCirculantMatrix, CirculantScratch, ForwardCache};
 pub use conv_layer::{circulant_conv2d_from_config, CirculantConv2d};
 pub use dense_layer::{circulant_dense_from_config, CirculantDense};
 pub use error::CirculantError;

@@ -19,6 +19,7 @@ pub type Spectrum = Vec<Complex32>;
 /// block size and reuse it for every block and every sample, matching the
 /// paper's deployment pattern where the twiddle tables are effectively
 /// constants.
+#[derive(Clone)]
 pub struct SpectralKernel {
     block: usize,
     plan: RealFft<f32>,
@@ -64,6 +65,39 @@ impl SpectralKernel {
     /// Panics if `spec.len() != self.bins()`.
     pub fn inverse(&self, spec: &[Complex32]) -> Vec<f32> {
         self.plan.inverse(spec).expect("bin count is fixed")
+    }
+
+    /// Allocation-reusing variant of [`SpectralKernel::spectrum`]: writes
+    /// the half spectrum into `out`, using `fft_scratch` for the packed
+    /// intermediate. Steady-state calls perform no heap allocation once
+    /// both vectors are warm (power-of-two blocks; Bluestein lengths
+    /// still allocate inside the planned transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.block()`.
+    pub fn spectrum_into(&self, x: &[f32], fft_scratch: &mut Vec<Complex32>, out: &mut Spectrum) {
+        self.plan
+            .forward_into(x, fft_scratch, out)
+            .expect("block length is fixed");
+    }
+
+    /// Allocation-reusing variant of [`SpectralKernel::inverse`]: writes
+    /// the real block into `out`, using `fft_scratch` for the complex
+    /// intermediate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.len() != self.bins()`.
+    pub fn inverse_into(
+        &self,
+        spec: &[Complex32],
+        fft_scratch: &mut Vec<Complex32>,
+        out: &mut Vec<f32>,
+    ) {
+        self.plan
+            .inverse_into(spec, fft_scratch, out)
+            .expect("bin count is fixed");
     }
 
     /// `acc[k] += a[k] · b[k]` — the component-wise multiplication at the

@@ -1,0 +1,132 @@
+//! Counting-allocator proof of the steady-state allocation diet.
+//!
+//! A `#[global_allocator]` wrapper around [`std::alloc::System`] counts
+//! heap allocations, but only while a thread-local gate is raised — so
+//! the harness, other test threads, and warmup traffic stay invisible.
+//! After two warmup passes (which populate the [`Scratch`] pool and
+//! every layer's private FFT scratch), repeated
+//! [`Network::forward_batch_with`] calls must perform **zero** heap
+//! allocations: that is the contract the serving hot path relies on.
+//!
+//! This lives in an integration test (its own crate) deliberately: the
+//! allocator shim needs `unsafe`, which the library crates forbid.
+
+use ffdl_core::CirculantDense;
+use ffdl_nn::{Dense, Network, Relu, Scratch, Softmax};
+use ffdl_rng::{Rng, SeedableRng, SmallRng};
+use ffdl_tensor::Tensor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocations observed while the thread-local gate is raised.
+static COUNTED_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-init: a lazily initialized thread-local would itself
+    // allocate on first access and deadlock the accounting.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn note(&self) {
+        // `try_with`: allocator calls can arrive during thread teardown
+        // after the TLS slot is destroyed.
+        let gated = COUNTING.try_with(Cell::get).unwrap_or(false);
+        if gated {
+            COUNTED_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// SAFETY: pure pass-through to System; the only addition is counting.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.note();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow-in-place is still a potential allocation: count it.
+        self.note();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.note();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting enabled on this thread and returns
+/// how many allocations it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = COUNTED_ALLOCS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    COUNTED_ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn network() -> Network {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut net = Network::new();
+    net.push(CirculantDense::new(16, 16, 4, &mut rng).unwrap());
+    net.push(Relu::new());
+    net.push(Dense::new(16, 4, &mut rng));
+    net.push(Softmax::new());
+    net
+}
+
+#[test]
+fn steady_state_forward_batch_allocates_nothing() {
+    let mut net = network();
+    let mut scratch = Scratch::new();
+
+    let mut rng = SmallRng::seed_from_u64(77);
+    let samples: Vec<Tensor> = (0..8)
+        .map(|_| Tensor::from_fn(&[16], |_| rng.next_f32() * 2.0 - 1.0))
+        .collect();
+    let refs: Vec<&Tensor> = samples.iter().collect();
+
+    // Warmup: the first pass allocates the scratch-pool tensors and each
+    // layer's private FFT spectra; the second catches any buffer that
+    // only materializes once the pool is partially warm.
+    for _ in 0..2 {
+        let out = net.forward_batch_with(&refs, &mut scratch).unwrap();
+        scratch.recycle(out);
+    }
+    let reference = net.forward_batch_with(&refs, &mut scratch).unwrap();
+
+    // `reference` keeps one buffer checked out of the pool for the rest
+    // of the test; one more unmeasured pass lets the pool replace it.
+    let out = net.forward_batch_with(&refs, &mut scratch).unwrap();
+    scratch.recycle(out);
+
+    // Steady state: zero heap allocations across many full passes.
+    let allocs = count_allocs(|| {
+        for _ in 0..16 {
+            let out = net
+                .forward_batch_with(&refs, &mut scratch)
+                .expect("steady-state forward");
+            scratch.recycle(out);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state forward_batch_with must not touch the heap"
+    );
+
+    // The diet changes nothing numerically: still bit-identical.
+    let after = net.forward_batch_with(&refs, &mut scratch).unwrap();
+    assert_eq!(reference.as_slice(), after.as_slice());
+}

@@ -4,7 +4,7 @@
 //! embedded platforms.
 
 use crate::error::{DeployError, NonFiniteStage};
-use ffdl_nn::{softmax_rows, Network};
+use ffdl_nn::{softmax_rows, Network, Scratch};
 use ffdl_platform::{measure_inference_us, RuntimeModel, Timing};
 use ffdl_tensor::Tensor;
 
@@ -32,9 +32,14 @@ pub struct EvaluationReport {
 }
 
 /// Inference engine wrapping a loaded network.
+///
+/// Owns a per-engine [`Scratch`] buffer pool: batched prediction runs
+/// through the allocation-reusing inference path, so steady-state
+/// serving does not heap-allocate per request once the pool is warm.
 pub struct InferenceEngine {
     network: Network,
     check_logits: bool,
+    scratch: Scratch,
 }
 
 impl InferenceEngine {
@@ -43,6 +48,7 @@ impl InferenceEngine {
         Self {
             network,
             check_logits: false,
+            scratch: Scratch::new(),
         }
     }
 
@@ -115,7 +121,7 @@ impl InferenceEngine {
     /// Converts `[batch, classes]` network output into per-sample
     /// predictions, applying softmax when the network does not end in a
     /// softmax layer.
-    fn predictions_from_output(&self, out: Tensor) -> Result<Vec<Prediction>, DeployError> {
+    fn predictions_from_output(&self, out: &Tensor) -> Result<Vec<Prediction>, DeployError> {
         if out.ndim() != 2 {
             return Err(Self::bad_input(format!(
                 "expected [batch, classes] output, got {:?}",
@@ -128,10 +134,12 @@ impl InferenceEngine {
             .last()
             .map(|l| l.type_tag() == "softmax")
             .unwrap_or(false);
+        let owned;
         let probs = if ends_with_softmax {
             out
         } else {
-            softmax_rows(&out)?
+            owned = softmax_rows(out)?;
+            &owned
         };
         Ok((0..probs.rows())
             .map(|r| {
@@ -172,7 +180,7 @@ impl InferenceEngine {
         let span = ffdl_telemetry::span("ffdl.deploy.predict_ns");
         let mut out = self.network.forward(inputs)?;
         self.screen_logits(&mut out)?;
-        let preds = self.predictions_from_output(out)?;
+        let preds = self.predictions_from_output(&out)?;
         drop(span);
         ffdl_telemetry::count("ffdl.deploy.predictions", preds.len() as u64);
         Ok(preds)
@@ -180,7 +188,7 @@ impl InferenceEngine {
 
     /// Predicts classes for a coalesced batch of per-sample tensors: the
     /// samples are stacked and run through **one** forward pass
-    /// ([`Network::forward_batch`]), so the per-call costs of the FFT
+    /// ([`Network::forward_batch_with`]), so the per-call costs of the FFT
     /// layers are amortized across the whole batch. Entry `r` of the
     /// result corresponds to `samples[r]` and is bit-identical to
     /// [`InferenceEngine::predict`] on that sample alone.
@@ -201,9 +209,11 @@ impl InferenceEngine {
             offset += sample.len();
         }
         let span = ffdl_telemetry::span("ffdl.deploy.predict_ns");
-        let mut out = self.network.forward_batch(samples)?;
-        self.screen_logits(&mut out)?;
-        let preds = self.predictions_from_output(out)?;
+        let mut out = self.network.forward_batch_with(samples, &mut self.scratch)?;
+        let screened = self.screen_logits(&mut out);
+        let preds = screened.and_then(|()| self.predictions_from_output(&out));
+        self.scratch.recycle(out);
+        let preds = preds?;
         drop(span);
         ffdl_telemetry::count("ffdl.deploy.predictions", preds.len() as u64);
         Ok(preds)

@@ -40,6 +40,19 @@ pub struct Fft2d<T> {
     col_inverse: Arc<dyn Fft<T>>,
 }
 
+impl<T> Clone for Fft2d<T> {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            row_forward: Arc::clone(&self.row_forward),
+            row_inverse: Arc::clone(&self.row_inverse),
+            col_forward: Arc::clone(&self.col_forward),
+            col_inverse: Arc::clone(&self.col_inverse),
+        }
+    }
+}
+
 impl<T: FftFloat> Fft2d<T> {
     /// Builds a plan for `rows × cols` images.
     ///

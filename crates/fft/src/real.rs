@@ -42,6 +42,18 @@ pub struct RealFft<T> {
     fallback: Option<FallbackPlans<T>>,
 }
 
+// Cloning a plan shares the Arc'd complex plans and copies the O(n)
+// twiddle table — cheap enough for per-worker layer clones.
+impl<T: Clone> Clone for RealFft<T> {
+    fn clone(&self) -> Self {
+        Self {
+            len: self.len,
+            packed: self.packed.clone(),
+            fallback: self.fallback.clone(),
+        }
+    }
+}
+
 struct PackedPlans<T> {
     half_forward: Arc<dyn Fft<T>>,
     half_inverse: Arc<dyn Fft<T>>,
@@ -49,9 +61,28 @@ struct PackedPlans<T> {
     twiddles: Vec<Complex<T>>,
 }
 
+impl<T: Clone> Clone for PackedPlans<T> {
+    fn clone(&self) -> Self {
+        Self {
+            half_forward: Arc::clone(&self.half_forward),
+            half_inverse: Arc::clone(&self.half_inverse),
+            twiddles: self.twiddles.clone(),
+        }
+    }
+}
+
 struct FallbackPlans<T> {
     forward: Arc<dyn Fft<T>>,
     inverse: Arc<dyn Fft<T>>,
+}
+
+impl<T> Clone for FallbackPlans<T> {
+    fn clone(&self) -> Self {
+        Self {
+            forward: Arc::clone(&self.forward),
+            inverse: Arc::clone(&self.inverse),
+        }
+    }
 }
 
 impl<T: FftFloat> RealFft<T> {
@@ -111,6 +142,26 @@ impl<T: FftFloat> RealFft<T> {
     ///
     /// Returns [`FftError::LengthMismatch`] when `input.len() != self.len()`.
     pub fn forward(&self, input: &[T]) -> Result<Vec<Complex<T>>, FftError> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.forward_into(input, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-reusing variant of [`RealFft::forward`]: writes the
+    /// half spectrum into `out` and uses `scratch` for the packed
+    /// intermediate. Both vectors are cleared and refilled; once they
+    /// have grown to capacity, repeated calls perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when `input.len() != self.len()`.
+    pub fn forward_into(
+        &self,
+        input: &[T],
+        scratch: &mut Vec<Complex<T>>,
+        out: &mut Vec<Complex<T>>,
+    ) -> Result<(), FftError> {
         if input.len() != self.len {
             return Err(FftError::LengthMismatch {
                 expected: self.len,
@@ -120,31 +171,31 @@ impl<T: FftFloat> RealFft<T> {
         if let Some(p) = &self.packed {
             let half = self.len / 2;
             // Pack pairs of reals into one complex signal.
-            let mut z: Vec<Complex<T>> = (0..half)
-                .map(|j| Complex::new(input[2 * j], input[2 * j + 1]))
-                .collect();
-            p.half_forward.process(&mut z)?;
+            scratch.clear();
+            scratch.extend((0..half).map(|j| Complex::new(input[2 * j], input[2 * j + 1])));
+            p.half_forward.process(scratch)?;
 
+            let z: &[Complex<T>] = scratch;
             let mirror = |k: usize| if k == 0 { z[0] } else { z[half - k] };
             let half_scale = T::from_f64(0.5);
-            let out = (0..=half)
-                .map(|k| {
-                    let zk = if k == half { z[0] } else { z[k] };
-                    let zm = mirror(k % half).conj();
-                    // E[k] (even samples) and O[k] (odd samples):
-                    let e = (zk + zm).scale(half_scale);
-                    let o = (zk - zm).scale(half_scale) * Complex::new(T::ZERO, -T::ONE);
-                    e + p.twiddles[k] * o
-                })
-                .collect();
-            Ok(out)
+            out.clear();
+            out.extend((0..=half).map(|k| {
+                let zk = if k == half { z[0] } else { z[k] };
+                let zm = mirror(k % half).conj();
+                // E[k] (even samples) and O[k] (odd samples):
+                let e = (zk + zm).scale(half_scale);
+                let o = (zk - zm).scale(half_scale) * Complex::new(T::ZERO, -T::ONE);
+                e + p.twiddles[k] * o
+            }));
+            Ok(())
         } else {
             let f = self.fallback.as_ref().expect("one of the plans is set");
-            let mut buf: Vec<Complex<T>> =
-                input.iter().map(|&x| Complex::from_real(x)).collect();
-            f.forward.process(&mut buf)?;
-            buf.truncate(self.spectrum_len());
-            Ok(buf)
+            scratch.clear();
+            scratch.extend(input.iter().map(|&x| Complex::from_real(x)));
+            f.forward.process(scratch)?;
+            out.clear();
+            out.extend_from_slice(&scratch[..self.spectrum_len()]);
+            Ok(())
         }
     }
 
@@ -159,6 +210,28 @@ impl<T: FftFloat> RealFft<T> {
     /// Returns [`FftError::LengthMismatch`] when
     /// `spectrum.len() != self.spectrum_len()`.
     pub fn inverse(&self, spectrum: &[Complex<T>]) -> Result<Vec<T>, FftError> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.inverse_into(spectrum, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-reusing variant of [`RealFft::inverse`]: writes the
+    /// reconstructed real signal into `out` and uses `scratch` for the
+    /// complex intermediate. Both vectors are cleared and refilled; once
+    /// they have grown to capacity, repeated calls perform no heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when
+    /// `spectrum.len() != self.spectrum_len()`.
+    pub fn inverse_into(
+        &self,
+        spectrum: &[Complex<T>],
+        scratch: &mut Vec<Complex<T>>,
+        out: &mut Vec<T>,
+    ) -> Result<(), FftError> {
         if spectrum.len() != self.spectrum_len() {
             return Err(FftError::LengthMismatch {
                 expected: self.spectrum_len(),
@@ -168,33 +241,36 @@ impl<T: FftFloat> RealFft<T> {
         if let Some(p) = &self.packed {
             let half = self.len / 2;
             let half_scale = T::from_f64(0.5);
-            let mut z: Vec<Complex<T>> = (0..half)
-                .map(|k| {
-                    let xk = spectrum[k];
-                    let xm = spectrum[half - k].conj();
-                    let e = (xk + xm).scale(half_scale);
-                    // O[k] = (X[k] − conj(X[n/2−k])) / (2·w^k); 1/w^k = conj(w^k).
-                    let o = (xk - xm).scale(half_scale) * p.twiddles[k].conj();
-                    e + o * Complex::new(T::ZERO, T::ONE)
-                })
-                .collect();
-            p.half_inverse.process(&mut z)?;
-            let mut out = Vec::with_capacity(self.len);
-            for v in z {
+            scratch.clear();
+            scratch.extend((0..half).map(|k| {
+                let xk = spectrum[k];
+                let xm = spectrum[half - k].conj();
+                let e = (xk + xm).scale(half_scale);
+                // O[k] = (X[k] − conj(X[n/2−k])) / (2·w^k); 1/w^k = conj(w^k).
+                let o = (xk - xm).scale(half_scale) * p.twiddles[k].conj();
+                e + o * Complex::new(T::ZERO, T::ONE)
+            }));
+            p.half_inverse.process(scratch)?;
+            out.clear();
+            out.reserve(self.len);
+            for v in scratch.iter() {
                 out.push(v.re);
                 out.push(v.im);
             }
-            Ok(out)
+            Ok(())
         } else {
             let f = self.fallback.as_ref().expect("one of the plans is set");
             // Rebuild the full spectrum by conjugate symmetry.
-            let mut buf = vec![Complex::zero(); self.len];
-            buf[..spectrum.len()].copy_from_slice(spectrum);
+            scratch.clear();
+            scratch.resize(self.len, Complex::zero());
+            scratch[..spectrum.len()].copy_from_slice(spectrum);
             for k in spectrum.len()..self.len {
-                buf[k] = spectrum[self.len - k].conj();
+                scratch[k] = spectrum[self.len - k].conj();
             }
-            f.inverse.process(&mut buf)?;
-            Ok(buf.into_iter().map(|v| v.re).collect())
+            f.inverse.process(scratch)?;
+            out.clear();
+            out.extend(scratch.iter().map(|v| v.re));
+            Ok(())
         }
     }
 }
@@ -271,6 +347,32 @@ mod tests {
             for (a, b) in back.iter().zip(&x) {
                 assert!((a - b).abs() < 1e-9, "n={n}");
             }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_buffers() {
+        for n in [8usize, 7, 16] {
+            let x = signal(n);
+            let plan = RealFft::new(n);
+            let mut scratch = Vec::new();
+            let mut spec = Vec::new();
+            plan.forward_into(&x, &mut scratch, &mut spec).unwrap();
+            let reference = plan.forward(&x).unwrap();
+            assert_eq!(spec.len(), reference.len());
+            for (a, b) in spec.iter().zip(&reference) {
+                assert!((*a - *b).norm() < 1e-12, "n={n}");
+            }
+            let mut back = Vec::new();
+            plan.inverse_into(&spec, &mut scratch, &mut back).unwrap();
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-9, "n={n}");
+            }
+            // Steady state: capacities are warm, repeated calls only refill.
+            let (cs, co) = (scratch.capacity(), spec.capacity());
+            plan.forward_into(&x, &mut scratch, &mut spec).unwrap();
+            assert_eq!(scratch.capacity(), cs);
+            assert_eq!(spec.capacity(), co);
         }
     }
 

@@ -3,6 +3,7 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, OpCost};
+use crate::scratch::Scratch;
 use ffdl_tensor::Tensor;
 
 macro_rules! activation_layer {
@@ -39,6 +40,31 @@ macro_rules! activation_layer {
                 };
                 self.cached = Some((input.clone(), out.clone()));
                 Ok(out)
+            }
+
+            fn forward_infer(
+                &mut self,
+                input: &Tensor,
+                scratch: &mut Scratch,
+            ) -> Result<Tensor, NnError> {
+                let fwd: fn(f32) -> f32 = $fwd;
+                let mut out = scratch.take(input.shape());
+                for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                    *o = fwd(v);
+                }
+                self.last_size = if input.ndim() > 0 {
+                    input.len() / input.shape()[0].max(1)
+                } else {
+                    0
+                };
+                Ok(out)
+            }
+
+            fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+                Some(Box::new(Self {
+                    cached: None,
+                    last_size: self.last_size,
+                }))
             }
 
             fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

@@ -4,8 +4,12 @@
 
 use crate::error::NnError;
 use crate::layer::{check_features, Layer, OpCost, ParamRef};
+use crate::scratch::Scratch;
 use crate::wire;
-use ffdl_tensor::{col2im, filters_to_matrix, im2col, matrix_to_filters, ConvGeometry, Init, Tensor};
+use ffdl_tensor::{
+    col2im, filters_to_matrix, filters_to_matrix_into, im2col, im2col_into, matrix_to_filters,
+    ConvGeometry, Init, Tensor,
+};
 use ffdl_rng::Rng;
 
 /// A 2-D convolutional layer: input `[batch, C, H, W]` →
@@ -131,6 +135,64 @@ impl Layer for Conv2d {
             out,
             &[batch, self.out_channels, oh, ow],
         )?)
+    }
+
+    fn forward_infer(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, NnError> {
+        check_features(
+            "conv2d",
+            input,
+            4,
+            &[self.in_channels, self.in_h, self.in_w],
+        )?;
+        let batch = input.shape()[0];
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let cr2 = self.in_channels * self.geom.kernel * self.geom.kernel;
+        let plane = self.in_channels * self.in_h * self.in_w;
+        let plane_out = self.out_channels * oh * ow;
+
+        let mut fmat = scratch.take(&[cr2, self.out_channels]);
+        filters_to_matrix_into(&self.filters, &mut fmat)?;
+        let mut out = scratch.take(&[batch, self.out_channels, oh, ow]);
+        let mut sample = scratch.take(&[self.in_channels, self.in_h, self.in_w]);
+        let mut cols = scratch.take(&[oh * ow, cr2]);
+        let mut y = scratch.take(&[oh * ow, self.out_channels]);
+
+        for s in 0..batch {
+            sample
+                .as_mut_slice()
+                .copy_from_slice(&input.as_slice()[s * plane..(s + 1) * plane]);
+            im2col_into(&sample, self.geom, &mut cols)?;
+            cols.matmul_into(&fmat, &mut y)?;
+            // Transpose [oh·ow, P] → [P, oh, ow] with bias.
+            let dst = &mut out.as_mut_slice()[s * plane_out..(s + 1) * plane_out];
+            let ys = y.as_slice();
+            for p in 0..self.out_channels {
+                let b = self.bias.as_slice()[p];
+                for pix in 0..oh * ow {
+                    dst[p * oh * ow + pix] = ys[pix * self.out_channels + p] + b;
+                }
+            }
+        }
+        scratch.recycle(fmat);
+        scratch.recycle(sample);
+        scratch.recycle(cols);
+        scratch.recycle(y);
+        Ok(out)
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            geom: self.geom,
+            in_h: self.in_h,
+            in_w: self.in_w,
+            filters: self.filters.clone(),
+            bias: self.bias.clone(),
+            filters_grad: self.filters_grad.clone(),
+            bias_grad: self.bias_grad.clone(),
+            cached_cols: Vec::new(),
+        }))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

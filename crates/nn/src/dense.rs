@@ -4,6 +4,7 @@
 
 use crate::error::NnError;
 use crate::layer::{check_features, Layer, OpCost, ParamRef};
+use crate::scratch::Scratch;
 use crate::wire;
 use ffdl_tensor::{Init, Tensor};
 use ffdl_rng::Rng;
@@ -114,6 +115,30 @@ impl Layer for Dense {
         }
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn forward_infer(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, NnError> {
+        check_features("dense", input, 2, &[self.in_dim])?;
+        let mut out = scratch.take(&[input.rows(), self.out_dim]);
+        input.matmul_into(&self.weight, &mut out)?;
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(self.bias.as_slice()) {
+                *o += b;
+            }
+        }
+        Ok(out)
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            weight_grad: self.weight_grad.clone(),
+            bias_grad: self.bias_grad.clone(),
+            cached_input: None,
+        }))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

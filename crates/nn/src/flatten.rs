@@ -2,6 +2,7 @@
 
 use crate::error::NnError;
 use crate::layer::Layer;
+use crate::scratch::Scratch;
 use ffdl_tensor::Tensor;
 
 /// Reshapes `[batch, d₁, d₂, …]` to `[batch, d₁·d₂·…]`, remembering the
@@ -34,6 +35,27 @@ impl Layer for Flatten {
         let rest: usize = input.shape()[1..].iter().product();
         self.cached_shape = Some(input.shape().to_vec());
         Ok(input.reshape(&[batch, rest])?)
+    }
+
+    fn forward_infer(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, NnError> {
+        if input.ndim() < 2 {
+            return Err(NnError::BadInput {
+                layer: "flatten".into(),
+                message: format!("expected batched input, got shape {:?}", input.shape()),
+            });
+        }
+        let batch = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        // Copy into a scratch buffer instead of the zero-copy reshape:
+        // a reshape alias would pin the recycled input buffer (shared
+        // Arc) and allocate a fresh shape vector per request.
+        let mut out = scratch.take(&[batch, rest]);
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        Ok(out)
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self { cached_shape: None }))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

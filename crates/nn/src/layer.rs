@@ -2,6 +2,7 @@
 //! and the block-circulant FFT layers of `ffdl-core`.
 
 use crate::error::NnError;
+use crate::scratch::Scratch;
 use ffdl_tensor::Tensor;
 
 /// A mutable view of one trainable parameter and its gradient.
@@ -59,7 +60,12 @@ impl OpCost {
 /// pass needs; `backward` must be preceded by `forward` on the same input
 /// batch. Inputs and outputs are batched: the first dimension is the batch
 /// size.
-pub trait Layer: Send {
+///
+/// The `Send + Sync` bound exists so a frozen network can be shared
+/// across serving threads behind an `Arc` — all mutation goes through
+/// `&mut self`, so `Sync` asks only that layers avoid un-synchronized
+/// interior mutability.
+pub trait Layer: Send + Sync {
     /// Stable identifier used by the model format and architecture parser
     /// (e.g. `"dense"`, `"relu"`, `"circulant_dense"`).
     fn type_tag(&self) -> &'static str;
@@ -79,6 +85,35 @@ pub trait Layer: Send {
     /// Returns [`NnError::NoForwardCache`] when called before `forward`,
     /// or [`NnError::BadInput`] on a gradient of the wrong shape.
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Inference-only forward pass: identical math and bit-identical
+    /// output to [`forward`](Layer::forward), but free to skip the
+    /// backward caches and to draw intermediate buffers from `scratch`
+    /// instead of allocating. The default delegates to `forward`, so
+    /// layers that have not opted in stay correct (just not
+    /// allocation-free).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`forward`](Layer::forward).
+    fn forward_infer(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, NnError> {
+        let _ = scratch;
+        self.forward(input)
+    }
+
+    /// Structural clone that **shares** frozen parameter buffers with
+    /// `self` (copy-on-write tensors make the shared state safe: any
+    /// later write detaches a private copy) and starts with empty
+    /// forward caches, so the clone can serve on another thread.
+    ///
+    /// Returns `None` when the layer does not support structural
+    /// cloning; [`clone_network`](crate::clone_network) then falls back
+    /// to a wire-format round trip through the layer registry. Built-in
+    /// layers all return `Some`, which is what makes whole-network
+    /// clones for serving O(layers) pointer bumps.
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        None
+    }
 
     /// Trainable parameters with their gradients, in a stable order.
     fn parameters(&mut self) -> Vec<ParamRef<'_>> {

@@ -61,6 +61,7 @@ mod network;
 mod optimizer;
 mod pool;
 mod schedule;
+mod scratch;
 mod serialize;
 mod softmax;
 pub mod wire;
@@ -78,5 +79,8 @@ pub use network::Network;
 pub use optimizer::Sgd;
 pub use pool::{maxpool2d_from_config, MaxPool2d};
 pub use schedule::{ConstantLr, LinearWarmup, LrSchedule, StepDecay};
-pub use serialize::{clone_network, load_network, save_network, LayerBuilder, LayerRegistry};
+pub use scratch::Scratch;
+pub use serialize::{
+    clone_network, deep_clone_network, load_network, save_network, LayerBuilder, LayerRegistry,
+};
 pub use softmax::{softmax_from_config, softmax_rows, Softmax};

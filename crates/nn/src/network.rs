@@ -5,6 +5,7 @@ use crate::error::NnError;
 use crate::layer::{Layer, OpCost, ParamRef};
 use crate::loss::SoftmaxCrossEntropy;
 use crate::optimizer::Sgd;
+use crate::scratch::Scratch;
 use ffdl_tensor::Tensor;
 
 /// A feed-forward stack of [`Layer`]s executed in order.
@@ -144,6 +145,64 @@ impl Network {
             message: format!("forward_batch: {e}"),
         })?;
         self.forward(&stacked)
+    }
+
+    /// Allocation-recycling variant of [`Network::forward_batch`]: stacks
+    /// the samples into a scratch-owned tensor and threads every
+    /// intermediate activation through `scratch`, recycling each layer's
+    /// input as soon as the layer has produced its output. After a warmup
+    /// call the steady state performs **zero per-request heap
+    /// allocations** for layers whose `forward_infer` is allocation-free
+    /// (all built-in layers on power-of-two FFT blocks).
+    ///
+    /// The result tensor is owned by the caller; recycle it back into
+    /// `scratch` when done to keep the pool warm.
+    ///
+    /// Outputs are bit-identical to [`Network::forward_batch`] (and hence
+    /// to per-row [`Network::forward`]): `forward_infer` runs the same
+    /// arithmetic in the same order, it only skips backward caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when `samples` is empty or the
+    /// sample shapes disagree; propagates layer errors.
+    pub fn forward_batch_with(
+        &mut self,
+        samples: &[&Tensor],
+        scratch: &mut Scratch,
+    ) -> Result<Tensor, NnError> {
+        let mut x = scratch.take(&[0]);
+        if let Err(e) = Tensor::stack_into(samples, &mut x) {
+            scratch.recycle(x);
+            return Err(NnError::BadInput {
+                layer: "network".into(),
+                message: format!("forward_batch: {e}"),
+            });
+        }
+        // Same instrumentation as Network::forward when telemetry is
+        // on; disabled (the serving steady state) this is one relaxed
+        // bool load and no allocation.
+        let telemetry_on = ffdl_telemetry::enabled();
+        let whole = telemetry_on.then(|| ffdl_telemetry::span("ffdl.nn.forward_ns"));
+        for layer in &mut self.layers {
+            let span = telemetry_on.then(|| {
+                ffdl_telemetry::span(&format!("ffdl.nn.layer_forward_ns.{}", layer.type_tag()))
+            });
+            let result = layer.forward_infer(&x, scratch);
+            drop(span);
+            match result {
+                Ok(y) => {
+                    scratch.recycle(x);
+                    x = y;
+                }
+                Err(e) => {
+                    scratch.recycle(x);
+                    return Err(e);
+                }
+            }
+        }
+        drop(whole);
+        Ok(x)
     }
 
     /// Runs the full backward pass, returning the gradient with respect to
@@ -351,6 +410,30 @@ mod tests {
         let acc = net.accuracy(&x, &labels).unwrap();
         assert!((0.0..=1.0).contains(&acc));
         assert!(net.accuracy(&x, &[0]).is_err());
+    }
+
+    #[test]
+    fn forward_batch_with_matches_plain_forward() {
+        let mut net = xor_net(10);
+        let (x, _) = xor_data();
+        let rows: Vec<Tensor> = (0..4).map(|r| Tensor::from_slice(x.row(r))).collect();
+        let refs: Vec<&Tensor> = rows.iter().collect();
+        let expected = net.forward(&x).unwrap();
+
+        let mut scratch = Scratch::new();
+        let warm = net.forward_batch_with(&refs, &mut scratch).unwrap();
+        assert_eq!(warm.shape(), expected.shape());
+        assert_eq!(warm.as_slice(), expected.as_slice());
+        scratch.recycle(warm);
+
+        // Steady state: buffers come back from the pool, results identical.
+        let again = net.forward_batch_with(&refs, &mut scratch).unwrap();
+        assert_eq!(again.as_slice(), expected.as_slice());
+        assert!(scratch.pooled() > 0, "intermediates were not recycled");
+
+        assert!(net
+            .forward_batch_with(&[], &mut scratch)
+            .is_err());
     }
 
     #[test]

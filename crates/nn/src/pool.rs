@@ -5,6 +5,7 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, OpCost};
+use crate::scratch::Scratch;
 use crate::wire;
 use ffdl_tensor::Tensor;
 
@@ -124,6 +125,68 @@ impl Layer for MaxPool2d {
         self.last_out_elems = out.len() / b.max(1);
         self.cache = Some((input.shape().to_vec(), argmax));
         Ok(Tensor::from_vec(out, &[b, c, oh, ow])?)
+    }
+
+    fn forward_infer(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, NnError> {
+        if input.ndim() != 4 {
+            return Err(NnError::BadInput {
+                layer: "maxpool2d".into(),
+                message: format!("expected [batch, C, H, W], got {:?}", input.shape()),
+            });
+        }
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oh, ow) = match (self.out_extent(h), self.out_extent(w)) {
+            (Some(oh), Some(ow)) => (oh, ow),
+            _ => {
+                return Err(NnError::BadInput {
+                    layer: "maxpool2d".into(),
+                    message: format!("window {} exceeds spatial size {h}×{w}", self.kernel),
+                })
+            }
+        };
+        let mut out = scratch.take(&[b, c, oh, ow]);
+        let x = input.as_slice();
+        let dst = out.as_mut_slice();
+        let mut o = 0;
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = x[plane + (oy * self.stride) * w + ox * self.stride];
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let v = x[plane
+                                    + (oy * self.stride + ky) * w
+                                    + ox * self.stride
+                                    + kx];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        dst[o] = best;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        self.last_out_elems = c * oh * ow;
+        Ok(out)
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            kernel: self.kernel,
+            stride: self.stride,
+            cache: None,
+            last_out_elems: self.last_out_elems,
+        }))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

@@ -208,20 +208,67 @@ pub fn load_network<R: Read>(reader: R, registry: &LayerRegistry) -> Result<Netw
     Ok(network)
 }
 
+/// Clones a network for serving: each layer is copied via its
+/// [`Layer::clone_layer`] fast path when it has one — a structural
+/// clone whose parameter tensors *share* the original's buffers
+/// (copy-on-write, so a later parameter write on either side detaches a
+/// private copy) — making the whole clone O(layers) pointer bumps with
+/// no serialization. Layers without a fast path fall back to a
+/// per-layer wire round-trip through `registry`, preserving the old
+/// validation semantics: a layer type the registry cannot rebuild fails
+/// the clone with [`NnError::UnknownLayerTag`].
+///
+/// The clone starts with empty forward caches and is safe to run on
+/// another thread — this is how the serving runtime gives each worker
+/// its own copy of the model. For a clone with *independent* parameter
+/// allocations (training, optimizer state), use [`deep_clone_network`].
+///
+/// # Errors
+///
+/// Returns [`NnError::UnknownLayerTag`] when a fallback layer type is
+/// not in `registry`, and propagates format errors (which indicate a
+/// bug in a layer's `config_bytes`/`load_params` pair rather than a
+/// user input condition).
+pub fn clone_network(network: &Network, registry: &LayerRegistry) -> Result<Network, NnError> {
+    let mut clone = Network::new();
+    for layer in network.layers() {
+        let copied = match layer.clone_layer() {
+            Some(copied) => copied,
+            None => clone_layer_via_wire(layer.as_ref(), registry)?,
+        };
+        clone.push_boxed(copied);
+    }
+    Ok(clone)
+}
+
+/// Wire-format fallback for one layer: serialize tag + config + params,
+/// rebuild through the registry.
+fn clone_layer_via_wire(
+    layer: &dyn Layer,
+    registry: &LayerRegistry,
+) -> Result<Box<dyn Layer>, NnError> {
+    let builder = registry
+        .builder(layer.type_tag())
+        .ok_or_else(|| NnError::UnknownLayerTag(layer.type_tag().to_string()))?;
+    let mut rebuilt = builder(&layer.config_bytes())?;
+    let params: Vec<_> = layer.param_tensors().into_iter().cloned().collect();
+    rebuilt.load_params(&params)?;
+    Ok(rebuilt)
+}
+
 /// Deep-copies a network by round-tripping it through the wire format:
 /// every layer is serialized (tag + config + parameters) and rebuilt
-/// through `registry`. The clone owns fresh parameter tensors and empty
-/// forward caches, so it can run on another thread independently — this
-/// is how the serving runtime gives each worker its own copy of the
-/// model.
+/// through `registry`, so the clone owns **fresh parameter
+/// allocations** that share nothing with the original — the right
+/// clone for training and optimizer use, and a full end-to-end exercise
+/// of the model format (what [`clone_network`] did before it grew the
+/// shared-parameter fast path).
 ///
 /// # Errors
 ///
 /// Returns [`NnError::UnknownLayerTag`] when a layer type is not in
-/// `registry`, and propagates format errors (which indicate a bug in a
-/// layer's `config_bytes`/`load_params` pair rather than a user input
-/// condition).
-pub fn clone_network(network: &Network, registry: &LayerRegistry) -> Result<Network, NnError> {
+/// `registry`, and propagates format errors.
+pub fn deep_clone_network(network: &Network, registry: &LayerRegistry) -> Result<Network, NnError> {
     let mut buf = Vec::new();
     save_network(network, &mut buf)?;
     load_network(&buf[..], registry)
@@ -394,14 +441,60 @@ mod tests {
         let y2 = cloned.forward(&x).unwrap();
         assert_eq!(y1.as_slice(), y2.as_slice());
 
-        // Mutating the clone's parameters must not touch the original.
+        // Mutating the clone's parameters must not touch the original
+        // (copy-on-write detaches the shared buffers on first write).
         for p in cloned.parameters() {
             p.value.map_inplace(|v| v + 1.0);
         }
         let y3 = net.forward(&x).unwrap();
         assert_eq!(y1.as_slice(), y3.as_slice());
+
+        // Built-in layers clone structurally, so even an empty registry
+        // suffices for them.
+        assert!(clone_network(&net, &LayerRegistry::new()).is_ok());
+    }
+
+    /// A layer without a `clone_layer` fast path: `clone_network` must
+    /// fall back to the wire round-trip and fail typed when the
+    /// registry cannot rebuild the tag.
+    #[test]
+    fn clone_network_falls_back_to_registry_for_foreign_layers() {
+        struct Foreign;
+        impl Layer for Foreign {
+            fn type_tag(&self) -> &'static str {
+                "test_foreign"
+            }
+            fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+                Ok(input.clone())
+            }
+            fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+                Ok(grad.clone())
+            }
+        }
+        let mut net = Network::new();
+        net.push(Foreign);
         assert!(matches!(
-            clone_network(&net, &LayerRegistry::new()),
+            clone_network(&net, &LayerRegistry::with_builtin_layers()),
+            Err(NnError::UnknownLayerTag(tag)) if tag == "test_foreign"
+        ));
+        let mut registry = LayerRegistry::with_builtin_layers();
+        registry.register("test_foreign", |_| Ok(Box::new(Foreign)));
+        let cloned = clone_network(&net, &registry).unwrap();
+        assert_eq!(cloned.layers()[0].type_tag(), "test_foreign");
+    }
+
+    #[test]
+    fn deep_clone_owns_independent_buffers() {
+        let mut rng = rng();
+        let mut net = Network::new();
+        net.push(Dense::new(3, 4, &mut rng));
+        let deep = deep_clone_network(&net, &LayerRegistry::with_builtin_layers()).unwrap();
+        let shared = clone_network(&net, &LayerRegistry::with_builtin_layers()).unwrap();
+        let orig = net.layers()[0].param_tensors();
+        assert!(!deep.layers()[0].param_tensors()[0].shares_buffer(orig[0]));
+        assert!(shared.layers()[0].param_tensors()[0].shares_buffer(orig[0]));
+        assert!(matches!(
+            deep_clone_network(&net, &LayerRegistry::new()),
             Err(NnError::UnknownLayerTag(_))
         ));
     }

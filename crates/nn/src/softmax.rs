@@ -3,6 +3,7 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, OpCost};
+use crate::scratch::Scratch;
 use ffdl_tensor::Tensor;
 
 /// Numerically-stable row-wise softmax of a `[batch, classes]` tensor.
@@ -14,6 +15,13 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, NnError> {
         });
     }
     let mut out = logits.clone();
+    normalize_rows(&mut out);
+    Ok(out)
+}
+
+/// In-place row normalization shared by [`softmax_rows`] and the
+/// allocation-free inference path.
+fn normalize_rows(out: &mut Tensor) {
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -26,7 +34,6 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, NnError> {
             *v /= sum;
         }
     }
-    Ok(out)
 }
 
 /// Softmax as a network layer — used at inference time so the deployment
@@ -57,6 +64,25 @@ impl Layer for Softmax {
         let out = softmax_rows(input)?;
         self.cached_output = Some(out.clone());
         Ok(out)
+    }
+
+    fn forward_infer(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, NnError> {
+        if input.ndim() != 2 {
+            return Err(NnError::BadInput {
+                layer: "softmax".into(),
+                message: format!("expected [batch, classes], got {:?}", input.shape()),
+            });
+        }
+        let mut out = scratch.take(input.shape());
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+        normalize_rows(&mut out);
+        Ok(out)
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            cached_output: None,
+        }))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

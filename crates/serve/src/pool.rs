@@ -6,21 +6,26 @@
 //! mutable model state, so there is no lock on the hot path. Each worker
 //! loops on [`BoundedQueue::pop_batch`], runs one coalesced
 //! [`InferenceEngine::predict_batch`] forward pass per batch, and records
-//! a [`ServeResponse`] per request. Closing the queue is the shutdown
-//! signal: workers drain what is left and exit.
+//! a [`ServeResponse`] per request into a **per-worker buffer** (merged
+//! only at [`Server::finish`] — the hot path takes no shared results
+//! lock). Closing the queue is the shutdown signal: workers drain what
+//! is left and exit.
 //!
 //! # Live model hot-swap
 //!
 //! The pool serves **versioned** models: the server holds the current
-//! model in a shared slot next to a monotonic generation counter, and
-//! [`Server::swap_model`] replaces the slot and bumps the counter
-//! without pausing admission. Workers check the counter **between
-//! batches** (one `Acquire` load on the hot path) and, on a bump,
-//! re-clone the new network via [`ffdl_nn::clone_network`] — in-flight
-//! batches finish on the old model, the queue is never drained, and no
-//! request is dropped or rejected because of a swap. Every
-//! [`ServeResponse`] carries the generation that actually served it, so
-//! callers can attribute each prediction to a model version.
+//! model as an `Arc<Network>` in a shared slot next to a monotonic
+//! generation counter, and [`Server::swap_model`] exchanges the `Arc`
+//! and bumps the counter — an O(1) pointer swap, no
+//! serialize/deserialize on the swap path — without pausing admission.
+//! Workers check the counter **between batches** (one `Acquire` load on
+//! the hot path) and, on a bump, take an `Arc` clone of the slot and
+//! structurally clone it via [`ffdl_nn::clone_network`] (parameter
+//! buffers stay shared copy-on-write; only per-layer scratch is fresh) —
+//! in-flight batches finish on the old model, the queue is never
+//! drained, and no request is dropped or rejected because of a swap.
+//! Every [`ServeResponse`] carries the generation that actually served
+//! it, so callers can attribute each prediction to a model version.
 //!
 //! # Worker supervision
 //!
@@ -228,9 +233,10 @@ struct GenRecord {
     /// The registry generation this model was loaded from, when it came
     /// through [`Server::swap_from_store`].
     registry_gen: Option<u64>,
-    /// Retained copy for registry-less rollback (bounded by
-    /// [`HISTORY_DEPTH`]).
-    network: Network,
+    /// Shared handle for registry-less rollback (bounded by
+    /// [`HISTORY_DEPTH`]); the same `Arc` the slot held while this
+    /// generation was active, so retention costs one pointer.
+    network: Arc<Network>,
     /// Declared numerically unhealthy; never a rollback target.
     quarantined: bool,
 }
@@ -255,8 +261,10 @@ struct Supervision {
 
 /// The shared model state workers re-clone from after a swap.
 struct ModelSlot {
-    /// Serialization source for worker clones; replaced on swap.
-    network: Mutex<Network>,
+    /// The current model, shared immutably. Swaps exchange the `Arc`
+    /// (O(1)); workers `Arc::clone` it under the lock and structurally
+    /// clone outside, so the critical section is two pointer bumps.
+    network: Mutex<Arc<Network>>,
     /// Monotonic model generation; workers compare against their local
     /// copy between batches.
     generation: AtomicU64,
@@ -265,33 +273,33 @@ struct ModelSlot {
 }
 
 impl ModelSlot {
-    /// Installs `retained` as the next generation: `for_slot` (a clone
-    /// of the same network) replaces the shared slot, the generation
-    /// counter is bumped (`Release`, pairing with the workers' `Acquire`
-    /// loads), and a history record is pushed. The caller holds the
+    /// Installs `network` as the next generation: the shared slot's
+    /// `Arc` is exchanged, the generation counter is bumped (`Release`,
+    /// pairing with the workers' `Acquire` loads), and a history record
+    /// sharing the same `Arc` is pushed. The caller holds the
     /// supervision lock, so swaps and rollbacks serialize.
-    fn install(
-        &self,
-        sup: &mut Supervision,
-        retained: Network,
-        for_slot: Network,
-        registry_gen: Option<u64>,
-    ) -> u64 {
+    fn install(&self, sup: &mut Supervision, network: Arc<Network>, registry_gen: Option<u64>) -> u64 {
         {
             let mut slot = self.network.lock().expect("model slot poisoned");
-            *slot = for_slot;
+            *slot = Arc::clone(&network);
         }
         let generation = self.generation.fetch_add(1, Ordering::Release) + 1;
         sup.history.push(GenRecord {
             server_gen: generation,
             registry_gen,
-            network: retained,
+            network,
             quarantined: false,
         });
         if sup.history.len() > HISTORY_DEPTH {
             sup.history.remove(0);
         }
         generation
+    }
+
+    /// An `Arc` handle to the current slot contents (two pointer bumps
+    /// under the lock).
+    fn shared(&self) -> Arc<Network> {
+        Arc::clone(&self.network.lock().expect("model slot poisoned"))
     }
 }
 
@@ -366,25 +374,34 @@ fn handle_unhealthy(
             .and_then(|v| store.load(&name, Some(v.generation), layers))
             .map(|(network, version)| {
                 new_registry_gen = Some(version.generation);
-                network
+                Arc::new(network)
             })
             .ok(),
         _ => None,
     };
     let network = match network {
         Some(n) => n,
-        // Registry path unavailable or failed: the retained clone is
-        // the recovery source (still the exact network that served the
-        // healthy generation).
-        None => clone_network(&sup.history[target].network, layers)?,
+        // Registry path unavailable or failed: the retained shared
+        // handle is the recovery source (still the exact network that
+        // served the healthy generation) — rollback is an Arc clone.
+        None => Arc::clone(&sup.history[target].network),
     };
-    let for_slot = clone_network(&network, layers)?;
-    model.install(&mut sup, network, for_slot, new_registry_gen);
+    model.install(&mut sup, network, new_registry_gen);
     sup.auto_rollbacks += 1;
     Ok(HealthAction {
         quarantined: true,
         rolled_back: true,
     })
+}
+
+/// What a worker thread hands back when it is joined: its per-thread
+/// telemetry plus the responses and failures it recorded. Buffers are
+/// per-worker and merged only at [`Server::finish`], so the hot path
+/// never contends on a shared results lock.
+struct WorkerOutput {
+    telemetry: RegistrySnapshot,
+    responses: Vec<ServeResponse>,
+    failures: Vec<ServeFailure>,
 }
 
 /// A running serving instance: bounded queue + worker pool.
@@ -401,9 +418,8 @@ fn handle_unhealthy(
 /// relaxed bool load per operation.
 pub struct Server {
     queue: Arc<BoundedQueue<QueuedRequest>>,
-    results: Arc<Mutex<Vec<ServeResponse>>>,
-    failures: Arc<Mutex<Vec<ServeFailure>>>,
-    handles: Vec<JoinHandle<Result<RegistrySnapshot, ServeError>>>,
+    recorded: Arc<AtomicU64>,
+    handles: Vec<JoinHandle<Result<WorkerOutput, ServeError>>>,
     rejections: AtomicU64,
     shed: AtomicU64,
     restarts: Arc<AtomicU64>,
@@ -452,22 +468,24 @@ impl Server {
         let check_finite = config.health.check_finite;
         let unhealthy_threshold = config.health.unhealthy_threshold;
         // Clone up front so a bad model is reported before any thread
-        // spawns: one clone per worker, one for the shared slot, one
-        // retained for rollback history.
+        // spawns: one structural clone per worker, plus one shared
+        // `Arc` serving as both the slot contents and the rollback
+        // record for generation 1.
         let mut engines = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
             let mut engine = InferenceEngine::new(clone_network(network, &layers)?);
             engine.set_finite_check(check_finite);
             engines.push(engine);
         }
+        let shared = Arc::new(clone_network(network, &layers)?);
         let model = Arc::new(ModelSlot {
-            network: Mutex::new(clone_network(network, &layers)?),
+            network: Mutex::new(Arc::clone(&shared)),
             generation: AtomicU64::new(1),
             supervision: Mutex::new(Supervision {
                 history: vec![GenRecord {
                     server_gen: 1,
                     registry_gen: None,
-                    network: clone_network(network, &layers)?,
+                    network: shared,
                     quarantined: false,
                 }],
                 binding: None,
@@ -479,8 +497,7 @@ impl Server {
         });
 
         let queue = Arc::new(BoundedQueue::<QueuedRequest>::new(config.queue_depth));
-        let results = Arc::new(Mutex::new(Vec::new()));
-        let failures = Arc::new(Mutex::new(Vec::new()));
+        let recorded = Arc::new(AtomicU64::new(0));
         let restarts = Arc::new(AtomicU64::new(0));
         let max_batch = config.max_batch;
         let max_wait = config.max_wait;
@@ -489,12 +506,11 @@ impl Server {
             .enumerate()
             .map(|(worker, mut engine)| {
                 let queue = Arc::clone(&queue);
-                let results = Arc::clone(&results);
-                let failures = Arc::clone(&failures);
+                let recorded = Arc::clone(&recorded);
                 let model = Arc::clone(&model);
                 let layers = Arc::clone(&layers);
                 let restarts = Arc::clone(&restarts);
-                thread::spawn(move || -> Result<RegistrySnapshot, ServeError> {
+                thread::spawn(move || -> Result<WorkerOutput, ServeError> {
                     // Per-thread registry: handles are registered once
                     // here, recorded lock-free in the loop, and merged
                     // into the report at finish() — no cross-worker
@@ -516,24 +532,34 @@ impl Server {
                     // instead would mislabel responses if a swap lands
                     // before this thread first runs.
                     let mut local_gen = 1u64;
+                    // Per-worker sinks, merged at finish(): the hot
+                    // path records without taking any shared lock.
+                    let mut responses: Vec<ServeResponse> = Vec::new();
+                    let mut local_failures: Vec<ServeFailure> = Vec::new();
                     loop {
                         // Hot-swap check, between batches only: one
                         // Acquire load when nothing changed; on a bump,
-                        // re-clone the slot's network so this worker
-                        // adopts the new generation. The queue keeps
-                        // filling while we clone — nothing is drained.
+                        // take the slot's Arc (two pointer bumps under
+                        // the lock) and structurally clone outside it —
+                        // parameter buffers stay shared, only scratch
+                        // state is rebuilt. The queue keeps filling
+                        // while we clone — nothing is drained.
                         let current = model.generation.load(Ordering::Acquire);
                         if current != local_gen {
-                            let source = model.network.lock().expect("model slot poisoned");
-                            let fresh = clone_network(&source, &layers)?;
-                            drop(source);
+                            let shared = model.shared();
+                            let fresh = clone_network(&shared, &layers)?;
                             engine = InferenceEngine::new(fresh);
                             engine.set_finite_check(check_finite);
                             local_gen = current;
                         }
                         let batch = queue.pop_batch(max_batch, max_wait);
                         if batch.is_empty() {
-                            return Ok(telemetry.snapshot()); // closed and drained
+                            // Closed and drained.
+                            return Ok(WorkerOutput {
+                                telemetry: telemetry.snapshot(),
+                                responses,
+                                failures: local_failures,
+                            });
                         }
                         let telemetry_on = ffdl_telemetry::enabled();
                         // Deadline shedding at dequeue: an expired
@@ -549,8 +575,7 @@ impl Server {
                             if telemetry_on {
                                 expired_counter.add(expired.len() as u64);
                             }
-                            let mut sink = failures.lock().expect("failures lock poisoned");
-                            sink.extend(expired.iter().map(|r| ServeFailure {
+                            local_failures.extend(expired.iter().map(|r| ServeFailure {
                                 id: r.id,
                                 kind: FailureKind::DeadlineExceeded,
                                 generation: local_gen,
@@ -604,15 +629,11 @@ impl Server {
                                 if telemetry_on {
                                     unhealthy_counter.inc();
                                 }
-                                {
-                                    let mut sink =
-                                        failures.lock().expect("failures lock poisoned");
-                                    sink.extend(batch.iter().map(|r| ServeFailure {
-                                        id: r.id,
-                                        kind: FailureKind::UnhealthyModel,
-                                        generation: local_gen,
-                                    }));
-                                }
+                                local_failures.extend(batch.iter().map(|r| ServeFailure {
+                                    id: r.id,
+                                    kind: FailureKind::UnhealthyModel,
+                                    generation: local_gen,
+                                }));
                                 let action = handle_unhealthy(
                                     &model,
                                     &layers,
@@ -634,19 +655,13 @@ impl Server {
                             Err(_panic) => {
                                 restarts.fetch_add(1, Ordering::Relaxed);
                                 restarts_counter.inc();
-                                {
-                                    let mut sink =
-                                        failures.lock().expect("failures lock poisoned");
-                                    sink.extend(batch.iter().map(|r| ServeFailure {
-                                        id: r.id,
-                                        kind: FailureKind::WorkerPanic,
-                                        generation: local_gen,
-                                    }));
-                                }
-                                let source =
-                                    model.network.lock().expect("model slot poisoned");
-                                let fresh = clone_network(&source, &layers)?;
-                                drop(source);
+                                local_failures.extend(batch.iter().map(|r| ServeFailure {
+                                    id: r.id,
+                                    kind: FailureKind::WorkerPanic,
+                                    generation: local_gen,
+                                }));
+                                let shared = model.shared();
+                                let fresh = clone_network(&shared, &layers)?;
                                 engine = InferenceEngine::new(fresh);
                                 engine.set_finite_check(check_finite);
                                 local_gen = model.generation.load(Ordering::Acquire);
@@ -655,9 +670,8 @@ impl Server {
                         };
                         let done = Instant::now();
                         let batch_size = batch.len();
-                        let mut sink = results.lock().expect("results lock poisoned");
                         for (request, prediction) in batch.iter().zip(predictions) {
-                            sink.push(ServeResponse {
+                            responses.push(ServeResponse {
                                 id: request.id,
                                 prediction,
                                 latency_us: done
@@ -669,6 +683,7 @@ impl Server {
                                 generation: local_gen,
                             });
                         }
+                        recorded.fetch_add(batch_size as u64, Ordering::Relaxed);
                     }
                 })
             })
@@ -686,8 +701,7 @@ impl Server {
         generation_gauge.set(1);
         Ok(Self {
             queue,
-            results,
-            failures,
+            recorded,
             handles,
             rejections: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -792,12 +806,13 @@ impl Server {
     pub fn swap_model(&self, network: &Network) -> Result<u64, ServeError> {
         let swap_started = Instant::now();
         // Validate before touching shared state: the slot must never
-        // hold a network workers cannot clone. Two clones: one for the
-        // slot, one retained for rollback.
-        let retained = clone_network(network, &self.layers)?;
-        let for_slot = clone_network(&retained, &self.layers)?;
+        // hold a network workers cannot clone. One structural clone
+        // (parameter buffers shared copy-on-write) both validates the
+        // network and isolates the slot from later caller mutation;
+        // the install itself is an Arc exchange plus a counter bump.
+        let network = Arc::new(clone_network(network, &self.layers)?);
         let mut sup = self.model.supervision.lock().expect("supervision lock poisoned");
-        let generation = self.model.install(&mut sup, retained, for_slot, None);
+        let generation = self.model.install(&mut sup, network, None);
         drop(sup);
         if ffdl_telemetry::enabled() {
             self.generation_gauge.set(generation as i64);
@@ -828,13 +843,13 @@ impl Server {
         registry_generation: Option<u64>,
     ) -> Result<u64, ServeError> {
         let swap_started = Instant::now();
-        let (retained, version) = store.load(name, registry_generation, &self.layers)?;
-        let for_slot = clone_network(&retained, &self.layers)?;
+        let (loaded, version) = store.load(name, registry_generation, &self.layers)?;
+        let network = Arc::new(loaded);
         let mut sup = self.model.supervision.lock().expect("supervision lock poisoned");
         sup.binding = Some((store.clone(), name.to_string()));
         let generation = self
             .model
-            .install(&mut sup, retained, for_slot, Some(version.generation));
+            .install(&mut sup, network, Some(version.generation));
         drop(sup);
         if ffdl_telemetry::enabled() {
             self.generation_gauge.set(generation as i64);
@@ -878,6 +893,13 @@ impl Server {
         self.queue.len()
     }
 
+    /// Responses recorded by workers so far (monotonic, lock-free).
+    /// Live observability only — the responses themselves stay in
+    /// per-worker buffers until [`finish`](Self::finish) merges them.
+    pub fn responses_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
     /// Closes the queue, drains all pending requests, joins the workers
     /// and returns the run's statistics.
     ///
@@ -890,12 +912,18 @@ impl Server {
         self.queue.close();
         let mut first_error = None;
         // Merge the admission-side registry with every worker's
-        // per-thread registry — the only point where telemetry from
-        // different threads meets.
+        // per-thread registry and buffers — the only point where state
+        // from different threads meets.
         let mut telemetry = self.registry.snapshot();
+        let mut responses = Vec::new();
+        let mut failures = Vec::new();
         for handle in self.handles {
             match handle.join() {
-                Ok(Ok(worker_snapshot)) => telemetry.merge(&worker_snapshot),
+                Ok(Ok(output)) => {
+                    telemetry.merge(&output.telemetry);
+                    responses.extend(output.responses);
+                    failures.extend(output.failures);
+                }
                 Ok(Err(e)) => {
                     first_error.get_or_insert(e);
                 }
@@ -913,12 +941,6 @@ impl Server {
             return Err(e);
         }
         let wall = self.started.elapsed();
-        let responses = Arc::try_unwrap(self.results)
-            .map(|m| m.into_inner().expect("results lock poisoned"))
-            .unwrap_or_else(|arc| arc.lock().expect("results lock poisoned").clone());
-        let failures = Arc::try_unwrap(self.failures)
-            .map(|m| m.into_inner().expect("failures lock poisoned"))
-            .unwrap_or_else(|arc| arc.lock().expect("failures lock poisoned").clone());
         let expired = failures
             .iter()
             .filter(|f| f.kind == FailureKind::DeadlineExceeded)
@@ -1146,7 +1168,7 @@ softmax
         // Wait for model A to record at least one response (anything
         // recorded before the swap is necessarily generation 1), so the
         // per-generation assertions below exercise both models.
-        while server.results.lock().expect("results").is_empty() {
+        while server.responses_recorded() == 0 {
             thread::yield_now();
         }
         // Swap while the pool is busy — admission is never paused.
@@ -1527,7 +1549,7 @@ softmax
         }
         // Let the healthy model serve at least one response, then land
         // the broken model.
-        while server.results.lock().expect("results").is_empty() {
+        while server.responses_recorded() == 0 {
             thread::yield_now();
         }
         assert_eq!(server.swap_model(&bad).unwrap(), 2);

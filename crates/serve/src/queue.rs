@@ -25,6 +25,13 @@ pub(crate) enum PushError {
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Consumers parked on `not_empty`. Notifies are gated on this so
+    /// an uncontended push/pop never makes a futex syscall for waiters
+    /// that do not exist (the counters are mutex-protected, so the
+    /// gate cannot race a park).
+    empty_waiters: usize,
+    /// Producers parked on `not_full` (bounded-wait admission).
+    full_waiters: usize,
 }
 
 /// A bounded multi-producer multi-consumer queue with batch pops.
@@ -42,6 +49,8 @@ impl<T> BoundedQueue<T> {
             inner: Mutex::new(Inner {
                 items: VecDeque::with_capacity(capacity),
                 closed: false,
+                empty_waiters: 0,
+                full_waiters: 0,
             }),
             capacity,
             not_empty: Condvar::new(),
@@ -59,8 +68,11 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full);
         }
         inner.items.push_back(item);
+        let wake = inner.empty_waiters > 0;
         drop(inner);
-        self.not_empty.notify_one();
+        if wake {
+            self.not_empty.notify_one();
+        }
         Ok(())
     }
 
@@ -77,19 +89,24 @@ impl<T> BoundedQueue<T> {
             }
             if inner.items.len() < self.capacity {
                 inner.items.push_back(item);
+                let wake = inner.empty_waiters > 0;
                 drop(inner);
-                self.not_empty.notify_one();
+                if wake {
+                    self.not_empty.notify_one();
+                }
                 return Ok(());
             }
             let now = Instant::now();
             if now >= deadline {
                 return Err(PushError::Full);
             }
+            inner.full_waiters += 1;
             let (guard, _) = self
                 .not_full
                 .wait_timeout(inner, deadline - now)
                 .expect("queue lock poisoned");
             inner = guard;
+            inner.full_waiters -= 1;
         }
     }
 
@@ -121,7 +138,10 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return Vec::new();
             }
-            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+            inner.empty_waiters += 1;
+            let guard = self.not_empty.wait(inner).expect("queue lock poisoned");
+            inner = guard;
+            inner.empty_waiters -= 1;
         }
         // Batching window: top the batch up until full, the deadline
         // passes, or the queue is closed (drain immediately on shutdown).
@@ -131,30 +151,44 @@ impl<T> BoundedQueue<T> {
             if now >= deadline {
                 break;
             }
+            inner.empty_waiters += 1;
             let (guard, timeout) = self
                 .not_empty
                 .wait_timeout(inner, deadline - now)
                 .expect("queue lock poisoned");
             inner = guard;
+            inner.empty_waiters -= 1;
             if timeout.timed_out() {
                 break;
             }
         }
         let take = inner.items.len().min(max_batch);
         let batch: Vec<T> = inner.items.drain(..take).collect();
-        let leftovers = !inner.items.is_empty();
+        // More work remains — wake another consumer so batches keep
+        // flowing while this one runs inference; space freed — wake
+        // producers parked on the bounded-wait admission path. Both
+        // wakeups fire only when someone is actually parked: the old
+        // unconditional notifies cost one futex syscall per pop even
+        // in the common case of an empty wait list, enough to flatten
+        // throughput scaling from one worker to two.
+        let wake_consumer = !inner.items.is_empty() && inner.empty_waiters > 0;
+        let wake_producers = take > 0 && inner.full_waiters > 0;
         drop(inner);
-        if leftovers {
-            // More work remains — wake another consumer so batches keep
-            // flowing while this one runs inference.
+        if wake_consumer {
             self.not_empty.notify_one();
         }
-        if take > 0 {
-            // Space freed — wake producers parked on the bounded-wait
-            // admission path.
+        if wake_producers {
             self.not_full.notify_all();
         }
         batch
+    }
+
+    /// Parked-thread counts `(consumers, producers)` — test-only
+    /// introspection for the waiter-gated notify protocol.
+    #[cfg(test)]
+    pub(crate) fn waiters(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("queue lock poisoned");
+        (inner.empty_waiters, inner.full_waiters)
     }
 }
 
@@ -259,6 +293,45 @@ mod tests {
         thread::sleep(Duration::from_millis(5));
         q.close();
         assert_eq!(producer.join().unwrap(), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn waiter_counts_are_balanced_and_notifies_still_wake() {
+        // No parked threads: counters sit at zero before and after
+        // uncontended operations (the gate that suppresses notifies).
+        let q = Arc::new(BoundedQueue::new(2));
+        assert_eq!(q.waiters(), (0, 0));
+        q.try_push(1).unwrap();
+        assert_eq!(q.waiters(), (0, 0));
+        assert_eq!(q.pop_batch(4, Duration::ZERO), vec![1]);
+        assert_eq!(q.waiters(), (0, 0));
+
+        // A parked consumer is counted, then released by a gated push.
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop_batch(1, Duration::ZERO))
+        };
+        while q.waiters().0 == 0 {
+            thread::yield_now();
+        }
+        q.try_push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), vec![7]);
+        assert_eq!(q.waiters(), (0, 0));
+
+        // A parked producer is counted, then released by a gated pop.
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push_deadline(3, Instant::now() + Duration::from_secs(30)))
+        };
+        while q.waiters().1 == 0 {
+            thread::yield_now();
+        }
+        assert_eq!(q.pop_batch(2, Duration::ZERO), vec![1, 2]);
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.waiters(), (0, 0));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -64,6 +64,24 @@ impl ConvGeometry {
 /// Returns [`TensorError::RankMismatch`] unless the input is rank 3, or
 /// [`TensorError::InvalidGeometry`] when the kernel does not fit.
 pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::zeros(&[0]);
+    im2col_into(input, geom, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-reusing variant of [`im2col`]: lowers into `out`, reshaping
+/// and zeroing its existing buffer when uniquely owned. Steady-state
+/// callers (the inference hot path) pay no heap allocation once `out` has
+/// grown to the required capacity.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`]; `out` is untouched on error.
+pub fn im2col_into(
+    input: &Tensor,
+    geom: ConvGeometry,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
     if input.ndim() != 3 {
         return Err(TensorError::RankMismatch {
             expected: 3,
@@ -76,8 +94,9 @@ pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError>
     let ow = geom.output_extent(w)?;
     let r = geom.kernel;
     let cols = c * r * r;
-    let mut out = vec![0.0f32; oh * ow * cols];
+    out.reuse_as(&[oh * ow, cols]);
     let data = input.as_slice();
+    let dst = out.as_mut_slice();
 
     for oy in 0..oh {
         for ox in 0..ow {
@@ -94,13 +113,13 @@ pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError>
                     let (iy, ix) = (iy as usize, ix as usize);
                     for ch in 0..c {
                         let col = ch + c * ki + c * r * kj;
-                        out[base + col] = data[ch * h * w + iy * w + ix];
+                        dst[base + col] = data[ch * h * w + iy * w + ix];
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[oh * ow, cols])
+    Ok(())
 }
 
 /// Adjoint of [`im2col`]: scatters a `[H_out·W_out, C·r·r]` matrix back
@@ -238,6 +257,18 @@ pub fn conv2d_direct(
 ///
 /// Returns [`TensorError::RankMismatch`] unless the filters are rank 4.
 pub fn filters_to_matrix(filters: &Tensor) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::zeros(&[0]);
+    filters_to_matrix_into(filters, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-reusing variant of [`filters_to_matrix`]: lowers into `out`,
+/// reshaping its existing buffer in place when uniquely owned.
+///
+/// # Errors
+///
+/// Same conditions as [`filters_to_matrix`]; `out` is untouched on error.
+pub fn filters_to_matrix_into(filters: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     if filters.ndim() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -252,18 +283,19 @@ pub fn filters_to_matrix(filters: &Tensor) -> Result<Tensor, TensorError> {
         filters.shape()[3],
     );
     let f = filters.as_slice();
-    let mut out = vec![0.0f32; c * r * r * p];
+    out.reuse_as(&[c * r * r, p]);
+    let dst = out.as_mut_slice();
     for op_ in 0..p {
         for ch in 0..c {
             for ki in 0..r {
                 for kj in 0..r {
                     let row = ch + c * ki + c * r * kj;
-                    out[row * p + op_] = f[((op_ * c + ch) * r + ki) * r + kj];
+                    dst[row * p + op_] = f[((op_ * c + ch) * r + ki) * r + kj];
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[c * r * r, p])
+    Ok(())
 }
 
 /// Inverse of [`filters_to_matrix`]: raises a `[C·r·r, P]` matrix back to
@@ -470,6 +502,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn im2col_into_reuses_buffer_and_matches() {
+        let geom = ConvGeometry {
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let x = image(2, 6, 5);
+        let fresh = im2col(&x, geom).unwrap();
+        // Pre-size a unique buffer larger than needed: the lowering must
+        // reuse it in place rather than allocate.
+        let mut out = Tensor::zeros(&[64, 32]);
+        let ptr = out.as_slice().as_ptr();
+        im2col_into(&x, geom, &mut out).unwrap();
+        assert_eq!(out, fresh);
+        assert_eq!(out.as_slice().as_ptr(), ptr, "buffer was reallocated");
+        // Error path leaves `out` untouched.
+        let mut out2 = Tensor::zeros(&[3]);
+        assert!(im2col_into(&Tensor::zeros(&[4, 4]), geom, &mut out2).is_err());
+        assert_eq!(out2.shape(), &[3]);
     }
 
     #[test]

@@ -102,6 +102,47 @@ impl Tensor {
         Tensor::from_vec(out, &[m, n])
     }
 
+    /// Like [`matmul`](Self::matmul), but writes the product into `out`,
+    /// reusing its allocation when `out` uniquely owns a large-enough
+    /// buffer — the serving hot path's GEMM. `out` is reshaped to
+    /// `[m, n]` and fully overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`matmul`](Self::matmul); `out` is only modified
+    /// on success.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) -> Result<(), TensorError> {
+        require_rank(self, 2, "matmul")?;
+        require_rank(other, 2, "matmul")?;
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+                op: "matmul",
+            });
+        }
+        out.reuse_as(&[m, n]);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut o[i * n..(i + 1) * n];
+                for (ov, &bv) in orow.iter_mut().zip(brow) {
+                    *ov += aip * bv;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Matrix–vector product of a rank-2 tensor with a rank-1 tensor:
     /// `(m×n)·(n) → m`.
     ///
@@ -268,6 +309,21 @@ mod tests {
         ));
         let v = Tensor::from_slice(&[1.0; 3]);
         assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reuses() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = t2(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let mut out = Tensor::zeros(&[1]);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // Stale contents from a previous product do not leak through.
+        a.matmul_into(&Tensor::eye(3), &mut out).unwrap();
+        assert_eq!(out, a);
+        // Mismatched shapes leave `out` untouched.
+        assert!(a.matmul_into(&t2(&[1.0; 4], 2, 2), &mut out).is_err());
+        assert_eq!(out, a);
     }
 
     #[test]

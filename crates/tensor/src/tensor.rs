@@ -2,12 +2,30 @@
 
 use crate::error::TensorError;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense, row-major tensor of `f32` values.
 ///
 /// `f32` matches the paper's deployment target: single-precision is what
 /// the OpenCV-based Android implementations compute in. Shapes are
 /// arbitrary-rank; matrix routines require rank 2.
+///
+/// # Copy-on-write storage
+///
+/// The flat buffer is reference-counted: [`Clone`] and [`reshape`]
+/// (shape-only changes) are pointer bumps that share the underlying
+/// allocation, which is what makes whole-network clones for serving
+/// O(layers) instead of O(parameters). The first mutation through any
+/// of the `&mut self` accessors ([`as_mut_slice`], [`at_mut`],
+/// [`row_mut`], [`map_inplace`]) detaches a private copy, so sharing is
+/// never observable through the API — two clones never see each other's
+/// writes.
+///
+/// [`reshape`]: Tensor::reshape
+/// [`as_mut_slice`]: Tensor::as_mut_slice
+/// [`at_mut`]: Tensor::at_mut
+/// [`row_mut`]: Tensor::row_mut
+/// [`map_inplace`]: Tensor::map_inplace
 ///
 /// # Examples
 ///
@@ -22,15 +40,21 @@ use std::fmt;
 /// ```
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
     shape: Vec<usize>,
 }
 
 impl Tensor {
+    /// Sole owner of the buffer, copying it first if shared (the
+    /// copy-on-write detach point every mutator funnels through).
+    fn data_mut(&mut self) -> &mut Vec<f32> {
+        Arc::make_mut(&mut self.data)
+    }
+
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         Self {
-            data: vec![0.0; shape.iter().product()],
+            data: Arc::new(vec![0.0; shape.iter().product()]),
             shape: shape.to_vec(),
         }
     }
@@ -43,7 +67,7 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn filled(shape: &[usize], value: f32) -> Self {
         Self {
-            data: vec![value; shape.iter().product()],
+            data: Arc::new(vec![value; shape.iter().product()]),
             shape: shape.to_vec(),
         }
     }
@@ -51,8 +75,9 @@ impl Tensor {
     /// Creates the `n×n` identity matrix.
     pub fn eye(n: usize) -> Self {
         let mut t = Self::zeros(&[n, n]);
+        let buf = t.data_mut();
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            buf[i * n + i] = 1.0;
         }
         t
     }
@@ -72,7 +97,7 @@ impl Tensor {
             });
         }
         Ok(Self {
-            data,
+            data: Arc::new(data),
             shape: shape.to_vec(),
         })
     }
@@ -80,7 +105,7 @@ impl Tensor {
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
         Self {
-            data: data.to_vec(),
+            data: Arc::new(data.to_vec()),
             shape: vec![data.len()],
         }
     }
@@ -89,7 +114,7 @@ impl Tensor {
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let n: usize = shape.iter().product();
         Self {
-            data: (0..n).map(&mut f).collect(),
+            data: Arc::new((0..n).map(&mut f).collect()),
             shape: shape.to_vec(),
         }
     }
@@ -104,7 +129,9 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when `samples` is empty or
     /// any sample's shape differs from the first.
     pub fn stack(samples: &[&Tensor]) -> Result<Self, TensorError> {
-        let first = samples.first().ok_or(TensorError::ShapeMismatch {
+        // ok_or_else, not ok_or: an eager error value would heap-allocate
+        // its shape vectors on every call, including the hot success path.
+        let first = samples.first().ok_or_else(|| TensorError::ShapeMismatch {
             left: vec![0],
             right: vec![0],
             op: "stack of zero samples",
@@ -124,7 +151,84 @@ impl Tensor {
         let mut shape = Vec::with_capacity(sample_shape.len() + 1);
         shape.push(samples.len());
         shape.extend_from_slice(&sample_shape);
-        Ok(Self { data, shape })
+        Ok(Self {
+            data: Arc::new(data),
+            shape,
+        })
+    }
+
+    /// Like [`stack`](Self::stack), but writes into `out`, reusing its
+    /// allocation when `out` uniquely owns a large-enough buffer — the
+    /// zero-allocation coalescing primitive of the serving hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `samples` is empty or
+    /// any sample's shape differs from the first. `out` is left
+    /// unchanged on error.
+    pub fn stack_into(samples: &[&Tensor], out: &mut Tensor) -> Result<(), TensorError> {
+        // ok_or_else, not ok_or: an eager error value would heap-allocate
+        // its shape vectors on every call, including the hot success path.
+        let first = samples.first().ok_or_else(|| TensorError::ShapeMismatch {
+            left: vec![0],
+            right: vec![0],
+            op: "stack of zero samples",
+        })?;
+        let sample_shape = first.shape();
+        for s in samples {
+            if s.shape() != sample_shape {
+                return Err(TensorError::ShapeMismatch {
+                    left: sample_shape.to_vec(),
+                    right: s.shape().to_vec(),
+                    op: "stack",
+                });
+            }
+        }
+        let total = samples.len() * first.len();
+        if Arc::get_mut(&mut out.data).is_none() {
+            // `out` still shares its buffer (e.g. with a response tensor
+            // from a previous batch): detach without copying the stale
+            // contents.
+            out.data = Arc::new(Vec::with_capacity(total));
+        }
+        let buf = Arc::get_mut(&mut out.data).expect("buffer is unique");
+        buf.clear();
+        buf.reserve(total);
+        for s in samples {
+            buf.extend_from_slice(s.as_slice());
+        }
+        out.shape.clear();
+        out.shape.push(samples.len());
+        out.shape.extend_from_slice(sample_shape);
+        Ok(())
+    }
+
+    /// Repurposes this tensor as a zeroed tensor of `shape`, reusing the
+    /// existing allocation when it is uniquely owned and large enough.
+    /// The workhorse of scratch-buffer pools: after warmup this is a
+    /// clear + zero-fill with no heap traffic.
+    pub fn reuse_as(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        match Arc::get_mut(&mut self.data) {
+            Some(buf) => {
+                buf.clear();
+                buf.resize(n, 0.0);
+            }
+            None => self.data = Arc::new(vec![0.0; n]),
+        }
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// `true` when both tensors share one underlying buffer (a
+    /// copy-on-write alias that has not diverged yet).
+    pub fn shares_buffer(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// `true` when this tensor is the only owner of its buffer.
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
     }
 
     /// The tensor's shape.
@@ -170,14 +274,16 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the underlying flat buffer.
+    /// Mutable view of the underlying flat buffer, detaching a private
+    /// copy first if the buffer is shared (copy-on-write).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data_mut()
     }
 
-    /// Consumes the tensor and returns its flat buffer.
+    /// Consumes the tensor and returns its flat buffer (copying only if
+    /// the buffer is still shared with another tensor).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Flat-index accessor.
@@ -203,7 +309,7 @@ impl Tensor {
     /// bounds.
     pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
         let flat = self.flat_index(idx);
-        &mut self.data[flat]
+        &mut self.data_mut()[flat]
     }
 
     fn flat_index(&self, idx: &[usize]) -> usize {
@@ -222,24 +328,45 @@ impl Tensor {
         flat
     }
 
-    /// Returns a tensor with the same data and a new shape.
+    /// Returns a tensor sharing this one's buffer under a new shape
+    /// (zero-copy; the buffers diverge only on a later write).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeDataMismatch`] if the element counts
     /// differ.
     pub fn reshape(&self, shape: &[usize]) -> Result<Self, TensorError> {
-        Self::from_vec(self.data.clone(), shape)
+        let expected: usize = shape.iter().product();
+        if self.data.len() != expected {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                elements: self.data.len(),
+            });
+        }
+        Ok(Self {
+            data: Arc::clone(&self.data),
+            shape: shape.to_vec(),
+        })
     }
 
-    /// Consuming reshape that avoids copying the buffer.
+    /// Consuming reshape (zero-copy, like [`reshape`](Self::reshape)).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeDataMismatch`] if the element counts
     /// differ.
     pub fn into_reshaped(self, shape: &[usize]) -> Result<Self, TensorError> {
-        Self::from_vec(self.data, shape)
+        let expected: usize = shape.iter().product();
+        if self.data.len() != expected {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                elements: self.data.len(),
+            });
+        }
+        Ok(Self {
+            data: self.data,
+            shape: shape.to_vec(),
+        })
     }
 
     /// A borrowed view of row `r` of a rank-2 tensor.
@@ -261,20 +388,20 @@ impl Tensor {
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         assert_eq!(self.ndim(), 2, "row_mut() requires a rank-2 tensor");
         let cols = self.cols();
-        &mut self.data[r * cols..(r + 1) * cols]
+        &mut self.data_mut()[r * cols..(r + 1) * cols]
     }
 
     /// Applies `f` to each element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         Self {
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: Arc::new(self.data.iter().map(|&v| f(v)).collect()),
             shape: self.shape.clone(),
         }
     }
 
     /// Applies `f` to each element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.data_mut() {
             *v = f(*v);
         }
     }
@@ -293,12 +420,13 @@ impl Tensor {
             });
         }
         Ok(Self {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
             shape: self.shape.clone(),
         })
     }
@@ -358,7 +486,7 @@ impl FromIterator<f32> for Tensor {
         let data: Vec<f32> = iter.into_iter().collect();
         let n = data.len();
         Self {
-            data,
+            data: Arc::new(data),
             shape: vec![n],
         }
     }
@@ -525,5 +653,80 @@ mod tests {
         let a = Tensor::zeros(&[2]);
         let b = Tensor::zeros(&[3]);
         assert!(Tensor::stack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn clone_shares_until_written() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let mut b = a.clone();
+        assert!(a.shares_buffer(&b));
+        assert!(!a.is_unique());
+        b.as_mut_slice()[0] = 9.0;
+        assert!(!a.shares_buffer(&b));
+        assert!(a.is_unique());
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+        assert_eq!(b.as_slice(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn reshape_is_zero_copy_until_written() {
+        let t = Tensor::from_fn(&[2, 6], |i| i as f32);
+        let mut r = t.reshape(&[3, 4]).unwrap();
+        assert!(t.shares_buffer(&r));
+        *r.at_mut(&[0, 0]) = -1.0;
+        assert!(!t.shares_buffer(&r));
+        assert_eq!(t.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn stack_into_reuses_unique_buffer() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        let mut out = Tensor::zeros(&[4]);
+        Tensor::stack_into(&[&a, &b], &mut out).unwrap();
+        assert_eq!(out.shape(), &[2, 2]);
+        assert_eq!(out.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        // A second stack into the same tensor reuses the allocation.
+        Tensor::stack_into(&[&b, &a], &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 4.0, 1.0, 2.0]);
+        // Errors leave `out` unchanged.
+        let c = Tensor::zeros(&[3]);
+        assert!(Tensor::stack_into(&[&a, &c], &mut out).is_err());
+        assert_eq!(out.as_slice(), &[3.0, 4.0, 1.0, 2.0]);
+        assert!(Tensor::stack_into(&[], &mut out).is_err());
+    }
+
+    #[test]
+    fn stack_into_detaches_shared_buffer() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let mut out = Tensor::from_slice(&[5.0, 6.0]);
+        let alias = out.clone();
+        Tensor::stack_into(&[&a], &mut out).unwrap();
+        assert_eq!(alias.as_slice(), &[5.0, 6.0]); // alias untouched
+        assert_eq!(out.as_slice(), &[1.0, 2.0]);
+        assert_eq!(out.shape(), &[1, 2]);
+    }
+
+    #[test]
+    fn reuse_as_zeroes_and_reshapes() {
+        let mut t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        t.reuse_as(&[2, 2]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        // Shrinking keeps the allocation; a shared buffer is detached.
+        t.reuse_as(&[3]);
+        assert_eq!(t.len(), 3);
+        let alias = t.clone();
+        t.reuse_as(&[2]);
+        assert_eq!(alias.len(), 3);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn into_vec_copies_only_when_shared() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = a.clone();
+        assert_eq!(a.into_vec(), vec![1.0, 2.0]);
+        assert_eq!(b.into_vec(), vec![1.0, 2.0]);
     }
 }
