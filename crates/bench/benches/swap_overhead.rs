@@ -86,7 +86,7 @@ fn closed_loop(
         loop {
             match server.try_submit(i as u64, sample.clone()) {
                 Ok(()) => break,
-                Err(ServeError::QueueFull) => std::thread::yield_now(),
+                Err(ServeError::QueueFull { .. }) => std::thread::yield_now(),
                 Err(e) => return Err(e),
             }
         }

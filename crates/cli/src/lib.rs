@@ -459,6 +459,14 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         "swap-every",
         "chaos",
         "deadline-ms",
+        "tenants",
+        "tenant-weights",
+        "tenant-classes",
+        "rate-rps",
+        "rate-limit",
+        "slo-ms",
+        "duration-ms",
+        "max-workers",
     ])?;
     let metrics = flags.get_bool("metrics")?;
     let workers = flags.get_num("workers", 1usize)?;
@@ -508,6 +516,27 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         })
         .collect::<Result<_, _>>()?;
 
+    // --tenants N switches to the multi-tenant scheduler with an
+    // open-loop Poisson driver (ffdl-sched) instead of the closed-loop
+    // single-model pool.
+    let tenants = flags.get_num("tenants", 0usize)?;
+    if tenants > 0 {
+        if swap_every != 0 || chaos {
+            return Err(CliError(
+                "--tenants cannot be combined with --swap-every or --chaos \
+                 (the sched chaos suite covers multi-tenant faults)"
+                    .into(),
+            ));
+        }
+        let out = serve_bench_tenants(
+            flags, tenants, &network, arch_label, dataset, &samples, workers, max_batch, seed,
+        );
+        if metrics {
+            ffdl::telemetry::set_enabled(false);
+        }
+        return out;
+    }
+
     let config = ffdl_serve::ServeConfig {
         workers,
         max_batch,
@@ -521,6 +550,7 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
             check_finite: chaos,
             unhealthy_threshold: 0,
         },
+        tenant: None,
     };
     // --chaos SEED arms a deterministic fault campaign for the whole
     // run: one worker panic, one latency spike, one NaN activation and
@@ -565,7 +595,7 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
             loop {
                 match server.try_submit(i as u64, sample.clone()) {
                     Ok(()) => break,
-                    Err(ffdl_serve::ServeError::QueueFull) => std::thread::yield_now(),
+                    Err(ffdl_serve::ServeError::QueueFull { .. }) => std::thread::yield_now(),
                     Err(e) => return Err(e.into()),
                 }
             }
@@ -626,6 +656,155 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         // one table.
         let mut snapshot = ffdl::telemetry::global().snapshot();
         snapshot.merge(&report.telemetry);
+        writeln!(out).expect("string write");
+        out.push_str(&snapshot.to_text());
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated per-tenant list (`"8,1"`), requiring exactly
+/// `n` entries when present; `None` yields `n` copies of the default.
+fn per_tenant_list<T: Clone>(
+    raw: Option<&str>,
+    n: usize,
+    default: T,
+    parse: impl Fn(&str) -> Result<T, CliError>,
+    what: &str,
+) -> Result<Vec<T>, CliError> {
+    match raw {
+        None => Ok(vec![default; n]),
+        Some(s) => {
+            let items: Vec<T> = s
+                .split(',')
+                .map(|tok| parse(tok.trim()))
+                .collect::<Result<_, _>>()?;
+            if items.len() != n {
+                return Err(CliError(format!(
+                    "--{what}: expected {n} comma-separated entries, got {}",
+                    items.len()
+                )));
+            }
+            Ok(items)
+        }
+    }
+}
+
+/// The `--tenants N` arm of `serve-bench`: N tenants (named `t0…`), each
+/// bound to the bench model in a throwaway registry, scheduled by
+/// `ffdl-sched` (WDRR + priority classes + optional per-tenant rate
+/// budgets + autoscaling `--workers` → `--max-workers`), and loaded
+/// open-loop with independent seeded Poisson arrivals at `--rate-rps`
+/// per tenant. Reports per-tenant SLO attainment against `--slo-ms`.
+#[allow(clippy::too_many_arguments)]
+fn serve_bench_tenants(
+    flags: &Flags,
+    tenants: usize,
+    network: &ffdl::nn::Network,
+    arch_label: &str,
+    dataset: &str,
+    samples: &[ffdl::tensor::Tensor],
+    workers: usize,
+    max_batch: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    let metrics = flags.get_bool("metrics")?;
+    let max_workers = flags.get_num("max-workers", workers)?;
+    let slo_ms = flags.get_num("slo-ms", 25u64)?;
+    let duration_ms = flags.get_num("duration-ms", 500u64)?;
+    let rate_rps = flags.get_num("rate-rps", 400.0f64)?;
+    let rate_limit = flags.get_num("rate-limit", 0.0f64)?;
+    let queue_depth = flags.get_num("queue-depth", 256usize)?;
+    let weights = per_tenant_list(
+        flags.get("tenant-weights"),
+        tenants,
+        1u64,
+        |tok| {
+            tok.parse()
+                .map_err(|_| CliError(format!("--tenant-weights: cannot parse {tok:?}")))
+        },
+        "tenant-weights",
+    )?;
+    let classes = per_tenant_list(
+        flags.get("tenant-classes"),
+        tenants,
+        ffdl_sched::PriorityClass::Normal,
+        |tok| Ok(ffdl_sched::PriorityClass::parse(tok)?),
+        "tenant-classes",
+    )?;
+
+    let store_dir = std::env::temp_dir().join(format!(
+        "ffdl-sched-bench-store-{}-{}",
+        std::process::id(),
+        seed,
+    ));
+    let _ = fs::remove_dir_all(&store_dir);
+    let store = ModelStore::open(&store_dir)?;
+    store.publish("bench", network, arch_label)?;
+
+    let specs: Vec<ffdl_sched::TenantSpec> = (0..tenants)
+        .map(|i| {
+            let mut spec = ffdl_sched::TenantSpec::new(format!("t{i}"), "bench");
+            spec.weight = weights[i];
+            spec.class = classes[i];
+            spec.queue_depth = queue_depth;
+            spec.rate_limit = (rate_limit > 0.0).then_some(rate_limit);
+            spec
+        })
+        .collect();
+    let config = ffdl_sched::SchedConfig {
+        min_workers: workers,
+        max_workers,
+        max_batch,
+        quantum: 4,
+        deadline: Some(std::time::Duration::from_millis(slo_ms)),
+        check_finite: false,
+        unhealthy_threshold: 0,
+        autoscale: ffdl_sched::AutoscaleConfig::default(),
+    };
+    let sched = ffdl_sched::Scheduler::start(&store, &specs, &config)?;
+    let plans: Vec<ffdl_sched::OpenLoopPlan> = (0..tenants)
+        .map(|_| ffdl_sched::OpenLoopPlan {
+            rate_rps,
+            samples: samples.to_vec(),
+        })
+        .collect();
+    let summary = ffdl_sched::run_open_loop(
+        &sched,
+        &plans,
+        std::time::Duration::from_millis(duration_ms),
+        seed,
+    )?;
+    let report = sched.finish()?;
+    fs::remove_dir_all(&store_dir).ok();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "serve-bench[sched]: {dataset} / {arch_label} / {tenants} tenants, \
+         open-loop {rate_rps} rps/tenant x {duration_ms} ms, slo {slo_ms} ms, \
+         workers {workers}->{max_workers}",
+    )
+    .expect("string write");
+    for (i, spec) in specs.iter().enumerate() {
+        let stat = report.serve.tenants.iter().find(|t| t.tenant == spec.name);
+        let (p99, slo) = stat.map_or((0.0, 1.0), |s| (s.p99_us, s.slo_attainment));
+        writeln!(
+            out,
+            "tenant {}: weight {} class {}, generated {}, rejected {}, p99 {:.0} µs, slo-attainment {:.4}",
+            spec.name, spec.weight, spec.class, summary.generated[i], summary.rejected[i], p99, slo,
+        )
+        .expect("string write");
+    }
+    writeln!(
+        out,
+        "autoscale: {} scale-ups, {} scale-downs, peak {} workers",
+        report.scale_ups, report.scale_downs, report.peak_workers,
+    )
+    .expect("string write");
+    out.push_str(&report.serve.table());
+    if metrics {
+        let mut snapshot = ffdl::telemetry::global().snapshot();
+        snapshot.merge(&report.serve.telemetry);
         writeln!(out).expect("string write");
         out.push_str(&snapshot.to_text());
     }
@@ -799,6 +978,9 @@ pub fn usage() -> &'static str {
        ffdl serve-bench [--workers N] [--batch N] [--requests N] [--dataset mnist16|mnist11]\n\
                        [--wait-us N] [--queue-depth N] [--seed N] [--metrics on]\n\
                        [--swap-every N] [--chaos SEED] [--deadline-ms N]\n\
+                       [--tenants N] [--tenant-weights 8,1] [--tenant-classes high,normal]\n\
+                       [--rate-rps F] [--rate-limit F] [--slo-ms N] [--duration-ms N]\n\
+                       [--max-workers N]\n\
        ffdl model publish  --store <dir> --name <model> --arch <file>\n\
                        [--params <file>] [--seed N] [--label <arch-label>]\n\
        ffdl model list     --store <dir> [--name <model>]\n\
@@ -817,7 +999,15 @@ pub fn usage() -> &'static str {
      --chaos SEED arms the deterministic fault injector (ffdl-fault)\n\
      for the run: one worker panic, one latency spike, one NaN\n\
      activation and one bit flip on registry reads — same seed, same\n\
-     faults, and the summary reports what fired.\n"
+     faults, and the summary reports what fired.\n\
+     \n\
+     serve-bench --tenants N runs the multi-tenant scheduler\n\
+     (ffdl-sched): N tenants with per-tenant weights, priority classes\n\
+     and optional --rate-limit admission budgets share an autoscaled\n\
+     pool (--workers to --max-workers), loaded open-loop with seeded\n\
+     Poisson arrivals at --rate-rps per tenant for --duration-ms; the\n\
+     report breaks out p50/p99 and SLO attainment (vs --slo-ms) per\n\
+     tenant.\n"
 }
 
 /// Dispatches a full argument vector (without the program name).

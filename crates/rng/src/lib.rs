@@ -348,6 +348,65 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     }
 }
 
+/// One Exp(`rate`) sample (mean `1/rate`) via inverse-CDF: the
+/// inter-arrival time of a Poisson process with `rate` events per unit
+/// time. The uniform draw is bounded away from 0 so `ln` stays finite.
+///
+/// # Panics
+///
+/// Panics when `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential: rate must be positive and finite, got {rate}"
+    );
+    let u = f64::EPSILON + (1.0 - f64::EPSILON) * rng.next_f64();
+    -u.ln() / rate
+}
+
+/// A seeded Poisson arrival process: an infinite iterator of absolute
+/// arrival times (seconds from 0), with independent Exp(`rate`)
+/// inter-arrival gaps. This is the open-loop load model — arrivals keep
+/// coming at their own pace whether or not the server keeps up, unlike a
+/// closed loop where each client waits for its previous response.
+///
+/// ```
+/// use ffdl_rng::{PoissonArrivals, SeedableRng, SmallRng};
+/// let mut arrivals = PoissonArrivals::new(SmallRng::seed_from_u64(7), 1000.0);
+/// let t: Vec<f64> = (&mut arrivals).take(3).collect();
+/// assert!(t[0] < t[1] && t[1] < t[2], "arrival times are increasing");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals<R: Rng> {
+    rng: R,
+    rate: f64,
+    now_s: f64,
+}
+
+impl<R: Rng> PoissonArrivals<R> {
+    /// A process producing `rate` arrivals per second on average.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is not strictly positive and finite.
+    pub fn new(rng: R, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "PoissonArrivals: rate must be positive and finite, got {rate}"
+        );
+        Self { rng, rate, now_s: 0.0 }
+    }
+}
+
+impl<R: Rng> Iterator for PoissonArrivals<R> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.now_s += exponential(&mut self.rng, self.rate);
+        Some(self.now_s)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Sequence helpers
 // ---------------------------------------------------------------------------

@@ -1,0 +1,975 @@
+//! The multi-tenant scheduler: per-tenant model slots, an autoscaling
+//! worker pool, and admission control in front of WDRR dispatch.
+//!
+//! # Topology
+//!
+//! ```text
+//! submit(tenant, id, x)
+//!   │  token bucket (rate budget)  → TenantOverLimit
+//!   │  bounded per-tenant queue    → QueueFull{tenant}
+//!   ▼
+//! [q:tenantA] [q:tenantB] [q:tenantC]     per-tenant bounded queues
+//!      └────────┬──────────┘
+//!         WDRR dispatcher                  priority classes preempt,
+//!      ┌────────┼──────────┐               weights divide in-class share
+//!      ▼        ▼          ▼
+//!   worker₁  worker₂ …  workerₙ            n autoscaled in [min, max]
+//!      each: per-tenant engine cache, cloned from that tenant's slot
+//! ```
+//!
+//! Every tenant owns a **model slot** — the same Arc'd zero-copy
+//! hot-swap design as `ffdl-serve`'s single slot, one per tenant — so
+//! swap, quarantine and auto-rollback are tenant-local: a NaN model in
+//! tenant A rolls back A's slot and never touches B's engines.
+//!
+//! # Autoscaling
+//!
+//! A controller thread samples total queue depth between batches. Depth
+//! above `scale_up_depth × live_workers` grows the pool (up to
+//! `max_workers`); a queue that stays empty for `idle_grace` shrinks it
+//! (down to `min_workers`) by lowering the target — each worker checks
+//! `live > target` between batches and retires itself, handing its
+//! buffers back. Every decision is recorded as a [`ScaleEvent`] and in
+//! telemetry (`ffdl.sched.workers`, `ffdl.sched.scale_ups/downs`), so a
+//! bench row can prove the pool actually moved.
+
+use crate::tenant::{TenantSpec, TokenBucket};
+use crate::wdrr::{Dispatcher, Popped, PushRefused, QueuedRequest};
+use ffdl_core::full_registry;
+use ffdl_deploy::{DeployError, InferenceEngine, NonFiniteStage};
+use ffdl_nn::{clone_network, LayerRegistry, Network};
+use ffdl_registry::ModelStore;
+use ffdl_serve::{
+    FailureKind, RunCounts, ServeError, ServeFailure, ServeReport, ServeResponse,
+};
+use ffdl_telemetry::{Registry, RegistrySnapshot};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Model generations retained per tenant for rollback.
+const HISTORY_DEPTH: usize = 8;
+
+/// How long an idle worker waits in one pop before re-checking
+/// retirement and shutdown.
+const IDLE_WAIT: Duration = Duration::from_millis(2);
+
+/// Autoscaler policy.
+#[derive(Debug, Clone)]
+pub struct AutoscaleConfig {
+    /// Controller sampling interval.
+    pub interval: Duration,
+    /// Queued requests *per live worker* that trigger a scale-up.
+    pub scale_up_depth: usize,
+    /// How long the queue must stay empty before a scale-down.
+    pub idle_grace: Duration,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(1),
+            scale_up_depth: 8,
+            idle_grace: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Configuration for a scheduler run.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Workers the pool starts with and never shrinks below.
+    pub min_workers: usize,
+    /// Workers the autoscaler may grow to. `max_workers == min_workers`
+    /// pins the pool size.
+    pub max_workers: usize,
+    /// Largest batch dispatched to one worker (always single-tenant).
+    pub max_batch: usize,
+    /// Base WDRR quantum: a tenant's turn is `weight × quantum`
+    /// requests.
+    pub quantum: u64,
+    /// Per-request deadline measured from admission — the SLO responses
+    /// are judged against, and the shed threshold for requests expiring
+    /// in a queue. `None` disables both.
+    pub deadline: Option<Duration>,
+    /// Enable the per-engine logits finiteness scan.
+    pub check_finite: bool,
+    /// Unhealthy request failures on one tenant's current generation
+    /// that trip that tenant's quarantine + rollback (0 = never).
+    pub unhealthy_threshold: u32,
+    /// Autoscaler policy.
+    pub autoscale: AutoscaleConfig,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            min_workers: 1,
+            max_workers: 1,
+            max_batch: 16,
+            quantum: 4,
+            deadline: None,
+            check_finite: false,
+            unhealthy_threshold: 0,
+            autoscale: AutoscaleConfig::default(),
+        }
+    }
+}
+
+impl SchedConfig {
+    fn validate(&self, specs: &[TenantSpec]) -> Result<(), ServeError> {
+        if self.min_workers == 0 {
+            return Err(ServeError::InvalidConfig("min_workers must be >= 1".into()));
+        }
+        if self.max_workers < self.min_workers {
+            return Err(ServeError::InvalidConfig(
+                "max_workers must be >= min_workers".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        if self.quantum == 0 {
+            return Err(ServeError::InvalidConfig("quantum must be >= 1".into()));
+        }
+        if self.unhealthy_threshold > 0 && !self.check_finite {
+            return Err(ServeError::InvalidConfig(
+                "unhealthy_threshold requires check_finite".into(),
+            ));
+        }
+        if specs.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "at least one tenant is required".into(),
+            ));
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            spec.validate()?;
+            if specs[..i].iter().any(|s| s.name == spec.name) {
+                return Err(ServeError::InvalidConfig(format!(
+                    "duplicate tenant name '{}'",
+                    spec.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One pool-size change, timestamped relative to scheduler start.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleEvent {
+    /// When the controller acted, relative to [`Scheduler`] start.
+    pub at: Duration,
+    /// `true` for a scale-up, `false` for a scale-down.
+    pub up: bool,
+    /// Target pool size after the change.
+    pub workers: usize,
+}
+
+/// One retained generation of a tenant's model.
+struct GenRecord {
+    server_gen: u64,
+    registry_gen: Option<u64>,
+    network: Arc<Network>,
+    quarantined: bool,
+}
+
+struct TenantSupervision {
+    history: Vec<GenRecord>,
+    error_gen: u64,
+    error_count: u32,
+    quarantines: u64,
+    auto_rollbacks: u64,
+}
+
+/// Per-tenant model slot: the same Arc + generation-counter hot-swap
+/// design as `ffdl-serve`'s pool, instantiated once per tenant.
+struct TenantSlot {
+    name: Arc<str>,
+    /// Registry model name this tenant is bound to.
+    model: String,
+    network: Mutex<Arc<Network>>,
+    generation: AtomicU64,
+    supervision: Mutex<TenantSupervision>,
+    /// Responses served for this tenant (live counter for fairness
+    /// observation while the run is in flight).
+    served: AtomicU64,
+    bucket: Option<Mutex<TokenBucket>>,
+}
+
+impl TenantSlot {
+    fn install(
+        &self,
+        sup: &mut TenantSupervision,
+        network: Arc<Network>,
+        registry_gen: Option<u64>,
+    ) -> u64 {
+        {
+            let mut slot = self.network.lock().expect("tenant slot poisoned");
+            *slot = Arc::clone(&network);
+        }
+        let generation = self.generation.fetch_add(1, Ordering::Release) + 1;
+        sup.history.push(GenRecord {
+            server_gen: generation,
+            registry_gen,
+            network,
+            quarantined: false,
+        });
+        if sup.history.len() > HISTORY_DEPTH {
+            sup.history.remove(0);
+        }
+        generation
+    }
+
+    fn shared(&self) -> Arc<Network> {
+        Arc::clone(&self.network.lock().expect("tenant slot poisoned"))
+    }
+}
+
+/// Counts a tenant's non-finite-logits failures and, at the threshold,
+/// quarantines the guilty generation and rolls *that tenant* back —
+/// preferring the durable registry path (republish through
+/// [`ModelStore::rollback`]), falling back to the retained in-memory
+/// clone. Other tenants' slots and engines are untouched.
+fn handle_unhealthy_tenant(
+    slot: &TenantSlot,
+    store: &ModelStore,
+    layers: &LayerRegistry,
+    generation: u64,
+    failed: u32,
+    threshold: u32,
+) -> bool {
+    if threshold == 0 {
+        return false;
+    }
+    let mut sup = slot.supervision.lock().expect("tenant supervision poisoned");
+    if sup.error_gen != generation {
+        sup.error_gen = generation;
+        sup.error_count = 0;
+    }
+    sup.error_count = sup.error_count.saturating_add(failed);
+    if sup.error_count < threshold {
+        return false;
+    }
+    if slot.generation.load(Ordering::Acquire) != generation {
+        return false; // stale failures from an already-replaced generation
+    }
+    let Some(record) = sup.history.iter_mut().find(|r| r.server_gen == generation) else {
+        return false;
+    };
+    if record.quarantined {
+        return false;
+    }
+    record.quarantined = true;
+    sup.quarantines += 1;
+    sup.error_count = 0;
+    let Some(target) = sup.history.iter().rposition(|r| !r.quarantined) else {
+        return true; // nothing healthy left: keep failing typed
+    };
+    let registry_target = sup.history[target].registry_gen;
+    let mut new_registry_gen = registry_target;
+    let network = registry_target
+        .and_then(|reg_gen| {
+            store
+                .rollback(&slot.model, Some(reg_gen))
+                .and_then(|v| store.load(&slot.model, Some(v.generation), layers))
+                .map(|(network, version)| {
+                    new_registry_gen = Some(version.generation);
+                    Arc::new(network)
+                })
+                .ok()
+        })
+        .unwrap_or_else(|| Arc::clone(&sup.history[target].network));
+    slot.install(&mut sup, network, new_registry_gen);
+    sup.auto_rollbacks += 1;
+    true
+}
+
+struct WorkerOutput {
+    telemetry: RegistrySnapshot,
+    responses: Vec<ServeResponse>,
+    failures: Vec<ServeFailure>,
+}
+
+/// State shared by workers, the controller and the front end.
+struct Core {
+    dispatcher: Dispatcher,
+    slots: Vec<TenantSlot>,
+    store: ModelStore,
+    layers: Arc<LayerRegistry>,
+    max_batch: usize,
+    check_finite: bool,
+    unhealthy_threshold: u32,
+    /// Workers currently running.
+    live: AtomicUsize,
+    /// Pool size the controller wants; workers retire while
+    /// `live > target`.
+    target: AtomicUsize,
+    peak: AtomicUsize,
+    restarts: AtomicU64,
+    closed: AtomicBool,
+    outputs: Mutex<Vec<WorkerOutput>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    first_error: Mutex<Option<ServeError>>,
+    scale_events: Mutex<Vec<ScaleEvent>>,
+    scale_ups: AtomicU64,
+    scale_downs: AtomicU64,
+    started: Instant,
+}
+
+fn record_error(core: &Core, e: ServeError) {
+    core.first_error
+        .lock()
+        .expect("error slot poisoned")
+        .get_or_insert(e);
+}
+
+fn spawn_worker(core: &Arc<Core>, worker: usize) {
+    let core_for_worker = Arc::clone(core);
+    let handle = thread::spawn(move || {
+        let output = worker_loop(&core_for_worker, worker);
+        core_for_worker
+            .outputs
+            .lock()
+            .expect("outputs poisoned")
+            .push(output);
+    });
+    core.handles.lock().expect("handles poisoned").push(handle);
+}
+
+fn worker_loop(core: &Core, worker: usize) -> WorkerOutput {
+    let telemetry = Registry::new();
+    let batches = telemetry.counter("ffdl.sched.batches");
+    let requests = telemetry.counter("ffdl.sched.requests");
+    let restarts_counter = telemetry.counter("ffdl.sched.worker_restarts");
+    let expired_counter = telemetry.counter("ffdl.sched.expired");
+    let unhealthy_counter = telemetry.counter("ffdl.sched.unhealthy_batches");
+    let quarantine_counter = telemetry.counter("ffdl.sched.quarantines");
+    let rollback_counter = telemetry.counter("ffdl.sched.auto_rollbacks");
+    let batch_size_hist = telemetry.histogram("ffdl.sched.batch_size");
+    // Per-tenant labels: one served counter per tenant name, so a
+    // snapshot shows exactly which tenants this worker served.
+    let served_counters: Vec<_> = core
+        .slots
+        .iter()
+        .map(|s| telemetry.counter(&format!("ffdl.sched.tenant.{}.served", s.name)))
+        .collect();
+    // Engine cache: one lazily-built engine per tenant, keyed by the
+    // generation it was cloned from.
+    let mut engines: Vec<Option<(u64, InferenceEngine)>> =
+        core.slots.iter().map(|_| None).collect();
+    let mut responses: Vec<ServeResponse> = Vec::new();
+    let mut failures: Vec<ServeFailure> = Vec::new();
+    'serve: loop {
+        // Retirement: while the pool is over target, workers peel off
+        // one CAS at a time — the one that wins the decrement exits.
+        loop {
+            let live = core.live.load(Ordering::Acquire);
+            if live <= core.target.load(Ordering::Acquire) {
+                break;
+            }
+            if core
+                .live
+                .compare_exchange(live, live - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break 'serve;
+            }
+        }
+        let (tenant, batch) = match core.dispatcher.pop(core.max_batch, IDLE_WAIT) {
+            Popped::Closed => break,
+            Popped::Idle => continue,
+            Popped::Batch(t, batch) => (t, batch),
+        };
+        let slot = &core.slots[tenant];
+        let telemetry_on = ffdl_telemetry::enabled();
+        // Deadline shedding at dequeue, typed per tenant.
+        let now = Instant::now();
+        let (batch, expired): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|r: &QueuedRequest| r.deadline.is_none_or(|d| now < d));
+        let current = slot.generation.load(Ordering::Acquire);
+        if !expired.is_empty() {
+            if telemetry_on {
+                expired_counter.add(expired.len() as u64);
+            }
+            failures.extend(expired.iter().map(|r| ServeFailure {
+                id: r.id,
+                kind: FailureKind::DeadlineExceeded,
+                generation: current,
+                tenant: Some(Arc::clone(&slot.name)),
+            }));
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        // Per-tenant engine adoption: rebuild only when this tenant's
+        // generation moved (or first use on this worker). Other
+        // tenants' swaps never invalidate this engine.
+        let stale = !matches!(&engines[tenant], Some((gen, _)) if *gen == current);
+        if stale {
+            let fresh = match clone_network(&slot.shared(), &core.layers) {
+                Ok(n) => n,
+                Err(e) => {
+                    record_error(core, e.into());
+                    break;
+                }
+            };
+            let mut engine = InferenceEngine::new(fresh);
+            engine.set_finite_check(core.check_finite);
+            engines[tenant] = Some((current, engine));
+        }
+        let (_, engine) = engines[tenant].as_mut().expect("engine just built");
+        if telemetry_on {
+            batches.inc();
+            requests.add(batch.len() as u64);
+            batch_size_hist.record(batch.len() as u64);
+        }
+        let refs: Vec<&ffdl_tensor::Tensor> = batch.iter().map(|r| &r.features).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(spike) = ffdl_fault::latency_spike() {
+                thread::sleep(spike);
+            }
+            ffdl_fault::maybe_panic("sched.worker.batch");
+            engine.predict_batch(&refs)
+        }));
+        let predictions = match outcome {
+            Ok(Ok(predictions)) => predictions,
+            Ok(Err(DeployError::NonFinite {
+                stage: NonFiniteStage::Logits,
+                ..
+            })) => {
+                if telemetry_on {
+                    unhealthy_counter.inc();
+                }
+                failures.extend(batch.iter().map(|r| ServeFailure {
+                    id: r.id,
+                    kind: FailureKind::UnhealthyModel,
+                    generation: current,
+                    tenant: Some(Arc::clone(&slot.name)),
+                }));
+                let tripped = handle_unhealthy_tenant(
+                    slot,
+                    &core.store,
+                    &core.layers,
+                    current,
+                    batch.len() as u32,
+                    core.unhealthy_threshold,
+                );
+                if tripped && telemetry_on {
+                    quarantine_counter.inc();
+                    rollback_counter.inc();
+                }
+                continue;
+            }
+            Ok(Err(e)) => {
+                record_error(core, e.into());
+                break;
+            }
+            Err(_panic) => {
+                core.restarts.fetch_add(1, Ordering::Relaxed);
+                restarts_counter.inc();
+                failures.extend(batch.iter().map(|r| ServeFailure {
+                    id: r.id,
+                    kind: FailureKind::WorkerPanic,
+                    generation: current,
+                    tenant: Some(Arc::clone(&slot.name)),
+                }));
+                engines[tenant] = None; // rebuild from the slot next time
+                continue;
+            }
+        };
+        let done = Instant::now();
+        let batch_size = batch.len();
+        for (request, prediction) in batch.iter().zip(predictions) {
+            responses.push(ServeResponse {
+                id: request.id,
+                prediction,
+                latency_us: done.duration_since(request.enqueued).as_secs_f64() * 1e6,
+                worker,
+                batch_size,
+                generation: current,
+                tenant: Some(Arc::clone(&slot.name)),
+            });
+        }
+        slot.served.fetch_add(batch_size as u64, Ordering::Relaxed);
+        if telemetry_on {
+            served_counters[tenant].add(batch_size as u64);
+        }
+    }
+    WorkerOutput {
+        telemetry: telemetry.snapshot(),
+        responses,
+        failures,
+    }
+}
+
+/// A running multi-tenant scheduler.
+///
+/// Start with [`Scheduler::start`] (tenants bind named models in a
+/// [`ModelStore`]), drive with [`submit`](Scheduler::submit) or the
+/// open-loop driver ([`run_open_loop`](crate::run_open_loop)), stop
+/// with [`finish`](Scheduler::finish).
+pub struct Scheduler {
+    core: Arc<Core>,
+    controller: Option<JoinHandle<()>>,
+    config: SchedConfig,
+    registry: Registry,
+    submitted_counters: Vec<Arc<ffdl_telemetry::Counter>>,
+    rejected_counters: Vec<Arc<ffdl_telemetry::Counter>>,
+    /// Admission-side typed failures (shed / over-limit), merged into
+    /// the report so every generated request is accounted for.
+    admission_failures: Mutex<Vec<ServeFailure>>,
+}
+
+impl Scheduler {
+    /// Starts the scheduler: loads each tenant's named model from
+    /// `store` (active generation, checksum-verified), builds the
+    /// per-tenant slots and queues, and spawns `min_workers` workers
+    /// plus the autoscale controller. Layer types resolve through
+    /// [`ffdl_core::full_registry`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for bad specs/config,
+    /// [`ServeError::Registry`] when a tenant's model cannot be loaded,
+    /// [`ServeError::Clone`] when a loaded network fails its wire
+    /// round-trip.
+    pub fn start(
+        store: &ModelStore,
+        specs: &[TenantSpec],
+        config: &SchedConfig,
+    ) -> Result<Self, ServeError> {
+        Self::start_with_registry(store, specs, config, full_registry())
+    }
+
+    /// Like [`start`](Scheduler::start) with a caller-supplied
+    /// [`LayerRegistry`] for custom layer types.
+    ///
+    /// # Errors
+    ///
+    /// See [`start`](Scheduler::start).
+    pub fn start_with_registry(
+        store: &ModelStore,
+        specs: &[TenantSpec],
+        config: &SchedConfig,
+        layers: LayerRegistry,
+    ) -> Result<Self, ServeError> {
+        config.validate(specs)?;
+        let layers = Arc::new(layers);
+        let mut slots = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let (network, version) = store.load(&spec.model, None, &layers)?;
+            let shared = Arc::new(network);
+            slots.push(TenantSlot {
+                name: Arc::from(spec.name.as_str()),
+                model: spec.model.clone(),
+                network: Mutex::new(Arc::clone(&shared)),
+                generation: AtomicU64::new(1),
+                supervision: Mutex::new(TenantSupervision {
+                    history: vec![GenRecord {
+                        server_gen: 1,
+                        registry_gen: Some(version.generation),
+                        network: shared,
+                        quarantined: false,
+                    }],
+                    error_gen: 1,
+                    error_count: 0,
+                    quarantines: 0,
+                    auto_rollbacks: 0,
+                }),
+                served: AtomicU64::new(0),
+                bucket: spec.rate_limit.map(|r| Mutex::new(TokenBucket::new(r))),
+            });
+        }
+        let core = Arc::new(Core {
+            dispatcher: Dispatcher::new(specs, config.quantum),
+            slots,
+            store: store.clone(),
+            layers,
+            max_batch: config.max_batch,
+            check_finite: config.check_finite,
+            unhealthy_threshold: config.unhealthy_threshold,
+            live: AtomicUsize::new(config.min_workers),
+            target: AtomicUsize::new(config.min_workers),
+            peak: AtomicUsize::new(config.min_workers),
+            restarts: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            outputs: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            first_error: Mutex::new(None),
+            scale_events: Mutex::new(Vec::new()),
+            scale_ups: AtomicU64::new(0),
+            scale_downs: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        for worker in 0..config.min_workers {
+            spawn_worker(&core, worker);
+        }
+
+        let registry = Registry::new();
+        let workers_gauge = registry.gauge("ffdl.sched.workers");
+        let scale_up_counter = registry.counter("ffdl.sched.scale_ups");
+        let scale_down_counter = registry.counter("ffdl.sched.scale_downs");
+        workers_gauge.set(config.min_workers as i64);
+        let submitted_counters: Vec<_> = specs
+            .iter()
+            .map(|s| registry.counter(&format!("ffdl.sched.tenant.{}.submitted", s.name)))
+            .collect();
+        let rejected_counters: Vec<_> = specs
+            .iter()
+            .map(|s| registry.counter(&format!("ffdl.sched.tenant.{}.rejected", s.name)))
+            .collect();
+
+        // Controller: samples queue depth on a fixed interval, grows
+        // the pool under backlog, shrinks it after sustained idleness.
+        let controller = {
+            let core = Arc::clone(&core);
+            let autoscale = config.autoscale.clone();
+            let (min, max) = (config.min_workers, config.max_workers);
+            thread::spawn(move || {
+                let mut idle_since: Option<Instant> = None;
+                let mut next_worker = min;
+                while !core.closed.load(Ordering::Acquire) {
+                    thread::sleep(autoscale.interval);
+                    let depth = core.dispatcher.len();
+                    let live = core.live.load(Ordering::Acquire);
+                    let target = core.target.load(Ordering::Acquire);
+                    if depth > autoscale.scale_up_depth * live.max(1) && target < max {
+                        let new_target = target + 1;
+                        core.target.store(new_target, Ordering::Release);
+                        core.live.fetch_add(1, Ordering::AcqRel);
+                        core.peak.fetch_max(new_target, Ordering::AcqRel);
+                        spawn_worker(&core, next_worker);
+                        next_worker += 1;
+                        core.scale_ups.fetch_add(1, Ordering::Relaxed);
+                        core.scale_events
+                            .lock()
+                            .expect("scale events poisoned")
+                            .push(ScaleEvent {
+                                at: core.started.elapsed(),
+                                up: true,
+                                workers: new_target,
+                            });
+                        if ffdl_telemetry::enabled() {
+                            scale_up_counter.inc();
+                            workers_gauge.set(new_target as i64);
+                        }
+                        idle_since = None;
+                    } else if depth == 0 && target > min {
+                        let now = Instant::now();
+                        match idle_since {
+                            None => idle_since = Some(now),
+                            Some(t0) if now.duration_since(t0) >= autoscale.idle_grace => {
+                                let new_target = target - 1;
+                                core.target.store(new_target, Ordering::Release);
+                                core.scale_downs.fetch_add(1, Ordering::Relaxed);
+                                core.scale_events
+                                    .lock()
+                                    .expect("scale events poisoned")
+                                    .push(ScaleEvent {
+                                        at: core.started.elapsed(),
+                                        up: false,
+                                        workers: new_target,
+                                    });
+                                if ffdl_telemetry::enabled() {
+                                    scale_down_counter.inc();
+                                    workers_gauge.set(new_target as i64);
+                                }
+                                idle_since = None;
+                            }
+                            Some(_) => {}
+                        }
+                    } else {
+                        idle_since = None;
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            core,
+            controller: Some(controller),
+            config: config.clone(),
+            registry,
+            submitted_counters,
+            rejected_counters,
+            admission_failures: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn record_admission_failure(&self, tenant: usize, id: u64, kind: FailureKind) {
+        let slot = &self.core.slots[tenant];
+        self.admission_failures
+            .lock()
+            .expect("admission failures poisoned")
+            .push(ServeFailure {
+                id,
+                kind,
+                generation: slot.generation.load(Ordering::Acquire),
+                tenant: Some(Arc::clone(&slot.name)),
+            });
+        if ffdl_telemetry::enabled() {
+            self.rejected_counters[tenant].inc();
+        }
+    }
+
+    /// Submits a request on behalf of `tenant` (index into the spec
+    /// slice the scheduler was started with). Non-blocking. Every
+    /// rejection is **recorded** as a typed failure in the final report
+    /// as well as returned — so open-loop accounting never loses a
+    /// generated request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TenantOverLimit`] over the tenant's rate budget,
+    /// [`ServeError::QueueFull`] (carrying the tenant name) when its
+    /// bounded queue is at depth, [`ServeError::Closed`] after
+    /// [`finish`](Scheduler::finish) began.
+    pub fn submit(
+        &self,
+        tenant: usize,
+        id: u64,
+        features: ffdl_tensor::Tensor,
+    ) -> Result<(), ServeError> {
+        let Some(slot) = self.core.slots.get(tenant) else {
+            return Err(ServeError::InvalidConfig(format!(
+                "tenant index {tenant} out of range"
+            )));
+        };
+        let now = Instant::now();
+        if let Some(bucket) = &slot.bucket {
+            if !bucket.lock().expect("token bucket poisoned").admit(now) {
+                self.record_admission_failure(tenant, id, FailureKind::OverLimit);
+                return Err(ServeError::TenantOverLimit {
+                    tenant: slot.name.to_string(),
+                });
+            }
+        }
+        let request = QueuedRequest {
+            id,
+            features,
+            enqueued: now,
+            deadline: self.config.deadline.map(|d| now + d),
+        };
+        match self.core.dispatcher.push(tenant, request) {
+            Ok(()) => {
+                if ffdl_telemetry::enabled() {
+                    self.submitted_counters[tenant].inc();
+                }
+                Ok(())
+            }
+            Err(PushRefused::Full) => {
+                self.record_admission_failure(tenant, id, FailureKind::Shed);
+                Err(ServeError::QueueFull {
+                    tenant: Some(slot.name.to_string()),
+                })
+            }
+            Err(PushRefused::Closed) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Publishes the given registry generation (`None` = active) of the
+    /// tenant's bound model into that tenant's slot — a per-tenant hot
+    /// swap; other tenants' engines are untouched. Returns the tenant's
+    /// new slot generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Registry`] for unknown/corrupt generations,
+    /// [`ServeError::Clone`] if the loaded network fails its round-trip.
+    pub fn swap_tenant_from_store(
+        &self,
+        tenant: usize,
+        registry_generation: Option<u64>,
+    ) -> Result<u64, ServeError> {
+        let slot = &self.core.slots[tenant];
+        let (network, version) =
+            self.core
+                .store
+                .load(&slot.model, registry_generation, &self.core.layers)?;
+        let mut sup = slot.supervision.lock().expect("tenant supervision poisoned");
+        Ok(slot.install(&mut sup, Arc::new(network), Some(version.generation)))
+    }
+
+    /// Responses served for one tenant so far (live, lock-free).
+    pub fn served_by_tenant(&self, tenant: usize) -> u64 {
+        self.core.slots[tenant].served.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently queued for one tenant.
+    pub fn tenant_queue_len(&self, tenant: usize) -> usize {
+        self.core.dispatcher.tenant_len(tenant)
+    }
+
+    /// Total requests queued across all tenants.
+    pub fn queue_len(&self) -> usize {
+        self.core.dispatcher.len()
+    }
+
+    /// Workers currently running.
+    pub fn workers_live(&self) -> usize {
+        self.core.live.load(Ordering::Acquire)
+    }
+
+    /// One tenant's current slot generation.
+    pub fn tenant_generation(&self, tenant: usize) -> u64 {
+        self.core.slots[tenant].generation.load(Ordering::Acquire)
+    }
+
+    /// Slot generations quarantined for one tenant so far.
+    pub fn tenant_quarantined_generations(&self, tenant: usize) -> Vec<u64> {
+        let sup = self.core.slots[tenant]
+            .supervision
+            .lock()
+            .expect("tenant supervision poisoned");
+        sup.history
+            .iter()
+            .filter(|r| r.quarantined)
+            .map(|r| r.server_gen)
+            .collect()
+    }
+
+    /// Auto-rollbacks performed for one tenant so far.
+    pub fn tenant_auto_rollbacks(&self, tenant: usize) -> u64 {
+        self.core.slots[tenant]
+            .supervision
+            .lock()
+            .expect("tenant supervision poisoned")
+            .auto_rollbacks
+    }
+
+    /// Closes admission, drains every tenant queue, joins the pool and
+    /// the controller, and returns the run's report.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first worker failure (engine clone or non-health
+    /// inference error).
+    pub fn finish(mut self) -> Result<SchedReport, ServeError> {
+        // Stop the controller first so the pool size is stable during
+        // the drain, then close the queues: workers drain and exit.
+        self.core.closed.store(true, Ordering::Release);
+        if let Some(controller) = self.controller.take() {
+            let _ = controller.join();
+        }
+        self.core.dispatcher.close();
+        loop {
+            let handle = self.core.handles.lock().expect("handles poisoned").pop();
+            match handle {
+                Some(h) => {
+                    if h.join().is_err() {
+                        record_error(
+                            &self.core,
+                            ServeError::WorkerPanic("worker died outside batch supervision".into()),
+                        );
+                    }
+                }
+                None => break,
+            }
+        }
+        let wall = self.core.started.elapsed();
+        let mut telemetry = self.registry.snapshot();
+        let mut responses = Vec::new();
+        let mut failures = std::mem::take(
+            &mut *self.admission_failures.lock().expect("admission failures poisoned"),
+        );
+        for output in self.core.outputs.lock().expect("outputs poisoned").drain(..) {
+            telemetry.merge(&output.telemetry);
+            responses.extend(output.responses);
+            failures.extend(output.failures);
+        }
+        if let Some(e) = self.core.first_error.lock().expect("error slot poisoned").take() {
+            return Err(e);
+        }
+        let queue_full = failures
+            .iter()
+            .filter(|f| f.kind == FailureKind::Shed)
+            .count() as u64;
+        let over_limit = failures
+            .iter()
+            .filter(|f| f.kind == FailureKind::OverLimit)
+            .count() as u64;
+        let expired = failures
+            .iter()
+            .filter(|f| f.kind == FailureKind::DeadlineExceeded)
+            .count() as u64;
+        let (quarantines, auto_rollbacks) = self.core.slots.iter().fold((0, 0), |acc, s| {
+            let sup = s.supervision.lock().expect("tenant supervision poisoned");
+            (acc.0 + sup.quarantines, acc.1 + sup.auto_rollbacks)
+        });
+        let counts = RunCounts {
+            queue_full_rejections: queue_full,
+            worker_restarts: self.core.restarts.load(Ordering::Relaxed),
+            shed: queue_full + over_limit,
+            expired,
+            quarantines,
+            auto_rollbacks,
+            model_generation: self
+                .core
+                .slots
+                .iter()
+                .map(|s| s.generation.load(Ordering::Acquire))
+                .max()
+                .unwrap_or(1),
+        };
+        let peak = self.core.peak.load(Ordering::Acquire);
+        let serve = ServeReport::from_parts(
+            responses,
+            failures,
+            peak,
+            wall,
+            counts,
+            telemetry,
+            self.config.deadline,
+        );
+        Ok(SchedReport {
+            serve,
+            tenants: self.core.slots.iter().map(|s| s.name.to_string()).collect(),
+            min_workers: self.config.min_workers,
+            peak_workers: peak,
+            scale_ups: self.core.scale_ups.load(Ordering::Relaxed),
+            scale_downs: self.core.scale_downs.load(Ordering::Relaxed),
+            scale_events: std::mem::take(
+                &mut *self.core.scale_events.lock().expect("scale events poisoned"),
+            ),
+        })
+    }
+}
+
+/// A finished scheduler run: the familiar [`ServeReport`] (with its
+/// per-tenant breakdown) plus the scheduler-level scaling story.
+#[derive(Debug)]
+pub struct SchedReport {
+    /// Aggregate + per-tenant serving statistics.
+    pub serve: ServeReport,
+    /// Tenant names, in spec order.
+    pub tenants: Vec<String>,
+    /// Pool size the run started with.
+    pub min_workers: usize,
+    /// Largest pool size the autoscaler reached.
+    pub peak_workers: usize,
+    /// Scale-up decisions taken.
+    pub scale_ups: u64,
+    /// Scale-down decisions taken.
+    pub scale_downs: u64,
+    /// Every pool-size change, in order.
+    pub scale_events: Vec<ScaleEvent>,
+}
+
+impl std::fmt::Display for SchedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.serve.table())?;
+        writeln!(
+            f,
+            "sched: {} tenants, workers {} -> {} peak ({} scale-ups, {} scale-downs)",
+            self.tenants.len(),
+            self.min_workers,
+            self.peak_workers,
+            self.scale_ups,
+            self.scale_downs
+        )
+    }
+}

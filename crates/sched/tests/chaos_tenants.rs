@@ -1,0 +1,272 @@
+//! Two-tenant extension of the serve chaos campaign: a seeded fault
+//! campaign is driven into ONE tenant's model, and the blast radius
+//! must stop at that tenant's slot.
+//!
+//! * tenant `alpha` is hot-swapped onto an all-NaN model while the
+//!   seeded injector (`ffdl-fault`) fires a worker panic, a latency
+//!   spike, a NaN activation and a registry bit flip on its traffic;
+//! * `alpha` must be quarantined and auto-rolled-back **alone**:
+//!   tenant `beta`'s slot stays at generation 1 with zero quarantines;
+//! * every one of `beta`'s responses must be **bit-identical** to a
+//!   fault-free offline run of its model — same labels, same
+//!   probability bits;
+//! * zero lost responses across both tenants, every failure typed.
+//!
+//! One `#[test]`: the fault injector is process-global, so concurrent
+//! tests in this binary would steal each other's budgets.
+
+use ffdl_core::full_registry;
+use ffdl_deploy::{parse_architecture, InferenceEngine};
+use ffdl_fault::FaultPlan;
+use ffdl_registry::{ModelStore, RegistryError};
+use ffdl_sched::{SchedConfig, Scheduler, TenantSpec};
+use ffdl_serve::FailureKind;
+use ffdl_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+const ARCH: &str = "\
+input 16
+circulant_fc 16 block=4
+relu
+fc 4
+softmax
+";
+
+const SEED: u64 = 0x5C4E_D0CE;
+const UNHEALTHY_THRESHOLD: u32 = 6;
+
+fn healthy_network(seed: u64) -> ffdl_nn::Network {
+    parse_architecture(ARCH, seed).expect("arch parses").network
+}
+
+fn nan_network() -> ffdl_nn::Network {
+    let mut net = healthy_network(1);
+    for layer in net.layers_mut() {
+        let nan_params: Vec<Tensor> = layer
+            .param_tensors()
+            .iter()
+            .map(|t| Tensor::from_fn(t.shape(), |_| f32::NAN))
+            .collect();
+        layer.load_params(&nan_params).expect("load NaN params");
+    }
+    net
+}
+
+fn sample(s: usize) -> Tensor {
+    Tensor::from_fn(&[16], |i| (((s * 16 + i) * 13) % 31) as f32 * 0.05)
+}
+
+fn wait_for(what: &str, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+const ALPHA: usize = 0;
+const BETA: usize = 1;
+/// Beta's ids live in their own range so cross-tenant bookkeeping is
+/// visible in the report.
+const BETA_BASE: u64 = 1000;
+
+#[test]
+fn faults_in_one_tenant_quarantine_that_tenant_only() {
+    let dir = std::env::temp_dir().join(format!("ffdl-sched-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::open(&dir).expect("open store");
+    let layers = full_registry();
+
+    // alpha-model and beta-model start healthy at gen 1. (The scheduler
+    // binds each tenant to its model's *active* generation at start, so
+    // the NaN successor is published only after wave 1.)
+    store
+        .publish("alpha-model", &healthy_network(100), "chaos")
+        .expect("publish alpha gen 1");
+    store
+        .publish("beta-model", &healthy_network(200), "chaos")
+        .expect("publish beta gen 1");
+    let (alpha_gen1_bytes, _) = store.load_bytes("alpha-model", Some(1)).expect("bytes");
+
+    // Fault-free reference for beta: offline single-sample predictions.
+    let beta_expected: Vec<_> = {
+        let (net, _) = store.load("beta-model", Some(1), &layers).expect("load beta");
+        let mut engine = InferenceEngine::new(net);
+        (0..32)
+            .map(|s| {
+                engine
+                    .predict(&sample(s).reshape(&[1, 16]).expect("reshape"))
+                    .expect("offline predict")
+                    .remove(0)
+            })
+            .collect()
+    };
+
+    let config = SchedConfig {
+        min_workers: 1,
+        max_workers: 1, // one worker serving BOTH tenants: isolation is
+        // the slots' doing, not an accident of dedicated workers
+        max_batch: 4,
+        check_finite: true,
+        unhealthy_threshold: UNHEALTHY_THRESHOLD,
+        ..SchedConfig::default()
+    };
+    let alpha = TenantSpec::new("alpha", "alpha-model");
+    let beta = TenantSpec::new("beta", "beta-model");
+    let sched = Scheduler::start(&store, &[alpha, beta], &config).expect("start");
+
+    // Wave 1: healthy traffic on both tenants, injector disarmed.
+    for id in 0..16u64 {
+        sched.submit(ALPHA, id, sample(id as usize)).expect("alpha wave 1");
+        sched
+            .submit(BETA, BETA_BASE + id, sample(id as usize))
+            .expect("beta wave 1");
+    }
+    wait_for("wave 1 to drain", || sched.queue_len() == 0);
+    std::thread::sleep(Duration::from_millis(100)); // in-flight batches finish
+
+    // Publish the all-NaN successor as alpha-model gen 2.
+    store
+        .publish("alpha-model", &nan_network(), "chaos")
+        .expect("publish alpha gen 2");
+
+    // Arm the campaign. Only alpha traffic is in flight while budgets
+    // remain, so every injected fault lands on alpha's batches.
+    ffdl_fault::arm(FaultPlan::chaos(SEED, 1));
+    // Consume the bit-flip budget on an explicit registry read: the
+    // checksum must surface it as a typed Corrupt error.
+    match store.load_bytes("alpha-model", Some(1)) {
+        Err(RegistryError::Corrupt { name, generation, .. }) => {
+            assert_eq!(name, "alpha-model");
+            assert_eq!(generation, 1);
+        }
+        other => panic!("expected injected Corrupt, got {other:?}"),
+    }
+
+    // Hot-swap alpha onto the NaN model (alpha slot gen 2 = registry
+    // gen 2). Per-tenant swap: beta's slot must not move.
+    sched
+        .swap_tenant_from_store(ALPHA, Some(2))
+        .expect("swap alpha to NaN gen");
+    assert_eq!(sched.tenant_generation(ALPHA), 2);
+    assert_eq!(sched.tenant_generation(BETA), 1);
+
+    // Wave 2: alpha only, driven into its NaN model while the panic,
+    // spike and NaN injection fire. Alpha must quarantine and roll back.
+    for id in 16..48u64 {
+        sched.submit(ALPHA, id, sample(id as usize)).expect("alpha wave 2");
+    }
+    wait_for("alpha quarantine + rollback", || {
+        sched.tenant_auto_rollbacks(ALPHA) >= 1
+    });
+    assert_eq!(sched.tenant_quarantined_generations(ALPHA), vec![2]);
+    assert_eq!(sched.tenant_generation(ALPHA), 3, "alpha rolled forward");
+    wait_for("wave 2 to drain", || sched.queue_len() == 0);
+    std::thread::sleep(Duration::from_millis(100)); // stale engine re-clones
+
+    // Isolation, scheduler-side: beta saw none of it.
+    assert_eq!(sched.tenant_generation(BETA), 1);
+    assert!(sched.tenant_quarantined_generations(BETA).is_empty());
+    assert_eq!(sched.tenant_auto_rollbacks(BETA), 0);
+
+    // Wave 3: both tenants again — alpha on its recovered model, beta
+    // as if nothing happened (all fault budgets are spent).
+    for id in 48..64u64 {
+        sched.submit(ALPHA, id, sample(id as usize)).expect("alpha wave 3");
+    }
+    for id in 16..32u64 {
+        sched
+            .submit(BETA, BETA_BASE + id, sample(id as usize))
+            .expect("beta wave 3");
+    }
+
+    let report = sched.finish().expect("finish");
+    let summary = ffdl_fault::disarm();
+
+    // The campaign fired exactly its budget, deterministically.
+    assert_eq!(summary.panics, 1);
+    assert_eq!(summary.latency_spikes, 1);
+    assert_eq!(summary.nan_activations, 1);
+    assert_eq!(summary.bit_flips, 1);
+
+    // Zero lost responses across BOTH tenants.
+    let mut seen: Vec<u64> = report
+        .serve
+        .responses
+        .iter()
+        .map(|r| r.id)
+        .chain(report.serve.failures.iter().map(|f| f.id))
+        .collect();
+    seen.sort_unstable();
+    let expected_ids: Vec<u64> = (0..64).chain(BETA_BASE..BETA_BASE + 32).collect();
+    assert_eq!(seen, expected_ids, "every id exactly once");
+
+    // Every failure is typed, tagged alpha, and none is beta's.
+    assert!(!report.serve.failures.is_empty(), "the campaign must cause failures");
+    for failure in &report.serve.failures {
+        assert_eq!(
+            failure.tenant.as_deref(),
+            Some("alpha"),
+            "failure {} leaked outside the faulted tenant",
+            failure.id
+        );
+        let _typed = failure.error();
+    }
+    let unhealthy = report
+        .serve
+        .failures
+        .iter()
+        .filter(|f| f.kind == FailureKind::UnhealthyModel && f.generation == 2)
+        .count();
+    assert!(
+        unhealthy >= UNHEALTHY_THRESHOLD as usize,
+        "quarantine needs >= {UNHEALTHY_THRESHOLD} unhealthy failures, got {unhealthy}"
+    );
+    assert_eq!(report.serve.worker_restarts, 1, "panicked worker restarted once");
+    assert_eq!(report.serve.quarantines, 1);
+    assert_eq!(report.serve.auto_rollbacks, 1);
+
+    // Alpha's NaN generation never answered.
+    for response in report.serve.responses.iter().filter(|r| r.id < BETA_BASE) {
+        assert_ne!(response.generation, 2, "NaN generation produced a response");
+    }
+
+    // Beta, bit-identical to the fault-free run: same label, same
+    // probability bits, for every one of its 32 requests.
+    let beta_responses: Vec<_> = report
+        .serve
+        .responses
+        .iter()
+        .filter(|r| r.id >= BETA_BASE)
+        .collect();
+    assert_eq!(beta_responses.len(), 32, "beta lost responses");
+    for response in beta_responses {
+        assert_eq!(response.tenant.as_deref(), Some("beta"));
+        assert_eq!(response.generation, 1, "beta served off a moved slot");
+        let want = &beta_expected[(response.id - BETA_BASE) as usize];
+        assert_eq!(response.prediction.label, want.label);
+        assert_eq!(
+            response.prediction.probabilities, want.probabilities,
+            "beta response {} diverges from the fault-free run",
+            response.id
+        );
+    }
+
+    // The per-tenant report rows tell the same story.
+    let alpha_stat = report.serve.tenants.iter().find(|t| t.tenant == "alpha").unwrap();
+    let beta_stat = report.serve.tenants.iter().find(|t| t.tenant == "beta").unwrap();
+    assert!(alpha_stat.failed > 0);
+    assert_eq!(beta_stat.failed, 0);
+    assert_eq!(beta_stat.requests, 32);
+
+    // Alpha's rollback is durable and bit-identical in the registry,
+    // and beta's model history is untouched.
+    let v3 = store.latest("alpha-model").expect("latest alpha");
+    assert_eq!(v3.generation, 3);
+    assert_eq!(v3.rollback_of, Some(1));
+    let (rollback_bytes, _) = store.load_bytes("alpha-model", Some(3)).expect("gen 3 bytes");
+    assert_eq!(rollback_bytes, alpha_gen1_bytes, "rollback bytes bit-identical");
+    assert_eq!(store.latest("beta-model").expect("latest beta").generation, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,4 +1,10 @@
 //! Error type for the serving runtime.
+//!
+//! Overload and deadline errors carry the **tenant** they hit (when the
+//! run is multi-tenant): a scheduler serving many named models must be
+//! able to tell a caller *whose* queue was full or *whose* deadline
+//! passed, not just that one did. Single-tenant servers leave the field
+//! `None` and the `Display` output is unchanged from the untagged form.
 
 use ffdl_deploy::DeployError;
 use ffdl_nn::NnError;
@@ -10,8 +16,13 @@ use std::fmt;
 pub enum ServeError {
     /// Admission control rejected the request: the bounded queue is at
     /// its configured depth. Clients should back off and retry — this is
-    /// the backpressure signal, not a fault.
-    QueueFull,
+    /// the backpressure signal, not a fault. Carries the tenant whose
+    /// queue was full when the run is multi-tenant.
+    QueueFull {
+        /// Tenant whose queue rejected the request (`None` for a
+        /// single-tenant server).
+        tenant: Option<String>,
+    },
     /// The server has been shut down and accepts no further requests.
     Closed,
     /// The configuration is unusable (zero workers, zero batch, …).
@@ -27,8 +38,21 @@ pub enum ServeError {
     /// The request's deadline passed before it could be served — either
     /// admission timed out (shed) or the request expired in the queue
     /// and was dropped at dequeue. Never a silent drop: expiry is always
-    /// surfaced as this typed error.
-    DeadlineExceeded,
+    /// surfaced as this typed error, naming the tenant it hit when the
+    /// run is multi-tenant.
+    DeadlineExceeded {
+        /// Tenant whose request missed its deadline (`None` for a
+        /// single-tenant server).
+        tenant: Option<String>,
+    },
+    /// Per-tenant admission control rejected the request: the tenant is
+    /// over its configured rate budget. Unlike [`QueueFull`](Self::QueueFull)
+    /// this is a *policy* rejection — the pool may have plenty of
+    /// capacity, but this tenant has used its share.
+    TenantOverLimit {
+        /// The tenant that exceeded its admission budget.
+        tenant: String,
+    },
     /// The serving model produced non-finite logits; the payload is the
     /// generation that misbehaved. When a health threshold is configured
     /// the pool quarantines that generation and rolls back.
@@ -42,18 +66,64 @@ pub enum ServeError {
     Registry(ffdl_registry::RegistryError),
 }
 
+impl ServeError {
+    /// A tenant-less [`QueueFull`](Self::QueueFull) (single-tenant
+    /// servers and tests).
+    pub fn queue_full() -> Self {
+        ServeError::QueueFull { tenant: None }
+    }
+
+    /// A tenant-less [`DeadlineExceeded`](Self::DeadlineExceeded).
+    pub fn deadline_exceeded() -> Self {
+        ServeError::DeadlineExceeded { tenant: None }
+    }
+
+    /// The tenant this error is attributed to, when it carries one.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            ServeError::QueueFull { tenant } | ServeError::DeadlineExceeded { tenant } => {
+                tenant.as_deref()
+            }
+            ServeError::TenantOverLimit { tenant } => Some(tenant),
+            _ => None,
+        }
+    }
+}
+
+/// Renders `""` for no tenant, `" (tenant <name>)"` otherwise.
+struct TenantSuffix<'a>(&'a Option<String>);
+
+impl fmt::Display for TenantSuffix<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(t) => write!(f, " (tenant {t})"),
+            None => Ok(()),
+        }
+    }
+}
+
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::QueueFull => write!(f, "request queue is full (backpressure)"),
+            ServeError::QueueFull { tenant } => write!(
+                f,
+                "request queue is full (backpressure){}",
+                TenantSuffix(tenant)
+            ),
             ServeError::Closed => write!(f, "server is shut down"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
             ServeError::Clone(e) => write!(f, "failed to clone model for worker: {e}"),
             ServeError::Inference(e) => write!(f, "worker inference failed: {e}"),
             ServeError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
-            ServeError::DeadlineExceeded => {
-                write!(f, "request deadline exceeded before it could be served")
-            }
+            ServeError::DeadlineExceeded { tenant } => write!(
+                f,
+                "request deadline exceeded before it could be served{}",
+                TenantSuffix(tenant)
+            ),
+            ServeError::TenantOverLimit { tenant } => write!(
+                f,
+                "tenant {tenant} is over its admission rate budget (request rejected)"
+            ),
             ServeError::UnhealthyModel { generation } => write!(
                 f,
                 "model generation {generation} produced non-finite logits (unhealthy)"
@@ -98,7 +168,7 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ServeError::QueueFull.to_string().contains("backpressure"));
+        assert!(ServeError::queue_full().to_string().contains("backpressure"));
         assert!(ServeError::Closed.to_string().contains("shut down"));
         assert!(ServeError::InvalidConfig("x".into()).to_string().contains("x"));
         assert!(ServeError::WorkerPanic("boom".into()).to_string().contains("boom"));
@@ -106,8 +176,8 @@ mod tests {
         assert!(e.source().is_some());
         let e: ServeError = ServeError::Inference(DeployError::ParamsMismatch("p".into()));
         assert!(e.source().is_some());
-        assert!(ServeError::QueueFull.source().is_none());
-        assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(ServeError::queue_full().source().is_none());
+        assert!(ServeError::deadline_exceeded().to_string().contains("deadline"));
         let e = ServeError::UnhealthyModel { generation: 7 };
         assert!(e.to_string().contains("generation 7"));
         assert!(e.to_string().contains("non-finite"));
@@ -115,5 +185,33 @@ mod tests {
             ffdl_registry::RegistryError::UnknownModel("m".into()).into();
         assert!(e.to_string().contains("registry"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn tenant_payloads_are_surfaced() {
+        // Untagged forms render exactly as before (single-tenant paths).
+        assert!(!ServeError::queue_full().to_string().contains("tenant"));
+        assert!(!ServeError::deadline_exceeded().to_string().contains("tenant"));
+        assert_eq!(ServeError::queue_full().tenant(), None);
+
+        let e = ServeError::QueueFull {
+            tenant: Some("alpha".into()),
+        };
+        assert!(e.to_string().contains("tenant alpha"), "{e}");
+        assert_eq!(e.tenant(), Some("alpha"));
+
+        let e = ServeError::DeadlineExceeded {
+            tenant: Some("beta".into()),
+        };
+        assert!(e.to_string().contains("tenant beta"), "{e}");
+        assert_eq!(e.tenant(), Some("beta"));
+
+        let e = ServeError::TenantOverLimit {
+            tenant: "gamma".into(),
+        };
+        assert!(e.to_string().contains("gamma"), "{e}");
+        assert!(e.to_string().contains("rate budget"), "{e}");
+        assert_eq!(e.tenant(), Some("gamma"));
+        assert!(e.source().is_none());
     }
 }

@@ -70,4 +70,4 @@ pub use error::ServeError;
 pub use pool::{
     run_closed_loop, FailureKind, HealthConfig, ServeConfig, ServeFailure, ServeResponse, Server,
 };
-pub use stats::{bench_json, ServeReport};
+pub use stats::{bench_json, RunCounts, ServeReport, TenantStat};

@@ -103,6 +103,13 @@ pub struct ServeConfig {
     pub deadline: Option<Duration>,
     /// Numerical-health policy (finiteness checking and auto-rollback).
     pub health: HealthConfig,
+    /// Tenant label for this server. `None` (the default) keeps the
+    /// classic single-tenant behaviour; with a label set, every
+    /// response, failure and overload/deadline error this server emits
+    /// carries the tenant name, and the report grows a per-tenant
+    /// breakdown row — the building block the multi-tenant scheduler
+    /// (`ffdl-sched`) composes.
+    pub tenant: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +121,7 @@ impl Default for ServeConfig {
             queue_depth: 256,
             deadline: None,
             health: HealthConfig::default(),
+            tenant: None,
         }
     }
 }
@@ -176,6 +184,14 @@ pub enum FailureKind {
     /// The request's batch was lost to a panicking forward pass (the
     /// worker restarted).
     WorkerPanic,
+    /// The request was rejected at admission (queue full) by an
+    /// open-loop front end that records rejections as typed failures
+    /// instead of retrying — used by the `ffdl-sched` scheduler, never
+    /// by this crate's closed-loop [`Server`].
+    Shed,
+    /// Per-tenant admission control rejected the request: the tenant was
+    /// over its configured rate budget (`ffdl-sched`).
+    OverLimit,
 }
 
 /// One failed request. Every admitted request ends up either in
@@ -189,19 +205,28 @@ pub struct ServeFailure {
     pub kind: FailureKind,
     /// Model generation active when the failure was recorded.
     pub generation: u64,
+    /// Tenant the request belonged to (`None` on a single-tenant
+    /// server).
+    pub tenant: Option<Arc<str>>,
 }
 
 impl ServeFailure {
-    /// The typed [`ServeError`] a client would receive for this failure.
+    /// The typed [`ServeError`] a client would receive for this failure,
+    /// carrying the tenant it hit when the run was multi-tenant.
     pub fn error(&self) -> ServeError {
+        let tenant = self.tenant.as_ref().map(|t| t.to_string());
         match self.kind {
-            FailureKind::DeadlineExceeded => ServeError::DeadlineExceeded,
+            FailureKind::DeadlineExceeded => ServeError::DeadlineExceeded { tenant },
             FailureKind::UnhealthyModel => ServeError::UnhealthyModel {
                 generation: self.generation,
             },
             FailureKind::WorkerPanic => {
                 ServeError::WorkerPanic("batch lost to a panicking forward pass".into())
             }
+            FailureKind::Shed => ServeError::QueueFull { tenant },
+            FailureKind::OverLimit => ServeError::TenantOverLimit {
+                tenant: tenant.unwrap_or_else(|| "-".into()),
+            },
         }
     }
 }
@@ -223,6 +248,10 @@ pub struct ServeResponse {
     /// Model generation that served the request (starts at 1; bumped by
     /// every [`Server::swap_model`]).
     pub generation: u64,
+    /// Tenant the request belonged to (`None` on a single-tenant
+    /// server). An `Arc<str>` so stamping every response costs one
+    /// refcount bump, not a string copy.
+    pub tenant: Option<Arc<str>>,
 }
 
 /// One retained model generation: enough to attribute failures and to
@@ -427,6 +456,7 @@ pub struct Server {
     layers: Arc<LayerRegistry>,
     workers: usize,
     deadline: Option<Duration>,
+    tenant: Option<Arc<str>>,
     started: Instant,
     registry: Registry,
     rejections_counter: Arc<ffdl_telemetry::Counter>,
@@ -501,6 +531,7 @@ impl Server {
         let restarts = Arc::new(AtomicU64::new(0));
         let max_batch = config.max_batch;
         let max_wait = config.max_wait;
+        let tenant: Option<Arc<str>> = config.tenant.as_deref().map(Arc::from);
         let handles = engines
             .into_iter()
             .enumerate()
@@ -510,6 +541,7 @@ impl Server {
                 let model = Arc::clone(&model);
                 let layers = Arc::clone(&layers);
                 let restarts = Arc::clone(&restarts);
+                let tenant = tenant.clone();
                 thread::spawn(move || -> Result<WorkerOutput, ServeError> {
                     // Per-thread registry: handles are registered once
                     // here, recorded lock-free in the loop, and merged
@@ -579,6 +611,7 @@ impl Server {
                                 id: r.id,
                                 kind: FailureKind::DeadlineExceeded,
                                 generation: local_gen,
+                                tenant: tenant.clone(),
                             }));
                         }
                         if batch.is_empty() {
@@ -633,6 +666,7 @@ impl Server {
                                     id: r.id,
                                     kind: FailureKind::UnhealthyModel,
                                     generation: local_gen,
+                                    tenant: tenant.clone(),
                                 }));
                                 let action = handle_unhealthy(
                                     &model,
@@ -659,6 +693,7 @@ impl Server {
                                     id: r.id,
                                     kind: FailureKind::WorkerPanic,
                                     generation: local_gen,
+                                    tenant: tenant.clone(),
                                 }));
                                 let shared = model.shared();
                                 let fresh = clone_network(&shared, &layers)?;
@@ -681,6 +716,7 @@ impl Server {
                                 worker,
                                 batch_size,
                                 generation: local_gen,
+                                tenant: tenant.clone(),
                             });
                         }
                         recorded.fetch_add(batch_size as u64, Ordering::Relaxed);
@@ -710,6 +746,7 @@ impl Server {
             layers,
             workers: config.workers,
             deadline: config.deadline,
+            tenant,
             started: Instant::now(),
             registry,
             rejections_counter,
@@ -745,7 +782,9 @@ impl Server {
                 if ffdl_telemetry::enabled() {
                     self.rejections_counter.inc();
                 }
-                Err(ServeError::QueueFull)
+                Err(ServeError::QueueFull {
+                    tenant: self.tenant.as_ref().map(|t| t.to_string()),
+                })
             }
             Err(PushError::Closed) => Err(ServeError::Closed),
         }
@@ -782,7 +821,9 @@ impl Server {
                 if ffdl_telemetry::enabled() {
                     self.shed_counter.inc();
                 }
-                Err(ServeError::DeadlineExceeded)
+                Err(ServeError::DeadlineExceeded {
+                    tenant: self.tenant.as_ref().map(|t| t.to_string()),
+                })
             }
             Err(PushError::Closed) => Err(ServeError::Closed),
         }
@@ -965,6 +1006,7 @@ impl Server {
             wall,
             counts,
             telemetry,
+            self.deadline,
         ))
     }
 }
@@ -993,8 +1035,8 @@ pub fn run_closed_loop(
         loop {
             match server.submit(i as u64, sample.clone()) {
                 Ok(()) => break,
-                Err(ServeError::QueueFull) => thread::yield_now(),
-                Err(ServeError::DeadlineExceeded) => break, // shed; in the report
+                Err(ServeError::QueueFull { .. }) => thread::yield_now(),
+                Err(ServeError::DeadlineExceeded { .. }) => break, // shed; in the report
                 Err(e) => return Err(e),
             }
         }
@@ -1320,7 +1362,7 @@ softmax
             loop {
                 match server.try_submit(i as u64, s.clone()) {
                     Ok(()) => break,
-                    Err(ServeError::QueueFull) => thread::yield_now(),
+                    Err(ServeError::QueueFull { .. }) => thread::yield_now(),
                     Err(e) => panic!("{e}"),
                 }
             }
@@ -1361,7 +1403,7 @@ softmax
             loop {
                 match server.try_submit(i as u64, s.clone()) {
                     Ok(()) => break,
-                    Err(ServeError::QueueFull) => thread::yield_now(),
+                    Err(ServeError::QueueFull { .. }) => thread::yield_now(),
                     Err(e) => panic!("{e}"),
                 }
             }
@@ -1436,7 +1478,7 @@ softmax
         assert_eq!(report.expired as usize, report.failures.len());
         for failure in &report.failures {
             assert_eq!(failure.kind, FailureKind::DeadlineExceeded);
-            assert!(matches!(failure.error(), ServeError::DeadlineExceeded));
+            assert!(matches!(failure.error(), ServeError::DeadlineExceeded { .. }));
         }
         // Response ids and failure ids partition the submitted ids.
         let mut ids: Vec<u64> = report
@@ -1473,7 +1515,7 @@ softmax
         loop {
             match server.submit(1, samples[1].clone()) {
                 Ok(()) => break,
-                Err(ServeError::DeadlineExceeded) => {} // keep trying
+                Err(ServeError::DeadlineExceeded { .. }) => {} // keep trying
                 Err(e) => panic!("{e}"),
             }
         }
@@ -1481,7 +1523,7 @@ softmax
         // forward pass, so the bounded wait gives up at its deadline.
         let started = Instant::now();
         match server.submit(2, samples[2].clone()) {
-            Err(ServeError::DeadlineExceeded) => {}
+            Err(ServeError::DeadlineExceeded { .. }) => {}
             other => panic!("expected shed, got {other:?}"),
         }
         assert!(started.elapsed() >= Duration::from_millis(15));
@@ -1542,7 +1584,7 @@ softmax
             loop {
                 match server.try_submit(i as u64, s.clone()) {
                     Ok(()) => break,
-                    Err(ServeError::QueueFull) => thread::yield_now(),
+                    Err(ServeError::QueueFull { .. }) => thread::yield_now(),
                     Err(e) => panic!("{e}"),
                 }
             }
@@ -1558,7 +1600,7 @@ softmax
             loop {
                 match server.try_submit(id, s.clone()) {
                     Ok(()) => break,
-                    Err(ServeError::QueueFull) => thread::yield_now(),
+                    Err(ServeError::QueueFull { .. }) => thread::yield_now(),
                     Err(e) => panic!("{e}"),
                 }
             }

@@ -8,22 +8,152 @@
 //! ([`ffdl_bench::harness::percentile`]), so `BENCH_serve.json` is
 //! directly comparable with the other `BENCH_*.json` files.
 
-use crate::pool::{ServeFailure, ServeResponse};
+use crate::pool::{FailureKind, ServeFailure, ServeResponse};
 use ffdl_bench::harness::percentile;
 use ffdl_telemetry::RegistrySnapshot;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-/// The run's scalar counters, bundled for [`ServeReport::new`].
+/// The run's scalar counters, bundled for [`ServeReport::from_parts`].
+/// Public so front ends outside this crate (the `ffdl-sched` scheduler)
+/// can assemble reports from their own pools.
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct RunCounts {
+pub struct RunCounts {
+    /// Submits rejected with `QueueFull` (closed-loop clients retry).
     pub queue_full_rejections: u64,
+    /// Workers that recovered from a panicking batch.
     pub worker_restarts: u64,
+    /// Requests shed at admission (bounded-wait submit gave up).
     pub shed: u64,
+    /// Admitted requests that expired in the queue.
     pub expired: u64,
+    /// Model generations quarantined by the health supervisor.
     pub quarantines: u64,
+    /// Automatic rollbacks to a healthy generation.
     pub auto_rollbacks: u64,
+    /// Model generation active at shutdown.
     pub model_generation: u64,
+}
+
+/// Per-tenant breakdown of one serving run: the row a multi-tenant
+/// operator debugs from. Present in [`ServeReport::tenants`] whenever at
+/// least one response or failure carried a tenant label.
+#[derive(Debug, Clone)]
+pub struct TenantStat {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests served (responses recorded).
+    pub requests: usize,
+    /// Median latency for this tenant's responses, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency for this tenant's responses, µs.
+    pub p99_us: f64,
+    /// Requests rejected at admission for this tenant
+    /// ([`FailureKind::Shed`] + [`FailureKind::OverLimit`] failures).
+    pub shed: u64,
+    /// This tenant's requests that expired in the queue
+    /// ([`FailureKind::DeadlineExceeded`]).
+    pub expired: u64,
+    /// All failed requests for this tenant (any [`FailureKind`]).
+    pub failed: u64,
+    /// Responses that met the SLO (latency within the configured
+    /// deadline). Equal to `requests` when no SLO was configured.
+    pub within_slo: usize,
+    /// SLO attainment: `within_slo / (requests + failed)` — the fraction
+    /// of every request this tenant *generated* that was answered in
+    /// time. Failures count against attainment: a shed or expired
+    /// request is a missed SLO, not a non-event. `1.0` for a tenant with
+    /// no traffic.
+    pub slo_attainment: f64,
+}
+
+impl TenantStat {
+    /// One flat JSON row for `BENCH_sched.json`-style documents;
+    /// `label` names the run configuration (e.g. `"overload/prio"`).
+    pub fn json_row(&self, label: &str) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"tenant\": \"{}\", \"requests\": {}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"shed\": {}, \
+             \"expired\": {}, \"failed\": {}, \"within_slo\": {}, \
+             \"slo_attainment\": {:.4}}}",
+            label.replace('\\', "\\\\").replace('"', "\\\""),
+            self.tenant.replace('\\', "\\\\").replace('"', "\\\""),
+            self.requests,
+            self.p50_us,
+            self.p99_us,
+            self.shed,
+            self.expired,
+            self.failed,
+            self.within_slo,
+            self.slo_attainment,
+        )
+    }
+}
+
+/// Groups responses/failures by tenant label and computes one
+/// [`TenantStat`] per label, sorted by tenant name. Empty when the run
+/// was single-tenant (no label anywhere).
+fn tenant_stats(
+    responses: &[ServeResponse],
+    failures: &[ServeFailure],
+    slo_us: Option<f64>,
+) -> Vec<TenantStat> {
+    let mut names: Vec<&str> = responses
+        .iter()
+        .filter_map(|r| r.tenant.as_deref())
+        .chain(failures.iter().filter_map(|f| f.tenant.as_deref()))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| {
+            let mut lat: Vec<f64> = responses
+                .iter()
+                .filter(|r| r.tenant.as_deref() == Some(name))
+                .map(|r| r.latency_us)
+                .collect();
+            lat.sort_by(|a, b| a.total_cmp(b));
+            let requests = lat.len();
+            let (p50, p99) = if lat.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (percentile(&lat, 50.0), percentile(&lat, 99.0))
+            };
+            let mut shed = 0u64;
+            let mut expired = 0u64;
+            let mut failed = 0u64;
+            for f in failures.iter().filter(|f| f.tenant.as_deref() == Some(name)) {
+                failed += 1;
+                match f.kind {
+                    FailureKind::Shed | FailureKind::OverLimit => shed += 1,
+                    FailureKind::DeadlineExceeded => expired += 1,
+                    _ => {}
+                }
+            }
+            let within_slo = match slo_us {
+                Some(slo) => lat.iter().filter(|&&l| l <= slo).count(),
+                None => requests,
+            };
+            let generated = requests as u64 + failed;
+            let slo_attainment = if generated == 0 {
+                1.0
+            } else {
+                within_slo as f64 / generated as f64
+            };
+            TenantStat {
+                tenant: name.to_string(),
+                requests,
+                p50_us: p50,
+                p99_us: p99,
+                shed,
+                expired,
+                failed,
+                within_slo,
+                slo_attainment,
+            }
+        })
+        .collect()
 }
 
 /// Aggregated statistics for one serving run.
@@ -81,20 +211,47 @@ pub struct ServeReport {
     /// worker's per-thread registry (`ffdl.serve.*`). All counts are
     /// zero unless `ffdl_telemetry::enabled()` was on during the run.
     pub telemetry: RegistrySnapshot,
+    /// The SLO (deadline) the run was measured against, µs. `None` when
+    /// no deadline was configured — [`TenantStat::slo_attainment`] then
+    /// degrades to a completion rate.
+    pub slo_us: Option<f64>,
+    /// Per-tenant breakdown, sorted by tenant name. Empty for a
+    /// single-tenant run (no response or failure carried a label).
+    pub tenants: Vec<TenantStat>,
 }
 
 impl ServeReport {
+    /// Builds a report from worker responses and the run's wall time
+    /// (crate-internal name for [`from_parts`](Self::from_parts)).
+    pub(crate) fn new(
+        responses: Vec<ServeResponse>,
+        failures: Vec<ServeFailure>,
+        workers: usize,
+        wall: Duration,
+        counts: RunCounts,
+        telemetry: RegistrySnapshot,
+        slo: Option<Duration>,
+    ) -> Self {
+        Self::from_parts(responses, failures, workers, wall, counts, telemetry, slo)
+    }
+
     /// Builds a report from worker responses and the run's wall time.
+    /// Public so front ends outside this crate (the `ffdl-sched`
+    /// scheduler) can assemble the same report from their own pools.
     ///
     /// Responses are re-sorted by request id so the report (and any
     /// output derived from it) is independent of completion order.
-    pub(crate) fn new(
+    /// `slo` is the deadline latencies are judged against for
+    /// [`TenantStat::slo_attainment`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
         mut responses: Vec<ServeResponse>,
         mut failures: Vec<ServeFailure>,
         workers: usize,
         wall: Duration,
         counts: RunCounts,
         telemetry: RegistrySnapshot,
+        slo: Option<Duration>,
     ) -> Self {
         responses.sort_by_key(|r| r.id);
         failures.sort_by_key(|f| f.id);
@@ -119,6 +276,8 @@ impl ServeReport {
             responses.iter().map(|r| r.batch_size as f64).sum::<f64>() / n as f64
         };
         let max_batch = responses.iter().map(|r| r.batch_size).max().unwrap_or(0);
+        let slo_us = slo.map(|d| d.as_secs_f64() * 1e6);
+        let tenants = tenant_stats(&responses, &failures, slo_us);
         Self {
             requests: n,
             workers,
@@ -141,6 +300,8 @@ impl ServeReport {
             responses,
             failures,
             telemetry,
+            slo_us,
+            tenants,
         }
     }
 
@@ -204,13 +365,48 @@ impl ServeReport {
             "model generation", self.model_generation
         )
         .expect("string write");
+        if !self.tenants.is_empty() {
+            writeln!(
+                out,
+                "  per-tenant   {:>9} {:>10} {:>10} {:>6} {:>8} {:>6}",
+                "requests", "p50(µs)", "p99(µs)", "shed", "expired", "SLO%"
+            )
+            .expect("string write");
+            for t in &self.tenants {
+                writeln!(
+                    out,
+                    "    {:<11} {:>9} {:>10.1} {:>10.1} {:>6} {:>8} {:>5.1}%",
+                    t.tenant,
+                    t.requests,
+                    t.p50_us,
+                    t.p99_us,
+                    t.shed,
+                    t.expired,
+                    t.slo_attainment * 100.0
+                )
+                .expect("string write");
+            }
+        }
         out
     }
 
     /// One JSON result row (used by the `serve_throughput` bench to
     /// assemble `BENCH_serve.json`). `label` names the configuration,
-    /// e.g. `"w4_b16"`.
+    /// e.g. `"w4_b16"`. Multi-tenant runs append a flat `tenants` array
+    /// (one object per tenant, same line — the committed bench files
+    /// stay greppable one-row-per-line); single-tenant rows are
+    /// byte-identical to the historical format.
     pub fn json_row(&self, label: &str) -> String {
+        let tenants = if self.tenants.is_empty() {
+            String::new()
+        } else {
+            let rows: Vec<String> = self
+                .tenants
+                .iter()
+                .map(|t| t.json_row(label))
+                .collect();
+            format!(", \"tenants\": [{}]", rows.join(", "))
+        };
         format!(
             "{{\"label\": \"{}\", \"workers\": {}, \"requests\": {}, \
              \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
@@ -218,7 +414,7 @@ impl ServeReport {
              \"max_batch\": {}, \"queue_full_rejections\": {}, \
              \"worker_restarts\": {}, \"shed\": {}, \"expired\": {}, \
              \"quarantines\": {}, \"auto_rollbacks\": {}, \
-             \"model_generation\": {}}}",
+             \"model_generation\": {}{}}}",
             label.replace('\\', "\\\\").replace('"', "\\\""),
             self.workers,
             self.requests,
@@ -236,6 +432,7 @@ impl ServeReport {
             self.quarantines,
             self.auto_rollbacks,
             self.model_generation,
+            tenants,
         )
     }
 }
@@ -278,6 +475,14 @@ mod tests {
             worker: 0,
             batch_size: batch,
             generation: 1,
+            tenant: None,
+        }
+    }
+
+    fn tenant_resp(id: u64, latency_us: f64, tenant: &str) -> ServeResponse {
+        ServeResponse {
+            tenant: Some(tenant.into()),
+            ..resp(id, latency_us, 1)
         }
     }
 
@@ -287,7 +492,15 @@ mod tests {
             model_generation: 1,
             ..Default::default()
         };
-        ServeReport::new(responses, Vec::new(), 1, wall, counts, RegistrySnapshot::default())
+        ServeReport::from_parts(
+            responses,
+            Vec::new(),
+            1,
+            wall,
+            counts,
+            RegistrySnapshot::default(),
+            None,
+        )
     }
 
     #[test]
@@ -307,20 +520,23 @@ mod tests {
                 id: 9,
                 kind: crate::FailureKind::DeadlineExceeded,
                 generation: 2,
+                tenant: None,
             },
             crate::ServeFailure {
                 id: 5,
                 kind: crate::FailureKind::UnhealthyModel,
                 generation: 2,
+                tenant: None,
             },
         ];
-        let r = ServeReport::new(
+        let r = ServeReport::from_parts(
             responses,
             failures,
             2,
             Duration::from_millis(10),
             counts,
             RegistrySnapshot::default(),
+            None,
         );
         assert_eq!(r.requests, 3);
         assert_eq!(r.responses[0].id, 0);
@@ -347,8 +563,69 @@ mod tests {
         ));
         assert!(matches!(
             r.failures[1].error(),
-            crate::ServeError::DeadlineExceeded
+            crate::ServeError::DeadlineExceeded { tenant: None }
         ));
+        // No tenant labels anywhere: no per-tenant section.
+        assert!(r.tenants.is_empty());
+        assert!(!r.table().contains("per-tenant"));
+        assert!(!r.json_row("x").contains("\"tenants\""));
+    }
+
+    #[test]
+    fn tenant_breakdown_groups_and_judges_slo() {
+        // Tenant "a": two responses (40 µs, 60 µs) and one expired
+        // request; tenant "b": one response (10 µs), one admission shed.
+        let responses = vec![
+            tenant_resp(0, 40.0, "a"),
+            tenant_resp(1, 60.0, "a"),
+            tenant_resp(2, 10.0, "b"),
+        ];
+        let failures = vec![
+            crate::ServeFailure {
+                id: 3,
+                kind: crate::FailureKind::DeadlineExceeded,
+                generation: 1,
+                tenant: Some("a".into()),
+            },
+            crate::ServeFailure {
+                id: 4,
+                kind: crate::FailureKind::Shed,
+                generation: 1,
+                tenant: Some("b".into()),
+            },
+        ];
+        let r = ServeReport::from_parts(
+            responses,
+            failures,
+            1,
+            Duration::from_millis(1),
+            RunCounts::default(),
+            RegistrySnapshot::default(),
+            Some(Duration::from_micros(50)), // SLO: 50 µs
+        );
+        assert_eq!(r.tenants.len(), 2);
+        let a = &r.tenants[0];
+        assert_eq!(a.tenant, "a");
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.expired, 1);
+        assert_eq!(a.failed, 1);
+        // One of a's two responses met the 50 µs SLO; 3 generated.
+        assert_eq!(a.within_slo, 1);
+        assert!((a.slo_attainment - 1.0 / 3.0).abs() < 1e-9);
+        let b = &r.tenants[1];
+        assert_eq!(b.tenant, "b");
+        assert_eq!(b.requests, 1);
+        assert_eq!(b.shed, 1);
+        assert!((b.slo_attainment - 0.5).abs() < 1e-9);
+        // Table grows the per-tenant section; JSON row carries it flat.
+        let t = r.table();
+        assert!(t.contains("per-tenant"), "{t}");
+        assert!(t.contains("    a"), "{t}");
+        let row = r.json_row("overload");
+        assert!(row.contains("\"tenants\": ["), "{row}");
+        assert!(row.contains("\"tenant\": \"b\""), "{row}");
+        assert!(row.contains("\"slo_attainment\": 0.3333"), "{row}");
+        assert!(!row.contains('\n'), "rows must stay one line: {row}");
     }
 
     #[test]

@@ -97,7 +97,7 @@ fn concurrent_swaps_never_lose_or_misattribute_responses() {
                 loop {
                     match server.try_submit(i as u64, s.clone()) {
                         Ok(()) => break,
-                        Err(ServeError::QueueFull) => thread::yield_now(),
+                        Err(ServeError::QueueFull { .. }) => thread::yield_now(),
                         Err(e) => panic!("{e}"),
                     }
                 }

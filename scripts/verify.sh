@@ -96,6 +96,65 @@ echo "${chaos_out}" | grep -q "serve stats" || {
     exit 1
 }
 
+echo "== sched smoke test (--tenants 2: WDRR + open-loop driver) =="
+# Two tenants, 8:1 weights, high/normal classes, seeded open-loop
+# Poisson arrivals, autoscale 1->2. Must print the per-tenant breakdown
+# with SLO attainment and the autoscale summary.
+sched_out="$(cargo run --release --offline -q -p ffdl-cli -- \
+    serve-bench --tenants 2 --tenant-weights 8,1 --tenant-classes high,normal \
+    --rate-rps 300 --duration-ms 400 --slo-ms 25 \
+    --workers 1 --max-workers 2 --seed 7)"
+echo "${sched_out}"
+echo "${sched_out}" | grep -q "serve-bench\[sched\]" || {
+    echo "sched smoke test: multi-tenant header missing" >&2
+    exit 1
+}
+for tenant in "tenant t0: weight 8 class high" "tenant t1: weight 1 class normal"; do
+    echo "${sched_out}" | grep -q "${tenant}" || {
+        echo "sched smoke test: per-tenant line '${tenant}' missing" >&2
+        exit 1
+    }
+done
+echo "${sched_out}" | grep -q "slo-attainment" || {
+    echo "sched smoke test: SLO attainment missing from per-tenant lines" >&2
+    exit 1
+}
+echo "${sched_out}" | grep -q "autoscale:" || {
+    echo "sched smoke test: autoscale summary missing" >&2
+    exit 1
+}
+
+echo "== bench guard: priority-tenant SLO attainment in BENCH_sched.json =="
+# The overload scenario (DESIGN.md §13): a high-class tenant sharing the
+# pool with a saturating bulk tenant while the autoscaler grows 1->4.
+# Priority preemption must hold the prio tenant at >= 0.95 attainment,
+# and the autoscaler must actually have fired (scale_ups >= 1).
+awk '
+    /"label": "overload", "tenant": "prio"/ { if (match($0, /"slo_attainment": [0-9.]+/)) prio = substr($0, RSTART + 18, RLENGTH - 18) }
+    /"label": "overload", "tenants":/       { if (match($0, /"scale_ups": [0-9]+/))      ups  = substr($0, RSTART + 13, RLENGTH - 13) }
+    END {
+        if (prio == "" || ups == "") { print "bench guard: overload rows missing from BENCH_sched.json" > "/dev/stderr"; exit 1 }
+        printf "overload prio slo_attainment: %.4f, scale_ups: %d\n", prio, ups
+        if (prio + 0 < 0.95) { print "bench guard: priority tenant attainment below 0.95 under overload" > "/dev/stderr"; exit 1 }
+        if (ups + 0 < 1)     { print "bench guard: autoscaler never scaled up under overload" > "/dev/stderr"; exit 1 }
+    }
+' BENCH_sched.json
+
+echo "== bench guard: monotone worker scaling in BENCH_sched.json =="
+# With the delay layer pinning service time, added workers must add real
+# concurrency: throughput w4 >= w2 >= w1 (2% tolerance for the load
+# generator sharing the box).
+awk '
+    /"label": "scale_w1", "tenants":/ { if (match($0, /"throughput_rps": [0-9.]+/)) w1 = substr($0, RSTART + 18, RLENGTH - 18) }
+    /"label": "scale_w2", "tenants":/ { if (match($0, /"throughput_rps": [0-9.]+/)) w2 = substr($0, RSTART + 18, RLENGTH - 18) }
+    /"label": "scale_w4", "tenants":/ { if (match($0, /"throughput_rps": [0-9.]+/)) w4 = substr($0, RSTART + 18, RLENGTH - 18) }
+    END {
+        if (w1 == "" || w2 == "" || w4 == "") { print "bench guard: scale_w* rows missing from BENCH_sched.json" > "/dev/stderr"; exit 1 }
+        printf "worker scaling: w1 %.0f -> w2 %.0f -> w4 %.0f req/s\n", w1, w2, w4
+        if (w2 + 0 < 0.98 * w1 || w4 + 0 < 0.98 * w2) { print "bench guard: worker scaling not monotone" > "/dev/stderr"; exit 1 }
+    }
+' BENCH_sched.json
+
 echo "== bench guard: deadline bookkeeping in BENCH_registry.json =="
 # Deadline-aware serving (DESIGN.md §11): with a deadline configured,
 # every admission stamps an Instant and every dequeue compares it. The
