@@ -59,6 +59,7 @@ from_error!(
     ffdl::tensor::TensorError,
     ffdl_registry::RegistryError,
     ffdl_serve::ServeError,
+    ffdl_quant::QuantError,
 );
 
 /// Parsed `--key value` flags.
@@ -459,6 +460,7 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         "swap-every",
         "chaos",
         "deadline-ms",
+        "quantized",
         "tenants",
         "tenant-weights",
         "tenant-classes",
@@ -502,7 +504,7 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
             )))
         }
     };
-    let network = build(seed);
+    let mut network = build(seed);
 
     // A small pool of distinct samples, cycled to form the request stream.
     let unique = requests.min(64);
@@ -515,6 +517,27 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
             ffdl::tensor::Tensor::from_vec(row.to_vec(), &[width])
         })
         .collect::<Result<_, _>>()?;
+
+    // --quantized BITS serves the fixed-point deployment form instead of
+    // the f32 network, reporting the byte and top-1-agreement cost of
+    // the precision drop up front (measured on the sample pool).
+    let quant_bits = flags.get_num("quantized", 0u32)?;
+    let mut quant_note = None;
+    if quant_bits > 0 {
+        let bits = ffdl::core::QuantBits::from_bits(quant_bits).ok_or_else(|| {
+            CliError(format!("flag --quantized: expected 8 | 12 | 16, got {quant_bits}"))
+        })?;
+        let mut q = ffdl_quant::quantize_network(&network, bits)?;
+        let agreement = ffdl_quant::top1_agreement(&mut network, &mut q, &x)?;
+        let f32_bytes = ffdl_quant::model_bytes(&network)?;
+        let q_bytes = ffdl_quant::model_bytes(&q)?;
+        quant_note = Some(format!(
+            "quantized: {bits}, model bytes {q_bytes} ({:.1}% of f32 {f32_bytes}), top-1 agreement {:.2}% on {unique} eval samples",
+            q_bytes as f64 * 100.0 / f32_bytes as f64,
+            agreement as f64 * 100.0,
+        ));
+        network = q;
+    }
 
     // --tenants N switches to the multi-tenant scheduler with an
     // open-loop Poisson driver (ffdl-sched) instead of the closed-loop
@@ -631,6 +654,9 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     )
     .expect("string write");
     writeln!(out, "prediction digest: {digest:016x}").expect("string write");
+    if let Some(note) = &quant_note {
+        writeln!(out, "{note}").expect("string write");
+    }
     writeln!(
         out,
         "robustness: {} shed, {} expired, {} worker restarts, {} quarantines, {} auto-rollbacks",
@@ -939,7 +965,52 @@ fn cmd_model_rollback(flags: &Flags) -> Result<String, CliError> {
     ))
 }
 
-/// `ffdl model <publish|list|rollback>`: the versioned model store.
+/// `ffdl model quantize`: load a generation (active by default, `--from
+/// GEN` otherwise), quantize every spectral layer to `--bits` fixed
+/// point with `ffdl-quant`, and publish the result as the next
+/// generation — the mixed-precision registry state the serve pool
+/// A/B-swaps across. `--out <file>` additionally writes the quantized
+/// wire bytes (a version-3 model file) to disk.
+fn cmd_model_quantize(flags: &Flags) -> Result<String, CliError> {
+    flags.expect_only(&["store", "name", "bits", "from", "out"])?;
+    let store = ModelStore::open(flags.require("store")?)?;
+    let name = flags.require("name")?;
+    let bits_raw = flags.get_num("bits", 16u32)?;
+    let bits = ffdl::core::QuantBits::from_bits(bits_raw).ok_or_else(|| {
+        CliError(format!("flag --bits: expected 8 | 12 | 16, got {bits_raw}"))
+    })?;
+    let from = match flags.get("from") {
+        None => None,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| {
+            CliError(format!("flag --from: cannot parse {v:?}"))
+        })?),
+    };
+
+    let registry = ffdl::core::full_registry();
+    let (parent_net, parent) = store.load(name, from, &registry)?;
+    let quantized = ffdl_quant::quantize_network(&parent_net, bits)?;
+    let f32_bytes = ffdl_quant::model_bytes(&parent_net)?;
+    let label = format!("{}-{bits}", parent.arch);
+    let v = store.publish(name, &quantized, &label)?;
+    if let Some(path) = flags.get("out") {
+        let mut buf = Vec::new();
+        ffdl::nn::save_network(&quantized, &mut buf)?;
+        fs::write(path, &buf)?;
+    }
+    Ok(format!(
+        "quantized {name} generation {} ({}) to {bits}:          published generation {} ({} bytes, {:.1}% of the {f32_bytes}-byte f32 parent)
+         store: {}",
+        parent.generation,
+        parent.arch,
+        v.generation,
+        v.bytes,
+        v.bytes as f64 * 100.0 / f32_bytes as f64,
+        store.root().display(),
+    ))
+}
+
+/// `ffdl model <publish|list|rollback|quantize>`: the versioned model
+/// store.
 ///
 /// Unlike the flat commands this one takes an action word before its
 /// flags, so it receives the raw argument tail.
@@ -949,7 +1020,7 @@ fn cmd_model_rollback(flags: &Flags) -> Result<String, CliError> {
 /// Returns [`CliError`] for a missing/unknown action or any store
 /// failure.
 pub fn cmd_model(args: &[String]) -> Result<String, CliError> {
-    const ACTIONS: &str = "publish, list, rollback";
+    const ACTIONS: &str = "publish, list, rollback, quantize";
     let (action, rest) = args.split_first().ok_or_else(|| {
         CliError(format!("model: missing action (expected one of: {ACTIONS})"))
     })?;
@@ -958,6 +1029,7 @@ pub fn cmd_model(args: &[String]) -> Result<String, CliError> {
         "publish" => cmd_model_publish(&flags),
         "list" => cmd_model_list(&flags),
         "rollback" => cmd_model_rollback(&flags),
+        "quantize" => cmd_model_quantize(&flags),
         other => Err(CliError(format!(
             "unknown model action {other:?} (expected one of: {ACTIONS})"
         ))),
@@ -978,6 +1050,7 @@ pub fn usage() -> &'static str {
        ffdl serve-bench [--workers N] [--batch N] [--requests N] [--dataset mnist16|mnist11]\n\
                        [--wait-us N] [--queue-depth N] [--seed N] [--metrics on]\n\
                        [--swap-every N] [--chaos SEED] [--deadline-ms N]\n\
+                       [--quantized 8|12|16]\n\
                        [--tenants N] [--tenant-weights 8,1] [--tenant-classes high,normal]\n\
                        [--rate-rps F] [--rate-limit F] [--slo-ms N] [--duration-ms N]\n\
                        [--max-workers N]\n\
@@ -985,6 +1058,8 @@ pub fn usage() -> &'static str {
                        [--params <file>] [--seed N] [--label <arch-label>]\n\
        ffdl model list     --store <dir> [--name <model>]\n\
        ffdl model rollback --store <dir> --name <model> [--to GEN]\n\
+       ffdl model quantize --store <dir> --name <model> [--bits 8|12|16]\n\
+                       [--from GEN] [--out <file>]\n\
      \n\
      --metrics on enables the ffdl-telemetry registry for the run and\n\
      appends a metrics table (counters, gauges, latency histograms) to\n\
@@ -993,6 +1068,12 @@ pub fn usage() -> &'static str {
      model publish/list/rollback manage a versioned, checksummed model\n\
      store (ffdl-registry); serve-bench --swap-every N hot-swaps the\n\
      running pool onto a freshly published generation every N requests.\n\
+     \n\
+     model quantize republishes a generation with every spectral layer\n\
+     quantized to --bits fixed point (ffdl-quant, wire format v3); the\n\
+     serve pool hot-swaps between f32 and quantized generations like any\n\
+     others. serve-bench --quantized BITS serves the quantized form and\n\
+     prints its byte and top-1-agreement cost next to the digest.\n\
      \n\
      serve-bench --deadline-ms N sheds requests that wait in the queue\n\
      past their deadline (typed failures, counted in the summary).\n\
@@ -1346,6 +1427,93 @@ mod tests {
         assert!(err.0.contains("ghost"), "{err}");
 
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_quantize_publishes_mixed_precision_generation() {
+        let dir = std::env::temp_dir().join(format!("ffdl-cli-quant-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let arch = dir.join("net.arch");
+        let store = dir.join("store");
+        let store_s = store.to_str().unwrap();
+        let out_file = dir.join("quantized.ffdm");
+        fs::write(&arch, "input 32\ncirculant_fc 16 block=8\nrelu\nfc 4\nsoftmax\n").unwrap();
+
+        run(&[
+            "model".into(), "publish".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+            "--arch".into(), arch.to_str().unwrap().into(),
+            "--seed".into(), "1".into(),
+        ])
+        .unwrap();
+        let out = run(&[
+            "model".into(), "quantize".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+            "--bits".into(), "16".into(),
+            "--out".into(), out_file.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("to int16"), "{out}");
+        assert!(out.contains("published generation 2"), "{out}");
+        // The written file is a version-3 model the full registry reads back.
+        let bytes = fs::read(&out_file).unwrap();
+        assert_eq!(bytes[4], 3, "expected a v3 file");
+        let net = ffdl::nn::load_network(&bytes[..], &ffdl::core::full_registry()).unwrap();
+        assert_eq!(net.layers()[0].type_tag(), "quantized_spectral_dense");
+        // Both precisions coexist as generations of one model.
+        let out = run(&[
+            "model".into(), "list".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("net-int16"), "{out}");
+        assert!(out.contains("2 generations, active 2"), "{out}");
+
+        // Re-quantizing the quantized generation is a named error.
+        let err = run(&[
+            "model".into(), "quantize".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("already quantized"), "{err}");
+        let err = run(&[
+            "model".into(), "quantize".into(),
+            "--store".into(), store_s.into(),
+            "--name".into(), "demo".into(),
+            "--bits".into(), "7".into(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("--bits"), "{err}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_quantized_reports_agreement() {
+        let out = cmd_serve_bench(&flags(&[
+            ("workers", "2"),
+            ("batch", "8"),
+            ("requests", "48"),
+            ("dataset", "mnist11"),
+            ("seed", "5"),
+            ("quantized", "16"),
+        ]))
+        .unwrap();
+        assert!(out.contains("quantized: int16"), "{out}");
+        assert!(out.contains("top-1 agreement"), "{out}");
+        assert!(out.contains("serve stats"), "{out}");
+
+        let err = cmd_serve_bench(&flags(&[
+            ("dataset", "mnist11"),
+            ("quantized", "9"),
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("--quantized"), "{err}");
     }
 
     #[test]

@@ -267,6 +267,10 @@ impl Layer for CirculantDense {
         self.bias = params[1].clone();
         Ok(())
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// Reconstructs a [`CirculantDense`] from its config blob (model loader).

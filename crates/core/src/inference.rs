@@ -74,6 +74,12 @@ impl SpectralDense {
     pub fn stored_complex_values(&self) -> usize {
         self.kb_in * self.kb_out * (self.block / 2 + 1)
     }
+
+    /// The frozen weight spectra, `spectra[out_block][in_block]` — what
+    /// the quantizer consumes when re-quantizing an already-frozen layer.
+    pub fn spectra(&self) -> &[Vec<Spectrum>] {
+        &self.spectra
+    }
 }
 
 impl Layer for SpectralDense {
@@ -257,6 +263,10 @@ impl Layer for SpectralDense {
         self.spectra = Arc::new(spectra);
         self.bias = params[1].clone();
         Ok(())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

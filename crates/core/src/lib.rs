@@ -17,6 +17,9 @@
 //!   im2col lowering.
 //! - [`SpectralDense`] — inference-only frozen layer that stores
 //!   `FFT(wᵢ)` instead of weights, as the paper ships to devices.
+//! - [`QuantizedSpectralDense`] — the same frozen layer with the spectra
+//!   in narrow fixed point (8/12/16 bits, one scale per output block),
+//!   served without dequantizing the weight tensor.
 //! - [`register_circulant_layers`] — plugs the above into the
 //!   `ffdl_nn::LayerRegistry` model format.
 //!
@@ -54,13 +57,16 @@ pub use dense_layer::{circulant_dense_from_config, CirculantDense};
 pub use error::CirculantError;
 pub use fft_conv::{fft_conv2d_from_config, FftConv2d};
 pub use inference::{spectral_dense_from_config, SpectralDense};
-pub use quant::{QuantBits, QuantizedSpectralDense, QuantizedSpectrum};
+pub use quant::{
+    quantized_spectral_dense_from_config, QuantBits, QuantizedSpectralDense, QuantizedSpectrum,
+};
 pub use spectral::{SpectralKernel, Spectrum};
 
 use ffdl_nn::LayerRegistry;
 
 /// Registers the block-circulant layer types (`circulant_dense`,
-/// `circulant_conv2d`, `spectral_dense`) with a model-format registry.
+/// `circulant_conv2d`, `spectral_dense`, `quantized_spectral_dense`)
+/// with a model-format registry.
 ///
 /// # Examples
 ///
@@ -76,6 +82,7 @@ pub fn register_circulant_layers(registry: &mut LayerRegistry) {
     registry.register("circulant_conv2d", circulant_conv2d_from_config);
     registry.register("spectral_dense", spectral_dense_from_config);
     registry.register("fft_conv2d", fft_conv2d_from_config);
+    registry.register("quantized_spectral_dense", quantized_spectral_dense_from_config);
 }
 
 /// A registry with both the built-in `ffdl-nn` layers and the circulant
@@ -104,6 +111,7 @@ mod tests {
             "circulant_conv2d",
             "spectral_dense",
             "fft_conv2d",
+            "quantized_spectral_dense",
         ] {
             assert!(r.builder(tag).is_some(), "missing {tag}");
         }

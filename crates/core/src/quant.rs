@@ -3,41 +3,81 @@
 //! reduction* line of related work it cites (§II: fixed-point
 //! implementations [14], ultra-low-precision weights [15], [16]).
 //!
-//! The stored `FFT(wᵢ)` spectra are quantized to 8- or 16-bit fixed point
-//! with one power-aware scale per circulant block; inference dequantizes
-//! into `f32` accumulators (the usual embedded deployment scheme). On top
-//! of the block-circulant `n²/b` reduction this shrinks model bytes by a
-//! further 2–4×.
+//! The stored `FFT(wᵢ)` spectra are quantized to narrow signed fixed
+//! point (8/12/16 effective bits) with one symmetric scale per **output
+//! block**: `value = level · scale[out_block]`; the bias vector gets one
+//! more symmetric scale of its own (reconstructed once at load time,
+//! never per batch). Inference never
+//! dequantizes the weight tensor — the forward pass multiplies `f32`
+//! input spectra directly against the integer levels
+//! ([`SpectralKernel::mul_accumulate_levels`]), accumulating pure
+//! level-valued products across all input blocks, and applies the block
+//! scale exactly once per output block (the IFFT is linear, so scaling
+//! the time-domain block equals scaling the accumulator spectrum). On
+//! top of the block-circulant `n²/b` reduction this shrinks model bytes
+//! by a further 2–4×, and the narrower weight reads roughly halve the
+//! layer's memory traffic.
+//!
+//! On disk the levels and scales travel through the version-3 model
+//! format's quantization header (`ffdl_nn::wire::QuantPayload`) — 2
+//! bytes per level for int16/int12 and 1 for int8, never widened to
+//! `f32` tensors — so a quantized model is a first-class registry
+//! citizen: publishable, checksummed, hot-swappable against its f32
+//! parent.
 
-use crate::circulant::BlockCirculantMatrix;
+use crate::circulant::{BlockCirculantMatrix, CirculantScratch};
 use crate::spectral::{SpectralKernel, Spectrum};
 use ffdl_fft::Complex32;
-use ffdl_nn::{Layer, NnError, OpCost};
+use ffdl_nn::wire::{self, QuantPayload, QUANT_SCHEME_SYMMETRIC};
+use ffdl_nn::{Layer, NnError, OpCost, Scratch};
 use ffdl_tensor::Tensor;
+use std::sync::Arc;
 
 /// Quantization width for spectral coefficients.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QuantBits {
     /// 8-bit signed fixed point (4× smaller than `f32`).
     Eight,
+    /// 12 effective bits, stored in an `i16` slot (2× smaller).
+    Twelve,
     /// 16-bit signed fixed point (2× smaller than `f32`).
     Sixteen,
 }
 
 impl QuantBits {
-    /// Largest representable magnitude.
-    fn max_level(self) -> f32 {
+    /// Largest representable level magnitude.
+    pub fn max_level(self) -> f32 {
         match self {
             QuantBits::Eight => i8::MAX as f32,
+            QuantBits::Twelve => 2047.0,
             QuantBits::Sixteen => i16::MAX as f32,
         }
     }
 
-    /// Bytes per real scalar.
+    /// Bytes per real scalar on the wire.
     pub fn bytes_per_value(self) -> usize {
         match self {
             QuantBits::Eight => 1,
-            QuantBits::Sixteen => 2,
+            QuantBits::Twelve | QuantBits::Sixteen => 2,
+        }
+    }
+
+    /// Effective bits (the wire-format `bits` field).
+    pub fn bits(self) -> u32 {
+        match self {
+            QuantBits::Eight => 8,
+            QuantBits::Twelve => 12,
+            QuantBits::Sixteen => 16,
+        }
+    }
+
+    /// Inverse of [`QuantBits::bits`].
+    pub fn from_bits(bits: u32) -> Option<Self> {
+        match bits {
+            8 => Some(QuantBits::Eight),
+            12 => Some(QuantBits::Twelve),
+            16 => Some(QuantBits::Sixteen),
+            _ => None,
         }
     }
 }
@@ -46,22 +86,26 @@ impl std::fmt::Display for QuantBits {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QuantBits::Eight => write!(f, "int8"),
+            QuantBits::Twelve => write!(f, "int12"),
             QuantBits::Sixteen => write!(f, "int16"),
         }
     }
 }
 
-/// One quantized half-spectrum: interleaved re/im levels plus the block
-/// scale (`value = level · scale`).
+/// One quantized half-spectrum: interleaved re/im levels plus the
+/// spectrum's symmetric scale (`value = level · scale`). This is the
+/// free-standing building block (and the round-trip property-test
+/// surface); the layer below shares one scale across a whole output
+/// block row instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedSpectrum {
-    levels: Vec<i16>, // i8 values stored widened; width tracked by `bits`
+    levels: Vec<i16>, // narrower widths stored widened; width tracked by `bits`
     scale: f32,
     bits: QuantBits,
 }
 
 impl QuantizedSpectrum {
-    /// Quantizes a half spectrum with a symmetric per-block scale.
+    /// Quantizes a half spectrum with a symmetric per-spectrum scale.
     pub fn quantize(spec: &[Complex32], bits: QuantBits) -> Self {
         let max_abs = spec
             .iter()
@@ -93,6 +137,11 @@ impl QuantizedSpectrum {
         self.levels.len() / 2
     }
 
+    /// The symmetric scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
     /// Storage in bytes: levels plus the `f32` scale.
     pub fn storage_bytes(&self) -> usize {
         self.levels.len() * self.bits.bytes_per_value() + 4
@@ -106,23 +155,90 @@ impl QuantizedSpectrum {
     }
 }
 
-/// Inference-only block-circulant FC layer with quantized spectra.
+/// Quantizes `spectra[out_block][in_block]` with one symmetric scale per
+/// output block row, returning the flattened interleaved levels
+/// (`[out_block][in_block][2·bins]`) and the per-row scales.
+fn quantize_rows(spectra: &[Vec<Spectrum>], bits: QuantBits) -> (Vec<i16>, Vec<f32>) {
+    let mut levels = Vec::new();
+    let mut scales = Vec::with_capacity(spectra.len());
+    for row in spectra {
+        let max_abs = row
+            .iter()
+            .flatten()
+            .flat_map(|c| [c.re.abs(), c.im.abs()])
+            .fold(0.0f32, f32::max);
+        let scale = if max_abs > 0.0 {
+            max_abs / bits.max_level()
+        } else {
+            1.0
+        };
+        let q = |v: f32| -> i16 {
+            ((v / scale).round()).clamp(-bits.max_level(), bits.max_level()) as i16
+        };
+        for spec in row {
+            for c in spec {
+                levels.push(q(c.re));
+                levels.push(q(c.im));
+            }
+        }
+        scales.push(scale);
+    }
+    (levels, scales)
+}
+
+/// Quantizes a bias vector with one symmetric scale.
+fn quantize_bias(bias: &[f32], bits: QuantBits) -> (Vec<i16>, f32) {
+    let max_abs = bias.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let scale = if max_abs > 0.0 {
+        max_abs / bits.max_level()
+    } else {
+        1.0
+    };
+    let levels = bias
+        .iter()
+        .map(|v| ((v / scale).round()).clamp(-bits.max_level(), bits.max_level()) as i16)
+        .collect();
+    (levels, scale)
+}
+
+/// Reconstructs the `f32` bias tensor — done once per construction or
+/// model load, never on the forward path.
+fn dequantize_bias(levels: &[i16], scale: f32) -> Tensor {
+    Tensor::from_fn(&[levels.len()], |i| levels[i] as f32 * scale)
+}
+
+/// Inference-only block-circulant FC layer with fixed-point spectra,
+/// served **without dequantizing the weight tensor**.
 ///
-/// Behaves like [`SpectralDense`](crate::SpectralDense) but stores each
-/// block's `FFT(w)` in fixed point; the forward pass dequantizes into
-/// `f32` accumulators.
+/// Geometry and math mirror [`SpectralDense`](crate::SpectralDense); the
+/// stored `FFT(w)` coefficients are integer levels (one symmetric scale
+/// per output block row), the spectral MACs run levels × `f32` input
+/// spectra via [`SpectralKernel::mul_accumulate_levels`], and the block
+/// scale is applied once per output block after the IFFT. The inference
+/// path reuses the same [`CirculantScratch`] workspace, so steady-state
+/// serving stays allocation-free.
 pub struct QuantizedSpectralDense {
     in_dim: usize,
     out_dim: usize,
     block: usize,
     kb_in: usize,
     kb_out: usize,
-    spectra: Vec<Vec<QuantizedSpectrum>>,
-    /// Dequantized working copy (built once at construction).
-    dequantized: Vec<Vec<Spectrum>>,
+    /// Interleaved re/im levels, `[(i·kb_in + j)·2·bins ..]` per block.
+    /// Reference-counted: worker clones share one table.
+    levels: Arc<Vec<i16>>,
+    /// One symmetric scale per output block row (length `kb_out`).
+    scales: Arc<Vec<f32>>,
+    /// Quantized bias levels (`value = level · bias_scale`).
+    bias_levels: Arc<Vec<i16>>,
+    /// Symmetric scale for the bias vector.
+    bias_scale: f32,
+    /// Dequantized bias, reconstructed once (at construction or model
+    /// load) — the forward pass reads plain `f32` values.
     bias: Tensor,
     bits: QuantBits,
     kernel: SpectralKernel,
+    /// Per-layer FFT scratch for the inference path (never cloned).
+    infer_scratch: CirculantScratch,
 }
 
 impl QuantizedSpectralDense {
@@ -132,35 +248,57 @@ impl QuantizedSpectralDense {
     ///
     /// Panics if `bias.len() != matrix.out_dim()`.
     pub fn from_matrix(matrix: &BlockCirculantMatrix, bias: Tensor, bits: QuantBits) -> Self {
-        assert_eq!(
-            bias.len(),
+        Self::from_spectra(
+            &matrix.weight_spectra(),
+            matrix.in_dim(),
             matrix.out_dim(),
-            "bias length must equal the output dimension"
-        );
-        let spectra: Vec<Vec<QuantizedSpectrum>> = matrix
-            .weight_spectra()
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|s| QuantizedSpectrum::quantize(&s, bits))
-                    .collect()
-            })
-            .collect();
-        let dequantized = spectra
-            .iter()
-            .map(|row| row.iter().map(QuantizedSpectrum::dequantize).collect())
-            .collect();
-        Self {
-            in_dim: matrix.in_dim(),
-            out_dim: matrix.out_dim(),
-            block: matrix.block(),
-            kb_in: matrix.in_blocks(),
-            kb_out: matrix.out_blocks(),
-            spectra,
-            dequantized,
+            matrix.block(),
             bias,
             bits,
-            kernel: SpectralKernel::new(matrix.block()),
+        )
+    }
+
+    /// Quantizes precomputed weight spectra (`spectra[out_block][in_block]`,
+    /// each of length `block/2 + 1`) — the path for re-quantizing an
+    /// already-frozen [`SpectralDense`](crate::SpectralDense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != out_dim` or the spectra grid does not
+    /// match the geometry.
+    pub fn from_spectra(
+        spectra: &[Vec<Spectrum>],
+        in_dim: usize,
+        out_dim: usize,
+        block: usize,
+        bias: Tensor,
+        bits: QuantBits,
+    ) -> Self {
+        let kb_in = in_dim.div_ceil(block);
+        let kb_out = out_dim.div_ceil(block);
+        assert_eq!(bias.len(), out_dim, "bias length must equal the output dimension");
+        assert_eq!(spectra.len(), kb_out, "spectra rows must equal out_blocks");
+        assert!(
+            spectra.iter().all(|row| row.len() == kb_in),
+            "spectra columns must equal in_blocks"
+        );
+        let (levels, scales) = quantize_rows(spectra, bits);
+        let (bias_levels, bias_scale) = quantize_bias(bias.as_slice(), bits);
+        let bias = dequantize_bias(&bias_levels, bias_scale);
+        Self {
+            in_dim,
+            out_dim,
+            block,
+            kb_in,
+            kb_out,
+            levels: Arc::new(levels),
+            scales: Arc::new(scales),
+            bias_levels: Arc::new(bias_levels),
+            bias_scale,
+            bias,
+            bits,
+            kernel: SpectralKernel::new(block),
+            infer_scratch: CirculantScratch::new(),
         }
     }
 
@@ -169,15 +307,52 @@ impl QuantizedSpectralDense {
         self.bits
     }
 
-    /// Total model bytes for this layer's weights (quantized spectra +
-    /// `f32` bias).
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Block size.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// The (dequantized) bias vector the forward pass adds.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// The bias scale (`bias = level · bias_scale`).
+    pub fn bias_scale(&self) -> f32 {
+        self.bias_scale
+    }
+
+    /// Per-output-block symmetric scales (length `out_blocks`).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Flattened interleaved re/im levels (`[out_block][in_block][2·bins]`).
+    pub fn levels(&self) -> &[i16] {
+        &self.levels
+    }
+
+    /// Worst-case absolute weight reconstruction error for one output
+    /// block row: half an LSB of that row's scale.
+    pub fn max_error(&self, out_block: usize) -> f32 {
+        self.scales[out_block] * 0.5
+    }
+
+    /// Total model bytes for this layer's weights (narrow weight + bias
+    /// levels plus the `f32` scales).
     pub fn storage_bytes(&self) -> usize {
-        self.spectra
-            .iter()
-            .flatten()
-            .map(QuantizedSpectrum::storage_bytes)
-            .sum::<usize>()
-            + self.bias.len() * 4
+        (self.levels.len() + self.bias_levels.len()) * self.bits.bytes_per_value()
+            + (self.scales.len() + 1) * 4
     }
 
     /// Bytes an unquantized [`SpectralDense`](crate::SpectralDense) would
@@ -190,14 +365,8 @@ impl QuantizedSpectralDense {
     pub fn dense_storage_bytes(&self) -> usize {
         (self.in_dim * self.out_dim + self.out_dim) * 4
     }
-}
 
-impl Layer for QuantizedSpectralDense {
-    fn type_tag(&self) -> &'static str {
-        "quantized_spectral_dense"
-    }
-
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+    fn check_input(&self, input: &Tensor) -> Result<(), NnError> {
         if input.ndim() != 2 || input.cols() != self.in_dim {
             return Err(NnError::BadInput {
                 layer: "quantized_spectral_dense".into(),
@@ -208,6 +377,24 @@ impl Layer for QuantizedSpectralDense {
                 ),
             });
         }
+        Ok(())
+    }
+
+    /// Level slice for block `(i, j)`.
+    fn block_levels(&self, i: usize, j: usize) -> &[i16] {
+        let bins2 = 2 * self.kernel.bins();
+        let base = (i * self.kb_in + j) * bins2;
+        &self.levels[base..base + bins2]
+    }
+}
+
+impl Layer for QuantizedSpectralDense {
+    fn type_tag(&self) -> &'static str {
+        "quantized_spectral_dense"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.check_input(input)?;
         let b = self.block;
         let batch = input.rows();
         let mut out = Vec::with_capacity(batch * self.out_dim);
@@ -219,15 +406,16 @@ impl Layer for QuantizedSpectralDense {
                 .collect();
             for i in 0..self.kb_out {
                 let mut acc = self.kernel.zero_accumulator();
-                for (w_spec, x_j) in self.dequantized[i].iter().zip(&x_spec) {
-                    SpectralKernel::mul_accumulate(&mut acc, w_spec, x_j);
+                for (j, x_j) in x_spec.iter().enumerate() {
+                    SpectralKernel::mul_accumulate_levels(&mut acc, self.block_levels(i, j), x_j);
                 }
                 let block_out = self.kernel.inverse(&acc);
+                let scale = self.scales[i];
                 let lo = i * b;
                 for (k, v) in block_out.iter().enumerate() {
                     let idx = lo + k;
                     if idx < self.out_dim {
-                        out.push(v + self.bias.as_slice()[idx]);
+                        out.push(v * scale + self.bias.as_slice()[idx]);
                     }
                 }
             }
@@ -235,16 +423,80 @@ impl Layer for QuantizedSpectralDense {
         Ok(Tensor::from_vec(out, &[batch, self.out_dim])?)
     }
 
+    fn forward_infer(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, NnError> {
+        self.check_input(input)?;
+        let b = self.block;
+        let bins = self.kernel.bins();
+        let batch = input.rows();
+        let mut out = scratch.take(&[batch, self.out_dim]);
+        let sc = &mut self.infer_scratch;
+        sc.padded.clear();
+        sc.padded.resize(self.kb_in * b, 0.0);
+        sc.x_spec.resize(self.kb_in, Spectrum::new());
+        let bins2 = 2 * bins;
+        let dst = out.as_mut_slice();
+        for s in 0..batch {
+            sc.padded[..self.in_dim].copy_from_slice(input.row(s));
+            for j in 0..self.kb_in {
+                self.kernel
+                    .spectrum_into(&sc.padded[j * b..(j + 1) * b], &mut sc.fft, &mut sc.x_spec[j]);
+            }
+            for i in 0..self.kb_out {
+                sc.acc.clear();
+                sc.acc.resize(bins, Complex32::zero());
+                for (j, x_j) in sc.x_spec.iter().enumerate() {
+                    let base = (i * self.kb_in + j) * bins2;
+                    SpectralKernel::mul_accumulate_levels(
+                        &mut sc.acc,
+                        &self.levels[base..base + bins2],
+                        x_j,
+                    );
+                }
+                self.kernel.inverse_into(&sc.acc, &mut sc.fft, &mut sc.y_block);
+                let scale = self.scales[i];
+                let start = i * b;
+                let end = ((i + 1) * b).min(self.out_dim);
+                if start < end {
+                    for (k, v) in sc.y_block[..end - start].iter().enumerate() {
+                        dst[s * self.out_dim + start + k] =
+                            v * scale + self.bias.as_slice()[start + k];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn clone_layer(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(Self {
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+            block: self.block,
+            kb_in: self.kb_in,
+            kb_out: self.kb_out,
+            levels: Arc::clone(&self.levels),
+            scales: Arc::clone(&self.scales),
+            bias_levels: Arc::clone(&self.bias_levels),
+            bias_scale: self.bias_scale,
+            bias: self.bias.clone(),
+            bits: self.bits,
+            kernel: self.kernel.clone(),
+            infer_scratch: CirculantScratch::new(),
+        }))
+    }
+
     fn backward(&mut self, _grad_output: &Tensor) -> Result<Tensor, NnError> {
         Err(NnError::BadInput {
             layer: "quantized_spectral_dense".into(),
-            message: "inference-only layer does not support backward".into(),
+            message: "inference-only layer does not support backward; train with \
+                      CirculantDense, freeze, then quantize"
+                .into(),
         })
     }
 
     fn param_count(&self) -> usize {
-        // Quantized levels count as stored values, plus scales and bias.
-        self.kb_in * self.kb_out * ((self.block / 2 + 1) * 2 + 1) + self.out_dim
+        // Stored values: weight + bias levels, plus the scales.
+        self.levels.len() + self.bias_levels.len() + self.scales.len() + 1
     }
 
     fn logical_param_count(&self) -> usize {
@@ -252,24 +504,127 @@ impl Layer for QuantizedSpectralDense {
     }
 
     fn op_cost(&self) -> OpCost {
-        // Same arithmetic as SpectralDense plus one dequantize multiply
-        // per stored level (folded into param handling).
+        // SpectralDense arithmetic plus one scale multiply per output
+        // value; param reads shrink with the level width.
         let b = self.block as u64;
         let bins = (self.block / 2 + 1) as u64;
         let kb_in = self.kb_in as u64;
         let kb_out = self.kb_out as u64;
         let log_b = (64 - b.leading_zeros() as u64).max(1);
         let fft_mults = b * log_b;
-        let mults = (kb_in + kb_out) * fft_mults + kb_in * kb_out * bins * 4;
+        let mults = (kb_in + kb_out) * fft_mults + kb_in * kb_out * bins * 4 + kb_out * b;
         OpCost {
             mults,
             adds: mults + self.out_dim as u64,
             nonlin: 0,
-            // Quantized reads are narrower; scale the count by byte ratio.
-            param_reads: (self.param_count() * self.bits.bytes_per_value() / 4).max(1) as u64,
+            // Narrow reads: count f32-equivalent parameter traffic.
+            param_reads: (self.storage_bytes() / 4).max(1) as u64,
             act_traffic: (self.in_dim + self.out_dim) as u64,
         }
     }
+
+    fn config_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for v in [self.in_dim, self.out_dim, self.block, self.bits.bits() as usize] {
+            wire::write_u32(&mut buf, v as u32).expect("vec write is infallible");
+        }
+        buf
+    }
+
+    // No f32 parameter tensors: weights *and* bias travel as narrow
+    // levels through the v3 quantization header (the trait's default
+    // `param_tensors`/`load_params` — empty/none — apply).
+
+    fn quant_payload(&self) -> Option<QuantPayload> {
+        // Layout: `scales = [row scales…, bias scale]`,
+        // `levels = [weight levels…, bias levels…]`.
+        let mut scales = (*self.scales).clone();
+        scales.push(self.bias_scale);
+        let mut levels = (*self.levels).clone();
+        levels.extend_from_slice(&self.bias_levels);
+        Some(QuantPayload {
+            scheme: QUANT_SCHEME_SYMMETRIC,
+            bits: self.bits.bits(),
+            scales,
+            levels,
+        })
+    }
+
+    fn load_quant_payload(&mut self, payload: &QuantPayload) -> Result<(), NnError> {
+        if payload.scheme != QUANT_SCHEME_SYMMETRIC {
+            return Err(NnError::ModelFormat(format!(
+                "quantized_spectral_dense: unknown scheme {}",
+                payload.scheme
+            )));
+        }
+        if payload.bits != self.bits.bits() {
+            return Err(NnError::ModelFormat(format!(
+                "quantized_spectral_dense: header says {} bits, config says {}",
+                payload.bits,
+                self.bits.bits()
+            )));
+        }
+        let want_weight_levels = self.kb_in * self.kb_out * 2 * self.kernel.bins();
+        let want_levels = want_weight_levels + self.out_dim;
+        if payload.scales.len() != self.kb_out + 1 || payload.levels.len() != want_levels {
+            return Err(NnError::ModelFormat(format!(
+                "quantized_spectral_dense: payload sizes {}/{} do not match geometry {}/{}",
+                payload.scales.len(),
+                payload.levels.len(),
+                self.kb_out + 1,
+                want_levels
+            )));
+        }
+        let (weight_levels, bias_levels) = payload.levels.split_at(want_weight_levels);
+        let (row_scales, bias_scale) = payload.scales.split_at(self.kb_out);
+        self.scales = Arc::new(row_scales.to_vec());
+        self.levels = Arc::new(weight_levels.to_vec());
+        self.bias_scale = bias_scale[0];
+        self.bias_levels = Arc::new(bias_levels.to_vec());
+        self.bias = dequantize_bias(&self.bias_levels, self.bias_scale);
+        Ok(())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Reconstructs an (empty) [`QuantizedSpectralDense`] from its config
+/// blob (`in_dim, out_dim, block, bits`); levels and scales arrive
+/// afterwards via [`Layer::load_quant_payload`].
+///
+/// # Errors
+///
+/// Returns [`NnError::ModelFormat`]/[`NnError::Io`] on malformed config.
+pub fn quantized_spectral_dense_from_config(mut config: &[u8]) -> Result<Box<dyn Layer>, NnError> {
+    let in_dim = wire::read_u32(&mut config)? as usize;
+    let out_dim = wire::read_u32(&mut config)? as usize;
+    let block = wire::read_u32(&mut config)? as usize;
+    let bits_raw = wire::read_u32(&mut config)?;
+    let bits = QuantBits::from_bits(bits_raw).ok_or_else(|| {
+        NnError::ModelFormat(format!(
+            "quantized_spectral_dense: unsupported width {bits_raw} bits"
+        ))
+    })?;
+    if block == 0 || in_dim == 0 || out_dim == 0 {
+        return Err(NnError::ModelFormat(
+            "quantized_spectral_dense: zero dimension in config".into(),
+        ));
+    }
+    let kb_in = in_dim.div_ceil(block);
+    let kb_out = out_dim.div_ceil(block);
+    let zeros: Vec<Vec<Spectrum>> = (0..kb_out)
+        .map(|_| (0..kb_in).map(|_| vec![Complex32::zero(); block / 2 + 1]).collect())
+        .collect();
+    Ok(Box::new(QuantizedSpectralDense::from_spectra(
+        &zeros,
+        in_dim,
+        out_dim,
+        block,
+        Tensor::zeros(&[out_dim]),
+        bits,
+    )))
 }
 
 #[cfg(test)]
@@ -292,7 +647,7 @@ mod tests {
         let spec: Spectrum = (0..33)
             .map(|k| Complex32::new((k as f32 * 0.7).sin(), (k as f32 * 0.3).cos()))
             .collect();
-        for bits in [QuantBits::Eight, QuantBits::Sixteen] {
+        for bits in [QuantBits::Eight, QuantBits::Twelve, QuantBits::Sixteen] {
             let q = QuantizedSpectrum::quantize(&spec, bits);
             assert_eq!(q.bins(), 33);
             let back = q.dequantize();
@@ -307,13 +662,15 @@ mod tests {
     }
 
     #[test]
-    fn sixteen_bit_is_tighter_than_eight_bit() {
+    fn more_bits_is_tighter() {
         let spec: Spectrum = (0..16)
             .map(|k| Complex32::new(k as f32 * 0.21 - 1.0, (k as f32).sqrt()))
             .collect();
         let q8 = QuantizedSpectrum::quantize(&spec, QuantBits::Eight);
+        let q12 = QuantizedSpectrum::quantize(&spec, QuantBits::Twelve);
         let q16 = QuantizedSpectrum::quantize(&spec, QuantBits::Sixteen);
-        assert!(q16.max_error() < q8.max_error());
+        assert!(q16.max_error() < q12.max_error());
+        assert!(q12.max_error() < q8.max_error());
         assert!(q8.storage_bytes() < q16.storage_bytes());
     }
 
@@ -332,7 +689,11 @@ mod tests {
         let x = input(3, 24);
         let y_float = float_layer.forward(&x).unwrap();
 
-        for (bits, tol) in [(QuantBits::Sixteen, 1e-3f32), (QuantBits::Eight, 0.15)] {
+        for (bits, tol) in [
+            (QuantBits::Sixteen, 2e-3f32),
+            (QuantBits::Twelve, 2e-2),
+            (QuantBits::Eight, 0.25),
+        ] {
             let mut q = QuantizedSpectralDense::from_matrix(
                 float_layer.matrix(),
                 float_layer.bias().clone(),
@@ -344,6 +705,81 @@ mod tests {
                 assert!((a - b).abs() < tol * scale, "{bits}: {a} vs {b}");
             }
         }
+    }
+
+    /// The dequant-free kernel must equal the explicit-dequantization
+    /// reference exactly: accumulate dequantized `f32` spectra the
+    /// SpectralDense way and compare against the level-MAC + one scale
+    /// per output block path. (Same additions in the same order, scale
+    /// factored out of the j-sum — results agree to f32 rounding.)
+    #[test]
+    fn kernel_matches_explicit_dequantization() {
+        let float_layer = CirculantDense::new(20, 12, 4, &mut rng()).unwrap();
+        let mut q = QuantizedSpectralDense::from_matrix(
+            float_layer.matrix(),
+            float_layer.bias().clone(),
+            QuantBits::Eight,
+        );
+        let x = input(2, 20);
+        let y_kernel = q.forward(&x).unwrap();
+
+        // Reference: dequantize each block spectrum (level · row scale),
+        // then run the plain f32 spectral path.
+        let kernel = SpectralKernel::new(q.block());
+        let bins = kernel.bins();
+        let b = q.block();
+        let (kb_in, kb_out) = (q.in_dim().div_ceil(b), q.out_dim().div_ceil(b));
+        let mut y_ref = Vec::new();
+        for s in 0..x.rows() {
+            let mut padded = vec![0.0f32; kb_in * b];
+            padded[..q.in_dim()].copy_from_slice(x.row(s));
+            let x_spec: Vec<Spectrum> = (0..kb_in)
+                .map(|j| kernel.spectrum(&padded[j * b..(j + 1) * b]))
+                .collect();
+            for i in 0..kb_out {
+                let scale = q.scales()[i];
+                let mut acc = kernel.zero_accumulator();
+                for (j, x_j) in x_spec.iter().enumerate() {
+                    let base = (i * kb_in + j) * 2 * bins;
+                    let w: Spectrum = (0..bins)
+                        .map(|k| {
+                            Complex32::new(
+                                q.levels()[base + 2 * k] as f32,
+                                q.levels()[base + 2 * k + 1] as f32,
+                            )
+                        })
+                        .collect();
+                    SpectralKernel::mul_accumulate(&mut acc, &w, x_j);
+                }
+                for (k, v) in kernel.inverse(&acc).iter().enumerate() {
+                    let idx = i * b + k;
+                    if idx < q.out_dim() {
+                        y_ref.push(v * scale + q.bias().as_slice()[idx]);
+                    }
+                }
+            }
+        }
+        assert_eq!(y_kernel.as_slice(), &y_ref[..], "kernel == explicit dequant");
+    }
+
+    #[test]
+    fn forward_infer_is_bit_identical_to_forward() {
+        let float_layer = CirculantDense::new(24, 16, 8, &mut rng()).unwrap();
+        let mut q = QuantizedSpectralDense::from_matrix(
+            float_layer.matrix(),
+            float_layer.bias().clone(),
+            QuantBits::Sixteen,
+        );
+        let x = input(5, 24);
+        let y = q.forward(&x).unwrap();
+        let mut scratch = Scratch::new();
+        let y_infer = q.forward_infer(&x, &mut scratch).unwrap();
+        assert_eq!(y.as_slice(), y_infer.as_slice());
+
+        // The clone shares the level table and answers identically.
+        let mut clone = q.clone_layer().unwrap();
+        let y_clone = clone.forward_infer(&x, &mut scratch).unwrap();
+        assert_eq!(y.as_slice(), y_clone.as_slice());
     }
 
     #[test]
@@ -368,6 +804,7 @@ mod tests {
         assert!(q.parameters().is_empty());
         assert_eq!(q.bits(), QuantBits::Eight);
         assert_eq!(q.type_tag(), "quantized_spectral_dense");
+        assert!(q.as_any().is_some());
     }
 
     #[test]
@@ -377,5 +814,60 @@ mod tests {
         let q16 =
             QuantizedSpectralDense::from_matrix(&m, Tensor::zeros(&[128]), QuantBits::Sixteen);
         assert!(q8.op_cost().param_reads < q16.op_cost().param_reads);
+    }
+
+    #[test]
+    fn wire_roundtrip_is_bit_identical_and_version_3() {
+        let float_layer = CirculantDense::new(24, 16, 8, &mut rng()).unwrap();
+        let q = QuantizedSpectralDense::from_matrix(
+            float_layer.matrix(),
+            float_layer.bias().clone(),
+            QuantBits::Twelve,
+        );
+        let mut net = ffdl_nn::Network::new();
+        net.push(q);
+        let mut buf = Vec::new();
+        ffdl_nn::save_network(&net, &mut buf).unwrap();
+        assert_eq!(buf[4], 3, "quantized model must be version 3");
+
+        let mut loaded = ffdl_nn::load_network(&buf[..], &crate::full_registry()).unwrap();
+        let x = input(2, 24);
+        let y1 = net.forward(&x).unwrap();
+        let y2 = loaded.forward(&x).unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice(), "levels/scales are exact on the wire");
+    }
+
+    #[test]
+    fn load_quant_payload_validates() {
+        let m = BlockCirculantMatrix::zeros(8, 4, 4).unwrap();
+        let mut q =
+            QuantizedSpectralDense::from_matrix(&m, Tensor::zeros(&[4]), QuantBits::Sixteen);
+        let good = q.quant_payload().unwrap();
+
+        let mut bad = good.clone();
+        bad.scheme = 7;
+        assert!(q.load_quant_payload(&bad).is_err());
+        let mut bad = good.clone();
+        bad.bits = 8;
+        assert!(q.load_quant_payload(&bad).is_err());
+        let mut bad = good.clone();
+        bad.scales.push(1.0);
+        assert!(q.load_quant_payload(&bad).is_err());
+        let mut bad = good.clone();
+        bad.levels.pop();
+        assert!(q.load_quant_payload(&bad).is_err());
+        assert!(q.load_quant_payload(&good).is_ok());
+    }
+
+    #[test]
+    fn config_rejects_bad_bits() {
+        let m = BlockCirculantMatrix::zeros(8, 4, 4).unwrap();
+        let q =
+            QuantizedSpectralDense::from_matrix(&m, Tensor::zeros(&[4]), QuantBits::Sixteen);
+        let mut config = q.config_bytes();
+        // Overwrite the bits field (4th u32) with an unsupported width.
+        config[12..16].copy_from_slice(&10u32.to_le_bytes());
+        assert!(quantized_spectral_dense_from_config(&config).is_err());
+        assert!(quantized_spectral_dense_from_config(&q.config_bytes()).is_ok());
     }
 }

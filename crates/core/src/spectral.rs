@@ -114,6 +114,24 @@ impl SpectralKernel {
         }
     }
 
+    /// Accumulates the component-wise product of a *fixed-point* weight
+    /// spectrum (interleaved re/im integer levels) and an `f32` input
+    /// spectrum: `acc[k] += (levels[2k] + i·levels[2k+1]) · b[k]`.
+    ///
+    /// The quantization scale is deliberately **not** applied here — the
+    /// quantized circulant kernel accumulates pure level-valued products
+    /// over all input blocks and applies the block scale once per output
+    /// block, so the weight tensor is never dequantized into a
+    /// materialized `f32` copy.
+    pub fn mul_accumulate_levels(acc: &mut [Complex32], levels: &[i16], b: &[Complex32]) {
+        assert_eq!(levels.len(), 2 * acc.len());
+        assert_eq!(acc.len(), b.len());
+        for ((o, lv), &y) in acc.iter_mut().zip(levels.chunks_exact(2)).zip(b) {
+            let w = Complex32::new(lv[0] as f32, lv[1] as f32);
+            *o += w * y;
+        }
+    }
+
     /// `acc[k] += a[k] · conj(b[k])` — the correlation kernel of the
     /// backward pass (Algorithm 2).
     ///

@@ -165,6 +165,42 @@ pub trait Layer: Send + Sync {
         }
         Ok(())
     }
+
+    /// The layer's fixed-point quantization sidecar, if it has one.
+    ///
+    /// Returning `Some` opts the layer into the version-3 model format:
+    /// the writer emits the payload in the v3 quantization header
+    /// (narrow integer levels + `f32` block scales) instead of forcing
+    /// it through 4-byte `f32` tensors. `f32` layers keep the default
+    /// `None` and their models stay version 2, byte-identical to before.
+    fn quant_payload(&self) -> Option<crate::wire::QuantPayload> {
+        None
+    }
+
+    /// Installs a quantization sidecar read from a v3 model file
+    /// (inverse of [`Layer::quant_payload`], called after
+    /// [`Layer::load_params`]).
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`NnError::ModelFormat`]: a quantization
+    /// entry targeting a layer that never emits one means the file and
+    /// the registry disagree about the layer type.
+    fn load_quant_payload(&mut self, payload: &crate::wire::QuantPayload) -> Result<(), NnError> {
+        let _ = payload;
+        Err(NnError::ModelFormat(format!(
+            "layer {} does not accept a quantization payload",
+            self.type_tag()
+        )))
+    }
+
+    /// Concrete-type escape hatch: layers that want downstream crates to
+    /// reach their full API (e.g. the quantizer pulling a circulant
+    /// layer's weight matrix) return `Some(self)`; the default `None`
+    /// keeps trait objects opaque.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Validates that an incoming batch tensor has the expected trailing

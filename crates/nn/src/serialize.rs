@@ -5,8 +5,16 @@
 //!
 //! ```text
 //! magic  "FFDL"            4 bytes
-//! version u32              currently 2
+//! version u32              2 (f32 only) or 3 (quantized layers present)
 //! n_layers u32
+//! v3 only — quantization header:
+//!   n_entries u32          one entry per quantized layer
+//!   per entry:
+//!     layer_index u32
+//!     scheme u32           1 = symmetric fixed point, per-block scale
+//!     bits u32             effective bits per level (8/12/16)
+//!     n_scales u32, scales f32…
+//!     n_levels u32, levels (1 byte each for int8, i16 LE otherwise)
 //! per layer:
 //!   tag      length-prefixed UTF-8 (e.g. "dense", "circulant_dense")
 //!   config   length-prefixed blob  (layer-specific geometry)
@@ -15,7 +23,17 @@
 //! trailer  u64 little-endian FNV-1a digest of every preceding byte
 //! ```
 //!
-//! The trailer (format version 2) makes corruption a *typed* error:
+//! Version 3 exists so quantized spectra travel as narrow integers: the
+//! header carries each quantized layer's levels + block scales
+//! (`wire::QuantPayload`), keeping those bytes out of the 4-byte-f32
+//! tensor path. The writer only bumps to 3 when at least one layer
+//! returns [`Layer::quant_payload`]; all-f32 networks keep producing
+//! byte-identical version-2 files, and the loader accepts both.
+//! Truncation inside the quantization header is a typed
+//! [`NnError::ModelFormat`] naming the missing section (see
+//! `wire::quant_section`), not a bare EOF.
+//!
+//! The trailer (since format version 2) makes corruption a *typed* error:
 //! [`load_network`] hashes the stream as it parses and compares against
 //! the stored digest, so a bit-flipped weight file fails with
 //! [`NnError::ModelFormat`] naming the expected and actual digests
@@ -41,7 +59,10 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"FFDL";
+/// Written for all-f32 networks (and the floor the loader accepts).
 const VERSION: u32 = 2;
+/// Written when at least one layer carries a quantization payload.
+const VERSION_QUANT: u32 = 3;
 
 /// Constructor signature stored in the registry: builds an un-parameterized
 /// layer from its config blob (parameters are loaded separately).
@@ -116,10 +137,27 @@ impl Default for LayerRegistry {
 ///
 /// Returns [`NnError::Io`] on write failure.
 pub fn save_network<W: Write>(network: &Network, writer: W) -> Result<(), NnError> {
+    let quant: Vec<(u32, wire::QuantPayload)> = network
+        .layers()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.quant_payload().map(|p| (i as u32, p)))
+        .collect();
     let mut writer = wire::Fnv1aWriter::new(writer);
     writer.write_all(MAGIC)?;
-    wire::write_u32(&mut writer, VERSION)?;
+    let version = if quant.is_empty() {
+        VERSION
+    } else {
+        VERSION_QUANT
+    };
+    wire::write_u32(&mut writer, version)?;
     wire::write_u32(&mut writer, network.len() as u32)?;
+    if version == VERSION_QUANT {
+        wire::write_u32(&mut writer, quant.len() as u32)?;
+        for (layer_index, payload) in &quant {
+            wire::write_quant_entry(&mut writer, *layer_index, payload)?;
+        }
+    }
     for layer in network.layers() {
         wire::write_string(&mut writer, layer.type_tag())?;
         let config = layer.config_bytes();
@@ -157,9 +195,9 @@ pub fn load_network<R: Read>(reader: R, registry: &LayerRegistry) -> Result<Netw
         )));
     }
     let version = wire::read_u32(&mut reader)?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_QUANT {
         return Err(NnError::ModelFormat(format!(
-            "unsupported version {version}, expected {VERSION}"
+            "unsupported version {version}, expected {VERSION} or {VERSION_QUANT}"
         )));
     }
     let n_layers = wire::read_u32(&mut reader)? as usize;
@@ -168,8 +206,31 @@ pub fn load_network<R: Read>(reader: R, registry: &LayerRegistry) -> Result<Netw
             "layer count {n_layers} exceeds sanity bound"
         )));
     }
+    let mut quant: Vec<(u32, wire::QuantPayload)> = Vec::new();
+    if version == VERSION_QUANT {
+        let n_entries = wire::quant_section(wire::read_u32(&mut reader), "entry count")? as usize;
+        if n_entries > n_layers {
+            return Err(NnError::ModelFormat(format!(
+                "quantization header claims {n_entries} entries for {n_layers} layers"
+            )));
+        }
+        for _ in 0..n_entries {
+            let (layer_index, payload) = wire::read_quant_entry(&mut reader)?;
+            if layer_index as usize >= n_layers {
+                return Err(NnError::ModelFormat(format!(
+                    "quantization entry targets layer {layer_index} of {n_layers}"
+                )));
+            }
+            if quant.iter().any(|(i, _)| *i == layer_index) {
+                return Err(NnError::ModelFormat(format!(
+                    "duplicate quantization entry for layer {layer_index}"
+                )));
+            }
+            quant.push((layer_index, payload));
+        }
+    }
     let mut network = Network::new();
-    for _ in 0..n_layers {
+    for layer_index in 0..n_layers {
         let tag = wire::read_string(&mut reader)?;
         let config_len = wire::read_u32(&mut reader)? as usize;
         if config_len > 1 << 20 {
@@ -194,6 +255,9 @@ pub fn load_network<R: Read>(reader: R, registry: &LayerRegistry) -> Result<Netw
             .ok_or_else(|| NnError::UnknownLayerTag(tag.clone()))?;
         let mut layer = builder(&config)?;
         layer.load_params(&params)?;
+        if let Some((_, payload)) = quant.iter().find(|(i, _)| *i as usize == layer_index) {
+            layer.load_quant_payload(payload)?;
+        }
         network.push_boxed(layer);
     }
     let actual = reader.digest();
@@ -413,6 +477,191 @@ mod tests {
         // And the pristine file still loads.
         buf[last] ^= 0x01;
         assert!(load_network(Cursor::new(&buf), &LayerRegistry::with_builtin_layers()).is_ok());
+    }
+
+    /// Minimal quantized layer exercising the v3 path without the core
+    /// crate's spectral machinery: a bias through the tensor path, the
+    /// levels + scales through the quantization header.
+    struct QuantStub {
+        bias: Tensor,
+        payload: wire::QuantPayload,
+    }
+
+    impl QuantStub {
+        fn example() -> Self {
+            Self {
+                bias: Tensor::from_fn(&[4], |i| i as f32 * 0.5 - 1.0),
+                payload: wire::QuantPayload {
+                    scheme: wire::QUANT_SCHEME_SYMMETRIC,
+                    bits: 16,
+                    scales: vec![0.5, 0.25],
+                    levels: (-8..8).map(|l| l * 100).collect(),
+                },
+            }
+        }
+
+        fn empty() -> Self {
+            Self {
+                bias: Tensor::zeros(&[4]),
+                payload: wire::QuantPayload {
+                    scheme: wire::QUANT_SCHEME_SYMMETRIC,
+                    bits: 16,
+                    scales: Vec::new(),
+                    levels: Vec::new(),
+                },
+            }
+        }
+    }
+
+    impl Layer for QuantStub {
+        fn type_tag(&self) -> &'static str {
+            "test_quant_stub"
+        }
+        fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+            Ok(input.clone())
+        }
+        fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+            Ok(grad.clone())
+        }
+        fn param_tensors(&self) -> Vec<&Tensor> {
+            vec![&self.bias]
+        }
+        fn load_params(&mut self, params: &[Tensor]) -> Result<(), NnError> {
+            self.bias = params[0].clone();
+            Ok(())
+        }
+        fn quant_payload(&self) -> Option<wire::QuantPayload> {
+            Some(self.payload.clone())
+        }
+        fn load_quant_payload(&mut self, payload: &wire::QuantPayload) -> Result<(), NnError> {
+            self.payload = payload.clone();
+            Ok(())
+        }
+    }
+
+    fn quant_registry() -> LayerRegistry {
+        let mut r = LayerRegistry::with_builtin_layers();
+        r.register("test_quant_stub", |_| Ok(Box::new(QuantStub::empty())));
+        r
+    }
+
+    fn quant_net() -> Network {
+        let mut net = Network::new();
+        net.push(Dense::new(4, 4, &mut rng()));
+        net.push(QuantStub::example());
+        net
+    }
+
+    #[test]
+    fn all_f32_networks_still_write_version_2() {
+        let mut net = Network::new();
+        net.push(Dense::new(4, 4, &mut rng()));
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        assert_eq!(buf[4], 2, "f32-only model must stay version 2");
+    }
+
+    #[test]
+    fn v3_roundtrip_restores_quant_payload() {
+        let net = quant_net();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        assert_eq!(buf[4], 3, "quantized layer must bump the version");
+
+        let loaded = load_network(Cursor::new(&buf), &quant_registry()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let want = QuantStub::example();
+        assert_eq!(
+            loaded.layers()[1].quant_payload().unwrap(),
+            want.payload,
+            "levels + scales survive the round trip"
+        );
+        assert_eq!(
+            loaded.layers()[1].param_tensors()[0].as_slice(),
+            want.bias.as_slice()
+        );
+    }
+
+    #[test]
+    fn truncated_v3_quant_header_names_missing_section() {
+        let net = quant_net();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        // magic(4) version(4) n_layers(4) | n_entries(4) | layer_index(4)
+        // scheme(4) bits(4) n_scales(4) scales… — cut inside each.
+        for (keep, section) in [(14, "entry count"), (18, "layer index"), (34, "scales")] {
+            let cut = buf[..keep].to_vec();
+            match load_network(Cursor::new(cut), &quant_registry()) {
+                Err(NnError::ModelFormat(msg)) => assert!(
+                    msg.contains("truncated v3 quantization header") && msg.contains(section),
+                    "cut at {keep}: {msg}"
+                ),
+                other => panic!("cut at {keep}: expected ModelFormat, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_v3_scales_is_a_named_checksum_mismatch() {
+        let net = quant_net();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        // First scale starts after magic(4) version(4) n_layers(4)
+        // n_entries(4) layer_index(4) scheme(4) bits(4) n_scales(4) = 32.
+        // A flipped scale bit still parses as a valid f32, so only the
+        // trailer can catch it — the v2 guarantee must extend to the
+        // quantization header bytes.
+        buf[33] ^= 0x40;
+        match load_network(Cursor::new(&buf), &quant_registry()) {
+            Err(NnError::ModelFormat(msg)) => {
+                assert!(msg.contains("checksum mismatch"), "{msg}");
+                assert!(msg.contains("fnv1a"), "{msg}");
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        // Restored, the file loads again.
+        buf[33] ^= 0x40;
+        assert!(load_network(Cursor::new(&buf), &quant_registry()).is_ok());
+    }
+
+    #[test]
+    fn quant_entry_for_f32_layer_is_rejected() {
+        // Hand-craft a v3 file whose single entry targets a dense layer.
+        let mut net = Network::new();
+        net.push(Dense::new(2, 2, &mut rng()));
+        let mut v2 = Vec::new();
+        save_network(&net, &mut v2).unwrap();
+
+        let mut buf = Vec::new();
+        let mut w = wire::Fnv1aWriter::new(&mut buf);
+        w.write_all(MAGIC).unwrap();
+        wire::write_u32(&mut w, 3).unwrap();
+        wire::write_u32(&mut w, 1).unwrap(); // n_layers
+        wire::write_u32(&mut w, 1).unwrap(); // n_entries
+        wire::write_quant_entry(
+            &mut w,
+            0,
+            &wire::QuantPayload {
+                scheme: wire::QUANT_SCHEME_SYMMETRIC,
+                bits: 16,
+                scales: vec![1.0],
+                levels: vec![1, 2],
+            },
+        )
+        .unwrap();
+        // Layer body: copy the dense layer's body bytes from the v2 file
+        // (skip magic+version+n_layers, drop the trailer).
+        w.write_all(&v2[12..v2.len() - 8]).unwrap();
+        let digest = w.digest();
+        let _ = w.into_inner();
+        buf.extend_from_slice(&digest.to_le_bytes());
+
+        match load_network(Cursor::new(buf), &LayerRegistry::with_builtin_layers()) {
+            Err(NnError::ModelFormat(msg)) => {
+                assert!(msg.contains("does not accept a quantization payload"), "{msg}")
+            }
+            other => panic!("expected ModelFormat, got {other:?}"),
+        }
     }
 
     #[test]

@@ -108,6 +108,133 @@ impl<R: Read> Read for Fnv1aReader<R> {
     }
 }
 
+/// Scheme tag for [`QuantPayload`]: symmetric fixed point, one scale
+/// per output block, `value = level · scale`.
+pub const QUANT_SCHEME_SYMMETRIC: u32 = 1;
+
+/// Quantization sidecar for one layer in a version-3 model file: the
+/// fixed-point weight levels and their block scales, kept out of the
+/// generic f32 tensor path so the stored bytes stay narrow (2 bytes per
+/// level for int16/int12, 1 byte for int8, instead of 4 for `f32`).
+///
+/// Layers opt in via [`Layer::quant_payload`](crate::Layer::quant_payload)
+/// / [`Layer::load_quant_payload`](crate::Layer::load_quant_payload);
+/// the writer emits one header entry per opted-in layer and bumps the
+/// file version to 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantPayload {
+    /// Quantization scheme ([`QUANT_SCHEME_SYMMETRIC`]).
+    pub scheme: u32,
+    /// Effective bits per level (8, 12 or 16).
+    pub bits: u32,
+    /// Per-output-block scales.
+    pub scales: Vec<f32>,
+    /// Interleaved re/im fixed-point levels for every stored spectrum.
+    pub levels: Vec<i16>,
+}
+
+/// Maps a truncated read inside the v3 quantization header to a *typed*
+/// [`NnError::ModelFormat`] naming the missing section — a cut-off
+/// header should read as "this file is malformed here", not as a
+/// generic EOF.
+pub fn quant_section<T>(res: Result<T, NnError>, section: &str) -> Result<T, NnError> {
+    match res {
+        Err(NnError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Err(NnError::ModelFormat(format!(
+                "truncated v3 quantization header: missing {section}"
+            )))
+        }
+        other => other,
+    }
+}
+
+/// Writes one v3 quantization-header entry:
+/// `layer_index, scheme, bits, n_scales, scales…, n_levels, levels…`.
+/// Levels are 1 byte each for 8-bit payloads, little-endian `i16`
+/// otherwise.
+pub fn write_quant_entry<W: Write>(
+    w: &mut W,
+    layer_index: u32,
+    p: &QuantPayload,
+) -> Result<(), NnError> {
+    write_u32(w, layer_index)?;
+    write_u32(w, p.scheme)?;
+    write_u32(w, p.bits)?;
+    write_u32(w, p.scales.len() as u32)?;
+    for &s in &p.scales {
+        write_f32(w, s)?;
+    }
+    write_u32(w, p.levels.len() as u32)?;
+    if p.bits <= 8 {
+        for &l in &p.levels {
+            w.write_all(&[(l as i8) as u8])?;
+        }
+    } else {
+        for &l in &p.levels {
+            w.write_all(&l.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads one entry written by [`write_quant_entry`], returning the layer
+/// index it applies to. Truncation anywhere inside the entry yields a
+/// typed [`NnError::ModelFormat`] naming the missing section.
+pub fn read_quant_entry<R: Read>(r: &mut R) -> Result<(u32, QuantPayload), NnError> {
+    let layer_index = quant_section(read_u32(r), "layer index")?;
+    let scheme = quant_section(read_u32(r), "scheme")?;
+    if scheme != QUANT_SCHEME_SYMMETRIC {
+        return Err(NnError::ModelFormat(format!(
+            "unknown quantization scheme {scheme}"
+        )));
+    }
+    let bits = quant_section(read_u32(r), "bits")?;
+    if !(2..=16).contains(&bits) {
+        return Err(NnError::ModelFormat(format!(
+            "quantization width {bits} bits outside the supported 2..=16"
+        )));
+    }
+    let n_scales = quant_section(read_u32(r), "scale count")? as usize;
+    if n_scales > 1 << 20 {
+        return Err(NnError::ModelFormat(format!(
+            "scale count {n_scales} exceeds sanity bound"
+        )));
+    }
+    let mut scales = Vec::with_capacity(n_scales);
+    for _ in 0..n_scales {
+        scales.push(quant_section(read_f32(r), "scales")?);
+    }
+    let n_levels = quant_section(read_u32(r), "level count")? as usize;
+    if n_levels > 1 << 28 {
+        return Err(NnError::ModelFormat(format!(
+            "level count {n_levels} exceeds sanity bound"
+        )));
+    }
+    let mut levels = Vec::with_capacity(n_levels);
+    if bits <= 8 {
+        let mut buf = [0u8; 1];
+        for _ in 0..n_levels {
+            quant_section(r.read_exact(&mut buf).map_err(NnError::Io), "levels")?;
+            levels.push(buf[0] as i8 as i16);
+        }
+    } else {
+        let mut buf = [0u8; 2];
+        for _ in 0..n_levels {
+            quant_section(r.read_exact(&mut buf).map_err(NnError::Io), "levels")?;
+            levels.push(i16::from_le_bytes(buf));
+        }
+    }
+    Ok((
+        layer_index,
+        QuantPayload {
+            scheme,
+            bits,
+            scales,
+            levels,
+        },
+    ))
+}
+
 /// Writes a `u32` in little-endian order.
 pub fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<(), NnError> {
     w.write_all(&v.to_le_bytes())?;
@@ -273,6 +400,87 @@ mod tests {
         r.read_to_end(&mut back).unwrap();
         assert_eq!(r.digest(), fnv1a(&payload));
         assert_eq!(back, payload);
+    }
+
+    fn payload(bits: u32) -> QuantPayload {
+        QuantPayload {
+            scheme: QUANT_SCHEME_SYMMETRIC,
+            bits,
+            scales: vec![0.25, 0.5, 0.125],
+            levels: (-6..6).map(|l| l * 10).collect(),
+        }
+    }
+
+    #[test]
+    fn quant_entry_roundtrip_all_widths() {
+        for bits in [8u32, 12, 16] {
+            let p = payload(bits);
+            let mut buf = Vec::new();
+            write_quant_entry(&mut buf, 7, &p).unwrap();
+            let (idx, back) = read_quant_entry(&mut Cursor::new(buf)).unwrap();
+            assert_eq!(idx, 7);
+            assert_eq!(back, p, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn quant_entry_int8_levels_are_single_bytes() {
+        let mut wide = Vec::new();
+        write_quant_entry(&mut wide, 0, &payload(16)).unwrap();
+        let mut narrow = Vec::new();
+        write_quant_entry(&mut narrow, 0, &payload(8)).unwrap();
+        assert_eq!(wide.len() - narrow.len(), payload(8).levels.len());
+    }
+
+    #[test]
+    fn truncated_quant_entry_names_missing_section() {
+        let p = payload(16);
+        let mut full = Vec::new();
+        write_quant_entry(&mut full, 3, &p).unwrap();
+        // Cut points inside each section of the entry, with the section
+        // name the error must carry.
+        for (keep, section) in [
+            (2, "layer index"),
+            (6, "scheme"),
+            (10, "bits"),
+            (14, "scale count"),
+            (18, "scales"),
+            (16 + 12 + 2, "level count"),
+            (16 + 12 + 4 + 3, "levels"),
+        ] {
+            let cut = full[..keep].to_vec();
+            match read_quant_entry(&mut Cursor::new(cut)) {
+                Err(NnError::ModelFormat(msg)) => {
+                    assert!(
+                        msg.contains("truncated v3 quantization header")
+                            && msg.contains(section),
+                        "cut at {keep}: {msg}"
+                    );
+                }
+                other => panic!("cut at {keep}: expected ModelFormat, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn quant_entry_rejects_unknown_scheme_and_width() {
+        let mut p = payload(16);
+        p.scheme = 9;
+        let mut buf = Vec::new();
+        write_quant_entry(&mut buf, 0, &p).unwrap();
+        assert!(matches!(
+            read_quant_entry(&mut Cursor::new(buf)),
+            Err(NnError::ModelFormat(msg)) if msg.contains("scheme")
+        ));
+
+        let mut p = payload(16);
+        p.bits = 64;
+        let mut buf = Vec::new();
+        write_quant_entry(&mut buf, 0, &p).unwrap();
+        assert!(matches!(
+            read_quant_entry(&mut Cursor::new(buf)),
+            Err(NnError::ModelFormat(msg)) if msg.contains("64 bits")
+        ));
     }
 
     #[test]

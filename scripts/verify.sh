@@ -72,6 +72,62 @@ echo "${swap_out}" | grep -q "final generation 3" || {
 }
 rm -rf "${store}"
 
+echo "== quant smoke test (quantize -> serve -> top-1 agreement) =="
+# Publish an f32 model, publish its int16 quantization as the next
+# generation, then serve the quantized precision end to end. The served
+# quantized model must agree with its f32 parent on >= 99% of top-1
+# decisions (DESIGN.md §14: int16 is decision-lossless at this scale).
+store="$(mktemp -d)"
+arch_file="${store}/net.arch"
+printf 'input 16\ncirculant_fc 16 block=4\nrelu\nfc 4\nsoftmax\n' > "${arch_file}"
+out="$("${ffdl[@]}" model publish --store "${store}" --name prod --arch "${arch_file}" --seed 1)"
+out="$("${ffdl[@]}" model quantize --store "${store}" --name prod --bits 16)"
+echo "${out}" | grep -q "published generation 2" || {
+    echo "quant smoke test: model quantize did not publish a child generation" >&2
+    exit 1
+}
+out="$("${ffdl[@]}" model list --store "${store}" --name prod)"
+echo "${out}" | grep -q -- "-int16" || {
+    echo "quant smoke test: quantized generation's derived arch label missing from list" >&2
+    exit 1
+}
+rm -rf "${store}"
+quant_out="$("${ffdl[@]}" serve-bench --workers 2 --requests 64 --quantized 16)"
+echo "${quant_out}" | grep -q "quantized: int16" || {
+    echo "quant smoke test: serve-bench --quantized did not report the quantized precision" >&2
+    exit 1
+}
+agreement="$(echo "${quant_out}" | sed -n 's/.*top-1 agreement \([0-9.]*\)%.*/\1/p')"
+awk -v a="${agreement}" 'BEGIN {
+    if (a == "") { print "quant smoke test: top-1 agreement missing from serve-bench output" > "/dev/stderr"; exit 1 }
+    printf "served int16 top-1 agreement vs f32: %.2f%%\n", a
+    if (a + 0 < 99) { print "quant smoke test: top-1 agreement below 99%" > "/dev/stderr"; exit 1 }
+}'
+
+echo "== bench guard: quantized forward latency + model bytes in BENCH_quant.json =="
+# The dequantization-free serving claim (DESIGN.md §14): int16 spectra
+# must forward within 15% of the f32 spectral path (the scale is applied
+# once per output block, never per MAC) while the model file shrinks to
+# at most 55% of the f32 payload. Sizes ride in the bench rows' "size"
+# field as exact wire-format bytes.
+awk '
+    /"label": "forward\/f32_spectral"/ {
+        if (match($0, /"median_ns": [0-9.]+/)) f32_ns    = substr($0, RSTART + 13, RLENGTH - 13)
+        if (match($0, /"size": [0-9]+/))       f32_bytes = substr($0, RSTART + 8,  RLENGTH - 8)
+    }
+    /"label": "forward\/int16"/ {
+        if (match($0, /"median_ns": [0-9.]+/)) q_ns    = substr($0, RSTART + 13, RLENGTH - 13)
+        if (match($0, /"size": [0-9]+/))       q_bytes = substr($0, RSTART + 8,  RLENGTH - 8)
+    }
+    END {
+        if (f32_ns == "" || q_ns == "" || f32_bytes == "" || q_bytes == "") { print "bench guard: forward/f32_spectral or forward/int16 rows missing from BENCH_quant.json" > "/dev/stderr"; exit 1 }
+        lat = q_ns / f32_ns; bytes = q_bytes / f32_bytes
+        printf "int16/f32 forward median ratio: %.3fx, model bytes ratio: %.3f\n", lat, bytes
+        if (lat > 1.15)    { print "bench guard: int16 forward latency above 1.15x the f32 spectral path" > "/dev/stderr"; exit 1 }
+        if (bytes > 0.55)  { print "bench guard: int16 model bytes above 55% of the f32 payload" > "/dev/stderr"; exit 1 }
+    }
+' BENCH_quant.json
+
 echo "== chaos smoke test (--chaos: deterministic fault injection) =="
 # One seeded campaign over a swapping run: a worker panic (restart), a
 # latency spike, a NaN activation (typed failure) and a bit flip on a
