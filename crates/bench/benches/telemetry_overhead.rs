@@ -44,6 +44,16 @@ fn main() {
             histogram.record(black_box(42));
         }
     });
+    // The ffdl-stream worker's per-step hook pattern: one guarded
+    // counter bump plus one guarded latency record. This is what every
+    // streaming step pays with metrics off (guarded < 5 ns/op in
+    // verify.sh).
+    set.bench("disabled/stream_step_hooks", || {
+        if telemetry::enabled() {
+            counter.inc();
+            histogram.record(black_box(42));
+        }
+    });
 
     // ---- Enabled: what recording actually costs ----------------------
     telemetry::set_enabled(true);

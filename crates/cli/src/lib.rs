@@ -59,6 +59,7 @@ from_error!(
     ffdl::tensor::TensorError,
     ffdl_registry::RegistryError,
     ffdl_serve::ServeError,
+    ffdl_stream::StreamError,
     ffdl_quant::QuantError,
 );
 
@@ -469,6 +470,9 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         "slo-ms",
         "duration-ms",
         "max-workers",
+        "stream",
+        "sessions",
+        "steps-per-session",
     ])?;
     let metrics = flags.get_bool("metrics")?;
     let workers = flags.get_num("workers", 1usize)?;
@@ -539,10 +543,30 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         network = q;
     }
 
+    // --stream switches to stateful streaming serving (ffdl-stream): a
+    // block-circulant GRU sized to the dataset, served one token per
+    // step across sticky sessions. Session state makes the other serve
+    // modes meaningless in combination.
+    let tenants = flags.get_num("tenants", 0usize)?;
+    if flags.get_bool("stream")? {
+        if tenants > 0 || swap_every != 0 || chaos || quant_bits > 0 {
+            return Err(CliError(
+                "--stream cannot be combined with --tenants, --swap-every, \
+                 --chaos or --quantized (the ffdl-stream test suite covers \
+                 streaming faults and swaps)"
+                    .into(),
+            ));
+        }
+        let out = serve_bench_stream(flags, dataset, &samples, width, workers, seed);
+        if metrics {
+            ffdl::telemetry::set_enabled(false);
+        }
+        return out;
+    }
+
     // --tenants N switches to the multi-tenant scheduler with an
     // open-loop Poisson driver (ffdl-sched) instead of the closed-loop
     // single-model pool.
-    let tenants = flags.get_num("tenants", 0usize)?;
     if tenants > 0 {
         if swap_every != 0 || chaos {
             return Err(CliError(
@@ -837,6 +861,125 @@ fn serve_bench_tenants(
     Ok(out)
 }
 
+/// The `--stream` arm of `serve-bench`: a block-circulant GRU sized to
+/// the dataset is published into a throwaway registry and served
+/// statefully by `ffdl-stream` — `--sessions` sticky sessions, each
+/// stepped `--steps-per-session` times, submissions interleaved across
+/// sessions so worker queues mix several streams at once.
+///
+/// The digest folds every answered step's predicted label in
+/// (session, step) order; per-session hidden state means each step
+/// depends only on its own session's token prefix, so the digest is
+/// identical for any `--workers` count under the same seed.
+fn serve_bench_stream(
+    flags: &Flags,
+    dataset: &str,
+    samples: &[ffdl::tensor::Tensor],
+    width: usize,
+    workers: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    let metrics = flags.get_bool("metrics")?;
+    let sessions = flags.get_num("sessions", 8u64)?;
+    let steps = flags.get_num("steps-per-session", 32usize)?;
+    let queue_depth = flags.get_num("queue-depth", 256usize)?;
+    let deadline_ms = flags.get_num("deadline-ms", 0u64)?;
+    if sessions == 0 || steps == 0 {
+        return Err(CliError(
+            "flags --sessions and --steps-per-session must be >= 1".into(),
+        ));
+    }
+
+    // The recurrent counterpart of the paper architectures: one
+    // block-circulant GRU over the flattened pixels, stepped per token.
+    let arch = format!("input {width}\ncirculant_gru 32 block=8\nfc 10\nsoftmax\n");
+    let network = parse_architecture(&arch, seed)?.network;
+
+    let store_dir = std::env::temp_dir().join(format!(
+        "ffdl-stream-bench-store-{}-{}",
+        std::process::id(),
+        seed,
+    ));
+    let _ = fs::remove_dir_all(&store_dir);
+    let store = ModelStore::open(&store_dir)?;
+    store.publish("bench", &network, "gru32")?;
+
+    let config = ffdl_stream::StreamConfig {
+        workers,
+        queue_depth,
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        ..Default::default()
+    };
+    let server = ffdl_stream::StreamServer::start_from_store(&store, "bench", &config)?;
+    for session in 0..sessions {
+        server.open_session(session)?;
+    }
+    // id encodes (session, step) so the digest can walk submission
+    // order after the fact. The sample pool is cycled with a per-session
+    // stride so different sessions see different token sequences.
+    for step in 0..steps {
+        for session in 0..sessions {
+            let id = session * steps as u64 + step as u64;
+            let sample = &samples[(session as usize * 7 + step) % samples.len()];
+            loop {
+                match server.step(session, id, sample.clone()) {
+                    Ok(()) => break,
+                    Err(ffdl_stream::StreamError::QueueFull(_)) => std::thread::yield_now(),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+    }
+    for session in 0..sessions {
+        server.close_session(session)?;
+    }
+    let report = server.finish()?;
+    fs::remove_dir_all(&store_dir).ok();
+
+    let by_id: HashMap<u64, usize> = report
+        .serve
+        .responses
+        .iter()
+        .map(|r| (r.id, r.prediction.label))
+        .collect();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for session in 0..sessions {
+        for step in 0..steps {
+            if let Some(label) = by_id.get(&(session * steps as u64 + step as u64)) {
+                digest = (digest ^ *label as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "serve-bench[stream]: {dataset} / gru32 / {sessions} sessions x {steps} steps, \
+         {workers} workers, depth {queue_depth}, {} rejections",
+        report.serve.queue_full_rejections,
+    )
+    .expect("string write");
+    writeln!(out, "prediction digest: {digest:016x}").expect("string write");
+    writeln!(
+        out,
+        "stream: {} opened, {} evicted, {} quarantined, {} steps answered, {} expired",
+        report.sessions_opened,
+        report.sessions_evicted,
+        report.sessions_quarantined,
+        report.steps,
+        report.serve.expired,
+    )
+    .expect("string write");
+    out.push_str(&report.table());
+    if metrics {
+        let mut snapshot = ffdl::telemetry::global().snapshot();
+        snapshot.merge(&report.serve.telemetry);
+        writeln!(out).expect("string write");
+        out.push_str(&snapshot.to_text());
+    }
+    Ok(out)
+}
+
 /// Renders one model's manifest as the table printed by `model list`.
 fn model_table(name: &str, versions: &[ffdl_registry::ModelVersion]) -> String {
     let active = versions.last().map_or(0, |v| v.generation);
@@ -1054,6 +1197,7 @@ pub fn usage() -> &'static str {
                        [--tenants N] [--tenant-weights 8,1] [--tenant-classes high,normal]\n\
                        [--rate-rps F] [--rate-limit F] [--slo-ms N] [--duration-ms N]\n\
                        [--max-workers N]\n\
+                       [--stream on] [--sessions N] [--steps-per-session M]\n\
        ffdl model publish  --store <dir> --name <model> --arch <file>\n\
                        [--params <file>] [--seed N] [--label <arch-label>]\n\
        ffdl model list     --store <dir> [--name <model>]\n\
@@ -1088,7 +1232,13 @@ pub fn usage() -> &'static str {
      pool (--workers to --max-workers), loaded open-loop with seeded\n\
      Poisson arrivals at --rate-rps per tenant for --duration-ms; the\n\
      report breaks out p50/p99 and SLO attainment (vs --slo-ms) per\n\
-     tenant.\n"
+     tenant.\n\
+     \n\
+     serve-bench --stream serves a block-circulant GRU statefully\n\
+     (ffdl-stream): --sessions sticky sessions, each stepped\n\
+     --steps-per-session times with per-session hidden state carried\n\
+     across requests. The prediction digest is identical for any\n\
+     --workers count — streams never share or lose state.\n"
 }
 
 /// Dispatches a full argument vector (without the program name).
@@ -1254,6 +1404,42 @@ mod tests {
         assert!(err.0.contains("unknown serve dataset"), "{err}");
         let err = cmd_serve_bench(&flags(&[("requests", "0")])).unwrap_err();
         assert!(err.0.contains("--requests"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_stream_is_deterministic_across_workers() {
+        let run = |workers: &str| {
+            let out = cmd_serve_bench(&flags(&[
+                ("stream", "on"),
+                ("sessions", "4"),
+                ("steps-per-session", "6"),
+                ("workers", workers),
+                ("dataset", "mnist11"),
+                ("seed", "9"),
+            ]))
+            .unwrap();
+            assert!(out.contains("serve-bench[stream]"), "{out}");
+            assert!(out.contains("stream: 4 opened"), "{out}");
+            assert!(out.contains("steps answered"), "{out}");
+            assert!(out.contains("stream stats"), "{out}");
+            out.lines()
+                .find(|l| l.starts_with("prediction digest"))
+                .expect("digest line")
+                .to_string()
+        };
+        // Sticky per-session state: the digest cannot depend on worker
+        // count or cross-session interleaving.
+        assert_eq!(run("1"), run("3"));
+    }
+
+    #[test]
+    fn serve_bench_stream_rejects_incompatible_modes_and_bad_counts() {
+        let err = cmd_serve_bench(&flags(&[("stream", "on"), ("tenants", "2")])).unwrap_err();
+        assert!(err.0.contains("--stream cannot be combined"), "{err}");
+        let err = cmd_serve_bench(&flags(&[("stream", "on"), ("chaos", "7")])).unwrap_err();
+        assert!(err.0.contains("--stream cannot be combined"), "{err}");
+        let err = cmd_serve_bench(&flags(&[("stream", "on"), ("sessions", "0")])).unwrap_err();
+        assert!(err.0.contains("--sessions"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! - [`QuantizedSpectralDense`] — the same frozen layer with the spectra
 //!   in narrow fixed point (8/12/16 bits, one scale per output block),
 //!   served without dequantizing the weight tensor.
+//! - [`CirculantGru`] — block-circulant recurrent cell (the E-RNN
+//!   direction): six circulant matrices per step, stateful streaming
+//!   serving via `ffdl-stream`.
 //! - [`register_circulant_layers`] — plugs the above into the
 //!   `ffdl_nn::LayerRegistry` model format.
 //!
@@ -49,6 +52,7 @@ mod error;
 mod fft_conv;
 mod inference;
 mod quant;
+mod recurrent;
 mod spectral;
 
 pub use circulant::{BlockCirculantMatrix, CirculantScratch, ForwardCache};
@@ -60,13 +64,14 @@ pub use inference::{spectral_dense_from_config, SpectralDense};
 pub use quant::{
     quantized_spectral_dense_from_config, QuantBits, QuantizedSpectralDense, QuantizedSpectrum,
 };
+pub use recurrent::{circulant_gru_from_config, CirculantGru, GruScratch};
 pub use spectral::{SpectralKernel, Spectrum};
 
 use ffdl_nn::LayerRegistry;
 
 /// Registers the block-circulant layer types (`circulant_dense`,
-/// `circulant_conv2d`, `spectral_dense`, `quantized_spectral_dense`)
-/// with a model-format registry.
+/// `circulant_conv2d`, `spectral_dense`, `quantized_spectral_dense`,
+/// `circulant_gru`) with a model-format registry.
 ///
 /// # Examples
 ///
@@ -83,6 +88,7 @@ pub fn register_circulant_layers(registry: &mut LayerRegistry) {
     registry.register("spectral_dense", spectral_dense_from_config);
     registry.register("fft_conv2d", fft_conv2d_from_config);
     registry.register("quantized_spectral_dense", quantized_spectral_dense_from_config);
+    registry.register("circulant_gru", circulant_gru_from_config);
 }
 
 /// A registry with both the built-in `ffdl-nn` layers and the circulant
@@ -112,6 +118,7 @@ mod tests {
             "spectral_dense",
             "fft_conv2d",
             "quantized_spectral_dense",
+            "circulant_gru",
         ] {
             assert!(r.builder(tag).is_some(), "missing {tag}");
         }

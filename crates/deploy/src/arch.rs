@@ -6,6 +6,7 @@
 //! ```text
 //! input 256                 # flat input,  or:  input 3x32x32
 //! circulant_fc 128 block=64
+//! circulant_gru 128 block=64      # recurrent cell (sequence semantics)
 //! relu
 //! fc 10
 //! softmax
@@ -23,7 +24,7 @@
 //! a `flatten`.
 
 use crate::error::DeployError;
-use ffdl_core::{CirculantConv2d, CirculantDense, FftConv2d};
+use ffdl_core::{CirculantConv2d, CirculantDense, CirculantGru, FftConv2d};
 use ffdl_nn::{AvgPool2d, Conv2d, Dense, Flatten, MaxPool2d, Network, Relu, Sigmoid, Softmax, Tanh};
 use ffdl_tensor::ConvGeometry;
 use ffdl_rng::rngs::SmallRng;
@@ -189,6 +190,24 @@ pub fn parse_architecture(text: &str, seed: u64) -> Result<ParsedNetwork, Deploy
                     .map_err(|e| syntax(line, e.to_string()))?;
                 network.push(layer);
                 shape = Some(Shape::Flat(out));
+            }
+            "circulant_gru" => {
+                // Recurrent cell: dimension 0 of its input is *time*,
+                // not batch (one session = one sequence). Served by
+                // ffdl-stream; see `ffdl_core::CirculantGru`.
+                if toks.len() < 3 {
+                    return Err(syntax(line, "usage: circulant_gru <hidden> block=<b>"));
+                }
+                let hidden = parse_usize(line, toks[1], "hidden width")?;
+                let opts = parse_options(line, &toks[2..], &["block"])?;
+                let block = *opts
+                    .get("block")
+                    .ok_or_else(|| syntax(line, "circulant_gru requires block=<b>"))?;
+                let in_dim = flat_for_fc(&mut network, current);
+                let layer = CirculantGru::new(in_dim, hidden, block, &mut rng)
+                    .map_err(|e| syntax(line, e.to_string()))?;
+                network.push(layer);
+                shape = Some(Shape::Flat(hidden));
             }
             "conv" | "circulant_conv" => {
                 let (c, h, w) = match current {
@@ -459,6 +478,19 @@ softmax
         assert!(parse_architecture("input 8\nfft_conv 2 kernel=3\n", 0).is_err());
         assert!(parse_architecture("input 1x4x4\nfft_conv 2 kernel=9\n", 0).is_err());
         assert!(parse_architecture("input 1x4x4\navgpool 9\n", 0).is_err());
+    }
+
+    #[test]
+    fn circulant_gru_directive() {
+        let text = "input 16\ncirculant_gru 32 block=8\nfc 4\nsoftmax\n";
+        let mut parsed = parse_architecture(text, 11).unwrap();
+        assert_eq!(parsed.output_shape, Shape::Flat(4));
+        // Sequence semantics: [seq, in] -> [seq, classes].
+        let y = parsed.network.forward(&Tensor::zeros(&[5, 16])).unwrap();
+        assert_eq!(y.shape(), &[5, 4]);
+        assert!(parse_architecture("input 16\ncirculant_gru 32\n", 0).is_err());
+        assert!(parse_architecture("input 16\ncirculant_gru 32 block=0\n", 0).is_err());
+        assert!(parse_architecture("input 16\ncirculant_gru 0 block=4\n", 0).is_err());
     }
 
     #[test]

@@ -64,6 +64,16 @@ pub enum ServeError {
     /// generation for [`swap_from_store`](crate::Server::swap_from_store),
     /// or republishing during auto-rollback).
     Registry(ffdl_registry::RegistryError),
+    /// The request targeted a stream session that an earlier fault
+    /// (worker panic or NaN step) quarantined: its hidden state can no
+    /// longer be trusted, so further steps are refused instead of
+    /// serving from corrupt state. Raised by the `ffdl-stream` stateful
+    /// front end; the payload is the model generation that was serving
+    /// when the session was quarantined.
+    SessionQuarantined {
+        /// Model generation active when the session was quarantined.
+        generation: u64,
+    },
 }
 
 impl ServeError {
@@ -129,6 +139,11 @@ impl fmt::Display for ServeError {
                 "model generation {generation} produced non-finite logits (unhealthy)"
             ),
             ServeError::Registry(e) => write!(f, "registry operation failed: {e}"),
+            ServeError::SessionQuarantined { generation } => write!(
+                f,
+                "stream session was quarantined by an earlier fault \
+                 (generation {generation}); further steps are refused"
+            ),
         }
     }
 }

@@ -192,6 +192,11 @@ pub enum FailureKind {
     /// Per-tenant admission control rejected the request: the tenant was
     /// over its configured rate budget (`ffdl-sched`).
     OverLimit,
+    /// The request's stream session was quarantined by an earlier fault
+    /// (panicking or NaN step), so this step was refused to protect the
+    /// session's state invariant — used by the `ffdl-stream` stateful
+    /// front end, never by this crate's stateless pools.
+    SessionQuarantined,
 }
 
 /// One failed request. Every admitted request ends up either in
@@ -226,6 +231,9 @@ impl ServeFailure {
             FailureKind::Shed => ServeError::QueueFull { tenant },
             FailureKind::OverLimit => ServeError::TenantOverLimit {
                 tenant: tenant.unwrap_or_else(|| "-".into()),
+            },
+            FailureKind::SessionQuarantined => ServeError::SessionQuarantined {
+                generation: self.generation,
             },
         }
     }

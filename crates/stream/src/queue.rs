@@ -1,0 +1,205 @@
+//! Per-worker bounded work queue.
+//!
+//! Sticky routing means each session's steps all land on **one**
+//! worker's queue, so unlike `ffdl-serve`'s shared MPMC queue this one
+//! is single-consumer: one `Mutex<VecDeque>` plus two condvars. FIFO
+//! order per queue is the ordering guarantee the session lifecycle
+//! leans on — a `Close` control message enqueued after a session's last
+//! step is processed after it, never before.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity (admission backpressure).
+    Full,
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+/// What a `pop` returned.
+pub(crate) enum Popped<T> {
+    /// One unit of work.
+    Item(T),
+    /// The timeout passed with the queue empty — the worker's chance to
+    /// run idle housekeeping (TTL eviction).
+    Idle,
+    /// Closed and drained: the worker should exit.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue (many submitters, one worker).
+pub(crate) struct WorkQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> WorkQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking push: the submit path's admission control. A full
+    /// queue is a typed rejection, never a wait — streaming clients hold
+    /// per-step latency budgets, so backpressure must be visible at
+    /// submit time.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("stream queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push for control messages (`Close`): these must not be
+    /// lost to a momentarily-full queue, and they must stay in FIFO
+    /// order behind the steps already admitted.
+    pub(crate) fn push_wait(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("stream queue poisoned");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .not_full
+                .wait(inner)
+                .expect("stream queue poisoned");
+        }
+    }
+
+    /// Pops one item, waiting up to `timeout` when empty.
+    pub(crate) fn pop(&self, timeout: Duration) -> Popped<T> {
+        let mut inner = self.inner.lock().expect("stream queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Popped::Item(item);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            let (guard, result) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .expect("stream queue poisoned");
+            inner = guard;
+            if result.timed_out() && inner.items.is_empty() && !inner.closed {
+                return Popped::Idle;
+            }
+        }
+    }
+
+    /// Closes the queue: pending items still drain, further pushes fail
+    /// typed, and a drained `pop` returns [`Popped::Closed`].
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().expect("stream queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently waiting.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("stream queue poisoned").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn fifo_bounded_and_typed_rejections() {
+        let q = WorkQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        match q.pop(Duration::from_millis(1)) {
+            Popped::Item(v) => assert_eq!(v, 1),
+            _ => panic!("expected item"),
+        }
+        q.try_push(3).unwrap();
+        match q.pop(Duration::from_millis(1)) {
+            Popped::Item(v) => assert_eq!(v, 2),
+            _ => panic!("expected item"),
+        }
+    }
+
+    #[test]
+    fn idle_then_drain_then_closed() {
+        let q: WorkQueue<u32> = WorkQueue::new(4);
+        let start = Instant::now();
+        assert!(matches!(q.pop(Duration::from_millis(5)), Popped::Idle));
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        assert!(matches!(q.pop(Duration::from_millis(1)), Popped::Item(7)));
+        assert!(matches!(q.pop(Duration::from_millis(1)), Popped::Closed));
+    }
+
+    #[test]
+    fn push_wait_unblocks_when_consumer_drains() {
+        let q = Arc::new(WorkQueue::new(1));
+        q.try_push(1u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(2))
+        };
+        // Give the producer a moment to block on the full queue, then
+        // drain one item; the waiting push must land behind it.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(matches!(q.pop(Duration::from_millis(100)), Popped::Item(1)));
+        producer.join().unwrap().unwrap();
+        assert!(matches!(q.pop(Duration::from_millis(100)), Popped::Item(2)));
+    }
+
+    #[test]
+    fn close_wakes_blocked_push() {
+        let q = Arc::new(WorkQueue::new(1));
+        q.try_push(1u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(2))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(PushError::Closed));
+    }
+}

@@ -1,0 +1,282 @@
+//! Fixed-seed chaos campaign against a multi-session streaming server.
+//!
+//! Phase 1 — **fault containment**: a deterministic `ffdl-fault`
+//! campaign (one worker panic, two NaN activations, two latency
+//! spikes, `rate = 1.0`) fires into an interleaved 6-session workload.
+//! The contract under test:
+//!
+//! * **zero lost responses** — every admitted step id appears in
+//!   exactly one of `responses` / `failures`, every refusal at submit
+//!   time is a typed [`StreamError`];
+//! * **faulted sessions quarantine** — a panic or NaN step flips only
+//!   that session; its queued steps fail
+//!   [`FailureKind::SessionQuarantined`];
+//! * **neighbour isolation** — every successful response of *every*
+//!   session (including a faulted session's pre-fault prefix) is
+//!   bit-identical to a single-threaded replay of that session's
+//!   tokens. Faults never leak across per-session hidden state.
+//!
+//! Phase 2 — **generation health**: an all-NaN successor is hot-swapped
+//! in mid-stream; after `unhealthy_threshold` typed failures the
+//! generation is quarantined and the server auto-rolls back through
+//! the registry, and a fresh session serves bit-exact predictions on
+//! the restored weights.
+//!
+//! Everything is in ONE `#[test]`: the fault injector is
+//! process-global, so concurrent tests in this binary would steal each
+//! other's budgets.
+
+use ffdl_fault::FaultPlan;
+use ffdl_nn::Network;
+use ffdl_registry::ModelStore;
+use ffdl_serve::{FailureKind, HealthConfig};
+use ffdl_stream::{StreamConfig, StreamError, StreamServer};
+use ffdl_tensor::Tensor;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+const ARCH: &str = "input 8\ncirculant_gru 16 block=4\nfc 4\nsoftmax\n";
+const FEATURES: usize = 8;
+const SEED: u64 = 0x57AB_1E5E;
+
+const SESSIONS: u64 = 6;
+const STEPS: usize = 10;
+
+fn network(seed: u64) -> Network {
+    ffdl_deploy::parse_architecture(ARCH, seed)
+        .expect("arch")
+        .network
+}
+
+/// Same topology, every parameter NaN: any step on this generation
+/// produces non-finite logits.
+fn nan_network() -> Network {
+    let mut net = network(1);
+    for layer in net.layers_mut() {
+        let poisoned: Vec<Tensor> = layer
+            .param_tensors()
+            .iter()
+            .map(|t| Tensor::from_fn(t.shape(), |_| f32::NAN))
+            .collect();
+        layer.load_params(&poisoned).expect("load NaN params");
+    }
+    net
+}
+
+fn token(session: u64, step: usize) -> Tensor {
+    Tensor::from_fn(&[FEATURES], |i| {
+        ((session as usize * 131 + step * 17 + i) as f32 * 0.083).sin()
+    })
+}
+
+fn drain(server: &StreamServer) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.inflight_steps() != 0 {
+        assert!(Instant::now() < deadline, "steps did not drain");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn seeded_campaign_quarantines_faulted_sessions_and_spares_neighbours() {
+    let dir = std::env::temp_dir().join(format!("ffdl-stream-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::open(&dir).expect("open store");
+    store.publish("gru", &network(21), "chaos").expect("publish");
+
+    // ---- Phase 1: fault campaign into a multi-session workload ----
+    let config = StreamConfig {
+        workers: 2,
+        health: HealthConfig {
+            check_finite: true,
+            unhealthy_threshold: 0, // injected NaNs must not replace the model
+        },
+        ..Default::default()
+    };
+    let server = StreamServer::start_from_store(&store, "gru", &config).expect("start");
+    for session in 0..SESSIONS {
+        server.open_session(session).expect("open");
+    }
+
+    ffdl_fault::arm(FaultPlan {
+        seed: SEED,
+        panic_budget: 1,
+        latency_budget: 2,
+        latency_spike: Duration::from_millis(3),
+        nan_budget: 2,
+        bitflip_budget: 0,
+        rate: 1.0,
+    });
+
+    // Interleaved submission: worker queues hold several sessions'
+    // steps at once while the injector fires. id encodes (session,
+    // step) so responses can be checked against the replay reference.
+    let mut admitted: HashSet<u64> = HashSet::new();
+    for step in 0..STEPS {
+        for session in 0..SESSIONS {
+            let id = session * 100 + step as u64;
+            match server.step(session, id, token(session, step)) {
+                Ok(()) => {
+                    admitted.insert(id);
+                }
+                // A worker already quarantined this session while we
+                // were still submitting: a typed refusal, not a loss.
+                Err(StreamError::SessionQuarantined(s)) => assert_eq!(s, session),
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    drain(&server);
+    let summary = ffdl_fault::disarm();
+    assert_eq!(summary.panics, 1, "panic budget must fire: {summary:?}");
+    assert_eq!(
+        summary.nan_activations, 2,
+        "NaN budget must fire: {summary:?}"
+    );
+
+    // Replay reference, per session, with the injector disarmed.
+    let mut expected: HashMap<u64, Vec<Vec<f32>>> = HashMap::new();
+    for session in 0..SESSIONS {
+        let tokens: Vec<Tensor> = (0..STEPS).map(|s| token(session, s)).collect();
+        expected.insert(
+            session,
+            server
+                .replay(&tokens)
+                .expect("replay")
+                .into_iter()
+                .map(|p| p.probabilities)
+                .collect(),
+        );
+    }
+    let report = server.finish().expect("finish");
+
+    // Zero lost responses: admitted ids partition exactly into
+    // responses and typed failures.
+    let mut seen: HashSet<u64> = HashSet::new();
+    for r in &report.serve.responses {
+        assert!(seen.insert(r.id), "duplicate response id {}", r.id);
+    }
+    for f in &report.serve.failures {
+        assert!(seen.insert(f.id), "id {} answered twice", f.id);
+        assert!(
+            matches!(
+                f.kind,
+                FailureKind::WorkerPanic
+                    | FailureKind::UnhealthyModel
+                    | FailureKind::SessionQuarantined
+            ),
+            "unexpected failure kind {:?}",
+            f.kind
+        );
+    }
+    assert_eq!(seen, admitted, "admitted steps lost or invented");
+
+    // The faulted sessions are exactly those with a panic or NaN
+    // failure; the campaign must have hit at least one and spared at
+    // least one.
+    let faulted: HashSet<u64> = report
+        .serve
+        .failures
+        .iter()
+        .filter(|f| f.kind != FailureKind::SessionQuarantined)
+        .map(|f| f.id / 100)
+        .collect();
+    assert!(!faulted.is_empty(), "campaign fired into no session");
+    assert!(
+        faulted.len() < SESSIONS as usize,
+        "campaign faulted every session; no neighbours left to check"
+    );
+    assert_eq!(report.sessions_quarantined, faulted.len() as u64);
+    // Quarantined-step failures only ever follow a real fault in the
+    // same session.
+    for f in &report.serve.failures {
+        if f.kind == FailureKind::SessionQuarantined {
+            assert!(
+                faulted.contains(&(f.id / 100)),
+                "session {} quarantined without a fault",
+                f.id / 100
+            );
+        }
+    }
+
+    // Neighbour isolation: every successful response — neighbours in
+    // full, faulted sessions up to their fault — is bit-identical to
+    // the single-threaded replay at the same step.
+    let mut clean_per_session: HashMap<u64, usize> = HashMap::new();
+    for r in &report.serve.responses {
+        let (session, step) = (r.id / 100, (r.id % 100) as usize);
+        assert_eq!(
+            r.prediction.probabilities, expected[&session][step],
+            "session {session} step {step} diverged under faults"
+        );
+        *clean_per_session.entry(session).or_default() += 1;
+    }
+    for session in 0..SESSIONS {
+        if !faulted.contains(&session) {
+            assert_eq!(
+                clean_per_session.get(&session),
+                Some(&STEPS),
+                "neighbour session {session} lost steps"
+            );
+        }
+    }
+    assert!(report.serve.worker_restarts >= 1, "panic must restart");
+    assert_eq!(report.serve.auto_rollbacks, 0);
+
+    // ---- Phase 2: NaN generation quarantine + auto-rollback ----
+    let config = StreamConfig {
+        health: HealthConfig {
+            check_finite: true,
+            unhealthy_threshold: 2,
+        },
+        ..Default::default()
+    };
+    let server = StreamServer::start_from_store(&store, "gru", &config).expect("restart");
+    server.open_session(1).expect("open");
+    server.step(1, 0, token(1, 0)).expect("healthy step");
+    drain(&server);
+
+    store.publish("gru", &nan_network(), "bad").expect("publish bad");
+    assert_eq!(server.swap_from_store(None).expect("swap"), 2);
+
+    // One NaN step quarantines its session without reaching the
+    // threshold, so trip it from two sessions.
+    server.open_session(2).expect("open 2");
+    server.open_session(3).expect("open 3");
+    server.step(2, 10, token(2, 0)).expect("submit");
+    drain(&server);
+    server.step(3, 11, token(3, 0)).expect("submit");
+    drain(&server);
+
+    // The rollback installed a third server generation carrying the
+    // healthy weights; a fresh session serves bit-exact predictions.
+    server.open_session(4).expect("open 4");
+    server.step(4, 20, token(4, 0)).expect("submit");
+    drain(&server);
+    let expected_probs = server.replay(&[token(4, 0)]).expect("replay")[0]
+        .probabilities
+        .clone();
+
+    let report = server.finish().expect("finish");
+    assert_eq!(report.serve.quarantines, 1, "{report}");
+    assert_eq!(report.serve.auto_rollbacks, 1, "{report}");
+    assert_eq!(report.serve.model_generation, 3);
+    assert_eq!(report.sessions_quarantined, 2);
+    let nan_failures = report
+        .serve
+        .failures
+        .iter()
+        .filter(|f| f.kind == FailureKind::UnhealthyModel)
+        .count();
+    assert_eq!(nan_failures, 2, "{:?}", report.serve.failures);
+    let recovered = report
+        .serve
+        .responses
+        .iter()
+        .find(|r| r.id == 20)
+        .expect("post-rollback step answered");
+    assert_eq!(recovered.generation, 3);
+    assert_eq!(recovered.prediction.probabilities, expected_probs);
+
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,100 @@
+//! Seed-replayable determinism property: a session stepped one token
+//! at a time is bit-identical to replaying the same tokens through the
+//! recurrent layer after a full wire-format serialization round-trip.
+//!
+//! Failures print the case seed; `FFDL_PROP_REPLAY=<seed>` re-runs
+//! exactly that case.
+
+use ffdl_core::{full_registry, CirculantGru};
+use ffdl_nn::{load_network, save_network, Network};
+use ffdl_rng::prop::check;
+use ffdl_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng, SmallRng};
+use ffdl_stream::StreamEngine;
+use ffdl_tensor::Tensor;
+
+/// One generated case: network dimensions, a weight seed, and a token
+/// sequence. Everything needed to rebuild the exact failing network.
+#[derive(Debug)]
+struct Case {
+    in_dim: usize,
+    hidden: usize,
+    block: usize,
+    weight_seed: u64,
+    tokens: Vec<Vec<f32>>,
+}
+
+fn generate(rng: &mut SmallRng) -> Case {
+    let block = [2usize, 4][rng.gen_range(0..2usize)];
+    let in_dim = block * rng.gen_range(1..=3usize);
+    let hidden = block * rng.gen_range(1..=3usize);
+    let weight_seed = rng.next_u64();
+    let steps = rng.gen_range(1..=10usize);
+    let tokens = (0..steps)
+        .map(|_| (0..in_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    Case {
+        in_dim,
+        hidden,
+        block,
+        weight_seed,
+        tokens,
+    }
+}
+
+fn build(case: &Case) -> Network {
+    let mut weight_rng = SmallRng::seed_from_u64(case.weight_seed);
+    let cell = CirculantGru::new(case.in_dim, case.hidden, case.block, &mut weight_rng)
+        .expect("valid dims by construction");
+    let mut net = Network::new();
+    net.push(cell);
+    net
+}
+
+#[test]
+fn stepped_session_matches_replay_after_wire_roundtrip() {
+    check("stream_step_equals_roundtrip_replay", 24, generate, |case| {
+        let registry = full_registry();
+        let original = build(case);
+
+        // Wire round-trip: the exact bytes ffdl-registry publishes.
+        let mut bytes = Vec::new();
+        save_network(&original, &mut bytes).expect("serialize");
+        let rebuilt = load_network(&bytes[..], &registry).expect("deserialize");
+
+        let tokens: Vec<Tensor> = case
+            .tokens
+            .iter()
+            .map(|t| Tensor::from_vec(t.clone(), &[case.in_dim]).expect("token shape"))
+            .collect();
+
+        // Original network, stepped one token per call — the serving
+        // hot path.
+        let mut stepped_engine = StreamEngine::new(original, false);
+        let mut hidden = stepped_engine.fresh_state();
+        let mut stepped = Vec::new();
+        for t in &tokens {
+            stepped.push(
+                stepped_engine
+                    .step(&mut hidden, t)
+                    .map_err(|e| format!("step failed: {e}"))?,
+            );
+        }
+
+        // Round-tripped network, replayed whole — the reference path.
+        let mut replay_engine = StreamEngine::new(rebuilt, false);
+        let replayed = replay_engine
+            .replay(&tokens)
+            .map_err(|e| format!("replay failed: {e}"))?;
+
+        prop_assert_eq!(stepped.len(), replayed.len());
+        for (i, (s, r)) in stepped.iter().zip(&replayed).enumerate() {
+            prop_assert!(s.label == r.label, "label diverged at step {}", i);
+            prop_assert!(
+                s.probabilities == r.probabilities,
+                "step {} not bit-identical after wire round-trip",
+                i
+            );
+        }
+        Ok(())
+    });
+}

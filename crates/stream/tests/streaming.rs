@@ -1,0 +1,327 @@
+//! Acceptance tests for stateful streaming serving: a block-circulant
+//! recurrent model published through `ffdl-registry` serves N
+//! concurrent sessions with per-session hidden state, and every
+//! session's full output sequence is bit-identical to a
+//! single-threaded replay of the same tokens.
+
+use ffdl_deploy::parse_architecture;
+use ffdl_nn::Network;
+use ffdl_registry::ModelStore;
+use ffdl_serve::FailureKind;
+use ffdl_stream::{StreamConfig, StreamError, StreamEngine, StreamServer};
+use ffdl_tensor::Tensor;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const ARCH: &str = "input 8\ncirculant_gru 16 block=4\nfc 4\nsoftmax\n";
+const FEATURES: usize = 8;
+
+fn temp_store(tag: &str) -> (std::path::PathBuf, ModelStore) {
+    let dir = std::env::temp_dir().join(format!("ffdl-stream-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::open(&dir).expect("open store");
+    (dir, store)
+}
+
+fn network(seed: u64) -> Network {
+    parse_architecture(ARCH, seed).expect("arch").network
+}
+
+/// A deterministic token: session and step fully determine the values.
+fn token(session: u64, step: usize) -> Tensor {
+    Tensor::from_fn(&[FEATURES], |i| {
+        ((session as usize * 131 + step * 17 + i) as f32 * 0.083).sin()
+    })
+}
+
+/// Waits until every admitted step is answered (bounded, so a hung
+/// worker fails the test instead of wedging it).
+fn drain(server: &StreamServer) {
+    for _ in 0..2000 {
+        if server.inflight_steps() == 0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("steps did not drain");
+}
+
+#[test]
+fn published_model_serves_concurrent_sessions_bit_identical_to_replay() {
+    let (dir, store) = temp_store("accept");
+    store
+        .publish("gru", &network(21), "stream")
+        .expect("publish");
+    let config = StreamConfig {
+        workers: 2,
+        ..Default::default()
+    };
+    let server = StreamServer::start_from_store(&store, "gru", &config).expect("start");
+    assert_eq!(server.workers(), 2);
+
+    const SESSIONS: u64 = 6;
+    const STEPS: usize = 24;
+    for session in 0..SESSIONS {
+        server.open_session(session).expect("open");
+    }
+    assert_eq!(server.active_sessions(), SESSIONS as usize);
+
+    // Interleave submissions across sessions so worker queues hold
+    // steps of several sessions at once — the isolation being tested.
+    let mut ids: HashMap<u64, Vec<u64>> = HashMap::new();
+    for step in 0..STEPS {
+        for session in 0..SESSIONS {
+            let id = server.next_step_id();
+            server
+                .step(session, id, token(session, step))
+                .expect("step");
+            ids.entry(session).or_default().push(id);
+        }
+    }
+
+    // Reference: single-threaded replay on the same generation, same
+    // code path.
+    let mut expected: HashMap<u64, Vec<Vec<f32>>> = HashMap::new();
+    for session in 0..SESSIONS {
+        let tokens: Vec<Tensor> = (0..STEPS).map(|s| token(session, s)).collect();
+        expected.insert(
+            session,
+            server
+                .replay(&tokens)
+                .expect("replay")
+                .into_iter()
+                .map(|p| p.probabilities)
+                .collect(),
+        );
+    }
+
+    for session in 0..SESSIONS {
+        server.close_session(session).expect("close");
+    }
+    let report = server.finish().expect("finish");
+
+    assert_eq!(report.serve.failures.len(), 0, "{:?}", report.serve.failures);
+    assert_eq!(report.serve.requests, SESSIONS as usize * STEPS);
+    assert_eq!(report.steps, (SESSIONS as usize * STEPS) as u64);
+    assert_eq!(report.sessions_opened, SESSIONS);
+    assert_eq!(report.sessions_quarantined, 0);
+
+    // Responses indexed by id; per session, in submission order, they
+    // must match the replay bit for bit.
+    let by_id: HashMap<u64, &ffdl_serve::ServeResponse> =
+        report.serve.responses.iter().map(|r| (r.id, r)).collect();
+    for session in 0..SESSIONS {
+        let session_ids = &ids[&session];
+        let reference = &expected[&session];
+        for (step, (id, want)) in session_ids.iter().zip(reference).enumerate() {
+            let got = by_id.get(id).unwrap_or_else(|| {
+                panic!("session {session} step {step} (id {id}) has no response")
+            });
+            assert_eq!(
+                &got.prediction.probabilities, want,
+                "session {session} step {step} diverged from replay"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn sessions_stick_to_their_hashed_worker() {
+    let net = network(3);
+    let config = StreamConfig {
+        workers: 4,
+        ..Default::default()
+    };
+    let server = StreamServer::start(&net, &config).expect("start");
+    for session in 0..8u64 {
+        server.open_session(session).expect("open");
+        for step in 0..6 {
+            let id = server.next_step_id();
+            server.step(session, id, token(session, step)).expect("step");
+        }
+    }
+    // Remember the routing before the server is consumed.
+    let route: HashMap<u64, usize> = (0..8u64).map(|s| (s, server.worker_of(s))).collect();
+    let report = server.finish().expect("finish");
+    assert_eq!(report.serve.requests, 48);
+    // Every response of a session came from its sticky worker.
+    let mut ids_to_session: HashMap<u64, u64> = HashMap::new();
+    for (i, id) in (0..48u64).enumerate() {
+        ids_to_session.insert(id, (i as u64) / 6);
+    }
+    for r in &report.serve.responses {
+        let session = ids_to_session[&r.id];
+        assert_eq!(
+            r.worker, route[&session],
+            "session {session} step escaped its sticky worker"
+        );
+    }
+    // With 4 workers and 8 sessions, more than one worker served.
+    let used: std::collections::HashSet<usize> =
+        report.serve.responses.iter().map(|r| r.worker).collect();
+    assert!(used.len() > 1, "routing degenerated to one worker");
+}
+
+#[test]
+fn lifecycle_errors_are_typed() {
+    let server = StreamServer::start(&network(5), &StreamConfig::default()).expect("start");
+    assert_eq!(
+        server.step(9, 0, token(9, 0)),
+        Err(StreamError::UnknownSession(9))
+    );
+    server.open_session(9).expect("open");
+    assert_eq!(server.open_session(9), Err(StreamError::SessionExists(9)));
+    server.close_session(9).expect("close");
+    assert_eq!(
+        server.step(9, 0, token(9, 0)),
+        Err(StreamError::UnknownSession(9))
+    );
+    assert_eq!(server.close_session(9), Err(StreamError::UnknownSession(9)));
+    // Reopening a closed id is a fresh session.
+    server.open_session(9).expect("reopen");
+    server.step(9, 0, token(9, 0)).expect("step");
+    let report = server.finish().expect("finish");
+    assert_eq!(report.sessions_opened, 2);
+    assert_eq!(report.steps, 1);
+}
+
+#[test]
+fn idle_sessions_are_evicted_after_ttl() {
+    let config = StreamConfig {
+        idle_ttl: Some(Duration::from_millis(40)),
+        ..Default::default()
+    };
+    let server = StreamServer::start(&network(7), &config).expect("start");
+    server.open_session(1).expect("open");
+    server.open_session(2).expect("open");
+    server.step(1, 0, token(1, 0)).expect("step");
+    drain(&server);
+    // Both sessions idle well past the TTL; the worker sweeps on idle.
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(
+        server.step(1, 1, token(1, 1)),
+        Err(StreamError::UnknownSession(1)),
+        "evicted session must fail typed"
+    );
+    let report = server.finish().expect("finish");
+    // Session 1 was evicted by the worker that owned its state; session
+    // 2 never stepped, so no worker owns it — it stays in the directory
+    // until close/shutdown.
+    assert!(report.sessions_evicted >= 1, "{report}");
+    assert_eq!(report.steps, 1);
+}
+
+#[test]
+fn reset_on_swap_restarts_sequences_deterministically() {
+    let (dir, store) = temp_store("swap");
+    store.publish("gru", &network(100), "g1").expect("publish");
+    let server =
+        StreamServer::start_from_store(&store, "gru", &StreamConfig::default()).expect("start");
+    server.open_session(5).expect("open");
+
+    const BEFORE: usize = 7;
+    const AFTER: usize = 9;
+    for step in 0..BEFORE {
+        server
+            .step(5, step as u64, token(5, step))
+            .expect("step before swap");
+    }
+    drain(&server); // quiesce: attribute the swap to a step boundary
+    store.publish("gru", &network(200), "g2").expect("publish g2");
+    let gen = server.swap_from_store(None).expect("swap");
+    assert_eq!(gen, 2);
+    for step in BEFORE..BEFORE + AFTER {
+        server
+            .step(5, step as u64, token(5, step))
+            .expect("step after swap");
+    }
+    drain(&server);
+
+    // Reference for the post-swap half: a fresh zero state on the new
+    // model — the reset-on-swap contract.
+    let post_tokens: Vec<Tensor> = (BEFORE..BEFORE + AFTER).map(|s| token(5, s)).collect();
+    let expected_post = server.replay(&post_tokens).expect("replay");
+    // And the pre-swap half replays on the original generation.
+    let pre_tokens: Vec<Tensor> = (0..BEFORE).map(|s| token(5, s)).collect();
+    let mut g1_engine = StreamEngine::new(network(100), false);
+    let expected_pre = g1_engine.replay(&pre_tokens).expect("replay g1");
+
+    let report = server.finish().expect("finish");
+    assert_eq!(report.serve.failures.len(), 0);
+    assert_eq!(report.serve.requests, BEFORE + AFTER);
+    for r in &report.serve.responses {
+        let step = r.id as usize;
+        let want = if step < BEFORE {
+            assert_eq!(r.generation, 1, "pre-swap step served by wrong generation");
+            &expected_pre[step]
+        } else {
+            assert_eq!(r.generation, 2, "post-swap step served by wrong generation");
+            &expected_post[step - BEFORE]
+        };
+        assert_eq!(
+            r.prediction.probabilities, want.probabilities,
+            "step {step} diverged across the swap boundary"
+        );
+    }
+    assert_eq!(report.serve.model_generation, 2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn zero_deadline_sheds_steps_as_typed_failures() {
+    let config = StreamConfig {
+        deadline: Some(Duration::ZERO),
+        ..Default::default()
+    };
+    let server = StreamServer::start(&network(9), &config).expect("start");
+    server.open_session(1).expect("open");
+    for step in 0..5 {
+        server.step(1, step as u64, token(1, step)).expect("submit");
+    }
+    let report = server.finish().expect("finish");
+    assert_eq!(report.serve.requests, 0);
+    assert_eq!(report.serve.failures.len(), 5);
+    assert!(report
+        .serve
+        .failures
+        .iter()
+        .all(|f| f.kind == FailureKind::DeadlineExceeded));
+    assert_eq!(report.serve.expired, 5);
+}
+
+#[test]
+fn report_renders_stream_section_and_json_row() {
+    let server = StreamServer::start(&network(13), &StreamConfig::default()).expect("start");
+    server.open_session(0).expect("open");
+    for step in 0..3 {
+        server.step(0, step as u64, token(0, step)).expect("step");
+    }
+    server.close_session(0).expect("close");
+    let report = server.finish().expect("finish");
+    let table = format!("{report}");
+    for needle in [
+        "serve stats",
+        "stream stats",
+        "sessions opened",
+        "sessions evicted",
+        "sessions quarantined",
+        "steps answered",
+        "latency p99",
+    ] {
+        assert!(table.contains(needle), "missing {needle} in:\n{table}");
+    }
+    let row = report.json_row("w1");
+    for needle in [
+        "\"sessions\": 1",
+        "\"steps\": 3",
+        "\"p99_us\"",
+        "\"throughput_rps\"",
+    ] {
+        assert!(row.contains(needle), "missing {needle} in {row}");
+    }
+    assert!(!row.contains('\n'), "rows must stay one line: {row}");
+    let doc = ffdl_stream::stream_bench_json(&[("w1".into(), &report)]);
+    assert!(doc.contains("\"bench\": \"stream\""));
+    assert!(doc.contains("\"unit\": \"steps_per_sec\""));
+}

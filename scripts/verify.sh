@@ -268,6 +268,72 @@ awk '
     }
 ' BENCH_registry.json
 
+echo "== bench guard: disabled telemetry path in BENCH_telemetry.json =="
+# The contract that lets metric hooks live in hot loops (DESIGN.md §8):
+# with telemetry off, a guarded hook is one relaxed atomic load plus a
+# branch. The streaming worker's per-step hook pattern (counter bump +
+# latency record) must stay under 5 ns/op absolute when disabled.
+awk '
+    /"label": "disabled\/stream_step_hooks"/ { if (match($0, /"median_ns": [0-9.]+/)) ns = substr($0, RSTART + 13, RLENGTH - 13) }
+    END {
+        if (ns == "") { print "bench guard: disabled/stream_step_hooks row missing from BENCH_telemetry.json" > "/dev/stderr"; exit 1 }
+        printf "disabled stream step hooks: %.1f ns/op\n", ns
+        if (ns + 0 > 5) { print "bench guard: disabled telemetry path above 5 ns/op" > "/dev/stderr"; exit 1 }
+    }
+' BENCH_telemetry.json
+
+echo "== stream smoke test (--stream: open -> step x16 -> close) =="
+# One sticky session stepped 16 times through the block-circulant GRU.
+# The run must survive to its stream stats table, answer every step,
+# and — run twice with the same seed — produce the same prediction
+# digest: per-session hidden state makes streaming output a pure
+# function of the token sequence.
+stream_cmd() {
+    cargo run --release --offline -q -p ffdl-cli -- \
+        serve-bench --stream on --sessions 1 --steps-per-session 16 \
+        --workers 2 --seed 11
+}
+stream_out="$(stream_cmd)"
+echo "${stream_out}"
+echo "${stream_out}" | grep -q "serve-bench\[stream\]" || {
+    echo "stream smoke test: streaming header missing" >&2
+    exit 1
+}
+echo "${stream_out}" | grep -q "stream: 1 opened" || {
+    echo "stream smoke test: session ledger missing" >&2
+    exit 1
+}
+echo "${stream_out}" | grep -q "16 steps answered" || {
+    echo "stream smoke test: steps lost (expected 16 answered)" >&2
+    exit 1
+}
+echo "${stream_out}" | grep -q "stream stats" || {
+    echo "stream smoke test: run did not survive to its stats table" >&2
+    exit 1
+}
+digest1="$(echo "${stream_out}" | grep "prediction digest")"
+digest2="$(stream_cmd | grep "prediction digest")"
+if [ "${digest1}" != "${digest2}" ]; then
+    echo "stream smoke test: digest not deterministic (${digest1} vs ${digest2})" >&2
+    exit 1
+fi
+echo "stream digest stable across runs: ${digest1#prediction digest: }"
+
+echo "== bench guard: sticky-routed worker scaling in BENCH_stream.json =="
+# Sticky routing parallelises across sessions (one session's steps are
+# inherently serial), and the bench pins per-step service time with the
+# delay layer: adding a second worker must add real concurrency,
+# throughput w2 >= w1 (2% tolerance for the submitter sharing the box).
+awk '
+    /"label": "stream_w1"/ { if (match($0, /"throughput_rps": [0-9.]+/)) w1 = substr($0, RSTART + 18, RLENGTH - 18) }
+    /"label": "stream_w2"/ { if (match($0, /"throughput_rps": [0-9.]+/)) w2 = substr($0, RSTART + 18, RLENGTH - 18) }
+    END {
+        if (w1 == "" || w2 == "") { print "bench guard: stream_w* rows missing from BENCH_stream.json" > "/dev/stderr"; exit 1 }
+        printf "sticky-session scaling: w1 %.0f -> w2 %.0f steps/s\n", w1, w2
+        if (w2 + 0 < 0.98 * w1) { print "bench guard: streaming throughput not monotone 1->2 workers" > "/dev/stderr"; exit 1 }
+    }
+' BENCH_stream.json
+
 echo "== docs =="
 cargo doc --no-deps --offline --workspace
 
