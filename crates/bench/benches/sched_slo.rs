@@ -24,15 +24,21 @@
 //! * `scale_w{1,2,4}` — the same saturating load against pinned pools of
 //!   1/2/4 workers: throughput must grow monotonically (guarded), i.e.
 //!   added workers genuinely add concurrency.
+//! * `skewed_8to1_brownout` — the same 8:1 skew, but the heavy tenant
+//!   carries a three-rung precision ladder (4/2/1 ms per batch — the
+//!   f32 → int16 → int8 speedups) and the brownout controller walks it
+//!   under pressure: the light tenant must stay ≥ 0.9 attainment and
+//!   the heavy tenant ≥ 0.5 (guarded), with a dedicated brownout row
+//!   recording the peak level and the recovery to full precision.
 
 use ffdl::tensor::Tensor;
 use ffdl_registry::ModelStore;
 use ffdl_sched::{
-    delay_model, delay_registry, run_open_loop, OpenLoopPlan, PriorityClass, SchedConfig,
-    SchedReport, Scheduler, TenantSpec,
+    delay_model, delay_registry, run_open_loop, BrownoutConfig, Ladder, LadderRung, OpenLoopPlan,
+    PriorityClass, SchedConfig, SchedReport, Scheduler, TenantSpec,
 };
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const FEATURES: usize = 16;
 const CLASSES: usize = 4;
@@ -77,6 +83,20 @@ fn run(
         .collect();
     let summary = run_open_loop(&sched, &plans, duration, SEED)
         .unwrap_or_else(|e| panic!("open loop {label}: {e}"));
+    if config.brownout.is_some() {
+        // Brownout scenarios commit the whole round trip — degrade under
+        // the overload, recover to full precision once it drains — so
+        // hold the report until every ladder-bearing tenant is back at
+        // level 0 with an empty queue (bounded: the guard catches a
+        // missing recovery either way).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while (0..specs.len())
+            .any(|t| sched.tenant_queue_len(t) > 0 || sched.tenant_level(t) > 0)
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
     let report = sched.finish().unwrap_or_else(|e| panic!("finish {label}: {e}"));
     let generated: u64 = summary.generated.iter().sum();
     let rejected: u64 = summary.rejected.iter().sum();
@@ -229,6 +249,71 @@ fn main() {
             Duration::from_millis(1500),
         );
         push(&label, &r, g, j);
+    }
+
+    // The 8:1 skew again, with graceful degradation instead of shed
+    // collapse: `heavy` offers 1.5× the pool's f32 capacity but carries
+    // a pre-published three-rung ladder; the brownout controller trades
+    // its precision for queue delay and walks back up once the run's
+    // arrivals stop. `light` rides along high-class at full precision.
+    // Guards: light slo_attainment >= 0.9, heavy >= 0.5, and the
+    // brownout row must show peak_level >= 1 with final_level 0.
+    for (micros, seed, arch) in [(4000, 11, "bench-f32"), (2000, 22, "bench-int16"), (1000, 33, "bench-int8")] {
+        store
+            .publish("brownout-bench", &delay_model(FEATURES, CLASSES, micros, seed), arch)
+            .expect("publish ladder rung");
+    }
+    let mut heavy = TenantSpec::new("heavy", "brownout-bench");
+    heavy.weight = 8;
+    heavy.queue_depth = 8192;
+    heavy.ladder = Some(
+        Ladder::new(vec![
+            LadderRung { label: "f32".into(), registry_generation: 1 },
+            LadderRung { label: "int16".into(), registry_generation: 2 },
+            LadderRung { label: "int8".into(), registry_generation: 3 },
+        ])
+        .expect("three rungs make a ladder"),
+    );
+    let brownout_config = SchedConfig {
+        brownout: Some(BrownoutConfig {
+            target_delay: Duration::from_millis(20),
+            sample_every: Duration::from_millis(2),
+            window: 4,
+            degrade_ticks: 3,
+            shed_ticks: 40,
+            hold: 4,
+            max_hold: 64,
+            seed: SEED,
+        }),
+        ..pinned(1, Some(Duration::from_millis(100)))
+    };
+    let (r, g, j) = run(
+        &store,
+        "skewed_8to1_brownout",
+        &[heavy, spec("light", 1, PriorityClass::High, 256)],
+        &brownout_config,
+        &[1500.0, 150.0],
+        Duration::from_millis(1500),
+    );
+    for b in &r.brownout {
+        eprintln!(
+            "      brownout {:<4} peak level {}   final level {}   {} transitions",
+            b.tenant,
+            b.peak_level,
+            b.final_level,
+            b.events.len(),
+        );
+    }
+    push("skewed_8to1_brownout", &r, g, j);
+    for b in &r.brownout {
+        rows.push(format!(
+            "{{\"label\": \"skewed_8to1_brownout\", \"tenant\": \"{}\", \
+             \"peak_level\": {}, \"final_level\": {}, \"transitions\": {}}}",
+            b.tenant,
+            b.peak_level,
+            b.final_level,
+            b.events.len(),
+        ));
     }
 
     let mut out = String::new();

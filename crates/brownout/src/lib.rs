@@ -1,0 +1,554 @@
+//! # ffdl-brownout — closed-loop graceful degradation
+//!
+//! The paper's block-circulant FFT inference buys a compute cushion on
+//! constrained hardware, and `ffdl-quant` showed int16/int8 generations
+//! of the same model are decision-lossless at a fraction of the cost.
+//! This crate is the control loop that **spends that cushion under
+//! overload** instead of queueing requests to death:
+//!
+//! * a [`Ladder`] names the pre-published precision generations of one
+//!   tenant's model, best first (`f32 → int16 → int8`),
+//! * a [`LevelController`] per tenant samples queue delay and SLO
+//!   attainment each tick and proposes walking the tenant down the
+//!   ladder under sustained pressure (and back up once the queue has
+//!   been clear for a full window), with hysteresis holds so one noisy
+//!   sample never flaps a swap,
+//! * the same controller runs **CoDel-style early admission**: once the
+//!   head-of-queue sojourn time has exceeded the target delay for
+//!   several consecutive ticks, new arrivals should be shed *at
+//!   enqueue* ([`LevelController::shedding`]) instead of being
+//!   discovered dead at dequeue.
+//!
+//! The policy is **pure and tick-driven**: it owns no clock and no
+//! threads — a scheduler feeds it [`Sample`]s and applies the returned
+//! [`Step`]s (the `ffdl-sched` controller thread does exactly that).
+//! All randomness (the dithered hysteresis holds) comes from an
+//! `ffdl-rng` stream seeded from [`BrownoutConfig::seed`] and the
+//! tenant index, so a fixed-seed chaos run replays its brownout
+//! decisions exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffdl_brownout::{BrownoutConfig, LevelController, Sample, Step};
+//! use std::time::Duration;
+//!
+//! let cfg = BrownoutConfig::default();
+//! let mut ctl = LevelController::new(&cfg, 3, 0);
+//! // Sustained pressure: the head of the queue is far over target.
+//! let hot = Sample { head_sojourn: Some(Duration::from_millis(200)), ..Default::default() };
+//! let mut stepped_down = false;
+//! for _ in 0..cfg.window {
+//!     if ctl.observe(&hot) == Step::Down {
+//!         ctl.set_level(ctl.level() + 1);
+//!         stepped_down = true;
+//!     }
+//! }
+//! assert!(stepped_down);
+//! assert_eq!(ctl.level(), 1);
+//! assert!(ctl.shedding(), "persistent target exceedance sheds at enqueue");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ffdl_rng::{Rng, SeedableRng, SmallRng};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// One rung of a degradation ladder: a label (`"f32"`, `"int16"`, …)
+/// plus the registry generation serving that precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderRung {
+    /// Human-readable precision label, stamped into reports and typed
+    /// errors.
+    pub label: String,
+    /// Registry generation of the tenant's model at this precision.
+    pub registry_generation: u64,
+}
+
+/// A tenant's degradation ladder, best precision first. Level 0 is the
+/// full-precision generation the tenant serves when healthy; higher
+/// levels are cheaper, pre-published generations the controller falls
+/// back to under overload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ladder {
+    rungs: Vec<LadderRung>,
+}
+
+impl Ladder {
+    /// Builds a ladder from rungs ordered best precision first.
+    ///
+    /// # Errors
+    ///
+    /// `Err` (with a static reason) when fewer than two rungs are given
+    /// — a one-rung ladder has nowhere to degrade to.
+    pub fn new(rungs: Vec<LadderRung>) -> Result<Self, &'static str> {
+        if rungs.len() < 2 {
+            return Err("a degradation ladder needs at least two rungs");
+        }
+        Ok(Self { rungs })
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// `true` when the ladder has no rungs (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// The rung at `level`, if the ladder is that deep.
+    pub fn rung(&self, level: usize) -> Option<&LadderRung> {
+        self.rungs.get(level)
+    }
+
+    /// All rungs, best precision first.
+    pub fn rungs(&self) -> &[LadderRung] {
+        &self.rungs
+    }
+
+    /// The level whose rung serves `registry_generation`, if any — used
+    /// to re-sync the controller after an auto-rollback replaced the
+    /// serving generation behind its back.
+    pub fn level_of(&self, registry_generation: u64) -> Option<usize> {
+        self.rungs
+            .iter()
+            .position(|r| r.registry_generation == registry_generation)
+    }
+}
+
+/// Brownout policy knobs. The defaults suit a serving deadline in the
+/// tens of milliseconds; scale `target_delay`/`sample_every` with the
+/// workload's SLO.
+#[derive(Debug, Clone)]
+pub struct BrownoutConfig {
+    /// CoDel target: the head-of-queue sojourn time the controller
+    /// tries to keep each tenant under.
+    pub target_delay: Duration,
+    /// Controller tick interval — how often each tenant is sampled.
+    pub sample_every: Duration,
+    /// Sliding window length, in ticks, that degrade/recover decisions
+    /// are judged over.
+    pub window: usize,
+    /// Pressure ticks within the window that trigger a step down the
+    /// ladder.
+    pub degrade_ticks: usize,
+    /// Consecutive pressure ticks before enqueue-time shedding starts
+    /// (the CoDel persistence interval).
+    pub shed_ticks: usize,
+    /// Base hysteresis hold, in ticks, after any level change before
+    /// the next is considered. Dithered per step from the seeded
+    /// stream so tenants don't step in lockstep.
+    pub hold: usize,
+    /// Cap for the adaptive recovery hold (which doubles every time a
+    /// step up is followed by renewed pressure — the anti-flap rule).
+    pub max_hold: usize,
+    /// Seed for the dithered holds. Together with the tenant index it
+    /// fully determines the controller's decision stream.
+    pub seed: u64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self {
+            target_delay: Duration::from_millis(20),
+            sample_every: Duration::from_millis(2),
+            window: 8,
+            degrade_ticks: 6,
+            shed_ticks: 3,
+            hold: 8,
+            max_hold: 512,
+            seed: 0,
+        }
+    }
+}
+
+impl BrownoutConfig {
+    /// Validates the knobs; returns a static reason on the first
+    /// inconsistency.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.target_delay.is_zero() {
+            return Err("brownout target_delay must be > 0");
+        }
+        if self.sample_every.is_zero() {
+            return Err("brownout sample_every must be > 0");
+        }
+        if self.window == 0 {
+            return Err("brownout window must be >= 1 tick");
+        }
+        if self.degrade_ticks == 0 || self.degrade_ticks > self.window {
+            return Err("brownout degrade_ticks must be in 1..=window");
+        }
+        if self.shed_ticks == 0 {
+            return Err("brownout shed_ticks must be >= 1");
+        }
+        if self.hold == 0 || self.max_hold < self.hold {
+            return Err("brownout hold must be >= 1 and <= max_hold");
+        }
+        Ok(())
+    }
+}
+
+/// One controller tick's observations for one tenant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sample {
+    /// Age of the request at the head of the tenant's queue (`None`
+    /// when the queue is empty).
+    pub head_sojourn: Option<Duration>,
+    /// Responses completed within the SLO since the last tick.
+    pub slo_hits: u64,
+    /// Responses completed past the SLO since the last tick.
+    pub slo_misses: u64,
+}
+
+/// What the controller proposes after one tick. The caller performs the
+/// swap (it may refuse, e.g. a circuit-broken rung) and reports the
+/// outcome back through [`LevelController::set_level`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Stay at the current level.
+    Hold,
+    /// Degrade one level down the ladder (cheaper precision).
+    Down,
+    /// Recover one level up the ladder (better precision).
+    Up,
+}
+
+/// Per-tenant brownout state machine: a sliding pressure window, the
+/// CoDel shedding latch, and dithered hysteresis holds.
+#[derive(Debug)]
+pub struct LevelController {
+    target: Duration,
+    window_len: usize,
+    degrade_ticks: usize,
+    shed_ticks: usize,
+    hold: usize,
+    max_hold: usize,
+    levels: usize,
+    level: usize,
+    window: VecDeque<bool>,
+    consecutive_pressure: usize,
+    shedding: bool,
+    hold_left: usize,
+    /// Adaptive recovery hold: doubles when a step up is punished by
+    /// renewed pressure, decays back to `hold` after a calm recovery.
+    up_hold: usize,
+    tick: u64,
+    last_up_tick: Option<u64>,
+    calm_ticks: usize,
+    rng: SmallRng,
+}
+
+impl LevelController {
+    /// A controller for a tenant with `levels` ladder rungs. `tenant`
+    /// decorrelates the dither stream between tenants sharing one
+    /// config.
+    pub fn new(cfg: &BrownoutConfig, levels: usize, tenant: u64) -> Self {
+        let seed = ffdl_rng::splitmix64_mix(cfg.seed ^ (tenant.wrapping_mul(0x9E37_79B9) | 1));
+        Self {
+            target: cfg.target_delay,
+            window_len: cfg.window,
+            degrade_ticks: cfg.degrade_ticks,
+            shed_ticks: cfg.shed_ticks,
+            hold: cfg.hold,
+            max_hold: cfg.max_hold,
+            levels: levels.max(1),
+            level: 0,
+            window: VecDeque::with_capacity(cfg.window),
+            consecutive_pressure: 0,
+            shedding: false,
+            hold_left: 0,
+            up_hold: cfg.hold,
+            tick: 0,
+            last_up_tick: None,
+            calm_ticks: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current ladder level (0 = full precision).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Whether new arrivals should be shed at enqueue right now.
+    pub fn shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// Feeds one tick's observations; returns the proposed step. The
+    /// controller does **not** change its own level — call
+    /// [`set_level`](Self::set_level) with the level actually installed
+    /// (which may differ when a rung is circuit-broken).
+    pub fn observe(&mut self, sample: &Sample) -> Step {
+        self.tick += 1;
+        let pressure = sample.head_sojourn.is_some_and(|s| s > self.target)
+            || sample.slo_misses > 0;
+        if self.window.len() == self.window_len {
+            self.window.pop_front();
+        }
+        self.window.push_back(pressure);
+        self.consecutive_pressure = if pressure {
+            self.consecutive_pressure + 1
+        } else {
+            0
+        };
+        // CoDel latch: persistent target exceedance sheds at enqueue;
+        // one sample back at/under target releases it.
+        self.shedding = self.consecutive_pressure >= self.shed_ticks;
+        if self.hold_left > 0 {
+            self.hold_left -= 1;
+            return Step::Hold;
+        }
+        let over = self.window.iter().filter(|p| **p).count();
+        if over >= self.degrade_ticks && self.level + 1 < self.levels {
+            // Pressure returning right after a recovery means the step
+            // up was premature: double the next recovery hold. The
+            // probation period scales with the hold itself so the rule
+            // keeps biting as the hold stretches.
+            let probation = (2 * self.up_hold + 2 * self.window_len) as u64;
+            if self.last_up_tick.take().is_some_and(|t| self.tick - t <= probation) {
+                self.up_hold = (self.up_hold * 2).min(self.max_hold);
+            }
+            self.calm_ticks = 0;
+            return Step::Down;
+        }
+        if over == 0 && self.window.len() == self.window_len {
+            if self.level > 0 {
+                return Step::Up;
+            }
+            // Fully recovered and calm: decay the adaptive hold back
+            // toward the base.
+            self.calm_ticks += 1;
+            if self.calm_ticks >= 4 * self.window_len {
+                self.up_hold = (self.up_hold / 2).max(self.hold);
+                self.calm_ticks = 0;
+            }
+        }
+        Step::Hold
+    }
+
+    /// Records the level the scheduler actually installed (after a swap,
+    /// or a re-sync after an auto-rollback) and starts the dithered
+    /// hysteresis hold for it.
+    pub fn set_level(&mut self, level: usize) {
+        let level = level.min(self.levels - 1);
+        if level == self.level {
+            return;
+        }
+        let up = level < self.level;
+        self.level = level;
+        let base = if up { self.up_hold } else { self.hold };
+        // Dither in [base, base + base/2]: seeded, so replays exactly.
+        let dither = if base >= 2 {
+            (self.rng.next_u64() % (base as u64 / 2 + 1)) as usize
+        } else {
+            0
+        };
+        self.hold_left = base + dither;
+        if up {
+            self.last_up_tick = Some(self.tick);
+        } else {
+            // Fresh pressure evidence is required before judging the
+            // new, cheaper level.
+            self.window.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BrownoutConfig {
+        BrownoutConfig {
+            window: 4,
+            degrade_ticks: 3,
+            shed_ticks: 2,
+            hold: 2,
+            max_hold: 64,
+            ..Default::default()
+        }
+    }
+
+    fn hot() -> Sample {
+        Sample {
+            head_sojourn: Some(Duration::from_millis(100)),
+            ..Default::default()
+        }
+    }
+
+    fn cold() -> Sample {
+        Sample::default()
+    }
+
+    /// Drives the controller like a scheduler would: every proposed step
+    /// is applied. Returns the trace of levels after each tick.
+    fn drive(ctl: &mut LevelController, samples: &[Sample]) -> Vec<usize> {
+        samples
+            .iter()
+            .map(|s| {
+                match ctl.observe(s) {
+                    Step::Down => ctl.set_level(ctl.level() + 1),
+                    Step::Up => ctl.set_level(ctl.level() - 1),
+                    Step::Hold => {}
+                }
+                ctl.level()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let rung = |label: &str, g| LadderRung {
+            label: label.into(),
+            registry_generation: g,
+        };
+        assert!(Ladder::new(vec![rung("f32", 1)]).is_err());
+        let ladder = Ladder::new(vec![rung("f32", 1), rung("int16", 2), rung("int8", 3)])
+            .expect("three rungs");
+        assert_eq!(ladder.len(), 3);
+        assert!(!ladder.is_empty());
+        assert_eq!(ladder.rung(1).unwrap().label, "int16");
+        assert_eq!(ladder.level_of(3), Some(2));
+        assert_eq!(ladder.level_of(9), None);
+        assert_eq!(ladder.rungs()[0].registry_generation, 1);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BrownoutConfig::default().validate().is_ok());
+        let bad = |f: fn(&mut BrownoutConfig)| {
+            let mut c = BrownoutConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.target_delay = Duration::ZERO));
+        assert!(bad(|c| c.sample_every = Duration::ZERO));
+        assert!(bad(|c| c.window = 0));
+        assert!(bad(|c| c.degrade_ticks = 0));
+        assert!(bad(|c| c.degrade_ticks = c.window + 1));
+        assert!(bad(|c| c.shed_ticks = 0));
+        assert!(bad(|c| c.hold = 0));
+        assert!(bad(|c| c.max_hold = 1));
+    }
+
+    #[test]
+    fn sustained_pressure_walks_down_and_calm_recovers() {
+        let mut ctl = LevelController::new(&cfg(), 3, 0);
+        let levels = drive(&mut ctl, &vec![hot(); 40]);
+        assert_eq!(*levels.last().unwrap(), 2, "walked to the bottom rung");
+        // Monotone descent: the trace never steps up under pressure.
+        assert!(levels.windows(2).all(|w| w[1] >= w[0]), "{levels:?}");
+        let levels = drive(&mut ctl, &vec![cold(); 400]);
+        assert_eq!(*levels.last().unwrap(), 0, "recovered to full precision");
+        assert!(!ctl.shedding());
+    }
+
+    #[test]
+    fn shedding_latches_on_persistent_exceedance_only() {
+        let mut ctl = LevelController::new(&cfg(), 3, 0);
+        // One hot tick is noise, not brownout.
+        ctl.observe(&hot());
+        assert!(!ctl.shedding());
+        ctl.observe(&hot());
+        assert!(ctl.shedding(), "shed_ticks=2 consecutive pressure ticks");
+        // One clear sample releases the latch.
+        ctl.observe(&cold());
+        assert!(!ctl.shedding());
+    }
+
+    #[test]
+    fn slo_misses_count_as_pressure() {
+        let mut ctl = LevelController::new(&cfg(), 2, 0);
+        let missing = Sample {
+            head_sojourn: None,
+            slo_hits: 10,
+            slo_misses: 1,
+        };
+        let levels = drive(&mut ctl, &vec![missing; 10]);
+        assert_eq!(*levels.last().unwrap(), 1, "misses alone degrade");
+    }
+
+    #[test]
+    fn hysteresis_holds_after_a_step() {
+        let c = cfg();
+        let mut ctl = LevelController::new(&c, 4, 0);
+        let mut downs = 0;
+        let mut since_last_down = usize::MAX;
+        for _ in 0..40 {
+            match ctl.observe(&hot()) {
+                Step::Down => {
+                    // Holds space consecutive downs by at least `hold`.
+                    assert!(since_last_down >= c.hold, "step spacing {since_last_down}");
+                    ctl.set_level(ctl.level() + 1);
+                    downs += 1;
+                    since_last_down = 0;
+                }
+                _ => since_last_down = since_last_down.saturating_add(1),
+            }
+        }
+        assert!(downs >= 2);
+    }
+
+    #[test]
+    fn same_seed_same_decision_trace() {
+        let run = |seed: u64| {
+            let mut c = cfg();
+            c.seed = seed;
+            let mut ctl = LevelController::new(&c, 3, 1);
+            // A pressure/calm pattern long enough to cross several holds.
+            let samples: Vec<Sample> = (0..200)
+                .map(|i| if (i / 25) % 2 == 0 { hot() } else { cold() })
+                .collect();
+            drive(&mut ctl, &samples)
+        };
+        assert_eq!(run(7), run(7), "fixed seed replays exactly");
+        let t0 = LevelController::new(&cfg(), 3, 0);
+        let t1 = LevelController::new(&cfg(), 3, 1);
+        // Different tenants draw from decorrelated dither streams.
+        assert_ne!(format!("{:?}", t0.rng), format!("{:?}", t1.rng));
+    }
+
+    #[test]
+    fn flapping_doubles_the_recovery_hold() {
+        let c = cfg();
+        let mut ctl = LevelController::new(&c, 2, 0);
+        // Oscillating load: hot whenever the tenant is at full
+        // precision, calm whenever degraded — the pathological flap.
+        // The adaptive recovery hold must stretch each cycle, so the
+        // spacing between successive degrades grows.
+        let mut down_ticks = Vec::new();
+        let mut i = 0u64;
+        while down_ticks.len() < 4 && i < 5000 {
+            let sample = if ctl.level() > 0 { cold() } else { hot() };
+            match ctl.observe(&sample) {
+                Step::Down => {
+                    ctl.set_level(1);
+                    down_ticks.push(i);
+                }
+                Step::Up => ctl.set_level(0),
+                Step::Hold => {}
+            }
+            i += 1;
+        }
+        assert_eq!(down_ticks.len(), 4, "four full flap cycles");
+        let gaps: Vec<u64> = down_ticks.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.last().unwrap() > gaps.first().unwrap(),
+            "adaptive hold stretches under flapping: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn set_level_resyncs_and_clamps() {
+        let mut ctl = LevelController::new(&cfg(), 3, 0);
+        ctl.set_level(9);
+        assert_eq!(ctl.level(), 2, "clamped to the ladder depth");
+        ctl.set_level(0);
+        assert_eq!(ctl.level(), 0);
+    }
+}

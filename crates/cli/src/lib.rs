@@ -473,6 +473,9 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
         "stream",
         "sessions",
         "steps-per-session",
+        "brownout",
+        "ladder",
+        "target-delay-ms",
     ])?;
     let metrics = flags.get_bool("metrics")?;
     let workers = flags.get_num("workers", 1usize)?;
@@ -567,11 +570,21 @@ pub fn cmd_serve_bench(flags: &Flags) -> Result<String, CliError> {
     // --tenants N switches to the multi-tenant scheduler with an
     // open-loop Poisson driver (ffdl-sched) instead of the closed-loop
     // single-model pool.
+    let brownout_on = flags.get_bool("brownout")?;
+    if brownout_on && tenants == 0 {
+        return Err(CliError(
+            "--brownout requires --tenants N (brownout is a property of \
+             the multi-tenant scheduler)"
+                .into(),
+        ));
+    }
     if tenants > 0 {
-        if swap_every != 0 || chaos {
+        if swap_every != 0 || (chaos && !brownout_on) {
             return Err(CliError(
-                "--tenants cannot be combined with --swap-every or --chaos \
-                 (the sched chaos suite covers multi-tenant faults)"
+                "--tenants cannot be combined with --swap-every, or with \
+                 --chaos unless --brownout on (the sched chaos suite covers \
+                 multi-tenant faults; --chaos with --brownout arms an \
+                 overload spike into tenant t0)"
                     .into(),
             ));
         }
@@ -782,6 +795,11 @@ fn serve_bench_tenants(
         "tenant-classes",
     )?;
 
+    let brownout_on = flags.get_bool("brownout")?;
+    let target_delay_ms = flags.get_num("target-delay-ms", 20u64)?;
+    let chaos = flags.get("chaos").is_some();
+    let chaos_seed = flags.get_num("chaos", 0u64)?;
+
     let store_dir = std::env::temp_dir().join(format!(
         "ffdl-sched-bench-store-{}-{}",
         std::process::id(),
@@ -791,6 +809,47 @@ fn serve_bench_tenants(
     let store = ModelStore::open(&store_dir)?;
     store.publish("bench", network, arch_label)?;
 
+    // --brownout on pre-publishes the precision ladder (--ladder, a
+    // comma list of f32/int16/int12/int8 rungs) so degradation swaps at
+    // runtime are pure registry loads.
+    let mut ladder = None;
+    let mut ladder_note = None;
+    if brownout_on {
+        let rung_bits: Vec<Option<ffdl::core::QuantBits>> = flags
+            .get("ladder")
+            .unwrap_or("f32,int16,int8")
+            .split(',')
+            .map(|tok| match tok.trim() {
+                "f32" => Ok(None),
+                "int16" => Ok(Some(ffdl::core::QuantBits::Sixteen)),
+                "int12" => Ok(Some(ffdl::core::QuantBits::Twelve)),
+                "int8" => Ok(Some(ffdl::core::QuantBits::Eight)),
+                other => Err(CliError(format!(
+                    "--ladder: expected f32|int16|int12|int8, got {other:?}"
+                ))),
+            })
+            .collect::<Result<_, _>>()?;
+        let published =
+            ffdl_quant::publish_ladder(&store, "bench", network, arch_label, &rung_bits)?;
+        ladder_note = Some(
+            published
+                .iter()
+                .map(|(label, generation)| format!("{label}@gen{generation}"))
+                .collect::<Vec<_>>()
+                .join(" -> "),
+        );
+        let rungs = published
+            .into_iter()
+            .map(|(label, registry_generation)| ffdl_sched::LadderRung {
+                label,
+                registry_generation,
+            })
+            .collect();
+        ladder = Some(
+            ffdl_sched::Ladder::new(rungs).map_err(|e| CliError(format!("--ladder: {e}")))?,
+        );
+    }
+
     let specs: Vec<ffdl_sched::TenantSpec> = (0..tenants)
         .map(|i| {
             let mut spec = ffdl_sched::TenantSpec::new(format!("t{i}"), "bench");
@@ -798,6 +857,7 @@ fn serve_bench_tenants(
             spec.class = classes[i];
             spec.queue_depth = queue_depth;
             spec.rate_limit = (rate_limit > 0.0).then_some(rate_limit);
+            spec.ladder = ladder.clone();
             spec
         })
         .collect();
@@ -810,6 +870,12 @@ fn serve_bench_tenants(
         check_finite: false,
         unhealthy_threshold: 0,
         autoscale: ffdl_sched::AutoscaleConfig::default(),
+        brownout: brownout_on.then(|| ffdl_sched::BrownoutConfig {
+            target_delay: std::time::Duration::from_millis(target_delay_ms),
+            seed,
+            ..Default::default()
+        }),
+        breaker: ffdl_sched::BreakerConfig::default(),
     };
     let sched = ffdl_sched::Scheduler::start(&store, &specs, &config)?;
     let plans: Vec<ffdl_sched::OpenLoopPlan> = (0..tenants)
@@ -818,12 +884,28 @@ fn serve_bench_tenants(
             samples: samples.to_vec(),
         })
         .collect();
+    // --chaos SEED (with --brownout on) arms a single deterministic
+    // overload spike: the open-loop driver superposes 4x arrivals onto
+    // tenant t0 for the middle third of the run, which is what pushes
+    // the brownout controller down the ladder.
+    let spike_ms = duration_ms / 3;
+    if chaos {
+        ffdl::fault::arm(ffdl::fault::FaultPlan {
+            seed: chaos_seed,
+            overload_budget: 1,
+            overload_factor: 4.0,
+            overload_spike: std::time::Duration::from_millis(spike_ms),
+            rate: 1.0,
+            ..Default::default()
+        });
+    }
     let summary = ffdl_sched::run_open_loop(
         &sched,
         &plans,
         std::time::Duration::from_millis(duration_ms),
         seed,
     )?;
+    let fault_summary = chaos.then(ffdl::fault::disarm);
     let report = sched.finish()?;
     fs::remove_dir_all(&store_dir).ok();
 
@@ -851,6 +933,28 @@ fn serve_bench_tenants(
         report.scale_ups, report.scale_downs, report.peak_workers,
     )
     .expect("string write");
+    if let Some(note) = &ladder_note {
+        writeln!(out, "ladder: {note}, target delay {target_delay_ms} ms").expect("string write");
+    }
+    for stat in &report.brownout {
+        writeln!(
+            out,
+            "brownout: {} peak level {}, {} transitions, final level {}",
+            stat.tenant,
+            stat.peak_level,
+            stat.events.len(),
+            stat.final_level,
+        )
+        .expect("string write");
+    }
+    if let Some(fs) = &fault_summary {
+        writeln!(
+            out,
+            "chaos: seed {chaos_seed}, {} overload spike(s) (4x arrivals into t0 for {spike_ms} ms)",
+            fs.overload_spikes,
+        )
+        .expect("string write");
+    }
     out.push_str(&report.serve.table());
     if metrics {
         let mut snapshot = ffdl::telemetry::global().snapshot();
@@ -1197,6 +1301,7 @@ pub fn usage() -> &'static str {
                        [--tenants N] [--tenant-weights 8,1] [--tenant-classes high,normal]\n\
                        [--rate-rps F] [--rate-limit F] [--slo-ms N] [--duration-ms N]\n\
                        [--max-workers N]\n\
+                       [--brownout on] [--ladder f32,int16,int8] [--target-delay-ms N]\n\
                        [--stream on] [--sessions N] [--steps-per-session M]\n\
        ffdl model publish  --store <dir> --name <model> --arch <file>\n\
                        [--params <file>] [--seed N] [--label <arch-label>]\n\
@@ -1233,6 +1338,15 @@ pub fn usage() -> &'static str {
      Poisson arrivals at --rate-rps per tenant for --duration-ms; the\n\
      report breaks out p50/p99 and SLO attainment (vs --slo-ms) per\n\
      tenant.\n\
+     \n\
+     serve-bench --tenants N --brownout on enables closed-loop graceful\n\
+     degradation (ffdl-brownout): a pre-published precision ladder\n\
+     (--ladder, default f32,int16,int8) is walked down under sustained\n\
+     queue delay above --target-delay-ms and back up with hysteresis,\n\
+     shedding at enqueue while pressure persists; circuit breakers hold\n\
+     repeatedly-quarantined rungs out until a half-open probe passes.\n\
+     Adding --chaos SEED arms one deterministic overload spike (4x\n\
+     arrivals into tenant t0 for a third of the run).\n\
      \n\
      serve-bench --stream serves a block-circulant GRU statefully\n\
      (ffdl-stream): --sessions sticky sessions, each stepped\n\

@@ -33,6 +33,7 @@
 //! | [`FaultKind::LatencySpike`]  | `ffdl-serve` worker, before inference   | deadline expiry / tail latency          |
 //! | [`FaultKind::NanActivation`] | `ffdl-deploy` engine logits             | `DeployError::NonFinite` → serve health quarantine |
 //! | [`FaultKind::BitFlip`]       | `ffdl-registry` payload read            | `RegistryError::Corrupt` naming digests |
+//! | [`FaultKind::OverloadSpike`] | `ffdl-sched` open-loop driver / chaos tests | demand surge → brownout ladder descent |
 //!
 //! # Examples
 //!
@@ -70,9 +71,13 @@ pub enum FaultKind {
     NanActivation,
     /// A flipped bit in model bytes read back from the registry.
     BitFlip,
+    /// A demand surge aimed at one tenant: the open-loop driver (or a
+    /// chaos test) multiplies that tenant's arrival rate for a window,
+    /// driving the brownout control loop through its degradation ladder.
+    OverloadSpike,
 }
 
-const KINDS: usize = 4;
+const KINDS: usize = 5;
 
 fn slot(kind: FaultKind) -> usize {
     match kind {
@@ -80,6 +85,7 @@ fn slot(kind: FaultKind) -> usize {
         FaultKind::LatencySpike => 1,
         FaultKind::NanActivation => 2,
         FaultKind::BitFlip => 3,
+        FaultKind::OverloadSpike => 4,
     }
 }
 
@@ -104,6 +110,12 @@ pub struct FaultPlan {
     pub nan_budget: u32,
     /// Maximum injected model-byte bit flips.
     pub bitflip_budget: u32,
+    /// Maximum injected overload spikes (demand surges).
+    pub overload_budget: u32,
+    /// Arrival-rate multiplier of one injected overload spike.
+    pub overload_factor: f64,
+    /// Duration of one injected overload spike.
+    pub overload_spike: Duration,
     /// Per-opportunity firing probability in `[0, 1]`.
     pub rate: f32,
 }
@@ -117,6 +129,9 @@ impl Default for FaultPlan {
             latency_spike: Duration::from_millis(1),
             nan_budget: 0,
             bitflip_budget: 0,
+            overload_budget: 0,
+            overload_factor: 2.0,
+            overload_spike: Duration::from_millis(100),
             rate: 1.0,
         }
     }
@@ -136,6 +151,7 @@ impl FaultPlan {
             nan_budget: nan,
             bitflip_budget: 1,
             rate: 1.0,
+            ..Default::default()
         }
     }
 }
@@ -151,12 +167,15 @@ pub struct FaultSummary {
     pub nan_activations: u64,
     /// Injected bit flips.
     pub bit_flips: u64,
+    /// Injected overload spikes.
+    pub overload_spikes: u64,
 }
 
 impl FaultSummary {
     /// Total injected faults across all kinds.
     pub fn total(&self) -> u64 {
         self.panics + self.latency_spikes + self.nan_activations + self.bit_flips
+            + self.overload_spikes
     }
 }
 
@@ -164,8 +183,13 @@ impl std::fmt::Display for FaultSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} panics, {} latency spikes, {} nan activations, {} bit flips",
-            self.panics, self.latency_spikes, self.nan_activations, self.bit_flips
+            "{} panics, {} latency spikes, {} nan activations, {} bit flips, \
+             {} overload spikes",
+            self.panics,
+            self.latency_spikes,
+            self.nan_activations,
+            self.bit_flips,
+            self.overload_spikes
         )
     }
 }
@@ -176,6 +200,7 @@ struct Injector {
     fired: [u64; KINDS],
     rate: f32,
     spike: Duration,
+    overload: (f64, Duration),
 }
 
 /// Fast-path gate, mirroring `ffdl_telemetry::enabled`.
@@ -206,10 +231,12 @@ pub fn arm(plan: FaultPlan) {
             plan.latency_budget,
             plan.nan_budget,
             plan.bitflip_budget,
+            plan.overload_budget,
         ],
         fired: [0; KINDS],
         rate: plan.rate.clamp(0.0, 1.0),
         spike: plan.latency_spike,
+        overload: (plan.overload_factor, plan.overload_spike),
     });
     drop(guard);
     ARMED.store(true, Ordering::Relaxed);
@@ -226,6 +253,7 @@ pub fn disarm() -> FaultSummary {
             latency_spikes: inj.fired[1],
             nan_activations: inj.fired[2],
             bit_flips: inj.fired[3],
+            overload_spikes: inj.fired[4],
         },
         None => FaultSummary::default(),
     }
@@ -241,6 +269,7 @@ pub fn summary() -> FaultSummary {
             latency_spikes: inj.fired[1],
             nan_activations: inj.fired[2],
             bit_flips: inj.fired[3],
+            overload_spikes: inj.fired[4],
         },
         None => FaultSummary::default(),
     }
@@ -293,6 +322,26 @@ pub fn latency_spike() -> Option<Duration> {
     };
     if fire(FaultKind::LatencySpike) {
         spike
+    } else {
+        None
+    }
+}
+
+/// Returns the configured `(rate multiplier, duration)` when an
+/// overload-spike fault fires; the caller (a load driver or chaos test)
+/// applies the surge to one tenant's arrivals. Like every kind, the
+/// decision is drawn from the seeded stream, so a fixed-seed campaign
+/// spikes the same run the same way every time.
+pub fn overload_spike() -> Option<(f64, Duration)> {
+    if !enabled() {
+        return None;
+    }
+    let overload = {
+        let guard = state();
+        guard.as_ref().map(|inj| inj.overload)
+    };
+    if fire(FaultKind::OverloadSpike) {
+        overload
     } else {
         None
     }
@@ -357,6 +406,7 @@ mod tests {
         assert!(!enabled());
         assert!(!fire(FaultKind::WorkerPanic));
         assert!(latency_spike().is_none());
+        assert!(overload_spike().is_none());
         let mut bytes = [7u8; 16];
         assert!(!corrupt(&mut bytes));
         assert_eq!(bytes, [7u8; 16]);
@@ -376,6 +426,9 @@ mod tests {
             latency_budget: 1,
             nan_budget: 3,
             bitflip_budget: 1,
+            overload_budget: 1,
+            overload_factor: 3.0,
+            overload_spike: Duration::from_millis(50),
             rate: 1.0,
             ..Default::default()
         });
@@ -386,6 +439,11 @@ mod tests {
             }
             if latency_spike().is_some() {
                 fired.latency_spikes += 1;
+            }
+            if let Some((factor, window)) = overload_spike() {
+                fired.overload_spikes += 1;
+                assert_eq!(factor, 3.0);
+                assert_eq!(window, Duration::from_millis(50));
             }
             let mut logits = [0.5f32; 8];
             if poison(&mut logits) {
@@ -405,8 +463,10 @@ mod tests {
         assert_eq!(report.latency_spikes, 1);
         assert_eq!(report.nan_activations, 3);
         assert_eq!(report.bit_flips, 1);
-        assert_eq!(report.total(), 7);
+        assert_eq!(report.overload_spikes, 1);
+        assert_eq!(report.total(), 8);
         assert!(report.to_string().contains("3 nan activations"));
+        assert!(report.to_string().contains("1 overload spikes"));
     }
 
     #[test]

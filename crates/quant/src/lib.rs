@@ -69,6 +69,8 @@ pub enum QuantError {
     },
     /// An underlying model-format operation failed.
     Nn(NnError),
+    /// Publishing a ladder rung to the registry failed.
+    Registry(ffdl_registry::RegistryError),
 }
 
 impl fmt::Display for QuantError {
@@ -81,6 +83,7 @@ impl fmt::Display for QuantError {
                 write!(f, "layer {index} is already quantized; quantize the f32 parent instead")
             }
             QuantError::Nn(e) => write!(f, "model operation failed: {e}"),
+            QuantError::Registry(e) => write!(f, "ladder publish failed: {e}"),
         }
     }
 }
@@ -89,6 +92,7 @@ impl Error for QuantError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             QuantError::Nn(e) => Some(e),
+            QuantError::Registry(e) => Some(e),
             _ => None,
         }
     }
@@ -97,6 +101,12 @@ impl Error for QuantError {
 impl From<NnError> for QuantError {
     fn from(e: NnError) -> Self {
         QuantError::Nn(e)
+    }
+}
+
+impl From<ffdl_registry::RegistryError> for QuantError {
+    fn from(e: ffdl_registry::RegistryError) -> Self {
+        QuantError::Registry(e)
     }
 }
 
@@ -218,6 +228,56 @@ pub fn top1_agreement(a: &mut Network, b: &mut Network, inputs: &Tensor) -> Resu
     Ok(agree as f32 / la.len().max(1) as f32)
 }
 
+/// The conventional label for a ladder rung: `"f32"` for the unquantized
+/// parent, else the [`QuantBits`] precision (`"int16"`, `"int12"`,
+/// `"int8"`).
+pub fn rung_label(bits: Option<QuantBits>) -> &'static str {
+    match bits {
+        None => "f32",
+        Some(QuantBits::Sixteen) => "int16",
+        Some(QuantBits::Twelve) => "int12",
+        Some(QuantBits::Eight) => "int8",
+    }
+}
+
+/// Publishes a **degradation ladder** for `network` under one registry
+/// name: one generation per requested rung, in order (`None` = the f32
+/// network as given, `Some(bits)` = a [`quantize_network`] variant).
+/// Returns `(label, registry_generation)` per rung — the manifest a
+/// brownout controller needs to swap a tenant between precisions at
+/// runtime (`ffdl-sched` wires these into `ffdl_brownout::Ladder`).
+///
+/// Publishing all rungs up front is what makes the later swaps O(1) and
+/// infallible-at-degrade-time: under overload is exactly when a
+/// quantize-and-serialize round trip cannot be afforded.
+///
+/// # Errors
+///
+/// [`QuantError::Registry`] when a publish fails (the ladder may be
+/// partially published), plus any [`quantize_network`] error for a
+/// quantized rung.
+pub fn publish_ladder(
+    store: &ffdl_registry::ModelStore,
+    name: &str,
+    network: &Network,
+    arch: &str,
+    rungs: &[Option<QuantBits>],
+) -> Result<Vec<(String, u64)>, QuantError> {
+    let mut out = Vec::with_capacity(rungs.len());
+    for &bits in rungs {
+        let label = rung_label(bits);
+        let version = match bits {
+            None => store.publish(name, network, arch)?,
+            Some(bits) => {
+                let quantized = quantize_network(network, bits)?;
+                store.publish(name, &quantized, arch)?
+            }
+        };
+        out.push((label.to_string(), version.generation));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,5 +363,56 @@ mod tests {
     fn argmax_matches_manual() {
         let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.5, 0.5, 0.2], &[2, 3]).unwrap();
         assert_eq!(argmax_labels(&t), vec![1, 0]);
+    }
+
+    #[test]
+    fn publish_ladder_names_rungs_and_loads_back() {
+        use ffdl_core::full_registry;
+
+        let dir = std::env::temp_dir().join(format!(
+            "ffdl-quant-ladder-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let store = ffdl_registry::ModelStore::open(&dir).unwrap();
+        let net = sample_net();
+        let rungs = publish_ladder(
+            &store,
+            "ladder-model",
+            &net,
+            "test-arch",
+            &[None, Some(QuantBits::Sixteen), Some(QuantBits::Eight)],
+        )
+        .unwrap();
+        let labels: Vec<&str> = rungs.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["f32", "int16", "int8"]);
+        let gens: Vec<u64> = rungs.iter().map(|(_, g)| *g).collect();
+        assert_eq!(gens, [1, 2, 3], "one generation per rung, in order");
+
+        // Every rung loads back; quantized rungs are smaller on the
+        // wire and agree with the parent's decisions; each precision is
+        // deterministic (bit-identical to quantizing offline).
+        let registry = full_registry();
+        let x = eval_batch(32, 32);
+        let mut parent = ffdl_nn::clone_network(&net, &registry).unwrap();
+        for (label, generation) in &rungs {
+            let (mut loaded, version) =
+                store.load("ladder-model", Some(*generation), &registry).unwrap();
+            assert_eq!(version.generation, *generation);
+            let agreement = top1_agreement(&mut parent, &mut loaded, &x).unwrap();
+            assert!(agreement >= 0.95, "{label}: agreement {agreement}");
+            if *label != "f32" {
+                assert!(
+                    model_bytes(&loaded).unwrap() < model_bytes(&net).unwrap(),
+                    "{label} must be smaller than f32 on the wire"
+                );
+            }
+        }
+        let mut offline = quantize_network(&net, QuantBits::Eight).unwrap();
+        let (mut int8, _) = store.load("ladder-model", Some(3), &registry).unwrap();
+        let ya = int8.forward(&x).unwrap();
+        let yb = offline.forward(&x).unwrap();
+        assert_eq!(ya.as_slice(), yb.as_slice(), "published rung is bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

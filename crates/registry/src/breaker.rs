@@ -1,0 +1,385 @@
+//! Circuit breaker for model generations.
+//!
+//! A quantized generation that NaN-poisons its outputs trips the serve
+//! pool's quarantine/auto-rollback machinery — but without memory, the
+//! brownout ladder would happily swap the same broken rung back in on
+//! the next degrade and flap forever. The breaker adds that memory: a
+//! generation that trips `failure_threshold` times within
+//! `failure_window` enters [`BreakerState::Open`] with capped
+//! exponential backoff, then a single half-open probe decides between
+//! re-promotion and another (longer) backoff round.
+//!
+//! The state machine is **clock-parameterized** — every transition takes
+//! the caller's `Instant` — so the same machine drives both real serving
+//! and deterministic table-driven tests with synthesized timestamps.
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Trips within [`failure_window`](Self::failure_window) before the
+    /// breaker opens.
+    pub failure_threshold: u32,
+    /// Sliding window that trips are counted over.
+    pub failure_window: Duration,
+    /// First open-state backoff; doubles on every failed probe.
+    pub backoff: Duration,
+    /// Backoff ceiling for the exponential doubling.
+    pub max_backoff: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 2,
+            failure_window: Duration::from_secs(10),
+            backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(30),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Validates the knobs; returns a static reason on the first
+    /// inconsistency.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.failure_threshold == 0 {
+            return Err("breaker failure_threshold must be >= 1");
+        }
+        if self.failure_window.is_zero() {
+            return Err("breaker failure_window must be > 0");
+        }
+        if self.backoff.is_zero() || self.max_backoff < self.backoff {
+            return Err("breaker backoff must be > 0 and <= max_backoff");
+        }
+        Ok(())
+    }
+}
+
+/// Where the breaker is in its trip/backoff/probe cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: the generation may serve.
+    Closed,
+    /// Tripped: the generation is barred until the backoff elapses.
+    Open,
+    /// Backoff elapsed and a single probe is in flight; its outcome
+    /// closes or re-opens the breaker.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Counters the breaker has accumulated over its lifetime, for
+/// telemetry rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Total trips recorded (including those absorbed while Closed).
+    pub trips: u64,
+    /// Times the breaker transitioned Closed/HalfOpen → Open.
+    pub opens: u64,
+    /// Half-open probes started.
+    pub probes: u64,
+    /// Probes that succeeded and closed the breaker.
+    pub probe_successes: u64,
+}
+
+/// Per-generation circuit breaker. See the module docs for the state
+/// machine; all methods take the caller's clock.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Trip timestamps still inside the failure window.
+    trips: Vec<Instant>,
+    /// When the current Open backoff ends (valid while Open).
+    open_until: Option<Instant>,
+    /// Current backoff, doubled on each failed probe.
+    cur_backoff: Duration,
+    stats: BreakerStats,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given knobs.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let cur_backoff = cfg.backoff;
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            trips: Vec::new(),
+            open_until: None,
+            cur_backoff,
+            stats: BreakerStats::default(),
+        }
+    }
+
+    /// Current state. Pure — time-based Open→HalfOpen movement happens
+    /// via [`probe_ready`](Self::probe_ready)/[`begin_probe`](Self::begin_probe).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> BreakerStats {
+        self.stats
+    }
+
+    /// Whether the generation may serve right now: only while Closed.
+    /// (A half-open generation serves exactly one probe, routed through
+    /// [`begin_probe`](Self::begin_probe), not regular traffic.)
+    pub fn allows_serving(&self) -> bool {
+        self.state == BreakerState::Closed
+    }
+
+    /// Records a quarantine/rollback trip at `now`. Opens the breaker
+    /// once `failure_threshold` trips land inside `failure_window`; a
+    /// trip while HalfOpen re-opens immediately (the probe's traffic
+    /// failed before the probe verdict came back).
+    pub fn record_trip(&mut self, now: Instant) {
+        self.stats.trips += 1;
+        match self.state {
+            BreakerState::Open => {}
+            BreakerState::HalfOpen => self.reopen(now),
+            BreakerState::Closed => {
+                self.trips
+                    .retain(|t| now.duration_since(*t) < self.cfg.failure_window);
+                self.trips.push(now);
+                if self.trips.len() as u32 >= self.cfg.failure_threshold {
+                    self.reopen(now);
+                }
+            }
+        }
+    }
+
+    /// Whether the Open backoff has elapsed and a half-open probe may
+    /// begin. `false` in every other state.
+    pub fn probe_ready(&self, now: Instant) -> bool {
+        self.state == BreakerState::Open
+            && self.open_until.is_some_and(|until| now >= until)
+    }
+
+    /// Transitions Open → HalfOpen and claims the single probe slot.
+    /// Returns `false` (no transition) unless
+    /// [`probe_ready`](Self::probe_ready) — callers race-free by
+    /// construction: only the claimant runs the probe.
+    pub fn begin_probe(&mut self, now: Instant) -> bool {
+        if !self.probe_ready(now) {
+            return false;
+        }
+        self.state = BreakerState::HalfOpen;
+        self.open_until = None;
+        self.stats.probes += 1;
+        true
+    }
+
+    /// A successful half-open probe: close the breaker and reset the
+    /// backoff and trip window.
+    pub fn record_probe_success(&mut self) {
+        if self.state != BreakerState::HalfOpen {
+            return;
+        }
+        self.state = BreakerState::Closed;
+        self.trips.clear();
+        self.cur_backoff = self.cfg.backoff;
+        self.stats.probe_successes += 1;
+    }
+
+    /// A failed half-open probe: back to Open with the backoff doubled
+    /// (capped at `max_backoff`).
+    pub fn record_probe_failure(&mut self, now: Instant) {
+        if self.state != BreakerState::HalfOpen {
+            return;
+        }
+        self.cur_backoff = (self.cur_backoff * 2).min(self.cfg.max_backoff);
+        self.reopen(now);
+    }
+
+    /// Remaining backoff at `now`, while Open.
+    pub fn backoff_remaining(&self, now: Instant) -> Option<Duration> {
+        match self.state {
+            BreakerState::Open => self
+                .open_until
+                .map(|until| until.saturating_duration_since(now)),
+            _ => None,
+        }
+    }
+
+    fn reopen(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.open_until = Some(now + self.cur_backoff);
+        self.trips.clear();
+        self.stats.opens += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            failure_window: Duration::from_secs(1),
+            backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+        }
+    }
+
+    /// Events a table-driven scenario can apply, with the expected
+    /// state after each.
+    #[derive(Debug, Clone, Copy)]
+    enum Ev {
+        /// `record_trip` at +ms.
+        Trip(u64),
+        /// `begin_probe` at +ms, expecting the claim to succeed or not.
+        Probe(u64, bool),
+        /// `record_probe_success`.
+        ProbeOk,
+        /// `record_probe_failure` at +ms.
+        ProbeFail(u64),
+    }
+
+    fn run(events: &[(Ev, BreakerState)]) -> CircuitBreaker {
+        let t0 = Instant::now();
+        let at = |ms: u64| t0 + Duration::from_millis(ms);
+        let mut b = CircuitBreaker::new(cfg());
+        for (i, (ev, expect)) in events.iter().enumerate() {
+            match *ev {
+                Ev::Trip(ms) => b.record_trip(at(ms)),
+                Ev::Probe(ms, claimed) => {
+                    assert_eq!(b.begin_probe(at(ms)), claimed, "event {i}: {ev:?}")
+                }
+                Ev::ProbeOk => b.record_probe_success(),
+                Ev::ProbeFail(ms) => b.record_probe_failure(at(ms)),
+            }
+            assert_eq!(b.state(), *expect, "state after event {i}: {ev:?}");
+        }
+        b
+    }
+
+    use BreakerState::{Closed, HalfOpen, Open};
+
+    #[test]
+    fn config_validation() {
+        assert!(cfg().validate().is_ok());
+        let bad = |f: fn(&mut BreakerConfig)| {
+            let mut c = cfg();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.failure_threshold = 0));
+        assert!(bad(|c| c.failure_window = Duration::ZERO));
+        assert!(bad(|c| c.backoff = Duration::ZERO));
+        assert!(bad(|c| c.max_backoff = Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn full_cycle_closed_open_halfopen_closed() {
+        let b = run(&[
+            (Ev::Trip(0), Closed),          // 1 of 2 in window
+            (Ev::Trip(10), Open),           // threshold reached
+            (Ev::Probe(50, false), Open),   // backoff (100ms) not elapsed
+            (Ev::Probe(110, true), HalfOpen),
+            (Ev::ProbeOk, Closed),
+        ]);
+        let s = b.stats();
+        assert_eq!((s.trips, s.opens, s.probes, s.probe_successes), (2, 1, 1, 1));
+        assert!(b.allows_serving());
+    }
+
+    #[test]
+    fn trips_outside_the_window_do_not_accumulate() {
+        run(&[
+            (Ev::Trip(0), Closed),
+            (Ev::Trip(1500), Closed), // first trip aged out (1s window)
+            (Ev::Trip(1600), Open),   // but these two are within it
+        ]);
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_doubled_backoff_capped() {
+        let b = run(&[
+            (Ev::Trip(0), Closed),
+            (Ev::Trip(1), Open),             // backoff 100ms → open until 101
+            (Ev::Probe(101, true), HalfOpen),
+            (Ev::ProbeFail(200), Open),      // backoff 200ms → open until 400
+            (Ev::Probe(399, false), Open),
+            (Ev::Probe(400, true), HalfOpen),
+            (Ev::ProbeFail(500), Open),      // backoff 400ms (cap) → until 900
+            (Ev::Probe(899, false), Open),
+            (Ev::Probe(900, true), HalfOpen),
+            (Ev::ProbeFail(1000), Open),     // still 400ms: cap holds → 1400
+            (Ev::Probe(1399, false), Open),
+            (Ev::Probe(1400, true), HalfOpen),
+            (Ev::ProbeOk, Closed),
+        ]);
+        assert_eq!(b.stats().opens, 4);
+        assert_eq!(b.stats().probes, 4);
+        assert_eq!(b.stats().probe_successes, 1);
+    }
+
+    #[test]
+    fn trip_while_halfopen_reopens_immediately() {
+        run(&[
+            (Ev::Trip(0), Closed),
+            (Ev::Trip(1), Open),
+            (Ev::Probe(101, true), HalfOpen),
+            (Ev::Trip(150), Open), // live traffic failed before the probe verdict
+        ]);
+    }
+
+    #[test]
+    fn success_resets_backoff_and_trip_window() {
+        let t0 = Instant::now();
+        let at = |ms: u64| t0 + Duration::from_millis(ms);
+        let mut b = run(&[
+            (Ev::Trip(0), Closed),
+            (Ev::Trip(1), Open),
+            (Ev::Probe(101, true), HalfOpen),
+            (Ev::ProbeFail(200), Open), // backoff now 200ms
+            (Ev::Probe(400, true), HalfOpen),
+            (Ev::ProbeOk, Closed),
+        ]);
+        // Reset: one fresh trip doesn't reopen, two do — and the backoff
+        // is back to the base 100ms, not the doubled 200ms.
+        b.record_trip(at(1000));
+        assert_eq!(b.state(), Closed);
+        b.record_trip(at(1001));
+        assert_eq!(b.state(), Open);
+        assert!(!b.probe_ready(at(1100)));
+        assert!(b.probe_ready(at(1101)));
+        assert_eq!(
+            b.backoff_remaining(at(1001)),
+            Some(Duration::from_millis(100))
+        );
+    }
+
+    #[test]
+    fn trips_while_open_are_absorbed() {
+        let b = run(&[
+            (Ev::Trip(0), Closed),
+            (Ev::Trip(1), Open),
+            (Ev::Trip(50), Open), // no state change, no backoff restart
+        ]);
+        let t0_probe_ready = b.probe_ready(Instant::now() + Duration::from_secs(10));
+        assert!(t0_probe_ready, "backoff window unchanged by absorbed trip");
+        assert_eq!(b.stats().trips, 3);
+        assert_eq!(b.stats().opens, 1);
+    }
+
+    #[test]
+    fn display_names_states() {
+        assert_eq!(Closed.to_string(), "closed");
+        assert_eq!(Open.to_string(), "open");
+        assert_eq!(HalfOpen.to_string(), "half-open");
+    }
+}

@@ -55,10 +55,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod error;
 mod manifest;
 mod store;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use error::RegistryError;
 pub use manifest::{ModelVersion, MANIFEST_HEADER};
 pub use store::ModelStore;

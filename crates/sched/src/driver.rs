@@ -94,6 +94,25 @@ pub fn run_open_loop(
                 .map(|t| (t, tenant)),
         );
     }
+    // Chaos hook: an armed overload-spike fault superposes extra
+    // Poisson arrivals onto tenant 0 for a window in the middle of the
+    // horizon — rate × (factor − 1) on an independent seeded stream, so
+    // the spike is reproducible from the same seed.
+    if let Some((factor, spike)) = ffdl_fault::overload_spike() {
+        let extra_rate = plans[0].rate_rps * (factor - 1.0).max(0.0);
+        let spike_s = spike.as_secs_f64().min(horizon_s);
+        let spike_start = (horizon_s - spike_s) / 2.0;
+        if extra_rate > 0.0 && spike_s > 0.0 {
+            let spike_seed = ffdl_rng::splitmix64_mix(seed ^ 0xB10_C0DE);
+            let arrivals =
+                PoissonArrivals::new(SmallRng::seed_from_u64(spike_seed), extra_rate);
+            timeline.extend(
+                arrivals
+                    .take_while(|&t| t < spike_s)
+                    .map(|t| (spike_start + t, 0)),
+            );
+        }
+    }
     timeline.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("arrival times are finite"));
 
     let mut generated = vec![0u64; plans.len()];
@@ -122,7 +141,10 @@ pub fn run_open_loop(
         generated[tenant] += 1;
         match sched.submit(tenant, i as u64, sample) {
             Ok(()) => {}
-            Err(ServeError::TenantOverLimit { .. }) | Err(ServeError::QueueFull { .. }) => {
+            Err(ServeError::TenantOverLimit { .. })
+            | Err(ServeError::QueueFull { .. })
+            | Err(ServeError::Brownout { .. })
+            | Err(ServeError::DeadlineExceeded { .. }) => {
                 // Typed, recorded in the report as a failure; the user
                 // does not retry.
                 rejected[tenant] += 1;

@@ -5,7 +5,7 @@
 //!
 //! - a **bounded queue** with a dispatch **weight** and a strict
 //!   **priority class** — a weighted-deficit-round-robin dispatcher
-//!   ([`wdrr`]) serves backlogged same-class tenants in exact proportion
+//!   serves backlogged same-class tenants in exact proportion
 //!   to their weights, and higher classes preempt dispatch order;
 //! - **admission control** — an optional token-bucket rate budget;
 //!   over-budget traffic is rejected with
@@ -57,5 +57,14 @@ mod wdrr;
 
 pub use delay::{delay_from_config, delay_model, delay_registry, DelayLayer};
 pub use driver::{run_open_loop, OpenLoopPlan, OpenLoopSummary};
-pub use pool::{AutoscaleConfig, SchedConfig, SchedReport, ScaleEvent, Scheduler};
+pub use pool::{
+    AutoscaleConfig, BrownoutStat, LevelEvent, SchedConfig, SchedReport, ScaleEvent, Scheduler,
+};
 pub use tenant::{PriorityClass, TenantSpec};
+
+// Brownout policy types, re-exported so callers configuring
+// [`SchedConfig::brownout`] and [`TenantSpec::ladder`] need no direct
+// dependency on the policy crate.
+pub use ffdl_brownout::{BrownoutConfig, Ladder, LadderRung};
+// Circuit-breaker types backing [`SchedConfig::breaker`].
+pub use ffdl_registry::{BreakerConfig, BreakerState};

@@ -35,10 +35,11 @@
 
 use crate::tenant::{TenantSpec, TokenBucket};
 use crate::wdrr::{Dispatcher, Popped, PushRefused, QueuedRequest};
+use ffdl_brownout::{BrownoutConfig, Ladder, LevelController, Sample, Step};
 use ffdl_core::full_registry;
 use ffdl_deploy::{DeployError, InferenceEngine, NonFiniteStage};
 use ffdl_nn::{clone_network, LayerRegistry, Network};
-use ffdl_registry::ModelStore;
+use ffdl_registry::{BreakerConfig, BreakerState, CircuitBreaker, ModelStore};
 use ffdl_serve::{
     FailureKind, RunCounts, ServeError, ServeFailure, ServeReport, ServeResponse,
 };
@@ -101,6 +102,17 @@ pub struct SchedConfig {
     pub unhealthy_threshold: u32,
     /// Autoscaler policy.
     pub autoscale: AutoscaleConfig,
+    /// Closed-loop brownout policy (`None` disables it). When set,
+    /// every tenant carrying a [`TenantSpec::ladder`] gets a
+    /// [`LevelController`] that walks it down pre-published cheaper
+    /// generations under sustained queue delay, sheds at enqueue while
+    /// the pressure persists, and recovers with hysteresis.
+    pub brownout: Option<BrownoutConfig>,
+    /// Circuit-breaker policy for ladder rungs: a rung whose generation
+    /// trips quarantine/rollback repeatedly is held out of the ladder
+    /// (state [`Open`](BreakerState::Open)) until a half-open probe
+    /// predicts cleanly. Only consulted when `brownout` is set.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for SchedConfig {
@@ -114,6 +126,8 @@ impl Default for SchedConfig {
             check_finite: false,
             unhealthy_threshold: 0,
             autoscale: AutoscaleConfig::default(),
+            brownout: None,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -138,6 +152,14 @@ impl SchedConfig {
             return Err(ServeError::InvalidConfig(
                 "unhealthy_threshold requires check_finite".into(),
             ));
+        }
+        if let Some(brownout) = &self.brownout {
+            brownout
+                .validate()
+                .map_err(|e| ServeError::InvalidConfig(e.into()))?;
+            self.breaker
+                .validate()
+                .map_err(|e| ServeError::InvalidConfig(e.into()))?;
         }
         if specs.is_empty() {
             return Err(ServeError::InvalidConfig(
@@ -172,8 +194,38 @@ pub struct ScaleEvent {
 struct GenRecord {
     server_gen: u64,
     registry_gen: Option<u64>,
+    /// The originally-published registry generation these weights
+    /// descend from. Rollback republishes old weights under a *new*
+    /// registry generation; lineage maps such records back to the
+    /// ladder rung (or initial publish) they carry, so the brownout
+    /// controller can tell which rung a rolled-back tenant landed on.
+    lineage: Option<u64>,
     network: Arc<Network>,
     quarantined: bool,
+}
+
+/// One brownout ladder transition, timestamped relative to scheduler
+/// start.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelEvent {
+    /// When the swap completed, relative to [`Scheduler`] start.
+    pub at: Duration,
+    /// Ladder level the tenant moved to (0 = full precision).
+    pub level: usize,
+}
+
+/// One tenant's brownout story over a finished run.
+#[derive(Debug, Clone)]
+pub struct BrownoutStat {
+    /// Tenant name.
+    pub tenant: String,
+    /// Every ladder transition, in order. Empty when the tenant never
+    /// left full precision.
+    pub events: Vec<LevelEvent>,
+    /// Deepest ladder level reached.
+    pub peak_level: usize,
+    /// Ladder level at shutdown (0 = fully recovered).
+    pub final_level: usize,
 }
 
 struct TenantSupervision {
@@ -197,6 +249,29 @@ struct TenantSlot {
     /// observation while the run is in flight).
     served: AtomicU64,
     bucket: Option<Mutex<TokenBucket>>,
+    /// Precision ladder for brownout (only when the spec carried one
+    /// *and* [`SchedConfig::brownout`] is set).
+    ladder: Option<Ladder>,
+    /// `true` while the brownout controller wants enqueue-time
+    /// shedding for this tenant. Read lock-free on the submit path.
+    shed_active: AtomicBool,
+    /// Current ladder level (0 = full precision). Mirrors the
+    /// controller's state for lock-free observation.
+    level: AtomicUsize,
+    peak_level: AtomicUsize,
+    /// SLO hit/miss counters since the last controller tick (workers
+    /// increment after each batch; the controller drains them).
+    slo_hits: AtomicU64,
+    slo_misses: AtomicU64,
+    /// Circuit breaker per ladder rung, keyed by the rung's registry
+    /// generation.
+    breakers: Mutex<Vec<(u64, CircuitBreaker)>>,
+    /// One representative request tensor, captured at first admission,
+    /// used by half-open breaker probes.
+    probe_sample: Mutex<Option<ffdl_tensor::Tensor>>,
+    probe_captured: AtomicBool,
+    /// Every ladder transition, timestamped for the report.
+    level_events: Mutex<Vec<LevelEvent>>,
 }
 
 impl TenantSlot {
@@ -205,6 +280,7 @@ impl TenantSlot {
         sup: &mut TenantSupervision,
         network: Arc<Network>,
         registry_gen: Option<u64>,
+        lineage: Option<u64>,
     ) -> u64 {
         {
             let mut slot = self.network.lock().expect("tenant slot poisoned");
@@ -214,6 +290,7 @@ impl TenantSlot {
         sup.history.push(GenRecord {
             server_gen: generation,
             registry_gen,
+            lineage,
             network,
             quarantined: false,
         });
@@ -225,6 +302,29 @@ impl TenantSlot {
 
     fn shared(&self) -> Arc<Network> {
         Arc::clone(&self.network.lock().expect("tenant slot poisoned"))
+    }
+
+    /// Lineage (originally-published registry generation) of the given
+    /// server generation, if still retained.
+    fn lineage_of(&self, server_gen: u64) -> Option<u64> {
+        let sup = self.supervision.lock().expect("tenant supervision poisoned");
+        sup.history
+            .iter()
+            .find(|r| r.server_gen == server_gen)
+            .and_then(|r| r.lineage)
+    }
+
+    /// Records a quarantine trip against the breaker of the rung the
+    /// quarantined generation descends from (no-op for non-rung
+    /// generations).
+    fn record_breaker_trip(&self, server_gen: u64, now: Instant) {
+        let Some(lineage) = self.lineage_of(server_gen) else {
+            return;
+        };
+        let mut breakers = self.breakers.lock().expect("breakers poisoned");
+        if let Some((_, breaker)) = breakers.iter_mut().find(|(g, _)| *g == lineage) {
+            breaker.record_trip(now);
+        }
     }
 }
 
@@ -269,6 +369,10 @@ fn handle_unhealthy_tenant(
         return true; // nothing healthy left: keep failing typed
     };
     let registry_target = sup.history[target].registry_gen;
+    // The rollback republishes old weights under a fresh registry
+    // generation: carry the target's lineage forward so the brownout
+    // controller still knows which ladder rung these weights are.
+    let lineage = sup.history[target].lineage;
     let mut new_registry_gen = registry_target;
     let network = registry_target
         .and_then(|reg_gen| {
@@ -282,7 +386,7 @@ fn handle_unhealthy_tenant(
                 .ok()
         })
         .unwrap_or_else(|| Arc::clone(&sup.history[target].network));
-    slot.install(&mut sup, network, new_registry_gen);
+    slot.install(&mut sup, network, new_registry_gen, lineage);
     sup.auto_rollbacks += 1;
     true
 }
@@ -378,23 +482,31 @@ fn worker_loop(core: &Core, worker: usize) -> WorkerOutput {
                 break 'serve;
             }
         }
-        let (tenant, batch) = match core.dispatcher.pop(core.max_batch, IDLE_WAIT) {
+        let (tenant, batch, queue_expired) = match core.dispatcher.pop(core.max_batch, IDLE_WAIT) {
             Popped::Closed => break,
             Popped::Idle => continue,
-            Popped::Batch(t, batch) => (t, batch),
+            Popped::Batch(t, batch, queue_expired) => (t, batch, queue_expired),
         };
         let slot = &core.slots[tenant];
         let telemetry_on = ffdl_telemetry::enabled();
-        // Deadline shedding at dequeue, typed per tenant.
+        // Deadline shedding at dequeue, typed per tenant. The
+        // dispatcher already drained dead requests from the queue front
+        // (without charging the tenant's deficit); re-check the live
+        // batch here in case a deadline lapsed between queueing and
+        // dispatch.
         let now = Instant::now();
-        let (batch, expired): (Vec<_>, Vec<_>) = batch
+        let (batch, mut expired): (Vec<_>, Vec<_>) = batch
             .into_iter()
             .partition(|r: &QueuedRequest| r.deadline.is_none_or(|d| now < d));
+        expired.extend(queue_expired);
         let current = slot.generation.load(Ordering::Acquire);
         if !expired.is_empty() {
             if telemetry_on {
                 expired_counter.add(expired.len() as u64);
             }
+            // Expired requests are SLO misses by definition: feed the
+            // brownout pressure signal.
+            slot.slo_misses.fetch_add(expired.len() as u64, Ordering::Relaxed);
             failures.extend(expired.iter().map(|r| ServeFailure {
                 id: r.id,
                 kind: FailureKind::DeadlineExceeded,
@@ -420,6 +532,29 @@ fn worker_loop(core: &Core, worker: usize) -> WorkerOutput {
             let mut engine = InferenceEngine::new(fresh);
             engine.set_finite_check(core.check_finite);
             engines[tenant] = Some((current, engine));
+        }
+        // Second expiry check immediately before predict: the engine
+        // rebuild above can take long enough for deadlines to lapse,
+        // and a request that is already dead must never have a
+        // response computed for it.
+        let now = Instant::now();
+        let (batch, expired): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|r: &QueuedRequest| r.deadline.is_none_or(|d| now < d));
+        if !expired.is_empty() {
+            if telemetry_on {
+                expired_counter.add(expired.len() as u64);
+            }
+            slot.slo_misses.fetch_add(expired.len() as u64, Ordering::Relaxed);
+            failures.extend(expired.iter().map(|r| ServeFailure {
+                id: r.id,
+                kind: FailureKind::DeadlineExceeded,
+                generation: current,
+                tenant: Some(Arc::clone(&slot.name)),
+            }));
+        }
+        if batch.is_empty() {
+            continue;
         }
         let (_, engine) = engines[tenant].as_mut().expect("engine just built");
         if telemetry_on {
@@ -458,9 +593,14 @@ fn worker_loop(core: &Core, worker: usize) -> WorkerOutput {
                     batch.len() as u32,
                     core.unhealthy_threshold,
                 );
-                if tripped && telemetry_on {
-                    quarantine_counter.inc();
-                    rollback_counter.inc();
+                if tripped {
+                    // Quarantine counts against the circuit breaker of
+                    // the ladder rung the guilty weights descend from.
+                    slot.record_breaker_trip(current, Instant::now());
+                    if telemetry_on {
+                        quarantine_counter.inc();
+                        rollback_counter.inc();
+                    }
                 }
                 continue;
             }
@@ -483,6 +623,22 @@ fn worker_loop(core: &Core, worker: usize) -> WorkerOutput {
         };
         let done = Instant::now();
         let batch_size = batch.len();
+        // SLO accounting for the brownout controller: a response that
+        // completed past its deadline is a miss even though it was
+        // served.
+        let (hits, misses) = batch.iter().fold((0u64, 0u64), |(h, m), r| {
+            match r.deadline {
+                Some(d) if done > d => (h, m + 1),
+                Some(_) => (h + 1, m),
+                None => (h, m),
+            }
+        });
+        if hits > 0 {
+            slot.slo_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            slot.slo_misses.fetch_add(misses, Ordering::Relaxed);
+        }
         for (request, prediction) in batch.iter().zip(predictions) {
             responses.push(ServeResponse {
                 id: request.id,
@@ -503,6 +659,156 @@ fn worker_loop(core: &Core, worker: usize) -> WorkerOutput {
         telemetry: telemetry.snapshot(),
         responses,
         failures,
+    }
+}
+
+/// Loads a registry generation into a tenant's slot — the shared hot
+/// swap path for the public API and the brownout controller. `lineage`
+/// tags the record with the originally-published generation it
+/// descends from (defaults to the loaded generation itself).
+fn swap_tenant_core(
+    core: &Core,
+    tenant: usize,
+    registry_generation: Option<u64>,
+    lineage: Option<u64>,
+) -> Result<u64, ServeError> {
+    let slot = &core.slots[tenant];
+    let (network, version) = core
+        .store
+        .load(&slot.model, registry_generation, &core.layers)?;
+    let lineage = lineage.or(Some(version.generation));
+    let mut sup = slot.supervision.lock().expect("tenant supervision poisoned");
+    Ok(slot.install(&mut sup, Arc::new(network), Some(version.generation), lineage))
+}
+
+/// Mirrors a controller level change into the slot's lock-free state
+/// and the report's event log.
+fn record_level_event(core: &Core, tenant: usize, level: usize) {
+    let slot = &core.slots[tenant];
+    slot.level.store(level, Ordering::Relaxed);
+    slot.peak_level.fetch_max(level, Ordering::Relaxed);
+    slot.level_events
+        .lock()
+        .expect("level events poisoned")
+        .push(LevelEvent {
+            at: core.started.elapsed(),
+            level,
+        });
+}
+
+/// Whether a ladder rung may serve: no breaker entry, or breaker
+/// closed.
+fn rung_allowed(slot: &TenantSlot, ladder: &Ladder, level: usize) -> bool {
+    let Some(rung) = ladder.rung(level) else {
+        return false;
+    };
+    let breakers = slot.breakers.lock().expect("breakers poisoned");
+    breakers
+        .iter()
+        .find(|(g, _)| *g == rung.registry_generation)
+        .is_none_or(|(_, b)| b.allows_serving())
+}
+
+/// One brownout controller tick across every ladder-bearing tenant:
+/// sample queue delay + SLO counters, let the policy propose a step,
+/// perform the breaker-gated rung swap, and run any due half-open
+/// probes.
+fn brownout_tick(core: &Core, controllers: &mut [Option<LevelController>]) {
+    let now = Instant::now();
+    for (tenant, ctl) in controllers.iter_mut().enumerate() {
+        let Some(ctl) = ctl.as_mut() else { continue };
+        let slot = &core.slots[tenant];
+        let Some(ladder) = &slot.ladder else { continue };
+        // Re-sync after worker-side quarantine + rollback: the slot can
+        // move without the controller's involvement, and the new
+        // record's lineage says which rung the tenant landed on.
+        let current = slot.generation.load(Ordering::Acquire);
+        if let Some(actual) = slot.lineage_of(current).and_then(|g| ladder.level_of(g)) {
+            if actual != ctl.level() {
+                ctl.set_level(actual);
+                record_level_event(core, tenant, actual);
+            }
+        }
+        let sample = Sample {
+            head_sojourn: core.dispatcher.head_sojourn(tenant),
+            slo_hits: slot.slo_hits.swap(0, Ordering::Relaxed),
+            slo_misses: slot.slo_misses.swap(0, Ordering::Relaxed),
+        };
+        let step = ctl.observe(&sample);
+        slot.shed_active.store(ctl.shedding(), Ordering::Relaxed);
+        let target = match step {
+            Step::Hold => None,
+            // Degrading skips over circuit-broken rungs to the next
+            // allowed deeper one.
+            Step::Down => {
+                (ctl.level() + 1..ladder.len()).find(|&l| rung_allowed(slot, ladder, l))
+            }
+            // Recovery moves one rung at a time; a broken rung above
+            // just means staying put until its breaker closes.
+            Step::Up => ctl
+                .level()
+                .checked_sub(1)
+                .filter(|&l| rung_allowed(slot, ladder, l)),
+        };
+        if let Some(level) = target {
+            let rung_gen = ladder.rung(level).expect("level in range").registry_generation;
+            if swap_tenant_core(core, tenant, Some(rung_gen), Some(rung_gen)).is_ok() {
+                ctl.set_level(level);
+                record_level_event(core, tenant, level);
+            }
+        }
+        run_breaker_probes(core, tenant, now);
+    }
+}
+
+/// Runs at most one due half-open probe for the tenant: load the rung's
+/// weights straight from the store and predict the captured sample with
+/// the finiteness scan on — offline, so a failing probe never costs a
+/// live request.
+fn run_breaker_probes(core: &Core, tenant: usize, now: Instant) {
+    let slot = &core.slots[tenant];
+    let due: Option<u64> = {
+        let breakers = slot.breakers.lock().expect("breakers poisoned");
+        breakers
+            .iter()
+            .find(|(_, b)| b.probe_ready(now))
+            .map(|(g, _)| *g)
+    };
+    let Some(rung_gen) = due else { return };
+    let sample = slot
+        .probe_sample
+        .lock()
+        .expect("probe sample poisoned")
+        .clone();
+    let Some(sample) = sample else {
+        return; // no request shape captured yet: nothing to probe with
+    };
+    {
+        let mut breakers = slot.breakers.lock().expect("breakers poisoned");
+        let Some((_, b)) = breakers.iter_mut().find(|(g, _)| *g == rung_gen) else {
+            return;
+        };
+        if !b.begin_probe(now) {
+            return;
+        }
+    }
+    let healthy = core
+        .store
+        .load(&slot.model, Some(rung_gen), &core.layers)
+        .ok()
+        .and_then(|(network, _)| {
+            let mut engine = InferenceEngine::new(network);
+            engine.set_finite_check(true);
+            catch_unwind(AssertUnwindSafe(|| engine.predict_batch(&[&sample]))).ok()
+        })
+        .is_some_and(|outcome| outcome.is_ok());
+    let mut breakers = slot.breakers.lock().expect("breakers poisoned");
+    if let Some((_, b)) = breakers.iter_mut().find(|(g, _)| *g == rung_gen) {
+        if healthy {
+            b.record_probe_success();
+        } else {
+            b.record_probe_failure(Instant::now());
+        }
     }
 }
 
@@ -561,8 +867,32 @@ impl Scheduler {
         let layers = Arc::new(layers);
         let mut slots = Vec::with_capacity(specs.len());
         for spec in specs {
-            let (network, version) = store.load(&spec.model, None, &layers)?;
+            // Brownout tenants start on rung 0 of their ladder (full
+            // precision); every deeper rung must already be published —
+            // fail fast here rather than mid-degradation.
+            let ladder = if config.brownout.is_some() { spec.ladder.clone() } else { None };
+            let (network, version) = match &ladder {
+                Some(ladder) => {
+                    for rung in ladder.rungs().iter().skip(1) {
+                        store.load(&spec.model, Some(rung.registry_generation), &layers)?;
+                    }
+                    let rung0 = ladder.rung(0).expect("ladder has >= 2 rungs");
+                    store.load(&spec.model, Some(rung0.registry_generation), &layers)?
+                }
+                None => store.load(&spec.model, None, &layers)?,
+            };
             let shared = Arc::new(network);
+            let breakers = ladder
+                .as_ref()
+                .map(|l| {
+                    l.rungs()
+                        .iter()
+                        .map(|r| {
+                            (r.registry_generation, CircuitBreaker::new(config.breaker.clone()))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
             slots.push(TenantSlot {
                 name: Arc::from(spec.name.as_str()),
                 model: spec.model.clone(),
@@ -572,6 +902,7 @@ impl Scheduler {
                     history: vec![GenRecord {
                         server_gen: 1,
                         registry_gen: Some(version.generation),
+                        lineage: Some(version.generation),
                         network: shared,
                         quarantined: false,
                     }],
@@ -582,6 +913,16 @@ impl Scheduler {
                 }),
                 served: AtomicU64::new(0),
                 bucket: spec.rate_limit.map(|r| Mutex::new(TokenBucket::new(r))),
+                ladder,
+                shed_active: AtomicBool::new(false),
+                level: AtomicUsize::new(0),
+                peak_level: AtomicUsize::new(0),
+                slo_hits: AtomicU64::new(0),
+                slo_misses: AtomicU64::new(0),
+                breakers: Mutex::new(breakers),
+                probe_sample: Mutex::new(None),
+                probe_captured: AtomicBool::new(false),
+                level_events: Mutex::new(Vec::new()),
             });
         }
         let core = Arc::new(Core {
@@ -625,15 +966,36 @@ impl Scheduler {
 
         // Controller: samples queue depth on a fixed interval, grows
         // the pool under backlog, shrinks it after sustained idleness.
+        // The same thread runs the brownout tick (the level controllers
+        // are plain thread-local state — no locks on the policy).
         let controller = {
             let core = Arc::clone(&core);
             let autoscale = config.autoscale.clone();
             let (min, max) = (config.min_workers, config.max_workers);
+            let brownout = config.brownout.clone();
+            let mut controllers: Vec<Option<LevelController>> = specs
+                .iter()
+                .enumerate()
+                .map(|(t, spec)| {
+                    brownout.as_ref().and_then(|cfg| {
+                        spec.ladder
+                            .as_ref()
+                            .map(|l| LevelController::new(cfg, l.len(), t as u64))
+                    })
+                })
+                .collect();
             thread::spawn(move || {
                 let mut idle_since: Option<Instant> = None;
                 let mut next_worker = min;
+                let mut last_brownout = Instant::now();
                 while !core.closed.load(Ordering::Acquire) {
                     thread::sleep(autoscale.interval);
+                    if let Some(cfg) = &brownout {
+                        if last_brownout.elapsed() >= cfg.sample_every {
+                            last_brownout = Instant::now();
+                            brownout_tick(&core, &mut controllers);
+                        }
+                    }
                     let depth = core.dispatcher.len();
                     let live = core.live.load(Ordering::Acquire);
                     let target = core.target.load(Ordering::Acquire);
@@ -748,6 +1110,41 @@ impl Scheduler {
                 });
             }
         }
+        // First admission for a ladder tenant donates its feature shape
+        // to the half-open breaker probes.
+        if slot.ladder.is_some() && !slot.probe_captured.load(Ordering::Relaxed) {
+            let mut probe = slot.probe_sample.lock().expect("probe sample poisoned");
+            if probe.is_none() {
+                *probe = Some(features.clone());
+            }
+            slot.probe_captured.store(true, Ordering::Relaxed);
+        }
+        // CoDel-style early shedding: while the brownout controller has
+        // the shed latch up, refuse at enqueue instead of letting the
+        // request rot in a queue it will never clear. A request whose
+        // whole deadline is already consumed by the head-of-queue
+        // sojourn is typed as the deadline miss it is about to become;
+        // everything else is a typed brownout shed carrying the ladder
+        // level.
+        if slot.shed_active.load(Ordering::Relaxed) {
+            if self.config.deadline.is_some_and(|d| {
+                self.core
+                    .dispatcher
+                    .head_sojourn(tenant)
+                    .is_some_and(|sojourn| sojourn >= d)
+            }) {
+                self.record_admission_failure(tenant, id, FailureKind::DeadlineExceeded);
+                return Err(ServeError::DeadlineExceeded {
+                    tenant: Some(slot.name.to_string()),
+                });
+            }
+            let level = slot.level.load(Ordering::Relaxed).min(u8::MAX as usize) as u8;
+            self.record_admission_failure(tenant, id, FailureKind::Brownout { level });
+            return Err(ServeError::Brownout {
+                tenant: slot.name.to_string(),
+                level,
+            });
+        }
         let request = QueuedRequest {
             id,
             features,
@@ -785,13 +1182,51 @@ impl Scheduler {
         tenant: usize,
         registry_generation: Option<u64>,
     ) -> Result<u64, ServeError> {
-        let slot = &self.core.slots[tenant];
-        let (network, version) =
-            self.core
-                .store
-                .load(&slot.model, registry_generation, &self.core.layers)?;
-        let mut sup = slot.supervision.lock().expect("tenant supervision poisoned");
-        Ok(slot.install(&mut sup, Arc::new(network), Some(version.generation)))
+        swap_tenant_core(&self.core, tenant, registry_generation, None)
+    }
+
+    /// One tenant's current brownout ladder level (0 = full precision;
+    /// always 0 when brownout is disabled or the tenant has no ladder).
+    pub fn tenant_level(&self, tenant: usize) -> usize {
+        self.core.slots[tenant].level.load(Ordering::Relaxed)
+    }
+
+    /// Whether the brownout controller is currently shedding this
+    /// tenant's arrivals at enqueue.
+    pub fn tenant_shedding(&self, tenant: usize) -> bool {
+        self.core.slots[tenant].shed_active.load(Ordering::Relaxed)
+    }
+
+    /// Circuit-breaker state of one ladder rung (by the rung's registry
+    /// generation), or `None` when the tenant has no breaker for it.
+    pub fn tenant_breaker_state(
+        &self,
+        tenant: usize,
+        rung_generation: u64,
+    ) -> Option<BreakerState> {
+        let breakers = self.core.slots[tenant]
+            .breakers
+            .lock()
+            .expect("breakers poisoned");
+        breakers
+            .iter()
+            .find(|(g, _)| *g == rung_generation)
+            .map(|(_, b)| b.state())
+    }
+
+    /// Retained generation history for one tenant:
+    /// `(server_generation, registry_generation, lineage)` per record,
+    /// oldest first. Lineage maps rollback-republished generations back
+    /// to the originally-published generation (ladder rung) they carry.
+    pub fn tenant_history(&self, tenant: usize) -> Vec<(u64, Option<u64>, Option<u64>)> {
+        let sup = self.core.slots[tenant]
+            .supervision
+            .lock()
+            .expect("tenant supervision poisoned");
+        sup.history
+            .iter()
+            .map(|r| (r.server_gen, r.registry_gen, r.lineage))
+            .collect()
     }
 
     /// Responses served for one tenant so far (live, lock-free).
@@ -863,7 +1298,7 @@ impl Scheduler {
                     if h.join().is_err() {
                         record_error(
                             &self.core,
-                            ServeError::WorkerPanic("worker died outside batch supervision".into()),
+                            ServeError::worker_panic("worker died outside batch supervision"),
                         );
                     }
                 }
@@ -896,6 +1331,10 @@ impl Scheduler {
             .iter()
             .filter(|f| f.kind == FailureKind::DeadlineExceeded)
             .count() as u64;
+        let brownout = failures
+            .iter()
+            .filter(|f| matches!(f.kind, FailureKind::Brownout { .. }))
+            .count() as u64;
         let (quarantines, auto_rollbacks) = self.core.slots.iter().fold((0, 0), |acc, s| {
             let sup = s.supervision.lock().expect("tenant supervision poisoned");
             (acc.0 + sup.quarantines, acc.1 + sup.auto_rollbacks)
@@ -905,6 +1344,7 @@ impl Scheduler {
             worker_restarts: self.core.restarts.load(Ordering::Relaxed),
             shed: queue_full + over_limit,
             expired,
+            brownout,
             quarantines,
             auto_rollbacks,
             model_generation: self
@@ -925,6 +1365,20 @@ impl Scheduler {
             telemetry,
             self.config.deadline,
         );
+        let brownout = self
+            .core
+            .slots
+            .iter()
+            .filter(|s| s.ladder.is_some())
+            .map(|s| BrownoutStat {
+                tenant: s.name.to_string(),
+                events: std::mem::take(
+                    &mut *s.level_events.lock().expect("level events poisoned"),
+                ),
+                peak_level: s.peak_level.load(Ordering::Relaxed),
+                final_level: s.level.load(Ordering::Relaxed),
+            })
+            .collect();
         Ok(SchedReport {
             serve,
             tenants: self.core.slots.iter().map(|s| s.name.to_string()).collect(),
@@ -935,6 +1389,7 @@ impl Scheduler {
             scale_events: std::mem::take(
                 &mut *self.core.scale_events.lock().expect("scale events poisoned"),
             ),
+            brownout,
         })
     }
 }
@@ -957,6 +1412,9 @@ pub struct SchedReport {
     pub scale_downs: u64,
     /// Every pool-size change, in order.
     pub scale_events: Vec<ScaleEvent>,
+    /// Per-tenant brownout story (one entry per ladder-bearing tenant;
+    /// empty when brownout was disabled).
+    pub brownout: Vec<BrownoutStat>,
 }
 
 impl std::fmt::Display for SchedReport {
@@ -970,6 +1428,17 @@ impl std::fmt::Display for SchedReport {
             self.peak_workers,
             self.scale_ups,
             self.scale_downs
-        )
+        )?;
+        for stat in &self.brownout {
+            writeln!(
+                f,
+                "brownout: {} peak level {}, {} transitions, final level {}",
+                stat.tenant,
+                stat.peak_level,
+                stat.events.len(),
+                stat.final_level
+            )?;
+        }
+        Ok(())
     }
 }

@@ -41,8 +41,12 @@ pub(crate) enum PushRefused {
 
 /// What a worker's pop produced.
 pub(crate) enum Popped {
-    /// A batch for one tenant (index into the spec slice).
-    Batch(usize, Vec<QueuedRequest>),
+    /// A dispatch for one tenant (index into the spec slice): the live
+    /// batch to predict, plus any requests found already past their
+    /// deadline at the front of the queue — drained **without charging
+    /// the tenant's deficit** (an expired request consumed no service)
+    /// and returned so the worker records them as typed failures.
+    Batch(usize, Vec<QueuedRequest>, Vec<QueuedRequest>),
     /// Nothing arrived within the wait — the worker should re-check
     /// retirement/shutdown and pop again.
     Idle,
@@ -147,6 +151,7 @@ impl Dispatcher {
             }
         }
         // Priority preemption: the first class with backlog dispatches.
+        let now = Instant::now();
         for class in 0..state.classes.len() {
             let members = state.classes[class].clone();
             if members.is_empty() {
@@ -164,6 +169,29 @@ impl Dispatcher {
                     // any leftover deficit.
                     tq.deficit = 0;
                     continue;
+                }
+                // Dead-on-arrival drain: requests already past their
+                // deadline at the front of the queue are removed
+                // *before* the DRR turn is charged — they will never
+                // be predicted, so they must not consume the tenant's
+                // weighted share.
+                let mut expired = Vec::new();
+                while tq
+                    .queue
+                    .front()
+                    .is_some_and(|r| r.deadline.is_some_and(|d| now >= d))
+                {
+                    expired.push(tq.queue.pop_front().expect("front checked"));
+                }
+                state.total -= expired.len();
+                let tq = &mut state.tenants[idx];
+                if tq.queue.is_empty() {
+                    // The whole backlog was expired: forfeit the
+                    // deficit and hand the failures back without
+                    // starting a turn.
+                    tq.deficit = 0;
+                    state.cursors[class] = (pos + 1) % n;
+                    return Popped::Batch(idx, Vec::new(), expired);
                 }
                 if tq.deficit == 0 {
                     tq.deficit = quantum; // a fresh turn starts
@@ -185,7 +213,7 @@ impl Dispatcher {
                     state.cursors[class] = pos;
                 }
                 state.total -= take;
-                return Popped::Batch(idx, batch);
+                return Popped::Batch(idx, batch, expired);
             }
         }
         unreachable!("total > 0 but no tenant had backlog");
@@ -201,6 +229,17 @@ impl Dispatcher {
         self.state.lock().expect("dispatcher lock poisoned").tenants[tenant]
             .queue
             .len()
+    }
+
+    /// How long the request at the head of the tenant's queue has been
+    /// waiting, or `None` when the queue is empty. This is the CoDel
+    /// sojourn signal: a persistently large head sojourn means the
+    /// queue is draining slower than it fills.
+    pub(crate) fn head_sojourn(&self, tenant: usize) -> Option<Duration> {
+        self.state.lock().expect("dispatcher lock poisoned").tenants[tenant]
+            .queue
+            .front()
+            .map(|r| r.enqueued.elapsed())
     }
 
     /// Closes the dispatcher: pushes fail, pops drain and then report
@@ -244,7 +283,10 @@ mod tests {
         let mut order = Vec::new();
         while d.len() > 0 {
             match d.pop(max_batch, Duration::from_millis(10)) {
-                Popped::Batch(t, batch) => order.extend(std::iter::repeat_n(t, batch.len())),
+                Popped::Batch(t, batch, expired) => {
+                    assert!(expired.is_empty(), "deadline-free requests expired");
+                    order.extend(std::iter::repeat_n(t, batch.len()));
+                }
                 _ => break,
             }
         }
@@ -325,7 +367,7 @@ mod tests {
         d.close();
         assert!(matches!(d.push(0, req(3)), Err(PushRefused::Closed)));
         // Drains, then reports Closed.
-        assert!(matches!(d.pop(8, Duration::ZERO), Popped::Batch(0, _)));
+        assert!(matches!(d.pop(8, Duration::ZERO), Popped::Batch(0, _, _)));
         assert!(matches!(d.pop(8, Duration::ZERO), Popped::Closed));
     }
 
@@ -335,5 +377,54 @@ mod tests {
         let started = Instant::now();
         assert!(matches!(d.pop(8, Duration::from_millis(5)), Popped::Idle));
         assert!(started.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn expired_requests_never_charge_the_deficit() {
+        // Tenant a's queue front holds 4 already-expired requests ahead
+        // of 16 live ones; b holds 4 live. The expired batch must come
+        // back in the `expired` slot without starting a's turn, and a's
+        // subsequent turn must still be a full 16 (weight 4 × quantum
+        // 4) — dead requests consumed none of the weighted share.
+        let d = Dispatcher::new(
+            &[
+                spec("a", 4, PriorityClass::Normal),
+                spec("b", 1, PriorityClass::Normal),
+            ],
+            4,
+        );
+        let past = Instant::now() - Duration::from_millis(1);
+        for i in 0..4 {
+            let mut r = req(i);
+            r.deadline = Some(past);
+            assert!(d.push(0, r).is_ok());
+        }
+        fill(&d, 0, 16);
+        fill(&d, 1, 4);
+        // First pop surfaces the dead front plus the head of the live
+        // backlog in one dispatch; none of the expired charge deficit.
+        let (live0, dead0) = match d.pop(8, Duration::ZERO) {
+            Popped::Batch(0, live, dead) => (live, dead),
+            _ => panic!("expected tenant a batch"),
+        };
+        assert_eq!(dead0.len(), 4, "expired requests not drained");
+        assert!(dead0.iter().all(|r| r.id < 4));
+        assert_eq!(live0.len(), 8);
+        let order = drain_order(&d, 8);
+        // a's turn continues for the remaining 8 of its 16-deficit turn
+        // before b dispatches.
+        assert_eq!(order, vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn head_sojourn_tracks_front_request_age() {
+        let d = Dispatcher::new(&[spec("a", 1, PriorityClass::Normal)], 4);
+        assert_eq!(d.head_sojourn(0), None);
+        assert!(d.push(0, req(0)).is_ok());
+        std::thread::sleep(Duration::from_millis(2));
+        let sojourn = d.head_sojourn(0).expect("queued request has a sojourn");
+        assert!(sojourn >= Duration::from_millis(2), "sojourn {sojourn:?}");
+        assert!(matches!(d.pop(8, Duration::ZERO), Popped::Batch(0, _, _)));
+        assert_eq!(d.head_sojourn(0), None);
     }
 }

@@ -1,0 +1,460 @@
+//! Brownout chaos campaign: a seeded overload spike is driven into ONE
+//! tenant of a two-tenant scheduler, and the closed-loop controller
+//! must spend the precision ladder instead of queueing to death.
+//!
+//! Phase A (degrade / shed / recover, open-loop):
+//! * tenant `heavy` carries a three-rung ladder of pre-published
+//!   generations. The rungs are delay-model stand-ins for the
+//!   f32/int16/int8 precisions: each rung halves the pinned service
+//!   time (the speedup quantization buys), and each rung's dense
+//!   weights use a different seed so every response is attributable to
+//!   exactly one rung by its probability bits;
+//! * a seeded `ffdl-fault` overload spike (40× arrivals for 400 ms)
+//!   lands on `heavy` mid-run. The controller must walk `heavy` down
+//!   to the deepest rung, raise the CoDel shed latch (a live submit
+//!   must come back as a typed [`ServeError::Brownout`]), and walk
+//!   back to full precision once the spike passes;
+//! * every response must be bit-identical to an offline run of one of
+//!   the three rungs, all three rungs must actually have served, zero
+//!   generated requests may be lost, and tenant `light` must ride it
+//!   out at full precision with zero failures.
+//!
+//! Phase B (circuit breaker): a fresh scheduler on the same ladder is
+//! overloaded until it reaches the deepest rung, then a single seeded
+//! NaN activation poisons that rung's engine. Quarantine + rollback
+//! must land the tenant back on the middle rung, the deepest rung's
+//! breaker must trip Open, stay Open through its backoff, pass its
+//! half-open probe (the weights were never actually broken — the fault
+//! budget is spent), close, and the rung must re-enter service before
+//! the tenant finally recovers to full precision.
+//!
+//! One `#[test]`: the fault injector is process-global, so concurrent
+//! tests in this binary would steal each other's budgets.
+
+use ffdl_deploy::{InferenceEngine, Prediction};
+use ffdl_fault::FaultPlan;
+use ffdl_registry::ModelStore;
+use ffdl_sched::{
+    delay_model, delay_registry, run_open_loop, BreakerConfig, BreakerState, BrownoutConfig,
+    Ladder, LadderRung, OpenLoopPlan, PriorityClass, SchedConfig, Scheduler, TenantSpec,
+};
+use ffdl_serve::{FailureKind, ServeError};
+use ffdl_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xB1_0C0DE;
+
+/// Ladder rung registry generations, in publish order.
+const GEN_F32: u64 = 1;
+const GEN_INT16: u64 = 2;
+const GEN_INT8: u64 = 3;
+
+const HEAVY: usize = 0;
+const LIGHT: usize = 1;
+
+/// Ids for the live shed-probe submits, far above anything the
+/// open-loop driver generates.
+const EXTRA_BASE: u64 = 1_000_000;
+
+fn heavy_sample() -> Tensor {
+    Tensor::from_fn(&[16], |i| (i as f32) * 0.1 - 0.8)
+}
+
+fn light_sample() -> Tensor {
+    Tensor::from_fn(&[16], |i| ((i * 7) % 11) as f32 * 0.09)
+}
+
+fn wait_for(what: &str, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn ladder() -> Ladder {
+    Ladder::new(vec![
+        LadderRung { label: "f32".into(), registry_generation: GEN_F32 },
+        LadderRung { label: "int16".into(), registry_generation: GEN_INT16 },
+        LadderRung { label: "int8".into(), registry_generation: GEN_INT8 },
+    ])
+    .expect("three rungs make a ladder")
+}
+
+/// Offline single-sample reference prediction for one rung.
+fn rung_reference(store: &ModelStore, generation: u64, sample: &Tensor) -> Prediction {
+    let (net, _) = store
+        .load("heavy-model", Some(generation), &delay_registry())
+        .expect("load rung");
+    let mut engine = InferenceEngine::new(net);
+    engine
+        .predict(&sample.reshape(&[1, 16]).expect("reshape"))
+        .expect("offline predict")
+        .remove(0)
+}
+
+fn sched_config() -> SchedConfig {
+    SchedConfig {
+        min_workers: 1,
+        max_workers: 1, // one worker: degradation is the ladder's job,
+        // not extra parallelism's
+        max_batch: 4,
+        check_finite: true,
+        unhealthy_threshold: 2,
+        brownout: Some(BrownoutConfig {
+            target_delay: Duration::from_millis(5),
+            sample_every: Duration::from_millis(1),
+            window: 4,
+            degrade_ticks: 3,
+            // A long CoDel persistence interval so the overload builds a
+            // real backlog (and real sustained pressure) before the shed
+            // latch caps the queue.
+            shed_ticks: 40,
+            hold: 4,
+            max_hold: 64,
+            seed: SEED,
+        }),
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            failure_window: Duration::from_secs(10),
+            backoff: Duration::from_millis(250),
+            max_backoff: Duration::from_secs(2),
+        },
+        ..SchedConfig::default()
+    }
+}
+
+fn specs() -> Vec<TenantSpec> {
+    let mut heavy = TenantSpec::new("heavy", "heavy-model");
+    heavy.queue_depth = 8192;
+    heavy.ladder = Some(ladder());
+    let mut light = TenantSpec::new("light", "light-model");
+    light.class = PriorityClass::High;
+    light.queue_depth = 256;
+    vec![heavy, light]
+}
+
+#[test]
+fn overload_spike_walks_the_ladder_and_nan_rung_trips_the_breaker() {
+    let dir = std::env::temp_dir().join(format!("ffdl-sched-brownout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::open(&dir).expect("open store");
+
+    // The ladder: 4 ms / 2 ms / 1 ms per batched forward — capacity
+    // 1000 / 2000 / 4000 rps at batch 4 — with per-rung dense seeds.
+    store
+        .publish("heavy-model", &delay_model(16, 4, 4000, 11), "brownout-f32")
+        .expect("publish f32 rung");
+    store
+        .publish("heavy-model", &delay_model(16, 4, 2000, 22), "brownout-int16")
+        .expect("publish int16 rung");
+    store
+        .publish("heavy-model", &delay_model(16, 4, 1000, 33), "brownout-int8")
+        .expect("publish int8 rung");
+    store
+        .publish("light-model", &delay_model(16, 4, 200, 44), "brownout-light")
+        .expect("publish light");
+
+    let h_sample = heavy_sample();
+    let l_sample = light_sample();
+    let rung_refs: Vec<Prediction> = [GEN_F32, GEN_INT16, GEN_INT8]
+        .iter()
+        .map(|&g| rung_reference(&store, g, &h_sample))
+        .collect();
+    for (i, a) in rung_refs.iter().enumerate() {
+        for b in rung_refs.iter().skip(i + 1) {
+            assert_ne!(a.probabilities, b.probabilities, "rungs must be distinguishable");
+        }
+    }
+    let light_ref = {
+        let (net, _) = store
+            .load("light-model", Some(1), &delay_registry())
+            .expect("load light");
+        InferenceEngine::new(net)
+            .predict(&l_sample.reshape(&[1, 16]).expect("reshape"))
+            .expect("offline predict")
+            .remove(0)
+    };
+
+    let config = sched_config();
+
+    // ---------- Phase A: seeded overload spike, degrade + recover ----------
+
+    let sched = Scheduler::start_with_registry(&store, &specs(), &config, delay_registry())
+        .expect("start");
+
+    // Baseline 150 rps on heavy (capacity at full precision: 1000 rps);
+    // the armed spike multiplies arrivals by 40 for 400 ms mid-run —
+    // far past even the deepest rung's capacity.
+    ffdl_fault::arm(FaultPlan {
+        seed: SEED,
+        overload_budget: 1,
+        overload_factor: 40.0,
+        overload_spike: Duration::from_millis(400),
+        ..FaultPlan::default()
+    });
+    let plans = vec![
+        OpenLoopPlan { rate_rps: 150.0, samples: vec![h_sample.clone()] },
+        OpenLoopPlan { rate_rps: 50.0, samples: vec![l_sample.clone()] },
+    ];
+
+    let (summary, extra_submitted, shed_level) = std::thread::scope(|scope| {
+        let driver = scope.spawn(|| {
+            run_open_loop(&sched, &plans, Duration::from_millis(1200), SEED).expect("open loop")
+        });
+
+        // Live, mid-spike: the controller must reach the deepest rung
+        // and raise the shed latch; a submit against the latch must
+        // come back as a typed brownout shed.
+        wait_for("heavy to reach the deepest rung", || sched.tenant_level(HEAVY) == 2);
+        wait_for("the shed latch", || sched.tenant_shedding(HEAVY));
+        let mut extra = 0u64;
+        let shed_level;
+        let probe_deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            assert!(
+                Instant::now() < probe_deadline,
+                "never observed a typed brownout shed"
+            );
+            match sched.submit(HEAVY, EXTRA_BASE + extra, h_sample.clone()) {
+                Ok(()) => extra += 1, // latch blinked between check and submit
+                Err(ServeError::Brownout { tenant, level }) => {
+                    assert_eq!(tenant, "heavy");
+                    assert!(level >= 1, "shed while still at full precision");
+                    extra += 1;
+                    shed_level = level;
+                    break;
+                }
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        (driver.join().expect("driver thread"), extra, shed_level)
+    });
+
+    let fault_summary = ffdl_fault::disarm();
+    assert_eq!(fault_summary.overload_spikes, 1, "the spike fired exactly once");
+    assert!(shed_level >= 1);
+
+    // The spike is over and the offered load is back under capacity:
+    // heavy must drain, drop the latch and climb back to full precision.
+    wait_for("heavy to drain and recover to full precision", || {
+        sched.queue_len() == 0 && sched.tenant_level(HEAVY) == 0 && !sched.tenant_shedding(HEAVY)
+    });
+    assert_eq!(sched.tenant_level(LIGHT), 0);
+    assert!(!sched.tenant_shedding(LIGHT));
+
+    let report = sched.finish().expect("finish");
+
+    // Brownout story: heavy walked the whole ladder and came home.
+    assert!(
+        report.brownout.iter().all(|s| s.tenant == "heavy"),
+        "only the ladder-bearing tenant has a brownout story"
+    );
+    let stat = report
+        .brownout
+        .iter()
+        .find(|s| s.tenant == "heavy")
+        .expect("heavy brownout stat");
+    assert_eq!(stat.peak_level, 2, "the spike must reach the deepest rung");
+    assert_eq!(stat.final_level, 0, "heavy must recover to full precision");
+    assert!(stat.events.iter().any(|e| e.level == 2));
+    assert_eq!(stat.events.last().expect("transitions").level, 0);
+
+    // Zero lost requests, per tenant: everything the driver generated
+    // plus the live shed probes ends as exactly one response or one
+    // typed failure.
+    let count_for = |tenant: &str| {
+        report
+            .serve
+            .responses
+            .iter()
+            .filter(|r| r.tenant.as_deref() == Some(tenant))
+            .count() as u64
+            + report
+                .serve
+                .failures
+                .iter()
+                .filter(|f| f.tenant.as_deref() == Some(tenant))
+                .count() as u64
+    };
+    assert_eq!(count_for("heavy"), summary.generated[HEAVY] + extra_submitted);
+    assert_eq!(count_for("light"), summary.generated[LIGHT]);
+    assert_eq!(summary.rejected[LIGHT], 0, "the neighbour saw no admission pressure");
+    assert!(
+        report.serve.brownout > 0,
+        "the latch must have shed spike arrivals at enqueue"
+    );
+    assert!(report
+        .serve
+        .failures
+        .iter()
+        .any(|f| f.id >= EXTRA_BASE && matches!(f.kind, FailureKind::Brownout { level } if level >= 1)));
+
+    // Every heavy response is bit-identical to exactly one rung's
+    // offline run, and all three rungs actually served.
+    for response in report.serve.responses.iter().filter(|r| r.tenant.as_deref() == Some("heavy")) {
+        assert!(
+            rung_refs.iter().any(|want| {
+                response.prediction.label == want.label
+                    && response.prediction.probabilities == want.probabilities
+            }),
+            "heavy response {} matches no rung's fault-free run",
+            response.id
+        );
+    }
+    for (level, want) in rung_refs.iter().enumerate() {
+        assert!(
+            report.serve.responses.iter().any(|r| {
+                r.tenant.as_deref() == Some("heavy")
+                    && r.prediction.probabilities == want.probabilities
+            }),
+            "no heavy response was served at ladder level {level}"
+        );
+    }
+
+    // The neighbour rode out the spike untouched: full precision,
+    // bit-identical, zero failures, attainment 1.0.
+    let light_responses: Vec<_> = report
+        .serve
+        .responses
+        .iter()
+        .filter(|r| r.tenant.as_deref() == Some("light"))
+        .collect();
+    assert_eq!(light_responses.len() as u64, summary.generated[LIGHT]);
+    for response in &light_responses {
+        assert_eq!(response.generation, 1, "light served off a moved slot");
+        assert_eq!(response.prediction.label, light_ref.label);
+        assert_eq!(
+            response.prediction.probabilities, light_ref.probabilities,
+            "light response {} diverges from its fault-free run",
+            response.id
+        );
+    }
+    let light_stat = report.serve.tenants.iter().find(|t| t.tenant == "light").unwrap();
+    assert_eq!(light_stat.failed, 0);
+    assert_eq!(light_stat.brownout, 0);
+    assert_eq!(light_stat.slo_attainment, 1.0);
+    let heavy_stat = report.serve.tenants.iter().find(|t| t.tenant == "heavy").unwrap();
+    assert!(heavy_stat.brownout > 0);
+    assert_eq!(report.serve.quarantines, 0, "phase A injected no model faults");
+
+    // ---------- Phase B: NaN-poisoned deepest rung trips the breaker ----------
+
+    let sched = Scheduler::start_with_registry(
+        &store,
+        &specs()[..1],
+        &config,
+        delay_registry(),
+    )
+    .expect("start phase B");
+
+    // A standing burst: enough backlog to hold the controller at the
+    // deepest rung across the whole breaker cycle.
+    let mut submitted = 0u64;
+    for id in 0..2000u64 {
+        match sched.submit(HEAVY, id, h_sample.clone()) {
+            Ok(()) | Err(ServeError::Brownout { .. }) => submitted += 1,
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    assert_eq!(submitted, 2000);
+
+    wait_for("phase B to reach the deepest rung", || sched.tenant_level(HEAVY) == 2);
+    // Let the deepest rung actually serve a couple of batches before
+    // poisoning: unhealthy failures against an already-replaced
+    // generation are (correctly) discarded as stale, so a NaN landing
+    // on the worker's in-flight pre-swap batch would be silently spent.
+    let served_at_swap = sched.served_by_tenant(HEAVY);
+    wait_for("the deepest rung to serve", || {
+        sched.served_by_tenant(HEAVY) >= served_at_swap + 8
+    });
+    // One seeded NaN activation: the next worker batch on the int8 rung
+    // poisons its logits, the finiteness scan types the whole batch
+    // unhealthy (>= unhealthy_threshold), and the rung is quarantined.
+    // The budget is then spent — the rung's *weights* were never broken,
+    // so the eventual half-open probe must pass.
+    ffdl_fault::arm(FaultPlan { seed: SEED ^ 1, nan_budget: 1, rate: 1.0, ..FaultPlan::default() });
+
+    wait_for("quarantine + rollback", || sched.tenant_auto_rollbacks(HEAVY) >= 1);
+    wait_for("the breaker to open", || {
+        sched.tenant_breaker_state(HEAVY, GEN_INT8) == Some(BreakerState::Open)
+    });
+    wait_for("rollback to land on the middle rung", || sched.tenant_level(HEAVY) == 1);
+
+    // Open must hold through the backoff: well before the 250 ms
+    // backoff elapses, no probe may have closed it.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        sched.tenant_breaker_state(HEAVY, GEN_INT8),
+        Some(BreakerState::Open),
+        "breaker closed before its backoff elapsed"
+    );
+    // Meanwhile the controller keeps proposing Down under pressure but
+    // may not re-enter the broken rung.
+    assert_eq!(sched.tenant_level(HEAVY), 1);
+
+    // After the backoff, the controller's half-open probe predicts the
+    // rung offline, finds it finite, and closes the breaker...
+    wait_for("the half-open probe to close the breaker", || {
+        sched.tenant_breaker_state(HEAVY, GEN_INT8) == Some(BreakerState::Closed)
+    });
+    // ...and only then is the rung re-promoted into service.
+    wait_for("the probed rung to re-enter service", || sched.tenant_level(HEAVY) == 2);
+    wait_for("phase B drain and recovery", || {
+        sched.queue_len() == 0 && sched.tenant_level(HEAVY) == 0 && !sched.tenant_shedding(HEAVY)
+    });
+
+    // Lineage: the deepest rung served twice — once before the trip,
+    // once after the successful probe. Rollback gave the middle rung a
+    // fresh registry generation but carried its lineage.
+    let history = sched.tenant_history(HEAVY);
+    let int8_stints = history
+        .iter()
+        .filter(|(_, _, lineage)| *lineage == Some(GEN_INT8))
+        .count();
+    assert_eq!(int8_stints, 2, "int8 rung must serve before the trip and after the probe");
+
+    let report = sched.finish().expect("finish phase B");
+    let fault_summary = ffdl_fault::disarm();
+    assert_eq!(fault_summary.nan_activations, 1, "exactly one poisoned batch");
+
+    assert_eq!(report.serve.quarantines, 1);
+    assert_eq!(report.serve.auto_rollbacks, 1);
+    let unhealthy = report
+        .serve
+        .failures
+        .iter()
+        .filter(|f| f.kind == FailureKind::UnhealthyModel)
+        .count();
+    assert!(unhealthy >= 2, "quarantine needs >= 2 unhealthy failures, got {unhealthy}");
+
+    // Zero lost: all 2000 ids end as exactly one response or failure,
+    // and no response ever carries poisoned (non-finite) output.
+    let mut seen: Vec<u64> = report
+        .serve
+        .responses
+        .iter()
+        .map(|r| r.id)
+        .chain(report.serve.failures.iter().map(|f| f.id))
+        .collect();
+    seen.sort_unstable();
+    let expected: Vec<u64> = (0..2000).collect();
+    assert_eq!(seen, expected, "every id exactly once");
+    for response in &report.serve.responses {
+        assert!(
+            rung_refs.iter().any(|want| {
+                response.prediction.label == want.label
+                    && response.prediction.probabilities == want.probabilities
+            }),
+            "phase B response {} matches no rung's fault-free run",
+            response.id
+        );
+    }
+
+    let stat = report.brownout.iter().find(|s| s.tenant == "heavy").expect("stat");
+    assert_eq!(stat.peak_level, 2);
+    assert_eq!(stat.final_level, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

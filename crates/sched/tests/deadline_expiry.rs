@@ -1,0 +1,78 @@
+//! Regression: a request whose deadline has expired in the queue must
+//! end as a typed [`FailureKind::DeadlineExceeded`] failure and must
+//! never be dispatched to an engine — not at the queue head (the WDRR
+//! drain), not at dequeue (the batch partition), and not between
+//! engine build and predict (the pre-predict recheck).
+//!
+//! The model is a delay layer pinning service at 5 ms per batch with a
+//! 2 ms deadline: whatever the worker grabs in its first batch is
+//! served; everything still queued when that batch finishes is long
+//! expired and must surface as an expiry, not a response.
+
+use ffdl_registry::ModelStore;
+use ffdl_sched::{delay_model, delay_registry, SchedConfig, Scheduler, TenantSpec};
+use ffdl_serve::FailureKind;
+use ffdl_tensor::Tensor;
+use std::time::Duration;
+
+#[test]
+fn expired_requests_are_never_predicted() {
+    let dir = std::env::temp_dir().join(format!("ffdl-sched-expiry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::open(&dir).expect("open store");
+    store
+        .publish("slow-model", &delay_model(16, 4, 5000, 7), "deadline-expiry")
+        .expect("publish");
+
+    let config = SchedConfig {
+        min_workers: 1,
+        max_workers: 1,
+        max_batch: 4,
+        deadline: Some(Duration::from_millis(2)),
+        ..SchedConfig::default()
+    };
+    let sched = Scheduler::start_with_registry(
+        &store,
+        &[TenantSpec::new("t", "slow-model")],
+        &config,
+        delay_registry(),
+    )
+    .expect("start");
+
+    let sample = Tensor::from_fn(&[16], |i| i as f32 * 0.05);
+    for id in 0..8u64 {
+        sched.submit(0, id, sample.clone()).expect("submit");
+    }
+    let report = sched.finish().expect("finish");
+
+    // Exactly one outcome per request, no id lost.
+    let mut seen: Vec<u64> = report
+        .serve
+        .responses
+        .iter()
+        .map(|r| r.id)
+        .chain(report.serve.failures.iter().map(|f| f.id))
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..8).collect::<Vec<_>>(), "every id exactly once");
+
+    // The worker's first batch holds at most max_batch = 4 requests;
+    // everything behind it waited >= 5 ms against a 2 ms deadline.
+    assert!(
+        report.serve.responses.len() <= 4,
+        "an expired request was predicted: {} responses",
+        report.serve.responses.len()
+    );
+    assert!(report.serve.failures.len() >= 4);
+    for failure in &report.serve.failures {
+        assert_eq!(
+            failure.kind,
+            FailureKind::DeadlineExceeded,
+            "request {} failed for the wrong reason",
+            failure.id
+        );
+    }
+    assert_eq!(report.serve.expired, report.serve.failures.len() as u64);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

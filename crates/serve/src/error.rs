@@ -33,8 +33,15 @@ pub enum ServeError {
     /// A worker's inference failed (e.g. a request tensor of the wrong
     /// shape reached the network).
     Inference(DeployError),
-    /// A worker thread panicked; the payload is its panic message.
-    WorkerPanic(String),
+    /// A worker thread panicked; the payload is its panic message, plus
+    /// the tenant whose batch died when the run is multi-tenant.
+    WorkerPanic {
+        /// The panic message recovered from the worker thread.
+        message: String,
+        /// Tenant whose batch was lost (`None` for a single-tenant
+        /// server).
+        tenant: Option<String>,
+    },
     /// The request's deadline passed before it could be served — either
     /// admission timed out (shed) or the request expired in the queue
     /// and was dropped at dequeue. Never a silent drop: expiry is always
@@ -53,12 +60,28 @@ pub enum ServeError {
         /// The tenant that exceeded its admission budget.
         tenant: String,
     },
+    /// The request was shed at enqueue by the brownout controller: the
+    /// tenant's queue delay has persistently exceeded its target, so
+    /// admitting more work would only grow the backlog. Carries the
+    /// tenant and its current degradation-ladder level so callers can
+    /// tell "overloaded at full precision" from "overloaded even after
+    /// degrading".
+    Brownout {
+        /// The tenant whose arrivals are being shed.
+        tenant: String,
+        /// Degradation-ladder level the tenant was serving at when the
+        /// request was shed (0 = full precision).
+        level: u8,
+    },
     /// The serving model produced non-finite logits; the payload is the
     /// generation that misbehaved. When a health threshold is configured
     /// the pool quarantines that generation and rolls back.
     UnhealthyModel {
         /// The model generation that produced non-finite output.
         generation: u64,
+        /// Tenant whose model misbehaved (`None` for a single-tenant
+        /// server).
+        tenant: Option<String>,
     },
     /// A registry operation on behalf of the server failed (loading a
     /// generation for [`swap_from_store`](crate::Server::swap_from_store),
@@ -73,6 +96,8 @@ pub enum ServeError {
     SessionQuarantined {
         /// Model generation active when the session was quarantined.
         generation: u64,
+        /// The quarantined session's id, when the front end knows it.
+        session: Option<u64>,
     },
 }
 
@@ -88,13 +113,25 @@ impl ServeError {
         ServeError::DeadlineExceeded { tenant: None }
     }
 
+    /// A tenant-less [`WorkerPanic`](Self::WorkerPanic) (single-tenant
+    /// servers and tests).
+    pub fn worker_panic(message: impl Into<String>) -> Self {
+        ServeError::WorkerPanic {
+            message: message.into(),
+            tenant: None,
+        }
+    }
+
     /// The tenant this error is attributed to, when it carries one.
     pub fn tenant(&self) -> Option<&str> {
         match self {
-            ServeError::QueueFull { tenant } | ServeError::DeadlineExceeded { tenant } => {
-                tenant.as_deref()
+            ServeError::QueueFull { tenant }
+            | ServeError::DeadlineExceeded { tenant }
+            | ServeError::WorkerPanic { tenant, .. }
+            | ServeError::UnhealthyModel { tenant, .. } => tenant.as_deref(),
+            ServeError::TenantOverLimit { tenant } | ServeError::Brownout { tenant, .. } => {
+                Some(tenant)
             }
-            ServeError::TenantOverLimit { tenant } => Some(tenant),
             _ => None,
         }
     }
@@ -124,7 +161,11 @@ impl fmt::Display for ServeError {
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
             ServeError::Clone(e) => write!(f, "failed to clone model for worker: {e}"),
             ServeError::Inference(e) => write!(f, "worker inference failed: {e}"),
-            ServeError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            ServeError::WorkerPanic { message, tenant } => write!(
+                f,
+                "worker thread panicked: {message}{}",
+                TenantSuffix(tenant)
+            ),
             ServeError::DeadlineExceeded { tenant } => write!(
                 f,
                 "request deadline exceeded before it could be served{}",
@@ -134,16 +175,28 @@ impl fmt::Display for ServeError {
                 f,
                 "tenant {tenant} is over its admission rate budget (request rejected)"
             ),
-            ServeError::UnhealthyModel { generation } => write!(
+            ServeError::Brownout { tenant, level } => write!(
                 f,
-                "model generation {generation} produced non-finite logits (unhealthy)"
+                "tenant {tenant} is in brownout at degradation level {level} \
+                 (request shed at admission)"
+            ),
+            ServeError::UnhealthyModel { generation, tenant } => write!(
+                f,
+                "model generation {generation} produced non-finite logits (unhealthy){}",
+                TenantSuffix(tenant)
             ),
             ServeError::Registry(e) => write!(f, "registry operation failed: {e}"),
-            ServeError::SessionQuarantined { generation } => write!(
-                f,
-                "stream session was quarantined by an earlier fault \
-                 (generation {generation}); further steps are refused"
-            ),
+            ServeError::SessionQuarantined { generation, session } => {
+                write!(f, "stream session")?;
+                if let Some(id) = session {
+                    write!(f, " {id}")?;
+                }
+                write!(
+                    f,
+                    " was quarantined by an earlier fault \
+                     (generation {generation}); further steps are refused"
+                )
+            }
         }
     }
 }
@@ -182,51 +235,108 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_variants() {
-        assert!(ServeError::queue_full().to_string().contains("backpressure"));
-        assert!(ServeError::Closed.to_string().contains("shut down"));
-        assert!(ServeError::InvalidConfig("x".into()).to_string().contains("x"));
-        assert!(ServeError::WorkerPanic("boom".into()).to_string().contains("boom"));
+    fn sources_are_chained() {
         let e: ServeError = NnError::UnknownLayerTag("t".into()).into();
         assert!(e.source().is_some());
         let e: ServeError = ServeError::Inference(DeployError::ParamsMismatch("p".into()));
         assert!(e.source().is_some());
-        assert!(ServeError::queue_full().source().is_none());
-        assert!(ServeError::deadline_exceeded().to_string().contains("deadline"));
-        let e = ServeError::UnhealthyModel { generation: 7 };
-        assert!(e.to_string().contains("generation 7"));
-        assert!(e.to_string().contains("non-finite"));
-        let e: ServeError =
-            ffdl_registry::RegistryError::UnknownModel("m".into()).into();
-        assert!(e.to_string().contains("registry"));
+        let e: ServeError = ffdl_registry::RegistryError::UnknownModel("m".into()).into();
         assert!(e.source().is_some());
+        assert!(ServeError::queue_full().source().is_none());
+        assert!(ServeError::worker_panic("boom").source().is_none());
+    }
+
+    /// Snapshot of every variant's rendered message, tenant-tagged and
+    /// untagged — the audit that each one names its tenant (and session
+    /// for stream) consistently. Changing any of these strings is a
+    /// user-visible break; update deliberately.
+    #[test]
+    fn display_snapshots() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (
+                ServeError::queue_full(),
+                "request queue is full (backpressure)",
+            ),
+            (
+                ServeError::QueueFull { tenant: Some("alpha".into()) },
+                "request queue is full (backpressure) (tenant alpha)",
+            ),
+            (ServeError::Closed, "server is shut down"),
+            (
+                ServeError::InvalidConfig("zero workers".into()),
+                "invalid serve config: zero workers",
+            ),
+            (
+                ServeError::worker_panic("boom"),
+                "worker thread panicked: boom",
+            ),
+            (
+                ServeError::WorkerPanic {
+                    message: "boom".into(),
+                    tenant: Some("alpha".into()),
+                },
+                "worker thread panicked: boom (tenant alpha)",
+            ),
+            (
+                ServeError::deadline_exceeded(),
+                "request deadline exceeded before it could be served",
+            ),
+            (
+                ServeError::DeadlineExceeded { tenant: Some("beta".into()) },
+                "request deadline exceeded before it could be served (tenant beta)",
+            ),
+            (
+                ServeError::TenantOverLimit { tenant: "gamma".into() },
+                "tenant gamma is over its admission rate budget (request rejected)",
+            ),
+            (
+                ServeError::Brownout { tenant: "heavy".into(), level: 2 },
+                "tenant heavy is in brownout at degradation level 2 \
+                 (request shed at admission)",
+            ),
+            (
+                ServeError::UnhealthyModel { generation: 7, tenant: None },
+                "model generation 7 produced non-finite logits (unhealthy)",
+            ),
+            (
+                ServeError::UnhealthyModel {
+                    generation: 7,
+                    tenant: Some("delta".into()),
+                },
+                "model generation 7 produced non-finite logits (unhealthy) (tenant delta)",
+            ),
+            (
+                ServeError::SessionQuarantined { generation: 3, session: None },
+                "stream session was quarantined by an earlier fault \
+                 (generation 3); further steps are refused",
+            ),
+            (
+                ServeError::SessionQuarantined { generation: 3, session: Some(42) },
+                "stream session 42 was quarantined by an earlier fault \
+                 (generation 3); further steps are refused",
+            ),
+        ];
+        for (e, expect) in cases {
+            assert_eq!(e.to_string(), expect, "{e:?}");
+        }
     }
 
     #[test]
     fn tenant_payloads_are_surfaced() {
-        // Untagged forms render exactly as before (single-tenant paths).
-        assert!(!ServeError::queue_full().to_string().contains("tenant"));
-        assert!(!ServeError::deadline_exceeded().to_string().contains("tenant"));
         assert_eq!(ServeError::queue_full().tenant(), None);
-
-        let e = ServeError::QueueFull {
-            tenant: Some("alpha".into()),
-        };
-        assert!(e.to_string().contains("tenant alpha"), "{e}");
-        assert_eq!(e.tenant(), Some("alpha"));
-
-        let e = ServeError::DeadlineExceeded {
-            tenant: Some("beta".into()),
-        };
-        assert!(e.to_string().contains("tenant beta"), "{e}");
-        assert_eq!(e.tenant(), Some("beta"));
-
-        let e = ServeError::TenantOverLimit {
-            tenant: "gamma".into(),
-        };
-        assert!(e.to_string().contains("gamma"), "{e}");
-        assert!(e.to_string().contains("rate budget"), "{e}");
-        assert_eq!(e.tenant(), Some("gamma"));
-        assert!(e.source().is_none());
+        assert_eq!(ServeError::deadline_exceeded().tenant(), None);
+        assert_eq!(ServeError::worker_panic("x").tenant(), None);
+        let tagged: Vec<ServeError> = vec![
+            ServeError::QueueFull { tenant: Some("t".into()) },
+            ServeError::DeadlineExceeded { tenant: Some("t".into()) },
+            ServeError::WorkerPanic { message: "m".into(), tenant: Some("t".into()) },
+            ServeError::UnhealthyModel { generation: 1, tenant: Some("t".into()) },
+            ServeError::TenantOverLimit { tenant: "t".into() },
+            ServeError::Brownout { tenant: "t".into(), level: 0 },
+        ];
+        for e in tagged {
+            assert_eq!(e.tenant(), Some("t"), "{e:?}");
+            assert!(e.to_string().contains("tenant t"), "{e}");
+        }
     }
 }

@@ -196,7 +196,18 @@ pub enum FailureKind {
     /// (panicking or NaN step), so this step was refused to protect the
     /// session's state invariant — used by the `ffdl-stream` stateful
     /// front end, never by this crate's stateless pools.
-    SessionQuarantined,
+    SessionQuarantined {
+        /// The quarantined session the refused step belonged to.
+        session: u64,
+    },
+    /// The request was shed at admission by the brownout controller:
+    /// the tenant's queue delay persistently exceeded its target
+    /// (`ffdl-sched`, never this crate's closed-loop [`Server`]).
+    /// Carries the tenant's degradation-ladder level at shed time.
+    Brownout {
+        /// Ladder level the tenant was serving at (0 = full precision).
+        level: u8,
+    },
 }
 
 /// One failed request. Every admitted request ends up either in
@@ -224,16 +235,23 @@ impl ServeFailure {
             FailureKind::DeadlineExceeded => ServeError::DeadlineExceeded { tenant },
             FailureKind::UnhealthyModel => ServeError::UnhealthyModel {
                 generation: self.generation,
+                tenant,
             },
-            FailureKind::WorkerPanic => {
-                ServeError::WorkerPanic("batch lost to a panicking forward pass".into())
-            }
+            FailureKind::WorkerPanic => ServeError::WorkerPanic {
+                message: "batch lost to a panicking forward pass".into(),
+                tenant,
+            },
             FailureKind::Shed => ServeError::QueueFull { tenant },
             FailureKind::OverLimit => ServeError::TenantOverLimit {
                 tenant: tenant.unwrap_or_else(|| "-".into()),
             },
-            FailureKind::SessionQuarantined => ServeError::SessionQuarantined {
+            FailureKind::SessionQuarantined { session } => ServeError::SessionQuarantined {
                 generation: self.generation,
+                session: Some(session),
+            },
+            FailureKind::Brownout { level } => ServeError::Brownout {
+                tenant: tenant.unwrap_or_else(|| "-".into()),
+                level,
             },
         }
     }
@@ -982,7 +1000,7 @@ impl Server {
                         .map(|s| (*s).to_string())
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "opaque panic payload".into());
-                    first_error.get_or_insert(ServeError::WorkerPanic(msg));
+                    first_error.get_or_insert(ServeError::worker_panic(msg));
                 }
             }
         }
@@ -1002,6 +1020,7 @@ impl Server {
             queue_full_rejections: self.rejections.load(Ordering::Relaxed),
             worker_restarts: self.restarts.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            brownout: 0, // this crate's closed-loop server never browns out
             expired,
             quarantines,
             auto_rollbacks,
@@ -1628,7 +1647,7 @@ softmax
             assert_eq!(failure.generation, 2);
             assert!(matches!(
                 failure.error(),
-                ServeError::UnhealthyModel { generation: 2 }
+                ServeError::UnhealthyModel { generation: 2, .. }
             ));
         }
         // Responses came only from healthy generations, bit-identical

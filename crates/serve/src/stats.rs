@@ -25,6 +25,8 @@ pub struct RunCounts {
     pub worker_restarts: u64,
     /// Requests shed at admission (bounded-wait submit gave up).
     pub shed: u64,
+    /// Requests shed at enqueue by the brownout controller.
+    pub brownout: u64,
     /// Admitted requests that expired in the queue.
     pub expired: u64,
     /// Model generations quarantined by the health supervisor.
@@ -54,6 +56,13 @@ pub struct TenantStat {
     /// This tenant's requests that expired in the queue
     /// ([`FailureKind::DeadlineExceeded`]).
     pub expired: u64,
+    /// Requests shed at enqueue by the brownout controller
+    /// ([`FailureKind::Brownout`]).
+    pub brownout: u64,
+    /// Deepest degradation-ladder level observed in this tenant's
+    /// brownout sheds (0 = the tenant never shed, or shed while still at
+    /// full precision).
+    pub peak_level: u8,
     /// All failed requests for this tenant (any [`FailureKind`]).
     pub failed: u64,
     /// Responses that met the SLO (latency within the configured
@@ -71,11 +80,22 @@ impl TenantStat {
     /// One flat JSON row for `BENCH_sched.json`-style documents;
     /// `label` names the run configuration (e.g. `"overload/prio"`).
     pub fn json_row(&self, label: &str) -> String {
+        // The brownout columns are emitted only when brownout actually
+        // happened, so rows from brownout-free runs stay byte-identical
+        // to the historical format.
+        let brownout = if self.brownout > 0 || self.peak_level > 0 {
+            format!(
+                ", \"brownout\": {}, \"peak_level\": {}",
+                self.brownout, self.peak_level
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{{\"label\": \"{}\", \"tenant\": \"{}\", \"requests\": {}, \
              \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"shed\": {}, \
              \"expired\": {}, \"failed\": {}, \"within_slo\": {}, \
-             \"slo_attainment\": {:.4}}}",
+             \"slo_attainment\": {:.4}{}}}",
             label.replace('\\', "\\\\").replace('"', "\\\""),
             self.tenant.replace('\\', "\\\\").replace('"', "\\\""),
             self.requests,
@@ -86,6 +106,7 @@ impl TenantStat {
             self.failed,
             self.within_slo,
             self.slo_attainment,
+            brownout,
         )
     }
 }
@@ -123,11 +144,17 @@ fn tenant_stats(
             let mut shed = 0u64;
             let mut expired = 0u64;
             let mut failed = 0u64;
+            let mut brownout = 0u64;
+            let mut peak_level = 0u8;
             for f in failures.iter().filter(|f| f.tenant.as_deref() == Some(name)) {
                 failed += 1;
                 match f.kind {
                     FailureKind::Shed | FailureKind::OverLimit => shed += 1,
                     FailureKind::DeadlineExceeded => expired += 1,
+                    FailureKind::Brownout { level } => {
+                        brownout += 1;
+                        peak_level = peak_level.max(level);
+                    }
                     _ => {}
                 }
             }
@@ -148,6 +175,8 @@ fn tenant_stats(
                 p99_us: p99,
                 shed,
                 expired,
+                brownout,
+                peak_level,
                 failed,
                 within_slo,
                 slo_attainment,
@@ -190,6 +219,10 @@ pub struct ServeReport {
     /// Requests shed at admission: the bounded-wait `submit` path gave
     /// up at the request's deadline while the queue stayed full.
     pub shed: u64,
+    /// Requests shed at enqueue by the brownout controller as typed
+    /// [`FailureKind::Brownout`](crate::FailureKind) failures (always 0
+    /// without a brownout-enabled front end).
+    pub brownout: u64,
     /// Admitted requests that expired in the queue and were dropped at
     /// dequeue as typed [`FailureKind::DeadlineExceeded`](crate::FailureKind)
     /// failures.
@@ -293,6 +326,7 @@ impl ServeReport {
             queue_full_rejections: counts.queue_full_rejections,
             worker_restarts: counts.worker_restarts,
             shed: counts.shed,
+            brownout: counts.brownout,
             expired: counts.expired,
             quarantines: counts.quarantines,
             auto_rollbacks: counts.auto_rollbacks,
@@ -343,6 +377,8 @@ impl ServeReport {
         .expect("string write");
         writeln!(out, "  {:<22} {:>12}", "shed (admission)", self.shed)
             .expect("string write");
+        writeln!(out, "  {:<22} {:>12}", "brownout (enqueue)", self.brownout)
+            .expect("string write");
         writeln!(out, "  {:<22} {:>12}", "expired (dequeue)", self.expired)
             .expect("string write");
         writeln!(out, "  {:<22} {:>12}", "quarantines", self.quarantines)
@@ -368,20 +404,22 @@ impl ServeReport {
         if !self.tenants.is_empty() {
             writeln!(
                 out,
-                "  per-tenant   {:>9} {:>10} {:>10} {:>6} {:>8} {:>6}",
-                "requests", "p50(µs)", "p99(µs)", "shed", "expired", "SLO%"
+                "  per-tenant   {:>9} {:>10} {:>10} {:>6} {:>8} {:>8} {:>4} {:>6}",
+                "requests", "p50(µs)", "p99(µs)", "shed", "expired", "brownout", "lvl", "SLO%"
             )
             .expect("string write");
             for t in &self.tenants {
                 writeln!(
                     out,
-                    "    {:<11} {:>9} {:>10.1} {:>10.1} {:>6} {:>8} {:>5.1}%",
+                    "    {:<11} {:>9} {:>10.1} {:>10.1} {:>6} {:>8} {:>8} {:>4} {:>5.1}%",
                     t.tenant,
                     t.requests,
                     t.p50_us,
                     t.p99_us,
                     t.shed,
                     t.expired,
+                    t.brownout,
+                    t.peak_level,
                     t.slo_attainment * 100.0
                 )
                 .expect("string write");
@@ -407,6 +445,14 @@ impl ServeReport {
                 .collect();
             format!(", \"tenants\": [{}]", rows.join(", "))
         };
+        // Conditional like the per-tenant brownout columns: rows from
+        // brownout-free runs stay byte-identical to the historical
+        // format.
+        let brownout = if self.brownout > 0 {
+            format!(", \"brownout\": {}", self.brownout)
+        } else {
+            String::new()
+        };
         format!(
             "{{\"label\": \"{}\", \"workers\": {}, \"requests\": {}, \
              \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
@@ -414,7 +460,7 @@ impl ServeReport {
              \"max_batch\": {}, \"queue_full_rejections\": {}, \
              \"worker_restarts\": {}, \"shed\": {}, \"expired\": {}, \
              \"quarantines\": {}, \"auto_rollbacks\": {}, \
-             \"model_generation\": {}{}}}",
+             \"model_generation\": {}{}{}}}",
             label.replace('\\', "\\\\").replace('"', "\\\""),
             self.workers,
             self.requests,
@@ -432,6 +478,7 @@ impl ServeReport {
             self.quarantines,
             self.auto_rollbacks,
             self.model_generation,
+            brownout,
             tenants,
         )
     }
@@ -510,6 +557,7 @@ mod tests {
             queue_full_rejections: 5,
             worker_restarts: 1,
             shed: 2,
+            brownout: 0,
             expired: 4,
             quarantines: 1,
             auto_rollbacks: 1,
@@ -559,16 +607,18 @@ mod tests {
         assert_eq!(r.failures[1].id, 9);
         assert!(matches!(
             r.failures[0].error(),
-            crate::ServeError::UnhealthyModel { generation: 2 }
+            crate::ServeError::UnhealthyModel { generation: 2, .. }
         ));
         assert!(matches!(
             r.failures[1].error(),
             crate::ServeError::DeadlineExceeded { tenant: None }
         ));
-        // No tenant labels anywhere: no per-tenant section.
+        // No tenant labels anywhere: no per-tenant section — and no
+        // brownout happened, so the row keeps the historical shape.
         assert!(r.tenants.is_empty());
         assert!(!r.table().contains("per-tenant"));
         assert!(!r.json_row("x").contains("\"tenants\""));
+        assert!(!r.json_row("x").contains("\"brownout\""));
     }
 
     #[test]
@@ -629,6 +679,53 @@ mod tests {
     }
 
     #[test]
+    fn brownout_columns_appear_only_when_brownout_happened() {
+        let failures = vec![
+            crate::ServeFailure {
+                id: 1,
+                kind: crate::FailureKind::Brownout { level: 2 },
+                generation: 1,
+                tenant: Some("heavy".into()),
+            },
+            crate::ServeFailure {
+                id: 2,
+                kind: crate::FailureKind::Brownout { level: 1 },
+                generation: 1,
+                tenant: Some("heavy".into()),
+            },
+        ];
+        let counts = RunCounts {
+            brownout: 2,
+            model_generation: 1,
+            ..Default::default()
+        };
+        let r = ServeReport::from_parts(
+            vec![tenant_resp(0, 10.0, "heavy")],
+            failures,
+            1,
+            Duration::from_millis(1),
+            counts,
+            RegistrySnapshot::default(),
+            Some(Duration::from_micros(50)),
+        );
+        assert_eq!(r.brownout, 2);
+        let heavy = &r.tenants[0];
+        assert_eq!(heavy.brownout, 2);
+        assert_eq!(heavy.peak_level, 2, "deepest level across sheds");
+        assert_eq!(heavy.failed, 2);
+        // Brownout sheds count against attainment like any failure.
+        assert!((heavy.slo_attainment - 1.0 / 3.0).abs() < 1e-9);
+        let row = r.json_row("brownout");
+        assert!(row.contains("\"brownout\": 2"), "{row}");
+        assert!(row.contains("\"peak_level\": 2"), "{row}");
+        assert!(r.failures[0].error().to_string().contains("tenant heavy"));
+        assert!(matches!(
+            r.failures[0].error(),
+            crate::ServeError::Brownout { level: 2, .. }
+        ));
+    }
+
+    #[test]
     fn empty_report_is_all_zeros() {
         let r = report(Vec::new(), Duration::from_secs(1), 0);
         assert_eq!(r.requests, 0);
@@ -651,6 +748,7 @@ mod tests {
             "rejections",
             "worker restarts",
             "shed (admission)",
+            "brownout (enqueue)",
             "expired (dequeue)",
             "quarantines",
             "auto-rollbacks",

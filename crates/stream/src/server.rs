@@ -783,8 +783,8 @@ impl StreamServer {
                     first_error.get_or_insert(e);
                 }
                 Err(_) => {
-                    first_error.get_or_insert(ServeError::WorkerPanic(
-                        "stream worker crashed outside supervision".into(),
+                    first_error.get_or_insert(ServeError::worker_panic(
+                        "stream worker crashed outside supervision",
                     ));
                 }
             }
@@ -805,6 +805,7 @@ impl StreamServer {
             queue_full_rejections: self.rejections.load(Ordering::Relaxed),
             worker_restarts: restarts,
             shed: 0,
+            brownout: 0,
             expired,
             quarantines,
             auto_rollbacks,
@@ -919,7 +920,9 @@ fn worker_loop(
             // Step was queued before the quarantining fault resolved.
             output.failures.push(ServeFailure {
                 id: request.id,
-                kind: FailureKind::SessionQuarantined,
+                kind: FailureKind::SessionQuarantined {
+                    session: request.session,
+                },
                 generation: engine_gen,
                 tenant: None,
             });

@@ -106,6 +106,7 @@ fn seeded_campaign_quarantines_faulted_sessions_and_spares_neighbours() {
         nan_budget: 2,
         bitflip_budget: 0,
         rate: 1.0,
+        ..Default::default()
     });
 
     // Interleaved submission: worker queues hold several sessions'
@@ -163,7 +164,7 @@ fn seeded_campaign_quarantines_faulted_sessions_and_spares_neighbours() {
                 f.kind,
                 FailureKind::WorkerPanic
                     | FailureKind::UnhealthyModel
-                    | FailureKind::SessionQuarantined
+                    | FailureKind::SessionQuarantined { .. }
             ),
             "unexpected failure kind {:?}",
             f.kind
@@ -178,7 +179,7 @@ fn seeded_campaign_quarantines_faulted_sessions_and_spares_neighbours() {
         .serve
         .failures
         .iter()
-        .filter(|f| f.kind != FailureKind::SessionQuarantined)
+        .filter(|f| !matches!(f.kind, FailureKind::SessionQuarantined { .. }))
         .map(|f| f.id / 100)
         .collect();
     assert!(!faulted.is_empty(), "campaign fired into no session");
@@ -190,11 +191,11 @@ fn seeded_campaign_quarantines_faulted_sessions_and_spares_neighbours() {
     // Quarantined-step failures only ever follow a real fault in the
     // same session.
     for f in &report.serve.failures {
-        if f.kind == FailureKind::SessionQuarantined {
+        if let FailureKind::SessionQuarantined { session } = f.kind {
+            assert_eq!(session, f.id / 100, "failure names the wrong session");
             assert!(
-                faulted.contains(&(f.id / 100)),
-                "session {} quarantined without a fault",
-                f.id / 100
+                faulted.contains(&session),
+                "session {session} quarantined without a fault"
             );
         }
     }

@@ -196,6 +196,71 @@ awk '
     }
 ' BENCH_sched.json
 
+echo "== brownout smoke test (--brownout on: ladder publish + controller) =="
+# Two tenants with a pre-published f32/int16/int8 ladder on tenant 0 and
+# the closed-loop controller enabled. The run must report the ladder it
+# published and one brownout line per ladder-bearing tenant.
+brownout_out="$(cargo run --release --offline -q -p ffdl-cli -- \
+    serve-bench --tenants 2 --tenant-weights 8,1 --tenant-classes normal,high \
+    --brownout on --ladder f32,int16,int8 --target-delay-ms 10 \
+    --rate-rps 300 --duration-ms 400 --slo-ms 25 \
+    --workers 1 --max-workers 2 --seed 7)"
+echo "${brownout_out}"
+echo "${brownout_out}" | grep -q "ladder:" || {
+    echo "brownout smoke test: ladder line missing (precision rungs not published?)" >&2
+    exit 1
+}
+echo "${brownout_out}" | grep -q "brownout: t0 peak level" || {
+    echo "brownout smoke test: per-tenant brownout summary missing" >&2
+    exit 1
+}
+
+echo "== bench guard: brownout isolation + recovery in BENCH_sched.json =="
+# The graceful-degradation claim (DESIGN.md §16): under the 8:1 skew
+# with the heavy tenant 1.5x over f32 capacity, the ladder must keep the
+# heavy tenant >= 0.5 attainment (instead of shed collapse), hold the
+# high-class light tenant >= 0.9, and the committed brownout row must
+# show a real round trip: peak_level >= 1 degraded, final_level == 0
+# recovered.
+awk '
+    /"label": "skewed_8to1_brownout", "tenant": "heavy", "requests"/ { if (match($0, /"slo_attainment": [0-9.]+/)) heavy = substr($0, RSTART + 18, RLENGTH - 18) }
+    /"label": "skewed_8to1_brownout", "tenant": "light", "requests"/ { if (match($0, /"slo_attainment": [0-9.]+/)) light = substr($0, RSTART + 18, RLENGTH - 18) }
+    /"label": "skewed_8to1_brownout", "tenant": "heavy", "peak_level"/ {
+        if (match($0, /"peak_level": [0-9]+/))  peak  = substr($0, RSTART + 14, RLENGTH - 14)
+        if (match($0, /"final_level": [0-9]+/)) final = substr($0, RSTART + 15, RLENGTH - 15)
+    }
+    END {
+        if (heavy == "" || light == "" || peak == "") { print "bench guard: skewed_8to1_brownout rows missing from BENCH_sched.json" > "/dev/stderr"; exit 1 }
+        printf "brownout skew: heavy slo_attainment %.4f, light %.4f, peak level %d -> final %d\n", heavy, light, peak, final
+        if (heavy + 0 < 0.5)  { print "bench guard: heavy tenant attainment below 0.5 despite the ladder" > "/dev/stderr"; exit 1 }
+        if (light + 0 < 0.9)  { print "bench guard: light tenant attainment below 0.9 under brownout" > "/dev/stderr"; exit 1 }
+        if (peak + 0 < 1)     { print "bench guard: controller never degraded (peak_level 0)" > "/dev/stderr"; exit 1 }
+        if (final + 0 != 0)   { print "bench guard: controller never recovered to full precision" > "/dev/stderr"; exit 1 }
+    }
+' BENCH_sched.json
+
+echo "== bench guard: ladder win + recovery in BENCH_brownout.json =="
+# The same 2.5x one-second spike with and without the ladder: the ladder
+# run must beat the baseline attainment by >= 0.3 absolute, reach
+# peak_level >= 1, and end recovered (final_level 0, recovery_ms >= 0).
+awk '
+    /"label": "spike_no_ladder"/ { if (match($0, /"slo_attainment": [0-9.]+/)) base = substr($0, RSTART + 18, RLENGTH - 18) }
+    /"label": "spike_ladder"/ {
+        if (match($0, /"slo_attainment": [0-9.]+/)) ladder   = substr($0, RSTART + 18, RLENGTH - 18)
+        if (match($0, /"peak_level": [0-9]+/))      peak     = substr($0, RSTART + 14, RLENGTH - 14)
+        if (match($0, /"final_level": [0-9]+/))     final    = substr($0, RSTART + 15, RLENGTH - 15)
+        if (match($0, /"recovery_ms": -?[0-9.]+/))  recovery = substr($0, RSTART + 15, RLENGTH - 15)
+    }
+    END {
+        if (base == "" || ladder == "" || recovery == "") { print "bench guard: spike rows missing from BENCH_brownout.json" > "/dev/stderr"; exit 1 }
+        printf "spike attainment: no ladder %.4f -> ladder %.4f, peak level %d, recovery %.0f ms\n", base, ladder, peak, recovery
+        if (ladder - base < 0.3) { print "bench guard: ladder attainment win below 0.3 over the no-ladder baseline" > "/dev/stderr"; exit 1 }
+        if (peak + 0 < 1)        { print "bench guard: spike never degraded the ladder" > "/dev/stderr"; exit 1 }
+        if (final + 0 != 0)      { print "bench guard: ladder never recovered after the spike" > "/dev/stderr"; exit 1 }
+        if (recovery + 0 < 0)    { print "bench guard: recovery_ms missing (controller never returned to level 0)" > "/dev/stderr"; exit 1 }
+    }
+' BENCH_brownout.json
+
 echo "== bench guard: monotone worker scaling in BENCH_sched.json =="
 # With the delay layer pinning service time, added workers must add real
 # concurrency: throughput w4 >= w2 >= w1 (2% tolerance for the load
